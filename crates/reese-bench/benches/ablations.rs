@@ -1,0 +1,47 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! early RUU removal (§4.3's optimisation), R-queue sizing, partial
+//! duplication, and the branch predictor choice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reese_bpred::PredictorKind;
+use reese_core::{ReeseConfig, ReeseSim};
+use reese_pipeline::{PipelineConfig, PipelineSim};
+use reese_workloads::Kernel;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let prog = Kernel::Database.build(1);
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+
+    for (name, early) in [("held_ruu", false), ("early_removal", true)] {
+        g.bench_function(format!("ruu_policy_{name}"), |b| {
+            let sim = ReeseSim::new(ReeseConfig::starting().with_early_removal(early));
+            b.iter(|| black_box(sim.run(&prog).expect("runs")));
+        });
+    }
+    for size in [8usize, 32, 128] {
+        g.bench_function(format!("rqueue_size_{size}"), |b| {
+            let sim = ReeseSim::new(ReeseConfig::starting().with_rqueue_size(size));
+            b.iter(|| black_box(sim.run(&prog).expect("runs")));
+        });
+    }
+    for period in [1u64, 2, 8] {
+        g.bench_function(format!("duplication_1_in_{period}"), |b| {
+            let sim = ReeseSim::new(ReeseConfig::starting().with_duplication_period(period));
+            b.iter(|| black_box(sim.run(&prog).expect("runs")));
+        });
+    }
+    for kind in [PredictorKind::AlwaysTaken, PredictorKind::Bimodal, PredictorKind::Gshare] {
+        g.bench_function(format!("predictor_{kind:?}"), |b| {
+            let mut cfg = PipelineConfig::starting();
+            cfg.predictor = cfg.predictor.with_kind(kind);
+            let sim = PipelineSim::new(cfg);
+            b.iter(|| black_box(sim.run(&prog).expect("runs")));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

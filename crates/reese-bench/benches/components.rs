@@ -1,0 +1,59 @@
+//! Microbenchmarks of the simulator substrates: emulator, caches,
+//! predictors, and the two timing simulators.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use reese_bpred::{BranchUnit, PredictorConfig};
+use reese_core::{ReeseConfig, ReeseSim};
+use reese_cpu::Emulator;
+use reese_mem::{AccessKind, Cache, CacheConfig};
+use reese_pipeline::{PipelineConfig, PipelineSim};
+use reese_workloads::Kernel;
+use std::hint::black_box;
+
+fn bench_components(c: &mut Criterion) {
+    let prog = Kernel::Imaging.build(1);
+    let dynlen = Emulator::new(&prog).run(u64::MAX).expect("halts").instructions;
+
+    let mut g = c.benchmark_group("components");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(dynlen));
+    g.bench_function("emulator_instructions", |b| {
+        b.iter(|| black_box(Emulator::new(&prog).run(u64::MAX).expect("halts")));
+    });
+    g.bench_function("baseline_pipeline_instructions", |b| {
+        let sim = PipelineSim::new(PipelineConfig::starting());
+        b.iter(|| black_box(sim.run(&prog).expect("runs")));
+    });
+    g.bench_function("reese_pipeline_instructions", |b| {
+        let sim = ReeseSim::new(ReeseConfig::starting());
+        b.iter(|| black_box(sim.run(&prog).expect("runs")));
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("micro");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("cache_100k_accesses", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(CacheConfig::new("l1d", 32 * 1024, 32, 2, 2));
+            for i in 0..100_000u64 {
+                black_box(cache.access(i.wrapping_mul(64) & 0xF_FFFF, AccessKind::Read));
+            }
+            black_box(cache.stats())
+        });
+    });
+    g.bench_function("gshare_100k_predictions", |b| {
+        b.iter(|| {
+            let mut bu = BranchUnit::new(PredictorConfig::paper());
+            for i in 0..100_000u64 {
+                let pc = 0x1000 + (i % 64) * 8;
+                let p = bu.predict_branch(pc);
+                bu.resolve_branch(pc, p, i % 3 == 0);
+            }
+            black_box(bu.stats())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fault-injection campaign benches: the detection-coverage experiment
+//! at reduced trial counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reese_core::{InjectedFault, ReeseConfig, ReeseSim};
+use reese_faults::{Campaign, FaultMix};
+use reese_workloads::Kernel;
+use std::hint::black_box;
+
+fn bench_faults(c: &mut Criterion) {
+    let prog = Kernel::Compiler.build(1);
+    let mut g = c.benchmark_group("faults");
+    g.sample_size(10);
+    g.bench_function("campaign_result_errors_10_trials", |b| {
+        let campaign =
+            Campaign::new(ReeseConfig::starting(), FaultMix::result_errors_only()).trials(10);
+        b.iter(|| black_box(campaign.run(&prog).expect("campaign runs")));
+    });
+    g.bench_function("single_detection_and_recovery", |b| {
+        let sim = ReeseSim::new(ReeseConfig::starting());
+        let faults = [InjectedFault::primary(500, 7)];
+        b.iter(|| black_box(sim.run_with_faults(&prog, &faults, u64::MAX).expect("runs")));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_faults);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! One Criterion bench per paper figure: each runs a reduced-scale
+//! version of the corresponding experiment end to end (the full-scale
+//! numbers come from the `fig*` binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reese_bench::{paper_machines, Experiment, Variant};
+use reese_pipeline::{FuCounts, PipelineConfig};
+use reese_workloads::Suite;
+use std::hint::black_box;
+
+const QUICK: &[Variant] =
+    &[Variant::Baseline, Variant::Reese { spare_alus: 2, spare_muls: 0 }];
+
+fn suite() -> Suite {
+    Suite::smoke()
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let suite = suite();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig2_starting_config", |b| {
+        let e = Experiment::new("fig2", PipelineConfig::starting()).variants(QUICK);
+        b.iter(|| black_box(e.run_on(&suite)));
+    });
+    g.bench_function("fig3_ruu32_lsq16", |b| {
+        let e = Experiment::new("fig3", PipelineConfig::starting().with_ruu(32).with_lsq(16))
+            .variants(QUICK);
+        b.iter(|| black_box(e.run_on(&suite)));
+    });
+    g.bench_function("fig4_wide16", |b| {
+        let e = Experiment::new(
+            "fig4",
+            PipelineConfig::starting().with_ruu(32).with_lsq(16).with_width(16),
+        )
+        .variants(QUICK);
+        b.iter(|| black_box(e.run_on(&suite)));
+    });
+    g.bench_function("fig5_ports4", |b| {
+        let e = Experiment::new(
+            "fig5",
+            PipelineConfig::starting().with_ruu(32).with_lsq(16).with_width(16).with_mem_ports(4),
+        )
+        .variants(QUICK);
+        b.iter(|| black_box(e.run_on(&suite)));
+    });
+    g.bench_function("fig6_summary_grid", |b| {
+        b.iter(|| {
+            for (name, cfg) in paper_machines() {
+                let e = Experiment::new(name, cfg).variants(&[Variant::Baseline]);
+                black_box(e.run_on(&suite));
+            }
+        });
+    });
+    g.bench_function("fig7_big_machines", |b| {
+        let more_fus =
+            FuCounts { int_alu: 8, int_muldiv: 4, fp_alu: 8, fp_muldiv: 4, mem_ports: 2 };
+        let e = Experiment::new(
+            "fig7",
+            PipelineConfig::starting().with_ruu(256).with_lsq(128).with_fu(more_fus),
+        )
+        .variants(QUICK);
+        b.iter(|| black_box(e.run_on(&suite)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

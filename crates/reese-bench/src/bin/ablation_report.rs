@@ -1,0 +1,70 @@
+//! Ablation report: IPC impact of every REESE design choice DESIGN.md
+//! calls out, on the RUU=32 machine over the full suite.
+
+use reese_bench::default_target;
+use reese_core::{ReeseConfig, ReeseSim};
+use reese_pipeline::{PipelineConfig, PipelineSim};
+use reese_stats::{mean, Table};
+use reese_workloads::Suite;
+
+fn avg(suite: &Suite, cfg: &ReeseConfig) -> f64 {
+    mean(
+        &suite
+            .iter()
+            .map(|w| ReeseSim::new(cfg.clone()).run(&w.program).expect("runs").ipc())
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn main() {
+    let suite = Suite::spec95_like(default_target());
+    let base_cfg = PipelineConfig::starting().with_ruu(32).with_lsq(16);
+    let baseline = mean(
+        &suite
+            .iter()
+            .map(|w| PipelineSim::new(base_cfg.clone()).run(&w.program).expect("runs").ipc())
+            .collect::<Vec<_>>(),
+    );
+    let reference = ReeseConfig::over(base_cfg.clone());
+    let ref_ipc = avg(&suite, &reference);
+
+    let mut t = Table::new(vec!["ablation", "avg IPC", "vs baseline", "vs REESE default"]);
+    let mut row = |name: &str, ipc: f64| {
+        t.row(vec![
+            name.to_string(),
+            format!("{ipc:.3}"),
+            format!("{:+.1}%", (ipc / baseline - 1.0) * 100.0),
+            format!("{:+.1}%", (ipc / ref_ipc - 1.0) * 100.0),
+        ]);
+    };
+    row("baseline (no redundancy)", baseline);
+    row("REESE default (held RUU, queue 32, lookahead 8)", ref_ipc);
+    row("early RUU removal (§4.3)", avg(&suite, &reference.clone().with_early_removal(true)));
+    for size in [8usize, 16, 64, 128] {
+        row(&format!("R-queue size {size}"), avg(&suite, &reference.clone().with_rqueue_size(size)));
+    }
+    for lookahead in [1usize, 2, 16] {
+        let mut cfg = reference.clone();
+        cfg.r_issue_lookahead = lookahead;
+        row(&format!("R-issue lookahead {lookahead}"), avg(&suite, &cfg));
+    }
+    for hw in [8usize, 16, 31] {
+        let mut cfg = reference.clone();
+        cfg.high_water = hw;
+        row(&format!("high-water mark {hw}"), avg(&suite, &cfg));
+    }
+    for period in [2u64, 4] {
+        row(
+            &format!("partial duplication 1-in-{period}"),
+            avg(&suite, &reference.clone().with_duplication_period(period)),
+        );
+    }
+    // Next-line prefetching (off in the paper's Table 1): helps both
+    // machines; REESE gains slightly more since its R stream rides the
+    // warmed lines.
+    let mut pf_cfg = base_cfg.clone();
+    pf_cfg.hierarchy = pf_cfg.hierarchy.with_next_line_prefetch();
+    row("REESE + L1D next-line prefetch", avg(&suite, &ReeseConfig::over(pf_cfg)));
+    println!("REESE design-choice ablations (RUU=32/LSQ=16 machine, suite averages)");
+    println!("{t}");
+}

@@ -1,0 +1,14 @@
+//! Figure 2: initial comparison between REESE and baseline on the
+//! Table 1 starting configuration.
+
+use reese_bench::Experiment;
+use reese_pipeline::PipelineConfig;
+
+fn main() {
+    let r = Experiment::new(
+        "Figure 2 — Initial comparison between REESE and baseline (Table 1 starting config)",
+        PipelineConfig::starting(),
+    )
+    .run();
+    reese_bench::emit(&r);
+}

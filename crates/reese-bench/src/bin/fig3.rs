@@ -1,0 +1,14 @@
+//! Figure 3: REESE vs baseline with the RUU and LSQ doubled
+//! (RUU = 32, LSQ = 16).
+
+use reese_bench::Experiment;
+use reese_pipeline::PipelineConfig;
+
+fn main() {
+    let r = Experiment::new(
+        "Figure 3 — Comparing REESE and baseline: RUU size = 32 and LSQ size = 16",
+        PipelineConfig::starting().with_ruu(32).with_lsq(16),
+    )
+    .run();
+    reese_bench::emit(&r);
+}

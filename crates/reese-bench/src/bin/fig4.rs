@@ -1,0 +1,13 @@
+//! Figure 4: IPC for the 16-wide datapath (RUU = 32, LSQ = 16 kept).
+
+use reese_bench::Experiment;
+use reese_pipeline::PipelineConfig;
+
+fn main() {
+    let r = Experiment::new(
+        "Figure 4 — IPC for 16-wide datapath",
+        PipelineConfig::starting().with_ruu(32).with_lsq(16).with_width(16),
+    )
+    .run();
+    reese_bench::emit(&r);
+}

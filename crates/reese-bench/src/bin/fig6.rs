@@ -1,0 +1,40 @@
+//! Figure 6: summary of results — the average IPC of every variant on
+//! each of the four machines of Figures 2–5, and the REESE-vs-baseline
+//! gap per machine.
+
+use reese_bench::{paper_machines, Experiment, Variant};
+use reese_stats::Table;
+use reese_workloads::Suite;
+
+fn main() {
+    let suite = Suite::spec95_like(reese_bench::default_target());
+    let variants = [
+        Variant::Baseline,
+        Variant::Reese { spare_alus: 0, spare_muls: 0 },
+        Variant::Reese { spare_alus: 2, spare_muls: 0 },
+    ];
+    let mut t = Table::new(vec!["config", "baseline", "REESE", "gap", "R+2ALU", "gap"]);
+    let mut gaps = Vec::new();
+    let mut gaps_spare = Vec::new();
+    for (name, cfg) in paper_machines() {
+        let r = Experiment::new(name, cfg).variants(&variants).run_on(&suite);
+        let a = r.averages();
+        gaps.push(r.average_gap(1));
+        gaps_spare.push(r.average_gap(2));
+        t.row(vec![
+            name.to_string(),
+            format!("{:.3}", a[0]),
+            format!("{:.3}", a[1]),
+            format!("{:+.1}%", r.average_gap(1)),
+            format!("{:.3}", a[2]),
+            format!("{:+.1}%", r.average_gap(2)),
+        ]);
+    }
+    println!("Figure 6 — Summary of results (average IPC across the six benchmarks)");
+    println!("{t}");
+    println!(
+        "average REESE gap across configs: {:+.1}% (paper: -14.0%), with +2 spare ALUs: {:+.1}% (paper: -8.0%)",
+        reese_stats::mean(&gaps),
+        reese_stats::mean(&gaps_spare),
+    );
+}

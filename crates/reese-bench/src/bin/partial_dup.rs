@@ -1,0 +1,39 @@
+//! Partial duplication (the paper's §7 future work): re-execute one in
+//! k instructions, trading coverage for time.
+
+use reese_bench::default_target;
+use reese_core::{ReeseConfig, ReeseSim};
+use reese_pipeline::{PipelineConfig, PipelineSim};
+use reese_stats::{mean, Table};
+use reese_workloads::Suite;
+
+fn main() {
+    let suite = Suite::spec95_like(default_target());
+    let base = PipelineConfig::starting();
+    let baseline = mean(
+        &suite.iter().map(|w| PipelineSim::new(base.clone()).run(&w.program).unwrap().ipc()).collect::<Vec<_>>(),
+    );
+    let mut t = Table::new(vec!["duplication", "avg IPC", "gap vs baseline", "coverage bound"]);
+    t.row(vec!["baseline (none)".into(), format!("{baseline:.3}"), "+0.0%".into(), "0%".into()]);
+    for k in [1u64, 2, 4, 8] {
+        let ipc = mean(
+            &suite
+                .iter()
+                .map(|w| {
+                    ReeseSim::new(ReeseConfig::over(base.clone()).with_duplication_period(k))
+                        .run(&w.program)
+                        .unwrap()
+                        .ipc()
+                })
+                .collect::<Vec<_>>(),
+        );
+        t.row(vec![
+            format!("1 in {k}"),
+            format!("{ipc:.3}"),
+            format!("{:+.1}%", (ipc / baseline - 1.0) * 100.0),
+            format!("{:.0}%", 100.0 / k as f64),
+        ]);
+    }
+    println!("Partial duplication (§7 future work): re-execute 1 of every k instructions");
+    println!("{t}");
+}

@@ -1,0 +1,53 @@
+//! Scheme comparison (the paper's §3 argument): plain baseline,
+//! Franklin-style dispatch duplication, and REESE with and without
+//! spare elements, on the same machine.
+
+use reese_bench::default_target;
+use reese_core::{DuplexSim, ReeseConfig, ReeseSim};
+use reese_pipeline::{PipelineConfig, PipelineSim};
+use reese_stats::{mean, Table};
+use reese_workloads::Suite;
+
+fn main() {
+    let suite = Suite::spec95_like(default_target());
+    let base_cfg = PipelineConfig::starting().with_ruu(32).with_lsq(16);
+    let mut rows: Vec<(&str, Vec<f64>)> = vec![
+        ("baseline (no redundancy)", Vec::new()),
+        ("dispatch duplication (Franklin [24])", Vec::new()),
+        ("REESE", Vec::new()),
+        ("REESE + 2 spare ALUs", Vec::new()),
+        ("REESE + early RUU removal + 2 ALUs", Vec::new()),
+    ];
+    for w in suite.iter() {
+        rows[0].1.push(PipelineSim::new(base_cfg.clone()).run(&w.program).unwrap().ipc());
+        rows[1].1.push(DuplexSim::new(base_cfg.clone()).run(&w.program).unwrap().ipc());
+        rows[2].1.push(ReeseSim::new(ReeseConfig::over(base_cfg.clone())).run(&w.program).unwrap().ipc());
+        rows[3].1.push(
+            ReeseSim::new(ReeseConfig::over(base_cfg.clone()).with_spare_int_alus(2))
+                .run(&w.program)
+                .unwrap()
+                .ipc(),
+        );
+        rows[4].1.push(
+            ReeseSim::new(
+                ReeseConfig::over(base_cfg.clone()).with_spare_int_alus(2).with_early_removal(true),
+            )
+            .run(&w.program)
+            .unwrap()
+            .ipc(),
+        );
+    }
+    let baseline_avg = mean(&rows[0].1);
+    let mut t = Table::new(vec!["scheme", "avg IPC", "vs baseline", "detects soft errors"]);
+    for (i, (name, ipcs)) in rows.iter().enumerate() {
+        let avg = mean(ipcs);
+        t.row(vec![
+            name.to_string(),
+            format!("{avg:.3}"),
+            format!("{:+.1}%", (avg / baseline_avg - 1.0) * 100.0),
+            if i == 0 { "no".into() } else { "yes (result errors)".into() },
+        ]);
+    }
+    println!("Redundancy schemes on the RUU=32 machine (paper §3: REESE vs. scheduler duplication)");
+    println!("{t}");
+}

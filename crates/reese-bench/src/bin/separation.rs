@@ -1,0 +1,88 @@
+//! The §2 time-separation experiment (extension): sweep the fault
+//! duration Δt and measure how often a disturbance that corrupts
+//! results escapes the P/R comparison because *both* executions fell
+//! inside the window.
+//!
+//! The paper argues: "detection of the soft error is only guaranteed if
+//! the P-stream and R-stream executions are separated by a time greater
+//! than Δt". This binary measures the P→R separation distribution of
+//! the actual machine and confirms that silent escapes appear exactly
+//! when Δt crosses into it.
+
+use reese_core::{DurationFault, ReeseConfig, ReeseSim};
+use reese_isa::FuClass;
+use reese_stats::{SplitMix64, Table};
+use reese_workloads::Kernel;
+
+fn main() {
+    let trials: u64 =
+        std::env::var("REESE_FAULT_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
+    let prog = Kernel::Compiler.build(1);
+    let sim = ReeseSim::new(ReeseConfig::starting());
+
+    // Measure the machine's own P→R separation distribution first.
+    let clean = sim.run(&prog).expect("clean run");
+    let sep = &clean.stats.pr_separation;
+    println!(
+        "P→R completion separation on this machine: mean {:.1} cycles, max {} (n = {})",
+        sep.mean(),
+        sep.max(),
+        sep.samples()
+    );
+
+    let total_cycles = clean.cycles();
+    let mut t = Table::new(vec![
+        "Δt (cycles)",
+        "affected runs",
+        "corruptions (P/R)",
+        "detected",
+        "silent escapes",
+        "escape rate",
+    ]);
+    for dt in [1u64, 2, 4, 8, 16, 32, 64, 128] {
+        let mut rng = SplitMix64::new(0x5E9A + dt);
+        let (mut affected, mut p_c, mut r_c, mut detected, mut silent) = (0u64, 0, 0, 0u64, 0);
+        for _ in 0..trials {
+            let start = rng.range_u64(total_cycles / 10, total_cycles * 9 / 10);
+            let fault =
+                DurationFault { start_cycle: start, duration: dt, class: FuClass::IntAlu, bit: 9 };
+            match sim.run_with_duration_fault(&prog, fault, u64::MAX) {
+                Ok((r, report)) => {
+                    if report.affected() {
+                        affected += 1;
+                    }
+                    p_c += report.p_corrupted;
+                    r_c += report.r_corrupted;
+                    detected += r.stats.detections;
+                    silent += report.silent_both;
+                }
+                Err(_) => {
+                    // The disturbance outlasted the retry: reported as a
+                    // permanent fault. Count it as detected (the machine
+                    // stopped and notified).
+                    affected += 1;
+                    detected += 1;
+                }
+            }
+        }
+        let corruptions = p_c + r_c;
+        t.row(vec![
+            dt.to_string(),
+            format!("{affected}/{trials}"),
+            format!("{p_c}/{r_c}"),
+            detected.to_string(),
+            silent.to_string(),
+            if corruptions == 0 {
+                "-".into()
+            } else {
+                format!("{:.0}%", 100.0 * silent as f64 * 2.0 / corruptions as f64)
+            },
+        ]);
+    }
+    println!("\nDuration-fault sweep ({} trials per Δt, random window placement):", trials);
+    println!("{t}");
+    println!(
+        "expected: short disturbances (Δt ≪ P→R separation) are always caught; escapes grow once Δt \
+         reaches the separation distribution — §2's guarantee, measured"
+    );
+}

@@ -1,0 +1,45 @@
+//! Table 1: the simulator's starting configuration.
+
+use reese_pipeline::PipelineConfig;
+use reese_stats::Table;
+
+fn main() {
+    let c = PipelineConfig::starting();
+    let h = &c.hierarchy;
+    let mut t = Table::new(vec!["parameter", "value"]);
+    let rows: Vec<(&str, String)> = vec![
+        ("Fetch Queue Size", c.fetch_queue_size.to_string()),
+        ("Max IPC for Other Pipeline Stages", c.width.to_string()),
+        ("RUU Size", c.ruu_size.to_string()),
+        ("LSQ Size", c.lsq_size.to_string()),
+        ("Registers", "32 GP, 32 FP".to_string()),
+        (
+            "Functional Units",
+            format!(
+                "{} IntAdd, {} IntM/D, {} FpAdd, {} FpM/D",
+                c.fu.int_alu, c.fu.int_muldiv, c.fu.fp_alu, c.fu.fp_muldiv
+            ),
+        ),
+        ("Memory Ports", c.fu.mem_ports.to_string()),
+        (
+            "L1 Data Cache",
+            format!("{} KB, {}-way, {}-cycle hit time", h.l1d.size_bytes / 1024, h.l1d.assoc, h.l1d.hit_latency),
+        ),
+        (
+            "L2 Data Cache",
+            format!("{} KB, {}-way, {}-cycle hit time", h.l2.size_bytes / 1024, h.l2.assoc, h.l2.hit_latency),
+        ),
+        (
+            "L1 Inst. Cache",
+            format!("{} KB, {}-way, {}-cycle hit time", h.l1i.size_bytes / 1024, h.l1i.assoc, h.l1i.hit_latency),
+        ),
+        ("L2 Inst. Cache", "Shared w/ D-cache".to_string()),
+        ("Branch Predictor", "gshare, from [26] (McFarling)".to_string()),
+        ("Main Memory Latency", format!("{} cycles", h.mem_latency)),
+    ];
+    for (k, v) in rows {
+        t.row(vec![k.to_string(), v]);
+    }
+    println!("Table 1 — General simulator options (the starting configuration)");
+    println!("{t}");
+}

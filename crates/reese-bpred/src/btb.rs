@@ -1,0 +1,148 @@
+//! Branch target buffer and return-address stack.
+
+/// A direct-mapped branch target buffer.
+///
+/// Maps a branch/jump PC to its most recent target. In this simulator
+/// direct branch and `jal` targets are computed at decode, so the BTB's
+/// real job is predicting indirect (`jalr`) targets that are not
+/// returns.
+#[derive(Debug, Clone)]
+pub struct Btb {
+    entries: Vec<Option<(u64, u64)>>, // (pc tag, target)
+    bits: u32,
+}
+
+impl Btb {
+    /// Creates a BTB with `2^bits` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside 1–24.
+    pub fn new(bits: u32) -> Btb {
+        assert!((1..=24).contains(&bits), "btb bits out of range");
+        Btb { entries: vec![None; 1 << bits], bits }
+    }
+
+    fn idx(&self, pc: u64) -> usize {
+        ((pc >> 3) & ((1 << self.bits) - 1)) as usize
+    }
+
+    /// Predicted target for `pc`, if this PC has an entry.
+    pub fn lookup(&self, pc: u64) -> Option<u64> {
+        match self.entries[self.idx(pc)] {
+            Some((tag, target)) if tag == pc => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Records the resolved target of `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let i = self.idx(pc);
+        self.entries[i] = Some((pc, target));
+    }
+}
+
+/// A return-address stack.
+///
+/// Calls push their return address; returns pop a prediction. The stack
+/// is a fixed-size circular buffer that silently wraps on overflow, like
+/// hardware.
+#[derive(Debug, Clone)]
+pub struct Ras {
+    stack: Vec<u64>,
+    top: usize,
+    depth: usize,
+    capacity: usize,
+}
+
+impl Ras {
+    /// Creates a RAS with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Ras {
+        assert!(capacity > 0, "RAS needs at least one entry");
+        Ras { stack: vec![0; capacity], top: 0, depth: 0, capacity }
+    }
+
+    /// Pushes a return address (a call executed).
+    pub fn push(&mut self, addr: u64) {
+        self.top = (self.top + 1) % self.capacity;
+        self.stack[self.top] = addr;
+        self.depth = (self.depth + 1).min(self.capacity);
+    }
+
+    /// Pops the predicted return address, if the stack is non-empty.
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.depth == 0 {
+            return None;
+        }
+        let addr = self.stack[self.top];
+        self.top = (self.top + self.capacity - 1) % self.capacity;
+        self.depth -= 1;
+        Some(addr)
+    }
+
+    /// Current number of valid entries.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn btb_miss_then_hit() {
+        let mut btb = Btb::new(6);
+        assert_eq!(btb.lookup(0x1000), None);
+        btb.update(0x1000, 0x2000);
+        assert_eq!(btb.lookup(0x1000), Some(0x2000));
+    }
+
+    #[test]
+    fn btb_tag_check_rejects_aliases() {
+        let mut btb = Btb::new(4); // 16 entries → alias stride 128
+        btb.update(0x1000, 0x2000);
+        assert_eq!(btb.lookup(0x1000 + 128), None, "alias must not hit");
+    }
+
+    #[test]
+    fn btb_replacement() {
+        let mut btb = Btb::new(4);
+        btb.update(0x1000, 0x2000);
+        btb.update(0x1000 + 128, 0x3000); // same slot, evicts
+        assert_eq!(btb.lookup(0x1000), None);
+        assert_eq!(btb.lookup(0x1000 + 128), Some(0x3000));
+    }
+
+    #[test]
+    fn ras_lifo_order() {
+        let mut ras = Ras::new(8);
+        ras.push(0x10);
+        ras.push(0x20);
+        assert_eq!(ras.pop(), Some(0x20));
+        assert_eq!(ras.pop(), Some(0x10));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn ras_wraps_on_overflow() {
+        let mut ras = Ras::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3); // overwrites 1
+        assert_eq!(ras.depth(), 2);
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn empty_ras_panics() {
+        Ras::new(0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Direction predictors: static, bimodal, gshare, two-level, combined.
+
+use crate::TwoBit;
+
+/// A conditional-branch direction predictor.
+///
+/// `predict` is called at fetch, `update` at branch resolution with the
+/// actual outcome. Global-history predictors update their history
+/// non-speculatively at `update` time — a standard simulator
+/// simplification that slightly pessimises prediction on tight
+/// back-to-back branches.
+pub trait DirectionPredictor {
+    /// Predicts whether the branch at `pc` is taken.
+    fn predict(&self, pc: u64) -> bool;
+    /// Trains the predictor with the resolved outcome.
+    fn update(&mut self, pc: u64, taken: bool);
+    /// Short display name ("gshare", "bimodal", …).
+    fn name(&self) -> &'static str;
+}
+
+fn index(pc: u64, bits: u32) -> usize {
+    // Instructions are 8 bytes; drop the alignment bits before hashing.
+    ((pc >> 3) & ((1 << bits) - 1)) as usize
+}
+
+/// Predicts every branch taken (or not), the degenerate baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticPredictor {
+    taken: bool,
+}
+
+impl StaticPredictor {
+    /// Always-taken predictor.
+    pub fn taken() -> StaticPredictor {
+        StaticPredictor { taken: true }
+    }
+
+    /// Always-not-taken predictor.
+    pub fn not_taken() -> StaticPredictor {
+        StaticPredictor { taken: false }
+    }
+}
+
+impl DirectionPredictor for StaticPredictor {
+    fn predict(&self, _pc: u64) -> bool {
+        self.taken
+    }
+
+    fn update(&mut self, _pc: u64, _taken: bool) {}
+
+    fn name(&self) -> &'static str {
+        if self.taken {
+            "always-taken"
+        } else {
+            "always-not-taken"
+        }
+    }
+}
+
+/// Per-PC two-bit counters (Smith's bimodal predictor).
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    table: Vec<TwoBit>,
+    bits: u32,
+}
+
+impl Bimodal {
+    /// Creates a predictor with `2^bits` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 28.
+    pub fn new(bits: u32) -> Bimodal {
+        assert!((1..=28).contains(&bits), "table bits out of range");
+        Bimodal { table: vec![TwoBit::default(); 1 << bits], bits }
+    }
+}
+
+impl DirectionPredictor for Bimodal {
+    fn predict(&self, pc: u64) -> bool {
+        self.table[index(pc, self.bits)].taken()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        self.table[index(pc, self.bits)].train(taken);
+    }
+
+    fn name(&self) -> &'static str {
+        "bimodal"
+    }
+}
+
+/// McFarling's gshare: global history XOR-folded into the PC index.
+///
+/// This is the predictor named in Table 1 of the REESE paper
+/// ("gshare, from \[26\]" — McFarling, DEC WRL TN-36).
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    table: Vec<TwoBit>,
+    bits: u32,
+    history: u64,
+    history_bits: u32,
+}
+
+impl Gshare {
+    /// Creates a gshare with `2^bits` counters and `history_bits` of
+    /// global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside 1–28 or `history_bits > bits`.
+    pub fn new(bits: u32, history_bits: u32) -> Gshare {
+        assert!((1..=28).contains(&bits), "table bits out of range");
+        assert!(history_bits <= bits, "history cannot exceed index width");
+        Gshare { table: vec![TwoBit::default(); 1 << bits], bits, history: 0, history_bits }
+    }
+
+    fn idx(&self, pc: u64) -> usize {
+        let h = self.history & ((1 << self.history_bits) - 1);
+        (index(pc, self.bits) as u64 ^ h) as usize
+    }
+}
+
+impl DirectionPredictor for Gshare {
+    fn predict(&self, pc: u64) -> bool {
+        self.table[self.idx(pc)].taken()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.idx(pc);
+        self.table[i].train(taken);
+        self.history = (self.history << 1) | u64::from(taken);
+    }
+
+    fn name(&self) -> &'static str {
+        "gshare"
+    }
+}
+
+/// A classic two-level PAg predictor: per-PC history registers indexing
+/// a shared pattern table.
+#[derive(Debug, Clone)]
+pub struct TwoLevel {
+    histories: Vec<u64>,
+    history_bits: u32,
+    pattern: Vec<TwoBit>,
+}
+
+impl TwoLevel {
+    /// Creates a predictor with `2^l1_bits` history registers of
+    /// `history_bits` bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l1_bits` is outside 1–20 or `history_bits` outside 1–20.
+    pub fn new(l1_bits: u32, history_bits: u32) -> TwoLevel {
+        assert!((1..=20).contains(&l1_bits), "l1 bits out of range");
+        assert!((1..=20).contains(&history_bits), "history bits out of range");
+        TwoLevel {
+            histories: vec![0; 1 << l1_bits],
+            history_bits,
+            pattern: vec![TwoBit::default(); 1 << history_bits],
+        }
+    }
+
+    fn pattern_idx(&self, pc: u64) -> usize {
+        let h = self.histories[index(pc, self.histories.len().trailing_zeros())];
+        (h & ((1 << self.history_bits) - 1)) as usize
+    }
+}
+
+impl DirectionPredictor for TwoLevel {
+    fn predict(&self, pc: u64) -> bool {
+        self.pattern[self.pattern_idx(pc)].taken()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let pi = self.pattern_idx(pc);
+        self.pattern[pi].train(taken);
+        let hi = index(pc, self.histories.len().trailing_zeros());
+        self.histories[hi] = (self.histories[hi] << 1) | u64::from(taken);
+    }
+
+    fn name(&self) -> &'static str {
+        "two-level"
+    }
+}
+
+/// McFarling's combining predictor: a chooser table picks, per PC,
+/// between a bimodal and a gshare component.
+#[derive(Debug, Clone)]
+pub struct Combined {
+    bimodal: Bimodal,
+    gshare: Gshare,
+    chooser: Vec<TwoBit>,
+    bits: u32,
+}
+
+impl Combined {
+    /// Creates the combining predictor with `2^bits` chooser entries and
+    /// equally sized components.
+    pub fn new(bits: u32, history_bits: u32) -> Combined {
+        Combined {
+            bimodal: Bimodal::new(bits),
+            gshare: Gshare::new(bits, history_bits),
+            // Chooser starts weakly preferring gshare.
+            chooser: vec![TwoBit::weakly_taken(); 1 << bits],
+            bits,
+        }
+    }
+}
+
+impl DirectionPredictor for Combined {
+    fn predict(&self, pc: u64) -> bool {
+        if self.chooser[index(pc, self.bits)].taken() {
+            self.gshare.predict(pc)
+        } else {
+            self.bimodal.predict(pc)
+        }
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let b = self.bimodal.predict(pc);
+        let g = self.gshare.predict(pc);
+        // Train the chooser toward whichever component was right when
+        // they disagree (taken-state = "prefer gshare").
+        if b != g {
+            self.chooser[index(pc, self.bits)].train(g == taken);
+        }
+        self.bimodal.update(pc, taken);
+        self.gshare.update(pc, taken);
+    }
+
+    fn name(&self) -> &'static str {
+        "combined"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_predictors() {
+        let t = StaticPredictor::taken();
+        let n = StaticPredictor::not_taken();
+        assert!(t.predict(0));
+        assert!(!n.predict(0));
+        assert_eq!(t.name(), "always-taken");
+    }
+
+    #[test]
+    fn bimodal_learns_a_bias() {
+        let mut p = Bimodal::new(10);
+        for _ in 0..4 {
+            p.update(0x1000, true);
+        }
+        assert!(p.predict(0x1000));
+        assert!(!p.predict(0x2000), "other PCs unaffected");
+    }
+
+    #[test]
+    fn bimodal_aliasing_is_by_index() {
+        let mut p = Bimodal::new(4); // 16 entries, pc >> 3 masked
+        for _ in 0..4 {
+            p.update(0, true);
+        }
+        // pc = 16 entries * 8 bytes = 128 aliases with pc = 0
+        assert!(p.predict(128));
+    }
+
+    #[test]
+    fn gshare_learns_alternating_pattern() {
+        // A strictly alternating branch is invisible to bimodal but easy
+        // for global history.
+        let mut g = Gshare::new(12, 8);
+        let mut bi = Bimodal::new(12);
+        let pc = 0x4000;
+        let mut g_correct = 0;
+        let mut b_correct = 0;
+        for i in 0..2000u32 {
+            let outcome = i % 2 == 0;
+            if g.predict(pc) == outcome {
+                g_correct += 1;
+            }
+            if bi.predict(pc) == outcome {
+                b_correct += 1;
+            }
+            g.update(pc, outcome);
+            bi.update(pc, outcome);
+        }
+        assert!(g_correct > 1800, "gshare should nail alternation, got {g_correct}");
+        assert!(b_correct < 1200, "bimodal cannot learn alternation, got {b_correct}");
+    }
+
+    #[test]
+    fn two_level_learns_short_loop() {
+        // Pattern: taken,taken,taken,not (a 4-iteration loop).
+        let mut p = TwoLevel::new(10, 8);
+        let pc = 0x8000;
+        for _ in 0..100 {
+            for outcome in [true, true, true, false] {
+                p.update(pc, outcome);
+            }
+        }
+        let mut correct = 0;
+        for outcome in [true, true, true, false].into_iter().cycle().take(100) {
+            if p.predict(pc) == outcome {
+                correct += 1;
+            }
+            p.update(pc, outcome);
+        }
+        assert!(correct >= 95, "two-level should learn a loop pattern, got {correct}");
+    }
+
+    #[test]
+    fn combined_at_least_matches_components() {
+        let mut c = Combined::new(12, 8);
+        let pc = 0xA000;
+        let mut correct = 0;
+        for i in 0..2000u32 {
+            let outcome = i % 2 == 0;
+            if c.predict(pc) == outcome {
+                correct += 1;
+            }
+            c.update(pc, outcome);
+        }
+        assert!(correct > 1700, "combined should pick the gshare side, got {correct}");
+    }
+
+    #[test]
+    #[should_panic(expected = "history cannot exceed")]
+    fn gshare_history_wider_than_index_panics() {
+        Gshare::new(4, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "table bits out of range")]
+    fn zero_bits_panics() {
+        Bimodal::new(0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Branch prediction for the REESE simulators.
+//!
+//! Implements the predictors SimpleScalar offers, most importantly the
+//! **gshare** predictor the REESE paper configures in Table 1
+//! (McFarling, "Combining Branch Predictors", DEC WRL TN-36), plus
+//! bimodal, two-level, the McFarling combining predictor, a branch
+//! target buffer, and a return-address stack, all wired together in
+//! [`BranchUnit`].
+//!
+//! # Example
+//!
+//! ```
+//! use reese_bpred::{BranchUnit, PredictorConfig, PredictorKind};
+//!
+//! let mut bu = BranchUnit::new(PredictorConfig::paper().with_kind(PredictorKind::Bimodal));
+//! for _ in 0..4 {
+//!     let p = bu.predict_branch(0x1000);
+//!     bu.resolve_branch(0x1000, p, true);
+//! }
+//! assert!(bu.predict_branch(0x1000)); // learned the bias
+//! ```
+
+mod btb;
+mod counter;
+mod direction;
+mod unit;
+
+pub use btb::{Btb, Ras};
+pub use counter::TwoBit;
+pub use direction::{Bimodal, Combined, DirectionPredictor, Gshare, StaticPredictor, TwoLevel};
+pub use unit::{BranchStats, BranchUnit, PredictorConfig, PredictorKind};

@@ -1,0 +1,414 @@
+//! The dispatch-duplication baseline (after Franklin, the paper's
+//! reference \[24\]).
+//!
+//! Franklin's scheme duplicates every instruction *at the dynamic
+//! scheduler*: both copies occupy window slots, issue like ordinary
+//! instructions, and their results are compared at the bottom of the
+//! pipeline. There is no R-stream Queue, no carried operands, and no
+//! guaranteed cache hits — the redundant copy competes for everything.
+//!
+//! REESE's §3 argument ("our approach goes a step further than
+//! Franklin") is that deferring the redundant execution into a
+//! dedicated queue frees window capacity and removes the redundant
+//! stream's dependences. [`DuplexSim`] makes that claim measurable:
+//! run the same workload on both machines and compare.
+
+use crate::{ReeseError, ReeseResult, ReeseStats};
+use reese_isa::{FuClass, Program};
+use reese_mem::MemHierarchy;
+use reese_pipeline::{
+    Fetched, FetchUnit, FuPool, LoadPlan, Lsq, PipelineConfig, PredictionInfo, Ruu, Seq, SimError,
+    SimStop,
+};
+use std::collections::VecDeque;
+
+const DEADLOCK_HORIZON: u64 = 100_000;
+
+/// The dispatch-duplication machine: every fetched instruction enters
+/// the RUU twice (redundant copy first, primary copy second, so
+/// dependants read the primary), both copies execute, and the pair
+/// commits together after an implicit comparison.
+///
+/// # Example
+///
+/// ```
+/// use reese_core::DuplexSim;
+/// use reese_pipeline::PipelineConfig;
+///
+/// let prog = reese_isa::assemble(
+///     "  li t0, 10\nloop: addi t0, t0, -1\n  bnez t0, loop\n  halt\n",
+/// )?;
+/// let r = DuplexSim::new(PipelineConfig::starting()).run(&prog)?;
+/// assert_eq!(r.committed_instructions(), 22);
+/// assert_eq!(r.stats.comparisons, 22);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DuplexSim {
+    config: PipelineConfig,
+}
+
+impl DuplexSim {
+    /// Creates the dispatch-duplication machine over a baseline
+    /// pipeline configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: PipelineConfig) -> DuplexSim {
+        config.validate();
+        DuplexSim { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs a program to its `halt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReeseError::Sim`] for program or simulator failures.
+    pub fn run(&self, program: &Program) -> Result<ReeseResult, ReeseError> {
+        self.run_limit(program, u64::MAX)
+    }
+
+    /// Runs until `halt` or `max_instructions` commits.
+    ///
+    /// # Errors
+    ///
+    /// See [`DuplexSim::run`].
+    pub fn run_limit(
+        &self,
+        program: &Program,
+        max_instructions: u64,
+    ) -> Result<ReeseResult, ReeseError> {
+        let mut m = DuplexMachine::new(&self.config, program);
+        m.run(max_instructions)
+    }
+}
+
+struct DuplexMachine<'c> {
+    cfg: &'c PipelineConfig,
+    cycle: u64,
+    fetch: FetchUnit,
+    fetchq: VecDeque<Fetched>,
+    ruu: Ruu,
+    lsq: Lsq,
+    fu: FuPool,
+    hierarchy: MemHierarchy,
+    stats: ReeseStats,
+    output: Vec<i64>,
+    exit_code: Option<u64>,
+    last_commit_cycle: u64,
+}
+
+impl<'c> DuplexMachine<'c> {
+    fn new(cfg: &'c PipelineConfig, program: &Program) -> DuplexMachine<'c> {
+        DuplexMachine {
+            cfg,
+            cycle: 0,
+            fetch: FetchUnit::new(program, cfg.predictor.clone()),
+            fetchq: VecDeque::with_capacity(cfg.fetch_queue_size),
+            ruu: Ruu::new(cfg.ruu_size),
+            lsq: Lsq::new(cfg.lsq_size),
+            fu: FuPool::new(cfg.fu),
+            hierarchy: MemHierarchy::new(cfg.hierarchy.clone()),
+            stats: ReeseStats::new(1),
+            output: Vec::new(),
+            exit_code: None,
+            last_commit_cycle: 0,
+        }
+    }
+
+    fn run(&mut self, max_instructions: u64) -> Result<ReeseResult, ReeseError> {
+        let stop = loop {
+            self.cycle += 1;
+
+            self.commit(max_instructions);
+            if self.exit_code.is_some() {
+                break SimStop::Halted;
+            }
+            if self.stats.pipeline.committed >= max_instructions {
+                break SimStop::InstructionLimit;
+            }
+            self.writeback();
+            self.issue();
+            self.dispatch();
+            self.do_fetch();
+
+            if self.cfg.max_cycles > 0 && self.cycle >= self.cfg.max_cycles {
+                break SimStop::CycleLimit;
+            }
+            if self.fetch.exhausted() && self.fetchq.is_empty() && self.ruu.is_empty() {
+                if let Some(e) = self.fetch.error() {
+                    return Err(ReeseError::Sim(SimError::Emulation(e.clone())));
+                }
+                break SimStop::InstructionLimit;
+            }
+            if self.cycle - self.last_commit_cycle > DEADLOCK_HORIZON {
+                return Err(ReeseError::Sim(SimError::Deadlock { cycle: self.cycle }));
+            }
+        };
+        self.finalise();
+        Ok(ReeseResult {
+            stop,
+            stats: self.stats.clone(),
+            output: std::mem::take(&mut self.output),
+            exit_code: self.exit_code,
+            state_digest: self.fetch.state_digest(),
+            detections: Vec::new(),
+        })
+    }
+
+    /// Commits pairs: the redundant copy (even RUU seq) and the primary
+    /// copy (odd RUU seq) retire together once both have completed —
+    /// the comparison point of Franklin's scheme.
+    fn commit(&mut self, max_instructions: u64) {
+        for _ in 0..self.cfg.width / 2 {
+            if self.stats.pipeline.committed >= max_instructions {
+                return;
+            }
+            let Some(r_copy) = self.ruu.head() else { return };
+            if !r_copy.completed {
+                return;
+            }
+            debug_assert_eq!(r_copy.seq % 2, 0, "head of a pair is the redundant copy");
+            let Some(p_copy) = self.ruu.get(r_copy.seq + 1) else { return };
+            if !p_copy.completed {
+                return;
+            }
+            let r_copy = self.ruu.pop_head();
+            let p_copy = self.ruu.pop_head();
+            debug_assert_eq!(r_copy.info.result, p_copy.info.result, "fault-free run");
+            self.lsq.remove(r_copy.seq);
+            self.lsq.remove(p_copy.seq);
+            self.fetch.on_commit(1);
+            self.stats.pipeline.committed += 1;
+            self.stats.comparisons += 1;
+            self.last_commit_cycle = self.cycle;
+            if let Some(v) = p_copy.info.printed {
+                self.output.push(v);
+            }
+            if p_copy.info.halted {
+                self.exit_code = Some(p_copy.info.result);
+                return;
+            }
+        }
+    }
+
+    fn writeback(&mut self) {
+        let done: Vec<Seq> = self
+            .ruu
+            .iter()
+            .filter(|e| e.issued && !e.completed && e.complete_cycle <= self.cycle)
+            .map(|e| e.seq)
+            .collect();
+        for seq in done {
+            self.ruu.complete(seq);
+            let e = self.ruu.get(seq).expect("just completed").clone();
+            if e.is_mem() {
+                self.lsq.mark_executed(seq);
+            }
+            // Resolve control once per pair, on the primary copy.
+            if e.is_control() && e.seq % 2 == 1 {
+                let fetched = Fetched { seq: e.seq / 2, info: e.info, pred: e.pred };
+                self.fetch.resolve_control(&fetched, self.cycle, self.cfg.mispredict_penalty);
+            }
+        }
+    }
+
+    fn issue(&mut self) {
+        let ready: Vec<Seq> = self.ruu.ready_seqs().collect();
+        let mut issued = 0usize;
+        for seq in ready {
+            if issued == self.cfg.width {
+                break;
+            }
+            let e = self.ruu.get(seq).expect("ready seq in window");
+            let op = e.info.instr.op;
+            let latency: u64 = if let Some(mem) = e.info.mem {
+                if mem.is_store {
+                    if !self.fu.try_issue_mem(op, self.cycle) {
+                        continue;
+                    }
+                    1 + u64::from(self.hierarchy.access_data(mem.addr, true))
+                } else {
+                    match self.lsq.plan_load(seq, mem.addr, mem.width.bytes()) {
+                        LoadPlan::Wait { .. } => continue,
+                        LoadPlan::Forward { .. } => {
+                            self.stats.pipeline.loads_forwarded += 1;
+                            2
+                        }
+                        LoadPlan::CacheAccess => {
+                            if !self.fu.try_issue_mem(op, self.cycle) {
+                                continue;
+                            }
+                            1 + u64::from(self.hierarchy.access_data(mem.addr, false))
+                        }
+                    }
+                }
+            } else {
+                if !self.fu.try_issue(op, self.cycle) {
+                    continue;
+                }
+                u64::from(op.latency())
+            };
+            let e = self.ruu.get_mut(seq).expect("ready seq in window");
+            e.issued = true;
+            e.issue_cycle = self.cycle;
+            e.complete_cycle = self.cycle + latency;
+            issued += 1;
+            self.stats.pipeline.issued += 1;
+            if seq % 2 == 0 {
+                self.stats.r_issued += 1;
+            }
+        }
+    }
+
+    /// Dispatches each fetched instruction twice: the redundant copy
+    /// first (even RUU seq), the primary second (odd), so later readers
+    /// rename against the primary.
+    fn dispatch(&mut self) {
+        if self.fetchq.is_empty() {
+            self.stats.pipeline.fetch_queue_empty_cycles += 1;
+            return;
+        }
+        for _ in 0..self.cfg.width / 2 {
+            let Some(front) = self.fetchq.front() else { break };
+            // A pair needs two RUU slots (and two LSQ slots if memory).
+            if self.ruu.len() + 2 > self.ruu.capacity() {
+                self.stats.pipeline.dispatch_stall_ruu_full += 1;
+                break;
+            }
+            if front.info.mem.is_some() && self.lsq.len() + 2 > self.lsq.capacity() {
+                self.stats.pipeline.dispatch_stall_lsq_full += 1;
+                break;
+            }
+            let f = self.fetchq.pop_front().expect("checked front");
+            let (r_seq, p_seq) = (f.seq * 2, f.seq * 2 + 1);
+            self.ruu.dispatch(r_seq, f.info, PredictionInfo::default(), self.cycle);
+            self.ruu.dispatch(p_seq, f.info, f.pred, self.cycle);
+            if let Some(mem) = f.info.mem {
+                self.lsq.insert(r_seq, mem.addr, mem.width.bytes(), mem.is_store);
+                self.lsq.insert(p_seq, mem.addr, mem.width.bytes(), mem.is_store);
+            }
+        }
+    }
+
+    fn do_fetch(&mut self) {
+        let space = self.cfg.fetch_queue_size - self.fetchq.len();
+        if space == 0 {
+            return;
+        }
+        let batch = self.fetch.fetch_cycle(self.cycle, self.cfg.width, space, &mut self.hierarchy);
+        self.fetchq.extend(batch);
+    }
+
+    fn finalise(&mut self) {
+        self.stats.pipeline.cycles = self.cycle;
+        self.stats.pipeline.fetched = self.fetch.total_fetched();
+        self.stats.pipeline.branch = self.fetch.branch_stats();
+        self.stats.pipeline.hierarchy = Some(self.hierarchy.stats());
+        self.stats.pipeline.fu_utilisation = FuClass::ALL
+            .iter()
+            .map(|&c| (c, self.fu.utilisation(c, self.cycle)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ReeseConfig, ReeseSim};
+    use reese_isa::assemble;
+    use reese_pipeline::PipelineSim;
+
+    const LOOP: &str = "  li t0, 100\nloop: addi t0, t0, -1\n  bnez t0, loop\n  halt\n";
+
+    #[test]
+    fn duplex_commits_correct_results() {
+        let prog = assemble(LOOP).unwrap();
+        let base = PipelineSim::new(PipelineConfig::starting()).run(&prog).unwrap();
+        let dup = DuplexSim::new(PipelineConfig::starting()).run(&prog).unwrap();
+        assert_eq!(dup.committed_instructions(), base.committed_instructions());
+        assert_eq!(dup.state_digest, base.state_digest);
+        assert_eq!(dup.output, base.output);
+        assert_eq!(dup.stats.comparisons, dup.committed_instructions());
+    }
+
+    #[test]
+    fn duplex_is_slower_than_baseline() {
+        let prog = assemble(LOOP).unwrap();
+        let base = PipelineSim::new(PipelineConfig::starting()).run(&prog).unwrap();
+        let dup = DuplexSim::new(PipelineConfig::starting()).run(&prog).unwrap();
+        assert!(
+            dup.cycles() > base.cycles(),
+            "two window slots per instruction must cost cycles ({} vs {})",
+            dup.cycles(),
+            base.cycles()
+        );
+    }
+
+    #[test]
+    fn reese_beats_dispatch_duplication() {
+        // The paper's §3 claim: deferring redundancy into the R-stream
+        // Queue beats duplicating in the scheduler window.
+        let prog = reese_workloads_like_program();
+        let dup = DuplexSim::new(PipelineConfig::starting()).run(&prog).unwrap();
+        let reese = ReeseSim::new(ReeseConfig::starting()).run(&prog).unwrap();
+        assert!(
+            reese.ipc() > dup.ipc(),
+            "REESE {:.3} must beat dispatch duplication {:.3}",
+            reese.ipc(),
+            dup.ipc()
+        );
+    }
+
+    /// A loop with enough mixed work for the window pressure to matter.
+    fn reese_workloads_like_program() -> reese_isa::Program {
+        assemble(
+            "  la a0, buf\n  li s0, 400\n\
+             loop: andi t4, s0, 255\n  slli t2, t4, 3\n  add t3, a0, t2\n  ld t0, 0(t3)\n\
+             \n  addi t0, t0, 3\n  mul t1, t0, s0\n  xor t5, t5, t1\n  sd t0, 0(t3)\n\
+             \n  addi s0, s0, -1\n  bnez s0, loop\n  print t5\n  halt\n\
+             \n  .data\nbuf: .space 2048\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn duplex_handles_memory_and_calls() {
+        let prog = assemble(
+            "        .entry main\n\
+             f:      sd a0, -8(sp)\n\
+                     ld a1, -8(sp)\n\
+                     add a0, a1, a1\n\
+                     ret\n\
+             main:   li a0, 21\n\
+                     call f\n\
+                     print a0\n\
+                     halt\n",
+        )
+        .unwrap();
+        let r = DuplexSim::new(PipelineConfig::starting()).run(&prog).unwrap();
+        assert_eq!(r.output, vec![42]);
+    }
+
+    #[test]
+    fn duplex_respects_instruction_limit() {
+        let prog = assemble("loop: addi t0, t0, 1\n  j loop\n  halt\n").unwrap();
+        let r = DuplexSim::new(PipelineConfig::starting()).run_limit(&prog, 50).unwrap();
+        assert_eq!(r.stop, SimStop::InstructionLimit);
+        assert!(r.committed_instructions() >= 50);
+    }
+
+    #[test]
+    fn duplex_determinism() {
+        let prog = assemble(LOOP).unwrap();
+        let a = DuplexSim::new(PipelineConfig::starting()).run(&prog).unwrap();
+        let b = DuplexSim::new(PipelineConfig::starting()).run(&prog).unwrap();
+        assert_eq!(a, b);
+    }
+}

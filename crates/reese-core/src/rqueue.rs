@@ -1,0 +1,262 @@
+//! The R-stream Queue: the heart of REESE.
+
+use reese_cpu::StepInfo;
+use reese_pipeline::Seq;
+use std::collections::VecDeque;
+
+/// One R-stream Queue entry.
+///
+/// Per the paper (§4.3), an entry "keeps the values of the instruction
+/// operands and the result of the operation", so the redundant execution
+/// has no data or control dependences: operands come from the entry, the
+/// branch direction is already known, and the result comparison needs no
+/// register-file read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RQueueEntry {
+    /// Dynamic sequence number of the instruction.
+    pub seq: Seq,
+    /// Full functional record from the primary execution.
+    pub info: StepInfo,
+    /// The latched primary-stream result that will be compared
+    /// (fault injection may corrupt this copy).
+    pub p_value: u64,
+    /// The redundant-stream result (valid once `r_completed`; fault
+    /// injection may corrupt it).
+    pub r_value: u64,
+    /// Whether the redundant execution has been issued.
+    pub r_issued: bool,
+    /// Whether the redundant execution has completed.
+    pub r_completed: bool,
+    /// Cycle the redundant execution completes (valid once issued).
+    pub r_complete_cycle: u64,
+    /// Cycle the primary execution completed (for P↔R separation
+    /// statistics and duration-fault windows).
+    pub p_complete_cycle: u64,
+    /// Cycle the entry entered the queue.
+    pub enqueue_cycle: u64,
+    /// Entry exempted from re-execution (partial duplication, §7).
+    pub skip_r: bool,
+}
+
+impl RQueueEntry {
+    /// Creates an entry from a completed primary-stream instruction.
+    pub fn new(seq: Seq, info: StepInfo, cycle: u64, skip_r: bool) -> RQueueEntry {
+        RQueueEntry {
+            seq,
+            info,
+            p_value: info.result,
+            r_value: info.result,
+            r_issued: false,
+            r_completed: false,
+            r_complete_cycle: 0,
+            p_complete_cycle: cycle,
+            enqueue_cycle: cycle,
+            skip_r,
+        }
+    }
+
+    /// Overrides the recorded primary-completion cycle.
+    pub fn with_p_complete(mut self, cycle: u64) -> RQueueEntry {
+        self.p_complete_cycle = cycle;
+        self
+    }
+
+    /// Whether the entry is ready to be compared and committed.
+    pub fn commit_ready(&self) -> bool {
+        self.skip_r || self.r_completed
+    }
+
+    /// Whether the primary and redundant results agree.
+    ///
+    /// Skipped entries vacuously match (nothing was recomputed).
+    pub fn results_match(&self) -> bool {
+        self.skip_r || self.p_value == self.r_value
+    }
+}
+
+/// The FIFO of completed primary instructions awaiting redundant
+/// execution and comparison, sitting between writeback and commit
+/// (paper Figure 1).
+///
+/// # Example
+///
+/// ```
+/// use reese_core::RQueue;
+///
+/// let q = RQueue::new(32);
+/// assert!(q.is_empty());
+/// assert_eq!(q.capacity(), 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RQueue {
+    entries: VecDeque<RQueueEntry>,
+    capacity: usize,
+    peak_occupancy: usize,
+}
+
+impl RQueue {
+    /// Creates an empty queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> RQueue {
+        assert!(capacity > 0, "R-stream Queue capacity must be positive");
+        RQueue { entries: VecDeque::with_capacity(capacity), capacity, peak_occupancy: 0 }
+    }
+
+    /// Occupied entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the queue is full — a full queue blocks the RUU head,
+    /// which is the only way REESE can inhibit the primary pipeline
+    /// (paper §4.3).
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest occupancy seen so far.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Enqueues a completed primary instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full or program order is violated.
+    pub fn push(&mut self, entry: RQueueEntry) {
+        assert!(!self.is_full(), "push into a full R-stream Queue");
+        if let Some(back) = self.entries.back() {
+            assert!(entry.seq > back.seq, "R-stream Queue must fill in program order");
+        }
+        self.entries.push_back(entry);
+        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+    }
+
+    /// The oldest entry.
+    pub fn head(&self) -> Option<&RQueueEntry> {
+        self.entries.front()
+    }
+
+    /// Removes the oldest entry (after comparison at commit).
+    pub fn pop_head(&mut self) -> Option<RQueueEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Mutable access to an entry by sequence number.
+    pub fn get_mut(&mut self, seq: Seq) -> Option<&mut RQueueEntry> {
+        self.entries.iter_mut().find(|e| e.seq == seq)
+    }
+
+    /// Iterates entries oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &RQueueEntry> {
+        self.entries.iter()
+    }
+
+    /// Mutable iteration, oldest-first (for the redundant scheduler).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut RQueueEntry> {
+        self.entries.iter_mut()
+    }
+
+    /// Clears the queue (error-detection flush).
+    pub fn flush_all(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reese_cpu::{step, ArchState};
+    use reese_isa::{abi::*, Instr, Opcode};
+    use reese_mem::Memory;
+
+    fn entry(seq: Seq) -> RQueueEntry {
+        let mut s = ArchState::new(0x1000);
+        let mut m = Memory::new();
+        let info = step(&mut s, &Instr::rri(Opcode::Li, T0, ZERO, 7), &mut m);
+        RQueueEntry::new(seq, info, 0, false)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = RQueue::new(4);
+        q.push(entry(0));
+        q.push(entry(1));
+        assert_eq!(q.head().unwrap().seq, 0);
+        assert_eq!(q.pop_head().unwrap().seq, 0);
+        assert_eq!(q.pop_head().unwrap().seq, 1);
+        assert!(q.pop_head().is_none());
+    }
+
+    #[test]
+    fn capacity_and_peak() {
+        let mut q = RQueue::new(2);
+        q.push(entry(0));
+        q.push(entry(1));
+        assert!(q.is_full());
+        assert_eq!(q.peak_occupancy(), 2);
+        q.pop_head();
+        assert!(!q.is_full());
+        assert_eq!(q.peak_occupancy(), 2, "peak is sticky");
+    }
+
+    #[test]
+    #[should_panic(expected = "full R-stream Queue")]
+    fn overfill_panics() {
+        let mut q = RQueue::new(1);
+        q.push(entry(0));
+        q.push(entry(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "program order")]
+    fn out_of_order_push_panics() {
+        let mut q = RQueue::new(4);
+        q.push(entry(5));
+        q.push(entry(3));
+    }
+
+    #[test]
+    fn entry_match_semantics() {
+        let mut e = entry(0);
+        assert!(e.results_match());
+        assert!(!e.commit_ready());
+        e.r_completed = true;
+        assert!(e.commit_ready());
+        e.r_value ^= 1 << 13;
+        assert!(!e.results_match(), "a flipped bit must be visible");
+    }
+
+    #[test]
+    fn skipped_entries_commit_without_comparison() {
+        let mut s = ArchState::new(0x1000);
+        let mut m = Memory::new();
+        let info = step(&mut s, &Instr::rri(Opcode::Li, T0, ZERO, 7), &mut m);
+        let mut e = RQueueEntry::new(0, info, 0, true);
+        assert!(e.commit_ready());
+        e.p_value ^= 1; // even a corrupted latch goes unnoticed
+        assert!(e.results_match(), "partial duplication trades coverage for speed");
+    }
+
+    #[test]
+    fn flush_empties_queue() {
+        let mut q = RQueue::new(4);
+        q.push(entry(0));
+        q.flush_all();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,807 @@
+//! The REESE time-redundant simulator.
+
+use crate::{
+    DetectionEvent, DurationFault, DurationReport, InjectedFault, RQueue, RQueueEntry,
+    ReeseConfig, ReeseError, ReeseResult, ReeseStats, Stream,
+};
+use reese_isa::{FuClass, Program};
+use reese_mem::MemHierarchy;
+use reese_pipeline::{Fetched, FetchUnit, FuPool, LoadPlan, Lsq, Ruu, Seq, SimError, SimStop};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+const DEADLOCK_HORIZON: u64 = 100_000;
+
+/// The REESE machine: the baseline pipeline plus the R-stream Queue.
+///
+/// Every instruction executes twice. The primary (P) execution flows
+/// through the normal out-of-order pipeline; on completing at the RUU
+/// head it migrates — with its operands and result — into the R-stream
+/// Queue instead of committing. The redundant (R) execution is issued
+/// from the queue into whatever functional units the primary stream
+/// leaves idle (or that the configured *spare* units provide), and the
+/// two results are compared before the instruction finally commits.
+/// A mismatch flushes the pipeline and the queue and re-executes from
+/// the faulting instruction; a second consecutive mismatch is reported
+/// as a permanent fault.
+///
+/// # Example
+///
+/// ```
+/// use reese_core::{ReeseConfig, ReeseSim};
+///
+/// let prog = reese_isa::assemble(
+///     "  li t0, 100\nloop: addi t0, t0, -1\n  bnez t0, loop\n  halt\n",
+/// )?;
+/// let r = ReeseSim::new(ReeseConfig::starting()).run(&prog)?;
+/// assert_eq!(r.committed_instructions(), 202);
+/// assert_eq!(r.stats.comparisons, 202); // every instruction re-executed
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReeseSim {
+    config: ReeseConfig,
+}
+
+impl ReeseSim {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`ReeseConfig::validate`]).
+    pub fn new(config: ReeseConfig) -> ReeseSim {
+        config.validate();
+        ReeseSim { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ReeseConfig {
+        &self.config
+    }
+
+    /// Runs a program to its `halt` with no injected faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReeseError::Sim`] for program or simulator failures.
+    pub fn run(&self, program: &Program) -> Result<ReeseResult, ReeseError> {
+        self.run_with_faults(program, &[], u64::MAX)
+    }
+
+    /// Runs until `halt` or `max_instructions` commits.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReeseSim::run`].
+    pub fn run_limit(&self, program: &Program, max_instructions: u64) -> Result<ReeseResult, ReeseError> {
+        self.run_with_faults(program, &[], max_instructions)
+    }
+
+    /// Runs with a set of faults to inject.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReeseError::PermanentFault`] if a sticky fault makes
+    /// the same instruction fail comparison twice, or [`ReeseError::Sim`]
+    /// for underlying failures.
+    pub fn run_with_faults(
+        &self,
+        program: &Program,
+        faults: &[InjectedFault],
+        max_instructions: u64,
+    ) -> Result<ReeseResult, ReeseError> {
+        let mut m = ReeseMachine::new(&self.config, program, faults);
+        m.run(max_instructions)
+    }
+
+    /// Runs with an environmental disturbance of duration Δt (§2 of the
+    /// paper): every instruction of the matching functional-unit class
+    /// that completes — in either stream — while the fault is active has
+    /// one result bit flipped. If both executions of an instruction fall
+    /// inside the window, the identical corruption passes the comparison
+    /// silently; the returned [`DurationReport`] counts those escapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReeseError::PermanentFault`] if the disturbance outlasts
+    /// the retry (the paper's stop-and-notify case), or
+    /// [`ReeseError::Sim`] for underlying failures.
+    pub fn run_with_duration_fault(
+        &self,
+        program: &Program,
+        fault: DurationFault,
+        max_instructions: u64,
+    ) -> Result<(ReeseResult, DurationReport), ReeseError> {
+        let mut m = ReeseMachine::new(&self.config, program, &[]);
+        m.duration_fault = Some(fault);
+        let result = m.run(max_instructions)?;
+        Ok((result, m.duration_report))
+    }
+
+    /// Fast-forwards `skip` instructions functionally, then simulates
+    /// the timed region (see
+    /// [`reese_pipeline::PipelineSim::run_region`]). Injected-fault
+    /// sequence numbers keep counting from program start, so faults
+    /// inside the skipped region never fire.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReeseSim::run`].
+    pub fn run_region(
+        &self,
+        program: &Program,
+        skip: u64,
+        max_instructions: u64,
+    ) -> Result<ReeseResult, ReeseError> {
+        let mut m = ReeseMachine::new(&self.config, program, &[]);
+        let skipped = m.fetch.fast_forward(skip);
+        m.next_migrate_seq = skipped;
+        m.run(max_instructions)
+    }
+}
+
+struct ReeseMachine<'c> {
+    cfg: &'c ReeseConfig,
+    cycle: u64,
+    fetch: FetchUnit,
+    fetchq: VecDeque<Fetched>,
+    ruu: Ruu,
+    lsq: Lsq,
+    rqueue: RQueue,
+    fu: FuPool,
+    hierarchy: MemHierarchy,
+    stats: ReeseStats,
+    output: Vec<i64>,
+    exit_code: Option<u64>,
+    last_commit_cycle: u64,
+    faults: HashMap<Seq, Vec<InjectedFault>>,
+    inject_cycles: HashMap<Seq, u64>,
+    detections: Vec<DetectionEvent>,
+    retry_seq: Option<Seq>,
+    permanent: Option<(Seq, u64)>,
+    /// Next sequence number to migrate into the R-stream Queue.
+    next_migrate_seq: Seq,
+    duration_fault: Option<DurationFault>,
+    duration_report: DurationReport,
+    duration_p_hits: HashSet<Seq>,
+}
+
+impl<'c> ReeseMachine<'c> {
+    fn new(cfg: &'c ReeseConfig, program: &Program, faults: &[InjectedFault]) -> ReeseMachine<'c> {
+        let mut map: HashMap<Seq, Vec<InjectedFault>> = HashMap::new();
+        for f in faults {
+            map.entry(f.seq).or_default().push(*f);
+        }
+        ReeseMachine {
+            cfg,
+            cycle: 0,
+            fetch: FetchUnit::new(program, cfg.pipeline.predictor.clone()),
+            fetchq: VecDeque::with_capacity(cfg.pipeline.fetch_queue_size),
+            ruu: Ruu::new(cfg.pipeline.ruu_size),
+            lsq: Lsq::new(cfg.pipeline.lsq_size),
+            rqueue: RQueue::new(cfg.rqueue_size),
+            fu: FuPool::new(cfg.pipeline.fu),
+            hierarchy: MemHierarchy::new(cfg.pipeline.hierarchy.clone()),
+            stats: ReeseStats::new(cfg.rqueue_size),
+            output: Vec::new(),
+            exit_code: None,
+            last_commit_cycle: 0,
+            faults: map,
+            inject_cycles: HashMap::new(),
+            detections: Vec::new(),
+            retry_seq: None,
+            permanent: None,
+            next_migrate_seq: 0,
+            duration_fault: None,
+            duration_report: DurationReport::default(),
+            duration_p_hits: HashSet::new(),
+        }
+    }
+
+    fn run(&mut self, max_instructions: u64) -> Result<ReeseResult, ReeseError> {
+        let stop = loop {
+            self.cycle += 1;
+
+            self.commit(max_instructions);
+            if let Some((seq, pc)) = self.permanent {
+                return Err(ReeseError::PermanentFault { seq, pc });
+            }
+            if self.exit_code.is_some() {
+                break SimStop::Halted;
+            }
+            if self.stats.pipeline.committed >= max_instructions {
+                break SimStop::InstructionLimit;
+            }
+            self.migrate();
+            self.writeback();
+            self.issue();
+            self.dispatch();
+            self.do_fetch();
+            self.stats.rqueue_occupancy.record(self.rqueue.len() as u64);
+
+            if self.cfg.pipeline.max_cycles > 0 && self.cycle >= self.cfg.pipeline.max_cycles {
+                break SimStop::CycleLimit;
+            }
+            if self.machine_drained() {
+                if let Some(e) = self.fetch.error() {
+                    return Err(ReeseError::Sim(SimError::Emulation(e.clone())));
+                }
+                break SimStop::InstructionLimit;
+            }
+            if self.cycle - self.last_commit_cycle > DEADLOCK_HORIZON {
+                return Err(ReeseError::Sim(SimError::Deadlock { cycle: self.cycle }));
+            }
+        };
+        self.finalise();
+        Ok(ReeseResult {
+            stop,
+            stats: self.stats.clone(),
+            output: std::mem::take(&mut self.output),
+            exit_code: self.exit_code,
+            state_digest: self.fetch.state_digest(),
+            detections: std::mem::take(&mut self.detections),
+        })
+    }
+
+    fn machine_drained(&self) -> bool {
+        self.fetch.exhausted()
+            && self.fetchq.is_empty()
+            && self.ruu.is_empty()
+            && self.rqueue.is_empty()
+    }
+
+    /// Commit from the R-stream Queue head: compare P and R results,
+    /// then retire (paper Figure 1: comparison sits between writeback
+    /// and commit).
+    fn commit(&mut self, max_instructions: u64) {
+        for _ in 0..self.cfg.pipeline.width {
+            if self.stats.pipeline.committed >= max_instructions {
+                return;
+            }
+            let Some(head) = self.rqueue.head() else { return };
+            if !head.commit_ready() {
+                return;
+            }
+            if !head.results_match() {
+                self.detect_and_flush();
+                return;
+            }
+            let e = self.rqueue.pop_head().expect("checked head");
+            if !self.cfg.early_removal {
+                // The RUU entry was held until this comparison: retire
+                // it now.
+                debug_assert_eq!(self.ruu.head().map(|h| h.seq), Some(e.seq));
+                let p = self.ruu.pop_head();
+                self.lsq.remove(p.seq);
+            }
+            if !e.skip_r {
+                self.stats.comparisons += 1;
+                self.stats
+                    .pr_separation
+                    .record(e.r_complete_cycle.saturating_sub(e.p_complete_cycle));
+            } else {
+                self.stats.r_skipped += 1;
+            }
+            self.fetch.on_commit(1);
+            self.stats.pipeline.committed += 1;
+            self.last_commit_cycle = self.cycle;
+            if self.retry_seq == Some(e.seq) {
+                self.retry_seq = None;
+            }
+            if let Some(v) = e.info.printed {
+                self.output.push(v);
+            }
+            if e.info.halted {
+                self.exit_code = Some(e.info.result);
+                return;
+            }
+        }
+    }
+
+    /// A comparison failed at the queue head: record the detection and
+    /// flush the machine back to the faulting instruction.
+    fn detect_and_flush(&mut self) {
+        let head = *self.rqueue.head().expect("mismatch needs a head");
+        self.stats.detections += 1;
+        self.stats.flushes += 1;
+        self.detections.push(DetectionEvent {
+            seq: head.seq,
+            pc: head.info.pc,
+            detect_cycle: self.cycle,
+            inject_cycle: self.inject_cycles.get(&head.seq).copied().unwrap_or(self.cycle),
+        });
+        if self.retry_seq == Some(head.seq) {
+            // Second consecutive failure of the same instruction: the
+            // paper stops the pipeline and notifies the user.
+            self.permanent = Some((head.seq, head.info.pc));
+            return;
+        }
+        self.retry_seq = Some(head.seq);
+        self.next_migrate_seq = head.seq;
+        self.rqueue.flush_all();
+        self.ruu.flush_all();
+        self.lsq.flush_all();
+        self.fetchq.clear();
+        self.fu.flush();
+        self.fetch.flush_to(head.seq, self.cycle + 1 + u64::from(self.cfg.flush_penalty));
+    }
+
+    /// Migrate completed instructions from the RUU head into the
+    /// R-stream Queue ("the R-stream Queue can be allowed to remove
+    /// instructions from the pipeline before the instructions are ready
+    /// to commit", §4.3).
+    ///
+    /// With `early_removal` the RUU entry is popped as it migrates,
+    /// freeing window space; otherwise the RUU entry is held until the
+    /// comparison commits (the conservative implementation), and only a
+    /// copy enters the queue.
+    fn migrate(&mut self) {
+        for _ in 0..self.cfg.pipeline.width {
+            let Some(next) = self.ruu.get(self.next_migrate_seq) else { return };
+            if !next.completed {
+                return;
+            }
+            if self.rqueue.is_full() {
+                self.stats.rqueue_full_stalls += 1;
+                return;
+            }
+            let (seq, info, p_done) = (next.seq, next.info, next.complete_cycle);
+            if self.cfg.early_removal {
+                debug_assert_eq!(self.ruu.head().map(|h| h.seq), Some(seq));
+                let e = self.ruu.pop_head();
+                self.lsq.remove(e.seq);
+            }
+            self.next_migrate_seq = seq + 1;
+            let skip_r = seq % self.cfg.duplication_period != 0 && !info.halted;
+            let mut entry = RQueueEntry::new(seq, info, self.cycle, skip_r).with_p_complete(p_done);
+            self.apply_faults(&mut entry, Stream::Primary);
+            self.apply_duration_fault(&mut entry, Stream::Primary);
+            self.rqueue.push(entry);
+        }
+    }
+
+    fn apply_faults(&mut self, entry: &mut RQueueEntry, stream: Stream) {
+        let Some(list) = self.faults.get_mut(&entry.seq) else { return };
+        let cycle = self.cycle;
+        let mut fired = false;
+        list.retain(|f| {
+            if f.stream != stream {
+                return true;
+            }
+            match stream {
+                Stream::Primary => entry.p_value ^= f.mask(),
+                Stream::Redundant => entry.r_value ^= f.mask(),
+            }
+            fired = true;
+            f.sticky // transient faults are consumed; sticky ones persist
+        });
+        if fired {
+            self.inject_cycles.entry(entry.seq).or_insert(cycle);
+        }
+        if list.is_empty() {
+            self.faults.remove(&entry.seq);
+        }
+    }
+
+    /// Applies an active [`DurationFault`] to one stream's result if
+    /// the corresponding execution completed inside the fault window on
+    /// the affected functional-unit class.
+    fn apply_duration_fault(&mut self, entry: &mut RQueueEntry, stream: Stream) {
+        let Some(fault) = self.duration_fault else { return };
+        if entry.info.instr.op.fu_class() != fault.class {
+            return;
+        }
+        match stream {
+            Stream::Primary if fault.active_at(entry.p_complete_cycle) => {
+                entry.p_value ^= fault.mask();
+                self.duration_report.p_corrupted += 1;
+                self.duration_p_hits.insert(entry.seq);
+                self.inject_cycles.entry(entry.seq).or_insert(self.cycle);
+            }
+            Stream::Redundant if fault.active_at(entry.r_complete_cycle) => {
+                entry.r_value ^= fault.mask();
+                self.duration_report.r_corrupted += 1;
+                if self.duration_p_hits.contains(&entry.seq) {
+                    // Both copies hit inside the window: identical flips,
+                    // the comparison will pass — a silent escape (§2).
+                    self.duration_report.silent_both += 1;
+                }
+                self.inject_cycles.entry(entry.seq).or_insert(self.cycle);
+            }
+            _ => {}
+        }
+    }
+
+    /// Writeback for both streams: P completions in the RUU (waking
+    /// dependants, resolving control) and R completions in the queue.
+    fn writeback(&mut self) {
+        // Primary stream, identical to the baseline.
+        let done: Vec<Seq> = self
+            .ruu
+            .iter()
+            .filter(|e| e.issued && !e.completed && e.complete_cycle <= self.cycle)
+            .map(|e| e.seq)
+            .collect();
+        for seq in done {
+            self.ruu.complete(seq);
+            let e = self.ruu.get(seq).expect("just completed").clone();
+            if e.is_mem() {
+                self.lsq.mark_executed(seq);
+            }
+            if e.is_control() {
+                let fetched = Fetched { seq: e.seq, info: e.info, pred: e.pred };
+                self.fetch.resolve_control(
+                    &fetched,
+                    self.cycle,
+                    self.cfg.pipeline.mispredict_penalty,
+                );
+            }
+        }
+        // Redundant stream completions.
+        let cycle = self.cycle;
+        let mut completed_seqs = Vec::new();
+        for entry in self.rqueue.iter_mut() {
+            if entry.r_issued && !entry.r_completed && entry.r_complete_cycle <= cycle {
+                entry.r_completed = true;
+                completed_seqs.push(entry.seq);
+            }
+        }
+        for seq in completed_seqs {
+            let mut entry = *self.rqueue.get_mut(seq).expect("just completed");
+            self.apply_faults(&mut entry, Stream::Redundant);
+            self.apply_duration_fault(&mut entry, Stream::Redundant);
+            *self.rqueue.get_mut(seq).expect("just completed") = entry;
+        }
+    }
+
+    /// Issue both streams under a shared width budget. Primary
+    /// instructions have priority ("we want to always choose the P
+    /// stream instruction, whenever possible", §4.3) until the queue
+    /// crosses its high-water mark, at which point the redundant stream
+    /// goes first to guarantee forward progress.
+    fn issue(&mut self) {
+        let mut budget = self.cfg.pipeline.width;
+        if self.rqueue.len() >= self.cfg.high_water {
+            self.stats.r_priority_cycles += 1;
+            self.issue_redundant(&mut budget);
+            self.issue_primary(&mut budget);
+        } else {
+            self.issue_primary(&mut budget);
+            self.issue_redundant(&mut budget);
+        }
+    }
+
+    fn issue_primary(&mut self, budget: &mut usize) {
+        let ready: Vec<Seq> = self.ruu.ready_seqs().collect();
+        for seq in ready {
+            if *budget == 0 {
+                break;
+            }
+            let e = self.ruu.get(seq).expect("ready seq in window");
+            let op = e.info.instr.op;
+            let latency: u64 = if let Some(mem) = e.info.mem {
+                if mem.is_store {
+                    if !self.fu.try_issue_mem(op, self.cycle) {
+                        continue;
+                    }
+                    1 + u64::from(self.hierarchy.access_data(mem.addr, true))
+                } else {
+                    match self.lsq.plan_load(seq, mem.addr, mem.width.bytes()) {
+                        LoadPlan::Wait { .. } => continue,
+                        LoadPlan::Forward { .. } => {
+                            self.stats.pipeline.loads_forwarded += 1;
+                            2
+                        }
+                        LoadPlan::CacheAccess => {
+                            if !self.fu.try_issue_mem(op, self.cycle) {
+                                continue;
+                            }
+                            1 + u64::from(self.hierarchy.access_data(mem.addr, false))
+                        }
+                    }
+                }
+            } else {
+                if !self.fu.try_issue(op, self.cycle) {
+                    continue;
+                }
+                u64::from(op.latency())
+            };
+            let e = self.ruu.get_mut(seq).expect("ready seq in window");
+            e.issued = true;
+            e.issue_cycle = self.cycle;
+            e.complete_cycle = self.cycle + latency;
+            *budget -= 1;
+            self.stats.pipeline.issued += 1;
+        }
+    }
+
+    /// Issue redundant executions from the front of the R-stream Queue.
+    ///
+    /// R instructions carry their operands and results, so they are
+    /// always data-ready; the only constraints are functional units and
+    /// the FIFO lookahead. R loads are guaranteed L1 hits — the primary
+    /// access warmed the cache (§4.4) — so they charge the hit latency
+    /// and a memory port but never walk the hierarchy.
+    fn issue_redundant(&mut self, budget: &mut usize) {
+        let cycle = self.cycle;
+        let l1d_hit = u64::from(self.hierarchy.l1d_hit_latency());
+        let lookahead = self.cfg.r_issue_lookahead;
+        let mut considered = 0usize;
+        let mut issued_now = 0u64;
+        for entry in self.rqueue.iter_mut() {
+            if *budget == 0 || considered == lookahead {
+                break;
+            }
+            if entry.r_issued || entry.skip_r {
+                continue;
+            }
+            considered += 1;
+            let op = entry.info.instr.op;
+            // R memory verifications recompute the effective address on
+            // an integer ALU and re-access the cache (a guaranteed L1
+            // hit, §4.4) through a port, just like the primary access.
+            let issued = if entry.info.mem.is_some() {
+                self.fu.try_issue_mem(op, cycle)
+            } else {
+                self.fu.try_issue(op, cycle)
+            };
+            if !issued {
+                // A blocked entry does not dam the whole queue: the
+                // scheduler may slip past it within the small lookahead
+                // window (limited out-of-order slip, like a real issue
+                // window over the queue's head entries).
+                continue;
+            }
+            let latency: u64 =
+                if entry.info.mem.is_some() { 1 + l1d_hit } else { u64::from(op.latency()) };
+            entry.r_issued = true;
+            entry.r_complete_cycle = cycle + latency;
+            *budget -= 1;
+            issued_now += 1;
+        }
+        self.stats.r_issued += issued_now;
+    }
+
+    fn dispatch(&mut self) {
+        if self.fetchq.is_empty() {
+            self.stats.pipeline.fetch_queue_empty_cycles += 1;
+            return;
+        }
+        for _ in 0..self.cfg.pipeline.width {
+            let Some(front) = self.fetchq.front() else { break };
+            if self.ruu.is_full() {
+                self.stats.pipeline.dispatch_stall_ruu_full += 1;
+                break;
+            }
+            if front.info.mem.is_some() && self.lsq.is_full() {
+                self.stats.pipeline.dispatch_stall_lsq_full += 1;
+                break;
+            }
+            let f = self.fetchq.pop_front().expect("checked front");
+            self.ruu.dispatch(f.seq, f.info, f.pred, self.cycle);
+            if let Some(mem) = f.info.mem {
+                self.lsq.insert(f.seq, mem.addr, mem.width.bytes(), mem.is_store);
+            }
+        }
+    }
+
+    fn do_fetch(&mut self) {
+        let space = self.cfg.pipeline.fetch_queue_size - self.fetchq.len();
+        if space == 0 {
+            return;
+        }
+        let batch =
+            self.fetch.fetch_cycle(self.cycle, self.cfg.pipeline.width, space, &mut self.hierarchy);
+        self.fetchq.extend(batch);
+    }
+
+    fn finalise(&mut self) {
+        self.stats.pipeline.cycles = self.cycle;
+        self.stats.pipeline.fetched = self.fetch.total_fetched();
+        self.stats.pipeline.branch = self.fetch.branch_stats();
+        self.stats.pipeline.hierarchy = Some(self.hierarchy.stats());
+        self.stats.pipeline.fu_utilisation = FuClass::ALL
+            .iter()
+            .map(|&c| (c, self.fu.utilisation(c, self.cycle)))
+            .collect();
+        self.stats.rqueue_peak = self.rqueue.peak_occupancy();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reese_isa::assemble;
+    use reese_pipeline::{PipelineConfig, PipelineSim};
+
+    const LOOP: &str = "  li t0, 100\nloop: addi t0, t0, -1\n  bnez t0, loop\n  halt\n";
+
+    fn run_reese(src: &str) -> ReeseResult {
+        let prog = assemble(src).unwrap();
+        ReeseSim::new(ReeseConfig::starting()).run(&prog).unwrap()
+    }
+
+    #[test]
+    fn commits_same_instructions_as_baseline() {
+        let prog = assemble(LOOP).unwrap();
+        let base = PipelineSim::new(PipelineConfig::starting()).run(&prog).unwrap();
+        let reese = ReeseSim::new(ReeseConfig::starting()).run(&prog).unwrap();
+        assert_eq!(reese.committed_instructions(), base.committed_instructions());
+        assert_eq!(reese.state_digest, base.state_digest);
+        assert_eq!(reese.output, base.output);
+    }
+
+    #[test]
+    fn every_instruction_is_compared() {
+        let r = run_reese(LOOP);
+        assert_eq!(r.stats.comparisons, r.committed_instructions());
+        assert_eq!(r.stats.r_issued, r.committed_instructions());
+        assert_eq!(r.stats.r_skipped, 0);
+    }
+
+    #[test]
+    fn reese_is_slower_than_baseline_without_spares() {
+        let prog = assemble(LOOP).unwrap();
+        let base = PipelineSim::new(PipelineConfig::starting()).run(&prog).unwrap();
+        let reese = ReeseSim::new(ReeseConfig::starting()).run(&prog).unwrap();
+        assert!(
+            reese.cycles() >= base.cycles(),
+            "doubling executed work cannot be free: reese {} vs base {}",
+            reese.cycles(),
+            base.cycles()
+        );
+    }
+
+    #[test]
+    fn detects_primary_fault_and_recovers() {
+        let prog = assemble(LOOP).unwrap();
+        let faults = [InjectedFault::primary(10, 5)];
+        let r = ReeseSim::new(ReeseConfig::starting())
+            .run_with_faults(&prog, &faults, u64::MAX)
+            .unwrap();
+        assert_eq!(r.stats.detections, 1);
+        assert_eq!(r.stats.flushes, 1);
+        assert_eq!(r.detections.len(), 1);
+        assert_eq!(r.detections[0].seq, 10);
+        // Architectural results are unaffected by the transient fault.
+        let clean = run_reese(LOOP);
+        assert_eq!(r.committed_instructions(), clean.committed_instructions());
+        assert_eq!(r.state_digest, clean.state_digest);
+        assert!(r.cycles() > clean.cycles(), "recovery costs cycles");
+    }
+
+    #[test]
+    fn detects_redundant_stream_fault() {
+        let prog = assemble(LOOP).unwrap();
+        let faults = [InjectedFault::redundant(20, 63)];
+        let r = ReeseSim::new(ReeseConfig::starting())
+            .run_with_faults(&prog, &faults, u64::MAX)
+            .unwrap();
+        assert_eq!(r.stats.detections, 1);
+        assert_eq!(r.detections[0].seq, 20);
+        assert_eq!(r.exit_code, Some(0));
+    }
+
+    #[test]
+    fn multiple_faults_all_detected() {
+        let prog = assemble(LOOP).unwrap();
+        let faults = [
+            InjectedFault::primary(5, 1),
+            InjectedFault::primary(50, 2),
+            InjectedFault::redundant(100, 3),
+        ];
+        let r = ReeseSim::new(ReeseConfig::starting())
+            .run_with_faults(&prog, &faults, u64::MAX)
+            .unwrap();
+        assert_eq!(r.stats.detections, 3);
+    }
+
+    #[test]
+    fn permanent_fault_reported() {
+        let prog = assemble(LOOP).unwrap();
+        let faults = [InjectedFault::permanent(10, 4)];
+        let err = ReeseSim::new(ReeseConfig::starting())
+            .run_with_faults(&prog, &faults, u64::MAX)
+            .unwrap_err();
+        assert!(matches!(err, ReeseError::PermanentFault { seq: 10, .. }));
+    }
+
+    #[test]
+    fn detection_latency_positive() {
+        let prog = assemble(LOOP).unwrap();
+        let faults = [InjectedFault::primary(10, 5)];
+        let r = ReeseSim::new(ReeseConfig::starting())
+            .run_with_faults(&prog, &faults, u64::MAX)
+            .unwrap();
+        assert!(r.detections[0].latency() >= 1, "compare happens after R execution");
+    }
+
+    #[test]
+    fn partial_duplication_skips_and_speeds_up() {
+        let prog = assemble(LOOP).unwrap();
+        let full = ReeseSim::new(ReeseConfig::starting()).run(&prog).unwrap();
+        let half =
+            ReeseSim::new(ReeseConfig::starting().with_duplication_period(2)).run(&prog).unwrap();
+        assert!(half.stats.r_skipped > 0);
+        assert_eq!(
+            half.stats.r_skipped + half.stats.comparisons,
+            half.committed_instructions()
+        );
+        assert!(half.cycles() <= full.cycles(), "re-executing less cannot be slower");
+    }
+
+    #[test]
+    fn partial_duplication_misses_faults_on_skipped_instructions() {
+        let prog = assemble(LOOP).unwrap();
+        // Period 2 re-executes even seqs; corrupt an odd one.
+        let faults = [InjectedFault::primary(11, 5)];
+        let r = ReeseSim::new(ReeseConfig::starting().with_duplication_period(2))
+            .run_with_faults(&prog, &faults, u64::MAX)
+            .unwrap();
+        assert_eq!(r.stats.detections, 0, "skipped instructions are unprotected");
+    }
+
+    #[test]
+    fn spare_alus_reduce_cycles() {
+        // An ALU-saturated loop: spares must help REESE.
+        let src = "  li s0, 300\n\
+                   loop: addi t0, t0, 1\n  addi t1, t1, 1\n  addi t2, t2, 1\n  addi t3, t3, 1\n\
+                   \n  addi s0, s0, -1\n  bnez s0, loop\n  halt\n";
+        let prog = assemble(src).unwrap();
+        let plain = ReeseSim::new(ReeseConfig::starting()).run(&prog).unwrap();
+        let spared =
+            ReeseSim::new(ReeseConfig::starting().with_spare_int_alus(2)).run(&prog).unwrap();
+        assert!(
+            spared.cycles() < plain.cycles(),
+            "+2 ALUs must speed up an ALU-bound REESE run ({} vs {})",
+            spared.cycles(),
+            plain.cycles()
+        );
+    }
+
+    #[test]
+    fn rqueue_never_exceeds_capacity() {
+        let r = run_reese(LOOP);
+        assert!(r.stats.rqueue_peak <= 32);
+        assert!(r.stats.rqueue_occupancy.samples() > 0);
+    }
+
+    #[test]
+    fn memory_program_matches_baseline() {
+        let src = "  la a0, arr\n  li t0, 0\n  li t1, 16\n\
+             loop: slli t2, t0, 3\n  add t3, a0, t2\n  sd t0, 0(t3)\n  ld t4, 0(t3)\n  add t5, t5, t4\n  addi t0, t0, 1\n  bne t0, t1, loop\n\
+             \n  print t5\n  halt\n  .data\narr: .space 128\n";
+        let prog = assemble(src).unwrap();
+        let base = PipelineSim::new(PipelineConfig::starting()).run(&prog).unwrap();
+        let reese = ReeseSim::new(ReeseConfig::starting()).run(&prog).unwrap();
+        assert_eq!(reese.output, base.output);
+        assert_eq!(reese.output, vec![120]);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = run_reese(LOOP);
+        let b = run_reese(LOOP);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn instruction_limit_respected() {
+        let prog = assemble("loop: addi t0, t0, 1\n  j loop\n  halt\n").unwrap();
+        let r = ReeseSim::new(ReeseConfig::starting()).run_limit(&prog, 100).unwrap();
+        assert_eq!(r.stop, SimStop::InstructionLimit);
+        assert!(r.committed_instructions() >= 100);
+    }
+
+    #[test]
+    fn fault_on_halt_detected() {
+        let prog = assemble("  li a0, 7\n  halt\n").unwrap();
+        // halt is seq 1; corrupt its (exit-code) result latch.
+        let faults = [InjectedFault::primary(1, 0)];
+        let r = ReeseSim::new(ReeseConfig::starting())
+            .run_with_faults(&prog, &faults, u64::MAX)
+            .unwrap();
+        assert_eq!(r.stats.detections, 1);
+        assert_eq!(r.exit_code, Some(7), "recovered exit code is clean");
+    }
+}

@@ -1,0 +1,484 @@
+//! Single-instruction execution semantics.
+//!
+//! [`step`] is the single source of truth for what every opcode *does*.
+//! The functional emulator calls it directly; the timing simulators call
+//! it at dispatch (SimpleScalar-style execution-driven simulation) and
+//! record the returned [`StepInfo`], which carries exactly the
+//! information the REESE R-stream Queue stores: the operand values and
+//! the result.
+
+use crate::ArchState;
+use reese_isa::{Instr, MemWidth, Opcode};
+use reese_mem::Memory;
+
+/// A memory access performed by one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Effective address.
+    pub addr: u64,
+    /// Access width.
+    pub width: MemWidth,
+    /// Whether this is a store.
+    pub is_store: bool,
+    /// For stores, the value written (truncated to `width`); for loads,
+    /// the value read (extended to 64 bits).
+    pub value: u64,
+}
+
+/// Everything one dynamic instruction did.
+///
+/// This record is what flows down the simulated pipelines. In REESE
+/// terms it is a complete R-stream Queue entry: "an entry … keeps the
+/// values of the instruction operands and the result of the operation"
+/// (paper §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepInfo {
+    /// PC of this instruction.
+    pub pc: u64,
+    /// The static instruction.
+    pub instr: Instr,
+    /// Value of the first operand actually read (0 if unused).
+    pub src1: u64,
+    /// Value of the second operand actually read (0 if unused).
+    pub src2: u64,
+    /// Value written to `rd` (0 if the instruction writes no register).
+    pub result: u64,
+    /// Whether `rd` was written (excludes `x0` sinks).
+    pub wrote_rd: bool,
+    /// Memory access, if any.
+    pub mem: Option<MemAccess>,
+    /// The next PC (branch targets already resolved).
+    pub next_pc: u64,
+    /// For conditional branches: whether the branch was taken.
+    pub taken: bool,
+    /// Whether this instruction halted the machine.
+    pub halted: bool,
+    /// Value emitted by a `print` instruction.
+    pub printed: Option<i64>,
+}
+
+fn sdiv(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        -1
+    } else {
+        a.wrapping_div(b)
+    }
+}
+
+fn srem(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a
+    } else {
+        a.wrapping_rem(b)
+    }
+}
+
+fn udiv(a: u64, b: u64) -> u64 {
+    a.checked_div(b).unwrap_or(u64::MAX)
+}
+
+fn urem(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        a % b
+    }
+}
+
+fn f2i_saturating(f: f64) -> i64 {
+    if f.is_nan() {
+        0
+    } else if f >= i64::MAX as f64 {
+        i64::MAX
+    } else if f <= i64::MIN as f64 {
+        i64::MIN
+    } else {
+        f as i64
+    }
+}
+
+/// Executes one instruction, updating `state` and `mem`, and returns the
+/// full [`StepInfo`] record.
+///
+/// The PC in `state` is advanced to `next_pc`.
+pub fn step(state: &mut ArchState, instr: &Instr, mem: &mut Memory) -> StepInfo {
+    let pc = state.pc;
+    let fallthrough = pc.wrapping_add(Instr::SIZE);
+    // `lih` reads its own destination; everything else reads rs1/rs2 as
+    // declared by the opcode tables.
+    let src1 = if instr.op.reads_rs1() { state.read(instr.rs1) } else { 0 };
+    let src2 = if instr.op.reads_rs2() { state.read(instr.rs2) } else { 0 };
+    let imm = instr.imm;
+
+    let mut info = StepInfo {
+        pc,
+        instr: *instr,
+        src1,
+        src2,
+        result: 0,
+        wrote_rd: false,
+        mem: None,
+        next_pc: fallthrough,
+        taken: false,
+        halted: false,
+        printed: None,
+    };
+
+    let write_rd = |state: &mut ArchState, info: &mut StepInfo, v: u64| {
+        state.write(instr.rd, v);
+        info.result = v;
+        info.wrote_rd = !instr.rd.is_zero();
+    };
+
+    use Opcode::*;
+    match instr.op {
+        Add => write_rd(state, &mut info, src1.wrapping_add(src2)),
+        Sub => write_rd(state, &mut info, src1.wrapping_sub(src2)),
+        Mul => write_rd(state, &mut info, src1.wrapping_mul(src2)),
+        Div => write_rd(state, &mut info, sdiv(src1 as i64, src2 as i64) as u64),
+        Rem => write_rd(state, &mut info, srem(src1 as i64, src2 as i64) as u64),
+        Divu => write_rd(state, &mut info, udiv(src1, src2)),
+        Remu => write_rd(state, &mut info, urem(src1, src2)),
+        And => write_rd(state, &mut info, src1 & src2),
+        Or => write_rd(state, &mut info, src1 | src2),
+        Xor => write_rd(state, &mut info, src1 ^ src2),
+        Sll => write_rd(state, &mut info, src1 << (src2 & 63)),
+        Srl => write_rd(state, &mut info, src1 >> (src2 & 63)),
+        Sra => write_rd(state, &mut info, ((src1 as i64) >> (src2 & 63)) as u64),
+        Slt => write_rd(state, &mut info, u64::from((src1 as i64) < (src2 as i64))),
+        Sltu => write_rd(state, &mut info, u64::from(src1 < src2)),
+
+        Addi => write_rd(state, &mut info, src1.wrapping_add(imm as u64)),
+        Andi => write_rd(state, &mut info, src1 & imm as u64),
+        Ori => write_rd(state, &mut info, src1 | imm as u64),
+        Xori => write_rd(state, &mut info, src1 ^ imm as u64),
+        Slli => write_rd(state, &mut info, src1 << (imm as u64 & 63)),
+        Srli => write_rd(state, &mut info, src1 >> (imm as u64 & 63)),
+        Srai => write_rd(state, &mut info, ((src1 as i64) >> (imm as u64 & 63)) as u64),
+        Slti => write_rd(state, &mut info, u64::from((src1 as i64) < imm)),
+        Sltiu => write_rd(state, &mut info, u64::from(src1 < imm as u64)),
+        Li => write_rd(state, &mut info, imm as u64),
+        Lih => {
+            let v = ((imm as u32 as u64) << 32) | (src1 & 0xFFFF_FFFF);
+            write_rd(state, &mut info, v);
+        }
+
+        Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld | Fld => {
+            let width = instr.op.mem_width().expect("loads have widths");
+            let addr = src1.wrapping_add(imm as u64);
+            let raw = mem.read_uint(addr, width.bytes());
+            let value = match instr.op {
+                Lb => raw as u8 as i8 as i64 as u64,
+                Lh => raw as u16 as i16 as i64 as u64,
+                Lw => raw as u32 as i32 as i64 as u64,
+                _ => raw,
+            };
+            info.mem = Some(MemAccess { addr, width, is_store: false, value });
+            write_rd(state, &mut info, value);
+        }
+
+        Sb | Sh | Sw | Sd | Fsd => {
+            let width = instr.op.mem_width().expect("stores have widths");
+            let addr = src1.wrapping_add(imm as u64);
+            mem.write_uint(addr, width.bytes(), src2);
+            let kept = if width.bytes() == 8 { src2 } else { src2 & ((1 << (width.bytes() * 8)) - 1) };
+            info.mem = Some(MemAccess { addr, width, is_store: true, value: kept });
+            // A store's "result" for P/R comparison purposes is the
+            // value it wrote; the effective address is in `mem`.
+            info.result = kept;
+        }
+
+        Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+            let taken = match instr.op {
+                Beq => src1 == src2,
+                Bne => src1 != src2,
+                Blt => (src1 as i64) < (src2 as i64),
+                Bge => (src1 as i64) >= (src2 as i64),
+                Bltu => src1 < src2,
+                _ => src1 >= src2,
+            };
+            info.taken = taken;
+            if taken {
+                info.next_pc = pc.wrapping_add(imm as u64);
+            }
+            // The branch's comparison outcome is its "result".
+            info.result = u64::from(taken);
+        }
+
+        Jal => {
+            write_rd(state, &mut info, fallthrough);
+            info.next_pc = pc.wrapping_add(imm as u64);
+            info.taken = true;
+        }
+        Jalr => {
+            let target = src1.wrapping_add(imm as u64);
+            write_rd(state, &mut info, fallthrough);
+            info.next_pc = target;
+            info.taken = true;
+        }
+
+        Fadd => {
+            let v = f64::from_bits(src1) + f64::from_bits(src2);
+            write_rd(state, &mut info, v.to_bits());
+        }
+        Fsub => {
+            let v = f64::from_bits(src1) - f64::from_bits(src2);
+            write_rd(state, &mut info, v.to_bits());
+        }
+        Fmul => {
+            let v = f64::from_bits(src1) * f64::from_bits(src2);
+            write_rd(state, &mut info, v.to_bits());
+        }
+        Fdiv => {
+            let v = f64::from_bits(src1) / f64::from_bits(src2);
+            write_rd(state, &mut info, v.to_bits());
+        }
+        Fsqrt => write_rd(state, &mut info, f64::from_bits(src1).sqrt().to_bits()),
+        Fmin => {
+            let v = f64::from_bits(src1).min(f64::from_bits(src2));
+            write_rd(state, &mut info, v.to_bits());
+        }
+        Fmax => {
+            let v = f64::from_bits(src1).max(f64::from_bits(src2));
+            write_rd(state, &mut info, v.to_bits());
+        }
+        Feq => write_rd(state, &mut info, u64::from(f64::from_bits(src1) == f64::from_bits(src2))),
+        Flt => write_rd(state, &mut info, u64::from(f64::from_bits(src1) < f64::from_bits(src2))),
+        Fle => write_rd(state, &mut info, u64::from(f64::from_bits(src1) <= f64::from_bits(src2))),
+        Fcvtif => write_rd(state, &mut info, ((src1 as i64) as f64).to_bits()),
+        Fcvtfi => write_rd(state, &mut info, f2i_saturating(f64::from_bits(src1)) as u64),
+        Fmvif => write_rd(state, &mut info, src1),
+        Fmvfi => write_rd(state, &mut info, src1),
+
+        Halt => {
+            info.halted = true;
+            info.next_pc = pc;
+            info.result = src1; // exit code
+        }
+        Print => {
+            info.printed = Some(src1 as i64);
+        }
+        Nop => {}
+    }
+
+    state.pc = info.next_pc;
+    info
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reese_isa::abi::*;
+
+    fn run_one(instr: Instr, setup: impl FnOnce(&mut ArchState, &mut Memory)) -> (StepInfo, ArchState, Memory) {
+        let mut s = ArchState::new(0x1000);
+        let mut m = Memory::new();
+        setup(&mut s, &mut m);
+        let info = step(&mut s, &instr, &mut m);
+        (info, s, m)
+    }
+
+    #[test]
+    fn add_and_overflow_wraps() {
+        let (info, s, _) = run_one(Instr::rrr(Opcode::Add, T0, T1, T2), |s, _| {
+            s.write(T1, u64::MAX);
+            s.write(T2, 2);
+        });
+        assert_eq!(s.read(T0), 1);
+        assert_eq!(info.result, 1);
+        assert!(info.wrote_rd);
+        assert_eq!(info.next_pc, 0x1008);
+    }
+
+    #[test]
+    fn division_conventions() {
+        let (i, ..) = run_one(Instr::rrr(Opcode::Div, T0, T1, T2), |s, _| {
+            s.write(T1, 7);
+            s.write(T2, 0);
+        });
+        assert_eq!(i.result as i64, -1);
+        let (i, ..) = run_one(Instr::rrr(Opcode::Divu, T0, T1, T2), |s, _| {
+            s.write(T1, 7);
+        });
+        assert_eq!(i.result, u64::MAX);
+        let (i, ..) = run_one(Instr::rrr(Opcode::Rem, T0, T1, T2), |s, _| {
+            s.write(T1, 7);
+        });
+        assert_eq!(i.result, 7);
+        // i64::MIN / -1 wraps rather than trapping.
+        let (i, ..) = run_one(Instr::rrr(Opcode::Div, T0, T1, T2), |s, _| {
+            s.write(T1, i64::MIN as u64);
+            s.write(T2, -1i64 as u64);
+        });
+        assert_eq!(i.result, i64::MIN as u64);
+    }
+
+    #[test]
+    fn shifts_mask_to_six_bits() {
+        let (i, ..) = run_one(Instr::rrr(Opcode::Sll, T0, T1, T2), |s, _| {
+            s.write(T1, 1);
+            s.write(T2, 65); // 65 & 63 == 1
+        });
+        assert_eq!(i.result, 2);
+        let (i, ..) = run_one(Instr::rri(Opcode::Srai, T0, T1, 4), |s, _| {
+            s.write(T1, (-32i64) as u64);
+        });
+        assert_eq!(i.result as i64, -2);
+    }
+
+    #[test]
+    fn li_and_lih_compose_64_bit_constants() {
+        let mut s = ArchState::new(0x1000);
+        let mut m = Memory::new();
+        let v: i64 = 0x1234_5678_9ABC_DEF0u64 as i64;
+        step(&mut s, &Instr::rri(Opcode::Li, T0, ZERO, v as u32 as i32 as i64), &mut m);
+        step(
+            &mut s,
+            &Instr { op: Opcode::Lih, rd: T0, rs1: T0, rs2: ZERO, imm: (v as u64 >> 32) as i64 },
+            &mut m,
+        );
+        assert_eq!(s.read(T0), v as u64);
+    }
+
+    #[test]
+    fn load_sign_extension() {
+        let (i, ..) = run_one(Instr::load(Opcode::Lb, T0, T1, 0), |s, m| {
+            s.write(T1, 0x2000);
+            m.write_u8(0x2000, 0x80);
+        });
+        assert_eq!(i.result as i64, -128);
+        let (i, ..) = run_one(Instr::load(Opcode::Lbu, T0, T1, 0), |s, m| {
+            s.write(T1, 0x2000);
+            m.write_u8(0x2000, 0x80);
+        });
+        assert_eq!(i.result, 0x80);
+        let (i, ..) = run_one(Instr::load(Opcode::Lw, T0, T1, 4), |s, m| {
+            s.write(T1, 0x2000);
+            m.write_u32(0x2004, 0xFFFF_FFFF);
+        });
+        assert_eq!(i.result as i64, -1);
+    }
+
+    #[test]
+    fn store_records_address_and_value() {
+        let (i, _, m) = run_one(Instr::store(Opcode::Sw, T2, T1, 8), |s, _| {
+            s.write(T1, 0x3000);
+            s.write(T2, 0xAABB_CCDD_EEFF_1122);
+        });
+        let acc = i.mem.unwrap();
+        assert!(acc.is_store);
+        assert_eq!(acc.addr, 0x3008);
+        assert_eq!(acc.value, 0xEEFF_1122);
+        assert_eq!(m.read_u32(0x3008), 0xEEFF_1122);
+        assert_eq!(m.read_u32(0x300C), 0, "narrow store must not spill");
+        assert!(!i.wrote_rd);
+    }
+
+    #[test]
+    fn branch_taken_and_not_taken() {
+        let (i, s, _) = run_one(Instr::branch(Opcode::Beq, T1, T2, 64), |s, _| {
+            s.write(T1, 5);
+            s.write(T2, 5);
+        });
+        assert!(i.taken);
+        assert_eq!(i.next_pc, 0x1040);
+        assert_eq!(s.pc, 0x1040);
+        assert_eq!(i.result, 1);
+
+        let (i, ..) = run_one(Instr::branch(Opcode::Blt, T1, T2, 64), |s, _| {
+            s.write(T1, 5);
+            s.write(T2, 5);
+        });
+        assert!(!i.taken);
+        assert_eq!(i.next_pc, 0x1008);
+    }
+
+    #[test]
+    fn signed_vs_unsigned_compare() {
+        let (i, ..) = run_one(Instr::branch(Opcode::Blt, T1, T2, 8), |s, _| {
+            s.write(T1, (-1i64) as u64);
+            s.write(T2, 1);
+        });
+        assert!(i.taken, "-1 < 1 signed");
+        let (i, ..) = run_one(Instr::branch(Opcode::Bltu, T1, T2, 8), |s, _| {
+            s.write(T1, (-1i64) as u64);
+            s.write(T2, 1);
+        });
+        assert!(!i.taken, "u64::MAX > 1 unsigned");
+    }
+
+    #[test]
+    fn jal_links_and_jumps() {
+        let (i, s, _) = run_one(Instr::rri(Opcode::Jal, RA, ZERO, -16).canonical(), |_, _| {});
+        assert_eq!(s.read(RA), 0x1008);
+        assert_eq!(i.next_pc, 0x1000 - 16);
+        assert!(i.taken);
+    }
+
+    #[test]
+    fn jalr_computes_register_target() {
+        let (i, s, _) = run_one(Instr::rri(Opcode::Jalr, ZERO, RA, 8), |s, _| {
+            s.write(RA, 0x5000);
+        });
+        assert_eq!(i.next_pc, 0x5008);
+        assert_eq!(s.read(ZERO), 0);
+        assert!(!i.wrote_rd, "x0 link is discarded");
+    }
+
+    #[test]
+    fn fp_arithmetic() {
+        let (i, ..) = run_one(Instr::rrr(Opcode::Fmul, F0, F1, F2), |s, _| {
+            s.write_f64(F1, 1.5);
+            s.write_f64(F2, 4.0);
+        });
+        assert_eq!(f64::from_bits(i.result), 6.0);
+        let (i, ..) = run_one(Instr::rrr(Opcode::Fle, T0, F1, F2).canonical(), |s, _| {
+            s.write_f64(F1, 2.0);
+            s.write_f64(F2, 2.0);
+        });
+        assert_eq!(i.result, 1);
+    }
+
+    #[test]
+    fn fp_conversions_saturate() {
+        let (i, ..) = run_one(Instr::rrr(Opcode::Fcvtfi, T0, F1, ZERO).canonical(), |s, _| {
+            s.write_f64(F1, 1e300);
+        });
+        assert_eq!(i.result as i64, i64::MAX);
+        let (i, ..) = run_one(Instr::rrr(Opcode::Fcvtfi, T0, F1, ZERO).canonical(), |s, _| {
+            s.write_f64(F1, f64::NAN);
+        });
+        assert_eq!(i.result, 0);
+        let (i, ..) = run_one(Instr::rrr(Opcode::Fcvtif, F0, T1, ZERO).canonical(), |s, _| {
+            s.write(T1, (-3i64) as u64);
+        });
+        assert_eq!(f64::from_bits(i.result), -3.0);
+    }
+
+    #[test]
+    fn halt_freezes_pc() {
+        let (i, s, _) = run_one(Instr { op: Opcode::Halt, rs1: A0, ..Instr::nop() }, |s, _| {
+            s.write(A0, 3);
+        });
+        assert!(i.halted);
+        assert_eq!(s.pc, 0x1000);
+        assert_eq!(i.result, 3);
+    }
+
+    #[test]
+    fn print_captures_value() {
+        let (i, ..) = run_one(Instr { op: Opcode::Print, rs1: A0, ..Instr::nop() }, |s, _| {
+            s.write(A0, (-7i64) as u64);
+        });
+        assert_eq!(i.printed, Some(-7));
+    }
+
+    #[test]
+    fn operands_recorded_for_rstream() {
+        let (i, ..) = run_one(Instr::rrr(Opcode::Sub, T0, T1, T2), |s, _| {
+            s.write(T1, 100);
+            s.write(T2, 30);
+        });
+        assert_eq!((i.src1, i.src2, i.result), (100, 30, 70));
+    }
+}

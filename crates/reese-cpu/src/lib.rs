@@ -1,0 +1,29 @@
+//! Functional emulator for the REESE mini ISA.
+//!
+//! This crate is the architectural golden model — the equivalent of
+//! SimpleScalar's functional core. [`step`] defines the semantics of
+//! every opcode once; the [`Emulator`] drives whole programs; and the
+//! [`StepInfo`] record it produces (operands, result, effective address,
+//! next PC) is exactly the payload the REESE R-stream Queue carries
+//! through the timing pipeline.
+//!
+//! # Example
+//!
+//! ```
+//! use reese_cpu::Emulator;
+//!
+//! let prog = reese_isa::assemble("  li a0, 2\n  print a0\n  halt\n")?;
+//! let result = Emulator::new(&prog).run(100)?;
+//! assert_eq!(result.output, vec![2]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod emulator;
+mod exec;
+mod state;
+mod trace;
+
+pub use emulator::{EmuError, Emulator, RunResult, StopReason};
+pub use exec::{step, MemAccess, StepInfo};
+pub use state::ArchState;
+pub use trace::{Trace, TraceRecord};

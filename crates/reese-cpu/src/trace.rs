@@ -1,0 +1,355 @@
+//! Dynamic instruction traces: capture, binary serialisation, and
+//! analysis.
+//!
+//! The counterpart of SimpleScalar's trace facilities: a [`Trace`] is a
+//! compact record of one program run — enough to profile basic blocks,
+//! branch behaviour, and memory working sets without re-running the
+//! emulator, and enough to reproduce a workload's dynamic shape in
+//! external tooling via the on-disk format.
+
+use crate::{EmuError, Emulator, StepInfo};
+use reese_isa::Program;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+
+/// One dynamic instruction, 33 bytes on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// PC of the instruction.
+    pub pc: u64,
+    /// The encoded instruction word.
+    pub word: u64,
+    /// The next PC (branch targets resolved).
+    pub next_pc: u64,
+    /// Effective address for memory operations (0 otherwise; check
+    /// [`TraceRecord::is_mem`]).
+    pub mem_addr: u64,
+    /// Packed flags (taken / memory / store / halt).
+    pub flags: u8,
+}
+
+impl TraceRecord {
+    const TAKEN: u8 = 1 << 0;
+    const MEM: u8 = 1 << 1;
+    const STORE: u8 = 1 << 2;
+    const HALT: u8 = 1 << 3;
+    /// On-disk record size in bytes.
+    pub const SIZE: usize = 33;
+
+    fn from_step(info: &StepInfo) -> io::Result<TraceRecord> {
+        let word = reese_isa::encode(&info.instr)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut flags = 0;
+        if info.taken {
+            flags |= Self::TAKEN;
+        }
+        if let Some(m) = info.mem {
+            flags |= Self::MEM;
+            if m.is_store {
+                flags |= Self::STORE;
+            }
+        }
+        if info.halted {
+            flags |= Self::HALT;
+        }
+        Ok(TraceRecord {
+            pc: info.pc,
+            word,
+            next_pc: info.next_pc,
+            mem_addr: info.mem.map_or(0, |m| m.addr),
+            flags,
+        })
+    }
+
+    /// Whether the (conditional-branch) instruction was taken.
+    pub fn taken(&self) -> bool {
+        self.flags & Self::TAKEN != 0
+    }
+
+    /// Whether this is a memory operation.
+    pub fn is_mem(&self) -> bool {
+        self.flags & Self::MEM != 0
+    }
+
+    /// Whether this is a store.
+    pub fn is_store(&self) -> bool {
+        self.flags & Self::STORE != 0
+    }
+
+    /// Whether this instruction halted the machine.
+    pub fn is_halt(&self) -> bool {
+        self.flags & Self::HALT != 0
+    }
+
+    /// Decodes the static instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error for a corrupted record.
+    pub fn instr(&self) -> Result<reese_isa::Instr, reese_isa::DecodeError> {
+        reese_isa::decode(self.word)
+    }
+
+    fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(&self.pc.to_le_bytes())?;
+        w.write_all(&self.word.to_le_bytes())?;
+        w.write_all(&self.next_pc.to_le_bytes())?;
+        w.write_all(&self.mem_addr.to_le_bytes())?;
+        w.write_all(&[self.flags])
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> io::Result<TraceRecord> {
+        let mut buf = [0u8; Self::SIZE];
+        r.read_exact(&mut buf)?;
+        let u = |i: usize| u64::from_le_bytes(buf[i..i + 8].try_into().expect("8 bytes"));
+        Ok(TraceRecord { pc: u(0), word: u(8), next_pc: u(16), mem_addr: u(24), flags: buf[32] })
+    }
+}
+
+/// A captured dynamic instruction trace.
+///
+/// # Example
+///
+/// ```
+/// use reese_cpu::Trace;
+///
+/// let prog = reese_isa::assemble(
+///     "  li t0, 3\nloop: addi t0, t0, -1\n  bnez t0, loop\n  halt\n",
+/// )?;
+/// let trace = Trace::capture(&prog, 1_000)?;
+/// assert_eq!(trace.len(), 8);
+/// let (branches, taken) = trace.branch_profile();
+/// assert_eq!((branches, taken), (3, 2));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+const MAGIC: &[u8; 4] = b"RTRC";
+const VERSION: u32 = 1;
+
+impl Trace {
+    /// Captures a trace by functional execution, up to
+    /// `max_instructions`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emulation errors (wild jumps, running off the text
+    /// segment).
+    pub fn capture(program: &Program, max_instructions: u64) -> Result<Trace, EmuError> {
+        let mut emu = Emulator::new(program);
+        let mut records = Vec::new();
+        for _ in 0..max_instructions {
+            let info = emu.step()?;
+            records.push(TraceRecord::from_step(&info).expect("program immediates encode"));
+            if info.halted {
+                break;
+            }
+        }
+        Ok(Trace { records })
+    }
+
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over the records.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Writes the trace in the binary `RTRC` format. A `&mut` reference
+    /// may be passed for any `Write`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&(self.records.len() as u64).to_le_bytes())?;
+        for r in &self.records {
+            r.write_to(&mut w)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a trace written by [`Trace::write_to`]. A `&mut` reference
+    /// may be passed for any `Read`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on a bad magic, version, or truncation.
+    pub fn read_from<R: Read>(mut r: R) -> io::Result<Trace> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a reese trace"));
+        }
+        let mut v = [0u8; 4];
+        r.read_exact(&mut v)?;
+        if u32::from_le_bytes(v) != VERSION {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "unsupported trace version"));
+        }
+        let mut n = [0u8; 8];
+        r.read_exact(&mut n)?;
+        let n = u64::from_le_bytes(n) as usize;
+        let mut records = Vec::with_capacity(n.min(1 << 24));
+        for _ in 0..n {
+            records.push(TraceRecord::read_from(&mut r)?);
+        }
+        Ok(Trace { records })
+    }
+
+    /// (conditional branches, taken count).
+    pub fn branch_profile(&self) -> (u64, u64) {
+        let mut branches = 0;
+        let mut taken = 0;
+        for r in &self.records {
+            if let Ok(i) = r.instr() {
+                if i.op.kind() == reese_isa::OpKind::Branch {
+                    branches += 1;
+                    if r.taken() {
+                        taken += 1;
+                    }
+                }
+            }
+        }
+        (branches, taken)
+    }
+
+    /// Distinct cache lines of `line_bytes` touched by data accesses —
+    /// the data working set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is zero.
+    pub fn data_working_set(&self, line_bytes: u64) -> usize {
+        assert!(line_bytes > 0, "line size must be positive");
+        let mut lines = std::collections::HashSet::new();
+        for r in &self.records {
+            if r.is_mem() {
+                lines.insert(r.mem_addr / line_bytes);
+            }
+        }
+        lines.len()
+    }
+
+    /// The hottest basic-block leaders: `(leader pc, executions)`,
+    /// descending, capped at `top`. A leader is the first instruction
+    /// after a control transfer (or the entry).
+    pub fn hot_blocks(&self, top: usize) -> Vec<(u64, u64)> {
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        let mut at_leader = true;
+        for r in &self.records {
+            if at_leader {
+                *counts.entry(r.pc).or_default() += 1;
+            }
+            let is_control = r.instr().map(|i| i.op.is_control()).unwrap_or(false);
+            at_leader = is_control;
+        }
+        let mut v: Vec<(u64, u64)> = counts.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(top);
+        v
+    }
+
+    /// Fraction of instructions that are memory operations.
+    pub fn mem_fraction(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.is_mem()).count() as f64 / self.records.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reese_isa::assemble;
+
+    fn loop_prog() -> Program {
+        assemble("  li t0, 5\nloop: addi t0, t0, -1\n  sd t0, -8(sp)\n  bnez t0, loop\n  halt\n")
+            .unwrap()
+    }
+
+    #[test]
+    fn capture_counts_dynamic_instructions() {
+        let t = Trace::capture(&loop_prog(), 1_000).unwrap();
+        // 1 li + 5*(addi, sd, bnez) + halt
+        assert_eq!(t.len(), 17);
+        assert!(t.iter().last().unwrap().is_halt());
+    }
+
+    #[test]
+    fn serialisation_round_trip() {
+        let t = Trace::capture(&loop_prog(), 1_000).unwrap();
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        assert_eq!(buf.len(), 16 + t.len() * TraceRecord::SIZE);
+        let back = Trace::read_from(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn corrupt_inputs_rejected() {
+        assert!(Trace::read_from(&b"NOPE"[..]).is_err());
+        let mut buf = Vec::new();
+        Trace::capture(&loop_prog(), 10).unwrap().write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 1);
+        assert!(Trace::read_from(buf.as_slice()).is_err());
+        buf[4] = 99; // version byte
+        assert!(Trace::read_from(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn branch_profile() {
+        let t = Trace::capture(&loop_prog(), 1_000).unwrap();
+        let (branches, taken) = t.branch_profile();
+        assert_eq!(branches, 5);
+        assert_eq!(taken, 4, "the final bnez falls through");
+    }
+
+    #[test]
+    fn working_set_and_mem_fraction() {
+        let t = Trace::capture(&loop_prog(), 1_000).unwrap();
+        assert_eq!(t.data_working_set(64), 1, "all stores hit the same stack line");
+        assert!((t.mem_fraction() - 5.0 / 17.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_blocks_find_the_loop() {
+        let t = Trace::capture(&loop_prog(), 1_000).unwrap();
+        let blocks = t.hot_blocks(2);
+        // The loop body leader (0x1008) is re-entered by 4 taken
+        // branches; its first execution belongs to the entry block.
+        assert_eq!(blocks[0], (0x1008, 4));
+    }
+
+    #[test]
+    fn records_decode_back_to_instructions() {
+        let t = Trace::capture(&loop_prog(), 1_000).unwrap();
+        let first = t.iter().next().unwrap();
+        assert_eq!(first.instr().unwrap().op, reese_isa::Opcode::Li);
+        assert!(!first.is_mem());
+        let store = t.iter().find(|r| r.is_store()).unwrap();
+        assert_eq!(store.mem_addr, reese_isa::STACK_TOP - 8);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.mem_fraction(), 0.0);
+        assert_eq!(t.branch_profile(), (0, 0));
+        assert!(t.hot_blocks(5).is_empty());
+    }
+}

@@ -1,0 +1,251 @@
+//! Monte-Carlo fault-injection campaigns.
+
+use crate::{CoverageReport, FaultClass, FaultMix, TrialOutcome};
+use reese_core::{InjectedFault, ReeseConfig, ReeseError, ReeseSim};
+use reese_cpu::Emulator;
+use reese_isa::Program;
+use reese_stats::SplitMix64;
+use std::fmt;
+
+/// Error raised by a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// The workload itself failed to run cleanly (before any injection).
+    Workload(String),
+    /// A trial produced an unexpected simulator failure.
+    Trial {
+        /// Index of the failing trial.
+        trial: usize,
+        /// Description of the failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Workload(m) => write!(f, "workload failed: {m}"),
+            CampaignError::Trial { trial, message } => write!(f, "trial {trial} failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// A Monte-Carlo soft-error injection campaign.
+///
+/// Each trial picks a random dynamic instruction, bit position, and
+/// fault class from the configured [`FaultMix`], runs the REESE machine
+/// with that single fault, and records whether the P/R comparison caught
+/// it, the detection latency, and the recovery cost in cycles.
+///
+/// Classes REESE cannot observe by design ([`FaultClass::PostCompare`],
+/// [`FaultClass::CacheCell`], [`FaultClass::PipelineControl`]) are
+/// scored as undetected without corrupting anything — they model the
+/// coverage boundary the paper states in §4.2.
+///
+/// # Example
+///
+/// ```
+/// use reese_core::ReeseConfig;
+/// use reese_faults::{Campaign, FaultMix};
+///
+/// let prog = reese_isa::assemble(
+///     "  li t0, 40\nloop: addi t0, t0, -1\n  bnez t0, loop\n  halt\n",
+/// )?;
+/// let report = Campaign::new(ReeseConfig::starting(), FaultMix::result_errors_only())
+///     .trials(10)
+///     .seed(7)
+///     .run(&prog)?;
+/// assert_eq!(report.detected, 10); // result errors are always caught
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    config: ReeseConfig,
+    mix: FaultMix,
+    trials: usize,
+    seed: u64,
+    max_instructions: u64,
+}
+
+impl Campaign {
+    /// Creates a campaign over a REESE configuration and fault mix.
+    pub fn new(config: ReeseConfig, mix: FaultMix) -> Campaign {
+        Campaign { config, mix, trials: 100, seed: 0xFA017, max_instructions: u64::MAX }
+    }
+
+    /// Sets the number of trials (default 100).
+    pub fn trials(mut self, n: usize) -> Campaign {
+        self.trials = n;
+        self
+    }
+
+    /// Sets the PRNG seed (default fixed, campaigns are reproducible).
+    pub fn seed(mut self, seed: u64) -> Campaign {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps the per-trial committed-instruction budget.
+    pub fn max_instructions(mut self, n: u64) -> Campaign {
+        self.max_instructions = n;
+        self
+    }
+
+    /// Runs the campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Workload`] if the program cannot run
+    /// cleanly, or [`CampaignError::Trial`] if a trial fails in an
+    /// unexpected way (permanent faults are *expected* only for sticky
+    /// injections, which this campaign does not produce).
+    pub fn run(&self, program: &Program) -> Result<CoverageReport, CampaignError> {
+        // Reference run: dynamic length and clean cycle count.
+        let mut emu = Emulator::new(program);
+        let reference = emu
+            .run(self.max_instructions)
+            .map_err(|e| CampaignError::Workload(e.to_string()))?;
+        let dynamic_len = reference.instructions;
+        if dynamic_len == 0 {
+            return Err(CampaignError::Workload("program executes no instructions".into()));
+        }
+        let sim = ReeseSim::new(self.config.clone());
+        let clean = sim
+            .run_limit(program, self.max_instructions)
+            .map_err(|e| CampaignError::Workload(e.to_string()))?;
+        let clean_cycles = clean.cycles();
+        let clean_digest = clean.state_digest;
+
+        let mut rng = SplitMix64::new(self.seed);
+        let mut report = CoverageReport::new(clean_cycles);
+        for trial in 0..self.trials {
+            let class = self.mix.sample(rng.next_u64());
+            let seq = rng.range_u64(0, dynamic_len);
+            let bit = (rng.next_u64() & 63) as u8;
+            let outcome = match class {
+                FaultClass::PrimaryResult | FaultClass::RedundantResult => {
+                    let fault = if class == FaultClass::PrimaryResult {
+                        InjectedFault::primary(seq, bit)
+                    } else {
+                        InjectedFault::redundant(seq, bit)
+                    };
+                    let r = sim
+                        .run_with_faults(program, &[fault], self.max_instructions)
+                        .map_err(|e: ReeseError| CampaignError::Trial {
+                            trial,
+                            message: e.to_string(),
+                        })?;
+                    let detected = !r.detections.is_empty();
+                    TrialOutcome {
+                        class,
+                        seq,
+                        bit,
+                        detected,
+                        detection_latency: r.detections.first().map(DetectionLatency::of),
+                        extra_cycles: r.cycles().saturating_sub(clean_cycles),
+                        state_clean: r.state_digest == clean_digest,
+                    }
+                }
+                // Classes outside REESE's observation window: scored
+                // undetected-by-design, nothing to simulate.
+                _ => TrialOutcome {
+                    class,
+                    seq,
+                    bit,
+                    detected: false,
+                    detection_latency: None,
+                    extra_cycles: 0,
+                    state_clean: true,
+                },
+            };
+            report.record(outcome);
+        }
+        Ok(report)
+    }
+}
+
+/// Helper newtype so `map` above stays readable.
+struct DetectionLatency;
+
+impl DetectionLatency {
+    fn of(d: &reese_core::DetectionEvent) -> u64 {
+        d.latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reese_isa::assemble;
+
+    fn loop_prog() -> reese_isa::Program {
+        assemble("  li t0, 60\nloop: addi t0, t0, -1\n  bnez t0, loop\n  halt\n").unwrap()
+    }
+
+    #[test]
+    fn result_errors_fully_detected() {
+        let report = Campaign::new(ReeseConfig::starting(), FaultMix::result_errors_only())
+            .trials(25)
+            .seed(1)
+            .run(&loop_prog())
+            .unwrap();
+        assert_eq!(report.trials(), 25);
+        assert_eq!(report.detected, 25);
+        assert!((report.coverage() - 1.0).abs() < 1e-12);
+        assert!(report.mean_detection_latency() > 0.0);
+        assert!(report.all_states_clean(), "recovery must restore architectural state");
+    }
+
+    #[test]
+    fn broad_mix_shows_coverage_boundary() {
+        let report = Campaign::new(ReeseConfig::starting(), FaultMix::broad())
+            .trials(60)
+            .seed(2)
+            .run(&loop_prog())
+            .unwrap();
+        assert!(report.detected > 0, "result errors present");
+        assert!(report.detected < 60, "uncovered classes present");
+        for c in [FaultClass::PostCompare, FaultClass::CacheCell, FaultClass::PipelineControl] {
+            let (det, total) = report.by_class(c);
+            if total > 0 {
+                assert_eq!(det, 0, "{c} must be undetectable");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            Campaign::new(ReeseConfig::starting(), FaultMix::broad())
+                .trials(20)
+                .seed(42)
+                .run(&loop_prog())
+                .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn recovery_costs_cycles() {
+        let report = Campaign::new(ReeseConfig::starting(), FaultMix::result_errors_only())
+            .trials(10)
+            .seed(3)
+            .run(&loop_prog())
+            .unwrap();
+        assert!(report.mean_recovery_cycles() > 0.0, "a flush is never free");
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        let prog = assemble("  halt\n").unwrap();
+        // One instruction is fine; a zero-trial campaign also fine.
+        let report = Campaign::new(ReeseConfig::starting(), FaultMix::result_errors_only())
+            .trials(0)
+            .run(&prog)
+            .unwrap();
+        assert_eq!(report.trials(), 0);
+        assert_eq!(report.coverage(), 0.0);
+    }
+}

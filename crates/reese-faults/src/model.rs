@@ -1,0 +1,166 @@
+//! Soft-error fault classes and their coverage-by-design.
+
+use std::fmt;
+
+/// Where a transient fault strikes, classified by REESE's coverage
+/// statement (paper §4.2): "This implementation detects soft errors
+/// that affect instruction results… REESE does not detect soft errors
+/// that do not affect the intermediate or final results of an individual
+/// instruction, such as pipeline control or cache errors. Any error that
+/// might occur after the results are compared would also not be
+/// detected."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// A bit flip in a primary-stream result latch before comparison —
+    /// REESE's bread and butter, always detectable.
+    PrimaryResult,
+    /// A bit flip during the redundant recomputation — also caught by
+    /// the comparison (the mismatch is symmetric).
+    RedundantResult,
+    /// An error striking after the P/R comparison (commit path,
+    /// architectural register file) — undetectable by REESE, by design.
+    PostCompare,
+    /// A memory or cache cell upset — outside REESE's domain; the paper
+    /// assumes ECC protects storage.
+    CacheCell,
+    /// A pipeline-control upset that does not change any instruction's
+    /// result — invisible to result comparison.
+    PipelineControl,
+}
+
+impl FaultClass {
+    /// All classes, in display order.
+    pub const ALL: [FaultClass; 5] = [
+        FaultClass::PrimaryResult,
+        FaultClass::RedundantResult,
+        FaultClass::PostCompare,
+        FaultClass::CacheCell,
+        FaultClass::PipelineControl,
+    ];
+
+    /// Whether REESE's result comparison can ever observe this class.
+    pub const fn detectable_by_design(self) -> bool {
+        matches!(self, FaultClass::PrimaryResult | FaultClass::RedundantResult)
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultClass::PrimaryResult => "p-result",
+            FaultClass::RedundantResult => "r-result",
+            FaultClass::PostCompare => "post-compare",
+            FaultClass::CacheCell => "cache-cell",
+            FaultClass::PipelineControl => "pipeline-control",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Relative frequencies of each fault class in a campaign.
+///
+/// # Example
+///
+/// ```
+/// use reese_faults::{FaultClass, FaultMix};
+///
+/// let mix = FaultMix::result_errors_only();
+/// assert_eq!(mix.weight(FaultClass::CacheCell), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultMix {
+    weights: [u32; 5],
+}
+
+impl FaultMix {
+    /// A mix from per-class weights (indexed as [`FaultClass::ALL`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero.
+    pub fn new(weights: [u32; 5]) -> FaultMix {
+        assert!(weights.iter().any(|&w| w > 0), "fault mix needs at least one class");
+        FaultMix { weights }
+    }
+
+    /// Only result-latch errors (the classes REESE is built to catch),
+    /// split evenly between P and R.
+    pub fn result_errors_only() -> FaultMix {
+        FaultMix::new([1, 1, 0, 0, 0])
+    }
+
+    /// A broad mix exercising covered and uncovered classes alike.
+    pub fn broad() -> FaultMix {
+        FaultMix::new([4, 4, 1, 2, 1])
+    }
+
+    /// The weight of one class.
+    pub fn weight(&self, class: FaultClass) -> u32 {
+        let idx = FaultClass::ALL.iter().position(|&c| c == class).expect("class in ALL");
+        self.weights[idx]
+    }
+
+    /// Samples a class using `pick` uniform in `[0, total_weight)`.
+    pub fn sample(&self, pick: u64) -> FaultClass {
+        let total: u64 = self.weights.iter().map(|&w| u64::from(w)).sum();
+        let mut p = pick % total;
+        for (i, &w) in self.weights.iter().enumerate() {
+            if p < u64::from(w) {
+                return FaultClass::ALL[i];
+            }
+            p -= u64::from(w);
+        }
+        unreachable!("weights sum covers the range")
+    }
+}
+
+impl Default for FaultMix {
+    fn default() -> Self {
+        FaultMix::result_errors_only()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detectability_by_design() {
+        assert!(FaultClass::PrimaryResult.detectable_by_design());
+        assert!(FaultClass::RedundantResult.detectable_by_design());
+        assert!(!FaultClass::PostCompare.detectable_by_design());
+        assert!(!FaultClass::CacheCell.detectable_by_design());
+        assert!(!FaultClass::PipelineControl.detectable_by_design());
+    }
+
+    #[test]
+    fn sample_respects_zero_weights() {
+        let mix = FaultMix::result_errors_only();
+        for pick in 0..100 {
+            assert!(mix.sample(pick).detectable_by_design());
+        }
+    }
+
+    #[test]
+    fn sample_covers_all_weighted_classes() {
+        let mix = FaultMix::broad();
+        let mut seen = std::collections::HashSet::new();
+        for pick in 0..12 {
+            seen.insert(mix.sample(pick));
+        }
+        assert_eq!(seen.len(), 5, "broad mix should produce every class");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn empty_mix_panics() {
+        FaultMix::new([0; 5]);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for c in FaultClass::ALL {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

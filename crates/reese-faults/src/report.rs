@@ -1,0 +1,205 @@
+//! Campaign results and coverage reports.
+
+use crate::FaultClass;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The outcome of one injection trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialOutcome {
+    /// The class of fault injected.
+    pub class: FaultClass,
+    /// Dynamic instruction targeted.
+    pub seq: u64,
+    /// Bit position flipped.
+    pub bit: u8,
+    /// Whether the P/R comparison caught it.
+    pub detected: bool,
+    /// Cycles from corruption to detection, when detected.
+    pub detection_latency: Option<u64>,
+    /// Extra cycles the run took versus a clean run (recovery cost).
+    pub extra_cycles: u64,
+    /// Whether the final architectural state matched the clean run.
+    pub state_clean: bool,
+}
+
+/// Aggregated results of a fault-injection campaign.
+///
+/// # Example
+///
+/// ```
+/// use reese_faults::{CoverageReport, FaultClass, TrialOutcome};
+///
+/// let mut r = CoverageReport::new(1000);
+/// r.record(TrialOutcome {
+///     class: FaultClass::PrimaryResult,
+///     seq: 5,
+///     bit: 3,
+///     detected: true,
+///     detection_latency: Some(12),
+///     extra_cycles: 30,
+///     state_clean: true,
+/// });
+/// assert_eq!(r.coverage(), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageReport {
+    /// All trial outcomes, in order.
+    pub outcomes: Vec<TrialOutcome>,
+    /// Detected count.
+    pub detected: u64,
+    /// Cycles of the fault-free reference run.
+    pub clean_cycles: u64,
+}
+
+impl CoverageReport {
+    /// Creates an empty report for a reference run of `clean_cycles`.
+    pub fn new(clean_cycles: u64) -> CoverageReport {
+        CoverageReport { outcomes: Vec::new(), detected: 0, clean_cycles }
+    }
+
+    /// Records one trial.
+    pub fn record(&mut self, outcome: TrialOutcome) {
+        if outcome.detected {
+            self.detected += 1;
+        }
+        self.outcomes.push(outcome);
+    }
+
+    /// Number of trials recorded.
+    pub fn trials(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Fraction of trials detected, in `[0, 1]`; 0 for an empty report.
+    pub fn coverage(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            0.0
+        } else {
+            self.detected as f64 / self.outcomes.len() as f64
+        }
+    }
+
+    /// (detected, total) for one fault class.
+    pub fn by_class(&self, class: FaultClass) -> (u64, u64) {
+        let mut det = 0;
+        let mut total = 0;
+        for o in &self.outcomes {
+            if o.class == class {
+                total += 1;
+                if o.detected {
+                    det += 1;
+                }
+            }
+        }
+        (det, total)
+    }
+
+    /// Mean detection latency over detected trials; 0 when none.
+    pub fn mean_detection_latency(&self) -> f64 {
+        let lats: Vec<f64> =
+            self.outcomes.iter().filter_map(|o| o.detection_latency).map(|l| l as f64).collect();
+        reese_stats::mean(&lats)
+    }
+
+    /// Mean recovery cost in cycles over detected trials; 0 when none.
+    pub fn mean_recovery_cycles(&self) -> f64 {
+        let costs: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.detected)
+            .map(|o| o.extra_cycles as f64)
+            .collect();
+        reese_stats::mean(&costs)
+    }
+
+    /// Whether every trial ended with clean architectural state.
+    pub fn all_states_clean(&self) -> bool {
+        self.outcomes.iter().all(|o| o.state_clean)
+    }
+
+    /// Per-class (detected, total) table.
+    pub fn class_table(&self) -> BTreeMap<String, (u64, u64)> {
+        let mut t = BTreeMap::new();
+        for c in FaultClass::ALL {
+            let (d, n) = self.by_class(c);
+            if n > 0 {
+                t.insert(c.to_string(), (d, n));
+            }
+        }
+        t
+    }
+}
+
+impl fmt::Display for CoverageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "coverage: {}/{} ({:.1}%), mean detection latency {:.1} cycles, mean recovery {:.1} cycles",
+            self.detected,
+            self.trials(),
+            self.coverage() * 100.0,
+            self.mean_detection_latency(),
+            self.mean_recovery_cycles(),
+        )?;
+        for (name, (d, n)) in self.class_table() {
+            writeln!(f, "  {name:<18} {d}/{n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(class: FaultClass, detected: bool) -> TrialOutcome {
+        TrialOutcome {
+            class,
+            seq: 0,
+            bit: 0,
+            detected,
+            detection_latency: detected.then_some(10),
+            extra_cycles: if detected { 20 } else { 0 },
+            state_clean: true,
+        }
+    }
+
+    #[test]
+    fn coverage_math() {
+        let mut r = CoverageReport::new(100);
+        r.record(outcome(FaultClass::PrimaryResult, true));
+        r.record(outcome(FaultClass::CacheCell, false));
+        assert_eq!(r.trials(), 2);
+        assert!((r.coverage() - 0.5).abs() < 1e-12);
+        assert_eq!(r.by_class(FaultClass::PrimaryResult), (1, 1));
+        assert_eq!(r.by_class(FaultClass::CacheCell), (0, 1));
+        assert_eq!(r.by_class(FaultClass::PostCompare), (0, 0));
+    }
+
+    #[test]
+    fn latency_and_recovery_means() {
+        let mut r = CoverageReport::new(100);
+        r.record(outcome(FaultClass::PrimaryResult, true));
+        r.record(outcome(FaultClass::RedundantResult, true));
+        assert!((r.mean_detection_latency() - 10.0).abs() < 1e-12);
+        assert!((r.mean_recovery_cycles() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = CoverageReport::new(0);
+        assert_eq!(r.coverage(), 0.0);
+        assert_eq!(r.mean_detection_latency(), 0.0);
+        assert!(r.all_states_clean());
+    }
+
+    #[test]
+    fn display_contains_classes() {
+        let mut r = CoverageReport::new(100);
+        r.record(outcome(FaultClass::PrimaryResult, true));
+        let s = r.to_string();
+        assert!(s.contains("p-result"));
+        assert!(s.contains("100.0%"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Disassembly: turning instructions back into assembler text.
+//!
+//! The printed form parses back through the assembler to the same
+//! instruction, which the round-trip tests rely on.
+
+use crate::{Instr, OpKind, Opcode};
+use std::fmt;
+
+/// Formats one instruction in assembler syntax.
+pub(crate) fn fmt_instr(i: &Instr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let m = i.op.mnemonic();
+    match i.op.kind() {
+        OpKind::Load => write!(f, "{m} {}, {}({})", i.rd, i.imm, i.rs1),
+        OpKind::Store => write!(f, "{m} {}, {}({})", i.rs2, i.imm, i.rs1),
+        OpKind::Branch => write!(f, "{m} {}, {}, {}", i.rs1, i.rs2, i.imm),
+        OpKind::Jump => match i.op {
+            Opcode::Jal => write!(f, "{m} {}, {}", i.rd, i.imm),
+            _ => write!(f, "{m} {}, {}({})", i.rd, i.imm, i.rs1),
+        },
+        OpKind::System => match i.op {
+            Opcode::Print => write!(f, "{m} {}", i.rs1),
+            Opcode::Halt => write!(f, "{m} {}", i.rs1),
+            _ => f.write_str(m),
+        },
+        OpKind::Alu => {
+            if i.op == Opcode::Li || i.op == Opcode::Lih {
+                write!(f, "{m} {}, {}", i.rd, i.imm)
+            } else if i.op.uses_imm() {
+                write!(f, "{m} {}, {}, {}", i.rd, i.rs1, i.imm)
+            } else if i.op.reads_rs2() {
+                write!(f, "{m} {}, {}, {}", i.rd, i.rs1, i.rs2)
+            } else {
+                write!(f, "{m} {}, {}", i.rd, i.rs1)
+            }
+        }
+    }
+}
+
+/// Disassembles one instruction to a `String`.
+///
+/// # Example
+///
+/// ```
+/// use reese_isa::{disassemble, Instr, Opcode, Reg};
+///
+/// let i = Instr::load(Opcode::Ld, Reg::x(1), Reg::SP, 16);
+/// assert_eq!(disassemble(&i), "ld x1, 16(x2)");
+/// ```
+pub fn disassemble(i: &Instr) -> String {
+    i.to_string()
+}
+
+/// Disassembles a text segment with addresses, one instruction per line.
+pub fn disassemble_text(text: &[Instr], base: u64) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for (idx, i) in text.iter().enumerate() {
+        let addr = base + idx as u64 * Instr::SIZE;
+        let _ = writeln!(out, "{addr:#010x}: {i}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn alu_forms() {
+        assert_eq!(
+            disassemble(&Instr::rrr(Opcode::Sub, Reg::x(4), Reg::x(5), Reg::x(6))),
+            "sub x4, x5, x6"
+        );
+        assert_eq!(
+            disassemble(&Instr::rri(Opcode::Addi, Reg::x(4), Reg::x(5), -4)),
+            "addi x4, x5, -4"
+        );
+        assert_eq!(
+            disassemble(&Instr::rri(Opcode::Li, Reg::x(4), Reg::ZERO, 99)),
+            "li32 x4, 99"
+        );
+    }
+
+    #[test]
+    fn mem_forms() {
+        assert_eq!(
+            disassemble(&Instr::store(Opcode::Sw, Reg::x(7), Reg::x(2), -8)),
+            "sw x7, -8(x2)"
+        );
+        assert_eq!(
+            disassemble(&Instr::load(Opcode::Lbu, Reg::x(9), Reg::x(3), 1)),
+            "lbu x9, 1(x3)"
+        );
+    }
+
+    #[test]
+    fn control_forms() {
+        assert_eq!(
+            disassemble(&Instr::branch(Opcode::Bge, Reg::x(1), Reg::x(2), 64)),
+            "bge x1, x2, 64"
+        );
+        assert_eq!(
+            disassemble(&Instr::rri(Opcode::Jal, Reg::RA, Reg::ZERO, 128).canonical()),
+            "jal x1, 128"
+        );
+        assert_eq!(
+            disassemble(&Instr::rri(Opcode::Jalr, Reg::ZERO, Reg::RA, 0)),
+            "jalr x0, 0(x1)"
+        );
+    }
+
+    #[test]
+    fn fp_forms() {
+        assert_eq!(
+            disassemble(&Instr::rrr(Opcode::Fadd, Reg::f(1), Reg::f(2), Reg::f(3))),
+            "fadd f1, f2, f3"
+        );
+        assert_eq!(
+            disassemble(&Instr::rrr(Opcode::Fsqrt, Reg::f(1), Reg::f(2), Reg::ZERO).canonical()),
+            "fsqrt f1, f2"
+        );
+    }
+
+    #[test]
+    fn system_forms() {
+        assert_eq!(disassemble(&Instr::nop()), "nop");
+        assert_eq!(
+            disassemble(&Instr { op: Opcode::Halt, ..Instr::nop() }),
+            "halt x0"
+        );
+        assert_eq!(
+            disassemble(&Instr { op: Opcode::Print, rs1: Reg::x(10), ..Instr::nop() }),
+            "print x10"
+        );
+    }
+
+    #[test]
+    fn text_listing_has_addresses() {
+        let text = vec![Instr::nop(), Instr::nop()];
+        let s = disassemble_text(&text, 0x1000);
+        assert!(s.contains("0x00001000: nop"));
+        assert!(s.contains("0x00001008: nop"));
+    }
+}

@@ -1,0 +1,283 @@
+//! Architectural register names.
+//!
+//! The machine has 32 integer registers (`x0`–`x31`, with `x0` hardwired
+//! to zero) and 32 floating-point registers (`f0`–`f31`). Internally both
+//! files live in a single 64-entry architectural register space so the
+//! pipeline's renaming and dependence logic can treat all operands
+//! uniformly: indices `0..32` are the integer file, `32..64` the FP file.
+
+use std::fmt;
+
+/// Number of integer architectural registers.
+pub const NUM_INT_REGS: u8 = 32;
+/// Number of floating-point architectural registers.
+pub const NUM_FP_REGS: u8 = 32;
+/// Total architectural register-space size (int + FP).
+pub const NUM_REGS: u8 = NUM_INT_REGS + NUM_FP_REGS;
+
+/// An architectural register in the unified 64-entry space.
+///
+/// # Example
+///
+/// ```
+/// use reese_isa::Reg;
+///
+/// let a0 = Reg::x(10);
+/// assert!(a0.is_int());
+/// assert_eq!(a0.to_string(), "x10");
+///
+/// let f2 = Reg::f(2);
+/// assert!(f2.is_fp());
+/// assert_eq!(f2.to_string(), "f2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero integer register `x0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Return-address register (`x1`, conventionally `ra`).
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer (`x2`, conventionally `sp`).
+    pub const SP: Reg = Reg(2);
+    /// Global pointer (`x3`, conventionally `gp`).
+    pub const GP: Reg = Reg(3);
+
+    /// Integer register `x<i>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    pub const fn x(i: u8) -> Reg {
+        assert!(i < NUM_INT_REGS, "integer register index out of range");
+        Reg(i)
+    }
+
+    /// Floating-point register `f<i>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    pub const fn f(i: u8) -> Reg {
+        assert!(i < NUM_FP_REGS, "fp register index out of range");
+        Reg(NUM_INT_REGS + i)
+    }
+
+    /// Builds a register from a raw unified-space index.
+    ///
+    /// Returns `None` if `raw >= 64`.
+    pub const fn from_raw(raw: u8) -> Option<Reg> {
+        if raw < NUM_REGS {
+            Some(Reg(raw))
+        } else {
+            None
+        }
+    }
+
+    /// Raw index in the unified 64-entry space.
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Index within its own file (0–31 for both `x` and `f` registers).
+    pub const fn file_index(self) -> u8 {
+        if self.0 < NUM_INT_REGS {
+            self.0
+        } else {
+            self.0 - NUM_INT_REGS
+        }
+    }
+
+    /// Whether this is an integer register.
+    pub const fn is_int(self) -> bool {
+        self.0 < NUM_INT_REGS
+    }
+
+    /// Whether this is a floating-point register.
+    pub const fn is_fp(self) -> bool {
+        self.0 >= NUM_INT_REGS
+    }
+
+    /// Whether this is the hardwired-zero register `x0`.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Parses an assembler register name.
+    ///
+    /// Accepts numeric names (`x7`, `f3`) and the standard ABI aliases
+    /// (`zero ra sp gp tp t0-t6 s0-s11 a0-a7 fp`).
+    pub fn parse(name: &str) -> Option<Reg> {
+        let alias = match name {
+            "zero" => Some(0),
+            "ra" => Some(1),
+            "sp" => Some(2),
+            "gp" => Some(3),
+            "tp" => Some(4),
+            "t0" => Some(5),
+            "t1" => Some(6),
+            "t2" => Some(7),
+            "s0" | "fp" => Some(8),
+            "s1" => Some(9),
+            "a0" => Some(10),
+            "a1" => Some(11),
+            "a2" => Some(12),
+            "a3" => Some(13),
+            "a4" => Some(14),
+            "a5" => Some(15),
+            "a6" => Some(16),
+            "a7" => Some(17),
+            "s2" => Some(18),
+            "s3" => Some(19),
+            "s4" => Some(20),
+            "s5" => Some(21),
+            "s6" => Some(22),
+            "s7" => Some(23),
+            "s8" => Some(24),
+            "s9" => Some(25),
+            "s10" => Some(26),
+            "s11" => Some(27),
+            "t3" => Some(28),
+            "t4" => Some(29),
+            "t5" => Some(30),
+            "t6" => Some(31),
+            _ => None,
+        };
+        if let Some(i) = alias {
+            return Some(Reg(i));
+        }
+        if name.len() < 2 {
+            return None;
+        }
+        let (file, idx) = name.split_at(1);
+        let idx: u8 = idx.parse().ok()?;
+        match file {
+            "x" if idx < NUM_INT_REGS => Some(Reg::x(idx)),
+            "f" if idx < NUM_FP_REGS => Some(Reg::f(idx)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_int() {
+            write!(f, "x{}", self.file_index())
+        } else {
+            write!(f, "f{}", self.file_index())
+        }
+    }
+}
+
+/// Common ABI register constants for hand-written code and the builder.
+pub mod abi {
+    use super::Reg;
+
+    pub const ZERO: Reg = Reg::x(0);
+    pub const RA: Reg = Reg::x(1);
+    pub const SP: Reg = Reg::x(2);
+    pub const GP: Reg = Reg::x(3);
+    pub const TP: Reg = Reg::x(4);
+    pub const T0: Reg = Reg::x(5);
+    pub const T1: Reg = Reg::x(6);
+    pub const T2: Reg = Reg::x(7);
+    pub const S0: Reg = Reg::x(8);
+    pub const S1: Reg = Reg::x(9);
+    pub const A0: Reg = Reg::x(10);
+    pub const A1: Reg = Reg::x(11);
+    pub const A2: Reg = Reg::x(12);
+    pub const A3: Reg = Reg::x(13);
+    pub const A4: Reg = Reg::x(14);
+    pub const A5: Reg = Reg::x(15);
+    pub const A6: Reg = Reg::x(16);
+    pub const A7: Reg = Reg::x(17);
+    pub const S2: Reg = Reg::x(18);
+    pub const S3: Reg = Reg::x(19);
+    pub const S4: Reg = Reg::x(20);
+    pub const S5: Reg = Reg::x(21);
+    pub const S6: Reg = Reg::x(22);
+    pub const S7: Reg = Reg::x(23);
+    pub const S8: Reg = Reg::x(24);
+    pub const S9: Reg = Reg::x(25);
+    pub const S10: Reg = Reg::x(26);
+    pub const S11: Reg = Reg::x(27);
+    pub const T3: Reg = Reg::x(28);
+    pub const T4: Reg = Reg::x(29);
+    pub const T5: Reg = Reg::x(30);
+    pub const T6: Reg = Reg::x(31);
+    pub const F0: Reg = Reg::f(0);
+    pub const F1: Reg = Reg::f(1);
+    pub const F2: Reg = Reg::f(2);
+    pub const F3: Reg = Reg::f(3);
+    pub const F4: Reg = Reg::f(4);
+    pub const F5: Reg = Reg::f(5);
+    pub const F6: Reg = Reg::f(6);
+    pub const F7: Reg = Reg::f(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_fp_spaces_disjoint() {
+        assert_ne!(Reg::x(5), Reg::f(5));
+        assert_eq!(Reg::x(5).file_index(), Reg::f(5).file_index());
+        assert!(Reg::x(5).is_int());
+        assert!(Reg::f(5).is_fp());
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::x(1).is_zero());
+        assert!(!Reg::f(0).is_zero());
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        for raw in 0..NUM_REGS {
+            let r = Reg::from_raw(raw).unwrap();
+            assert_eq!(r.raw(), raw);
+        }
+        assert_eq!(Reg::from_raw(NUM_REGS), None);
+        assert_eq!(Reg::from_raw(255), None);
+    }
+
+    #[test]
+    fn parse_numeric_names() {
+        assert_eq!(Reg::parse("x0"), Some(Reg::ZERO));
+        assert_eq!(Reg::parse("x31"), Some(Reg::x(31)));
+        assert_eq!(Reg::parse("f31"), Some(Reg::f(31)));
+        assert_eq!(Reg::parse("x32"), None);
+        assert_eq!(Reg::parse("f32"), None);
+        assert_eq!(Reg::parse("y1"), None);
+        assert_eq!(Reg::parse(""), None);
+        assert_eq!(Reg::parse("x"), None);
+    }
+
+    #[test]
+    fn parse_abi_aliases() {
+        assert_eq!(Reg::parse("zero"), Some(Reg::x(0)));
+        assert_eq!(Reg::parse("ra"), Some(Reg::x(1)));
+        assert_eq!(Reg::parse("sp"), Some(Reg::x(2)));
+        assert_eq!(Reg::parse("a0"), Some(Reg::x(10)));
+        assert_eq!(Reg::parse("t6"), Some(Reg::x(31)));
+        assert_eq!(Reg::parse("s11"), Some(Reg::x(27)));
+        assert_eq!(Reg::parse("fp"), Some(Reg::x(8)));
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for raw in 0..NUM_REGS {
+            let r = Reg::from_raw(raw).unwrap();
+            assert_eq!(Reg::parse(&r.to_string()), Some(r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn x_out_of_range_panics() {
+        Reg::x(32);
+    }
+}

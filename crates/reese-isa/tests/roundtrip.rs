@@ -1,0 +1,77 @@
+//! Toolchain round-trip properties: encode/decode, display/parse, and
+//! assembler robustness against arbitrary text.
+
+use proptest::prelude::*;
+use reese_isa::{assemble, decode, disassemble, encode, Instr, Opcode, Reg};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..64).prop_map(|r| Reg::from_raw(r).expect("in range"))
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    (
+        prop::sample::select(Opcode::ALL.to_vec()),
+        arb_reg(),
+        arb_reg(),
+        arb_reg(),
+        any::<i32>(),
+    )
+        .prop_map(|(op, rd, rs1, rs2, imm)| Instr { op, rd, rs1, rs2, imm: i64::from(imm) })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Binary round trip over the whole instruction space.
+    #[test]
+    fn encode_decode_identity(instr in arb_instr()) {
+        let word = encode(&instr).expect("i32 imm encodes");
+        prop_assert_eq!(decode(word).expect("decodes"), instr.canonical());
+    }
+
+    /// The printed form of any canonical instruction reassembles to the
+    /// same instruction (a line of disassembly is valid assembly).
+    #[test]
+    fn display_parse_identity(instr in arb_instr()) {
+        let canonical = instr.canonical();
+        let line = format!("  {}\n  halt\n", disassemble(&canonical));
+        let program = assemble(&line)
+            .unwrap_or_else(|e| panic!("`{}` must assemble: {e}", disassemble(&canonical)));
+        prop_assert_eq!(program.text()[0], canonical);
+    }
+
+    /// The assembler never panics, whatever bytes it is fed — it either
+    /// produces a program or a structured error.
+    #[test]
+    fn assembler_never_panics(source in "\\PC{0,200}") {
+        let _ = assemble(&source);
+    }
+
+    /// Line-noise built from assembler-ish tokens also never panics and
+    /// reports a line number when it fails.
+    #[test]
+    fn assembler_tokens_never_panic(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "add", "ld", "sd", "beq", "li", "la", "halt", ".data", ".word",
+                "x1", "x99", "t0", "loop:", "loop", "-42", "0x", "(sp)", ",", ":",
+            ]),
+            0..12,
+        )
+    ) {
+        let source = tokens.join(" ");
+        if let Err(e) = assemble(&source) {
+            prop_assert!(e.line <= 1 || e.line == 0, "line {} for one-line input", e.line);
+        }
+    }
+
+    /// Unknown encodings are rejected, never misdecoded: flipping the
+    /// opcode byte to an unassigned value must error.
+    #[test]
+    fn unassigned_opcodes_rejected(word in any::<u64>()) {
+        let op_byte = (word & 0xFF) as u8;
+        if Opcode::from_code(op_byte).is_none() {
+            prop_assert!(decode(word).is_err());
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Memory system for the REESE simulators.
+//!
+//! This crate is the counterpart of SimpleScalar's memory and cache
+//! modules: a sparse flat [`Memory`] that holds architectural state, a
+//! set-associative [`Cache`] timing model composed into a two-level
+//! [`MemHierarchy`] with TLBs, and a [`MemPorts`] arbiter that models
+//! the per-cycle port contention central to the paper's Figure 5.
+//!
+//! Functional data and timing are deliberately separated: the emulator
+//! reads and writes [`Memory`] directly, while the pipeline charges
+//! latencies through [`MemHierarchy`].
+//!
+//! # Example
+//!
+//! ```
+//! use reese_mem::{HierarchyConfig, MemHierarchy, Memory};
+//!
+//! let mut mem = Memory::new();
+//! mem.write_u64(0x8000, 42);
+//!
+//! let mut timing = MemHierarchy::new(HierarchyConfig::paper());
+//! let first = timing.access_data(0x8000, false);
+//! let second = timing.access_data(0x8000, false);
+//! assert!(first > second);
+//! assert_eq!(mem.read_u64(0x8000), 42);
+//! ```
+
+mod cache;
+mod hierarchy;
+mod memory;
+mod ports;
+mod tlb;
+
+pub use cache::{AccessKind, AccessResult, Cache, CacheConfig, CacheStats};
+pub use hierarchy::{HierarchyConfig, HierarchyStats, MemHierarchy};
+pub use memory::{Memory, PAGE_SIZE};
+pub use ports::MemPorts;
+pub use tlb::{Tlb, TlbConfig};

@@ -1,0 +1,201 @@
+//! Flat, sparsely allocated main memory.
+
+use std::collections::HashMap;
+
+/// Size of one backing page in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Byte-addressable main memory, allocated lazily in 4 KiB pages.
+///
+/// This is the *architectural* memory: it always holds the committed
+/// truth, while the caches in this crate model only timing. Unaligned
+/// accesses are allowed and may span pages; uninitialised memory reads
+/// as zero, which gives deterministic runs without pre-zeroing the whole
+/// address space.
+///
+/// # Example
+///
+/// ```
+/// use reese_mem::Memory;
+///
+/// let mut m = Memory::new();
+/// m.write_u64(0x1000, 0xDEAD_BEEF_0BAD_CAFE);
+/// assert_eq!(m.read_u64(0x1000), 0xDEAD_BEEF_0BAD_CAFE);
+/// assert_eq!(m.read_u8(0x1000), 0xFE); // little endian
+/// assert_eq!(m.read_u64(0x9999), 0);   // untouched memory is zero
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr / PAGE_SIZE)) {
+            Some(page) => page[(addr % PAGE_SIZE) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr / PAGE_SIZE)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
+        page[(addr % PAGE_SIZE) as usize] = value;
+    }
+
+    /// Reads `N` little-endian bytes starting at `addr`.
+    pub fn read_bytes<const N: usize>(&self, addr: u64) -> [u8; N] {
+        let mut out = [0u8; N];
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = self.read_u8(addr.wrapping_add(i as u64));
+        }
+        out
+    }
+
+    /// Writes bytes starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), b);
+        }
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16(&self, addr: u64) -> u16 {
+        u16::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        u32::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        u64::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, addr: u64, value: u16) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads `width` bytes (1, 2, 4, or 8) zero-extended into a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other width.
+    pub fn read_uint(&self, addr: u64, width: u64) -> u64 {
+        match width {
+            1 => u64::from(self.read_u8(addr)),
+            2 => u64::from(self.read_u16(addr)),
+            4 => u64::from(self.read_u32(addr)),
+            8 => self.read_u64(addr),
+            w => panic!("unsupported access width {w}"),
+        }
+    }
+
+    /// Writes the low `width` bytes (1, 2, 4, or 8) of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other width.
+    pub fn write_uint(&mut self, addr: u64, width: u64, value: u64) {
+        match width {
+            1 => self.write_u8(addr, value as u8),
+            2 => self.write_u16(addr, value as u16),
+            4 => self.write_u32(addr, value as u32),
+            8 => self.write_u64(addr, value),
+            w => panic!("unsupported access width {w}"),
+        }
+    }
+
+    /// Copies an image into memory (program loading).
+    pub fn load_image(&mut self, base: u64, image: &[u8]) {
+        self.write_bytes(base, image);
+    }
+
+    /// Number of 4 KiB pages currently allocated.
+    pub fn allocated_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_before_write() {
+        let m = Memory::new();
+        assert_eq!(m.read_u64(12345), 0);
+        assert_eq!(m.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new();
+        m.write_u32(100, 0x0102_0304);
+        assert_eq!(m.read_u8(100), 4);
+        assert_eq!(m.read_u8(103), 1);
+        assert_eq!(m.read_u16(100), 0x0304);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = PAGE_SIZE - 4; // spans the first page boundary
+        m.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(m.allocated_pages(), 2);
+    }
+
+    #[test]
+    fn widths_round_trip() {
+        let mut m = Memory::new();
+        for (w, v) in [(1, 0xAB), (2, 0xABCD), (4, 0xABCD_EF01), (8, 0xABCD_EF01_2345_6789)] {
+            m.write_uint(0x2000, w, v);
+            assert_eq!(m.read_uint(0x2000, w), v);
+        }
+    }
+
+    #[test]
+    fn narrow_write_truncates() {
+        let mut m = Memory::new();
+        m.write_uint(0x3000, 1, 0xFFFF);
+        assert_eq!(m.read_u8(0x3000), 0xFF);
+        assert_eq!(m.read_u8(0x3001), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported access width")]
+    fn bad_width_panics() {
+        Memory::new().read_uint(0, 3);
+    }
+
+    #[test]
+    fn load_image() {
+        let mut m = Memory::new();
+        m.load_image(0x1000, &[1, 2, 3]);
+        assert_eq!(m.read_u8(0x1000), 1);
+        assert_eq!(m.read_u8(0x1002), 3);
+    }
+}

@@ -1,0 +1,133 @@
+//! Per-cycle memory-port arbitration.
+
+/// A pool of cache ports shared by all memory instructions in a cycle.
+///
+/// The paper's Figure 5 experiment doubles the number of memory ports
+/// from 2 to 4 and shows REESE benefits disproportionately, because the
+/// redundant stream competes with the primary stream for ports even
+/// though its loads always hit. This little arbiter is where that
+/// contention is modelled.
+///
+/// # Example
+///
+/// ```
+/// use reese_mem::MemPorts;
+///
+/// let mut ports = MemPorts::new(2);
+/// ports.begin_cycle();
+/// assert!(ports.try_acquire());
+/// assert!(ports.try_acquire());
+/// assert!(!ports.try_acquire()); // both ports busy this cycle
+/// ports.begin_cycle();
+/// assert!(ports.try_acquire()); // freed again
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemPorts {
+    total: u32,
+    used: u32,
+    busy_cycles: u64,
+    acquired_total: u64,
+    cycles: u64,
+}
+
+impl MemPorts {
+    /// Creates a pool of `total` ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero.
+    pub fn new(total: u32) -> MemPorts {
+        assert!(total > 0, "need at least one memory port");
+        MemPorts { total, used: 0, busy_cycles: 0, acquired_total: 0, cycles: 0 }
+    }
+
+    /// Starts a new cycle, releasing all ports.
+    pub fn begin_cycle(&mut self) {
+        if self.used == self.total {
+            self.busy_cycles += 1;
+        }
+        self.used = 0;
+        self.cycles += 1;
+    }
+
+    /// Tries to claim one port for this cycle.
+    pub fn try_acquire(&mut self) -> bool {
+        if self.used < self.total {
+            self.used += 1;
+            self.acquired_total += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of ports in the pool.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Ports still free this cycle.
+    pub fn free(&self) -> u32 {
+        self.total - self.used
+    }
+
+    /// Average port utilisation over all cycles seen so far, in `[0, 1]`.
+    pub fn utilisation(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.acquired_total as f64 / (self.cycles * u64::from(self.total)) as f64
+        }
+    }
+
+    /// Cycles in which every port was claimed.
+    pub fn saturated_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_up_to_total() {
+        let mut p = MemPorts::new(3);
+        p.begin_cycle();
+        assert!(p.try_acquire());
+        assert!(p.try_acquire());
+        assert_eq!(p.free(), 1);
+        assert!(p.try_acquire());
+        assert!(!p.try_acquire());
+        assert_eq!(p.free(), 0);
+    }
+
+    #[test]
+    fn cycle_boundary_releases() {
+        let mut p = MemPorts::new(1);
+        p.begin_cycle();
+        assert!(p.try_acquire());
+        assert!(!p.try_acquire());
+        p.begin_cycle();
+        assert!(p.try_acquire());
+    }
+
+    #[test]
+    fn utilisation_accounting() {
+        let mut p = MemPorts::new(2);
+        p.begin_cycle();
+        p.try_acquire();
+        p.try_acquire();
+        p.begin_cycle(); // records saturation of previous cycle
+        p.try_acquire();
+        p.begin_cycle();
+        assert_eq!(p.saturated_cycles(), 1);
+        assert!((p.utilisation() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_ports_panics() {
+        MemPorts::new(0);
+    }
+}

@@ -1,0 +1,129 @@
+//! In-flight dynamic instruction records.
+
+use reese_cpu::StepInfo;
+use reese_isa::FuClass;
+
+/// Monotonically increasing id of a dynamic (fetched) instruction.
+pub type Seq = u64;
+
+/// Branch-prediction bookkeeping attached to a fetched instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PredictionInfo {
+    /// Direction predicted for a conditional branch.
+    pub predicted_taken: Option<bool>,
+    /// Target predicted for an indirect jump (`None` = no prediction
+    /// bookkeeping, `Some(None)` = BTB miss, `Some(Some(t))` = target).
+    pub predicted_target: Option<Option<u64>>,
+    /// Whether the front end discovered a misprediction when it fetched
+    /// this instruction (fetch stalls until the instruction resolves).
+    pub mispredicted: bool,
+}
+
+/// One instruction in flight in the RUU.
+///
+/// Carries the full functional record ([`StepInfo`]) — operands, result,
+/// effective address, next PC — which is what makes the downstream
+/// R-stream Queue entry free to build: REESE stores exactly this
+/// information (paper §4.3).
+#[derive(Debug, Clone)]
+pub struct DynInst {
+    /// Fetch sequence number (program order).
+    pub seq: Seq,
+    /// The functional record of the instruction.
+    pub info: StepInfo,
+    /// Prediction bookkeeping from the front end.
+    pub pred: PredictionInfo,
+    /// Unresolved register/LSQ producers this instruction waits on.
+    pub pending_deps: u32,
+    /// Instructions waiting for this one's result.
+    pub consumers: Vec<Seq>,
+    /// Whether the instruction has been issued to a functional unit.
+    pub issued: bool,
+    /// Whether execution has finished (result available).
+    pub completed: bool,
+    /// Cycle the instruction was dispatched into the RUU.
+    pub dispatch_cycle: u64,
+    /// Cycle the instruction issued (valid when `issued`).
+    pub issue_cycle: u64,
+    /// Cycle execution completes (valid when `issued`).
+    pub complete_cycle: u64,
+}
+
+impl DynInst {
+    /// Creates a fresh record at dispatch time.
+    pub fn new(seq: Seq, info: StepInfo, pred: PredictionInfo, dispatch_cycle: u64) -> DynInst {
+        DynInst {
+            seq,
+            info,
+            pred,
+            pending_deps: 0,
+            consumers: Vec::new(),
+            issued: false,
+            completed: false,
+            dispatch_cycle,
+            issue_cycle: 0,
+            complete_cycle: 0,
+        }
+    }
+
+    /// The functional-unit class this instruction needs.
+    pub fn fu_class(&self) -> FuClass {
+        self.info.instr.op.fu_class()
+    }
+
+    /// Whether all operands are available and the instruction can be
+    /// considered by the scheduler.
+    pub fn ready(&self) -> bool {
+        !self.issued && !self.completed && self.pending_deps == 0
+    }
+
+    /// Whether this is a load or store.
+    pub fn is_mem(&self) -> bool {
+        self.info.mem.is_some()
+    }
+
+    /// Whether this is a store.
+    pub fn is_store(&self) -> bool {
+        self.info.mem.is_some_and(|m| m.is_store)
+    }
+
+    /// Whether this is a control-transfer instruction.
+    pub fn is_control(&self) -> bool {
+        self.info.instr.op.is_control()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reese_cpu::{step, ArchState};
+    use reese_isa::{abi::*, Instr, Opcode};
+    use reese_mem::Memory;
+
+    fn make(instr: Instr) -> DynInst {
+        let mut s = ArchState::new(0x1000);
+        let mut m = Memory::new();
+        let info = step(&mut s, &instr, &mut m);
+        DynInst::new(0, info, PredictionInfo::default(), 0)
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(make(Instr::rrr(Opcode::Mul, T0, T1, T2)).fu_class(), FuClass::IntMulDiv);
+        assert!(make(Instr::load(Opcode::Ld, T0, SP, 0)).is_mem());
+        assert!(!make(Instr::load(Opcode::Ld, T0, SP, 0)).is_store());
+        assert!(make(Instr::store(Opcode::Sd, T0, SP, 0)).is_store());
+        assert!(make(Instr::branch(Opcode::Beq, T0, T1, 8)).is_control());
+    }
+
+    #[test]
+    fn readiness() {
+        let mut d = make(Instr::rrr(Opcode::Add, T0, T1, T2));
+        assert!(d.ready());
+        d.pending_deps = 1;
+        assert!(!d.ready());
+        d.pending_deps = 0;
+        d.issued = true;
+        assert!(!d.ready(), "issued instructions leave the ready pool");
+    }
+}

@@ -1,0 +1,235 @@
+//! The load/store queue and memory disambiguation.
+
+use crate::Seq;
+use std::collections::VecDeque;
+
+/// What the scheduler should do with a load this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadPlan {
+    /// An older overlapping store has not produced its data yet; the
+    /// load must wait (re-ask next cycle).
+    Wait {
+        /// The store blocking the load.
+        store: Seq,
+    },
+    /// The youngest older overlapping store has executed; its data can
+    /// be forwarded without touching the cache.
+    Forward {
+        /// The store supplying the data.
+        store: Seq,
+    },
+    /// No conflict: access the data cache through a memory port.
+    CacheAccess,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LsqEntry {
+    seq: Seq,
+    addr: u64,
+    len: u64,
+    is_store: bool,
+    executed: bool,
+}
+
+fn overlaps(a: &LsqEntry, addr: u64, len: u64) -> bool {
+    a.addr < addr + len && addr < a.addr + a.len
+}
+
+/// The load/store queue.
+///
+/// Memory instructions enter in program order at dispatch and leave at
+/// commit. Because simulation is execution-driven, every effective
+/// address is known exactly, so disambiguation is precise: a load waits
+/// only for *genuinely* overlapping older stores and forwards from the
+/// youngest one once it has executed (store-to-load forwarding, as in
+/// SimpleScalar's LSQ).
+///
+/// # Example
+///
+/// ```
+/// use reese_pipeline::{LoadPlan, Lsq};
+///
+/// let mut lsq = Lsq::new(8);
+/// lsq.insert(0, 0x1000, 8, true); // store
+/// lsq.insert(1, 0x1000, 8, false); // load, same address
+/// assert_eq!(lsq.plan_load(1, 0x1000, 8), LoadPlan::Wait { store: 0 });
+/// lsq.mark_executed(0);
+/// assert_eq!(lsq.plan_load(1, 0x1000, 8), LoadPlan::Forward { store: 0 });
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lsq {
+    entries: VecDeque<LsqEntry>,
+    capacity: usize,
+}
+
+impl Lsq {
+    /// Creates an empty LSQ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Lsq {
+        assert!(capacity > 0, "LSQ capacity must be positive");
+        Lsq { entries: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Occupied entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the LSQ is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether dispatch of a memory instruction must stall.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts a memory instruction at dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if full or out of program order.
+    pub fn insert(&mut self, seq: Seq, addr: u64, len: u64, is_store: bool) {
+        assert!(!self.is_full(), "insert into a full LSQ");
+        if let Some(back) = self.entries.back() {
+            assert!(seq > back.seq, "LSQ insert must follow program order");
+        }
+        self.entries.push_back(LsqEntry { seq, addr, len, is_store, executed: false });
+    }
+
+    /// Marks a memory instruction as executed (address + data done).
+    pub fn mark_executed(&mut self, seq: Seq) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.seq == seq) {
+            e.executed = true;
+        }
+    }
+
+    /// Decides how the load `seq` covering `[addr, addr+len)` may
+    /// proceed this cycle.
+    pub fn plan_load(&self, seq: Seq, addr: u64, len: u64) -> LoadPlan {
+        // Scan older entries youngest-first for the nearest overlapping store.
+        for e in self.entries.iter().rev() {
+            if e.seq >= seq {
+                continue;
+            }
+            if e.is_store && overlaps(e, addr, len) {
+                return if e.executed {
+                    LoadPlan::Forward { store: e.seq }
+                } else {
+                    LoadPlan::Wait { store: e.seq }
+                };
+            }
+        }
+        LoadPlan::CacheAccess
+    }
+
+    /// Removes the entry for a committing instruction (no-op for
+    /// non-memory seqs).
+    pub fn remove(&mut self, seq: Seq) {
+        if let Some(pos) = self.entries.iter().position(|e| e.seq == seq) {
+            self.entries.remove(pos);
+        }
+    }
+
+    /// Squashes everything.
+    pub fn flush_all(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_load_goes_to_cache() {
+        let mut lsq = Lsq::new(4);
+        lsq.insert(0, 0x1000, 8, true);
+        lsq.insert(1, 0x2000, 8, false);
+        assert_eq!(lsq.plan_load(1, 0x2000, 8), LoadPlan::CacheAccess);
+    }
+
+    #[test]
+    fn partial_overlap_detected() {
+        let mut lsq = Lsq::new(4);
+        lsq.insert(0, 0x1004, 4, true); // store word at 0x1004
+        lsq.insert(1, 0x1000, 8, false); // load dword covering it
+        assert_eq!(lsq.plan_load(1, 0x1000, 8), LoadPlan::Wait { store: 0 });
+    }
+
+    #[test]
+    fn adjacent_no_overlap() {
+        let mut lsq = Lsq::new(4);
+        lsq.insert(0, 0x1000, 4, true);
+        lsq.insert(1, 0x1004, 4, false);
+        assert_eq!(lsq.plan_load(1, 0x1004, 4), LoadPlan::CacheAccess);
+    }
+
+    #[test]
+    fn youngest_older_store_wins() {
+        let mut lsq = Lsq::new(4);
+        lsq.insert(0, 0x1000, 8, true);
+        lsq.insert(1, 0x1000, 8, true);
+        lsq.insert(2, 0x1000, 8, false);
+        lsq.mark_executed(0);
+        // Store 1 (younger) still pending: the load waits on it, not 0.
+        assert_eq!(lsq.plan_load(2, 0x1000, 8), LoadPlan::Wait { store: 1 });
+        lsq.mark_executed(1);
+        assert_eq!(lsq.plan_load(2, 0x1000, 8), LoadPlan::Forward { store: 1 });
+    }
+
+    #[test]
+    fn younger_stores_ignored() {
+        let mut lsq = Lsq::new(4);
+        lsq.insert(0, 0x1000, 8, false); // load
+        lsq.insert(1, 0x1000, 8, true); // younger store
+        assert_eq!(lsq.plan_load(0, 0x1000, 8), LoadPlan::CacheAccess);
+    }
+
+    #[test]
+    fn loads_do_not_block_loads() {
+        let mut lsq = Lsq::new(4);
+        lsq.insert(0, 0x1000, 8, false);
+        lsq.insert(1, 0x1000, 8, false);
+        assert_eq!(lsq.plan_load(1, 0x1000, 8), LoadPlan::CacheAccess);
+    }
+
+    #[test]
+    fn remove_and_capacity() {
+        let mut lsq = Lsq::new(2);
+        lsq.insert(0, 0, 8, true);
+        lsq.insert(1, 8, 8, false);
+        assert!(lsq.is_full());
+        lsq.remove(0);
+        assert_eq!(lsq.len(), 1);
+        lsq.remove(99); // no-op
+        assert_eq!(lsq.len(), 1);
+        lsq.flush_all();
+        assert!(lsq.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "full LSQ")]
+    fn overfill_panics() {
+        let mut lsq = Lsq::new(1);
+        lsq.insert(0, 0, 8, true);
+        lsq.insert(1, 8, 8, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "program order")]
+    fn out_of_order_insert_panics() {
+        let mut lsq = Lsq::new(4);
+        lsq.insert(5, 0, 8, true);
+        lsq.insert(3, 8, 8, true);
+    }
+}

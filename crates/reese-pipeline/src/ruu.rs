@@ -1,0 +1,341 @@
+//! The Register Update Unit.
+
+use crate::{DynInst, PredictionInfo, Seq};
+use reese_cpu::StepInfo;
+use reese_isa::NUM_REGS;
+use std::collections::VecDeque;
+
+/// The Register Update Unit: SimpleScalar's combined reorder buffer and
+/// reservation stations.
+///
+/// Instructions dispatch into the tail in program order, issue out of
+/// order when their operands resolve, and leave from the head in program
+/// order. Register renaming is a last-writer map over the 64-entry
+/// architectural register space; wake-up is push-based through per-entry
+/// consumer lists.
+///
+/// The paper identifies the RUU as the central bottleneck ("an RUU-based
+/// microprocessor cannot attain 2 IPC on a regular basis… a high-latency
+/// instruction can reach the head of the RUU and cause other
+/// instructions to back up behind it"), which is why Figures 3 and 7
+/// sweep its size.
+#[derive(Debug, Clone)]
+pub struct Ruu {
+    entries: VecDeque<DynInst>,
+    head_seq: Seq,
+    capacity: usize,
+    rename: [Option<Seq>; NUM_REGS as usize],
+}
+
+impl Ruu {
+    /// Creates an empty RUU with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Ruu {
+        assert!(capacity > 0, "RUU capacity must be positive");
+        Ruu {
+            entries: VecDeque::with_capacity(capacity),
+            head_seq: 0,
+            capacity,
+            rename: [None; NUM_REGS as usize],
+        }
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the RUU is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the RUU is full (dispatch must stall).
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn index_of(&self, seq: Seq) -> Option<usize> {
+        if self.entries.is_empty() || seq < self.head_seq {
+            return None;
+        }
+        let idx = (seq - self.head_seq) as usize;
+        if idx < self.entries.len() {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Looks up an in-flight instruction by sequence number.
+    pub fn get(&self, seq: Seq) -> Option<&DynInst> {
+        self.index_of(seq).map(|i| &self.entries[i])
+    }
+
+    /// Mutable lookup by sequence number.
+    pub fn get_mut(&mut self, seq: Seq) -> Option<&mut DynInst> {
+        self.index_of(seq).map(move |i| &mut self.entries[i])
+    }
+
+    /// Dispatches an instruction into the tail, wiring its register
+    /// dependences through the rename map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the RUU is full or `seq` is not the next sequence
+    /// number in program order.
+    pub fn dispatch(&mut self, seq: Seq, info: StepInfo, pred: PredictionInfo, cycle: u64) {
+        assert!(!self.is_full(), "dispatch into a full RUU");
+        if let Some(last) = self.entries.back() {
+            assert_eq!(seq, last.seq + 1, "dispatch must follow program order");
+        } else {
+            self.head_seq = seq;
+        }
+        let mut inst = DynInst::new(seq, info, pred, cycle);
+        let mut producers: [Option<Seq>; 2] = [None, None];
+        for (slot, src) in info.instr.sources().enumerate() {
+            producers[slot] = self.rename[src.raw() as usize];
+        }
+        // An instruction reading the same pending producer through both
+        // operands waits on it once.
+        if producers[0].is_some() && producers[0] == producers[1] {
+            producers[1] = None;
+        }
+        for producer_seq in producers.into_iter().flatten() {
+            if let Some(idx) = self.index_of(producer_seq) {
+                if !self.entries[idx].completed {
+                    self.entries[idx].consumers.push(seq);
+                    inst.pending_deps += 1;
+                }
+            }
+        }
+        if let Some(rd) = info.instr.dest() {
+            self.rename[rd.raw() as usize] = Some(seq);
+        }
+        self.entries.push_back(inst);
+    }
+
+    /// Marks `seq` complete and wakes its consumers.
+    ///
+    /// Consumers that have already left the window (only possible after
+    /// a flush) are silently skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not in flight.
+    pub fn complete(&mut self, seq: Seq) {
+        let idx = self.index_of(seq).expect("completing an instruction not in the RUU");
+        self.entries[idx].completed = true;
+        let consumers = std::mem::take(&mut self.entries[idx].consumers);
+        for c in consumers {
+            if let Some(ci) = self.index_of(c) {
+                debug_assert!(self.entries[ci].pending_deps > 0);
+                self.entries[ci].pending_deps -= 1;
+            }
+        }
+    }
+
+    /// The oldest in-flight instruction.
+    pub fn head(&self) -> Option<&DynInst> {
+        self.entries.front()
+    }
+
+    /// Removes the head (for commit or migration to the R-stream Queue).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head has not completed — callers must check first.
+    pub fn pop_head(&mut self) -> DynInst {
+        let e = self.entries.pop_front().expect("pop from empty RUU");
+        assert!(e.completed, "popping an incomplete head");
+        self.head_seq = e.seq + 1;
+        // Retire the rename-map entry if this instruction is still the
+        // architecturally last writer.
+        if let Some(rd) = e.info.instr.dest() {
+            if self.rename[rd.raw() as usize] == Some(e.seq) {
+                self.rename[rd.raw() as usize] = None;
+            }
+        }
+        e
+    }
+
+    /// Sequence numbers of instructions ready to issue, oldest first.
+    pub fn ready_seqs(&self) -> impl Iterator<Item = Seq> + '_ {
+        self.entries.iter().filter(|e| e.ready()).map(|e| e.seq)
+    }
+
+    /// Iterates over all in-flight instructions, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &DynInst> {
+        self.entries.iter()
+    }
+
+    /// Squashes every in-flight instruction and clears renaming.
+    pub fn flush_all(&mut self) {
+        self.entries.clear();
+        self.rename = [None; NUM_REGS as usize];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reese_cpu::{step, ArchState};
+    use reese_isa::{abi::*, Instr, Opcode};
+    use reese_mem::Memory;
+
+    /// Executes a tiny straight-line program and dispatches it into an RUU.
+    fn dispatch_chain(ruu: &mut Ruu, instrs: &[Instr]) -> Vec<StepInfo> {
+        let mut s = ArchState::new(0x1000);
+        let mut m = Memory::new();
+        let mut infos = Vec::new();
+        for (i, instr) in instrs.iter().enumerate() {
+            let info = step(&mut s, instr, &mut m);
+            ruu.dispatch(i as Seq, info, PredictionInfo::default(), 0);
+            infos.push(info);
+        }
+        infos
+    }
+
+    #[test]
+    fn raw_dependence_tracked() {
+        let mut ruu = Ruu::new(8);
+        dispatch_chain(
+            &mut ruu,
+            &[
+                Instr::rri(Opcode::Li, T0, ZERO, 1), // seq 0
+                Instr::rrr(Opcode::Add, T1, T0, T0), // seq 1 depends on 0
+                Instr::rrr(Opcode::Add, T2, T1, T0), // seq 2 depends on 0 and 1
+            ],
+        );
+        assert_eq!(ruu.get(0).unwrap().pending_deps, 0);
+        assert_eq!(ruu.get(1).unwrap().pending_deps, 1);
+        assert_eq!(ruu.get(2).unwrap().pending_deps, 2);
+        assert_eq!(ruu.ready_seqs().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn wakeup_on_complete() {
+        let mut ruu = Ruu::new(8);
+        dispatch_chain(
+            &mut ruu,
+            &[
+                Instr::rri(Opcode::Li, T0, ZERO, 1),
+                Instr::rrr(Opcode::Add, T1, T0, T0),
+            ],
+        );
+        ruu.complete(0);
+        assert!(ruu.get(0).unwrap().completed);
+        assert_eq!(ruu.get(1).unwrap().pending_deps, 0);
+        assert_eq!(ruu.ready_seqs().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn waw_renaming_last_writer_wins() {
+        let mut ruu = Ruu::new(8);
+        dispatch_chain(
+            &mut ruu,
+            &[
+                Instr::rri(Opcode::Li, T0, ZERO, 1),  // seq 0 writes t0
+                Instr::rri(Opcode::Li, T0, ZERO, 2),  // seq 1 rewrites t0
+                Instr::rrr(Opcode::Add, T1, T0, ZERO), // seq 2 must depend on seq 1 only
+            ],
+        );
+        assert_eq!(ruu.get(2).unwrap().pending_deps, 1);
+        assert!(ruu.get(1).unwrap().consumers.contains(&2));
+        assert!(ruu.get(0).unwrap().consumers.is_empty());
+    }
+
+    #[test]
+    fn completed_producer_creates_no_dependence() {
+        let mut ruu = Ruu::new(8);
+        let mut s = ArchState::new(0x1000);
+        let mut m = Memory::new();
+        let li = Instr::rri(Opcode::Li, T0, ZERO, 5);
+        let add = Instr::rrr(Opcode::Add, T1, T0, T0);
+        let i0 = step(&mut s, &li, &mut m);
+        ruu.dispatch(0, i0, PredictionInfo::default(), 0);
+        ruu.complete(0);
+        let i1 = step(&mut s, &add, &mut m);
+        ruu.dispatch(1, i1, PredictionInfo::default(), 0);
+        assert_eq!(ruu.get(1).unwrap().pending_deps, 0);
+    }
+
+    #[test]
+    fn pop_head_in_order() {
+        let mut ruu = Ruu::new(8);
+        dispatch_chain(
+            &mut ruu,
+            &[Instr::rri(Opcode::Li, T0, ZERO, 1), Instr::rri(Opcode::Li, T1, ZERO, 2)],
+        );
+        ruu.complete(0);
+        let e = ruu.pop_head();
+        assert_eq!(e.seq, 0);
+        assert_eq!(ruu.head().unwrap().seq, 1);
+        assert_eq!(ruu.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "incomplete head")]
+    fn pop_incomplete_head_panics() {
+        let mut ruu = Ruu::new(8);
+        dispatch_chain(&mut ruu, &[Instr::rri(Opcode::Li, T0, ZERO, 1)]);
+        ruu.pop_head();
+    }
+
+    #[test]
+    #[should_panic(expected = "full RUU")]
+    fn dispatch_into_full_panics() {
+        let mut ruu = Ruu::new(1);
+        dispatch_chain(
+            &mut ruu,
+            &[Instr::rri(Opcode::Li, T0, ZERO, 1), Instr::rri(Opcode::Li, T1, ZERO, 2)],
+        );
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut ruu = Ruu::new(8);
+        dispatch_chain(
+            &mut ruu,
+            &[Instr::rri(Opcode::Li, T0, ZERO, 1), Instr::rrr(Opcode::Add, T1, T0, T0)],
+        );
+        ruu.flush_all();
+        assert!(ruu.is_empty());
+        // After a flush, re-dispatch from seq 0 with fresh renaming.
+        dispatch_chain(&mut ruu, &[Instr::rrr(Opcode::Add, T2, T0, T1)]);
+        assert_eq!(ruu.get(0).unwrap().pending_deps, 0, "stale renaming must be gone");
+    }
+
+    #[test]
+    fn rename_entry_cleared_on_pop() {
+        let mut ruu = Ruu::new(8);
+        dispatch_chain(&mut ruu, &[Instr::rri(Opcode::Li, T0, ZERO, 1)]);
+        ruu.complete(0);
+        ruu.pop_head();
+        // A later reader of t0 must not depend on the departed writer.
+        let mut s = ArchState::new(0x1000);
+        let mut m = Memory::new();
+        let info = step(&mut s, &Instr::rrr(Opcode::Add, T1, T0, T0), &mut m);
+        ruu.dispatch(1, info, PredictionInfo::default(), 0);
+        assert_eq!(ruu.get(1).unwrap().pending_deps, 0);
+    }
+
+    #[test]
+    fn get_rejects_departed_and_future_seqs() {
+        let mut ruu = Ruu::new(8);
+        dispatch_chain(&mut ruu, &[Instr::rri(Opcode::Li, T0, ZERO, 1)]);
+        assert!(ruu.get(0).is_some());
+        assert!(ruu.get(1).is_none());
+        ruu.complete(0);
+        ruu.pop_head();
+        assert!(ruu.get(0).is_none());
+    }
+}

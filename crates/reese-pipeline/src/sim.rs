@@ -1,0 +1,481 @@
+//! The baseline out-of-order superscalar simulator.
+
+use crate::{
+    Fetched, FetchUnit, FuPool, Lsq, LoadPlan, PipelineConfig, PipelineStats, Ruu, SimError,
+    SimResult, SimStop,
+};
+use reese_isa::{FuClass, Program};
+use reese_mem::MemHierarchy;
+use std::collections::VecDeque;
+
+/// Cycles without a commit after which the simulator declares a
+/// deadlock (an internal invariant violation, not a program property).
+const DEADLOCK_HORIZON: u64 = 100_000;
+
+/// The baseline machine: SimpleScalar `sim-outorder` re-imagined in
+/// Rust. Fetch → dispatch → out-of-order issue → writeback → in-order
+/// commit, with an RUU, an LSQ, a gshare front end, and the paper's
+/// Table 1 cache hierarchy.
+///
+/// # Example
+///
+/// ```
+/// use reese_pipeline::{PipelineConfig, PipelineSim};
+///
+/// let prog = reese_isa::assemble(
+///     "  li t0, 100\nloop: addi t0, t0, -1\n  bnez t0, loop\n  halt\n",
+/// )?;
+/// let result = PipelineSim::new(PipelineConfig::starting()).run(&prog)?;
+/// assert_eq!(result.committed_instructions(), 202);
+/// assert!(result.ipc() > 0.5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelineSim {
+    config: PipelineConfig,
+}
+
+impl PipelineSim {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is structurally invalid
+    /// (see [`PipelineConfig::validate`]).
+    pub fn new(config: PipelineConfig) -> PipelineSim {
+        config.validate();
+        PipelineSim { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs a program to its `halt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Emulation`] if the program misbehaves and
+    /// [`SimError::Deadlock`] on an internal invariant violation.
+    pub fn run(&self, program: &Program) -> Result<SimResult, SimError> {
+        self.run_limit(program, u64::MAX)
+    }
+
+    /// Runs a program until `halt` or until `max_instructions` commit.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineSim::run`].
+    pub fn run_limit(&self, program: &Program, max_instructions: u64) -> Result<SimResult, SimError> {
+        self.run_region(program, 0, max_instructions)
+    }
+
+    /// Fast-forwards `skip` instructions functionally (SimpleScalar's
+    /// `-fastfwd`), then simulates timing until `halt` or until
+    /// `max_instructions` commit in the timed region. Architectural
+    /// state is warm at the start of measurement; caches, predictors,
+    /// and queues are cold, exactly as in SimpleScalar.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineSim::run`].
+    pub fn run_region(
+        &self,
+        program: &Program,
+        skip: u64,
+        max_instructions: u64,
+    ) -> Result<SimResult, SimError> {
+        let mut m = Machine::new(&self.config, program);
+        m.fetch.fast_forward(skip);
+        m.run(max_instructions)
+    }
+}
+
+/// Transient per-run machine state.
+struct Machine<'c> {
+    cfg: &'c PipelineConfig,
+    cycle: u64,
+    fetch: FetchUnit,
+    fetchq: VecDeque<Fetched>,
+    ruu: Ruu,
+    lsq: Lsq,
+    fu: FuPool,
+    hierarchy: MemHierarchy,
+    stats: PipelineStats,
+    output: Vec<i64>,
+    exit_code: Option<u64>,
+    last_commit_cycle: u64,
+}
+
+impl<'c> Machine<'c> {
+    fn new(cfg: &'c PipelineConfig, program: &Program) -> Machine<'c> {
+        Machine {
+            cfg,
+            cycle: 0,
+            fetch: FetchUnit::new(program, cfg.predictor.clone()),
+            fetchq: VecDeque::with_capacity(cfg.fetch_queue_size),
+            ruu: Ruu::new(cfg.ruu_size),
+            lsq: Lsq::new(cfg.lsq_size),
+            fu: FuPool::new(cfg.fu),
+            hierarchy: MemHierarchy::new(cfg.hierarchy.clone()),
+            stats: PipelineStats::default(),
+            output: Vec::new(),
+            exit_code: None,
+            last_commit_cycle: 0,
+        }
+    }
+
+    fn run(&mut self, max_instructions: u64) -> Result<SimResult, SimError> {
+        let stop = loop {
+            self.cycle += 1;
+
+            self.commit(max_instructions);
+            if self.exit_code.is_some() {
+                break SimStop::Halted;
+            }
+            if self.stats.committed >= max_instructions {
+                break SimStop::InstructionLimit;
+            }
+            self.writeback();
+            self.issue();
+            self.dispatch();
+            self.do_fetch();
+
+            if self.cfg.max_cycles > 0 && self.cycle >= self.cfg.max_cycles {
+                break SimStop::CycleLimit;
+            }
+            if self.machine_drained() {
+                // No more instructions will ever arrive: surface the
+                // emulator error that cut the program short.
+                if let Some(e) = self.fetch.error() {
+                    return Err(SimError::Emulation(e.clone()));
+                }
+                // A program without halt that ran dry (cannot happen for
+                // halting programs) — treat as an instruction limit.
+                break SimStop::InstructionLimit;
+            }
+            if self.cycle - self.last_commit_cycle > DEADLOCK_HORIZON {
+                return Err(SimError::Deadlock { cycle: self.cycle });
+            }
+        };
+        self.finalise();
+        Ok(SimResult {
+            stop,
+            stats: self.stats.clone(),
+            output: std::mem::take(&mut self.output),
+            exit_code: self.exit_code,
+            state_digest: self.fetch.state_digest(),
+        })
+    }
+
+    fn machine_drained(&self) -> bool {
+        self.fetch.exhausted() && self.fetchq.is_empty() && self.ruu.is_empty()
+    }
+
+    /// In-order commit from the RUU head, up to the machine width.
+    fn commit(&mut self, max_instructions: u64) {
+        for _ in 0..self.cfg.width {
+            if self.stats.committed >= max_instructions {
+                return;
+            }
+            let Some(head) = self.ruu.head() else { return };
+            if !head.completed {
+                return;
+            }
+            let e = self.ruu.pop_head();
+            self.lsq.remove(e.seq);
+            self.fetch.on_commit(1);
+            self.stats.committed += 1;
+            self.last_commit_cycle = self.cycle;
+            if let Some(v) = e.info.printed {
+                self.output.push(v);
+            }
+            if e.info.halted {
+                self.exit_code = Some(e.info.result);
+                return;
+            }
+        }
+    }
+
+    /// Completes instructions whose execution finishes this cycle,
+    /// waking dependants and resolving control flow.
+    fn writeback(&mut self) {
+        let done: Vec<u64> = self
+            .ruu
+            .iter()
+            .filter(|e| e.issued && !e.completed && e.complete_cycle <= self.cycle)
+            .map(|e| e.seq)
+            .collect();
+        for seq in done {
+            self.ruu.complete(seq);
+            let e = self.ruu.get(seq).expect("just completed").clone();
+            if e.is_mem() {
+                self.lsq.mark_executed(seq);
+            }
+            if e.is_control() {
+                let fetched = Fetched { seq: e.seq, info: e.info, pred: e.pred };
+                self.fetch.resolve_control(&fetched, self.cycle, self.cfg.mispredict_penalty);
+            }
+        }
+    }
+
+    /// Out-of-order issue: oldest ready instructions first, bounded by
+    /// the machine width and functional-unit availability.
+    fn issue(&mut self) {
+        let ready: Vec<u64> = self.ruu.ready_seqs().collect();
+        let mut issued = 0usize;
+        for seq in ready {
+            if issued == self.cfg.width {
+                break;
+            }
+            let e = self.ruu.get(seq).expect("ready seq in window");
+            let op = e.info.instr.op;
+            let latency: u64 = if let Some(mem) = e.info.mem {
+                if mem.is_store {
+                    if !self.fu.try_issue_mem(op, self.cycle) {
+                        continue; // no agen ALU + memory port this cycle
+                    }
+                    1 + u64::from(self.hierarchy.access_data(mem.addr, true))
+                } else {
+                    match self.lsq.plan_load(seq, mem.addr, mem.width.bytes()) {
+                        LoadPlan::Wait { .. } => continue,
+                        LoadPlan::Forward { .. } => {
+                            // Store-to-load forwarding: address generation
+                            // plus the bypass, no cache port needed.
+                            self.stats.loads_forwarded += 1;
+                            2
+                        }
+                        LoadPlan::CacheAccess => {
+                            if !self.fu.try_issue_mem(op, self.cycle) {
+                                continue;
+                            }
+                            1 + u64::from(self.hierarchy.access_data(mem.addr, false))
+                        }
+                    }
+                }
+            } else {
+                if !self.fu.try_issue(op, self.cycle) {
+                    continue;
+                }
+                u64::from(op.latency())
+            };
+            let e = self.ruu.get_mut(seq).expect("ready seq in window");
+            e.issued = true;
+            e.issue_cycle = self.cycle;
+            e.complete_cycle = self.cycle + latency;
+            issued += 1;
+            self.stats.issued += 1;
+        }
+    }
+
+    /// In-order dispatch from the fetch queue into the RUU/LSQ.
+    fn dispatch(&mut self) {
+        if self.fetchq.is_empty() {
+            self.stats.fetch_queue_empty_cycles += 1;
+            return;
+        }
+        for _ in 0..self.cfg.width {
+            let Some(front) = self.fetchq.front() else { break };
+            if self.ruu.is_full() {
+                self.stats.dispatch_stall_ruu_full += 1;
+                break;
+            }
+            if front.info.mem.is_some() && self.lsq.is_full() {
+                self.stats.dispatch_stall_lsq_full += 1;
+                break;
+            }
+            let f = self.fetchq.pop_front().expect("checked front");
+            self.ruu.dispatch(f.seq, f.info, f.pred, self.cycle);
+            if let Some(mem) = f.info.mem {
+                self.lsq.insert(f.seq, mem.addr, mem.width.bytes(), mem.is_store);
+            }
+        }
+    }
+
+    /// Fetches new instructions into the fetch queue.
+    fn do_fetch(&mut self) {
+        let space = self.cfg.fetch_queue_size - self.fetchq.len();
+        if space == 0 {
+            return;
+        }
+        let batch = self.fetch.fetch_cycle(self.cycle, self.cfg.width, space, &mut self.hierarchy);
+        self.fetchq.extend(batch);
+    }
+
+    /// Final bookkeeping into the stats structure.
+    fn finalise(&mut self) {
+        self.stats.cycles = self.cycle;
+        self.stats.fetched = self.fetch.total_fetched();
+        self.stats.branch = self.fetch.branch_stats();
+        self.stats.hierarchy = Some(self.hierarchy.stats());
+        self.stats.fu_utilisation = FuClass::ALL
+            .iter()
+            .map(|&c| (c, self.fu.utilisation(c, self.cycle)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reese_cpu::Emulator;
+    use reese_isa::assemble;
+
+    fn run(src: &str) -> SimResult {
+        let prog = assemble(src).unwrap();
+        PipelineSim::new(PipelineConfig::starting()).run(&prog).unwrap()
+    }
+
+    #[test]
+    fn trivial_program_halts() {
+        let r = run("  li t0, 1\n  halt\n");
+        assert_eq!(r.stop, SimStop::Halted);
+        assert_eq!(r.committed_instructions(), 2);
+        assert!(r.cycles() >= 2);
+    }
+
+    #[test]
+    fn loop_matches_emulator_instruction_count() {
+        let src = "  li t0, 50\nloop: addi t0, t0, -1\n  bnez t0, loop\n  halt\n";
+        let prog = assemble(src).unwrap();
+        let emu = Emulator::new(&prog).run(10_000).unwrap();
+        let sim = PipelineSim::new(PipelineConfig::starting()).run(&prog).unwrap();
+        assert_eq!(sim.committed_instructions(), emu.instructions);
+        assert_eq!(sim.state_digest, emu.state_digest);
+    }
+
+    #[test]
+    fn output_collected_at_commit() {
+        let r = run("  li a0, 1\n  print a0\n  li a0, 2\n  print a0\n  halt\n");
+        assert_eq!(r.output, vec![1, 2]);
+        assert_eq!(r.exit_code, Some(2));
+    }
+
+    #[test]
+    fn dependent_chain_is_serialised() {
+        // 20 dependent adds cannot exceed 1 IPC through the adder chain.
+        let mut src = String::from("  li t0, 1\n");
+        for _ in 0..20 {
+            src.push_str("  add t0, t0, t0\n");
+        }
+        src.push_str("  halt\n");
+        let r = run(&src);
+        assert!(r.cycles() >= 20, "dependence chain must serialise, got {} cycles", r.cycles());
+    }
+
+    #[test]
+    fn independent_ops_reach_high_ipc() {
+        // A hot loop of independent adds: once the i-cache warms and the
+        // loop branch trains, IPC should comfortably exceed 1.5.
+        let r = run(
+            "  li s0, 200\n\
+             loop: addi t0, t0, 1\n  addi t1, t1, 1\n  addi t2, t2, 1\n\
+             \n  addi s0, s0, -1\n  bnez s0, loop\n  halt\n",
+        );
+        assert!(r.ipc() > 1.5, "independent loop IPC {:.2} too low", r.ipc());
+    }
+
+    #[test]
+    fn cold_straight_line_code_pays_icache_misses() {
+        // 400 straight-line instructions never reuse an i-cache line, so
+        // IPC is dominated by cold misses — a real effect the hierarchy
+        // must charge.
+        let mut src = String::from("  li t0, 1\n");
+        for _ in 0..100 {
+            src.push_str("  addi t0, t0, 1\n  addi t1, t1, 1\n  addi t2, t2, 1\n  addi t3, t3, 1\n");
+        }
+        src.push_str("  halt\n");
+        let r = run(&src);
+        assert!(r.ipc() < 1.0, "cold-code IPC {:.2} suspiciously high", r.ipc());
+        let h = r.stats.hierarchy.unwrap();
+        assert!(h.l1i.misses >= 100, "every line is a cold miss");
+    }
+
+    #[test]
+    fn memory_program_correct() {
+        let r = run(
+            "  la a0, arr\n  li t0, 0\n  li t1, 10\n\
+             loop: slli t2, t0, 3\n  add t3, a0, t2\n  sd t0, 0(t3)\n  addi t0, t0, 1\n  bne t0, t1, loop\n\
+             \n  ld a1, 72(a0)\n  print a1\n  halt\n  .data\narr: .space 80\n",
+        );
+        assert_eq!(r.output, vec![9]);
+    }
+
+    #[test]
+    fn store_load_forwarding_counted() {
+        let r = run(
+            "  li t0, 7\n  sd t0, -8(sp)\n  ld t1, -8(sp)\n  print t1\n  halt\n",
+        );
+        assert_eq!(r.output, vec![7]);
+        assert!(r.stats.loads_forwarded >= 1, "the reload must forward from the store");
+    }
+
+    #[test]
+    fn division_stalls_ruu() {
+        // Long dependent division chain: low IPC expected.
+        let r = run(
+            "  li t0, 1000000\n  li t1, 3\n\
+             \n  div t2, t0, t1\n  div t2, t2, t1\n  div t2, t2, t1\n  div t2, t2, t1\n  print t2\n  halt\n",
+        );
+        assert_eq!(r.output, vec![12345]);
+        assert!(r.cycles() > 80, "four dependent 20-cycle divides, got {}", r.cycles());
+    }
+
+    #[test]
+    fn instruction_limit_stops_run() {
+        let prog = assemble("loop: addi t0, t0, 1\n  j loop\n  halt\n").unwrap();
+        let r = PipelineSim::new(PipelineConfig::starting()).run_limit(&prog, 100).unwrap();
+        assert_eq!(r.stop, SimStop::InstructionLimit);
+        assert!(r.committed_instructions() >= 100);
+    }
+
+    #[test]
+    fn cycle_limit_stops_run() {
+        let prog = assemble("loop: addi t0, t0, 1\n  j loop\n  halt\n").unwrap();
+        let mut cfg = PipelineConfig::starting();
+        cfg.max_cycles = 1000;
+        let r = PipelineSim::new(cfg).run(&prog).unwrap();
+        assert_eq!(r.stop, SimStop::CycleLimit);
+        assert_eq!(r.cycles(), 1000);
+    }
+
+    #[test]
+    fn wild_jump_is_an_error() {
+        let prog = assemble("  li t0, 0x900000\n  jalr x0, 0(t0)\n  halt\n").unwrap();
+        let err = PipelineSim::new(PipelineConfig::starting()).run(&prog).unwrap_err();
+        assert!(matches!(err, SimError::Emulation(_)));
+    }
+
+    #[test]
+    fn determinism() {
+        let src = "  li t0, 500\nloop: addi t0, t0, -1\n  mul t1, t0, t0\n  bnez t0, loop\n  halt\n";
+        let a = run(src);
+        let b = run(src);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stats_populated() {
+        let r = run("  li t0, 30\nloop: addi t0, t0, -1\n  bnez t0, loop\n  halt\n");
+        assert!(r.stats.fetched >= r.stats.committed);
+        assert!(r.stats.issued >= r.stats.committed);
+        assert!(r.stats.branch.branch_lookups >= 30);
+        assert!(r.stats.hierarchy.is_some());
+        assert_eq!(r.stats.fu_utilisation.len(), 5);
+    }
+
+    #[test]
+    fn subroutine_program() {
+        let r = run(
+            "        .entry main\n\
+             square: mul a0, a0, a0\n\
+                     ret\n\
+             main:   li a0, 9\n\
+                     call square\n\
+                     print a0\n\
+                     halt\n",
+        );
+        assert_eq!(r.output, vec![81]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Timing-model invariants of the baseline pipeline, checked over both
+//! hand-built corner cases and randomly generated programs.
+
+use proptest::prelude::*;
+use reese_cpu::Emulator;
+use reese_isa::{abi::*, assemble, Program, ProgramBuilder};
+use reese_pipeline::{PipelineConfig, PipelineSim};
+
+fn straight_line(n: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.li(T0, 1);
+    for _ in 0..n {
+        b.addi(T0, T0, 1);
+    }
+    b.li(A0, 0);
+    b.halt();
+    b.build().expect("builds")
+}
+
+#[test]
+fn cycles_lower_bound_width() {
+    // N committed instructions on a W-wide machine need ≥ N/W cycles.
+    let prog = straight_line(400);
+    let r = PipelineSim::new(PipelineConfig::starting()).run(&prog).expect("runs");
+    let n = r.committed_instructions();
+    assert!(r.cycles() >= n / 8, "{} cycles for {} instructions", r.cycles(), n);
+}
+
+#[test]
+fn dependent_chain_lower_bound_latency() {
+    // A chain of K dependent multiplies cannot finish before 3K cycles.
+    let mut b = ProgramBuilder::new();
+    b.li(T0, 3);
+    for _ in 0..50 {
+        b.mul(T0, T0, T0);
+    }
+    b.li(A0, 0);
+    b.halt();
+    let r = PipelineSim::new(PipelineConfig::starting()).run(&b.build().expect("builds")).expect("runs");
+    assert!(r.cycles() >= 150, "50 dependent 3-cycle multiplies in {} cycles", r.cycles());
+}
+
+#[test]
+fn smaller_ruu_never_faster() {
+    let prog = reese_workload();
+    let small = PipelineSim::new(PipelineConfig::starting().with_ruu(8).with_lsq(4))
+        .run(&prog)
+        .expect("runs");
+    let big = PipelineSim::new(PipelineConfig::starting().with_ruu(64).with_lsq(32))
+        .run(&prog)
+        .expect("runs");
+    assert!(small.cycles() >= big.cycles(), "shrinking the window cannot speed things up");
+}
+
+#[test]
+fn fewer_alus_never_faster() {
+    let prog = reese_workload();
+    let mut one_alu = PipelineConfig::starting();
+    one_alu.fu.int_alu = 1;
+    let slow = PipelineSim::new(one_alu).run(&prog).expect("runs");
+    let fast = PipelineSim::new(PipelineConfig::starting().with_extra_int_alus(4))
+        .run(&prog)
+        .expect("runs");
+    assert!(slow.cycles() >= fast.cycles());
+}
+
+#[test]
+fn perfect_prediction_beats_always_wrong() {
+    // A taken loop branch: always-not-taken mispredicts every iteration.
+    let prog = assemble("  li t0, 200\nloop: addi t0, t0, -1\n  bnez t0, loop\n  halt\n").unwrap();
+    let mut nt = PipelineConfig::starting();
+    nt.predictor = nt.predictor.with_kind(reese_bpred::PredictorKind::AlwaysNotTaken);
+    let mut tk = PipelineConfig::starting();
+    tk.predictor = tk.predictor.with_kind(reese_bpred::PredictorKind::AlwaysTaken);
+    let bad = PipelineSim::new(nt).run(&prog).expect("runs");
+    let good = PipelineSim::new(tk).run(&prog).expect("runs");
+    assert!(
+        bad.cycles() > good.cycles() + 200,
+        "200 mispredictions must cost real cycles ({} vs {})",
+        bad.cycles(),
+        good.cycles()
+    );
+    assert!(bad.stats.branch.mispredict_rate() > 0.9);
+    assert!(good.stats.branch.mispredict_rate() < 0.1);
+}
+
+fn reese_workload() -> Program {
+    assemble(
+        "  la a0, buf\n  li s0, 300\n\
+         loop: andi t4, s0, 127\n  slli t2, t4, 3\n  add t3, a0, t2\n  ld t0, 0(t3)\n\
+         \n  addi t0, t0, 3\n  xor t5, t5, t0\n  sd t0, 0(t3)\n\
+         \n  addi s0, s0, -1\n  bnez s0, loop\n  print t5\n  halt\n\
+         \n  .data\nbuf: .space 1024\n",
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// On random programs the pipeline still matches the emulator and
+    /// respects the width bound.
+    #[test]
+    fn random_programs_sound(seed in any::<u64>(), iters in 1u32..6) {
+        let prog = reese_workloads::SyntheticSpec {
+            iterations: iters,
+            seed,
+            ..reese_workloads::SyntheticSpec::balanced()
+        }
+        .build();
+        let emu = Emulator::new(&prog).run(u64::MAX).expect("halts");
+        let sim = PipelineSim::new(PipelineConfig::starting()).run(&prog).expect("runs");
+        prop_assert_eq!(sim.state_digest, emu.state_digest);
+        prop_assert!(sim.cycles() >= emu.instructions / 8);
+        prop_assert!(sim.stats.issued >= sim.stats.committed);
+        prop_assert!(sim.stats.fetched >= sim.stats.committed);
+    }
+
+    /// Adding cache latency monotonicity: a slower main memory never
+    /// produces a faster run.
+    #[test]
+    fn slower_memory_never_faster(seed in any::<u64>()) {
+        let prog = reese_workloads::SyntheticSpec {
+            iterations: 3,
+            seed,
+            ..reese_workloads::SyntheticSpec::memory_heavy()
+        }
+        .build();
+        let mut fast_mem = PipelineConfig::starting();
+        fast_mem.hierarchy.mem_latency = 5;
+        let mut slow_mem = PipelineConfig::starting();
+        slow_mem.hierarchy.mem_latency = 200;
+        let fast = PipelineSim::new(fast_mem).run(&prog).expect("runs");
+        let slow = PipelineSim::new(slow_mem).run(&prog).expect("runs");
+        prop_assert!(slow.cycles() >= fast.cycles());
+    }
+}

@@ -1,0 +1,168 @@
+//! Named event counters and derived ratios.
+
+use std::fmt;
+
+/// A named, monotonically increasing event counter.
+///
+/// Counters are the primitive every simulator statistic is built from:
+/// cycles, committed instructions, cache misses, R-queue stalls, and so
+/// on. They are deliberately plain — no interior mutability, no atomics —
+/// because the simulators are single-threaded and deterministic.
+///
+/// # Example
+///
+/// ```
+/// use reese_stats::Counter;
+///
+/// let mut commits = Counter::new("committed_instructions");
+/// commits.incr();
+/// commits.add(9);
+/// assert_eq!(commits.value(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Counter {
+    name: &'static str,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter with a display name.
+    pub fn new(name: &'static str) -> Self {
+        Self { name, value: 0 }
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Display name given at construction.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Resets the count to zero (e.g. after a warm-up phase).
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// This counter divided by another, as an [`f64`] ratio.
+    ///
+    /// Returns 0.0 when the denominator is zero, which is the convention
+    /// the reporting layer wants (an idle unit has utilisation 0, not NaN).
+    pub fn per(&self, denom: &Counter) -> f64 {
+        Ratio::of(self.value, denom.value).value()
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.name, self.value)
+    }
+}
+
+/// A numerator/denominator pair that formats as a rate.
+///
+/// # Example
+///
+/// ```
+/// use reese_stats::Ratio;
+///
+/// let ipc = Ratio::of(200, 100);
+/// assert_eq!(ipc.value(), 2.0);
+/// assert_eq!(Ratio::of(1, 0).value(), 0.0); // never NaN
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: u64,
+    den: u64,
+}
+
+impl Ratio {
+    /// Creates a ratio `num / den`.
+    pub fn of(num: u64, den: u64) -> Self {
+        Self { num, den }
+    }
+
+    /// The ratio as a float; zero when the denominator is zero.
+    pub fn value(&self) -> f64 {
+        if self.den == 0 {
+            0.0
+        } else {
+            self.num as f64 / self.den as f64
+        }
+    }
+
+    /// The ratio as a percentage (0–100 scale); zero when undefined.
+    pub fn percent(&self) -> f64 {
+        self.value() * 100.0
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} ({}/{})", self.value(), self.num, self.den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new("x");
+        assert_eq!(c.value(), 0);
+        c.incr();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+        assert_eq!(c.name(), "x");
+    }
+
+    #[test]
+    fn counter_reset() {
+        let mut c = Counter::new("x");
+        c.add(10);
+        c.reset();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn counter_display_nonempty() {
+        let c = Counter::new("cycles");
+        assert_eq!(c.to_string(), "cycles = 0");
+    }
+
+    #[test]
+    fn ratio_basic() {
+        assert_eq!(Ratio::of(3, 4).value(), 0.75);
+        assert_eq!(Ratio::of(3, 4).percent(), 75.0);
+    }
+
+    #[test]
+    fn ratio_zero_denominator_is_zero() {
+        assert_eq!(Ratio::of(10, 0).value(), 0.0);
+    }
+
+    #[test]
+    fn per_helper() {
+        let mut insns = Counter::new("insns");
+        let mut cycles = Counter::new("cycles");
+        insns.add(150);
+        cycles.add(100);
+        assert!((insns.per(&cycles) - 1.5).abs() < 1e-12);
+    }
+}

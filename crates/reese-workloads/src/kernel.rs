@@ -1,0 +1,173 @@
+//! The kernel catalogue and dynamic-length calibration.
+
+use crate::kernels;
+use reese_cpu::Emulator;
+use reese_isa::Program;
+use std::fmt;
+
+/// The six SPEC95-integer-like kernels (Table 2 of the paper).
+///
+/// Each kernel is a synthetic program whose *microarchitectural
+/// signature* — instruction mix, branch behaviour, memory footprint,
+/// ILP — mirrors the corresponding SPEC95 integer benchmark. See the
+/// module docs of each kernel for what is modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Kernel {
+    /// gcc-like: branchy expression-node dispatch.
+    Compiler,
+    /// go-like: board evaluation with unpredictable branches.
+    Gameplay,
+    /// ijpeg-like: unrolled integer DCT with high ILP.
+    Imaging,
+    /// li-like: cons-cell pointer chasing.
+    Lisp,
+    /// perl-like: byte scanning and hashing.
+    Strings,
+    /// vortex-like: indexed record lookups and copies.
+    Database,
+}
+
+impl Kernel {
+    /// All kernels, in Table 2 order.
+    pub const ALL: [Kernel; 6] = [
+        Kernel::Compiler,
+        Kernel::Gameplay,
+        Kernel::Imaging,
+        Kernel::Lisp,
+        Kernel::Strings,
+        Kernel::Database,
+    ];
+
+    /// Short name used in tables and harness output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Compiler => "compiler",
+            Kernel::Gameplay => "gameplay",
+            Kernel::Imaging => "imaging",
+            Kernel::Lisp => "lisp",
+            Kernel::Strings => "strings",
+            Kernel::Database => "database",
+        }
+    }
+
+    /// The SPEC95 benchmark this kernel stands in for.
+    pub fn paper_benchmark(self) -> &'static str {
+        match self {
+            Kernel::Compiler => "gcc",
+            Kernel::Gameplay => "go",
+            Kernel::Imaging => "ijpeg",
+            Kernel::Lisp => "li",
+            Kernel::Strings => "perl",
+            Kernel::Database => "vortex",
+        }
+    }
+
+    /// The input the paper fed that benchmark (Table 2).
+    pub fn paper_input(self) -> &'static str {
+        match self {
+            Kernel::Compiler => "stmt-protoize.i",
+            Kernel::Gameplay => "train",
+            Kernel::Imaging => "train",
+            Kernel::Lisp => "train",
+            Kernel::Strings => "scrabbl.pl",
+            Kernel::Database => "train",
+        }
+    }
+
+    /// Builds the kernel at an explicit scale (passes/iteration units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero.
+    pub fn build(self, scale: u32) -> Program {
+        assert!(scale > 0, "scale must be positive");
+        match self {
+            Kernel::Compiler => kernels::compiler::build(scale),
+            Kernel::Gameplay => kernels::gameplay::build(scale),
+            Kernel::Imaging => kernels::imaging::build(scale),
+            Kernel::Lisp => kernels::lisp::build(scale),
+            Kernel::Strings => kernels::strings::build(scale),
+            Kernel::Database => kernels::database::build(scale),
+        }
+    }
+
+    /// Builds the kernel scaled so its dynamic instruction count is at
+    /// least `target_instructions` (and within about one pass of it).
+    ///
+    /// Calibration probes the kernel functionally at two small scales
+    /// to learn its per-pass cost, then solves for the right scale —
+    /// the moral equivalent of the paper picking "100 million
+    /// instructions" per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probe run fails (a kernel bug, not an input error).
+    pub fn build_for(self, target_instructions: u64) -> Program {
+        let probe = |scale: u32| -> u64 {
+            Emulator::new(&self.build(scale))
+                .run(u64::MAX)
+                .expect("kernel probe must halt")
+                .instructions
+        };
+        let at1 = probe(1);
+        let at3 = probe(3);
+        let per_pass = (at3 - at1) / 2;
+        let fixed = at1.saturating_sub(per_pass);
+        if target_instructions <= at1 {
+            return self.build(1);
+        }
+        let need = target_instructions - fixed;
+        let scale = need.div_ceil(per_pass.max(1)).max(1);
+        self.build(u32::try_from(scale).unwrap_or(u32::MAX))
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_build_and_halt() {
+        for k in Kernel::ALL {
+            let prog = k.build(1);
+            let r = Emulator::new(&prog).run(5_000_000).unwrap();
+            assert!(r.halted(), "{k} must halt");
+            assert!(!r.output.is_empty(), "{k} must print a checksum");
+        }
+    }
+
+    #[test]
+    fn names_and_paper_mapping_unique() {
+        let names: std::collections::HashSet<_> = Kernel::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 6);
+        let bench: std::collections::HashSet<_> =
+            Kernel::ALL.iter().map(|k| k.paper_benchmark()).collect();
+        assert_eq!(bench.len(), 6);
+        for k in Kernel::ALL {
+            assert!(!k.paper_input().is_empty());
+        }
+    }
+
+    #[test]
+    fn build_for_hits_target() {
+        for k in [Kernel::Compiler, Kernel::Lisp] {
+            let target = 120_000;
+            let prog = k.build_for(target);
+            let n = Emulator::new(&prog).run(u64::MAX).unwrap().instructions;
+            assert!(n >= target, "{k}: {n} < {target}");
+            assert!(n < target * 3, "{k}: overshoot {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_rejected() {
+        Kernel::Compiler.build(0);
+    }
+}

@@ -1,0 +1,154 @@
+//! `compiler` — the gcc-like kernel.
+//!
+//! Models a compiler's constant-folding pass: a flat array of expression
+//! nodes `(kind, lhs, rhs, result)` is repeatedly evaluated through a
+//! big dispatch (an 8-way compare-and-branch switch, the shape of gcc's
+//! tree-code switches). Node kinds are pseudo-random, so the dispatch
+//! branches are data-dependent and frequently mispredicted — gcc's
+//! signature: branchy, moderate memory traffic, almost no multiply.
+
+use reese_isa::{abi::*, Program, ProgramBuilder};
+use reese_stats::SplitMix64;
+
+/// Number of expression nodes in the workload.
+const NODES: i64 = 512;
+
+// (node stride is 32 bytes; the code uses `slli …, 5` directly)
+
+/// Builds the kernel; `scale` is the number of evaluation passes over
+/// the node array (roughly 11k dynamic instructions per pass).
+///
+/// # Panics
+///
+/// Panics only on internal label errors (a bug, not an input condition).
+pub fn build(scale: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let mut rng = SplitMix64::new(0xC0_11E6E);
+
+    // -- data: the expression nodes ------------------------------------
+    // Node kinds follow a Markov chain (70% repeat the previous kind):
+    // real syntax trees arrive in runs — a block of additions, a block
+    // of comparisons — so the dispatch branches are hard but not
+    // hopeless, like gcc's (~90% prediction on big switches).
+    let nodes = b.data_label("nodes");
+    let mut kind = 0u64;
+    for _ in 0..NODES {
+        if !rng.chance(0.70) {
+            kind = rng.range_u64(0, 8);
+        }
+        let lhs = rng.next_u32() as i32 as i64 as u64;
+        let rhs = (rng.next_u32() as i32 as i64 as u64) | 1; // avoid /0 paths
+        b.dword(kind);
+        b.dword(lhs);
+        b.dword(rhs);
+        b.dword(0); // result slot
+    }
+    // Evaluation log: the pass appends every folded result here, the way
+    // a compiler pass materialises its work list (spill-like stores).
+    let log = b.data_label("log");
+    b.space((NODES * 8) as usize);
+
+    // -- code ---------------------------------------------------------------
+    let outer = b.label("outer");
+    let inner = b.label("inner");
+    let done = b.label("done");
+    let cases: Vec<_> = (0..8).map(|k| b.label(&format!("k{k}"))).collect();
+
+    b.la(A0, nodes);
+    b.la(A1, log);
+    b.li(S0, i64::from(scale));
+    b.li(S5, 0); // checksum
+    b.bind(outer);
+    b.li(S1, 0); // node index
+    b.bind(inner);
+    b.slli(T0, S1, 5);
+    b.add(T1, A0, T0);
+    b.ld(T2, 0, T1); // kind
+    b.ld(T3, 8, T1); // lhs
+    b.ld(T4, 16, T1); // rhs
+    // 8-way switch: compare-and-branch chain, gcc-style dispatch.
+    for (k, case) in cases.iter().enumerate().skip(1) {
+        b.li(T5, k as i64);
+        b.beq(T2, T5, *case);
+    }
+    b.bind(cases[0]);
+    b.add(T6, T3, T4);
+    b.j(done);
+    b.bind(cases[1]);
+    b.sub(T6, T3, T4);
+    b.j(done);
+    b.bind(cases[2]);
+    b.xor(T6, T3, T4);
+    b.j(done);
+    b.bind(cases[3]);
+    b.and(T6, T3, T4);
+    b.j(done);
+    b.bind(cases[4]);
+    b.or(T6, T3, T4);
+    b.j(done);
+    b.bind(cases[5]);
+    b.slt(T6, T3, T4);
+    b.j(done);
+    b.bind(cases[6]);
+    b.srai(T6, T3, 2);
+    b.j(done);
+    b.bind(cases[7]);
+    b.mul(T6, T3, T4); // the rare multiply in compiler code
+    b.bind(done);
+    b.sd(T6, 24, T1); // fold the result back into the node
+    // Cross-reference the previous node's folded result (a compiler's
+    // use-def chain walk) and append this one to the evaluation log.
+    b.ld(T3, -8, T1); // nodes[i-1].result (node 0 reads its own kind slot)
+    b.xor(S5, S5, T3);
+    b.slli(T4, S1, 3);
+    b.add(T4, A1, T4);
+    b.sd(T6, 0, T4);
+    b.add(S5, S5, T6); // running checksum
+    b.addi(S1, S1, 1);
+    b.li(T5, NODES);
+    b.bne(S1, T5, inner);
+    b.addi(S0, S0, -1);
+    b.bnez(S0, outer);
+    b.print(S5);
+    b.li(A0, 0);
+    b.halt();
+    b.build().expect("compiler kernel assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reese_cpu::Emulator;
+
+    #[test]
+    fn runs_to_halt_and_prints_checksum() {
+        let prog = build(2);
+        let r = Emulator::new(&prog).run(100_000).unwrap();
+        assert!(r.halted());
+        assert_eq!(r.output.len(), 1);
+        assert_ne!(r.output[0], 0);
+    }
+
+    #[test]
+    fn deterministic_checksum() {
+        let a = Emulator::new(&build(2)).run(100_000).unwrap();
+        let b = Emulator::new(&build(2)).run(100_000).unwrap();
+        assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn scale_controls_length() {
+        let one = Emulator::new(&build(1)).run(1_000_000).unwrap().instructions;
+        let three = Emulator::new(&build(3)).run(1_000_000).unwrap().instructions;
+        assert!(three > 2 * one, "dynamic length must grow with scale");
+    }
+
+    #[test]
+    fn gcc_like_mix() {
+        let m = crate::measure_mix(&build(2), 100_000);
+        assert!(m.branch_fraction() > 0.15, "gcc is branchy: {m}");
+        assert!(m.mem_fraction() > 0.15 && m.mem_fraction() < 0.40, "moderate memory: {m}");
+        assert!(m.muldiv_fraction() < 0.02, "compilers barely multiply: {m}");
+        assert_eq!(m.fp, 0);
+    }
+}

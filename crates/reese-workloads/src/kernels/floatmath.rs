@@ -1,0 +1,115 @@
+//! `floatmath` — a floating-point stencil kernel.
+//!
+//! Not part of the paper's Table 2 ("We did not study floating point
+//! programs"), but included so the FP adders and multiplier/dividers —
+//! which Table 1 configures and REESE schedules like any other unit —
+//! are exercised end to end: a 1-D heat-diffusion stencil with a
+//! Newton–Raphson normalisation step (FP add/sub/mul/div/sqrt, FP
+//! loads/stores, int↔FP conversions).
+
+use reese_isa::{abi::*, Program, ProgramBuilder};
+use reese_stats::SplitMix64;
+
+/// Number of grid cells.
+const CELLS: i64 = 512;
+
+/// Builds the kernel; `scale` is the number of stencil sweeps
+/// (roughly 10k dynamic instructions per pass).
+pub fn build(scale: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let mut rng = SplitMix64::new(0xF10A7);
+
+    // -- data: the grid, as f64 bit patterns -----------------------------
+    let grid = b.data_label("grid");
+    for _ in 0..CELLS {
+        b.dword((1.0 + rng.f64()).to_bits());
+    }
+
+    // -- code -----------------------------------------------------------
+    let outer = b.label("outer");
+    let sweep = b.label("sweep");
+
+    b.la(A0, grid);
+    b.li(S0, i64::from(scale));
+    // FP constants, materialised through integer registers.
+    b.li(T0, 0.25f64.to_bits() as i64);
+    b.emit(reese_isa::Instr::rrr(reese_isa::Opcode::Fmvif, F6, T0, ZERO).canonical());
+    b.li(T0, 0.5f64.to_bits() as i64);
+    b.emit(reese_isa::Instr::rrr(reese_isa::Opcode::Fmvif, F7, T0, ZERO).canonical());
+    b.bind(outer);
+    b.li(S1, 1); // cell index (interior only)
+    b.bind(sweep);
+    b.slli(T1, S1, 3);
+    b.add(T2, A0, T1);
+    b.fld(F0, -8, T2); // west
+    b.fld(F1, 0, T2); // centre
+    b.fld(F2, 8, T2); // east
+    // new = centre/2 + (west + east)/4
+    b.fadd(F3, F0, F2);
+    b.fmul(F3, F3, F6);
+    b.fmul(F4, F1, F7);
+    b.fadd(F3, F3, F4);
+    // Normalise by sqrt(1 + new*new) — divider and square-root traffic.
+    b.fmul(F4, F3, F3);
+    b.li(T0, 1.0f64.to_bits() as i64);
+    b.emit(reese_isa::Instr::rrr(reese_isa::Opcode::Fmvif, F5, T0, ZERO).canonical());
+    b.fadd(F4, F4, F5);
+    b.emit(reese_isa::Instr::rrr(reese_isa::Opcode::Fsqrt, F4, F4, ZERO).canonical());
+    b.fdiv(F3, F3, F4);
+    b.fadd(F3, F3, F5); // keep values in a stable positive range
+    b.fsd(F3, 0, T2);
+    b.addi(S1, S1, 1);
+    b.li(T3, CELLS - 1);
+    b.blt(S1, T3, sweep);
+    b.addi(S0, S0, -1);
+    b.bnez(S0, outer);
+    // Checksum: the integer part of 1000 * grid[CELLS/2].
+    b.fld(F0, (CELLS / 2) * 8, A0);
+    b.li(T0, 1000.0f64.to_bits() as i64);
+    b.emit(reese_isa::Instr::rrr(reese_isa::Opcode::Fmvif, F1, T0, ZERO).canonical());
+    b.fmul(F0, F0, F1);
+    b.fcvtfi(A1, F0);
+    b.print(A1);
+    b.li(A0, 0);
+    b.halt();
+    b.build().expect("floatmath kernel assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reese_cpu::Emulator;
+
+    #[test]
+    fn runs_and_prints_a_finite_checksum() {
+        let r = Emulator::new(&build(1)).run(200_000).unwrap();
+        assert!(r.halted());
+        assert_eq!(r.output.len(), 1);
+        // Values stay in (1, 3): 1000x the midpoint is in (1000, 3000).
+        assert!((1000..3000).contains(&r.output[0]), "checksum {}", r.output[0]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Emulator::new(&build(2)).run(400_000).unwrap();
+        let b = Emulator::new(&build(2)).run(400_000).unwrap();
+        assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn fp_heavy_mix() {
+        let m = crate::measure_mix(&build(1), 200_000);
+        assert!(m.fp > m.total / 4, "FP ops dominate: {m}");
+        assert!(m.mem_fraction() > 0.15, "stencil loads/stores: {m}");
+        assert_eq!(m.int_muldiv, 0);
+    }
+
+    #[test]
+    fn diffusion_converges_across_passes() {
+        // More sweeps smooth the grid; checksums differ between 1 and 3
+        // passes but both remain in range.
+        let one = Emulator::new(&build(1)).run(400_000).unwrap().output[0];
+        let three = Emulator::new(&build(3)).run(400_000).unwrap().output[0];
+        assert_ne!(one, three);
+    }
+}

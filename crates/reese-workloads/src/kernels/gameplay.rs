@@ -1,0 +1,142 @@
+//! `gameplay` — the go-like kernel.
+//!
+//! Models a Go-playing program's board evaluation: sweep a 32×32 board
+//! of stones, score each point from its four neighbours with
+//! colour-dependent control flow, and mutate random points between
+//! visits so the branches never settle into a predictable pattern —
+//! go's signature: very hard-to-predict branches, byte-granularity
+//! loads, a pinch of integer division from the mutation rule.
+
+use reese_isa::{abi::*, Program, ProgramBuilder};
+use reese_stats::SplitMix64;
+
+/// Board edge length (bytes per row).
+const EDGE: i64 = 32;
+/// First interior cell (row 1, col 1) and one-past-last interior cell.
+const FIRST: i64 = EDGE + 1;
+const LAST: i64 = EDGE * (EDGE - 1) - 1;
+
+/// Builds the kernel; `scale` is the number of full-board evaluation
+/// passes (roughly 23k dynamic instructions per pass).
+pub fn build(scale: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let mut rng = SplitMix64::new(0x60_BA17);
+
+    // -- data: the board, stones in {0 = empty, 1 = black, 2 = white} --
+    let board = b.data_label("board");
+    for _ in 0..EDGE * EDGE {
+        b.byte((rng.next_u64() % 3) as u8);
+    }
+    // Influence map: the evaluator's per-point output, re-read next pass.
+    let influence = b.data_label("influence");
+    b.space((EDGE * EDGE) as usize);
+
+    // -- code -----------------------------------------------------------
+    let outer = b.label("outer");
+    let inner = b.label("inner");
+    let black = b.label("black");
+    let empty = b.label("empty");
+    let next = b.label("next");
+    let skip_mut = b.label("skip_mut");
+
+    b.la(A0, board);
+    b.la(A1, influence);
+    b.li(S0, i64::from(scale));
+    b.li(S2, 0x9E37_79B9); // LCG state
+    b.li(S3, 0x0019_660D); // LCG multiplier
+    b.li(S4, 0); // score
+    b.bind(outer);
+    b.li(S1, FIRST);
+    b.bind(inner);
+    b.add(T0, A0, S1);
+    b.lbu(T1, 0, T0); // the stone
+    b.lbu(T2, -1, T0); // west
+    b.lbu(T3, 1, T0); // east
+    b.lbu(T4, -EDGE, T0); // north
+    b.lbu(T5, EDGE, T0); // south
+    b.add(T6, T2, T3);
+    b.add(T6, T6, T4);
+    b.add(T6, T6, T5); // neighbour influence
+    // Colour-dependent scoring: empirically ~1/3 each way, never learnable.
+    b.beqz(T1, empty);
+    b.li(T2, 1);
+    b.beq(T1, T2, black);
+    b.sub(S4, S4, T6); // white stone: influence counts against
+    b.j(next);
+    b.bind(black);
+    b.add(S4, S4, T6);
+    b.j(next);
+    b.bind(empty);
+    b.addi(S4, S4, 1); // territory guess
+    b.bind(next);
+    // Blend this point's influence with last pass's value and store it
+    // back into the influence map (the evaluator's memoisation).
+    b.add(T2, A1, S1);
+    b.lbu(T3, 0, T2); // previous influence
+    b.add(T3, T3, T6);
+    b.srli(T3, T3, 1); // decayed average
+    b.sb(T3, 0, T2);
+    // Advance the LCG; on a 1-in-16 draw, mutate a random point so the
+    // next pass sees a different position (self-play churn).
+    b.mul(S2, S2, S3);
+    b.addi(S2, S2, 12345);
+    b.srli(T2, S2, 60);
+    b.bnez(T2, skip_mut);
+    b.andi(T3, S2, EDGE * EDGE - 1);
+    b.add(T3, A0, T3);
+    b.lbu(T4, 0, T3);
+    b.addi(T4, T4, 1);
+    b.li(T5, 3);
+    b.remu(T4, T4, T5); // cycle empty → black → white → empty
+    b.sb(T4, 0, T3);
+    b.bind(skip_mut);
+    b.addi(S1, S1, 1);
+    b.li(T2, LAST);
+    b.blt(S1, T2, inner);
+    b.addi(S0, S0, -1);
+    b.bnez(S0, outer);
+    b.print(S4);
+    b.li(A0, 0);
+    b.halt();
+    b.build().expect("gameplay kernel assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reese_cpu::Emulator;
+
+    #[test]
+    fn runs_and_prints_score() {
+        let r = Emulator::new(&build(2)).run(200_000).unwrap();
+        assert!(r.halted());
+        assert_eq!(r.output.len(), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Emulator::new(&build(2)).run(200_000).unwrap();
+        let b = Emulator::new(&build(2)).run(200_000).unwrap();
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.instructions, b.instructions);
+    }
+
+    #[test]
+    fn go_like_mix_and_unpredictable_branches() {
+        let prog = build(3);
+        let m = crate::measure_mix(&prog, 200_000);
+        assert!(m.branch_fraction() > 0.12, "go is branchy: {m}");
+        assert!(m.mem_fraction() > 0.18, "neighbour loads: {m}");
+        assert!(m.muldiv_fraction() > 0.01, "LCG + mutation rule: {m}");
+        // The colour branches should be genuinely mixed: taken rate well
+        // away from both 0 and 1.
+        assert!((0.25..0.95).contains(&m.taken_rate()), "taken rate {}", m.taken_rate());
+    }
+
+    #[test]
+    fn board_actually_mutates() {
+        // The mutation path must execute (stores beyond the scoreboard).
+        let m = crate::measure_mix(&build(2), 200_000);
+        assert!(m.stores > 10, "mutations happen: {m}");
+    }
+}

@@ -1,0 +1,140 @@
+//! `lisp` — the li-like kernel.
+//!
+//! Models a Lisp interpreter's heap behaviour: cons cells scattered
+//! through memory are chased `car`/`cdr` style, the list is summed,
+//! destructively reversed (pointer stores), and its cars are aged in
+//! place — li's signature: serialized load-to-load dependence chains,
+//! poor spatial locality, and loop branches that are easy to predict
+//! but cannot hide the pointer-chasing latency.
+
+use reese_isa::{abi::*, Program, ProgramBuilder};
+use reese_stats::SplitMix64;
+
+/// Number of cons cells in the heap.
+const CELLS: u64 = 2048;
+/// Bytes per cell: car (dword) + cdr pointer (dword).
+const CELL_BYTES: u64 = 16;
+
+/// Builds the kernel; `scale` is the number of interpreter passes
+/// (roughly 21k dynamic instructions per pass).
+pub fn build(scale: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let mut rng = SplitMix64::new(0x115B);
+
+    // -- data: a heap of cons cells forming one long list in shuffled
+    //    memory order, so `cdr` chasing hops across cache lines --------
+    let heap_base = reese_isa::DATA_BASE; // cells start at the data base
+    let mut order: Vec<u64> = (0..CELLS).collect();
+    // Fisher-Yates shuffle for a memory-disordered list.
+    for i in (1..CELLS as usize).rev() {
+        let j = rng.index(i + 1);
+        order.swap(i, j);
+    }
+    let addr_of = |cell: u64| heap_base + cell * CELL_BYTES;
+    // cell order[k] links to order[k+1].
+    let mut cdr = vec![0u64; CELLS as usize];
+    for k in 0..CELLS as usize - 1 {
+        cdr[order[k] as usize] = addr_of(order[k + 1]);
+    }
+    cdr[order[CELLS as usize - 1] as usize] = 0; // nil
+    let _heap = b.data_label("heap");
+    for cell in 0..CELLS {
+        b.dword(rng.range_u64(1, 1000)); // car
+        b.dword(cdr[cell as usize]); // cdr
+    }
+    b.align(8);
+    let head_slot = b.data_label("head");
+    b.dword(addr_of(order[0]));
+
+    // -- code ---------------------------------------------------------------
+    let outer = b.label("outer");
+    let sum_loop = b.label("sum_loop");
+    let rev_loop = b.label("rev_loop");
+    let age_loop = b.label("age_loop");
+
+    b.la(A1, head_slot);
+    b.li(S0, i64::from(scale));
+    b.li(S4, 0); // checksum
+    b.bind(outer);
+
+    // Pass 1: fold the cars down the cdr chain (pointer chase with a
+    // little evaluator work per cell, as an interpreter would do).
+    b.ld(S1, 0, A1);
+    b.li(S5, 0); // secondary hash accumulator
+    b.bind(sum_loop);
+    b.ld(T0, 0, S1); // car
+    b.add(S4, S4, T0);
+    b.slli(T1, T0, 3); // tag-style arithmetic on the value
+    b.xor(S5, S5, T1);
+    b.andi(T2, T0, 7);
+    b.add(S5, S5, T2);
+    b.ld(S1, 8, S1); // cdr — the serialized load
+    b.bnez(S1, sum_loop);
+
+    // Pass 2: destructive reverse (load next, store back-pointer).
+    b.ld(S1, 0, A1);
+    b.li(S2, 0); // prev = nil
+    b.bind(rev_loop);
+    b.ld(T0, 8, S1); // next
+    b.sd(S2, 8, S1); // cdr := prev
+    b.mv(S2, S1);
+    b.mv(S1, T0);
+    b.bnez(S1, rev_loop);
+    b.sd(S2, 0, A1); // new head
+
+    // Pass 3: age every car in place (read-modify-write chase).
+    b.ld(S1, 0, A1);
+    b.bind(age_loop);
+    b.ld(T0, 0, S1);
+    b.addi(T0, T0, 1);
+    b.sd(T0, 0, S1);
+    b.ld(S1, 8, S1);
+    b.bnez(S1, age_loop);
+
+    b.addi(S0, S0, -1);
+    b.bnez(S0, outer);
+    b.print(S4);
+    b.li(A0, 0);
+    b.halt();
+    b.build().expect("lisp kernel assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reese_cpu::Emulator;
+
+    #[test]
+    fn runs_and_sums_the_list() {
+        let r = Emulator::new(&build(1)).run(200_000).unwrap();
+        assert!(r.halted());
+        assert_eq!(r.output.len(), 1);
+        // 2048 cars each in [1, 1000): the sum is in a sane range.
+        assert!(r.output[0] > 2048);
+    }
+
+    #[test]
+    fn aging_changes_the_sum_per_pass() {
+        let one = Emulator::new(&build(1)).run(400_000).unwrap().output[0];
+        let two = Emulator::new(&build(2)).run(400_000).unwrap().output[0];
+        // Second pass sums cars aged by +1 each: delta = first sum + CELLS.
+        assert_eq!(two - one, one + CELLS as i64);
+    }
+
+    #[test]
+    fn li_like_mix() {
+        let m = crate::measure_mix(&build(2), 200_000);
+        assert!(m.mem_fraction() > 0.35, "lisp is memory-dominated: {m}");
+        assert!(m.muldiv_fraction() < 0.01, "no multiplies in list walking: {m}");
+        assert!(m.taken_rate() > 0.95, "chase loops are long: {m}");
+    }
+
+    #[test]
+    fn reverse_preserves_membership() {
+        // After an even number of reversals the list is back in its
+        // original order; sums must stay consistent either way.
+        let a = Emulator::new(&build(2)).run(400_000).unwrap();
+        let b = Emulator::new(&build(2)).run(400_000).unwrap();
+        assert_eq!(a.output, b.output);
+    }
+}

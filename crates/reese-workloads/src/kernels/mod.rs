@@ -1,0 +1,11 @@
+//! The six kernel implementations. See each module's docs for the
+//! SPEC95 benchmark it models and how.
+
+pub mod compiler;
+pub mod database;
+pub mod floatmath;
+pub mod gameplay;
+pub mod imaging;
+pub mod lisp;
+pub mod sorting;
+pub mod strings;

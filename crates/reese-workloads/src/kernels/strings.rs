@@ -1,0 +1,161 @@
+//! `strings` — the perl-like kernel.
+//!
+//! Models a script interpreter's text processing: scan a buffer of
+//! pseudo-prose byte by byte, classify characters (separator / digit /
+//! letter) with data-dependent branches, fold words into a rolling
+//! hash, and count them in a power-of-two hash table — perl's
+//! signature: byte loads, irregular character-class branches, hash
+//! arithmetic via shifts rather than multiplies.
+
+use reese_isa::{abi::*, Program, ProgramBuilder};
+use reese_stats::SplitMix64;
+
+/// Text buffer length in bytes.
+const TEXT_BYTES: i64 = 8192;
+/// Hash table buckets (power of two).
+const BUCKETS: i64 = 256;
+
+/// Builds the kernel; `scale` is the number of scans over the text
+/// (roughly 71k dynamic instructions per pass).
+pub fn build(scale: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let mut rng = SplitMix64::new(0x5C4A_881E);
+
+    // -- data: pseudo-prose with realistic word structure ----------------
+    let text = b.data_label("text");
+    let mut emitted: i64 = 0;
+    while emitted < TEXT_BYTES {
+        let word_len = 1 + rng.index(9) as i64;
+        for _ in 0..word_len.min(TEXT_BYTES - emitted) {
+            let c = if rng.chance(0.2) {
+                b'0' + rng.index(10) as u8
+            } else {
+                b'a' + rng.index(26) as u8
+            };
+            b.byte(c);
+        }
+        emitted += word_len;
+        if emitted < TEXT_BYTES {
+            b.byte(b' ');
+            emitted += 1;
+        }
+    }
+    b.align(8);
+    let table = b.data_label("table");
+    b.space((BUCKETS * 8) as usize);
+    let out = b.data_label("out");
+    b.space(TEXT_BYTES as usize);
+    // Per-character class weights, looked up like a locale table.
+    let classes = b.data_label("classes");
+    for c in 0u16..256 {
+        let weight = match c as u8 {
+            b'0'..=b'9' => 2,
+            b'a'..=b'z' | b'A'..=b'Z' => 1,
+            _ => 0,
+        };
+        b.byte(weight);
+    }
+
+    // -- code -------------------------------------------------------------
+    let outer = b.label("outer");
+    let scan = b.label("scan");
+    let is_sep = b.label("is_sep");
+    let is_digit = b.label("is_digit");
+    let advance = b.label("advance");
+    let end_scan = b.label("end_scan");
+
+    b.la(A0, text);
+    b.la(A1, table);
+    b.la(A2, out);
+    b.la(A3, classes);
+    b.li(S0, i64::from(scale));
+    b.li(S4, 0); // word counter / checksum
+    b.li(S5, b' ' as i64); // class constants stay in registers,
+    b.li(S6, b'9' as i64 + 1); // like a compiled scanner would keep them
+    b.li(S7, TEXT_BYTES);
+    b.bind(outer);
+    b.li(S1, 0); // byte index
+    b.li(S2, 0); // rolling hash
+    b.bind(scan);
+    b.add(T0, A0, S1);
+    b.lbu(T1, 0, T0); // the character
+    // Case-flip the character into the output copy (perl's tr///) and
+    // fetch its class weight from the locale table.
+    b.add(T5, A2, S1);
+    b.xori(T6, T1, 0x20);
+    b.sb(T6, 0, T5);
+    b.add(T2, A3, T1);
+    b.lbu(T2, 0, T2); // class weight
+    b.add(S4, S4, T2);
+    // Character classification: space ends a word, digits weight double.
+    b.beq(T1, S5, is_sep);
+    b.blt(T1, S6, is_digit);
+    // Letter: hash = hash*33 + c, via shift-add (perl's actual trick).
+    b.slli(T3, S2, 5);
+    b.add(S2, T3, S2);
+    b.add(S2, S2, T1);
+    b.j(advance);
+    b.bind(is_digit);
+    b.slli(T3, S2, 5);
+    b.add(S2, T3, S2);
+    b.slli(T4, T1, 1); // digits weigh double
+    b.add(S2, S2, T4);
+    b.j(advance);
+    b.bind(is_sep);
+    // Word boundary: bump the word's bucket and reset the hash.
+    b.andi(T3, S2, BUCKETS - 1);
+    b.slli(T3, T3, 3);
+    b.add(T3, A1, T3);
+    b.ld(T4, 0, T3);
+    b.addi(T4, T4, 1);
+    b.sd(T4, 0, T3);
+    b.add(S4, S4, T4); // checksum over bucket depths
+    b.li(S2, 0);
+    b.bind(advance);
+    b.addi(S1, S1, 1);
+    b.blt(S1, S7, scan);
+    b.bind(end_scan);
+    b.addi(S0, S0, -1);
+    b.bnez(S0, outer);
+    b.print(S4);
+    b.li(A0, 0);
+    b.halt();
+    b.build().expect("strings kernel assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reese_cpu::Emulator;
+
+    #[test]
+    fn runs_and_counts_words() {
+        let r = Emulator::new(&build(1)).run(300_000).unwrap();
+        assert!(r.halted());
+        assert!(r.output[0] > 0, "words were hashed");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Emulator::new(&build(1)).run(300_000).unwrap();
+        let b = Emulator::new(&build(1)).run(300_000).unwrap();
+        assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn buckets_accumulate_across_passes() {
+        let one = Emulator::new(&build(1)).run(600_000).unwrap().output[0];
+        let two = Emulator::new(&build(2)).run(600_000).unwrap().output[0];
+        assert!(two > 2 * one, "second pass sees deeper buckets");
+    }
+
+    #[test]
+    fn perl_like_mix() {
+        let m = crate::measure_mix(&build(1), 300_000);
+        assert!(m.branch_fraction() > 0.15, "char-class branches: {m}");
+        assert!(m.mem_fraction() > 0.15, "byte loads, copies, buckets: {m}");
+        assert!(m.muldiv_fraction() < 0.01, "shift-add hashing, no mul: {m}");
+        // Character classes are irregular: the class branches go both ways.
+        assert!((0.30..0.98).contains(&m.taken_rate()), "taken rate {}", m.taken_rate());
+    }
+}

@@ -1,0 +1,46 @@
+//! SPEC95-integer-like workloads for the REESE reproduction.
+//!
+//! The paper evaluates on six SPEC95 integer benchmarks (Table 2). SPEC
+//! binaries and inputs are proprietary and the original runs went
+//! through a PISA cross-compiler, so this crate substitutes six
+//! hand-crafted kernels — written in the mini ISA via
+//! [`reese_isa::ProgramBuilder`] — whose *microarchitectural signatures*
+//! (instruction mix, branch predictability, memory behaviour, ILP)
+//! mirror the corresponding benchmark. REESE's results depend only on
+//! those signatures, not on program semantics, so the substitution
+//! preserves what the evaluation measures.
+//!
+//! [`measure_mix`] quantifies each kernel's signature; the kernel unit
+//! tests pin the signatures down. [`SyntheticSpec`] additionally
+//! generates random programs with dialled-in mixes for ablations.
+//!
+//! # Example
+//!
+//! ```
+//! use reese_workloads::{Kernel, measure_mix};
+//!
+//! let prog = Kernel::Lisp.build(1);
+//! let mix = measure_mix(&prog, 100_000);
+//! assert!(mix.mem_fraction() > 0.35); // pointer chasing is memory-bound
+//! ```
+
+mod kernel;
+pub(crate) mod kernels;
+mod mix;
+mod suite;
+mod synthetic;
+
+pub use kernel::Kernel;
+pub use mix::{measure_mix, MixReport};
+pub use suite::{Suite, Workload};
+pub use synthetic::SyntheticSpec;
+
+/// Extra workloads outside the paper's Table 2 suite.
+pub mod extras {
+    /// Floating-point stencil kernel (the paper studied integer
+    /// benchmarks only; this exercises the FP pipeline paths).
+    pub use crate::kernels::floatmath::build as floatmath;
+    /// Iterative quicksort with an explicit stack: deep data-dependent
+    /// control flow and heavy store-to-load forwarding.
+    pub use crate::kernels::sorting::build as sorting;
+}

@@ -1,0 +1,99 @@
+//! The benchmark suite: all six kernels, calibrated to a common length.
+
+use crate::Kernel;
+use reese_isa::Program;
+
+/// One calibrated workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Which kernel this is.
+    pub kernel: Kernel,
+    /// The built program.
+    pub program: Program,
+}
+
+/// The full SPEC95-integer-like suite, each kernel calibrated to at
+/// least a target dynamic instruction count — the analogue of the
+/// paper's "100 million instructions in each benchmark program".
+///
+/// # Example
+///
+/// ```
+/// use reese_workloads::Suite;
+///
+/// let suite = Suite::spec95_like(50_000);
+/// assert_eq!(suite.len(), 6);
+/// assert_eq!(suite.workloads()[0].kernel.paper_benchmark(), "gcc");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Suite {
+    workloads: Vec<Workload>,
+}
+
+impl Suite {
+    /// Builds all six kernels, each with at least `target_instructions`
+    /// dynamic instructions.
+    pub fn spec95_like(target_instructions: u64) -> Suite {
+        let workloads = Kernel::ALL
+            .iter()
+            .map(|&kernel| Workload { kernel, program: kernel.build_for(target_instructions) })
+            .collect();
+        Suite { workloads }
+    }
+
+    /// A fast suite for tests and smoke runs (one pass of everything).
+    pub fn smoke() -> Suite {
+        let workloads = Kernel::ALL
+            .iter()
+            .map(|&kernel| Workload { kernel, program: kernel.build(1) })
+            .collect();
+        Suite { workloads }
+    }
+
+    /// The calibrated workloads, in Table 2 order.
+    pub fn workloads(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    /// Number of workloads (always 6 today).
+    pub fn len(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// Whether the suite is empty (never, today).
+    pub fn is_empty(&self) -> bool {
+        self.workloads.is_empty()
+    }
+
+    /// Iterates (kernel, program) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &Workload> {
+        self.workloads.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reese_cpu::Emulator;
+
+    #[test]
+    fn smoke_suite_runs_everywhere() {
+        let suite = Suite::smoke();
+        assert_eq!(suite.len(), 6);
+        assert!(!suite.is_empty());
+        for w in suite.iter() {
+            let r = Emulator::new(&w.program).run(5_000_000).unwrap();
+            assert!(r.halted(), "{} halts", w.kernel);
+        }
+    }
+
+    #[test]
+    fn calibrated_suite_meets_target() {
+        let target = 60_000;
+        let suite = Suite::spec95_like(target);
+        for w in suite.iter() {
+            let n = Emulator::new(&w.program).run(u64::MAX).unwrap().instructions;
+            assert!(n >= target, "{}: {n}", w.kernel);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Statistical workload generation.
+//!
+//! Besides the six hand-crafted kernels, the harness sometimes needs a
+//! workload with a *dialled-in* signature — "35% memory operations,
+//! hard branches, tiny working set" — to isolate one effect (for the
+//! ablation benches, and for stress-testing the simulators with
+//! programs no human wrote). [`SyntheticSpec`] generates a random but
+//! deterministic loop with the requested mix.
+
+use reese_isa::{abi::*, Program, ProgramBuilder, Reg};
+use reese_stats::SplitMix64;
+
+/// Specification of a synthetic loop workload.
+///
+/// The per-instruction weights need not sum to anything in particular;
+/// they are relative. The generated program runs `iterations` passes of
+/// a `body_len`-operation loop over a `working_set` byte buffer and
+/// halts, printing a checksum.
+///
+/// # Example
+///
+/// ```
+/// use reese_workloads::SyntheticSpec;
+///
+/// let prog = SyntheticSpec::default().seed(7).build();
+/// let mix = reese_workloads::measure_mix(&prog, 100_000);
+/// assert!(mix.total > 1_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticSpec {
+    /// Relative weight of plain ALU operations.
+    pub alu_weight: u32,
+    /// Relative weight of multiplies.
+    pub mul_weight: u32,
+    /// Relative weight of loads.
+    pub load_weight: u32,
+    /// Relative weight of stores.
+    pub store_weight: u32,
+    /// Relative weight of (data-dependent) conditional branches that
+    /// skip one instruction.
+    pub branch_weight: u32,
+    /// Operations per loop body.
+    pub body_len: usize,
+    /// Loop iterations.
+    pub iterations: u32,
+    /// Working-set size in bytes (power of two).
+    pub working_set: u64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// A balanced integer mix over a 4 KiB working set.
+    pub fn balanced() -> SyntheticSpec {
+        SyntheticSpec {
+            alu_weight: 5,
+            mul_weight: 0,
+            load_weight: 2,
+            store_weight: 1,
+            branch_weight: 1,
+            body_len: 64,
+            iterations: 200,
+            working_set: 4096,
+            seed: 1,
+        }
+    }
+
+    /// A memory-pounding mix (for the Figure 5 port ablation).
+    pub fn memory_heavy() -> SyntheticSpec {
+        SyntheticSpec {
+            load_weight: 5,
+            store_weight: 3,
+            alu_weight: 3,
+            ..SyntheticSpec::balanced()
+        }
+    }
+
+    /// Sets the seed.
+    pub fn seed(mut self, seed: u64) -> SyntheticSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the iteration count.
+    pub fn iterations(mut self, n: u32) -> SyntheticSpec {
+        self.iterations = n;
+        self
+    }
+
+    /// Generates the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero, `body_len` or `iterations` is
+    /// zero, or `working_set` is not a power of two.
+    pub fn build(&self) -> Program {
+        let total_weight = self.alu_weight
+            + self.mul_weight
+            + self.load_weight
+            + self.store_weight
+            + self.branch_weight;
+        assert!(total_weight > 0, "at least one operation class must be weighted");
+        assert!(self.body_len > 0, "body must be non-empty");
+        assert!(self.iterations > 0, "need at least one iteration");
+        assert!(self.working_set.is_power_of_two(), "working set must be a power of two");
+
+        let mut rng = SplitMix64::new(self.seed);
+        let mut b = ProgramBuilder::new();
+        let buf = b.data_label("buf");
+        for _ in 0..self.working_set / 8 {
+            b.dword(rng.next_u64() >> 32);
+        }
+
+        // t0-t6 hold live values the generated ops shuffle between.
+        let pool: [Reg; 7] = [T0, T1, T2, T3, T4, T5, T6];
+        let pick = |rng: &mut SplitMix64| pool[rng.index(pool.len())];
+
+        let top = b.label("top");
+        b.la(A0, buf);
+        b.li(S0, i64::from(self.iterations));
+        for (i, &r) in pool.iter().enumerate() {
+            b.li(r, i as i64 + 1);
+        }
+        b.bind(top);
+        for i in 0..self.body_len {
+            let mut w = rng.range_u64(0, u64::from(total_weight)) as u32;
+            let (rd, r1, r2) = (pick(&mut rng), pick(&mut rng), pick(&mut rng));
+            if w < self.alu_weight {
+                match rng.index(4) {
+                    0 => b.add(rd, r1, r2),
+                    1 => b.sub(rd, r1, r2),
+                    2 => b.xor(rd, r1, r2),
+                    _ => b.addi(rd, r1, rng.range_u64(1, 64) as i64),
+                };
+                continue;
+            }
+            w -= self.alu_weight;
+            if w < self.mul_weight {
+                b.mul(rd, r1, r2);
+                continue;
+            }
+            w -= self.mul_weight;
+            if w < self.load_weight + self.store_weight {
+                // Half the memory ops use a static (generation-time
+                // random) offset — dense port pressure; the other half
+                // compute a data-dependent address — real disambiguation
+                // work for the LSQ.
+                if rng.chance(0.5) {
+                    let off = (rng.range_u64(0, self.working_set / 8) * 8) as i64;
+                    if w < self.load_weight {
+                        b.ld(rd, off, A0);
+                    } else {
+                        b.sd(r2, off, A0);
+                    }
+                } else {
+                    b.andi(S2, r1, (self.working_set - 1) as i64 & !7);
+                    b.add(S2, A0, S2);
+                    if w < self.load_weight {
+                        b.ld(rd, 0, S2);
+                    } else {
+                        b.sd(r2, 0, S2);
+                    }
+                }
+                continue;
+            }
+            // Data-dependent forward branch over one filler op.
+            let skip = b.label(&format!("skip{i}"));
+            b.andi(S2, r1, 1);
+            b.beqz(S2, skip);
+            b.addi(rd, rd, 3);
+            b.bind(skip);
+        }
+        b.addi(S0, S0, -1);
+        b.bnez(S0, top);
+        // Checksum: fold the value pool.
+        b.li(S4, 0);
+        for &r in &pool {
+            b.add(S4, S4, r);
+        }
+        b.print(S4);
+        b.li(A0, 0);
+        b.halt();
+        b.build().expect("synthetic program assembles")
+    }
+}
+
+impl Default for SyntheticSpec {
+    fn default() -> Self {
+        SyntheticSpec::balanced()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure_mix;
+    use reese_cpu::Emulator;
+
+    #[test]
+    fn builds_and_halts() {
+        let prog = SyntheticSpec::balanced().build();
+        let r = Emulator::new(&prog).run(1_000_000).unwrap();
+        assert!(r.halted());
+        assert_eq!(r.output.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed_distinct_across_seeds() {
+        let a = SyntheticSpec::balanced().seed(5).build();
+        let b = SyntheticSpec::balanced().seed(5).build();
+        let c = SyntheticSpec::balanced().seed(6).build();
+        assert_eq!(a.text(), b.text());
+        assert_ne!(a.text(), c.text());
+    }
+
+    #[test]
+    fn memory_heavy_actually_is() {
+        let light = measure_mix(&SyntheticSpec::balanced().build(), 200_000);
+        let heavy = measure_mix(&SyntheticSpec::memory_heavy().build(), 200_000);
+        assert!(heavy.mem_fraction() > light.mem_fraction());
+        assert!(heavy.mem_fraction() > 0.3, "{heavy}");
+    }
+
+    #[test]
+    fn weights_steer_the_mix() {
+        let muls = SyntheticSpec { mul_weight: 5, alu_weight: 1, ..SyntheticSpec::balanced() };
+        let m = measure_mix(&muls.build(), 200_000);
+        assert!(m.muldiv_fraction() > 0.2, "{m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operation class")]
+    fn zero_weights_rejected() {
+        SyntheticSpec {
+            alu_weight: 0,
+            mul_weight: 0,
+            load_weight: 0,
+            store_weight: 0,
+            branch_weight: 0,
+            ..SyntheticSpec::balanced()
+        }
+        .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_working_set_rejected() {
+        SyntheticSpec { working_set: 1000, ..SyntheticSpec::balanced() }.build();
+    }
+}

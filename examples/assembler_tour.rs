@@ -1,0 +1,67 @@
+//! A tour of the toolchain layer: text assembly, the programmatic
+//! builder, binary encoding, and disassembly.
+//!
+//! ```sh
+//! cargo run --release --example assembler_tour
+//! ```
+
+use reese::isa::{abi::*, assemble, disassemble_text, encode_text, ProgramBuilder};
+use reese::cpu::Emulator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Text assembly with labels, a data segment, and pseudo-ops.
+    let program = assemble(
+        "        .entry main\n\
+         # sum the dwords in `arr`\n\
+         sum:     li   t0, 0\n\
+         \n        li   t1, 0\n\
+         again:   slli t2, t1, 3\n\
+         \n        add  t2, a0, t2\n\
+         \n        ld   t3, 0(t2)\n\
+         \n        add  t0, t0, t3\n\
+         \n        addi t1, t1, 1\n\
+         \n        blt  t1, a1, again\n\
+         \n        mv   a0, t0\n\
+         \n        ret\n\
+         main:    la   a0, arr\n\
+         \n        li   a1, 4\n\
+         \n        call sum\n\
+         \n        print a0\n\
+         \n        halt\n\
+         \n        .data\n\
+         arr:     .dword 10, 20, 30, 40\n",
+    )?;
+    let result = Emulator::new(&program).run(10_000)?;
+    println!("assembled program prints: {:?} (expected [100])", result.output);
+
+    // 2. The same program generated through the builder API.
+    let mut b = ProgramBuilder::new();
+    let arr = b.data_label("arr");
+    for v in [10u64, 20, 30, 40] {
+        b.dword(v);
+    }
+    b.la(A0, arr);
+    b.li(T0, 0);
+    b.li(T1, 0);
+    let again = b.here("again");
+    b.slli(T2, T1, 3);
+    b.add(T2, A0, T2);
+    b.ld(T3, 0, T2);
+    b.add(T0, T0, T3);
+    b.addi(T1, T1, 1);
+    b.li(T4, 4);
+    b.blt(T1, T4, again);
+    b.print(T0);
+    b.li(A0, 0);
+    b.halt();
+    let built = b.build()?;
+    let result2 = Emulator::new(&built).run(10_000)?;
+    assert_eq!(result.output, result2.output);
+    println!("builder-generated program agrees: {:?}", result2.output);
+
+    // 3. Binary encoding and a disassembly listing.
+    let image = encode_text(built.text()).map_err(|(i, e)| format!("instr {i}: {e}"))?;
+    println!("\nbinary image: {} bytes ({} instructions)", image.len(), built.len());
+    println!("disassembly:\n{}", disassemble_text(built.text(), built.text_base()));
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Design-space exploration: the paper's central question — how much
+//! spare hardware does REESE need before time redundancy is free? —
+//! answered as a sweep over spare ALUs and R-queue sizes.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use reese::core::{ReeseConfig, ReeseSim};
+use reese::pipeline::{PipelineConfig, PipelineSim};
+use reese::stats::Table;
+use reese::workloads::Kernel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = Kernel::Compiler.build_for(100_000);
+    let base_cfg = PipelineConfig::starting().with_ruu(32).with_lsq(16);
+    let baseline = PipelineSim::new(base_cfg.clone()).run(&program)?;
+    println!(
+        "baseline (RUU=32): IPC {:.3} over {} instructions\n",
+        baseline.ipc(),
+        baseline.committed_instructions()
+    );
+
+    // Sweep spare integer ALUs.
+    let mut t = Table::new(vec!["spare ALUs", "IPC", "overhead", "R-queue peak"]);
+    for spares in 0..=4u32 {
+        let cfg = ReeseConfig::over(base_cfg.clone()).with_spare_int_alus(spares);
+        let r = ReeseSim::new(cfg).run(&program)?;
+        t.row(vec![
+            spares.to_string(),
+            format!("{:.3}", r.ipc()),
+            format!("{:+.1}%", (r.ipc() / baseline.ipc() - 1.0) * 100.0),
+            r.stats.rqueue_peak.to_string(),
+        ]);
+    }
+    println!("spare-ALU sweep (the paper's question):\n{t}");
+
+    // Sweep the R-stream Queue size.
+    let mut t = Table::new(vec!["R-queue size", "IPC", "overhead", "full-queue stalls"]);
+    for size in [8usize, 16, 32, 64, 128] {
+        let cfg = ReeseConfig::over(base_cfg.clone()).with_rqueue_size(size);
+        let r = ReeseSim::new(cfg).run(&program)?;
+        t.row(vec![
+            size.to_string(),
+            format!("{:.3}", r.ipc()),
+            format!("{:+.1}%", (r.ipc() / baseline.ipc() - 1.0) * 100.0),
+            r.stats.rqueue_full_stalls.to_string(),
+        ]);
+    }
+    println!("R-stream Queue sizing:\n{t}");
+
+    // The §4.3 early-removal optimisation, quantified.
+    let held = ReeseSim::new(ReeseConfig::over(base_cfg.clone())).run(&program)?;
+    let early =
+        ReeseSim::new(ReeseConfig::over(base_cfg.clone()).with_early_removal(true)).run(&program)?;
+    println!(
+        "early RUU removal (§4.3): held-RUU IPC {:.3} → early-removal IPC {:.3} ({:+.1}%)",
+        held.ipc(),
+        early.ipc(),
+        (early.ipc() / held.ipc() - 1.0) * 100.0
+    );
+    Ok(())
+}

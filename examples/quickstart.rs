@@ -1,0 +1,54 @@
+//! Quickstart: assemble a program, run it on the baseline machine and
+//! on REESE, and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use reese::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A little program in the mini ISA: sum the first 1000 integers.
+    let program = assemble(
+        "        li   t0, 0          # sum\n\
+         \n        li   t1, 1000       # n\n\
+         loop:    add  t0, t0, t1\n\
+         \n        addi t1, t1, -1\n\
+         \n        bnez t1, loop\n\
+         \n        print t0\n\
+         \n        mv   a0, x0\n\
+         \n        halt\n",
+    )?;
+
+    // Golden functional run.
+    let emu = Emulator::new(&program).run(1_000_000)?;
+    println!("functional model: {} instructions, output {:?}", emu.instructions, emu.output);
+
+    // The paper's Table 1 baseline machine.
+    let base = PipelineSim::new(PipelineConfig::starting()).run(&program)?;
+    println!(
+        "baseline:  {} cycles, IPC {:.3}, output {:?}",
+        base.cycles(),
+        base.ipc(),
+        base.output
+    );
+
+    // REESE: every instruction executed twice, results compared before
+    // commit — with two spare integer ALUs to absorb the extra work.
+    let reese = ReeseSim::new(ReeseConfig::starting().with_spare_int_alus(2)).run(&program)?;
+    println!(
+        "REESE+2ALU: {} cycles, IPC {:.3}, {} comparisons, output {:?}",
+        reese.cycles(),
+        reese.ipc(),
+        reese.stats.comparisons,
+        reese.output
+    );
+
+    assert_eq!(base.output, reese.output);
+    assert_eq!(base.state_digest, reese.state_digest);
+    println!(
+        "time-redundancy overhead: {:+.1}% cycles",
+        (reese.cycles() as f64 / base.cycles() as f64 - 1.0) * 100.0
+    );
+    Ok(())
+}

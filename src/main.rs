@@ -1,0 +1,372 @@
+//! `reese` — command-line front end for the simulators.
+//!
+//! ```text
+//! reese run <file.s> [options]     simulate an assembly program
+//! reese mix <file.s|kernel>        print a program's dynamic instruction mix
+//! reese disasm <file.s>            assemble and disassemble a program
+//! reese trace <file.s|kernel> [--out f]   capture and profile a trace
+//! reese kernels                    list the built-in workload kernels
+//! ```
+//!
+//! Run options:
+//!
+//! ```text
+//! --scheme emulate|baseline|reese|duplex   machine model (default baseline)
+//! --machine starting|ruu32|wide16|ports4   base configuration (default starting)
+//! --spare-alus N     extra integer ALUs for REESE
+//! --spare-muls N     extra integer multiplier/dividers for REESE
+//! --rqueue N         R-stream Queue size (default 32)
+//! --early-removal    enable the §4.3 RUU-removal optimisation
+//! --dup-period K     re-execute 1 in K instructions (default 1)
+//! --inject SEQ:BIT:p|r   inject a transient fault (repeatable)
+//! --max-insns N      stop after N committed instructions
+//! --skip N           fast-forward N instructions functionally first
+//! --stats            print the full statistics block
+//! --kernel NAME      run a built-in kernel instead of a file
+//! --scale N          kernel scale (default 1)
+//! ```
+
+use reese::core::{DuplexSim, InjectedFault, ReeseConfig, ReeseSim};
+use reese::cpu::Emulator;
+use reese::isa::{assemble, disassemble_text, Program};
+use reese::pipeline::{PipelineConfig, PipelineSim};
+use reese::workloads::{measure_mix, Kernel};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("mix") => cmd_mix(&args[1..]),
+        Some("disasm") => cmd_disasm(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("kernels") => cmd_kernels(),
+        _ => {
+            eprintln!("usage: reese <run|mix|disasm|trace|kernels> [options]  (see --help in source)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliError = Box<dyn std::error::Error>;
+
+fn machine(name: &str) -> Result<PipelineConfig, CliError> {
+    Ok(match name {
+        "starting" => PipelineConfig::starting(),
+        "ruu32" => PipelineConfig::starting().with_ruu(32).with_lsq(16),
+        "wide16" => PipelineConfig::starting().with_ruu(32).with_lsq(16).with_width(16),
+        "ports4" => {
+            PipelineConfig::starting().with_ruu(32).with_lsq(16).with_width(16).with_mem_ports(4)
+        }
+        other => return Err(format!("unknown machine `{other}`").into()),
+    })
+}
+
+fn kernel_by_name(name: &str) -> Result<Kernel, CliError> {
+    Kernel::ALL
+        .into_iter()
+        .find(|k| k.name() == name || k.paper_benchmark() == name)
+        .ok_or_else(|| format!("unknown kernel `{name}` (try `reese kernels`)").into())
+}
+
+fn parse_fault(spec: &str) -> Result<InjectedFault, CliError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() != 3 {
+        return Err(format!("bad fault spec `{spec}`, want SEQ:BIT:p|r").into());
+    }
+    let seq: u64 = parts[0].parse()?;
+    let bit: u8 = parts[1].parse()?;
+    Ok(match parts[2] {
+        "p" => InjectedFault::primary(seq, bit),
+        "r" => InjectedFault::redundant(seq, bit),
+        "perm" => InjectedFault::permanent(seq, bit),
+        other => return Err(format!("bad stream `{other}`, want p, r, or perm").into()),
+    })
+}
+
+struct RunOpts {
+    program: Program,
+    scheme: String,
+    base: PipelineConfig,
+    spare_alus: u32,
+    spare_muls: u32,
+    rqueue: usize,
+    early_removal: bool,
+    dup_period: u64,
+    faults: Vec<InjectedFault>,
+    max_insns: u64,
+    skip: u64,
+    verbose: bool,
+}
+
+fn parse_run(args: &[String]) -> Result<RunOpts, CliError> {
+    let mut opts = RunOpts {
+        program: Program::from_text(vec![]),
+        scheme: "baseline".into(),
+        base: PipelineConfig::starting(),
+        spare_alus: 0,
+        spare_muls: 0,
+        rqueue: 32,
+        early_removal: false,
+        dup_period: 1,
+        faults: Vec::new(),
+        max_insns: u64::MAX,
+        skip: 0,
+        verbose: false,
+    };
+    let mut file: Option<String> = None;
+    let mut kernel: Option<Kernel> = None;
+    let mut scale: u32 = 1;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = || -> Result<&String, CliError> {
+            it.next().ok_or_else(|| format!("`{a}` needs a value").into())
+        };
+        match a.as_str() {
+            "--scheme" => opts.scheme = value()?.clone(),
+            "--machine" => opts.base = machine(value()?)?,
+            "--spare-alus" => opts.spare_alus = value()?.parse()?,
+            "--spare-muls" => opts.spare_muls = value()?.parse()?,
+            "--rqueue" => opts.rqueue = value()?.parse()?,
+            "--early-removal" => opts.early_removal = true,
+            "--dup-period" => opts.dup_period = value()?.parse()?,
+            "--inject" => opts.faults.push(parse_fault(value()?)?),
+            "--max-insns" => opts.max_insns = value()?.parse()?,
+            "--skip" => opts.skip = value()?.parse()?,
+            "--stats" => opts.verbose = true,
+            "--kernel" => kernel = Some(kernel_by_name(value()?)?),
+            "--scale" => scale = value()?.parse()?,
+            other if !other.starts_with("--") => file = Some(other.to_string()),
+            other => return Err(format!("unknown option `{other}`").into()),
+        }
+    }
+    opts.program = match (file, kernel) {
+        (Some(path), None) => assemble(&std::fs::read_to_string(&path)?)?,
+        (None, Some(k)) => k.build(scale),
+        (Some(_), Some(_)) => return Err("give a file or --kernel, not both".into()),
+        (None, None) => return Err("give an assembly file or --kernel NAME".into()),
+    };
+    Ok(opts)
+}
+
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
+    let o = parse_run(args)?;
+    match o.scheme.as_str() {
+        "emulate" => {
+            let mut emu = Emulator::new(&o.program);
+            let r = emu.run(o.max_insns)?;
+            println!("emulated {} instructions, stop: {:?}", r.instructions, r.stop);
+            print_output(&r.output);
+        }
+        "baseline" => {
+            let r = PipelineSim::new(o.base).run_region(&o.program, o.skip, o.max_insns)?;
+            println!(
+                "baseline: {} instructions in {} cycles — IPC {:.3}",
+                r.committed_instructions(),
+                r.cycles(),
+                r.ipc()
+            );
+            print_output(&r.output);
+            if o.verbose {
+                print!("{}", r.stats);
+            } else {
+                print_pipeline_stats(&r.stats);
+            }
+        }
+        "duplex" => {
+            let r = DuplexSim::new(o.base).run_limit(&o.program, o.max_insns)?;
+            println!(
+                "dispatch duplication: {} instructions in {} cycles — IPC {:.3}, {} comparisons",
+                r.committed_instructions(),
+                r.cycles(),
+                r.ipc(),
+                r.stats.comparisons
+            );
+            print_output(&r.output);
+        }
+        "reese" => {
+            let cfg = ReeseConfig::over(o.base)
+                .with_spare_int_alus(o.spare_alus)
+                .with_spare_int_muldivs(o.spare_muls)
+                .with_rqueue_size(o.rqueue)
+                .with_early_removal(o.early_removal)
+                .with_duplication_period(o.dup_period);
+            let r = if o.skip > 0 {
+                ReeseSim::new(cfg).run_region(&o.program, o.skip, o.max_insns)?
+            } else {
+                ReeseSim::new(cfg).run_with_faults(&o.program, &o.faults, o.max_insns)?
+            };
+            println!(
+                "REESE: {} instructions in {} cycles — IPC {:.3}, {} comparisons, {} detections",
+                r.committed_instructions(),
+                r.cycles(),
+                r.ipc(),
+                r.stats.comparisons,
+                r.stats.detections
+            );
+            for d in &r.detections {
+                println!(
+                    "  soft error detected: instruction #{} at pc {:#x}, latency {} cycles",
+                    d.seq,
+                    d.pc,
+                    d.latency()
+                );
+            }
+            print_output(&r.output);
+            if o.verbose {
+                print!("{}", r.stats);
+            } else {
+                print_pipeline_stats(&r.stats.pipeline);
+            }
+        }
+        other => return Err(format!("unknown scheme `{other}`").into()),
+    }
+    Ok(())
+}
+
+fn print_output(output: &[i64]) {
+    if !output.is_empty() {
+        println!("program output: {output:?}");
+    }
+}
+
+fn print_pipeline_stats(s: &reese::pipeline::PipelineStats) {
+    println!(
+        "  branch mispredict rate {:.2}%, idle issue bandwidth {:.0}%",
+        s.branch.mispredict_rate() * 100.0,
+        s.idle_issue_fraction(8) * 100.0
+    );
+    if let Some(h) = &s.hierarchy {
+        println!(
+            "  L1D miss rate {:.2}%, L1I miss rate {:.2}%, L2 miss rate {:.2}%",
+            h.l1d.miss_rate() * 100.0,
+            h.l1i.miss_rate() * 100.0,
+            h.l2.miss_rate() * 100.0
+        );
+    }
+}
+
+fn load_source(args: &[String]) -> Result<Program, CliError> {
+    match args.first() {
+        Some(path) if !path.starts_with("--") => {
+            if let Ok(k) = kernel_by_name(path) {
+                Ok(k.build(1))
+            } else {
+                Ok(assemble(&std::fs::read_to_string(path)?)?)
+            }
+        }
+        _ => Err("give an assembly file or kernel name".into()),
+    }
+}
+
+fn cmd_mix(args: &[String]) -> Result<(), CliError> {
+    let program = load_source(args)?;
+    println!("{}", measure_mix(&program, 10_000_000));
+    Ok(())
+}
+
+fn cmd_disasm(args: &[String]) -> Result<(), CliError> {
+    let program = load_source(args)?;
+    print!("{}", disassemble_text(program.text(), program.text_base()));
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), CliError> {
+    let program = load_source(args)?;
+    let out = args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1));
+    let trace = reese::cpu::Trace::capture(&program, 10_000_000)?;
+    let (branches, taken) = trace.branch_profile();
+    println!(
+        "{} dynamic instructions; {:.1}% memory; {branches} branches ({:.0}% taken);          data working set {} lines (32 B)",
+        trace.len(),
+        trace.mem_fraction() * 100.0,
+        if branches == 0 { 0.0 } else { taken as f64 / branches as f64 * 100.0 },
+        trace.data_working_set(32)
+    );
+    println!("hottest basic blocks:");
+    for (pc, count) in trace.hot_blocks(5) {
+        println!("  {pc:#010x}: {count} executions");
+    }
+    if let Some(path) = out {
+        let file = std::fs::File::create(path)?;
+        trace.write_to(std::io::BufWriter::new(file))?;
+        println!("trace written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_kernels() -> Result<(), CliError> {
+    println!("built-in kernels (SPEC95 integer stand-ins):");
+    for k in Kernel::ALL {
+        println!("  {:<9} — stands in for {} ({})", k.name(), k.paper_benchmark(), k.paper_input());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machines_parse() {
+        for name in ["starting", "ruu32", "wide16", "ports4"] {
+            machine(name).expect(name).validate();
+        }
+        assert!(machine("huge").is_err());
+    }
+
+    #[test]
+    fn kernels_parse_by_both_names() {
+        assert_eq!(kernel_by_name("lisp").unwrap(), Kernel::Lisp);
+        assert_eq!(kernel_by_name("li").unwrap(), Kernel::Lisp);
+        assert_eq!(kernel_by_name("gcc").unwrap(), Kernel::Compiler);
+        assert!(kernel_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn fault_specs_parse() {
+        assert_eq!(parse_fault("10:3:p").unwrap(), InjectedFault::primary(10, 3));
+        assert_eq!(parse_fault("10:3:r").unwrap(), InjectedFault::redundant(10, 3));
+        assert_eq!(parse_fault("10:3:perm").unwrap(), InjectedFault::permanent(10, 3));
+        assert!(parse_fault("10:3").is_err());
+        assert!(parse_fault("10:3:x").is_err());
+        assert!(parse_fault("a:3:p").is_err());
+    }
+
+    #[test]
+    fn run_options_parse() {
+        let args: Vec<String> = [
+            "--kernel", "perl", "--scheme", "reese", "--spare-alus", "2", "--rqueue", "64",
+            "--early-removal", "--dup-period", "2", "--inject", "5:1:p", "--max-insns", "1000",
+            "--skip", "10", "--stats",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let o = parse_run(&args).unwrap();
+        assert_eq!(o.scheme, "reese");
+        assert_eq!(o.spare_alus, 2);
+        assert_eq!(o.rqueue, 64);
+        assert!(o.early_removal);
+        assert_eq!(o.dup_period, 2);
+        assert_eq!(o.faults.len(), 1);
+        assert_eq!(o.max_insns, 1000);
+        assert_eq!(o.skip, 10);
+        assert!(o.verbose);
+        assert!(!o.program.is_empty());
+    }
+
+    #[test]
+    fn missing_program_is_an_error() {
+        assert!(parse_run(&[]).is_err());
+        let args = vec!["--scheme".to_string(), "reese".to_string()];
+        assert!(parse_run(&args).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Reduced-scale versions of the paper's experiments, asserting the
+//! *shape* of every figure: who wins, in which direction the knobs
+//! move, and where the paper's qualitative claims appear.
+
+use reese::core::{ReeseConfig, ReeseSim};
+use reese::pipeline::{FuCounts, PipelineConfig, PipelineSim};
+use reese::stats::mean;
+use reese::workloads::Suite;
+
+fn suite() -> Suite {
+    Suite::smoke()
+}
+
+fn avg_ipc_baseline(suite: &Suite, cfg: &PipelineConfig) -> f64 {
+    mean(
+        &suite
+            .iter()
+            .map(|w| PipelineSim::new(cfg.clone()).run(&w.program).expect("runs").ipc())
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn avg_ipc_reese(suite: &Suite, cfg: &ReeseConfig) -> f64 {
+    mean(
+        &suite
+            .iter()
+            .map(|w| ReeseSim::new(cfg.clone()).run(&w.program).expect("runs").ipc())
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Figure 2's shape: on the starting configuration REESE trails the
+/// baseline, and spare ALUs narrow the gap.
+#[test]
+fn fig2_shape_reese_trails_and_spares_help() {
+    let s = suite();
+    let base = avg_ipc_baseline(&s, &PipelineConfig::starting());
+    let plain = avg_ipc_reese(&s, &ReeseConfig::starting());
+    let spared = avg_ipc_reese(&s, &ReeseConfig::starting().with_spare_int_alus(2));
+    assert!(plain < base, "REESE {plain:.3} must trail baseline {base:.3}");
+    assert!(spared >= plain, "+2 ALUs must not hurt ({spared:.3} vs {plain:.3})");
+    let gap = (base - plain) / base;
+    assert!(
+        (0.02..0.40).contains(&gap),
+        "overhead {:.1}% outside any plausible band",
+        gap * 100.0
+    );
+}
+
+/// Figure 3's shape: doubling RUU/LSQ raises baseline IPC.
+#[test]
+fn fig3_shape_bigger_window_helps_baseline() {
+    let s = suite();
+    let small = avg_ipc_baseline(&s, &PipelineConfig::starting());
+    let big = avg_ipc_baseline(&s, &PipelineConfig::starting().with_ruu(32).with_lsq(16));
+    assert!(big > small, "RUU 32 ({big:.3}) must beat RUU 16 ({small:.3})");
+}
+
+/// Figure 4's shape: a 16-wide datapath does not slow anything down.
+#[test]
+fn fig4_shape_wider_datapath_not_worse() {
+    let s = suite();
+    let narrow = avg_ipc_baseline(&s, &PipelineConfig::starting().with_ruu(32).with_lsq(16));
+    let wide =
+        avg_ipc_baseline(&s, &PipelineConfig::starting().with_ruu(32).with_lsq(16).with_width(16));
+    assert!(wide >= narrow * 0.98, "wide {wide:.3} vs narrow {narrow:.3}");
+}
+
+/// Figure 5's shape: extra memory ports lift REESE's absolute IPC.
+#[test]
+fn fig5_shape_ports_help_reese() {
+    let s = suite();
+    let base16 = PipelineConfig::starting().with_ruu(32).with_lsq(16).with_width(16);
+    let two_ports = avg_ipc_reese(&s, &ReeseConfig::over(base16.clone()));
+    let four_ports = avg_ipc_reese(&s, &ReeseConfig::over(base16.with_mem_ports(4)));
+    assert!(
+        four_ports > two_ports,
+        "4 ports ({four_ports:.3}) must beat 2 ports ({two_ports:.3}) for REESE"
+    );
+}
+
+/// Figure 7's shape: growing only the RUU leaves a substantial REESE
+/// gap, while adding functional units collapses it.
+#[test]
+fn fig7_shape_fus_collapse_the_gap() {
+    let s = suite();
+    let more_fus = FuCounts { int_alu: 8, int_muldiv: 4, fp_alu: 8, fp_muldiv: 4, mem_ports: 2 };
+    let ruu_only = PipelineConfig::starting().with_ruu(64).with_lsq(32);
+    let with_fus = ruu_only.clone().with_fu(more_fus);
+
+    let gap = |cfg: &PipelineConfig| {
+        let b = avg_ipc_baseline(&s, cfg);
+        let r = avg_ipc_reese(&s, &ReeseConfig::over(cfg.clone()));
+        (b - r) / b
+    };
+    let gap_ruu_only = gap(&ruu_only);
+    let gap_with_fus = gap(&with_fus);
+    assert!(
+        gap_with_fus < gap_ruu_only,
+        "extra FUs must shrink the gap ({:.1}% -> {:.1}%)",
+        gap_ruu_only * 100.0,
+        gap_with_fus * 100.0
+    );
+}
+
+/// §4.3's early-removal optimisation: never worse than holding RUU
+/// entries, and strictly better on the small starting window.
+#[test]
+fn early_removal_pays_on_the_small_window() {
+    let s = suite();
+    let held = avg_ipc_reese(&s, &ReeseConfig::starting());
+    let early = avg_ipc_reese(&s, &ReeseConfig::starting().with_early_removal(true));
+    assert!(
+        early > held,
+        "early removal ({early:.3}) must beat held-RUU ({held:.3}) at RUU=16"
+    );
+}
+
+/// §7's partial duplication: time improves monotonically as coverage is
+/// given up.
+#[test]
+fn partial_duplication_monotone() {
+    let s = suite();
+    let mut last = 0.0;
+    for period in [1u64, 2, 4] {
+        let ipc = avg_ipc_reese(&s, &ReeseConfig::starting().with_duplication_period(period));
+        assert!(ipc >= last, "period {period}: IPC {ipc:.3} regressed below {last:.3}");
+        last = ipc;
+    }
+}
+
+/// The idle-capacity premise (§4.1): the baseline leaves a meaningful
+/// fraction of issue slots unused — that's what REESE harvests.
+#[test]
+fn baseline_has_idle_capacity() {
+    let s = suite();
+    for w in s.iter() {
+        let r = PipelineSim::new(PipelineConfig::starting()).run(&w.program).expect("runs");
+        let idle = r.stats.idle_issue_fraction(8);
+        assert!(
+            idle > 0.3,
+            "{}: idle fraction {idle:.2} — the premise needs idle slots",
+            w.kernel
+        );
+    }
+}

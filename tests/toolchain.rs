@@ -1,0 +1,58 @@
+//! Toolchain round trips on real workload code: every kernel's text
+//! must survive disassemble → reassemble and encode → decode unchanged.
+
+use reese::cpu::Emulator;
+use reese::isa::{assemble, decode_text, disassemble_text, encode_text};
+use reese::workloads::Kernel;
+
+#[test]
+fn kernel_binaries_round_trip_through_the_encoder() {
+    for kernel in Kernel::ALL {
+        let program = kernel.build(1);
+        let image = encode_text(program.text()).expect("kernel immediates fit");
+        let decoded = decode_text(&image).expect("encoder output decodes");
+        let canonical: Vec<_> = program.text().iter().map(|i| i.canonical()).collect();
+        assert_eq!(decoded, canonical, "{kernel}: binary round trip");
+    }
+}
+
+#[test]
+fn kernel_listings_reassemble_identically() {
+    for kernel in Kernel::ALL {
+        let program = kernel.build(1);
+        // Strip the address column the listing prints.
+        let listing: String = program
+            .text()
+            .iter()
+            .map(|i| format!("  {i}\n"))
+            .collect();
+        let reassembled = assemble(&listing)
+            .unwrap_or_else(|e| panic!("{kernel}: listing must reassemble: {e}"));
+        let canonical: Vec<_> = program.text().iter().map(|i| i.canonical()).collect();
+        assert_eq!(reassembled.text(), &canonical[..], "{kernel}: assembly round trip");
+    }
+}
+
+#[test]
+fn listing_with_addresses_is_well_formed() {
+    let program = Kernel::Compiler.build(1);
+    let listing = disassemble_text(program.text(), program.text_base());
+    assert_eq!(listing.lines().count(), program.len());
+    assert!(listing.starts_with("0x00001000:"));
+}
+
+#[test]
+fn data_segments_load_correctly() {
+    // The emulator must see exactly the bytes the builder emitted.
+    for kernel in Kernel::ALL {
+        let program = kernel.build(1);
+        let emu = Emulator::new(&program);
+        for (i, &byte) in program.data().iter().enumerate().step_by(97) {
+            assert_eq!(
+                emu.memory().read_u8(program.data_base() + i as u64),
+                byte,
+                "{kernel}: data byte {i}"
+            );
+        }
+    }
+}
