@@ -2,10 +2,11 @@
 //! early RUU removal (§4.3's optimisation), R-queue sizing, partial
 //! duplication, and the branch predictor choice.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use reese_bpred::PredictorKind;
 use reese_core::{ReeseConfig, ReeseSim};
 use reese_pipeline::{PipelineConfig, PipelineSim};
+use reese_stats::bench::Criterion;
+use reese_stats::{criterion_group, criterion_main};
 use reese_workloads::Kernel;
 use std::hint::black_box;
 
@@ -32,7 +33,11 @@ fn bench_ablations(c: &mut Criterion) {
             b.iter(|| black_box(sim.run(&prog).expect("runs")));
         });
     }
-    for kind in [PredictorKind::AlwaysTaken, PredictorKind::Bimodal, PredictorKind::Gshare] {
+    for kind in [
+        PredictorKind::AlwaysTaken,
+        PredictorKind::Bimodal,
+        PredictorKind::Gshare,
+    ] {
         g.bench_function(format!("predictor_{kind:?}"), |b| {
             let mut cfg = PipelineConfig::starting();
             cfg.predictor = cfg.predictor.with_kind(kind);

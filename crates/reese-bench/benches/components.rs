@@ -1,18 +1,22 @@
 //! Microbenchmarks of the simulator substrates: emulator, caches,
 //! predictors, and the two timing simulators.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use reese_bpred::{BranchUnit, PredictorConfig};
 use reese_core::{ReeseConfig, ReeseSim};
 use reese_cpu::Emulator;
 use reese_mem::{AccessKind, Cache, CacheConfig};
 use reese_pipeline::{PipelineConfig, PipelineSim};
+use reese_stats::bench::{Criterion, Throughput};
+use reese_stats::{criterion_group, criterion_main};
 use reese_workloads::Kernel;
 use std::hint::black_box;
 
 fn bench_components(c: &mut Criterion) {
     let prog = Kernel::Imaging.build(1);
-    let dynlen = Emulator::new(&prog).run(u64::MAX).expect("halts").instructions;
+    let dynlen = Emulator::new(&prog)
+        .run(u64::MAX)
+        .expect("halts")
+        .instructions;
 
     let mut g = c.benchmark_group("components");
     g.sample_size(10);

@@ -1,9 +1,10 @@
 //! Fault-injection campaign benches: the detection-coverage experiment
 //! at reduced trial counts.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use reese_core::{InjectedFault, ReeseConfig, ReeseSim};
 use reese_faults::{Campaign, FaultMix};
+use reese_stats::bench::Criterion;
+use reese_stats::{criterion_group, criterion_main};
 use reese_workloads::Kernel;
 use std::hint::black_box;
 

@@ -2,14 +2,20 @@
 //! version of the corresponding experiment end to end (the full-scale
 //! numbers come from the `fig*` binaries).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use reese_bench::{paper_machines, Experiment, Variant};
 use reese_pipeline::{FuCounts, PipelineConfig};
+use reese_stats::bench::Criterion;
+use reese_stats::{criterion_group, criterion_main};
 use reese_workloads::Suite;
 use std::hint::black_box;
 
-const QUICK: &[Variant] =
-    &[Variant::Baseline, Variant::Reese { spare_alus: 2, spare_muls: 0 }];
+const QUICK: &[Variant] = &[
+    Variant::Baseline,
+    Variant::Reese {
+        spare_alus: 2,
+        spare_muls: 0,
+    },
+];
 
 fn suite() -> Suite {
     Suite::smoke()
@@ -31,7 +37,10 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("fig4_wide16", |b| {
         let e = Experiment::new(
             "fig4",
-            PipelineConfig::starting().with_ruu(32).with_lsq(16).with_width(16),
+            PipelineConfig::starting()
+                .with_ruu(32)
+                .with_lsq(16)
+                .with_width(16),
         )
         .variants(QUICK);
         b.iter(|| black_box(e.run_on(&suite)));
@@ -39,7 +48,11 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("fig5_ports4", |b| {
         let e = Experiment::new(
             "fig5",
-            PipelineConfig::starting().with_ruu(32).with_lsq(16).with_width(16).with_mem_ports(4),
+            PipelineConfig::starting()
+                .with_ruu(32)
+                .with_lsq(16)
+                .with_width(16)
+                .with_mem_ports(4),
         )
         .variants(QUICK);
         b.iter(|| black_box(e.run_on(&suite)));
@@ -53,11 +66,19 @@ fn bench_figures(c: &mut Criterion) {
         });
     });
     g.bench_function("fig7_big_machines", |b| {
-        let more_fus =
-            FuCounts { int_alu: 8, int_muldiv: 4, fp_alu: 8, fp_muldiv: 4, mem_ports: 2 };
+        let more_fus = FuCounts {
+            int_alu: 8,
+            int_muldiv: 4,
+            fp_alu: 8,
+            fp_muldiv: 4,
+            mem_ports: 2,
+        };
         let e = Experiment::new(
             "fig7",
-            PipelineConfig::starting().with_ruu(256).with_lsq(128).with_fu(more_fus),
+            PipelineConfig::starting()
+                .with_ruu(256)
+                .with_lsq(128)
+                .with_fu(more_fus),
         )
         .variants(QUICK);
         b.iter(|| black_box(e.run_on(&suite)));

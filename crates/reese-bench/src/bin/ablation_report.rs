@@ -11,7 +11,12 @@ fn avg(suite: &Suite, cfg: &ReeseConfig) -> f64 {
     mean(
         &suite
             .iter()
-            .map(|w| ReeseSim::new(cfg.clone()).run(&w.program).expect("runs").ipc())
+            .map(|w| {
+                ReeseSim::new(cfg.clone())
+                    .run(&w.program)
+                    .expect("runs")
+                    .ipc()
+            })
             .collect::<Vec<_>>(),
     )
 }
@@ -22,13 +27,23 @@ fn main() {
     let baseline = mean(
         &suite
             .iter()
-            .map(|w| PipelineSim::new(base_cfg.clone()).run(&w.program).expect("runs").ipc())
+            .map(|w| {
+                PipelineSim::new(base_cfg.clone())
+                    .run(&w.program)
+                    .expect("runs")
+                    .ipc()
+            })
             .collect::<Vec<_>>(),
     );
     let reference = ReeseConfig::over(base_cfg.clone());
     let ref_ipc = avg(&suite, &reference);
 
-    let mut t = Table::new(vec!["ablation", "avg IPC", "vs baseline", "vs REESE default"]);
+    let mut t = Table::new(vec![
+        "ablation",
+        "avg IPC",
+        "vs baseline",
+        "vs REESE default",
+    ]);
     let mut row = |name: &str, ipc: f64| {
         t.row(vec![
             name.to_string(),
@@ -39,9 +54,15 @@ fn main() {
     };
     row("baseline (no redundancy)", baseline);
     row("REESE default (held RUU, queue 32, lookahead 8)", ref_ipc);
-    row("early RUU removal (§4.3)", avg(&suite, &reference.clone().with_early_removal(true)));
+    row(
+        "early RUU removal (§4.3)",
+        avg(&suite, &reference.clone().with_early_removal(true)),
+    );
     for size in [8usize, 16, 64, 128] {
-        row(&format!("R-queue size {size}"), avg(&suite, &reference.clone().with_rqueue_size(size)));
+        row(
+            &format!("R-queue size {size}"),
+            avg(&suite, &reference.clone().with_rqueue_size(size)),
+        );
     }
     for lookahead in [1usize, 2, 16] {
         let mut cfg = reference.clone();
@@ -64,7 +85,10 @@ fn main() {
     // warmed lines.
     let mut pf_cfg = base_cfg.clone();
     pf_cfg.hierarchy = pf_cfg.hierarchy.with_next_line_prefetch();
-    row("REESE + L1D next-line prefetch", avg(&suite, &ReeseConfig::over(pf_cfg)));
+    row(
+        "REESE + L1D next-line prefetch",
+        avg(&suite, &ReeseConfig::over(pf_cfg)),
+    );
     println!("REESE design-choice ablations (RUU=32/LSQ=16 machine, suite averages)");
     println!("{t}");
 }

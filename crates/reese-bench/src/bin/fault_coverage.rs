@@ -3,29 +3,54 @@
 //! detected by the P/R comparison; post-compare, cache-cell, and
 //! pipeline-control upsets are not.
 
+use reese_bench::default_jobs;
 use reese_core::ReeseConfig;
 use reese_faults::{Campaign, FaultClass, FaultMix};
 use reese_stats::Table;
 use reese_workloads::Kernel;
+use std::time::Instant;
 
 fn main() {
-    let trials: usize = std::env::var("REESE_FAULT_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(60);
+    let trials: usize = std::env::var("REESE_FAULT_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60);
+    let jobs = default_jobs();
     let mut t = Table::new(vec![
-        "kernel", "coverage", "p-result", "r-result", "uncovered classes", "latency (cyc)", "recovery (cyc)",
+        "kernel",
+        "coverage",
+        "p-result",
+        "r-result",
+        "uncovered classes",
+        "latency (cyc)",
+        "recovery (cyc)",
+        "trials/s",
     ]);
+    let wall = Instant::now();
+    let mut total_trials = 0u64;
     for k in Kernel::ALL {
         let prog = k.build(1);
         let report = Campaign::new(ReeseConfig::starting(), FaultMix::broad())
             .trials(trials)
             .seed(0xC0FE + k as u64)
+            .jobs(jobs)
             .run(&prog)
             .expect("campaign runs");
         let (pd, pt) = report.by_class(FaultClass::PrimaryResult);
         let (rd, rt) = report.by_class(FaultClass::RedundantResult);
-        let uncovered: u64 = [FaultClass::PostCompare, FaultClass::CacheCell, FaultClass::PipelineControl]
-            .iter()
-            .map(|&c| report.by_class(c).1)
-            .sum();
+        let uncovered: u64 = [
+            FaultClass::PostCompare,
+            FaultClass::CacheCell,
+            FaultClass::PipelineControl,
+        ]
+        .iter()
+        .map(|&c| report.by_class(c).1)
+        .sum();
+        let tput = report
+            .throughput
+            .as_ref()
+            .map_or(0.0, |s| s.items_per_sec());
+        total_trials += report.trials() as u64;
         t.row(vec![
             k.name().to_string(),
             format!("{:.1}%", report.coverage() * 100.0),
@@ -34,10 +59,24 @@ fn main() {
             format!("0/{uncovered}"),
             format!("{:.1}", report.mean_detection_latency()),
             format!("{:.1}", report.mean_recovery_cycles()),
+            format!("{tput:.0}"),
         ]);
-        assert!(report.all_states_clean(), "recovery must preserve architectural state");
+        assert!(
+            report.all_states_clean(),
+            "recovery must preserve architectural state"
+        );
     }
-    println!("Fault-injection coverage (broad mix: result errors + uncovered classes), {trials} trials/kernel");
+    let elapsed = wall.elapsed();
+    println!(
+        "Fault-injection coverage (broad mix: result errors + uncovered classes), {trials} trials/kernel"
+    );
     println!("{t}");
-    println!("expected: 100% of result errors detected; post-compare/cache/control classes undetected by design (§4.2)");
+    println!(
+        "expected: 100% of result errors detected; post-compare/cache/control classes undetected by design (§4.2)"
+    );
+    println!(
+        "{total_trials} trials on {jobs} worker(s) in {:.2}s ({:.0} trials/s overall)",
+        elapsed.as_secs_f64(),
+        total_trials as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
 }

@@ -6,7 +6,10 @@ use reese_pipeline::PipelineConfig;
 fn main() {
     let r = Experiment::new(
         "Figure 4 — IPC for 16-wide datapath",
-        PipelineConfig::starting().with_ruu(32).with_lsq(16).with_width(16),
+        PipelineConfig::starting()
+            .with_ruu(32)
+            .with_lsq(16)
+            .with_width(16),
     )
     .run();
     reese_bench::emit(&r);

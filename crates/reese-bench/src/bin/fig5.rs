@@ -9,13 +9,26 @@ use reese_pipeline::PipelineConfig;
 fn main() {
     let r = Experiment::new(
         "Figure 5 — IPC for additional memory ports (4 ports, 16-wide, RUU=32/LSQ=16)",
-        PipelineConfig::starting().with_ruu(32).with_lsq(16).with_width(16).with_mem_ports(4),
+        PipelineConfig::starting()
+            .with_ruu(32)
+            .with_lsq(16)
+            .with_width(16)
+            .with_mem_ports(4),
     )
     .variants(&[
         Variant::Baseline,
-        Variant::Reese { spare_alus: 0, spare_muls: 0 },
-        Variant::Reese { spare_alus: 1, spare_muls: 0 },
-        Variant::Reese { spare_alus: 2, spare_muls: 0 },
+        Variant::Reese {
+            spare_alus: 0,
+            spare_muls: 0,
+        },
+        Variant::Reese {
+            spare_alus: 1,
+            spare_muls: 0,
+        },
+        Variant::Reese {
+            spare_alus: 2,
+            spare_muls: 0,
+        },
     ])
     .run();
     reese_bench::emit(&r);

@@ -10,14 +10,22 @@ fn main() {
     let suite = Suite::spec95_like(reese_bench::default_target());
     let variants = [
         Variant::Baseline,
-        Variant::Reese { spare_alus: 0, spare_muls: 0 },
-        Variant::Reese { spare_alus: 2, spare_muls: 0 },
+        Variant::Reese {
+            spare_alus: 0,
+            spare_muls: 0,
+        },
+        Variant::Reese {
+            spare_alus: 2,
+            spare_muls: 0,
+        },
     ];
     let mut t = Table::new(vec!["config", "baseline", "REESE", "gap", "R+2ALU", "gap"]);
     let mut gaps = Vec::new();
     let mut gaps_spare = Vec::new();
     for (name, cfg) in paper_machines() {
-        let r = Experiment::new(name, cfg).variants(&variants).run_on(&suite);
+        let r = Experiment::new(name, cfg)
+            .variants(&variants)
+            .run_on(&suite);
         let a = r.averages();
         gaps.push(r.average_gap(1));
         gaps_spare.push(r.average_gap(2));

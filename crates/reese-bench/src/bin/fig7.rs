@@ -11,21 +11,60 @@ use reese_workloads::Suite;
 
 fn main() {
     let suite = Suite::spec95_like(reese_bench::default_target());
-    let more_fus = FuCounts { int_alu: 8, int_muldiv: 4, fp_alu: 8, fp_muldiv: 4, mem_ports: 2 };
+    let more_fus = FuCounts {
+        int_alu: 8,
+        int_muldiv: 4,
+        fp_alu: 8,
+        fp_muldiv: 4,
+        mem_ports: 2,
+    };
     let machines = [
-        ("RUU=64", PipelineConfig::starting().with_ruu(64).with_lsq(32)),
-        ("RUU=64 + extra FUs", PipelineConfig::starting().with_ruu(64).with_lsq(32).with_fu(more_fus)),
-        ("RUU=256", PipelineConfig::starting().with_ruu(256).with_lsq(128)),
-        ("RUU=256 + extra FUs", PipelineConfig::starting().with_ruu(256).with_lsq(128).with_fu(more_fus)),
+        (
+            "RUU=64",
+            PipelineConfig::starting().with_ruu(64).with_lsq(32),
+        ),
+        (
+            "RUU=64 + extra FUs",
+            PipelineConfig::starting()
+                .with_ruu(64)
+                .with_lsq(32)
+                .with_fu(more_fus),
+        ),
+        (
+            "RUU=256",
+            PipelineConfig::starting().with_ruu(256).with_lsq(128),
+        ),
+        (
+            "RUU=256 + extra FUs",
+            PipelineConfig::starting()
+                .with_ruu(256)
+                .with_lsq(128)
+                .with_fu(more_fus),
+        ),
     ];
     let variants = [
         Variant::Baseline,
-        Variant::Reese { spare_alus: 0, spare_muls: 0 },
-        Variant::Reese { spare_alus: 2, spare_muls: 0 },
+        Variant::Reese {
+            spare_alus: 0,
+            spare_muls: 0,
+        },
+        Variant::Reese {
+            spare_alus: 2,
+            spare_muls: 0,
+        },
     ];
-    let mut t = Table::new(vec!["config", "baseline", "REESE", "gap", "REESE+2ALU", "gap"]);
+    let mut t = Table::new(vec![
+        "config",
+        "baseline",
+        "REESE",
+        "gap",
+        "REESE+2ALU",
+        "gap",
+    ]);
     for (name, cfg) in machines {
-        let r = Experiment::new(name, cfg).variants(&variants).run_on(&suite);
+        let r = Experiment::new(name, cfg)
+            .variants(&variants)
+            .run_on(&suite);
         let a = r.averages();
         t.row(vec![
             name.to_string(),

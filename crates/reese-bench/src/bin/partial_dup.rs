@@ -11,10 +11,28 @@ fn main() {
     let suite = Suite::spec95_like(default_target());
     let base = PipelineConfig::starting();
     let baseline = mean(
-        &suite.iter().map(|w| PipelineSim::new(base.clone()).run(&w.program).unwrap().ipc()).collect::<Vec<_>>(),
+        &suite
+            .iter()
+            .map(|w| {
+                PipelineSim::new(base.clone())
+                    .run(&w.program)
+                    .unwrap()
+                    .ipc()
+            })
+            .collect::<Vec<_>>(),
     );
-    let mut t = Table::new(vec!["duplication", "avg IPC", "gap vs baseline", "coverage bound"]);
-    t.row(vec!["baseline (none)".into(), format!("{baseline:.3}"), "+0.0%".into(), "0%".into()]);
+    let mut t = Table::new(vec![
+        "duplication",
+        "avg IPC",
+        "gap vs baseline",
+        "coverage bound",
+    ]);
+    t.row(vec![
+        "baseline (none)".into(),
+        format!("{baseline:.3}"),
+        "+0.0%".into(),
+        "0%".into(),
+    ]);
     for k in [1u64, 2, 4, 8] {
         let ipc = mean(
             &suite

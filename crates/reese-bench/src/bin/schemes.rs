@@ -19,9 +19,24 @@ fn main() {
         ("REESE + early RUU removal + 2 ALUs", Vec::new()),
     ];
     for w in suite.iter() {
-        rows[0].1.push(PipelineSim::new(base_cfg.clone()).run(&w.program).unwrap().ipc());
-        rows[1].1.push(DuplexSim::new(base_cfg.clone()).run(&w.program).unwrap().ipc());
-        rows[2].1.push(ReeseSim::new(ReeseConfig::over(base_cfg.clone())).run(&w.program).unwrap().ipc());
+        rows[0].1.push(
+            PipelineSim::new(base_cfg.clone())
+                .run(&w.program)
+                .unwrap()
+                .ipc(),
+        );
+        rows[1].1.push(
+            DuplexSim::new(base_cfg.clone())
+                .run(&w.program)
+                .unwrap()
+                .ipc(),
+        );
+        rows[2].1.push(
+            ReeseSim::new(ReeseConfig::over(base_cfg.clone()))
+                .run(&w.program)
+                .unwrap()
+                .ipc(),
+        );
         rows[3].1.push(
             ReeseSim::new(ReeseConfig::over(base_cfg.clone()).with_spare_int_alus(2))
                 .run(&w.program)
@@ -30,7 +45,9 @@ fn main() {
         );
         rows[4].1.push(
             ReeseSim::new(
-                ReeseConfig::over(base_cfg.clone()).with_spare_int_alus(2).with_early_removal(true),
+                ReeseConfig::over(base_cfg.clone())
+                    .with_spare_int_alus(2)
+                    .with_early_removal(true),
             )
             .run(&w.program)
             .unwrap()
@@ -38,16 +55,27 @@ fn main() {
         );
     }
     let baseline_avg = mean(&rows[0].1);
-    let mut t = Table::new(vec!["scheme", "avg IPC", "vs baseline", "detects soft errors"]);
+    let mut t = Table::new(vec![
+        "scheme",
+        "avg IPC",
+        "vs baseline",
+        "detects soft errors",
+    ]);
     for (i, (name, ipcs)) in rows.iter().enumerate() {
         let avg = mean(ipcs);
         t.row(vec![
             name.to_string(),
             format!("{avg:.3}"),
             format!("{:+.1}%", (avg / baseline_avg - 1.0) * 100.0),
-            if i == 0 { "no".into() } else { "yes (result errors)".into() },
+            if i == 0 {
+                "no".into()
+            } else {
+                "yes (result errors)".into()
+            },
         ]);
     }
-    println!("Redundancy schemes on the RUU=32 machine (paper §3: REESE vs. scheduler duplication)");
+    println!(
+        "Redundancy schemes on the RUU=32 machine (paper §3: REESE vs. scheduler duplication)"
+    );
     println!("{t}");
 }

@@ -15,8 +15,10 @@ use reese_stats::{SplitMix64, Table};
 use reese_workloads::Kernel;
 
 fn main() {
-    let trials: u64 =
-        std::env::var("REESE_FAULT_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
+    let trials: u64 = std::env::var("REESE_FAULT_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
     let prog = Kernel::Compiler.build(1);
     let sim = ReeseSim::new(ReeseConfig::starting());
 
@@ -44,8 +46,12 @@ fn main() {
         let (mut affected, mut p_c, mut r_c, mut detected, mut silent) = (0u64, 0, 0, 0u64, 0);
         for _ in 0..trials {
             let start = rng.range_u64(total_cycles / 10, total_cycles * 9 / 10);
-            let fault =
-                DurationFault { start_cycle: start, duration: dt, class: FuClass::IntAlu, bit: 9 };
+            let fault = DurationFault {
+                start_cycle: start,
+                duration: dt,
+                class: FuClass::IntAlu,
+                bit: 9,
+            };
             match sim.run_with_duration_fault(&prog, fault, u64::MAX) {
                 Ok((r, report)) => {
                     if report.affected() {
@@ -79,7 +85,10 @@ fn main() {
             },
         ]);
     }
-    println!("\nDuration-fault sweep ({} trials per Δt, random window placement):", trials);
+    println!(
+        "\nDuration-fault sweep ({} trials per Δt, random window placement):",
+        trials
+    );
     println!("{t}");
     println!(
         "expected: short disturbances (Δt ≪ P→R separation) are always caught; escapes grow once Δt \

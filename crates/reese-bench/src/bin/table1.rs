@@ -23,18 +23,36 @@ fn main() {
         ("Memory Ports", c.fu.mem_ports.to_string()),
         (
             "L1 Data Cache",
-            format!("{} KB, {}-way, {}-cycle hit time", h.l1d.size_bytes / 1024, h.l1d.assoc, h.l1d.hit_latency),
+            format!(
+                "{} KB, {}-way, {}-cycle hit time",
+                h.l1d.size_bytes / 1024,
+                h.l1d.assoc,
+                h.l1d.hit_latency
+            ),
         ),
         (
             "L2 Data Cache",
-            format!("{} KB, {}-way, {}-cycle hit time", h.l2.size_bytes / 1024, h.l2.assoc, h.l2.hit_latency),
+            format!(
+                "{} KB, {}-way, {}-cycle hit time",
+                h.l2.size_bytes / 1024,
+                h.l2.assoc,
+                h.l2.hit_latency
+            ),
         ),
         (
             "L1 Inst. Cache",
-            format!("{} KB, {}-way, {}-cycle hit time", h.l1i.size_bytes / 1024, h.l1i.assoc, h.l1i.hit_latency),
+            format!(
+                "{} KB, {}-way, {}-cycle hit time",
+                h.l1i.size_bytes / 1024,
+                h.l1i.assoc,
+                h.l1i.hit_latency
+            ),
         ),
         ("L2 Inst. Cache", "Shared w/ D-cache".to_string()),
-        ("Branch Predictor", "gshare, from [26] (McFarling)".to_string()),
+        (
+            "Branch Predictor",
+            "gshare, from [26] (McFarling)".to_string(),
+        ),
         ("Main Memory Latency", format!("{} cycles", h.mem_latency)),
     ];
     for (k, v) in rows {

@@ -4,7 +4,12 @@ use reese_stats::Table;
 use reese_workloads::{measure_mix, Kernel};
 
 fn main() {
-    let mut t = Table::new(vec!["benchmark", "paper input", "our kernel", "dynamic mix (at scale 2)"]);
+    let mut t = Table::new(vec![
+        "benchmark",
+        "paper input",
+        "our kernel",
+        "dynamic mix (at scale 2)",
+    ]);
     for k in Kernel::ALL {
         let mix = measure_mix(&k.build(2), 400_000);
         t.row(vec![

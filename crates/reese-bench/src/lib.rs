@@ -10,8 +10,8 @@
 
 use reese_core::{ReeseConfig, ReeseSim};
 use reese_pipeline::{PipelineConfig, PipelineSim};
-use reese_stats::{mean, percent_delta, Table};
-use reese_workloads::Suite;
+use reese_stats::{mean, par_map_indexed, percent_delta, ParallelStats, Table};
+use reese_workloads::{Suite, Workload};
 use std::fmt;
 
 /// One machine variant in a figure's bar group.
@@ -33,19 +33,40 @@ impl Variant {
     /// The five variants of Figures 2–4 (Figure 5 drops the last).
     pub const PAPER: [Variant; 5] = [
         Variant::Baseline,
-        Variant::Reese { spare_alus: 0, spare_muls: 0 },
-        Variant::Reese { spare_alus: 1, spare_muls: 0 },
-        Variant::Reese { spare_alus: 2, spare_muls: 0 },
-        Variant::Reese { spare_alus: 2, spare_muls: 1 },
+        Variant::Reese {
+            spare_alus: 0,
+            spare_muls: 0,
+        },
+        Variant::Reese {
+            spare_alus: 1,
+            spare_muls: 0,
+        },
+        Variant::Reese {
+            spare_alus: 2,
+            spare_muls: 0,
+        },
+        Variant::Reese {
+            spare_alus: 2,
+            spare_muls: 1,
+        },
     ];
 
     /// Column label used in the tables.
     pub fn label(&self) -> String {
         match self {
             Variant::Baseline => "baseline".to_string(),
-            Variant::Reese { spare_alus: 0, spare_muls: 0 } => "REESE".to_string(),
-            Variant::Reese { spare_alus, spare_muls: 0 } => format!("R+{spare_alus}ALU"),
-            Variant::Reese { spare_alus, spare_muls } => {
+            Variant::Reese {
+                spare_alus: 0,
+                spare_muls: 0,
+            } => "REESE".to_string(),
+            Variant::Reese {
+                spare_alus,
+                spare_muls: 0,
+            } => format!("R+{spare_alus}ALU"),
+            Variant::Reese {
+                spare_alus,
+                spare_muls,
+            } => {
                 format!("R+{spare_alus}ALU+{spare_muls}Mul")
             }
         }
@@ -63,6 +84,10 @@ pub struct ExperimentResult {
     pub kernels: Vec<String>,
     /// `ipc[row][col]`.
     pub ipc: Vec<Vec<f64>>,
+    /// Wall-clock/throughput observability for the sweep (one item per
+    /// kernel×variant cell). The IPC grid is bit-identical for any
+    /// worker count; this records only how fast it was computed.
+    pub throughput: Option<ParallelStats>,
 }
 
 impl ExperimentResult {
@@ -111,7 +136,11 @@ impl fmt::Display for ExperimentResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}", self.title)?;
         write!(f, "{}", self.table())?;
-        writeln!(f, "gap vs baseline (on AV.): {}", self.gap_summary())
+        writeln!(f, "gap vs baseline (on AV.): {}", self.gap_summary())?;
+        if let Some(t) = &self.throughput {
+            writeln!(f, "sweep throughput: {t}")?;
+        }
+        Ok(())
     }
 }
 
@@ -122,17 +151,19 @@ pub struct Experiment {
     base: PipelineConfig,
     variants: Vec<Variant>,
     target_instructions: u64,
+    jobs: usize,
 }
 
 impl Experiment {
     /// Creates an experiment over a base machine with the standard
-    /// five-variant group.
+    /// five-variant group. Cells run on [`default_jobs`] workers.
     pub fn new(title: &str, base: PipelineConfig) -> Experiment {
         Experiment {
             title: title.to_string(),
             base,
             variants: Variant::PAPER.to_vec(),
             target_instructions: default_target(),
+            jobs: default_jobs(),
         }
     }
 
@@ -145,6 +176,13 @@ impl Experiment {
     /// Overrides the per-kernel dynamic-instruction target.
     pub fn target_instructions(mut self, n: u64) -> Experiment {
         self.target_instructions = n;
+        self
+    }
+
+    /// Overrides the worker count (1 forces the serial path). The IPC
+    /// grid is identical for every value; 0 is treated as 1.
+    pub fn jobs(mut self, n: usize) -> Experiment {
+        self.jobs = n.max(1);
         self
     }
 
@@ -161,40 +199,59 @@ impl Experiment {
 
     /// Runs the experiment on a pre-built suite (reuse across figures).
     ///
+    /// The kernel×variant matrix is flattened into independent cells
+    /// and fanned out over the configured worker count; each cell is a
+    /// full simulator run, and the reassembled grid is identical to the
+    /// serial row-major sweep.
+    ///
     /// # Panics
     ///
     /// See [`Experiment::run`].
     pub fn run_on(&self, suite: &Suite) -> ExperimentResult {
-        let mut ipc = Vec::new();
-        let mut kernels = Vec::new();
-        for w in suite.iter() {
-            let mut row = Vec::new();
-            for v in &self.variants {
-                let value = match v {
-                    Variant::Baseline => PipelineSim::new(self.base.clone())
-                        .run(&w.program)
-                        .unwrap_or_else(|e| panic!("baseline {} failed: {e}", w.kernel))
-                        .ipc(),
-                    Variant::Reese { spare_alus, spare_muls } => {
-                        let cfg = ReeseConfig::over(self.base.clone())
-                            .with_spare_int_alus(*spare_alus)
-                            .with_spare_int_muldivs(*spare_muls);
-                        ReeseSim::new(cfg)
-                            .run(&w.program)
-                            .unwrap_or_else(|e| panic!("REESE {} failed: {e}", w.kernel))
-                            .ipc()
-                    }
-                };
-                row.push(value);
-            }
-            ipc.push(row);
-            kernels.push(w.kernel.paper_benchmark().to_string());
-        }
+        let workloads: Vec<&Workload> = suite.iter().collect();
+        let cells: Vec<(usize, usize)> = workloads
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, _)| (0..self.variants.len()).map(move |vi| (wi, vi)))
+            .collect();
+        let (values, throughput) = par_map_indexed(self.jobs, &cells, |_, &(wi, vi)| {
+            self.run_cell(workloads[wi], &self.variants[vi])
+        });
+        let ipc: Vec<Vec<f64>> = values
+            .chunks(self.variants.len().max(1))
+            .map(<[f64]>::to_vec)
+            .collect();
         ExperimentResult {
             title: self.title.clone(),
             variants: self.variants.iter().map(Variant::label).collect(),
-            kernels,
+            kernels: workloads
+                .iter()
+                .map(|w| w.kernel.paper_benchmark().to_string())
+                .collect(),
             ipc,
+            throughput: Some(throughput),
+        }
+    }
+
+    /// Simulates one kernel on one machine variant and returns its IPC.
+    fn run_cell(&self, w: &Workload, v: &Variant) -> f64 {
+        match v {
+            Variant::Baseline => PipelineSim::new(self.base.clone())
+                .run(&w.program)
+                .unwrap_or_else(|e| panic!("baseline {} failed: {e}", w.kernel))
+                .ipc(),
+            Variant::Reese {
+                spare_alus,
+                spare_muls,
+            } => {
+                let cfg = ReeseConfig::over(self.base.clone())
+                    .with_spare_int_alus(*spare_alus)
+                    .with_spare_int_muldivs(*spare_muls);
+                ReeseSim::new(cfg)
+                    .run(&w.program)
+                    .unwrap_or_else(|e| panic!("REESE {} failed: {e}", w.kernel))
+                    .ipc()
+            }
         }
     }
 }
@@ -207,6 +264,17 @@ pub fn default_target() -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(300_000)
+}
+
+/// Default worker count for sweeps: the `REESE_JOBS` environment
+/// variable when set (0 or unparsable falls through), otherwise the
+/// machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::env::var("REESE_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or_else(reese_stats::available_jobs)
 }
 
 /// Prints an experiment result honouring the `REESE_FORMAT` environment
@@ -223,14 +291,24 @@ pub fn emit(result: &ExperimentResult) {
 pub fn paper_machines() -> Vec<(&'static str, PipelineConfig)> {
     vec![
         ("None (Table 1 starting config)", PipelineConfig::starting()),
-        ("RUU,LSQ 2X (RUU=32, LSQ=16)", PipelineConfig::starting().with_ruu(32).with_lsq(16)),
+        (
+            "RUU,LSQ 2X (RUU=32, LSQ=16)",
+            PipelineConfig::starting().with_ruu(32).with_lsq(16),
+        ),
         (
             "Ex. Q 2X (16-wide datapath)",
-            PipelineConfig::starting().with_ruu(32).with_lsq(16).with_width(16),
+            PipelineConfig::starting()
+                .with_ruu(32)
+                .with_lsq(16)
+                .with_width(16),
         ),
         (
             "MemPorts (4 memory ports)",
-            PipelineConfig::starting().with_ruu(32).with_lsq(16).with_width(16).with_mem_ports(4),
+            PipelineConfig::starting()
+                .with_ruu(32)
+                .with_lsq(16)
+                .with_width(16)
+                .with_mem_ports(4),
         ),
     ]
 }
@@ -242,14 +320,23 @@ mod tests {
     #[test]
     fn variant_labels() {
         let labels: Vec<String> = Variant::PAPER.iter().map(Variant::label).collect();
-        assert_eq!(labels, vec!["baseline", "REESE", "R+1ALU", "R+2ALU", "R+2ALU+1Mul"]);
+        assert_eq!(
+            labels,
+            vec!["baseline", "REESE", "R+1ALU", "R+2ALU", "R+2ALU+1Mul"]
+        );
     }
 
     #[test]
     fn experiment_smoke() {
         let suite = Suite::smoke();
         let r = Experiment::new("smoke", PipelineConfig::starting())
-            .variants(&[Variant::Baseline, Variant::Reese { spare_alus: 2, spare_muls: 0 }])
+            .variants(&[
+                Variant::Baseline,
+                Variant::Reese {
+                    spare_alus: 2,
+                    spare_muls: 0,
+                },
+            ])
             .run_on(&suite);
         assert_eq!(r.kernels.len(), 6);
         assert_eq!(r.variants.len(), 2);

@@ -20,7 +20,10 @@ impl Btb {
     /// Panics if `bits` is outside 1–24.
     pub fn new(bits: u32) -> Btb {
         assert!((1..=24).contains(&bits), "btb bits out of range");
-        Btb { entries: vec![None; 1 << bits], bits }
+        Btb {
+            entries: vec![None; 1 << bits],
+            bits,
+        }
     }
 
     fn idx(&self, pc: u64) -> usize {
@@ -63,7 +66,12 @@ impl Ras {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Ras {
         assert!(capacity > 0, "RAS needs at least one entry");
-        Ras { stack: vec![0; capacity], top: 0, depth: 0, capacity }
+        Ras {
+            stack: vec![0; capacity],
+            top: 0,
+            depth: 0,
+            capacity,
+        }
     }
 
     /// Pushes a return address (a call executed).

@@ -85,7 +85,10 @@ mod tests {
     fn hysteresis() {
         let mut c = TwoBit::strongly_taken();
         c.train(false);
-        assert!(c.taken(), "one not-taken outcome does not flip a strong counter");
+        assert!(
+            c.taken(),
+            "one not-taken outcome does not flip a strong counter"
+        );
         c.train(false);
         assert!(!c.taken());
     }

@@ -72,7 +72,10 @@ impl Bimodal {
     /// Panics if `bits` is 0 or greater than 28.
     pub fn new(bits: u32) -> Bimodal {
         assert!((1..=28).contains(&bits), "table bits out of range");
-        Bimodal { table: vec![TwoBit::default(); 1 << bits], bits }
+        Bimodal {
+            table: vec![TwoBit::default(); 1 << bits],
+            bits,
+        }
     }
 }
 
@@ -112,7 +115,12 @@ impl Gshare {
     pub fn new(bits: u32, history_bits: u32) -> Gshare {
         assert!((1..=28).contains(&bits), "table bits out of range");
         assert!(history_bits <= bits, "history cannot exceed index width");
-        Gshare { table: vec![TwoBit::default(); 1 << bits], bits, history: 0, history_bits }
+        Gshare {
+            table: vec![TwoBit::default(); 1 << bits],
+            bits,
+            history: 0,
+            history_bits,
+        }
     }
 
     fn idx(&self, pc: u64) -> usize {
@@ -155,7 +163,10 @@ impl TwoLevel {
     /// Panics if `l1_bits` is outside 1–20 or `history_bits` outside 1–20.
     pub fn new(l1_bits: u32, history_bits: u32) -> TwoLevel {
         assert!((1..=20).contains(&l1_bits), "l1 bits out of range");
-        assert!((1..=20).contains(&history_bits), "history bits out of range");
+        assert!(
+            (1..=20).contains(&history_bits),
+            "history bits out of range"
+        );
         TwoLevel {
             histories: vec![0; 1 << l1_bits],
             history_bits,
@@ -289,8 +300,14 @@ mod tests {
             g.update(pc, outcome);
             bi.update(pc, outcome);
         }
-        assert!(g_correct > 1800, "gshare should nail alternation, got {g_correct}");
-        assert!(b_correct < 1200, "bimodal cannot learn alternation, got {b_correct}");
+        assert!(
+            g_correct > 1800,
+            "gshare should nail alternation, got {g_correct}"
+        );
+        assert!(
+            b_correct < 1200,
+            "bimodal cannot learn alternation, got {b_correct}"
+        );
     }
 
     #[test]
@@ -310,7 +327,10 @@ mod tests {
             }
             p.update(pc, outcome);
         }
-        assert!(correct >= 95, "two-level should learn a loop pattern, got {correct}");
+        assert!(
+            correct >= 95,
+            "two-level should learn a loop pattern, got {correct}"
+        );
     }
 
     #[test]
@@ -325,7 +345,10 @@ mod tests {
             }
             c.update(pc, outcome);
         }
-        assert!(correct > 1700, "combined should pick the gshare side, got {correct}");
+        assert!(
+            correct > 1700,
+            "combined should pick the gshare side, got {correct}"
+        );
     }
 
     #[test]

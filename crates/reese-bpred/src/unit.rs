@@ -1,8 +1,6 @@
 //! The complete front-end prediction unit used by the pipeline.
 
-use crate::{
-    Bimodal, Btb, Combined, DirectionPredictor, Gshare, Ras, StaticPredictor, TwoLevel,
-};
+use crate::{Bimodal, Btb, Combined, DirectionPredictor, Gshare, Ras, StaticPredictor, TwoLevel};
 
 /// Which direction predictor to instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -117,17 +115,21 @@ impl BranchUnit {
             PredictorKind::AlwaysTaken => Box::new(StaticPredictor::taken()),
             PredictorKind::AlwaysNotTaken => Box::new(StaticPredictor::not_taken()),
             PredictorKind::Bimodal => Box::new(Bimodal::new(config.table_bits)),
-            PredictorKind::Gshare => {
-                Box::new(Gshare::new(config.table_bits, config.history_bits))
-            }
-            PredictorKind::TwoLevel => {
-                Box::new(TwoLevel::new(config.table_bits.min(20), config.history_bits.min(20)))
-            }
+            PredictorKind::Gshare => Box::new(Gshare::new(config.table_bits, config.history_bits)),
+            PredictorKind::TwoLevel => Box::new(TwoLevel::new(
+                config.table_bits.min(20),
+                config.history_bits.min(20),
+            )),
             PredictorKind::Combined => {
                 Box::new(Combined::new(config.table_bits, config.history_bits))
             }
         };
-        BranchUnit { dir, btb: Btb::new(config.btb_bits), ras: Ras::new(config.ras_entries), stats: BranchStats::default() }
+        BranchUnit {
+            dir,
+            btb: Btb::new(config.btb_bits),
+            ras: Ras::new(config.ras_entries),
+            stats: BranchStats::default(),
+        }
     }
 
     /// Predicts the direction of the conditional branch at `pc`.
@@ -203,7 +205,8 @@ mod tests {
 
     #[test]
     fn mispredict_accounting() {
-        let mut bu = BranchUnit::new(PredictorConfig::paper().with_kind(PredictorKind::AlwaysTaken));
+        let mut bu =
+            BranchUnit::new(PredictorConfig::paper().with_kind(PredictorKind::AlwaysTaken));
         let p = bu.predict_branch(0x1000);
         assert!(p);
         bu.resolve_branch(0x1000, p, false);

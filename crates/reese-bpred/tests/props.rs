@@ -1,11 +1,11 @@
 //! Predictor properties: totality, learning guarantees, and stats
-//! accounting over arbitrary branch streams.
+//! accounting over seeded random branch streams.
 
-use proptest::prelude::*;
 use reese_bpred::{
     Bimodal, BranchUnit, Combined, DirectionPredictor, Gshare, PredictorConfig, PredictorKind,
     TwoLevel,
 };
+use reese_stats::SplitMix64;
 
 fn all_kinds() -> Vec<PredictorKind> {
     vec![
@@ -18,15 +18,16 @@ fn all_kinds() -> Vec<PredictorKind> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every predictor accepts any (pc, outcome) stream without panicking
-    /// and accounts lookups and mispredicts consistently.
-    #[test]
-    fn predictors_are_total(
-        stream in prop::collection::vec((0u64..1_000_000, any::<bool>()), 1..300),
-    ) {
+/// Every predictor accepts any (pc, outcome) stream without panicking
+/// and accounts lookups and mispredicts consistently.
+#[test]
+fn predictors_are_total() {
+    let mut rng = SplitMix64::new(10);
+    for _ in 0..64 {
+        let len = 1 + rng.index(299);
+        let stream: Vec<(u64, bool)> = (0..len)
+            .map(|_| (rng.range_u64(0, 1_000_000), rng.chance(0.5)))
+            .collect();
         for kind in all_kinds() {
             let mut bu = BranchUnit::new(PredictorConfig::paper().with_kind(kind));
             for &(pc, outcome) in &stream {
@@ -35,17 +36,21 @@ proptest! {
                 bu.resolve_branch(pc, p, outcome);
             }
             let s = bu.stats();
-            prop_assert_eq!(s.branch_lookups, stream.len() as u64);
-            prop_assert!(s.branch_mispredicts <= s.branch_lookups);
-            prop_assert!((0.0..=1.0).contains(&s.mispredict_rate()));
+            assert_eq!(s.branch_lookups, stream.len() as u64);
+            assert!(s.branch_mispredicts <= s.branch_lookups);
+            assert!((0.0..=1.0).contains(&s.mispredict_rate()));
         }
     }
+}
 
-    /// Any dynamic predictor eventually learns a constant-direction
-    /// branch perfectly.
-    #[test]
-    fn constant_branches_are_learned(pc in 0u64..1_000_000, taken in any::<bool>()) {
-        let pc = pc & !7;
+/// Any dynamic predictor eventually learns a constant-direction
+/// branch perfectly.
+#[test]
+fn constant_branches_are_learned() {
+    let mut rng = SplitMix64::new(11);
+    for _ in 0..64 {
+        let pc = rng.range_u64(0, 1_000_000) & !7;
+        let taken = rng.chance(0.5);
         let dynamic: Vec<Box<dyn DirectionPredictor>> = vec![
             Box::new(Bimodal::new(10)),
             Box::new(Gshare::new(10, 8)),
@@ -59,33 +64,42 @@ proptest! {
             for _ in 0..24 {
                 p.update(pc, taken);
             }
-            prop_assert_eq!(p.predict(pc), taken, "{} failed to learn", p.name());
+            assert_eq!(p.predict(pc), taken, "{} failed to learn", p.name());
         }
     }
+}
 
-    /// The BTB through the BranchUnit interface: after training, a
-    /// stable indirect target is always predicted.
-    #[test]
-    fn stable_indirect_targets_learned(pc in 0u64..100_000, target in 0u64..100_000) {
-        let pc = pc & !7;
+/// The BTB through the BranchUnit interface: after training, a
+/// stable indirect target is always predicted.
+#[test]
+fn stable_indirect_targets_learned() {
+    let mut rng = SplitMix64::new(12);
+    for _ in 0..64 {
+        let pc = rng.range_u64(0, 100_000) & !7;
+        let target = rng.range_u64(0, 100_000);
         let mut bu = BranchUnit::new(PredictorConfig::paper());
         let first = bu.predict_indirect(pc);
         bu.resolve_indirect(pc, first, target);
-        prop_assert_eq!(bu.predict_indirect(pc), Some(target));
+        assert_eq!(bu.predict_indirect(pc), Some(target));
     }
+}
 
-    /// RAS: any sequence of balanced calls (up to the configured depth)
-    /// predicts all returns exactly, LIFO.
-    #[test]
-    fn balanced_calls_return_correctly(addrs in prop::collection::vec(0u64..1_000_000, 1..8)) {
+/// RAS: any sequence of balanced calls (up to the configured depth)
+/// predicts all returns exactly, LIFO.
+#[test]
+fn balanced_calls_return_correctly() {
+    let mut rng = SplitMix64::new(13);
+    for _ in 0..64 {
+        let n = 1 + rng.index(7);
+        let addrs: Vec<u64> = (0..n).map(|_| rng.range_u64(0, 1_000_000)).collect();
         let mut bu = BranchUnit::new(PredictorConfig::paper());
         for &a in &addrs {
             bu.push_return(a);
         }
         for &a in addrs.iter().rev() {
-            prop_assert_eq!(bu.pop_return(), Some(a));
+            assert_eq!(bu.pop_return(), Some(a));
         }
-        prop_assert_eq!(bu.pop_return(), None);
+        assert_eq!(bu.pop_return(), None);
     }
 }
 
@@ -112,5 +126,8 @@ fn gshare_beats_bimodal_on_correlated_patterns() {
         bi.update(pc, outcome);
     }
     assert!(g_ok > 2800, "gshare should master the pattern: {g_ok}");
-    assert!(g_ok > b_ok + 200, "gshare {g_ok} must clearly beat bimodal {b_ok}");
+    assert!(
+        g_ok > b_ok + 200,
+        "gshare {g_ok} must clearly beat bimodal {b_ok}"
+    );
 }

@@ -122,7 +122,10 @@ impl ReeseConfig {
             "high-water mark must be within the queue"
         );
         assert!(self.r_issue_lookahead > 0, "lookahead must be positive");
-        assert!(self.duplication_period > 0, "duplication period must be positive");
+        assert!(
+            self.duplication_period > 0,
+            "duplication period must be positive"
+        );
     }
 }
 
@@ -147,7 +150,9 @@ mod tests {
 
     #[test]
     fn spares_add_to_pipeline_counts() {
-        let c = ReeseConfig::starting().with_spare_int_alus(2).with_spare_int_muldivs(1);
+        let c = ReeseConfig::starting()
+            .with_spare_int_alus(2)
+            .with_spare_int_muldivs(1);
         assert_eq!(c.pipeline.fu.int_alu, 6);
         assert_eq!(c.pipeline.fu.int_muldiv, 2);
         c.validate();
@@ -164,7 +169,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplication period")]
     fn zero_duplication_rejected() {
-        ReeseConfig::starting().with_duplication_period(0).validate();
+        ReeseConfig::starting()
+            .with_duplication_period(0)
+            .validate();
     }
 
     #[test]

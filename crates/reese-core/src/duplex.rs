@@ -17,7 +17,7 @@ use crate::{ReeseError, ReeseResult, ReeseStats};
 use reese_isa::{FuClass, Program};
 use reese_mem::MemHierarchy;
 use reese_pipeline::{
-    Fetched, FetchUnit, FuPool, LoadPlan, Lsq, PipelineConfig, PredictionInfo, Ruu, Seq, SimError,
+    FetchUnit, Fetched, FuPool, LoadPlan, Lsq, PipelineConfig, PredictionInfo, Ruu, Seq, SimError,
     SimStop,
 };
 use std::collections::VecDeque;
@@ -170,12 +170,16 @@ impl<'c> DuplexMachine<'c> {
             if self.stats.pipeline.committed >= max_instructions {
                 return;
             }
-            let Some(r_copy) = self.ruu.head() else { return };
+            let Some(r_copy) = self.ruu.head() else {
+                return;
+            };
             if !r_copy.completed {
                 return;
             }
             debug_assert_eq!(r_copy.seq % 2, 0, "head of a pair is the redundant copy");
-            let Some(p_copy) = self.ruu.get(r_copy.seq + 1) else { return };
+            let Some(p_copy) = self.ruu.get(r_copy.seq + 1) else {
+                return;
+            };
             if !p_copy.completed {
                 return;
             }
@@ -213,8 +217,13 @@ impl<'c> DuplexMachine<'c> {
             }
             // Resolve control once per pair, on the primary copy.
             if e.is_control() && e.seq % 2 == 1 {
-                let fetched = Fetched { seq: e.seq / 2, info: e.info, pred: e.pred };
-                self.fetch.resolve_control(&fetched, self.cycle, self.cfg.mispredict_penalty);
+                let fetched = Fetched {
+                    seq: e.seq / 2,
+                    info: e.info,
+                    pred: e.pred,
+                };
+                self.fetch
+                    .resolve_control(&fetched, self.cycle, self.cfg.mispredict_penalty);
             }
         }
     }
@@ -276,7 +285,9 @@ impl<'c> DuplexMachine<'c> {
             return;
         }
         for _ in 0..self.cfg.width / 2 {
-            let Some(front) = self.fetchq.front() else { break };
+            let Some(front) = self.fetchq.front() else {
+                break;
+            };
             // A pair needs two RUU slots (and two LSQ slots if memory).
             if self.ruu.len() + 2 > self.ruu.capacity() {
                 self.stats.pipeline.dispatch_stall_ruu_full += 1;
@@ -288,11 +299,14 @@ impl<'c> DuplexMachine<'c> {
             }
             let f = self.fetchq.pop_front().expect("checked front");
             let (r_seq, p_seq) = (f.seq * 2, f.seq * 2 + 1);
-            self.ruu.dispatch(r_seq, f.info, PredictionInfo::default(), self.cycle);
+            self.ruu
+                .dispatch(r_seq, f.info, PredictionInfo::default(), self.cycle);
             self.ruu.dispatch(p_seq, f.info, f.pred, self.cycle);
             if let Some(mem) = f.info.mem {
-                self.lsq.insert(r_seq, mem.addr, mem.width.bytes(), mem.is_store);
-                self.lsq.insert(p_seq, mem.addr, mem.width.bytes(), mem.is_store);
+                self.lsq
+                    .insert(r_seq, mem.addr, mem.width.bytes(), mem.is_store);
+                self.lsq
+                    .insert(p_seq, mem.addr, mem.width.bytes(), mem.is_store);
             }
         }
     }
@@ -302,7 +316,9 @@ impl<'c> DuplexMachine<'c> {
         if space == 0 {
             return;
         }
-        let batch = self.fetch.fetch_cycle(self.cycle, self.cfg.width, space, &mut self.hierarchy);
+        let batch = self
+            .fetch
+            .fetch_cycle(self.cycle, self.cfg.width, space, &mut self.hierarchy);
         self.fetchq.extend(batch);
     }
 
@@ -330,8 +346,12 @@ mod tests {
     #[test]
     fn duplex_commits_correct_results() {
         let prog = assemble(LOOP).unwrap();
-        let base = PipelineSim::new(PipelineConfig::starting()).run(&prog).unwrap();
-        let dup = DuplexSim::new(PipelineConfig::starting()).run(&prog).unwrap();
+        let base = PipelineSim::new(PipelineConfig::starting())
+            .run(&prog)
+            .unwrap();
+        let dup = DuplexSim::new(PipelineConfig::starting())
+            .run(&prog)
+            .unwrap();
         assert_eq!(dup.committed_instructions(), base.committed_instructions());
         assert_eq!(dup.state_digest, base.state_digest);
         assert_eq!(dup.output, base.output);
@@ -341,8 +361,12 @@ mod tests {
     #[test]
     fn duplex_is_slower_than_baseline() {
         let prog = assemble(LOOP).unwrap();
-        let base = PipelineSim::new(PipelineConfig::starting()).run(&prog).unwrap();
-        let dup = DuplexSim::new(PipelineConfig::starting()).run(&prog).unwrap();
+        let base = PipelineSim::new(PipelineConfig::starting())
+            .run(&prog)
+            .unwrap();
+        let dup = DuplexSim::new(PipelineConfig::starting())
+            .run(&prog)
+            .unwrap();
         assert!(
             dup.cycles() > base.cycles(),
             "two window slots per instruction must cost cycles ({} vs {})",
@@ -356,7 +380,9 @@ mod tests {
         // The paper's §3 claim: deferring redundancy into the R-stream
         // Queue beats duplicating in the scheduler window.
         let prog = reese_workloads_like_program();
-        let dup = DuplexSim::new(PipelineConfig::starting()).run(&prog).unwrap();
+        let dup = DuplexSim::new(PipelineConfig::starting())
+            .run(&prog)
+            .unwrap();
         let reese = ReeseSim::new(ReeseConfig::starting()).run(&prog).unwrap();
         assert!(
             reese.ipc() > dup.ipc(),
@@ -392,14 +418,18 @@ mod tests {
                      halt\n",
         )
         .unwrap();
-        let r = DuplexSim::new(PipelineConfig::starting()).run(&prog).unwrap();
+        let r = DuplexSim::new(PipelineConfig::starting())
+            .run(&prog)
+            .unwrap();
         assert_eq!(r.output, vec![42]);
     }
 
     #[test]
     fn duplex_respects_instruction_limit() {
         let prog = assemble("loop: addi t0, t0, 1\n  j loop\n  halt\n").unwrap();
-        let r = DuplexSim::new(PipelineConfig::starting()).run_limit(&prog, 50).unwrap();
+        let r = DuplexSim::new(PipelineConfig::starting())
+            .run_limit(&prog, 50)
+            .unwrap();
         assert_eq!(r.stop, SimStop::InstructionLimit);
         assert!(r.committed_instructions() >= 50);
     }
@@ -407,8 +437,12 @@ mod tests {
     #[test]
     fn duplex_determinism() {
         let prog = assemble(LOOP).unwrap();
-        let a = DuplexSim::new(PipelineConfig::starting()).run(&prog).unwrap();
-        let b = DuplexSim::new(PipelineConfig::starting()).run(&prog).unwrap();
+        let a = DuplexSim::new(PipelineConfig::starting())
+            .run(&prog)
+            .unwrap();
+        let b = DuplexSim::new(PipelineConfig::starting())
+            .run(&prog)
+            .unwrap();
         assert_eq!(a, b);
     }
 }

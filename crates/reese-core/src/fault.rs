@@ -41,19 +41,34 @@ impl InjectedFault {
     /// A transient fault flipping `bit` of instruction `seq`'s primary
     /// result.
     pub fn primary(seq: Seq, bit: u8) -> InjectedFault {
-        InjectedFault { seq, stream: Stream::Primary, bit: bit & 63, sticky: false }
+        InjectedFault {
+            seq,
+            stream: Stream::Primary,
+            bit: bit & 63,
+            sticky: false,
+        }
     }
 
     /// A transient fault flipping `bit` of instruction `seq`'s redundant
     /// result.
     pub fn redundant(seq: Seq, bit: u8) -> InjectedFault {
-        InjectedFault { seq, stream: Stream::Redundant, bit: bit & 63, sticky: false }
+        InjectedFault {
+            seq,
+            stream: Stream::Redundant,
+            bit: bit & 63,
+            sticky: false,
+        }
     }
 
     /// A permanent (sticky) fault on the primary result: the comparison
     /// fails again after the flush and REESE reports a permanent fault.
     pub fn permanent(seq: Seq, bit: u8) -> InjectedFault {
-        InjectedFault { seq, stream: Stream::Primary, bit: bit & 63, sticky: true }
+        InjectedFault {
+            seq,
+            stream: Stream::Primary,
+            bit: bit & 63,
+            sticky: true,
+        }
     }
 
     /// The XOR mask this fault applies.
@@ -161,7 +176,12 @@ mod tests {
 
     #[test]
     fn detection_latency() {
-        let d = DetectionEvent { seq: 1, pc: 0x1000, detect_cycle: 120, inject_cycle: 100 };
+        let d = DetectionEvent {
+            seq: 1,
+            pc: 0x1000,
+            detect_cycle: 120,
+            inject_cycle: 100,
+        };
         assert_eq!(d.latency(), 20);
     }
 }

@@ -43,3 +43,13 @@ pub use fault::{DetectionEvent, DurationFault, DurationReport, InjectedFault, St
 pub use rqueue::{RQueue, RQueueEntry};
 pub use sim::ReeseSim;
 pub use stats::{ReeseError, ReeseResult, ReeseStats};
+
+// Campaigns and sweeps share one `ReeseSim` across worker threads
+// (each `run*` call builds its own machine internally); keep the
+// simulator and its configuration `Send + Sync` so that fan-out stays
+// possible. This fails to compile if a non-shareable field sneaks in.
+const _: () = {
+    const fn shareable<T: Send + Sync>() {}
+    shareable::<ReeseConfig>();
+    shareable::<ReeseSim>();
+};

@@ -102,7 +102,11 @@ impl RQueue {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> RQueue {
         assert!(capacity > 0, "R-stream Queue capacity must be positive");
-        RQueue { entries: VecDeque::with_capacity(capacity), capacity, peak_occupancy: 0 }
+        RQueue {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            peak_occupancy: 0,
+        }
     }
 
     /// Occupied entries.
@@ -140,7 +144,10 @@ impl RQueue {
     pub fn push(&mut self, entry: RQueueEntry) {
         assert!(!self.is_full(), "push into a full R-stream Queue");
         if let Some(back) = self.entries.back() {
-            assert!(entry.seq > back.seq, "R-stream Queue must fill in program order");
+            assert!(
+                entry.seq > back.seq,
+                "R-stream Queue must fill in program order"
+            );
         }
         self.entries.push_back(entry);
         self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
@@ -157,8 +164,17 @@ impl RQueue {
     }
 
     /// Mutable access to an entry by sequence number.
+    ///
+    /// O(1): migration fills the queue with consecutive sequence
+    /// numbers (and a detection flush empties it wholesale), so an
+    /// entry's position is `seq - head.seq`. Falls back to `None` —
+    /// never a scan — if `seq` is outside the resident range.
     pub fn get_mut(&mut self, seq: Seq) -> Option<&mut RQueueEntry> {
-        self.entries.iter_mut().find(|e| e.seq == seq)
+        let front = self.entries.front()?.seq;
+        let idx = usize::try_from(seq.checked_sub(front)?).ok()?;
+        let entry = self.entries.get_mut(idx)?;
+        debug_assert_eq!(entry.seq, seq, "R-stream Queue seqs must be contiguous");
+        (entry.seq == seq).then_some(entry)
     }
 
     /// Iterates entries oldest-first.
@@ -249,7 +265,28 @@ mod tests {
         let mut e = RQueueEntry::new(0, info, 0, true);
         assert!(e.commit_ready());
         e.p_value ^= 1; // even a corrupted latch goes unnoticed
-        assert!(e.results_match(), "partial duplication trades coverage for speed");
+        assert!(
+            e.results_match(),
+            "partial duplication trades coverage for speed"
+        );
+    }
+
+    #[test]
+    fn get_mut_is_positional() {
+        let mut q = RQueue::new(4);
+        q.push(entry(3));
+        q.push(entry(4));
+        assert_eq!(q.get_mut(3).unwrap().seq, 3);
+        assert_eq!(q.get_mut(4).unwrap().seq, 4);
+        assert!(q.get_mut(2).is_none(), "below the resident range");
+        assert!(q.get_mut(5).is_none(), "above the resident range");
+        q.pop_head();
+        assert_eq!(
+            q.get_mut(4).unwrap().seq,
+            4,
+            "positions shift with the head"
+        );
+        assert!(q.get_mut(3).is_none());
     }
 
     #[test]

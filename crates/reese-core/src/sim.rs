@@ -1,12 +1,12 @@
 //! The REESE time-redundant simulator.
 
 use crate::{
-    DetectionEvent, DurationFault, DurationReport, InjectedFault, RQueue, RQueueEntry,
-    ReeseConfig, ReeseError, ReeseResult, ReeseStats, Stream,
+    DetectionEvent, DurationFault, DurationReport, InjectedFault, RQueue, RQueueEntry, ReeseConfig,
+    ReeseError, ReeseResult, ReeseStats, Stream,
 };
 use reese_isa::{FuClass, Program};
 use reese_mem::MemHierarchy;
-use reese_pipeline::{Fetched, FetchUnit, FuPool, LoadPlan, Lsq, Ruu, Seq, SimError, SimStop};
+use reese_pipeline::{FetchUnit, Fetched, FuPool, LoadPlan, Lsq, Ruu, Seq, SimError, SimStop};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 const DEADLOCK_HORIZON: u64 = 100_000;
@@ -73,7 +73,11 @@ impl ReeseSim {
     /// # Errors
     ///
     /// See [`ReeseSim::run`].
-    pub fn run_limit(&self, program: &Program, max_instructions: u64) -> Result<ReeseResult, ReeseError> {
+    pub fn run_limit(
+        &self,
+        program: &Program,
+        max_instructions: u64,
+    ) -> Result<ReeseResult, ReeseError> {
         self.run_with_faults(program, &[], max_instructions)
     }
 
@@ -258,7 +262,9 @@ impl<'c> ReeseMachine<'c> {
             if self.stats.pipeline.committed >= max_instructions {
                 return;
             }
-            let Some(head) = self.rqueue.head() else { return };
+            let Some(head) = self.rqueue.head() else {
+                return;
+            };
             if !head.commit_ready() {
                 return;
             }
@@ -308,7 +314,11 @@ impl<'c> ReeseMachine<'c> {
             seq: head.seq,
             pc: head.info.pc,
             detect_cycle: self.cycle,
-            inject_cycle: self.inject_cycles.get(&head.seq).copied().unwrap_or(self.cycle),
+            inject_cycle: self
+                .inject_cycles
+                .get(&head.seq)
+                .copied()
+                .unwrap_or(self.cycle),
         });
         if self.retry_seq == Some(head.seq) {
             // Second consecutive failure of the same instruction: the
@@ -323,7 +333,8 @@ impl<'c> ReeseMachine<'c> {
         self.lsq.flush_all();
         self.fetchq.clear();
         self.fu.flush();
-        self.fetch.flush_to(head.seq, self.cycle + 1 + u64::from(self.cfg.flush_penalty));
+        self.fetch
+            .flush_to(head.seq, self.cycle + 1 + u64::from(self.cfg.flush_penalty));
     }
 
     /// Migrate completed instructions from the RUU head into the
@@ -337,7 +348,9 @@ impl<'c> ReeseMachine<'c> {
     /// copy enters the queue.
     fn migrate(&mut self) {
         for _ in 0..self.cfg.pipeline.width {
-            let Some(next) = self.ruu.get(self.next_migrate_seq) else { return };
+            let Some(next) = self.ruu.get(self.next_migrate_seq) else {
+                return;
+            };
             if !next.completed {
                 return;
             }
@@ -361,8 +374,29 @@ impl<'c> ReeseMachine<'c> {
     }
 
     fn apply_faults(&mut self, entry: &mut RQueueEntry, stream: Stream) {
-        let Some(list) = self.faults.get_mut(&entry.seq) else { return };
-        let cycle = self.cycle;
+        Self::apply_faults_to(
+            &mut self.faults,
+            &mut self.inject_cycles,
+            self.cycle,
+            entry,
+            stream,
+        );
+    }
+
+    /// Field-wise form of [`Self::apply_faults`] so call sites that
+    /// already hold a mutable borrow of the queue (writeback's in-place
+    /// pass) can split-borrow the fault state instead of copying the
+    /// entry out and back.
+    fn apply_faults_to(
+        faults: &mut HashMap<Seq, Vec<InjectedFault>>,
+        inject_cycles: &mut HashMap<Seq, u64>,
+        cycle: u64,
+        entry: &mut RQueueEntry,
+        stream: Stream,
+    ) {
+        let Some(list) = faults.get_mut(&entry.seq) else {
+            return;
+        };
         let mut fired = false;
         list.retain(|f| {
             if f.stream != stream {
@@ -376,10 +410,10 @@ impl<'c> ReeseMachine<'c> {
             f.sticky // transient faults are consumed; sticky ones persist
         });
         if fired {
-            self.inject_cycles.entry(entry.seq).or_insert(cycle);
+            inject_cycles.entry(entry.seq).or_insert(cycle);
         }
         if list.is_empty() {
-            self.faults.remove(&entry.seq);
+            faults.remove(&entry.seq);
         }
     }
 
@@ -387,26 +421,48 @@ impl<'c> ReeseMachine<'c> {
     /// the corresponding execution completed inside the fault window on
     /// the affected functional-unit class.
     fn apply_duration_fault(&mut self, entry: &mut RQueueEntry, stream: Stream) {
-        let Some(fault) = self.duration_fault else { return };
+        Self::apply_duration_fault_to(
+            self.duration_fault,
+            &mut self.duration_report,
+            &mut self.duration_p_hits,
+            &mut self.inject_cycles,
+            self.cycle,
+            entry,
+            stream,
+        );
+    }
+
+    /// Field-wise form of [`Self::apply_duration_fault`] (see
+    /// [`Self::apply_faults_to`] for why it exists).
+    fn apply_duration_fault_to(
+        duration_fault: Option<DurationFault>,
+        duration_report: &mut DurationReport,
+        duration_p_hits: &mut HashSet<Seq>,
+        inject_cycles: &mut HashMap<Seq, u64>,
+        cycle: u64,
+        entry: &mut RQueueEntry,
+        stream: Stream,
+    ) {
+        let Some(fault) = duration_fault else { return };
         if entry.info.instr.op.fu_class() != fault.class {
             return;
         }
         match stream {
             Stream::Primary if fault.active_at(entry.p_complete_cycle) => {
                 entry.p_value ^= fault.mask();
-                self.duration_report.p_corrupted += 1;
-                self.duration_p_hits.insert(entry.seq);
-                self.inject_cycles.entry(entry.seq).or_insert(self.cycle);
+                duration_report.p_corrupted += 1;
+                duration_p_hits.insert(entry.seq);
+                inject_cycles.entry(entry.seq).or_insert(cycle);
             }
             Stream::Redundant if fault.active_at(entry.r_complete_cycle) => {
                 entry.r_value ^= fault.mask();
-                self.duration_report.r_corrupted += 1;
-                if self.duration_p_hits.contains(&entry.seq) {
+                duration_report.r_corrupted += 1;
+                if duration_p_hits.contains(&entry.seq) {
                     // Both copies hit inside the window: identical flips,
                     // the comparison will pass — a silent escape (§2).
-                    self.duration_report.silent_both += 1;
+                    duration_report.silent_both += 1;
                 }
-                self.inject_cycles.entry(entry.seq).or_insert(self.cycle);
+                inject_cycles.entry(entry.seq).or_insert(cycle);
             }
             _ => {}
         }
@@ -429,7 +485,11 @@ impl<'c> ReeseMachine<'c> {
                 self.lsq.mark_executed(seq);
             }
             if e.is_control() {
-                let fetched = Fetched { seq: e.seq, info: e.info, pred: e.pred };
+                let fetched = Fetched {
+                    seq: e.seq,
+                    info: e.info,
+                    pred: e.pred,
+                };
                 self.fetch.resolve_control(
                     &fetched,
                     self.cycle,
@@ -437,20 +497,34 @@ impl<'c> ReeseMachine<'c> {
                 );
             }
         }
-        // Redundant stream completions.
+        // Redundant stream completions: one in-place pass. Splitting the
+        // borrows (queue vs fault state) avoids the old
+        // copy-out/apply/copy-back dance, which walked the queue twice
+        // per completion on top of the linear `get_mut` lookups.
         let cycle = self.cycle;
-        let mut completed_seqs = Vec::new();
-        for entry in self.rqueue.iter_mut() {
+        let Self {
+            rqueue,
+            faults,
+            inject_cycles,
+            duration_fault,
+            duration_report,
+            duration_p_hits,
+            ..
+        } = self;
+        for entry in rqueue.iter_mut() {
             if entry.r_issued && !entry.r_completed && entry.r_complete_cycle <= cycle {
                 entry.r_completed = true;
-                completed_seqs.push(entry.seq);
+                Self::apply_faults_to(faults, inject_cycles, cycle, entry, Stream::Redundant);
+                Self::apply_duration_fault_to(
+                    *duration_fault,
+                    duration_report,
+                    duration_p_hits,
+                    inject_cycles,
+                    cycle,
+                    entry,
+                    Stream::Redundant,
+                );
             }
-        }
-        for seq in completed_seqs {
-            let mut entry = *self.rqueue.get_mut(seq).expect("just completed");
-            self.apply_faults(&mut entry, Stream::Redundant);
-            self.apply_duration_fault(&mut entry, Stream::Redundant);
-            *self.rqueue.get_mut(seq).expect("just completed") = entry;
         }
     }
 
@@ -552,8 +626,11 @@ impl<'c> ReeseMachine<'c> {
                 // window over the queue's head entries).
                 continue;
             }
-            let latency: u64 =
-                if entry.info.mem.is_some() { 1 + l1d_hit } else { u64::from(op.latency()) };
+            let latency: u64 = if entry.info.mem.is_some() {
+                1 + l1d_hit
+            } else {
+                u64::from(op.latency())
+            };
             entry.r_issued = true;
             entry.r_complete_cycle = cycle + latency;
             *budget -= 1;
@@ -568,7 +645,9 @@ impl<'c> ReeseMachine<'c> {
             return;
         }
         for _ in 0..self.cfg.pipeline.width {
-            let Some(front) = self.fetchq.front() else { break };
+            let Some(front) = self.fetchq.front() else {
+                break;
+            };
             if self.ruu.is_full() {
                 self.stats.pipeline.dispatch_stall_ruu_full += 1;
                 break;
@@ -580,7 +659,8 @@ impl<'c> ReeseMachine<'c> {
             let f = self.fetchq.pop_front().expect("checked front");
             self.ruu.dispatch(f.seq, f.info, f.pred, self.cycle);
             if let Some(mem) = f.info.mem {
-                self.lsq.insert(f.seq, mem.addr, mem.width.bytes(), mem.is_store);
+                self.lsq
+                    .insert(f.seq, mem.addr, mem.width.bytes(), mem.is_store);
             }
         }
     }
@@ -590,8 +670,12 @@ impl<'c> ReeseMachine<'c> {
         if space == 0 {
             return;
         }
-        let batch =
-            self.fetch.fetch_cycle(self.cycle, self.cfg.pipeline.width, space, &mut self.hierarchy);
+        let batch = self.fetch.fetch_cycle(
+            self.cycle,
+            self.cfg.pipeline.width,
+            space,
+            &mut self.hierarchy,
+        );
         self.fetchq.extend(batch);
     }
 
@@ -624,9 +708,14 @@ mod tests {
     #[test]
     fn commits_same_instructions_as_baseline() {
         let prog = assemble(LOOP).unwrap();
-        let base = PipelineSim::new(PipelineConfig::starting()).run(&prog).unwrap();
+        let base = PipelineSim::new(PipelineConfig::starting())
+            .run(&prog)
+            .unwrap();
         let reese = ReeseSim::new(ReeseConfig::starting()).run(&prog).unwrap();
-        assert_eq!(reese.committed_instructions(), base.committed_instructions());
+        assert_eq!(
+            reese.committed_instructions(),
+            base.committed_instructions()
+        );
         assert_eq!(reese.state_digest, base.state_digest);
         assert_eq!(reese.output, base.output);
     }
@@ -642,7 +731,9 @@ mod tests {
     #[test]
     fn reese_is_slower_than_baseline_without_spares() {
         let prog = assemble(LOOP).unwrap();
-        let base = PipelineSim::new(PipelineConfig::starting()).run(&prog).unwrap();
+        let base = PipelineSim::new(PipelineConfig::starting())
+            .run(&prog)
+            .unwrap();
         let reese = ReeseSim::new(ReeseConfig::starting()).run(&prog).unwrap();
         assert!(
             reese.cycles() >= base.cycles(),
@@ -713,21 +804,28 @@ mod tests {
         let r = ReeseSim::new(ReeseConfig::starting())
             .run_with_faults(&prog, &faults, u64::MAX)
             .unwrap();
-        assert!(r.detections[0].latency() >= 1, "compare happens after R execution");
+        assert!(
+            r.detections[0].latency() >= 1,
+            "compare happens after R execution"
+        );
     }
 
     #[test]
     fn partial_duplication_skips_and_speeds_up() {
         let prog = assemble(LOOP).unwrap();
         let full = ReeseSim::new(ReeseConfig::starting()).run(&prog).unwrap();
-        let half =
-            ReeseSim::new(ReeseConfig::starting().with_duplication_period(2)).run(&prog).unwrap();
+        let half = ReeseSim::new(ReeseConfig::starting().with_duplication_period(2))
+            .run(&prog)
+            .unwrap();
         assert!(half.stats.r_skipped > 0);
         assert_eq!(
             half.stats.r_skipped + half.stats.comparisons,
             half.committed_instructions()
         );
-        assert!(half.cycles() <= full.cycles(), "re-executing less cannot be slower");
+        assert!(
+            half.cycles() <= full.cycles(),
+            "re-executing less cannot be slower"
+        );
     }
 
     #[test]
@@ -738,7 +836,10 @@ mod tests {
         let r = ReeseSim::new(ReeseConfig::starting().with_duplication_period(2))
             .run_with_faults(&prog, &faults, u64::MAX)
             .unwrap();
-        assert_eq!(r.stats.detections, 0, "skipped instructions are unprotected");
+        assert_eq!(
+            r.stats.detections, 0,
+            "skipped instructions are unprotected"
+        );
     }
 
     #[test]
@@ -749,8 +850,9 @@ mod tests {
                    \n  addi s0, s0, -1\n  bnez s0, loop\n  halt\n";
         let prog = assemble(src).unwrap();
         let plain = ReeseSim::new(ReeseConfig::starting()).run(&prog).unwrap();
-        let spared =
-            ReeseSim::new(ReeseConfig::starting().with_spare_int_alus(2)).run(&prog).unwrap();
+        let spared = ReeseSim::new(ReeseConfig::starting().with_spare_int_alus(2))
+            .run(&prog)
+            .unwrap();
         assert!(
             spared.cycles() < plain.cycles(),
             "+2 ALUs must speed up an ALU-bound REESE run ({} vs {})",
@@ -772,7 +874,9 @@ mod tests {
              loop: slli t2, t0, 3\n  add t3, a0, t2\n  sd t0, 0(t3)\n  ld t4, 0(t3)\n  add t5, t5, t4\n  addi t0, t0, 1\n  bne t0, t1, loop\n\
              \n  print t5\n  halt\n  .data\narr: .space 128\n";
         let prog = assemble(src).unwrap();
-        let base = PipelineSim::new(PipelineConfig::starting()).run(&prog).unwrap();
+        let base = PipelineSim::new(PipelineConfig::starting())
+            .run(&prog)
+            .unwrap();
         let reese = ReeseSim::new(ReeseConfig::starting()).run(&prog).unwrap();
         assert_eq!(reese.output, base.output);
         assert_eq!(reese.output, vec![120]);
@@ -788,7 +892,9 @@ mod tests {
     #[test]
     fn instruction_limit_respected() {
         let prog = assemble("loop: addi t0, t0, 1\n  j loop\n  halt\n").unwrap();
-        let r = ReeseSim::new(ReeseConfig::starting()).run_limit(&prog, 100).unwrap();
+        let r = ReeseSim::new(ReeseConfig::starting())
+            .run_limit(&prog, 100)
+            .unwrap();
         assert_eq!(r.stop, SimStop::InstructionLimit);
         assert!(r.committed_instructions() >= 100);
     }

@@ -143,7 +143,10 @@ impl fmt::Display for ReeseError {
         match self {
             ReeseError::Sim(e) => write!(f, "{e}"),
             ReeseError::PermanentFault { seq, pc } => {
-                write!(f, "permanent fault: instruction #{seq} at {pc:#x} failed comparison twice")
+                write!(
+                    f,
+                    "permanent fault: instruction #{seq} at {pc:#x} failed comparison twice"
+                )
             }
         }
     }

@@ -119,10 +119,7 @@ impl Emulator {
     /// `halt` (a benign no-op).
     pub fn step(&mut self) -> Result<StepInfo, EmuError> {
         let pc = self.state.pc;
-        let instr: Instr = *self
-            .program
-            .fetch(pc)
-            .ok_or(EmuError::PcOutOfText { pc })?;
+        let instr: Instr = *self.program.fetch(pc).ok_or(EmuError::PcOutOfText { pc })?;
         let info = step(&mut self.state, &instr, &mut self.memory);
         self.instructions += 1;
         if let Some(v) = info.printed {
@@ -197,10 +194,8 @@ mod tests {
 
     #[test]
     fn loop_counts_dynamic_instructions() {
-        let prog = assemble(
-            "  li t0, 10\nloop: addi t0, t0, -1\n  bnez t0, loop\n  halt\n",
-        )
-        .unwrap();
+        let prog =
+            assemble("  li t0, 10\nloop: addi t0, t0, -1\n  bnez t0, loop\n  halt\n").unwrap();
         let r = Emulator::new(&prog).run(1_000).unwrap();
         // 1 li + 10*(addi+bne) + halt
         assert_eq!(r.instructions, 22);

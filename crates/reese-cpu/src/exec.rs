@@ -106,8 +106,16 @@ pub fn step(state: &mut ArchState, instr: &Instr, mem: &mut Memory) -> StepInfo 
     let fallthrough = pc.wrapping_add(Instr::SIZE);
     // `lih` reads its own destination; everything else reads rs1/rs2 as
     // declared by the opcode tables.
-    let src1 = if instr.op.reads_rs1() { state.read(instr.rs1) } else { 0 };
-    let src2 = if instr.op.reads_rs2() { state.read(instr.rs2) } else { 0 };
+    let src1 = if instr.op.reads_rs1() {
+        state.read(instr.rs1)
+    } else {
+        0
+    };
+    let src2 = if instr.op.reads_rs2() {
+        state.read(instr.rs2)
+    } else {
+        0
+    };
     let imm = instr.imm;
 
     let mut info = StepInfo {
@@ -154,7 +162,11 @@ pub fn step(state: &mut ArchState, instr: &Instr, mem: &mut Memory) -> StepInfo 
         Xori => write_rd(state, &mut info, src1 ^ imm as u64),
         Slli => write_rd(state, &mut info, src1 << (imm as u64 & 63)),
         Srli => write_rd(state, &mut info, src1 >> (imm as u64 & 63)),
-        Srai => write_rd(state, &mut info, ((src1 as i64) >> (imm as u64 & 63)) as u64),
+        Srai => write_rd(
+            state,
+            &mut info,
+            ((src1 as i64) >> (imm as u64 & 63)) as u64,
+        ),
         Slti => write_rd(state, &mut info, u64::from((src1 as i64) < imm)),
         Sltiu => write_rd(state, &mut info, u64::from(src1 < imm as u64)),
         Li => write_rd(state, &mut info, imm as u64),
@@ -173,7 +185,12 @@ pub fn step(state: &mut ArchState, instr: &Instr, mem: &mut Memory) -> StepInfo 
                 Lw => raw as u32 as i32 as i64 as u64,
                 _ => raw,
             };
-            info.mem = Some(MemAccess { addr, width, is_store: false, value });
+            info.mem = Some(MemAccess {
+                addr,
+                width,
+                is_store: false,
+                value,
+            });
             write_rd(state, &mut info, value);
         }
 
@@ -181,8 +198,17 @@ pub fn step(state: &mut ArchState, instr: &Instr, mem: &mut Memory) -> StepInfo 
             let width = instr.op.mem_width().expect("stores have widths");
             let addr = src1.wrapping_add(imm as u64);
             mem.write_uint(addr, width.bytes(), src2);
-            let kept = if width.bytes() == 8 { src2 } else { src2 & ((1 << (width.bytes() * 8)) - 1) };
-            info.mem = Some(MemAccess { addr, width, is_store: true, value: kept });
+            let kept = if width.bytes() == 8 {
+                src2
+            } else {
+                src2 & ((1 << (width.bytes() * 8)) - 1)
+            };
+            info.mem = Some(MemAccess {
+                addr,
+                width,
+                is_store: true,
+                value: kept,
+            });
             // A store's "result" for P/R comparison purposes is the
             // value it wrote; the effective address is in `mem`.
             info.result = kept;
@@ -242,11 +268,27 @@ pub fn step(state: &mut ArchState, instr: &Instr, mem: &mut Memory) -> StepInfo 
             let v = f64::from_bits(src1).max(f64::from_bits(src2));
             write_rd(state, &mut info, v.to_bits());
         }
-        Feq => write_rd(state, &mut info, u64::from(f64::from_bits(src1) == f64::from_bits(src2))),
-        Flt => write_rd(state, &mut info, u64::from(f64::from_bits(src1) < f64::from_bits(src2))),
-        Fle => write_rd(state, &mut info, u64::from(f64::from_bits(src1) <= f64::from_bits(src2))),
+        Feq => write_rd(
+            state,
+            &mut info,
+            u64::from(f64::from_bits(src1) == f64::from_bits(src2)),
+        ),
+        Flt => write_rd(
+            state,
+            &mut info,
+            u64::from(f64::from_bits(src1) < f64::from_bits(src2)),
+        ),
+        Fle => write_rd(
+            state,
+            &mut info,
+            u64::from(f64::from_bits(src1) <= f64::from_bits(src2)),
+        ),
         Fcvtif => write_rd(state, &mut info, ((src1 as i64) as f64).to_bits()),
-        Fcvtfi => write_rd(state, &mut info, f2i_saturating(f64::from_bits(src1)) as u64),
+        Fcvtfi => write_rd(
+            state,
+            &mut info,
+            f2i_saturating(f64::from_bits(src1)) as u64,
+        ),
         Fmvif => write_rd(state, &mut info, src1),
         Fmvfi => write_rd(state, &mut info, src1),
 
@@ -270,7 +312,10 @@ mod tests {
     use super::*;
     use reese_isa::abi::*;
 
-    fn run_one(instr: Instr, setup: impl FnOnce(&mut ArchState, &mut Memory)) -> (StepInfo, ArchState, Memory) {
+    fn run_one(
+        instr: Instr,
+        setup: impl FnOnce(&mut ArchState, &mut Memory),
+    ) -> (StepInfo, ArchState, Memory) {
         let mut s = ArchState::new(0x1000);
         let mut m = Memory::new();
         setup(&mut s, &mut m);
@@ -331,10 +376,20 @@ mod tests {
         let mut s = ArchState::new(0x1000);
         let mut m = Memory::new();
         let v: i64 = 0x1234_5678_9ABC_DEF0u64 as i64;
-        step(&mut s, &Instr::rri(Opcode::Li, T0, ZERO, v as u32 as i32 as i64), &mut m);
         step(
             &mut s,
-            &Instr { op: Opcode::Lih, rd: T0, rs1: T0, rs2: ZERO, imm: (v as u64 >> 32) as i64 },
+            &Instr::rri(Opcode::Li, T0, ZERO, v as u32 as i32 as i64),
+            &mut m,
+        );
+        step(
+            &mut s,
+            &Instr {
+                op: Opcode::Lih,
+                rd: T0,
+                rs1: T0,
+                rs2: ZERO,
+                imm: (v as u64 >> 32) as i64,
+            },
             &mut m,
         );
         assert_eq!(s.read(T0), v as u64);
@@ -409,7 +464,10 @@ mod tests {
 
     #[test]
     fn jal_links_and_jumps() {
-        let (i, s, _) = run_one(Instr::rri(Opcode::Jal, RA, ZERO, -16).canonical(), |_, _| {});
+        let (i, s, _) = run_one(
+            Instr::rri(Opcode::Jal, RA, ZERO, -16).canonical(),
+            |_, _| {},
+        );
         assert_eq!(s.read(RA), 0x1008);
         assert_eq!(i.next_pc, 0x1000 - 16);
         assert!(i.taken);
@@ -441,25 +499,41 @@ mod tests {
 
     #[test]
     fn fp_conversions_saturate() {
-        let (i, ..) = run_one(Instr::rrr(Opcode::Fcvtfi, T0, F1, ZERO).canonical(), |s, _| {
-            s.write_f64(F1, 1e300);
-        });
+        let (i, ..) = run_one(
+            Instr::rrr(Opcode::Fcvtfi, T0, F1, ZERO).canonical(),
+            |s, _| {
+                s.write_f64(F1, 1e300);
+            },
+        );
         assert_eq!(i.result as i64, i64::MAX);
-        let (i, ..) = run_one(Instr::rrr(Opcode::Fcvtfi, T0, F1, ZERO).canonical(), |s, _| {
-            s.write_f64(F1, f64::NAN);
-        });
+        let (i, ..) = run_one(
+            Instr::rrr(Opcode::Fcvtfi, T0, F1, ZERO).canonical(),
+            |s, _| {
+                s.write_f64(F1, f64::NAN);
+            },
+        );
         assert_eq!(i.result, 0);
-        let (i, ..) = run_one(Instr::rrr(Opcode::Fcvtif, F0, T1, ZERO).canonical(), |s, _| {
-            s.write(T1, (-3i64) as u64);
-        });
+        let (i, ..) = run_one(
+            Instr::rrr(Opcode::Fcvtif, F0, T1, ZERO).canonical(),
+            |s, _| {
+                s.write(T1, (-3i64) as u64);
+            },
+        );
         assert_eq!(f64::from_bits(i.result), -3.0);
     }
 
     #[test]
     fn halt_freezes_pc() {
-        let (i, s, _) = run_one(Instr { op: Opcode::Halt, rs1: A0, ..Instr::nop() }, |s, _| {
-            s.write(A0, 3);
-        });
+        let (i, s, _) = run_one(
+            Instr {
+                op: Opcode::Halt,
+                rs1: A0,
+                ..Instr::nop()
+            },
+            |s, _| {
+                s.write(A0, 3);
+            },
+        );
         assert!(i.halted);
         assert_eq!(s.pc, 0x1000);
         assert_eq!(i.result, 3);
@@ -467,9 +541,16 @@ mod tests {
 
     #[test]
     fn print_captures_value() {
-        let (i, ..) = run_one(Instr { op: Opcode::Print, rs1: A0, ..Instr::nop() }, |s, _| {
-            s.write(A0, (-7i64) as u64);
-        });
+        let (i, ..) = run_one(
+            Instr {
+                op: Opcode::Print,
+                rs1: A0,
+                ..Instr::nop()
+            },
+            |s, _| {
+                s.write(A0, (-7i64) as u64);
+            },
+        );
         assert_eq!(i.printed, Some(-7));
     }
 

@@ -30,7 +30,10 @@ pub struct ArchState {
 impl ArchState {
     /// Creates a zeroed state with the given entry PC.
     pub fn new(entry: u64) -> ArchState {
-        ArchState { regs: [0; NUM_REGS as usize], pc: entry }
+        ArchState {
+            regs: [0; NUM_REGS as usize],
+            pc: entry,
+        }
     }
 
     /// Reads a register (always 0 for `x0`).

@@ -102,7 +102,13 @@ impl TraceRecord {
         let mut buf = [0u8; Self::SIZE];
         r.read_exact(&mut buf)?;
         let u = |i: usize| u64::from_le_bytes(buf[i..i + 8].try_into().expect("8 bytes"));
-        Ok(TraceRecord { pc: u(0), word: u(8), next_pc: u(16), mem_addr: u(24), flags: buf[32] })
+        Ok(TraceRecord {
+            pc: u(0),
+            word: u(8),
+            next_pc: u(16),
+            mem_addr: u(24),
+            flags: buf[32],
+        })
     }
 }
 
@@ -192,12 +198,18 @@ impl Trace {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a reese trace"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a reese trace",
+            ));
         }
         let mut v = [0u8; 4];
         r.read_exact(&mut v)?;
         if u32::from_le_bytes(v) != VERSION {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "unsupported trace version"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unsupported trace version",
+            ));
         }
         let mut n = [0u8; 8];
         r.read_exact(&mut n)?;
@@ -303,7 +315,10 @@ mod tests {
     fn corrupt_inputs_rejected() {
         assert!(Trace::read_from(&b"NOPE"[..]).is_err());
         let mut buf = Vec::new();
-        Trace::capture(&loop_prog(), 10).unwrap().write_to(&mut buf).unwrap();
+        Trace::capture(&loop_prog(), 10)
+            .unwrap()
+            .write_to(&mut buf)
+            .unwrap();
         buf.truncate(buf.len() - 1);
         assert!(Trace::read_from(buf.as_slice()).is_err());
         buf[4] = 99; // version byte
@@ -321,7 +336,11 @@ mod tests {
     #[test]
     fn working_set_and_mem_fraction() {
         let t = Trace::capture(&loop_prog(), 1_000).unwrap();
-        assert_eq!(t.data_working_set(64), 1, "all stores hit the same stack line");
+        assert_eq!(
+            t.data_working_set(64),
+            1,
+            "all stores hit the same stack line"
+        );
         assert!((t.mem_fraction() - 5.0 / 17.0).abs() < 1e-12);
     }
 

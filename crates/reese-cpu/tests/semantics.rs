@@ -2,9 +2,9 @@
 //! random ALU expression programs must compute exactly what an
 //! independent Rust evaluation of the same expression computes.
 
-use proptest::prelude::*;
 use reese_cpu::Emulator;
 use reese_isa::{abi::*, ProgramBuilder};
+use reese_stats::SplitMix64;
 
 /// A tiny expression language mirrored by both the generated program
 /// and a host-side evaluator.
@@ -52,30 +52,32 @@ impl Op {
     }
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop::sample::select(vec![
-        Op::Add,
-        Op::Sub,
-        Op::Mul,
-        Op::And,
-        Op::Or,
-        Op::Xor,
-        Op::Sll,
-        Op::Srl,
-        Op::Slt,
-    ])
+const ALL_OPS: [Op; 9] = [
+    Op::Add,
+    Op::Sub,
+    Op::Mul,
+    Op::And,
+    Op::Or,
+    Op::Xor,
+    Op::Sll,
+    Op::Srl,
+    Op::Slt,
+];
+
+fn random_op(rng: &mut SplitMix64) -> Op {
+    ALL_OPS[rng.index(ALL_OPS.len())]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Fold a random operand list through random operators: the machine
-    /// and the host must agree bit for bit.
-    #[test]
-    fn alu_folds_match_host_arithmetic(
-        seed in any::<i64>(),
-        steps in prop::collection::vec((arb_op(), any::<i64>()), 1..24),
-    ) {
+/// Fold a random operand list through random operators: the machine
+/// and the host must agree bit for bit.
+#[test]
+fn alu_folds_match_host_arithmetic() {
+    let mut rng = SplitMix64::new(40);
+    for _ in 0..128 {
+        let seed = rng.next_u64() as i64;
+        let steps: Vec<(Op, i64)> = (0..1 + rng.index(23))
+            .map(|_| (random_op(&mut rng), rng.next_u64() as i64))
+            .collect();
         let mut b = ProgramBuilder::new();
         b.li(T0, seed);
         let mut expected = seed as u64;
@@ -89,111 +91,152 @@ proptest! {
         b.halt();
         let program = b.build().expect("builds");
         let run = Emulator::new(&program).run(10_000).expect("halts");
-        prop_assert_eq!(run.output, vec![expected as i64]);
+        assert_eq!(run.output, vec![expected as i64]);
     }
+}
 
-    /// Memory round trip through every access width, with sign and zero
-    /// extension matching the host.
-    #[test]
-    fn load_extension_matches_host(value in any::<i64>(), off in 0i64..64) {
-        let mut b = ProgramBuilder::new();
-        let buf = b.data_label("buf");
-        b.space(128);
-        b.la(A1, buf);
-        b.li(T0, value);
-        b.sd(T0, off, A1);
-        b.lb(T1, off, A1);
-        b.print(T1);
-        b.lbu(T1, off, A1);
-        b.print(T1);
-        b.lh(T1, off, A1);
-        b.print(T1);
-        b.lhu(T1, off, A1);
-        b.print(T1);
-        b.lw(T1, off, A1);
-        b.print(T1);
-        b.lwu(T1, off, A1);
-        b.print(T1);
-        b.ld(T1, off, A1);
-        b.print(T1);
-        b.li(A0, 0);
-        b.halt();
-        let run = Emulator::new(&b.build().expect("builds")).run(1_000).expect("halts");
-        let expected = vec![
-            i64::from(value as i8),
-            i64::from(value as u8),
-            i64::from(value as i16),
-            i64::from(value as u16),
-            i64::from(value as i32),
-            value as u32 as i64,
-            value,
-        ];
-        prop_assert_eq!(run.output, expected);
+/// Memory round trip through every access width, with sign and zero
+/// extension matching the host.
+#[test]
+fn load_extension_matches_host() {
+    let mut rng = SplitMix64::new(41);
+    for _ in 0..128 {
+        let value = rng.next_u64() as i64;
+        let off = rng.range_u64(0, 64) as i64;
+        run_load_extension_case(value, off);
     }
+}
 
-    /// Division conventions hold for every operand pair, including zero
-    /// divisors and the wrap case.
-    #[test]
-    fn division_conventions_total(a in any::<i64>(), d in any::<i64>()) {
-        let mut b = ProgramBuilder::new();
-        b.li(T1, a);
-        b.li(T2, d);
-        b.div(T0, T1, T2);
-        b.print(T0);
-        b.rem(T0, T1, T2);
-        b.print(T0);
-        b.divu(T0, T1, T2);
-        b.print(T0);
-        b.remu(T0, T1, T2);
-        b.print(T0);
-        b.li(A0, 0);
-        b.halt();
-        let run = Emulator::new(&b.build().expect("builds")).run(1_000).expect("halts");
-        let exp_div = if d == 0 { -1 } else { a.wrapping_div(d) };
-        let exp_rem = if d == 0 { a } else { a.wrapping_rem(d) };
-        let (ua, ud) = (a as u64, d as u64);
-        let exp_divu = if ud == 0 { u64::MAX } else { ua / ud } as i64;
-        let exp_remu = if ud == 0 { ua } else { ua % ud } as i64;
-        prop_assert_eq!(run.output, vec![exp_div, exp_rem, exp_divu, exp_remu]);
+fn run_load_extension_case(value: i64, off: i64) {
+    let mut b = ProgramBuilder::new();
+    let buf = b.data_label("buf");
+    b.space(128);
+    b.la(A1, buf);
+    b.li(T0, value);
+    b.sd(T0, off, A1);
+    b.lb(T1, off, A1);
+    b.print(T1);
+    b.lbu(T1, off, A1);
+    b.print(T1);
+    b.lh(T1, off, A1);
+    b.print(T1);
+    b.lhu(T1, off, A1);
+    b.print(T1);
+    b.lw(T1, off, A1);
+    b.print(T1);
+    b.lwu(T1, off, A1);
+    b.print(T1);
+    b.ld(T1, off, A1);
+    b.print(T1);
+    b.li(A0, 0);
+    b.halt();
+    let run = Emulator::new(&b.build().expect("builds"))
+        .run(1_000)
+        .expect("halts");
+    let expected = vec![
+        i64::from(value as i8),
+        i64::from(value as u8),
+        i64::from(value as i16),
+        i64::from(value as u16),
+        i64::from(value as i32),
+        value as u32 as i64,
+        value,
+    ];
+    assert_eq!(run.output, expected);
+}
+
+/// Division conventions hold for every operand pair, including zero
+/// divisors and the wrap case.
+#[test]
+fn division_conventions_total() {
+    let mut rng = SplitMix64::new(42);
+    let mut cases: Vec<(i64, i64)> = (0..125)
+        .map(|_| (rng.next_u64() as i64, rng.next_u64() as i64))
+        .collect();
+    // The corner cases randomness is unlikely to hit.
+    cases.push((i64::MIN, -1));
+    cases.push((7, 0));
+    cases.push((-7, 0));
+    for (a, d) in cases {
+        run_division_case(a, d);
     }
+}
 
-    /// Branch direction agrees with host comparison for all six
-    /// conditions over arbitrary operands.
-    #[test]
-    fn branch_conditions_match_host(a in any::<i64>(), b_val in any::<i64>()) {
-        use reese_isa::Opcode;
-        let cases: [(Opcode, bool); 6] = [
-            (Opcode::Beq, a == b_val),
-            (Opcode::Bne, a != b_val),
-            (Opcode::Blt, a < b_val),
-            (Opcode::Bge, a >= b_val),
-            (Opcode::Bltu, (a as u64) < (b_val as u64)),
-            (Opcode::Bgeu, (a as u64) >= (b_val as u64)),
-        ];
-        for (op, expected_taken) in cases {
-            let mut bld2 = ProgramBuilder::new();
-            let yes2 = bld2.label("yes");
-            bld2.li(T1, a);
-            bld2.li(T2, b_val);
-            match op {
-                Opcode::Beq => bld2.beq(T1, T2, yes2),
-                Opcode::Bne => bld2.bne(T1, T2, yes2),
-                Opcode::Blt => bld2.blt(T1, T2, yes2),
-                Opcode::Bge => bld2.bge(T1, T2, yes2),
-                Opcode::Bltu => bld2.bltu(T1, T2, yes2),
-                _ => bld2.bgeu(T1, T2, yes2),
-            };
-            bld2.li(A1, 0);
-            bld2.print(A1);
-            bld2.li(A0, 0);
-            bld2.halt();
-            bld2.bind(yes2);
-            bld2.li(A1, 1);
-            bld2.print(A1);
-            bld2.li(A0, 0);
-            bld2.halt();
-            let run = Emulator::new(&bld2.build().expect("builds")).run(100).expect("halts");
-            prop_assert_eq!(run.output, vec![i64::from(expected_taken)], "{}", op);
-        }
+fn run_division_case(a: i64, d: i64) {
+    let mut b = ProgramBuilder::new();
+    b.li(T1, a);
+    b.li(T2, d);
+    b.div(T0, T1, T2);
+    b.print(T0);
+    b.rem(T0, T1, T2);
+    b.print(T0);
+    b.divu(T0, T1, T2);
+    b.print(T0);
+    b.remu(T0, T1, T2);
+    b.print(T0);
+    b.li(A0, 0);
+    b.halt();
+    let run = Emulator::new(&b.build().expect("builds"))
+        .run(1_000)
+        .expect("halts");
+    let exp_div = if d == 0 { -1 } else { a.wrapping_div(d) };
+    let exp_rem = if d == 0 { a } else { a.wrapping_rem(d) };
+    let (ua, ud) = (a as u64, d as u64);
+    let exp_divu = ua.checked_div(ud).unwrap_or(u64::MAX) as i64;
+    let exp_remu = ua.checked_rem(ud).unwrap_or(ua) as i64;
+    assert_eq!(run.output, vec![exp_div, exp_rem, exp_divu, exp_remu]);
+}
+
+/// Branch direction agrees with host comparison for all six
+/// conditions over arbitrary operands.
+#[test]
+fn branch_conditions_match_host() {
+    let mut rng = SplitMix64::new(43);
+    let mut cases: Vec<(i64, i64)> = (0..126)
+        .map(|_| (rng.next_u64() as i64, rng.next_u64() as i64))
+        .collect();
+    cases.push((0, 0));
+    cases.push((-1, 1));
+    for (a, b_val) in cases {
+        run_branch_case(a, b_val);
+    }
+}
+
+fn run_branch_case(a: i64, b_val: i64) {
+    use reese_isa::Opcode;
+    let cases: [(Opcode, bool); 6] = [
+        (Opcode::Beq, a == b_val),
+        (Opcode::Bne, a != b_val),
+        (Opcode::Blt, a < b_val),
+        (Opcode::Bge, a >= b_val),
+        (Opcode::Bltu, (a as u64) < (b_val as u64)),
+        (Opcode::Bgeu, (a as u64) >= (b_val as u64)),
+    ];
+    for (op, expected_taken) in cases {
+        let mut bld2 = ProgramBuilder::new();
+        let yes2 = bld2.label("yes");
+        bld2.li(T1, a);
+        bld2.li(T2, b_val);
+        match op {
+            Opcode::Beq => bld2.beq(T1, T2, yes2),
+            Opcode::Bne => bld2.bne(T1, T2, yes2),
+            Opcode::Blt => bld2.blt(T1, T2, yes2),
+            Opcode::Bge => bld2.bge(T1, T2, yes2),
+            Opcode::Bltu => bld2.bltu(T1, T2, yes2),
+            _ => bld2.bgeu(T1, T2, yes2),
+        };
+        bld2.li(A1, 0);
+        bld2.print(A1);
+        bld2.li(A0, 0);
+        bld2.halt();
+        bld2.bind(yes2);
+        bld2.li(A1, 1);
+        bld2.print(A1);
+        bld2.li(A0, 0);
+        bld2.halt();
+        let run = Emulator::new(&bld2.build().expect("builds"))
+            .run(100)
+            .expect("halts");
+        assert_eq!(run.output, vec![i64::from(expected_taken)], "{op}");
     }
 }

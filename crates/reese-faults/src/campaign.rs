@@ -4,7 +4,7 @@ use crate::{CoverageReport, FaultClass, FaultMix, TrialOutcome};
 use reese_core::{InjectedFault, ReeseConfig, ReeseError, ReeseSim};
 use reese_cpu::Emulator;
 use reese_isa::Program;
-use reese_stats::SplitMix64;
+use reese_stats::{par_map_indexed, SplitMix64};
 use std::fmt;
 
 /// Error raised by a campaign.
@@ -44,6 +44,12 @@ impl std::error::Error for CampaignError {}
 /// scored as undetected without corrupting anything — they model the
 /// coverage boundary the paper states in §4.2.
 ///
+/// Trials are independent full simulator runs, so a campaign fans out
+/// over [`Campaign::jobs`] worker threads. All per-trial parameters are
+/// drawn **serially** from the single SplitMix64 stream before any
+/// trial runs, so the resulting [`CoverageReport`] compares equal for
+/// any worker count — parallelism buys wall-clock time only.
+///
 /// # Example
 ///
 /// ```
@@ -56,6 +62,7 @@ impl std::error::Error for CampaignError {}
 /// let report = Campaign::new(ReeseConfig::starting(), FaultMix::result_errors_only())
 ///     .trials(10)
 ///     .seed(7)
+///     .jobs(2)
 ///     .run(&prog)?;
 /// assert_eq!(report.detected, 10); // result errors are always caught
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -67,12 +74,20 @@ pub struct Campaign {
     trials: usize,
     seed: u64,
     max_instructions: u64,
+    jobs: usize,
 }
 
 impl Campaign {
     /// Creates a campaign over a REESE configuration and fault mix.
     pub fn new(config: ReeseConfig, mix: FaultMix) -> Campaign {
-        Campaign { config, mix, trials: 100, seed: 0xFA017, max_instructions: u64::MAX }
+        Campaign {
+            config,
+            mix,
+            trials: 100,
+            seed: 0xFA017,
+            max_instructions: u64::MAX,
+            jobs: 1,
+        }
     }
 
     /// Sets the number of trials (default 100).
@@ -93,6 +108,13 @@ impl Campaign {
         self
     }
 
+    /// Sets the worker-thread count (default 1 = serial). The report is
+    /// bit-identical for every value; 0 is treated as 1.
+    pub fn jobs(mut self, n: usize) -> Campaign {
+        self.jobs = n.max(1);
+        self
+    }
+
     /// Runs the campaign.
     ///
     /// # Errors
@@ -109,7 +131,9 @@ impl Campaign {
             .map_err(|e| CampaignError::Workload(e.to_string()))?;
         let dynamic_len = reference.instructions;
         if dynamic_len == 0 {
-            return Err(CampaignError::Workload("program executes no instructions".into()));
+            return Err(CampaignError::Workload(
+                "program executes no instructions".into(),
+            ));
         }
         let sim = ReeseSim::new(self.config.clone());
         let clean = sim
@@ -118,51 +142,91 @@ impl Campaign {
         let clean_cycles = clean.cycles();
         let clean_digest = clean.state_digest;
 
+        // Serial parameter pre-draw: the single SplitMix64 stream is
+        // consumed in trial order here, before any trial executes, so
+        // the fan-out below cannot perturb it and the report compares
+        // equal for every worker count.
         let mut rng = SplitMix64::new(self.seed);
-        let mut report = CoverageReport::new(clean_cycles);
-        for trial in 0..self.trials {
-            let class = self.mix.sample(rng.next_u64());
-            let seq = rng.range_u64(0, dynamic_len);
-            let bit = (rng.next_u64() & 63) as u8;
-            let outcome = match class {
-                FaultClass::PrimaryResult | FaultClass::RedundantResult => {
-                    let fault = if class == FaultClass::PrimaryResult {
-                        InjectedFault::primary(seq, bit)
-                    } else {
-                        InjectedFault::redundant(seq, bit)
-                    };
-                    let r = sim
-                        .run_with_faults(program, &[fault], self.max_instructions)
-                        .map_err(|e: ReeseError| CampaignError::Trial {
-                            trial,
-                            message: e.to_string(),
-                        })?;
-                    let detected = !r.detections.is_empty();
-                    TrialOutcome {
-                        class,
-                        seq,
-                        bit,
-                        detected,
-                        detection_latency: r.detections.first().map(DetectionLatency::of),
-                        extra_cycles: r.cycles().saturating_sub(clean_cycles),
-                        state_clean: r.state_digest == clean_digest,
-                    }
-                }
-                // Classes outside REESE's observation window: scored
-                // undetected-by-design, nothing to simulate.
-                _ => TrialOutcome {
+        let params: Vec<(FaultClass, u64, u8)> = (0..self.trials)
+            .map(|_| {
+                let class = self.mix.sample(rng.next_u64());
+                let seq = rng.range_u64(0, dynamic_len);
+                let bit = (rng.next_u64() & 63) as u8;
+                (class, seq, bit)
+            })
+            .collect();
+
+        let (outcomes, throughput) =
+            par_map_indexed(self.jobs, &params, |trial, &(class, seq, bit)| {
+                self.run_trial(
+                    &sim,
+                    program,
+                    trial,
                     class,
                     seq,
                     bit,
-                    detected: false,
-                    detection_latency: None,
-                    extra_cycles: 0,
-                    state_clean: true,
-                },
-            };
-            report.record(outcome);
+                    clean_cycles,
+                    clean_digest,
+                )
+            });
+
+        let mut report = CoverageReport::new(clean_cycles);
+        for outcome in outcomes {
+            report.record(outcome?);
         }
+        report.throughput = Some(throughput);
         Ok(report)
+    }
+
+    /// Runs one injection trial (independent of every other trial).
+    #[allow(clippy::too_many_arguments)]
+    fn run_trial(
+        &self,
+        sim: &ReeseSim,
+        program: &Program,
+        trial: usize,
+        class: FaultClass,
+        seq: u64,
+        bit: u8,
+        clean_cycles: u64,
+        clean_digest: u64,
+    ) -> Result<TrialOutcome, CampaignError> {
+        match class {
+            FaultClass::PrimaryResult | FaultClass::RedundantResult => {
+                let fault = if class == FaultClass::PrimaryResult {
+                    InjectedFault::primary(seq, bit)
+                } else {
+                    InjectedFault::redundant(seq, bit)
+                };
+                let r = sim
+                    .run_with_faults(program, &[fault], self.max_instructions)
+                    .map_err(|e: ReeseError| CampaignError::Trial {
+                        trial,
+                        message: e.to_string(),
+                    })?;
+                let detected = !r.detections.is_empty();
+                Ok(TrialOutcome {
+                    class,
+                    seq,
+                    bit,
+                    detected,
+                    detection_latency: r.detections.first().map(DetectionLatency::of),
+                    extra_cycles: r.cycles().saturating_sub(clean_cycles),
+                    state_clean: r.state_digest == clean_digest,
+                })
+            }
+            // Classes outside REESE's observation window: scored
+            // undetected-by-design, nothing to simulate.
+            _ => Ok(TrialOutcome {
+                class,
+                seq,
+                bit,
+                detected: false,
+                detection_latency: None,
+                extra_cycles: 0,
+                state_clean: true,
+            }),
+        }
     }
 }
 
@@ -195,7 +259,10 @@ mod tests {
         assert_eq!(report.detected, 25);
         assert!((report.coverage() - 1.0).abs() < 1e-12);
         assert!(report.mean_detection_latency() > 0.0);
-        assert!(report.all_states_clean(), "recovery must restore architectural state");
+        assert!(
+            report.all_states_clean(),
+            "recovery must restore architectural state"
+        );
     }
 
     #[test]
@@ -207,7 +274,11 @@ mod tests {
             .unwrap();
         assert!(report.detected > 0, "result errors present");
         assert!(report.detected < 60, "uncovered classes present");
-        for c in [FaultClass::PostCompare, FaultClass::CacheCell, FaultClass::PipelineControl] {
+        for c in [
+            FaultClass::PostCompare,
+            FaultClass::CacheCell,
+            FaultClass::PipelineControl,
+        ] {
             let (det, total) = report.by_class(c);
             if total > 0 {
                 assert_eq!(det, 0, "{c} must be undetectable");
@@ -225,6 +296,35 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn parallel_report_is_bit_identical_to_serial() {
+        let run = |jobs: usize| {
+            Campaign::new(ReeseConfig::starting(), FaultMix::broad())
+                .trials(24)
+                .seed(42)
+                .jobs(jobs)
+                .run(&loop_prog())
+                .unwrap()
+        };
+        let serial = run(1);
+        for jobs in [2, 4, 7] {
+            assert_eq!(run(jobs), serial, "jobs={jobs} must not change the report");
+        }
+    }
+
+    #[test]
+    fn parallel_run_reports_throughput() {
+        let report = Campaign::new(ReeseConfig::starting(), FaultMix::result_errors_only())
+            .trials(8)
+            .jobs(4)
+            .run(&loop_prog())
+            .unwrap();
+        let t = report.throughput.expect("throughput recorded");
+        assert_eq!(t.items(), 8);
+        assert_eq!(t.jobs, 4);
+        assert!(t.items_per_sec() > 0.0);
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl FaultClass {
 
     /// Whether REESE's result comparison can ever observe this class.
     pub const fn detectable_by_design(self) -> bool {
-        matches!(self, FaultClass::PrimaryResult | FaultClass::RedundantResult)
+        matches!(
+            self,
+            FaultClass::PrimaryResult | FaultClass::RedundantResult
+        )
     }
 }
 
@@ -79,7 +82,10 @@ impl FaultMix {
     ///
     /// Panics if all weights are zero.
     pub fn new(weights: [u32; 5]) -> FaultMix {
-        assert!(weights.iter().any(|&w| w > 0), "fault mix needs at least one class");
+        assert!(
+            weights.iter().any(|&w| w > 0),
+            "fault mix needs at least one class"
+        );
         FaultMix { weights }
     }
 
@@ -96,7 +102,10 @@ impl FaultMix {
 
     /// The weight of one class.
     pub fn weight(&self, class: FaultClass) -> u32 {
-        let idx = FaultClass::ALL.iter().position(|&c| c == class).expect("class in ALL");
+        let idx = FaultClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("class in ALL");
         self.weights[idx]
     }
 

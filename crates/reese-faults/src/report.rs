@@ -1,6 +1,7 @@
 //! Campaign results and coverage reports.
 
 use crate::FaultClass;
+use reese_stats::ParallelStats;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -42,7 +43,7 @@ pub struct TrialOutcome {
 /// });
 /// assert_eq!(r.coverage(), 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CoverageReport {
     /// All trial outcomes, in order.
     pub outcomes: Vec<TrialOutcome>,
@@ -50,12 +51,32 @@ pub struct CoverageReport {
     pub detected: u64,
     /// Cycles of the fault-free reference run.
     pub clean_cycles: u64,
+    /// Wall-clock/throughput observability for the campaign run, when
+    /// one produced this report. Excluded from equality: two runs of
+    /// the same seeded campaign are *the same report* however long they
+    /// took or however many workers they used.
+    pub throughput: Option<ParallelStats>,
+}
+
+/// Equality is over the scientific content (outcomes and reference
+/// cycles) only — never over wall-clock observability.
+impl PartialEq for CoverageReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.outcomes == other.outcomes
+            && self.detected == other.detected
+            && self.clean_cycles == other.clean_cycles
+    }
 }
 
 impl CoverageReport {
     /// Creates an empty report for a reference run of `clean_cycles`.
     pub fn new(clean_cycles: u64) -> CoverageReport {
-        CoverageReport { outcomes: Vec::new(), detected: 0, clean_cycles }
+        CoverageReport {
+            outcomes: Vec::new(),
+            detected: 0,
+            clean_cycles,
+            throughput: None,
+        }
     }
 
     /// Records one trial.
@@ -97,8 +118,12 @@ impl CoverageReport {
 
     /// Mean detection latency over detected trials; 0 when none.
     pub fn mean_detection_latency(&self) -> f64 {
-        let lats: Vec<f64> =
-            self.outcomes.iter().filter_map(|o| o.detection_latency).map(|l| l as f64).collect();
+        let lats: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter_map(|o| o.detection_latency)
+            .map(|l| l as f64)
+            .collect();
         reese_stats::mean(&lats)
     }
 
@@ -144,6 +169,9 @@ impl fmt::Display for CoverageReport {
         )?;
         for (name, (d, n)) in self.class_table() {
             writeln!(f, "  {name:<18} {d}/{n}")?;
+        }
+        if let Some(t) = &self.throughput {
+            writeln!(f, "throughput: {t}")?;
         }
         Ok(())
     }

@@ -41,7 +41,10 @@ impl std::error::Error for AsmError {}
 
 impl From<BuildError> for AsmError {
     fn from(e: BuildError) -> Self {
-        AsmError { line: 0, message: e.to_string() }
+        AsmError {
+            line: 0,
+            message: e.to_string(),
+        }
     }
 }
 
@@ -208,7 +211,9 @@ fn parse_directive(
         "align" => {
             let n = parse_int(args).ok_or_else(|| err(format!("bad alignment `{args}`")))?;
             if n <= 0 || !(n as u64).is_power_of_two() {
-                return Err(err(format!("alignment must be a positive power of two, got {n}")));
+                return Err(err(format!(
+                    "alignment must be a positive power of two, got {n}"
+                )));
             }
             b.align(n as usize);
         }
@@ -253,7 +258,11 @@ fn parse_mem_operand(s: &str) -> Option<(i64, Reg)> {
         return None;
     }
     let off_str = s[..open].trim();
-    let off = if off_str.is_empty() { 0 } else { parse_int(off_str)? };
+    let off = if off_str.is_empty() {
+        0
+    } else {
+        parse_int(off_str)?
+    };
     let base = Reg::parse(s[open + 1..close].trim())?;
     Some((off, base))
 }
@@ -264,8 +273,11 @@ fn parse_instruction(b: &mut ProgramBuilder, code: &str, line: usize) -> Result<
         Some(pos) => (&code[..pos], code[pos..].trim()),
         None => (code, ""),
     };
-    let ops: Vec<&str> =
-        if rest.is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
+    let ops: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
 
     let reg = |s: &str| Reg::parse(s).ok_or_else(|| err(format!("bad register `{s}`")));
     let imm = |s: &str| parse_int(s).ok_or_else(|| err(format!("bad immediate `{s}`")));
@@ -273,7 +285,10 @@ fn parse_instruction(b: &mut ProgramBuilder, code: &str, line: usize) -> Result<
         if ops.len() == want {
             Ok(())
         } else {
-            Err(err(format!("`{mnemonic}` expects {want} operands, got {}", ops.len())))
+            Err(err(format!(
+                "`{mnemonic}` expects {want} operands, got {}",
+                ops.len()
+            )))
         }
     };
 
@@ -291,7 +306,11 @@ fn parse_instruction(b: &mut ProgramBuilder, code: &str, line: usize) -> Result<
                 0 => b.halt(),
                 1 => {
                     let rs = reg(ops[0])?;
-                    b.emit(crate::Instr { op: Opcode::Halt, rs1: rs, ..crate::Instr::nop() })
+                    b.emit(crate::Instr {
+                        op: Opcode::Halt,
+                        rs1: rs,
+                        ..crate::Instr::nop()
+                    })
                 }
                 n => return Err(err(format!("`halt` expects 0 or 1 operands, got {n}"))),
             };
@@ -459,7 +478,11 @@ fn parse_instruction(b: &mut ProgramBuilder, code: &str, line: usize) -> Result<
             Opcode::Halt => {
                 nops(1)?;
                 let rs = reg(ops[0])?;
-                b.emit(Instr { op, rs1: rs, ..Instr::nop() });
+                b.emit(Instr {
+                    op,
+                    rs1: rs,
+                    ..Instr::nop()
+                });
             }
             Opcode::Print => {
                 nops(1)?;
@@ -476,7 +499,13 @@ fn parse_instruction(b: &mut ProgramBuilder, code: &str, line: usize) -> Result<
                 nops(2)?;
                 let (rd, v) = (reg(ops[0])?, imm(ops[1])?);
                 let rs1 = if op == Opcode::Lih { rd } else { Reg::ZERO };
-                b.emit(Instr { op, rd, rs1, rs2: Reg::ZERO, imm: v });
+                b.emit(Instr {
+                    op,
+                    rd,
+                    rs1,
+                    rs2: Reg::ZERO,
+                    imm: v,
+                });
             } else if op.uses_imm() {
                 nops(3)?;
                 let (rd, rs1, v) = (reg(ops[0])?, reg(ops[1])?, imm(ops[2])?);
@@ -499,7 +528,10 @@ fn label_ref(b: &mut ProgramBuilder, s: &str, line: usize) -> Result<crate::Labe
     if is_ident(s) {
         Ok(b.label(s))
     } else {
-        Err(AsmError { line, message: format!("bad label `{s}`") })
+        Err(AsmError {
+            line,
+            message: format!("bad label `{s}`"),
+        })
     }
 }
 

@@ -31,7 +31,10 @@ impl fmt::Display for BuildError {
         match self {
             BuildError::UnboundLabel(n) => write!(f, "label `{n}` was never bound"),
             BuildError::ImmOverflow { instr_index, value } => {
-                write!(f, "value {value} at instruction {instr_index} overflows the immediate field")
+                write!(
+                    f,
+                    "value {value} at instruction {instr_index} overflows the immediate field"
+                )
             }
         }
     }
@@ -335,12 +338,21 @@ impl ProgramBuilder {
         self.emit(Instr::rri(Opcode::Li, rd, Reg::ZERO, lo));
         // `lih` keeps rd's low half and overwrites the high half; rs1 is
         // canonicalised to rd so dependence tracking sees the read.
-        self.emit(Instr { op: Opcode::Lih, rd, rs1: rd, rs2: Reg::ZERO, imm: hi })
+        self.emit(Instr {
+            op: Opcode::Lih,
+            rd,
+            rs1: rd,
+            rs2: Reg::ZERO,
+            imm: hi,
+        })
     }
 
     /// Loads the address of a label (`la`).
     pub fn la(&mut self, rd: Reg, label: Label) -> &mut Self {
-        self.emit_fixup(Instr::rri(Opcode::Li, rd, Reg::ZERO, 0), Fixup::Absolute(label))
+        self.emit_fixup(
+            Instr::rri(Opcode::Li, rd, Reg::ZERO, 0),
+            Fixup::Absolute(label),
+        )
     }
 
     // -- memory ---------------------------------------------------------------
@@ -402,31 +414,52 @@ impl ProgramBuilder {
 
     /// Branch to `target` if `rs1 == rs2`.
     pub fn beq(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
-        self.emit_fixup(Instr::branch(Opcode::Beq, rs1, rs2, 0), Fixup::PcRelative(target))
+        self.emit_fixup(
+            Instr::branch(Opcode::Beq, rs1, rs2, 0),
+            Fixup::PcRelative(target),
+        )
     }
     /// Branch to `target` if `rs1 != rs2`.
     pub fn bne(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
-        self.emit_fixup(Instr::branch(Opcode::Bne, rs1, rs2, 0), Fixup::PcRelative(target))
+        self.emit_fixup(
+            Instr::branch(Opcode::Bne, rs1, rs2, 0),
+            Fixup::PcRelative(target),
+        )
     }
     /// Branch to `target` if `rs1 < rs2` (signed).
     pub fn blt(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
-        self.emit_fixup(Instr::branch(Opcode::Blt, rs1, rs2, 0), Fixup::PcRelative(target))
+        self.emit_fixup(
+            Instr::branch(Opcode::Blt, rs1, rs2, 0),
+            Fixup::PcRelative(target),
+        )
     }
     /// Branch to `target` if `rs1 >= rs2` (signed).
     pub fn bge(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
-        self.emit_fixup(Instr::branch(Opcode::Bge, rs1, rs2, 0), Fixup::PcRelative(target))
+        self.emit_fixup(
+            Instr::branch(Opcode::Bge, rs1, rs2, 0),
+            Fixup::PcRelative(target),
+        )
     }
     /// Branch to `target` if `rs1 < rs2` (unsigned).
     pub fn bltu(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
-        self.emit_fixup(Instr::branch(Opcode::Bltu, rs1, rs2, 0), Fixup::PcRelative(target))
+        self.emit_fixup(
+            Instr::branch(Opcode::Bltu, rs1, rs2, 0),
+            Fixup::PcRelative(target),
+        )
     }
     /// Branch to `target` if `rs1 >= rs2` (unsigned).
     pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
-        self.emit_fixup(Instr::branch(Opcode::Bgeu, rs1, rs2, 0), Fixup::PcRelative(target))
+        self.emit_fixup(
+            Instr::branch(Opcode::Bgeu, rs1, rs2, 0),
+            Fixup::PcRelative(target),
+        )
     }
     /// `rd = pc + 8; pc = target`
     pub fn jal(&mut self, rd: Reg, target: Label) -> &mut Self {
-        self.emit_fixup(Instr::rri(Opcode::Jal, rd, Reg::ZERO, 0), Fixup::PcRelative(target))
+        self.emit_fixup(
+            Instr::rri(Opcode::Jal, rd, Reg::ZERO, 0),
+            Fixup::PcRelative(target),
+        )
     }
     /// `rd = pc + 8; pc = rs1 + imm`
     pub fn jalr(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
@@ -464,12 +497,20 @@ impl ProgramBuilder {
 
     /// Stops the machine; the exit code is read from `x10` (`a0`).
     pub fn halt(&mut self) -> &mut Self {
-        self.emit(Instr { op: Opcode::Halt, rs1: Reg::x(10), ..Instr::nop() })
+        self.emit(Instr {
+            op: Opcode::Halt,
+            rs1: Reg::x(10),
+            ..Instr::nop()
+        })
     }
 
     /// Appends `rs1` to the machine output log.
     pub fn print(&mut self, rs1: Reg) -> &mut Self {
-        self.emit(Instr { op: Opcode::Print, rs1, ..Instr::nop() })
+        self.emit(Instr {
+            op: Opcode::Print,
+            rs1,
+            ..Instr::nop()
+        })
     }
 
     /// Emits a no-op.
@@ -566,7 +607,10 @@ impl ProgramBuilder {
                 Fixup::Absolute(l) => self.label_address(l)? as i64,
             };
             if i32::try_from(value).is_err() {
-                return Err(BuildError::ImmOverflow { instr_index: idx, value });
+                return Err(BuildError::ImmOverflow {
+                    instr_index: idx,
+                    value,
+                });
             }
             self.text[idx].imm = value;
         }
@@ -580,7 +624,9 @@ impl ProgramBuilder {
                 symbols.insert(name.clone(), addr);
             }
         }
-        Ok(Program::new(self.text, TEXT_BASE, self.data, DATA_BASE, entry, symbols))
+        Ok(Program::new(
+            self.text, TEXT_BASE, self.data, DATA_BASE, entry, symbols,
+        ))
     }
 }
 

@@ -126,11 +126,18 @@ mod tests {
     fn system_forms() {
         assert_eq!(disassemble(&Instr::nop()), "nop");
         assert_eq!(
-            disassemble(&Instr { op: Opcode::Halt, ..Instr::nop() }),
+            disassemble(&Instr {
+                op: Opcode::Halt,
+                ..Instr::nop()
+            }),
             "halt x0"
         );
         assert_eq!(
-            disassemble(&Instr { op: Opcode::Print, rs1: Reg::x(10), ..Instr::nop() }),
+            disassemble(&Instr {
+                op: Opcode::Print,
+                rs1: Reg::x(10),
+                ..Instr::nop()
+            }),
             "print x10"
         );
     }

@@ -85,7 +85,14 @@ pub fn decode(word: u64) -> Result<Instr, DecodeError> {
     let rs1 = reg((word >> 16) as u8)?;
     let rs2 = reg((word >> 24) as u8)?;
     let imm = (word >> 32) as u32 as i32 as i64;
-    Ok(Instr { op, rd, rs1, rs2, imm }.canonical())
+    Ok(Instr {
+        op,
+        rd,
+        rs1,
+        rs2,
+        imm,
+    }
+    .canonical())
 }
 
 /// Encodes a full text segment into bytes (little-endian words).
@@ -111,7 +118,10 @@ pub fn encode_text(text: &[Instr]) -> Result<Vec<u8>, (usize, EncodeError)> {
 /// bytes that do not fill a word are an error at index `len / 8`.
 pub fn decode_text(bytes: &[u8]) -> Result<Vec<Instr>, (usize, DecodeError)> {
     if !bytes.len().is_multiple_of(Instr::SIZE as usize) {
-        return Err((bytes.len() / Instr::SIZE as usize, DecodeError::BadOpcode(0)));
+        return Err((
+            bytes.len() / Instr::SIZE as usize,
+            DecodeError::BadOpcode(0),
+        ));
     }
     bytes
         .chunks_exact(Instr::SIZE as usize)
@@ -171,8 +181,20 @@ mod tests {
 
     #[test]
     fn canonicalisation_makes_encoding_unique() {
-        let a = Instr { op: Opcode::Jal, rd: Reg::x(1), rs1: Reg::x(7), rs2: Reg::x(8), imm: 32 };
-        let b = Instr { op: Opcode::Jal, rd: Reg::x(1), rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 32 };
+        let a = Instr {
+            op: Opcode::Jal,
+            rd: Reg::x(1),
+            rs1: Reg::x(7),
+            rs2: Reg::x(8),
+            imm: 32,
+        };
+        let b = Instr {
+            op: Opcode::Jal,
+            rd: Reg::x(1),
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            imm: 32,
+        };
         assert_eq!(encode(&a).unwrap(), encode(&b).unwrap());
     }
 
@@ -199,7 +221,14 @@ mod tests {
     #[test]
     fn every_opcode_round_trips() {
         for &op in Opcode::ALL {
-            let i = Instr { op, rd: Reg::x(1), rs1: Reg::x(2), rs2: Reg::x(3), imm: 12 }.canonical();
+            let i = Instr {
+                op,
+                rd: Reg::x(1),
+                rs1: Reg::x(2),
+                rs2: Reg::x(3),
+                imm: 12,
+            }
+            .canonical();
             let back = decode(encode(&i).unwrap()).unwrap();
             assert_eq!(back, i, "opcode {op}");
         }

@@ -44,32 +44,68 @@ impl Instr {
 
     /// Register-register-register form (`add rd, rs1, rs2`).
     pub const fn rrr(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg) -> Instr {
-        Instr { op, rd, rs1, rs2, imm: 0 }
+        Instr {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        }
     }
 
     /// Register-register-immediate form (`addi rd, rs1, imm`).
     pub const fn rri(op: Opcode, rd: Reg, rs1: Reg, imm: i64) -> Instr {
-        Instr { op, rd, rs1, rs2: Reg::ZERO, imm }
+        Instr {
+            op,
+            rd,
+            rs1,
+            rs2: Reg::ZERO,
+            imm,
+        }
     }
 
     /// Load form (`lw rd, imm(rs1)`).
     pub const fn load(op: Opcode, rd: Reg, base: Reg, imm: i64) -> Instr {
-        Instr { op, rd, rs1: base, rs2: Reg::ZERO, imm }
+        Instr {
+            op,
+            rd,
+            rs1: base,
+            rs2: Reg::ZERO,
+            imm,
+        }
     }
 
     /// Store form (`sw rs2, imm(rs1)`).
     pub const fn store(op: Opcode, data: Reg, base: Reg, imm: i64) -> Instr {
-        Instr { op, rd: Reg::ZERO, rs1: base, rs2: data, imm }
+        Instr {
+            op,
+            rd: Reg::ZERO,
+            rs1: base,
+            rs2: data,
+            imm,
+        }
     }
 
     /// Branch form (`beq rs1, rs2, imm`).
     pub const fn branch(op: Opcode, rs1: Reg, rs2: Reg, imm: i64) -> Instr {
-        Instr { op, rd: Reg::ZERO, rs1, rs2, imm }
+        Instr {
+            op,
+            rd: Reg::ZERO,
+            rs1,
+            rs2,
+            imm,
+        }
     }
 
     /// A canonical no-op.
     pub const fn nop() -> Instr {
-        Instr { op: Opcode::Nop, rd: Reg::ZERO, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 0 }
+        Instr {
+            op: Opcode::Nop,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            imm: 0,
+        }
     }
 
     /// Destination register if the opcode writes one and it is not `x0`.
@@ -83,8 +119,16 @@ impl Instr {
 
     /// Source registers actually read by this instruction.
     pub fn sources(&self) -> impl Iterator<Item = Reg> {
-        let s1 = if self.op.reads_rs1() { Some(self.rs1) } else { None };
-        let s2 = if self.op.reads_rs2() { Some(self.rs2) } else { None };
+        let s1 = if self.op.reads_rs1() {
+            Some(self.rs1)
+        } else {
+            None
+        };
+        let s2 = if self.op.reads_rs2() {
+            Some(self.rs2)
+        } else {
+            None
+        };
         s1.into_iter().chain(s2)
     }
 
@@ -150,7 +194,13 @@ mod tests {
 
     #[test]
     fn canonical_zeroes_unused_fields() {
-        let messy = Instr { op: Opcode::Jal, rd: Reg::x(1), rs1: Reg::x(9), rs2: Reg::x(9), imm: 16 };
+        let messy = Instr {
+            op: Opcode::Jal,
+            rd: Reg::x(1),
+            rs1: Reg::x(9),
+            rs2: Reg::x(9),
+            imm: 16,
+        };
         let c = messy.canonical();
         assert_eq!(c.rs1, Reg::ZERO);
         assert_eq!(c.rs2, Reg::ZERO);

@@ -57,17 +57,34 @@ impl Program {
         let text_end = text_base + text.len() as u64 * Instr::SIZE;
         let data_end = data_base + data.len() as u64;
         let disjoint = text_end <= data_base || data_end <= text_base;
-        assert!(disjoint || text.is_empty() || data.is_empty(), "text and data segments overlap");
+        assert!(
+            disjoint || text.is_empty() || data.is_empty(),
+            "text and data segments overlap"
+        );
         assert!(
             entry >= text_base && entry < text_end.max(text_base + Instr::SIZE),
             "entry point {entry:#x} outside text segment"
         );
-        Program { text, text_base, data, data_base, entry, symbols }
+        Program {
+            text,
+            text_base,
+            data,
+            data_base,
+            entry,
+            symbols,
+        }
     }
 
     /// Wraps a bare instruction sequence at the default bases.
     pub fn from_text(text: Vec<Instr>) -> Program {
-        Program::new(text, TEXT_BASE, Vec::new(), DATA_BASE, TEXT_BASE, BTreeMap::new())
+        Program::new(
+            text,
+            TEXT_BASE,
+            Vec::new(),
+            DATA_BASE,
+            TEXT_BASE,
+            BTreeMap::new(),
+        )
     }
 
     /// The instruction sequence.
@@ -118,7 +135,8 @@ impl Program {
         if addr < self.text_base || !(addr - self.text_base).is_multiple_of(Instr::SIZE) {
             return None;
         }
-        self.text.get(((addr - self.text_base) / Instr::SIZE) as usize)
+        self.text
+            .get(((addr - self.text_base) / Instr::SIZE) as usize)
     }
 
     /// Number of static instructions.
@@ -150,7 +168,10 @@ mod tests {
     fn two_instr_program() -> Program {
         Program::from_text(vec![
             Instr::rri(Opcode::Li, Reg::x(1), Reg::ZERO, 1),
-            Instr { op: Opcode::Halt, ..Instr::nop() },
+            Instr {
+                op: Opcode::Halt,
+                ..Instr::nop()
+            },
         ])
     }
 
@@ -189,7 +210,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "entry point")]
     fn entry_outside_text_panics() {
-        Program::new(vec![Instr::nop()], 0x1000, Vec::new(), 0x2000, 0x4000, BTreeMap::new());
+        Program::new(
+            vec![Instr::nop()],
+            0x1000,
+            Vec::new(),
+            0x2000,
+            0x4000,
+            BTreeMap::new(),
+        );
     }
 
     #[test]

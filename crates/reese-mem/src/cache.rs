@@ -41,15 +41,27 @@ impl CacheConfig {
         assoc: u64,
         hit_latency: u32,
     ) -> CacheConfig {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(assoc > 0, "associativity must be positive");
         assert!(
             size_bytes.is_multiple_of(line_bytes * assoc) && size_bytes > 0,
             "size must be a positive multiple of line * assoc"
         );
         let sets = size_bytes / (line_bytes * assoc);
-        assert!(sets.is_power_of_two(), "number of sets must be a power of two");
-        CacheConfig { name, size_bytes, line_bytes, assoc, hit_latency }
+        assert!(
+            sets.is_power_of_two(),
+            "number of sets must be a power of two"
+        );
+        CacheConfig {
+            name,
+            size_bytes,
+            line_bytes,
+            assoc,
+            hit_latency,
+        }
     }
 
     /// Number of sets.
@@ -131,7 +143,12 @@ impl Cache {
     /// Creates an empty (all-invalid) cache.
     pub fn new(config: CacheConfig) -> Cache {
         let sets = vec![vec![Line::default(); config.assoc as usize]; config.num_sets() as usize];
-        Cache { config, sets, stats: CacheStats::default(), tick: 0 }
+        Cache {
+            config,
+            sets,
+            stats: CacheStats::default(),
+            tick: 0,
+        }
     }
 
     /// The cache's configuration.
@@ -170,7 +187,10 @@ impl Cache {
                 line.dirty = true;
             }
             self.stats.hits += 1;
-            return AccessResult { hit: true, writeback: None };
+            return AccessResult {
+                hit: true,
+                writeback: None,
+            };
         }
 
         self.stats.misses += 1;
@@ -189,9 +209,16 @@ impl Cache {
         } else {
             None
         };
-        set[victim_idx] =
-            Line { tag, valid: true, dirty: kind == AccessKind::Write, lru: self.tick };
-        AccessResult { hit: false, writeback }
+        set[victim_idx] = Line {
+            tag,
+            valid: true,
+            dirty: kind == AccessKind::Write,
+            lru: self.tick,
+        };
+        AccessResult {
+            hit: false,
+            writeback,
+        }
     }
 
     /// Whether `addr` currently hits, without disturbing any state.

@@ -125,7 +125,11 @@ impl MemHierarchy {
     /// One data access (`is_write` selects load vs store), returning its
     /// total latency in cycles.
     pub fn access_data(&mut self, addr: u64, is_write: bool) -> u32 {
-        let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+        let kind = if is_write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
         let mut latency = self.dtlb.access(addr);
         let r1 = self.l1d.access(addr, kind);
         latency += self.l1d.config().hit_latency;
@@ -230,8 +234,8 @@ mod tests {
         h.access_data(0, false);
         h.access_data(stride, false);
         h.access_data(2 * stride, false); // evicts line 0 from L1
-        // Line 0: dtlb hit (same pages already walked? different page —
-        // 16 KiB stride crosses pages, so allow tlb hit or miss; probe L1 only)
+                                          // Line 0: dtlb hit (same pages already walked? different page —
+                                          // 16 KiB stride crosses pages, so allow tlb hit or miss; probe L1 only)
         assert!(!h.probe_data(0));
         let lat = h.access_data(0, false);
         // l1 miss (2) + l2 hit (12), plus possibly a dtlb hit (0).
@@ -252,7 +256,7 @@ mod tests {
     fn shared_l2_between_inst_and_data() {
         let mut h = paper();
         h.access_inst(0x9000); // brings line into L2 (and L1I)
-        // Data access to the same line: L1D misses, L2 hits.
+                               // Data access to the same line: L1D misses, L2 hits.
         let lat = h.access_data(0x9000, false);
         assert_eq!(lat, 30 + 2 + 12); // dtlb cold + l1d miss + l2 hit
     }
@@ -276,7 +280,10 @@ mod tests {
             lat_plain += u64::from(plain.access_data(addr, false));
             lat_pf += u64::from(pf.access_data(addr, false));
         }
-        assert!(lat_pf < lat_plain, "prefetching must help a sequential stream");
+        assert!(
+            lat_pf < lat_plain,
+            "prefetching must help a sequential stream"
+        );
         assert!(pf.prefetches_issued() > 0);
         assert_eq!(plain.prefetches_issued(), 0);
     }
@@ -286,7 +293,11 @@ mod tests {
         let mut h = MemHierarchy::new(HierarchyConfig::paper().with_next_line_prefetch());
         h.access_data(0x9000, false); // miss, prefetches 0x9020
         assert!(h.probe_data(0x9020), "next line resident");
-        assert_eq!(h.access_data(0x9020, false), 2, "prefetched line is an L1 hit");
+        assert_eq!(
+            h.access_data(0x9020, false),
+            2,
+            "prefetched line is an L1 hit"
+        );
     }
 
     #[test]

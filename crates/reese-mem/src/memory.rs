@@ -171,7 +171,12 @@ mod tests {
     #[test]
     fn widths_round_trip() {
         let mut m = Memory::new();
-        for (w, v) in [(1, 0xAB), (2, 0xABCD), (4, 0xABCD_EF01), (8, 0xABCD_EF01_2345_6789)] {
+        for (w, v) in [
+            (1, 0xAB),
+            (2, 0xABCD),
+            (4, 0xABCD_EF01),
+            (8, 0xABCD_EF01_2345_6789),
+        ] {
             m.write_uint(0x2000, w, v);
             assert_eq!(m.read_uint(0x2000, w), v);
         }

@@ -38,7 +38,13 @@ impl MemPorts {
     /// Panics if `total` is zero.
     pub fn new(total: u32) -> MemPorts {
         assert!(total > 0, "need at least one memory port");
-        MemPorts { total, used: 0, busy_cycles: 0, acquired_total: 0, cycles: 0 }
+        MemPorts {
+            total,
+            used: 0,
+            busy_cycles: 0,
+            acquired_total: 0,
+            cycles: 0,
+        }
     }
 
     /// Starts a new cycle, releasing all ports.

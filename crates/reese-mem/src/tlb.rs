@@ -19,10 +19,23 @@ impl TlbConfig {
     /// # Panics
     ///
     /// Panics if `entries` is zero or `page_bytes` is not a power of two.
-    pub fn new(name: &'static str, entries: usize, page_bytes: u64, miss_latency: u32) -> TlbConfig {
+    pub fn new(
+        name: &'static str,
+        entries: usize,
+        page_bytes: u64,
+        miss_latency: u32,
+    ) -> TlbConfig {
         assert!(entries > 0, "TLB needs at least one entry");
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
-        TlbConfig { name, entries, page_bytes, miss_latency }
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        TlbConfig {
+            name,
+            entries,
+            page_bytes,
+            miss_latency,
+        }
     }
 }
 
@@ -54,7 +67,13 @@ pub struct Tlb {
 impl Tlb {
     /// Creates an empty TLB.
     pub fn new(config: TlbConfig) -> Tlb {
-        Tlb { entries: Vec::with_capacity(config.entries), config, tick: 0, hits: 0, misses: 0 }
+        Tlb {
+            entries: Vec::with_capacity(config.entries),
+            config,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Looks up `addr`, returning the extra latency (0 on a hit, the

@@ -1,8 +1,9 @@
 //! The cache against a transparent reference model: an associativity-
-//! respecting LRU simulator written the slow, obvious way.
+//! respecting LRU simulator written the slow, obvious way, driven by
+//! seeded random access streams.
 
-use proptest::prelude::*;
 use reese_mem::{AccessKind, Cache, CacheConfig, Memory};
+use reese_stats::SplitMix64;
 use std::collections::VecDeque;
 
 /// The obviously correct reference: per set, an LRU-ordered list of
@@ -47,36 +48,46 @@ impl RefCache {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every access sequence produces identical hit/miss/writeback
-    /// behaviour in the real cache and the reference model.
-    #[test]
-    fn cache_matches_reference(
-        accesses in prop::collection::vec((0u64..4096, any::<bool>()), 1..400),
-        assoc in prop::sample::select(vec![1u64, 2, 4]),
-    ) {
+/// Every access sequence produces identical hit/miss/writeback
+/// behaviour in the real cache and the reference model.
+#[test]
+fn cache_matches_reference() {
+    let mut rng = SplitMix64::new(20);
+    for case in 0..64 {
+        let assoc = [1u64, 2, 4][case % 3];
+        let len = 1 + rng.index(399);
+        let accesses: Vec<(u64, bool)> = (0..len)
+            .map(|_| (rng.range_u64(0, 4096), rng.chance(0.5)))
+            .collect();
         let cfg = CacheConfig::new("t", 16 * assoc * 32, 32, assoc, 1);
         let mut real = Cache::new(cfg.clone());
         let mut reference = RefCache::new(&cfg);
         for &(addr, write) in &accesses {
-            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            let kind = if write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             let got = real.access(addr, kind);
             let (hit, wb) = reference.access(addr, write);
-            prop_assert_eq!(got.hit, hit, "hit/miss diverged at addr {:#x}", addr);
-            prop_assert_eq!(got.writeback, wb, "writeback diverged at addr {:#x}", addr);
+            assert_eq!(got.hit, hit, "hit/miss diverged at addr {addr:#x}");
+            assert_eq!(got.writeback, wb, "writeback diverged at addr {addr:#x}");
         }
         let s = real.stats();
-        prop_assert_eq!(s.accesses, accesses.len() as u64);
-        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        assert_eq!(s.accesses, accesses.len() as u64);
+        assert_eq!(s.hits + s.misses, s.accesses);
     }
+}
 
-    /// Memory reads always return the most recent write to each byte.
-    #[test]
-    fn memory_is_a_flat_byte_store(
-        writes in prop::collection::vec((0u64..100_000, any::<u8>()), 1..200),
-    ) {
+/// Memory reads always return the most recent write to each byte.
+#[test]
+fn memory_is_a_flat_byte_store() {
+    let mut rng = SplitMix64::new(21);
+    for _ in 0..64 {
+        let len = 1 + rng.index(199);
+        let writes: Vec<(u64, u8)> = (0..len)
+            .map(|_| (rng.range_u64(0, 100_000), rng.next_u64() as u8))
+            .collect();
         let mut mem = Memory::new();
         let mut model = std::collections::HashMap::new();
         for &(addr, value) in &writes {
@@ -84,20 +95,25 @@ proptest! {
             model.insert(addr, value);
         }
         for (&addr, &value) in &model {
-            prop_assert_eq!(mem.read_u8(addr), value);
+            assert_eq!(mem.read_u8(addr), value);
         }
     }
+}
 
-    /// Multi-byte accesses agree with byte-by-byte little-endian
-    /// composition, including across page boundaries.
-    #[test]
-    fn wide_accesses_compose_from_bytes(addr in 0u64..20_000, value in any::<u64>()) {
+/// Multi-byte accesses agree with byte-by-byte little-endian
+/// composition, including across page boundaries.
+#[test]
+fn wide_accesses_compose_from_bytes() {
+    let mut rng = SplitMix64::new(22);
+    for _ in 0..256 {
+        let addr = rng.range_u64(0, 20_000);
+        let value = rng.next_u64();
         let mut mem = Memory::new();
         mem.write_u64(addr, value);
         let mut composed = 0u64;
         for i in (0..8).rev() {
             composed = (composed << 8) | u64::from(mem.read_u8(addr + i));
         }
-        prop_assert_eq!(composed, value);
+        assert_eq!(composed, value);
     }
 }

@@ -27,7 +27,13 @@ impl FuCounts {
     /// Table 1 of the paper: 4 IntALU, 1 IntMul/Div, 4 FPALU,
     /// 1 FPMul/Div, 2 memory ports.
     pub fn paper() -> FuCounts {
-        FuCounts { int_alu: 4, int_muldiv: 1, fp_alu: 4, fp_muldiv: 1, mem_ports: 2 }
+        FuCounts {
+            int_alu: 4,
+            int_muldiv: 1,
+            fp_alu: 4,
+            fp_muldiv: 1,
+            mem_ports: 2,
+        }
     }
 
     /// The count for one class.
@@ -159,7 +165,10 @@ impl PipelineConfig {
         assert!(self.fetch_queue_size > 0, "fetch queue must be non-empty");
         assert!(self.ruu_size > 0, "RUU must be non-empty");
         assert!(self.lsq_size > 0, "LSQ must be non-empty");
-        assert!(self.lsq_size <= self.ruu_size, "LSQ larger than RUU makes no sense");
+        assert!(
+            self.lsq_size <= self.ruu_size,
+            "LSQ larger than RUU makes no sense"
+        );
         for class in FuClass::ALL {
             assert!(self.fu.count(class) > 0, "need at least one {class} unit");
         }
@@ -210,7 +219,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "LSQ larger than RUU")]
     fn oversized_lsq_rejected() {
-        PipelineConfig::starting().with_ruu(8).with_lsq(16).validate();
+        PipelineConfig::starting()
+            .with_ruu(8)
+            .with_lsq(16)
+            .validate();
     }
 
     #[test]

@@ -109,7 +109,10 @@ mod tests {
 
     #[test]
     fn classification() {
-        assert_eq!(make(Instr::rrr(Opcode::Mul, T0, T1, T2)).fu_class(), FuClass::IntMulDiv);
+        assert_eq!(
+            make(Instr::rrr(Opcode::Mul, T0, T1, T2)).fu_class(),
+            FuClass::IntMulDiv
+        );
         assert!(make(Instr::load(Opcode::Ld, T0, SP, 0)).is_mem());
         assert!(!make(Instr::load(Opcode::Ld, T0, SP, 0)).is_store());
         assert!(make(Instr::store(Opcode::Sd, T0, SP, 0)).is_store());

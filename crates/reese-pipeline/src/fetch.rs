@@ -247,7 +247,8 @@ impl FetchUnit {
             self.branch.resolve_branch(info.pc, predicted, info.taken);
         }
         if let Some(predicted) = fetched.pred.predicted_target {
-            self.branch.resolve_indirect(info.pc, predicted, info.next_pc);
+            self.branch
+                .resolve_indirect(info.pc, predicted, info.next_pc);
         }
         if self.blocked_on == Some(fetched.seq) {
             self.blocked_on = None;
@@ -262,7 +263,10 @@ impl FetchUnit {
     ///
     /// Panics if `n` exceeds the delivered-but-uncommitted count.
     pub fn on_commit(&mut self, n: usize) {
-        assert!(n <= self.cursor, "committing instructions that were never delivered");
+        assert!(
+            n <= self.cursor,
+            "committing instructions that were never delivered"
+        );
         self.buffer.drain(..n);
         self.base_seq += n as Seq;
         self.cursor -= n;
@@ -471,7 +475,11 @@ mod tests {
             }
         }
         assert!(f.error().is_some());
-        assert_eq!(all.len(), 2, "li and jalr only; the wild target is unfetchable");
+        assert_eq!(
+            all.len(),
+            2,
+            "li and jalr only; the wild target is unfetchable"
+        );
     }
 
     #[test]
@@ -486,7 +494,10 @@ mod tests {
         let all = drain(&mut f, &mut h);
         assert_eq!(all.len(), 3);
         // The `ret` should have been RAS-predicted, not a mispredict.
-        let ret = all.iter().find(|x| x.info.instr.op == Opcode::Jalr).unwrap();
+        let ret = all
+            .iter()
+            .find(|x| x.info.instr.op == Opcode::Jalr)
+            .unwrap();
         assert!(!ret.pred.mispredicted, "RAS must predict the return");
     }
 }

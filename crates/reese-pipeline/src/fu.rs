@@ -58,7 +58,11 @@ fn class_index(class: FuClass) -> usize {
 impl FuPool {
     /// Creates a pool with the given per-class counts.
     pub fn new(counts: FuCounts) -> FuPool {
-        let make = |n: u32| ClassPool { next_free: vec![0; n as usize], issued: 0, busy_cycles: 0 };
+        let make = |n: u32| ClassPool {
+            next_free: vec![0; n as usize],
+            issued: 0,
+            busy_cycles: 0,
+        };
         FuPool {
             classes: [
                 make(counts.int_alu),
@@ -125,8 +129,7 @@ impl FuPool {
     /// Debug-panics if `op` is not a memory operation.
     pub fn try_issue_mem(&mut self, op: Opcode, now: u64) -> bool {
         debug_assert_eq!(op.fu_class(), FuClass::MemPort, "{op} is not a memory op");
-        if self.free_units(FuClass::IntAlu, now) == 0
-            || self.free_units(FuClass::MemPort, now) == 0
+        if self.free_units(FuClass::IntAlu, now) == 0 || self.free_units(FuClass::MemPort, now) == 0
         {
             return false;
         }
@@ -138,7 +141,11 @@ impl FuPool {
 
     /// Number of units of `class` free at cycle `now`.
     pub fn free_units(&self, class: FuClass, now: u64) -> u32 {
-        self.classes[class_index(class)].next_free.iter().filter(|f| **f <= now).count() as u32
+        self.classes[class_index(class)]
+            .next_free
+            .iter()
+            .filter(|f| **f <= now)
+            .count() as u32
     }
 
     /// Operations issued to `class` so far.
@@ -181,9 +188,15 @@ mod tests {
 
     #[test]
     fn pipelined_units_accept_every_cycle() {
-        let mut p = FuPool::new(FuCounts { int_alu: 1, ..FuCounts::paper() });
+        let mut p = FuPool::new(FuCounts {
+            int_alu: 1,
+            ..FuCounts::paper()
+        });
         assert!(p.try_issue(Opcode::Add, 0));
-        assert!(!p.try_issue(Opcode::Add, 0), "one unit, one issue per cycle");
+        assert!(
+            !p.try_issue(Opcode::Add, 0),
+            "one unit, one issue per cycle"
+        );
         assert!(p.try_issue(Opcode::Add, 1), "pipelined: free next cycle");
     }
 
@@ -206,7 +219,11 @@ mod tests {
 
     #[test]
     fn classes_do_not_interfere() {
-        let mut p = FuPool::new(FuCounts { int_alu: 1, int_muldiv: 1, ..FuCounts::paper() });
+        let mut p = FuPool::new(FuCounts {
+            int_alu: 1,
+            int_muldiv: 1,
+            ..FuCounts::paper()
+        });
         assert!(p.try_issue(Opcode::Add, 0));
         assert!(p.try_issue(Opcode::Mul, 0));
         assert!(p.try_issue(Opcode::Ld, 0));
@@ -225,7 +242,10 @@ mod tests {
 
     #[test]
     fn utilisation_accounting() {
-        let mut p = FuPool::new(FuCounts { int_alu: 2, ..FuCounts::paper() });
+        let mut p = FuPool::new(FuCounts {
+            int_alu: 2,
+            ..FuCounts::paper()
+        });
         p.try_issue(Opcode::Add, 0);
         p.try_issue(Opcode::Add, 0);
         p.try_issue(Opcode::Add, 1);
@@ -244,7 +264,10 @@ mod tests {
 
     #[test]
     fn mem_port_occupied_one_cycle() {
-        let mut p = FuPool::new(FuCounts { mem_ports: 1, ..FuCounts::paper() });
+        let mut p = FuPool::new(FuCounts {
+            mem_ports: 1,
+            ..FuCounts::paper()
+        });
         assert!(p.try_issue(Opcode::Ld, 0));
         assert!(!p.try_issue(Opcode::Sd, 0));
         assert!(p.try_issue(Opcode::Sd, 1));

@@ -38,7 +38,7 @@ mod stats;
 
 pub use config::{FuCounts, PipelineConfig};
 pub use dyninst::{DynInst, PredictionInfo, Seq};
-pub use fetch::{Fetched, FetchUnit};
+pub use fetch::{FetchUnit, Fetched};
 pub use fu::FuPool;
 pub use lsq::{LoadPlan, Lsq};
 pub use ruu::Ruu;

@@ -70,7 +70,10 @@ impl Lsq {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Lsq {
         assert!(capacity > 0, "LSQ capacity must be positive");
-        Lsq { entries: VecDeque::with_capacity(capacity), capacity }
+        Lsq {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Occupied entries.
@@ -103,7 +106,13 @@ impl Lsq {
         if let Some(back) = self.entries.back() {
             assert!(seq > back.seq, "LSQ insert must follow program order");
         }
-        self.entries.push_back(LsqEntry { seq, addr, len, is_store, executed: false });
+        self.entries.push_back(LsqEntry {
+            seq,
+            addr,
+            len,
+            is_store,
+            executed: false,
+        });
     }
 
     /// Marks a memory instruction as executed (address + data done).

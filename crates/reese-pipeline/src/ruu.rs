@@ -132,7 +132,9 @@ impl Ruu {
     ///
     /// Panics if `seq` is not in flight.
     pub fn complete(&mut self, seq: Seq) {
-        let idx = self.index_of(seq).expect("completing an instruction not in the RUU");
+        let idx = self
+            .index_of(seq)
+            .expect("completing an instruction not in the RUU");
         self.entries[idx].completed = true;
         let consumers = std::mem::take(&mut self.entries[idx].consumers);
         for c in consumers {
@@ -243,8 +245,8 @@ mod tests {
         dispatch_chain(
             &mut ruu,
             &[
-                Instr::rri(Opcode::Li, T0, ZERO, 1),  // seq 0 writes t0
-                Instr::rri(Opcode::Li, T0, ZERO, 2),  // seq 1 rewrites t0
+                Instr::rri(Opcode::Li, T0, ZERO, 1),   // seq 0 writes t0
+                Instr::rri(Opcode::Li, T0, ZERO, 2),   // seq 1 rewrites t0
                 Instr::rrr(Opcode::Add, T1, T0, ZERO), // seq 2 must depend on seq 1 only
             ],
         );
@@ -273,7 +275,10 @@ mod tests {
         let mut ruu = Ruu::new(8);
         dispatch_chain(
             &mut ruu,
-            &[Instr::rri(Opcode::Li, T0, ZERO, 1), Instr::rri(Opcode::Li, T1, ZERO, 2)],
+            &[
+                Instr::rri(Opcode::Li, T0, ZERO, 1),
+                Instr::rri(Opcode::Li, T1, ZERO, 2),
+            ],
         );
         ruu.complete(0);
         let e = ruu.pop_head();
@@ -296,7 +301,10 @@ mod tests {
         let mut ruu = Ruu::new(1);
         dispatch_chain(
             &mut ruu,
-            &[Instr::rri(Opcode::Li, T0, ZERO, 1), Instr::rri(Opcode::Li, T1, ZERO, 2)],
+            &[
+                Instr::rri(Opcode::Li, T0, ZERO, 1),
+                Instr::rri(Opcode::Li, T1, ZERO, 2),
+            ],
         );
     }
 
@@ -305,13 +313,20 @@ mod tests {
         let mut ruu = Ruu::new(8);
         dispatch_chain(
             &mut ruu,
-            &[Instr::rri(Opcode::Li, T0, ZERO, 1), Instr::rrr(Opcode::Add, T1, T0, T0)],
+            &[
+                Instr::rri(Opcode::Li, T0, ZERO, 1),
+                Instr::rrr(Opcode::Add, T1, T0, T0),
+            ],
         );
         ruu.flush_all();
         assert!(ruu.is_empty());
         // After a flush, re-dispatch from seq 0 with fresh renaming.
         dispatch_chain(&mut ruu, &[Instr::rrr(Opcode::Add, T2, T0, T1)]);
-        assert_eq!(ruu.get(0).unwrap().pending_deps, 0, "stale renaming must be gone");
+        assert_eq!(
+            ruu.get(0).unwrap().pending_deps,
+            0,
+            "stale renaming must be gone"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The baseline out-of-order superscalar simulator.
 
 use crate::{
-    Fetched, FetchUnit, FuPool, Lsq, LoadPlan, PipelineConfig, PipelineStats, Ruu, SimError,
+    FetchUnit, Fetched, FuPool, LoadPlan, Lsq, PipelineConfig, PipelineStats, Ruu, SimError,
     SimResult, SimStop,
 };
 use reese_isa::{FuClass, Program};
@@ -67,7 +67,11 @@ impl PipelineSim {
     /// # Errors
     ///
     /// See [`PipelineSim::run`].
-    pub fn run_limit(&self, program: &Program, max_instructions: u64) -> Result<SimResult, SimError> {
+    pub fn run_limit(
+        &self,
+        program: &Program,
+        max_instructions: u64,
+    ) -> Result<SimResult, SimError> {
         self.run_region(program, 0, max_instructions)
     }
 
@@ -214,8 +218,13 @@ impl<'c> Machine<'c> {
                 self.lsq.mark_executed(seq);
             }
             if e.is_control() {
-                let fetched = Fetched { seq: e.seq, info: e.info, pred: e.pred };
-                self.fetch.resolve_control(&fetched, self.cycle, self.cfg.mispredict_penalty);
+                let fetched = Fetched {
+                    seq: e.seq,
+                    info: e.info,
+                    pred: e.pred,
+                };
+                self.fetch
+                    .resolve_control(&fetched, self.cycle, self.cfg.mispredict_penalty);
             }
         }
     }
@@ -276,7 +285,9 @@ impl<'c> Machine<'c> {
             return;
         }
         for _ in 0..self.cfg.width {
-            let Some(front) = self.fetchq.front() else { break };
+            let Some(front) = self.fetchq.front() else {
+                break;
+            };
             if self.ruu.is_full() {
                 self.stats.dispatch_stall_ruu_full += 1;
                 break;
@@ -288,7 +299,8 @@ impl<'c> Machine<'c> {
             let f = self.fetchq.pop_front().expect("checked front");
             self.ruu.dispatch(f.seq, f.info, f.pred, self.cycle);
             if let Some(mem) = f.info.mem {
-                self.lsq.insert(f.seq, mem.addr, mem.width.bytes(), mem.is_store);
+                self.lsq
+                    .insert(f.seq, mem.addr, mem.width.bytes(), mem.is_store);
             }
         }
     }
@@ -299,7 +311,9 @@ impl<'c> Machine<'c> {
         if space == 0 {
             return;
         }
-        let batch = self.fetch.fetch_cycle(self.cycle, self.cfg.width, space, &mut self.hierarchy);
+        let batch = self
+            .fetch
+            .fetch_cycle(self.cycle, self.cfg.width, space, &mut self.hierarchy);
         self.fetchq.extend(batch);
     }
 
@@ -324,7 +338,9 @@ mod tests {
 
     fn run(src: &str) -> SimResult {
         let prog = assemble(src).unwrap();
-        PipelineSim::new(PipelineConfig::starting()).run(&prog).unwrap()
+        PipelineSim::new(PipelineConfig::starting())
+            .run(&prog)
+            .unwrap()
     }
 
     #[test]
@@ -340,7 +356,9 @@ mod tests {
         let src = "  li t0, 50\nloop: addi t0, t0, -1\n  bnez t0, loop\n  halt\n";
         let prog = assemble(src).unwrap();
         let emu = Emulator::new(&prog).run(10_000).unwrap();
-        let sim = PipelineSim::new(PipelineConfig::starting()).run(&prog).unwrap();
+        let sim = PipelineSim::new(PipelineConfig::starting())
+            .run(&prog)
+            .unwrap();
         assert_eq!(sim.committed_instructions(), emu.instructions);
         assert_eq!(sim.state_digest, emu.state_digest);
     }
@@ -361,18 +379,20 @@ mod tests {
         }
         src.push_str("  halt\n");
         let r = run(&src);
-        assert!(r.cycles() >= 20, "dependence chain must serialise, got {} cycles", r.cycles());
+        assert!(
+            r.cycles() >= 20,
+            "dependence chain must serialise, got {} cycles",
+            r.cycles()
+        );
     }
 
     #[test]
     fn independent_ops_reach_high_ipc() {
         // A hot loop of independent adds: once the i-cache warms and the
         // loop branch trains, IPC should comfortably exceed 1.5.
-        let r = run(
-            "  li s0, 200\n\
+        let r = run("  li s0, 200\n\
              loop: addi t0, t0, 1\n  addi t1, t1, 1\n  addi t2, t2, 1\n\
-             \n  addi s0, s0, -1\n  bnez s0, loop\n  halt\n",
-        );
+             \n  addi s0, s0, -1\n  bnez s0, loop\n  halt\n");
         assert!(r.ipc() > 1.5, "independent loop IPC {:.2} too low", r.ipc());
     }
 
@@ -383,11 +403,17 @@ mod tests {
         // must charge.
         let mut src = String::from("  li t0, 1\n");
         for _ in 0..100 {
-            src.push_str("  addi t0, t0, 1\n  addi t1, t1, 1\n  addi t2, t2, 1\n  addi t3, t3, 1\n");
+            src.push_str(
+                "  addi t0, t0, 1\n  addi t1, t1, 1\n  addi t2, t2, 1\n  addi t3, t3, 1\n",
+            );
         }
         src.push_str("  halt\n");
         let r = run(&src);
-        assert!(r.ipc() < 1.0, "cold-code IPC {:.2} suspiciously high", r.ipc());
+        assert!(
+            r.ipc() < 1.0,
+            "cold-code IPC {:.2} suspiciously high",
+            r.ipc()
+        );
         let h = r.stats.hierarchy.unwrap();
         assert!(h.l1i.misses >= 100, "every line is a cold miss");
     }
@@ -404,11 +430,12 @@ mod tests {
 
     #[test]
     fn store_load_forwarding_counted() {
-        let r = run(
-            "  li t0, 7\n  sd t0, -8(sp)\n  ld t1, -8(sp)\n  print t1\n  halt\n",
-        );
+        let r = run("  li t0, 7\n  sd t0, -8(sp)\n  ld t1, -8(sp)\n  print t1\n  halt\n");
         assert_eq!(r.output, vec![7]);
-        assert!(r.stats.loads_forwarded >= 1, "the reload must forward from the store");
+        assert!(
+            r.stats.loads_forwarded >= 1,
+            "the reload must forward from the store"
+        );
     }
 
     #[test]
@@ -419,13 +446,19 @@ mod tests {
              \n  div t2, t0, t1\n  div t2, t2, t1\n  div t2, t2, t1\n  div t2, t2, t1\n  print t2\n  halt\n",
         );
         assert_eq!(r.output, vec![12345]);
-        assert!(r.cycles() > 80, "four dependent 20-cycle divides, got {}", r.cycles());
+        assert!(
+            r.cycles() > 80,
+            "four dependent 20-cycle divides, got {}",
+            r.cycles()
+        );
     }
 
     #[test]
     fn instruction_limit_stops_run() {
         let prog = assemble("loop: addi t0, t0, 1\n  j loop\n  halt\n").unwrap();
-        let r = PipelineSim::new(PipelineConfig::starting()).run_limit(&prog, 100).unwrap();
+        let r = PipelineSim::new(PipelineConfig::starting())
+            .run_limit(&prog, 100)
+            .unwrap();
         assert_eq!(r.stop, SimStop::InstructionLimit);
         assert!(r.committed_instructions() >= 100);
     }
@@ -443,13 +476,16 @@ mod tests {
     #[test]
     fn wild_jump_is_an_error() {
         let prog = assemble("  li t0, 0x900000\n  jalr x0, 0(t0)\n  halt\n").unwrap();
-        let err = PipelineSim::new(PipelineConfig::starting()).run(&prog).unwrap_err();
+        let err = PipelineSim::new(PipelineConfig::starting())
+            .run(&prog)
+            .unwrap_err();
         assert!(matches!(err, SimError::Emulation(_)));
     }
 
     #[test]
     fn determinism() {
-        let src = "  li t0, 500\nloop: addi t0, t0, -1\n  mul t1, t0, t0\n  bnez t0, loop\n  halt\n";
+        let src =
+            "  li t0, 500\nloop: addi t0, t0, -1\n  mul t1, t0, t0\n  bnez t0, loop\n  halt\n";
         let a = run(src);
         let b = run(src);
         assert_eq!(a, b);
@@ -467,15 +503,13 @@ mod tests {
 
     #[test]
     fn subroutine_program() {
-        let r = run(
-            "        .entry main\n\
+        let r = run("        .entry main\n\
              square: mul a0, a0, a0\n\
                      ret\n\
              main:   li a0, 9\n\
                      call square\n\
                      print a0\n\
-                     halt\n",
-        );
+                     halt\n");
         assert_eq!(r.output, vec![81]);
     }
 }

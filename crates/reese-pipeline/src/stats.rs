@@ -110,12 +110,19 @@ impl fmt::Display for PipelineStats {
         writeln!(
             f,
             "{} instructions in {} cycles (IPC {:.3}); {} fetched, {} issued, {} loads forwarded",
-            self.committed, self.cycles, self.ipc(), self.fetched, self.issued, self.loads_forwarded
+            self.committed,
+            self.cycles,
+            self.ipc(),
+            self.fetched,
+            self.issued,
+            self.loads_forwarded
         )?;
         writeln!(
             f,
             "stalls: {} RUU-full, {} LSQ-full, {} empty-fetch-queue cycles",
-            self.dispatch_stall_ruu_full, self.dispatch_stall_lsq_full, self.fetch_queue_empty_cycles
+            self.dispatch_stall_ruu_full,
+            self.dispatch_stall_lsq_full,
+            self.fetch_queue_empty_cycles
         )?;
         writeln!(
             f,
@@ -183,13 +190,21 @@ mod tests {
     fn ipc_is_guarded() {
         let s = PipelineStats::default();
         assert_eq!(s.ipc(), 0.0);
-        let s = PipelineStats { cycles: 100, committed: 150, ..Default::default() };
+        let s = PipelineStats {
+            cycles: 100,
+            committed: 150,
+            ..Default::default()
+        };
         assert!((s.ipc() - 1.5).abs() < 1e-12);
     }
 
     #[test]
     fn idle_fraction() {
-        let s = PipelineStats { cycles: 10, issued: 40, ..Default::default() };
+        let s = PipelineStats {
+            cycles: 10,
+            issued: 40,
+            ..Default::default()
+        };
         assert!((s.idle_issue_fraction(8) - 0.5).abs() < 1e-12);
         assert_eq!(PipelineStats::default().idle_issue_fraction(8), 0.0);
     }

@@ -1,7 +1,6 @@
 //! Timing-model invariants of the baseline pipeline, checked over both
-//! hand-built corner cases and randomly generated programs.
+//! hand-built corner cases and seeded randomly generated programs.
 
-use proptest::prelude::*;
 use reese_cpu::Emulator;
 use reese_isa::{abi::*, assemble, Program, ProgramBuilder};
 use reese_pipeline::{PipelineConfig, PipelineSim};
@@ -21,9 +20,16 @@ fn straight_line(n: usize) -> Program {
 fn cycles_lower_bound_width() {
     // N committed instructions on a W-wide machine need ≥ N/W cycles.
     let prog = straight_line(400);
-    let r = PipelineSim::new(PipelineConfig::starting()).run(&prog).expect("runs");
+    let r = PipelineSim::new(PipelineConfig::starting())
+        .run(&prog)
+        .expect("runs");
     let n = r.committed_instructions();
-    assert!(r.cycles() >= n / 8, "{} cycles for {} instructions", r.cycles(), n);
+    assert!(
+        r.cycles() >= n / 8,
+        "{} cycles for {} instructions",
+        r.cycles(),
+        n
+    );
 }
 
 #[test]
@@ -36,8 +42,14 @@ fn dependent_chain_lower_bound_latency() {
     }
     b.li(A0, 0);
     b.halt();
-    let r = PipelineSim::new(PipelineConfig::starting()).run(&b.build().expect("builds")).expect("runs");
-    assert!(r.cycles() >= 150, "50 dependent 3-cycle multiplies in {} cycles", r.cycles());
+    let r = PipelineSim::new(PipelineConfig::starting())
+        .run(&b.build().expect("builds"))
+        .expect("runs");
+    assert!(
+        r.cycles() >= 150,
+        "50 dependent 3-cycle multiplies in {} cycles",
+        r.cycles()
+    );
 }
 
 #[test]
@@ -49,7 +61,10 @@ fn smaller_ruu_never_faster() {
     let big = PipelineSim::new(PipelineConfig::starting().with_ruu(64).with_lsq(32))
         .run(&prog)
         .expect("runs");
-    assert!(small.cycles() >= big.cycles(), "shrinking the window cannot speed things up");
+    assert!(
+        small.cycles() >= big.cycles(),
+        "shrinking the window cannot speed things up"
+    );
 }
 
 #[test]
@@ -69,9 +84,13 @@ fn perfect_prediction_beats_always_wrong() {
     // A taken loop branch: always-not-taken mispredicts every iteration.
     let prog = assemble("  li t0, 200\nloop: addi t0, t0, -1\n  bnez t0, loop\n  halt\n").unwrap();
     let mut nt = PipelineConfig::starting();
-    nt.predictor = nt.predictor.with_kind(reese_bpred::PredictorKind::AlwaysNotTaken);
+    nt.predictor = nt
+        .predictor
+        .with_kind(reese_bpred::PredictorKind::AlwaysNotTaken);
     let mut tk = PipelineConfig::starting();
-    tk.predictor = tk.predictor.with_kind(reese_bpred::PredictorKind::AlwaysTaken);
+    tk.predictor = tk
+        .predictor
+        .with_kind(reese_bpred::PredictorKind::AlwaysTaken);
     let bad = PipelineSim::new(nt).run(&prog).expect("runs");
     let good = PipelineSim::new(tk).run(&prog).expect("runs");
     assert!(
@@ -95,34 +114,38 @@ fn reese_workload() -> Program {
     .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// On random programs the pipeline still matches the emulator and
-    /// respects the width bound.
-    #[test]
-    fn random_programs_sound(seed in any::<u64>(), iters in 1u32..6) {
+/// On random programs the pipeline still matches the emulator and
+/// respects the width bound.
+#[test]
+fn random_programs_sound() {
+    let mut rng = reese_stats::SplitMix64::new(30);
+    for _ in 0..16 {
         let prog = reese_workloads::SyntheticSpec {
-            iterations: iters,
-            seed,
+            iterations: 1 + rng.next_u32() % 5,
+            seed: rng.next_u64(),
             ..reese_workloads::SyntheticSpec::balanced()
         }
         .build();
         let emu = Emulator::new(&prog).run(u64::MAX).expect("halts");
-        let sim = PipelineSim::new(PipelineConfig::starting()).run(&prog).expect("runs");
-        prop_assert_eq!(sim.state_digest, emu.state_digest);
-        prop_assert!(sim.cycles() >= emu.instructions / 8);
-        prop_assert!(sim.stats.issued >= sim.stats.committed);
-        prop_assert!(sim.stats.fetched >= sim.stats.committed);
+        let sim = PipelineSim::new(PipelineConfig::starting())
+            .run(&prog)
+            .expect("runs");
+        assert_eq!(sim.state_digest, emu.state_digest);
+        assert!(sim.cycles() >= emu.instructions / 8);
+        assert!(sim.stats.issued >= sim.stats.committed);
+        assert!(sim.stats.fetched >= sim.stats.committed);
     }
+}
 
-    /// Adding cache latency monotonicity: a slower main memory never
-    /// produces a faster run.
-    #[test]
-    fn slower_memory_never_faster(seed in any::<u64>()) {
+/// Adding cache latency monotonicity: a slower main memory never
+/// produces a faster run.
+#[test]
+fn slower_memory_never_faster() {
+    let mut rng = reese_stats::SplitMix64::new(31);
+    for _ in 0..16 {
         let prog = reese_workloads::SyntheticSpec {
             iterations: 3,
-            seed,
+            seed: rng.next_u64(),
             ..reese_workloads::SyntheticSpec::memory_heavy()
         }
         .build();
@@ -132,6 +155,6 @@ proptest! {
         slow_mem.hierarchy.mem_latency = 200;
         let fast = PipelineSim::new(fast_mem).run(&prog).expect("runs");
         let slow = PipelineSim::new(slow_mem).run(&prog).expect("runs");
-        prop_assert!(slow.cycles() >= fast.cycles());
+        assert!(slow.cycles() >= fast.cycles());
     }
 }

@@ -1,0 +1,165 @@
+//! A tiny, std-only micro-benchmark harness.
+//!
+//! The workspace must build and run with no network access and no
+//! external crates, so the `benches/` targets use this Criterion-shaped
+//! API instead of Criterion itself: a [`Criterion`] driver, benchmark
+//! groups, and a [`Bencher`] whose `iter` times a closure over a fixed
+//! number of samples and prints mean/min wall-clock per iteration (plus
+//! element throughput when configured).
+//!
+//! # Example
+//!
+//! ```
+//! use reese_stats::bench::Criterion;
+//!
+//! let mut c = Criterion::default();
+//! let mut g = c.benchmark_group("math");
+//! g.sample_size(10);
+//! g.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+//! g.finish();
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Units for reporting throughput alongside timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times one benchmark and prints its summary line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            n: self.sample_size,
+        };
+        f(&mut b);
+        let total: Duration = b.samples.iter().sum();
+        let mean = total
+            .checked_div(b.samples.len() as u32)
+            .unwrap_or_default();
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        let mut line = format!(
+            "  {}/{id}: mean {mean:?}, min {min:?} over {} samples",
+            self.name,
+            b.samples.len()
+        );
+        if let (Some(Throughput::Elements(n)), false) = (self.throughput, min.is_zero()) {
+            line.push_str(&format!(" ({:.0} elem/s)", n as f64 / min.as_secs_f64()));
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group (marker for call-site symmetry with Criterion).
+    pub fn finish(self) {}
+}
+
+/// Runs and times the benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    n: usize,
+}
+
+impl Bencher {
+    /// Calls `f` once per sample, timing each call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up run to populate caches and allocators.
+        black_box(f());
+        for _ in 0..self.n {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Declares the benchmark entry list, Criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::bench::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench target, Criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        let mut calls = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| calls += 1);
+        });
+        g.finish();
+        // 3 timed samples + 1 warm-up.
+        assert_eq!(calls, 4);
+    }
+}

@@ -112,7 +112,10 @@ impl fmt::Display for Histogram {
         writeln!(
             f,
             "{}: n={} mean={:.3} max={}",
-            self.name, self.total, self.mean(), self.max_seen
+            self.name,
+            self.total,
+            self.mean(),
+            self.max_seen
         )?;
         for (i, &b) in self.buckets.iter().enumerate() {
             if b > 0 {

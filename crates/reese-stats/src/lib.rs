@@ -25,14 +25,17 @@
 //! assert_eq!(a, b); // same seed, same stream
 //! ```
 
+pub mod bench;
 mod counter;
 mod histogram;
+pub mod parallel;
 mod rng;
 mod summary;
 mod table;
 
 pub use counter::{Counter, Ratio};
 pub use histogram::Histogram;
+pub use parallel::{available_jobs, par_map_indexed, ParallelStats, WorkerStats};
 pub use rng::SplitMix64;
 pub use summary::{geomean, mean, percent_delta, stddev};
 pub use table::Table;

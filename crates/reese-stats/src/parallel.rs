@@ -1,0 +1,274 @@
+//! A std-only scoped-thread worker pool for deterministic fan-out.
+//!
+//! Fault campaigns and figure sweeps are embarrassingly parallel: every
+//! trial (or kernel×variant cell) is an independent full simulator run.
+//! [`par_map_indexed`] fans a slice of work items out over
+//! `std::thread::scope` workers and returns the results **in input
+//! order**, so any caller that pre-draws its random parameters serially
+//! gets output bit-identical to a serial loop — parallelism changes
+//! wall-clock time, never results.
+//!
+//! Every run also returns a [`ParallelStats`] with wall-clock time,
+//! per-worker item counts, and per-worker busy time, which the
+//! experiment binaries surface as throughput lines.
+//!
+//! # Example
+//!
+//! ```
+//! use reese_stats::parallel::par_map_indexed;
+//!
+//! let inputs: Vec<u64> = (0..100).collect();
+//! let (serial, _) = par_map_indexed(1, &inputs, |i, &x| x * x + i as u64);
+//! let (parallel, stats) = par_map_indexed(4, &inputs, |i, &x| x * x + i as u64);
+//! assert_eq!(serial, parallel); // order and values identical
+//! assert_eq!(stats.items(), 100);
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Returns the default worker count: the host's available parallelism.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// What one worker did during a [`par_map_indexed`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index, `0..jobs`.
+    pub worker: usize,
+    /// Items this worker processed.
+    pub items: u64,
+    /// Time spent inside the work closure.
+    pub busy: Duration,
+}
+
+/// Throughput observability for one parallel (or serial) map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// Workers used (1 = the serial path).
+    pub jobs: usize,
+    /// End-to-end wall-clock time of the whole map.
+    pub wall: Duration,
+    /// Per-worker utilization counters, indexed by worker.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl ParallelStats {
+    /// Total items processed across all workers.
+    pub fn items(&self) -> u64 {
+        self.workers.iter().map(|w| w.items).sum()
+    }
+
+    /// Items completed per wall-clock second; 0 for an instant run.
+    pub fn items_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.items() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean fraction of the wall-clock the workers spent busy, in
+    /// `[0, 1]`; 1.0 means perfect utilization. 0 when nothing ran —
+    /// an empty run has no meaningful busy/wall ratio, only timer
+    /// noise.
+    pub fn utilisation(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall <= 0.0 || self.workers.is_empty() || self.items() == 0 {
+            return 0.0;
+        }
+        let busy: f64 = self.workers.iter().map(|w| w.busy.as_secs_f64()).sum();
+        (busy / (wall * self.workers.len() as f64)).min(1.0)
+    }
+}
+
+impl fmt::Display for ParallelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} items in {:.3}s on {} worker{} — {:.0} items/s, {:.0}% utilization",
+            self.items(),
+            self.wall.as_secs_f64(),
+            self.jobs,
+            if self.jobs == 1 { "" } else { "s" },
+            self.items_per_sec(),
+            self.utilisation() * 100.0
+        )?;
+        if self.jobs > 1 {
+            for w in &self.workers {
+                write!(
+                    f,
+                    "\n  worker {}: {} items, busy {:.3}s",
+                    w.worker,
+                    w.items,
+                    w.busy.as_secs_f64()
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Maps `f` over `items` with up to `jobs` scoped worker threads,
+/// returning results in input order plus utilization counters.
+///
+/// `jobs == 1` (or a single item) runs inline on the calling thread —
+/// the serial path — with identical results; more jobs only changes
+/// timing. Workers pull items off a shared atomic cursor, so load
+/// imbalance between items self-levels.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after all workers stop.
+pub fn par_map_indexed<T, R, F>(jobs: usize, items: &[T], f: F) -> (Vec<R>, ParallelStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let start = Instant::now();
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        let t0 = Instant::now();
+        let results: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let busy = t0.elapsed();
+        let stats = ParallelStats {
+            jobs: 1,
+            wall: start.elapsed(),
+            workers: vec![WorkerStats {
+                worker: 0,
+                items: items.len() as u64,
+                busy,
+            }],
+        };
+        return (results, stats);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let per_worker: Vec<(Vec<(usize, R)>, WorkerStats)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|worker| {
+                let cursor = &cursor;
+                let f = &f;
+                s.spawn(move || {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    let mut busy = Duration::ZERO;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let t0 = Instant::now();
+                        let r = f(i, &items[i]);
+                        busy += t0.elapsed();
+                        out.push((i, r));
+                    }
+                    let stats = WorkerStats {
+                        worker,
+                        items: out.len() as u64,
+                        busy,
+                    };
+                    (out, stats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    // Merge the per-worker results back into input order.
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    let mut workers = Vec::with_capacity(jobs);
+    for (pairs, stats) in per_worker {
+        for (i, r) in pairs {
+            debug_assert!(slots[i].is_none(), "index {i} computed twice");
+            slots[i] = Some(r);
+        }
+        workers.push(stats);
+    }
+    workers.sort_by_key(|w| w.worker);
+    let results = slots
+        .into_iter()
+        .map(|o| o.expect("every index computed exactly once"))
+        .collect();
+    (
+        results,
+        ParallelStats {
+            jobs,
+            wall: start.elapsed(),
+            workers,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let (out, stats) = par_map_indexed(8, &items, |i, &x| {
+            assert_eq!(i, x);
+            x * 3
+        });
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        assert_eq!(stats.items(), 257);
+        assert_eq!(stats.workers.len(), 8);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..100).collect();
+        let (a, s1) = par_map_indexed(1, &items, |i, &x| x.wrapping_mul(i as u64 + 7));
+        let (b, s4) = par_map_indexed(4, &items, |i, &x| x.wrapping_mul(i as u64 + 7));
+        assert_eq!(a, b);
+        assert_eq!(s1.jobs, 1);
+        assert_eq!(s4.jobs, 4);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let (out, stats) = par_map_indexed::<u8, u8, _>(4, &[], |_, &x| x);
+        assert!(out.is_empty());
+        assert_eq!(stats.items(), 0);
+        assert_eq!(stats.jobs, 1, "no items needs no extra workers");
+    }
+
+    #[test]
+    fn jobs_capped_to_items() {
+        let (_, stats) = par_map_indexed(64, &[1, 2, 3], |_, &x| x);
+        assert!(stats.jobs <= 3);
+    }
+
+    #[test]
+    fn zero_jobs_means_one() {
+        let (out, stats) = par_map_indexed(0, &[5u8], |_, &x| x);
+        assert_eq!(out, vec![5]);
+        assert_eq!(stats.jobs, 1);
+    }
+
+    #[test]
+    fn every_worker_is_reported_once() {
+        let items: Vec<u32> = (0..50).collect();
+        let (_, stats) = par_map_indexed(4, &items, |_, &x| x);
+        let ids: Vec<usize> = stats.workers.iter().map(|w| w.worker).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert_eq!(stats.items(), 50);
+    }
+
+    #[test]
+    fn display_mentions_throughput() {
+        let (_, stats) = par_map_indexed(2, &[1u8, 2, 3, 4], |_, &x| x);
+        let s = stats.to_string();
+        assert!(s.contains("items"), "{s}");
+        assert!(s.contains("utilization"), "{s}");
+    }
+}

@@ -34,7 +34,10 @@ impl Table {
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
         let header: Vec<String> = header.into_iter().map(Into::into).collect();
         assert!(!header.is_empty(), "table needs at least one column");
-        Self { header, rows: Vec::new() }
+        Self {
+            header,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row. Short rows are padded with empty cells; long rows

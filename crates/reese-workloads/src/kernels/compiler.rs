@@ -66,7 +66,7 @@ pub fn build(scale: u32) -> Program {
     b.ld(T2, 0, T1); // kind
     b.ld(T3, 8, T1); // lhs
     b.ld(T4, 16, T1); // rhs
-    // 8-way switch: compare-and-branch chain, gcc-style dispatch.
+                      // 8-way switch: compare-and-branch chain, gcc-style dispatch.
     for (k, case) in cases.iter().enumerate().skip(1) {
         b.li(T5, k as i64);
         b.beq(T2, T5, *case);
@@ -96,8 +96,8 @@ pub fn build(scale: u32) -> Program {
     b.mul(T6, T3, T4); // the rare multiply in compiler code
     b.bind(done);
     b.sd(T6, 24, T1); // fold the result back into the node
-    // Cross-reference the previous node's folded result (a compiler's
-    // use-def chain walk) and append this one to the evaluation log.
+                      // Cross-reference the previous node's folded result (a compiler's
+                      // use-def chain walk) and append this one to the evaluation log.
     b.ld(T3, -8, T1); // nodes[i-1].result (node 0 reads its own kind slot)
     b.xor(S5, S5, T3);
     b.slli(T4, S1, 3);
@@ -138,8 +138,14 @@ mod tests {
 
     #[test]
     fn scale_controls_length() {
-        let one = Emulator::new(&build(1)).run(1_000_000).unwrap().instructions;
-        let three = Emulator::new(&build(3)).run(1_000_000).unwrap().instructions;
+        let one = Emulator::new(&build(1))
+            .run(1_000_000)
+            .unwrap()
+            .instructions;
+        let three = Emulator::new(&build(3))
+            .run(1_000_000)
+            .unwrap()
+            .instructions;
         assert!(three > 2 * one, "dynamic length must grow with scale");
     }
 
@@ -147,7 +153,10 @@ mod tests {
     fn gcc_like_mix() {
         let m = crate::measure_mix(&build(2), 100_000);
         assert!(m.branch_fraction() > 0.15, "gcc is branchy: {m}");
-        assert!(m.mem_fraction() > 0.15 && m.mem_fraction() < 0.40, "moderate memory: {m}");
+        assert!(
+            m.mem_fraction() > 0.15 && m.mem_fraction() < 0.40,
+            "moderate memory: {m}"
+        );
         assert!(m.muldiv_fraction() < 0.02, "compilers barely multiply: {m}");
         assert_eq!(m.fp, 0);
     }

@@ -66,9 +66,9 @@ pub fn build(scale: u32) -> Program {
     b.slli(T1, S6, 3);
     b.add(T1, A0, T1);
     b.ld(S5, 0, T1); // the key we are "looking up"
-    // Linear probe through the index until the key matches — the match
-    // is immediate by construction, so the exit branch is predictable,
-    // but the wrap guard and compare are real work per probe.
+                     // Linear probe through the index until the key matches — the match
+                     // is immediate by construction, so the exit branch is predictable,
+                     // but the wrap guard and compare are real work per probe.
     b.li(S8, 0); // probes taken
     b.bind(probe);
     b.add(T2, S6, S8);
@@ -152,13 +152,23 @@ mod tests {
         assert!(m.mem_fraction() > 0.18, "index probes + record copies: {m}");
         assert!(m.branch_fraction() > 0.08, "probe exits + range scan: {m}");
         // Sorted keys bias the scan compares; taken rate sits mid-high.
-        assert!((0.4..0.98).contains(&m.taken_rate()), "taken rate {}", m.taken_rate());
+        assert!(
+            (0.4..0.98).contains(&m.taken_rate()),
+            "taken rate {}",
+            m.taken_rate()
+        );
     }
 
     #[test]
     fn scale_is_linear_in_queries() {
-        let one = Emulator::new(&build(1)).run(2_000_000).unwrap().instructions;
-        let two = Emulator::new(&build(2)).run(2_000_000).unwrap().instructions;
+        let one = Emulator::new(&build(1))
+            .run(2_000_000)
+            .unwrap()
+            .instructions;
+        let two = Emulator::new(&build(2))
+            .run(2_000_000)
+            .unwrap()
+            .instructions;
         let ratio = two as f64 / one as f64;
         assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
     }

@@ -44,7 +44,7 @@ pub fn build(scale: u32) -> Program {
     b.fld(F0, -8, T2); // west
     b.fld(F1, 0, T2); // centre
     b.fld(F2, 8, T2); // east
-    // new = centre/2 + (west + east)/4
+                      // new = centre/2 + (west + east)/4
     b.fadd(F3, F0, F2);
     b.fmul(F3, F3, F6);
     b.fmul(F4, F1, F7);
@@ -86,7 +86,11 @@ mod tests {
         assert!(r.halted());
         assert_eq!(r.output.len(), 1);
         // Values stay in (1, 3): 1000x the midpoint is in (1000, 3000).
-        assert!((1000..3000).contains(&r.output[0]), "checksum {}", r.output[0]);
+        assert!(
+            (1000..3000).contains(&r.output[0]),
+            "checksum {}",
+            r.output[0]
+        );
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub fn build(scale: u32) -> Program {
     b.add(T6, T2, T3);
     b.add(T6, T6, T4);
     b.add(T6, T6, T5); // neighbour influence
-    // Colour-dependent scoring: empirically ~1/3 each way, never learnable.
+                       // Colour-dependent scoring: empirically ~1/3 each way, never learnable.
     b.beqz(T1, empty);
     b.li(T2, 1);
     b.beq(T1, T2, black);
@@ -130,7 +130,11 @@ mod tests {
         assert!(m.muldiv_fraction() > 0.01, "LCG + mutation rule: {m}");
         // The colour branches should be genuinely mixed: taken rate well
         // away from both 0 and 1.
-        assert!((0.25..0.95).contains(&m.taken_rate()), "taken rate {}", m.taken_rate());
+        assert!(
+            (0.25..0.95).contains(&m.taken_rate()),
+            "taken rate {}",
+            m.taken_rate()
+        );
     }
 
     #[test]

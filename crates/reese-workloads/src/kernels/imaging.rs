@@ -140,7 +140,10 @@ mod tests {
         let m = crate::measure_mix(&build(1), 200_000);
         assert!(m.muldiv_fraction() > 0.03, "DCT multiplies: {m}");
         assert!(m.mem_fraction() > 0.15, "streaming image traffic: {m}");
-        assert!(m.branch_fraction() < 0.06, "unrolled blocks, few branches: {m}");
+        assert!(
+            m.branch_fraction() < 0.06,
+            "unrolled blocks, few branches: {m}"
+        );
         // Loop branches are near-perfectly taken → highly predictable.
         assert!(m.taken_rate() > 0.95, "taken rate {}", m.taken_rate());
     }

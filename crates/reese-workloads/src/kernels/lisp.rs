@@ -125,7 +125,10 @@ mod tests {
     fn li_like_mix() {
         let m = crate::measure_mix(&build(2), 200_000);
         assert!(m.mem_fraction() > 0.35, "lisp is memory-dominated: {m}");
-        assert!(m.muldiv_fraction() < 0.01, "no multiplies in list walking: {m}");
+        assert!(
+            m.muldiv_fraction() < 0.01,
+            "no multiplies in list walking: {m}"
+        );
         assert!(m.taken_rate() > 0.95, "chase loops are long: {m}");
     }
 

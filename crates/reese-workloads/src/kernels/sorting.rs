@@ -86,7 +86,7 @@ pub fn build(scale: u32) -> Program {
     b.add(T4, A0, T4);
     b.ld(T5, 0, T4); // array[j]
     b.bge(T5, T1, no_swap); // the ~50/50 comparison on random data
-    // swap array[i], array[j]
+                            // swap array[i], array[j]
     b.slli(T6, T2, 3);
     b.add(T6, A0, T6);
     b.ld(S6, 0, T6);
@@ -200,7 +200,10 @@ mod tests {
             }
             prev = v;
         }
-        assert!(sorted_after_shuffle > 0, "the final reshuffle must leave it unsorted");
+        assert!(
+            sorted_after_shuffle > 0,
+            "the final reshuffle must leave it unsorted"
+        );
     }
 
     #[test]
@@ -228,6 +231,10 @@ mod tests {
         assert!(m.branch_fraction() > 0.12, "partition compares: {m}");
         assert!(m.mem_fraction() > 0.25, "array + range stack traffic: {m}");
         // Partition branches on random data sit near 50/50 taken.
-        assert!((0.3..0.9).contains(&m.taken_rate()), "taken rate {}", m.taken_rate());
+        assert!(
+            (0.3..0.9).contains(&m.taken_rate()),
+            "taken rate {}",
+            m.taken_rate()
+        );
     }
 }

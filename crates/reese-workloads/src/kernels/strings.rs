@@ -79,8 +79,8 @@ pub fn build(scale: u32) -> Program {
     b.bind(scan);
     b.add(T0, A0, S1);
     b.lbu(T1, 0, T0); // the character
-    // Case-flip the character into the output copy (perl's tr///) and
-    // fetch its class weight from the locale table.
+                      // Case-flip the character into the output copy (perl's tr///) and
+                      // fetch its class weight from the locale table.
     b.add(T5, A2, S1);
     b.xori(T6, T1, 0x20);
     b.sb(T6, 0, T5);
@@ -156,6 +156,10 @@ mod tests {
         assert!(m.mem_fraction() > 0.15, "byte loads, copies, buckets: {m}");
         assert!(m.muldiv_fraction() < 0.01, "shift-add hashing, no mul: {m}");
         // Character classes are irregular: the class branches go both ways.
-        assert!((0.30..0.98).contains(&m.taken_rate()), "taken rate {}", m.taken_rate());
+        assert!(
+            (0.30..0.98).contains(&m.taken_rate()),
+            "taken rate {}",
+            m.taken_rate()
+        );
     }
 }

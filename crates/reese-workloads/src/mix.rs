@@ -152,7 +152,11 @@ mod tests {
 
     #[test]
     fn display_nonempty() {
-        let m = MixReport { total: 10, loads: 3, ..Default::default() };
+        let m = MixReport {
+            total: 10,
+            loads: 3,
+            ..Default::default()
+        };
         assert!(m.to_string().contains("30.0% ld"));
     }
 }

@@ -36,7 +36,10 @@ impl Suite {
     pub fn spec95_like(target_instructions: u64) -> Suite {
         let workloads = Kernel::ALL
             .iter()
-            .map(|&kernel| Workload { kernel, program: kernel.build_for(target_instructions) })
+            .map(|&kernel| Workload {
+                kernel,
+                program: kernel.build_for(target_instructions),
+            })
             .collect();
         Suite { workloads }
     }
@@ -45,7 +48,10 @@ impl Suite {
     pub fn smoke() -> Suite {
         let workloads = Kernel::ALL
             .iter()
-            .map(|&kernel| Workload { kernel, program: kernel.build(1) })
+            .map(|&kernel| Workload {
+                kernel,
+                program: kernel.build(1),
+            })
             .collect();
         Suite { workloads }
     }
@@ -92,7 +98,10 @@ mod tests {
         let target = 60_000;
         let suite = Suite::spec95_like(target);
         for w in suite.iter() {
-            let n = Emulator::new(&w.program).run(u64::MAX).unwrap().instructions;
+            let n = Emulator::new(&w.program)
+                .run(u64::MAX)
+                .unwrap()
+                .instructions;
             assert!(n >= target, "{}: {n}", w.kernel);
         }
     }

@@ -99,10 +99,16 @@ impl SyntheticSpec {
             + self.load_weight
             + self.store_weight
             + self.branch_weight;
-        assert!(total_weight > 0, "at least one operation class must be weighted");
+        assert!(
+            total_weight > 0,
+            "at least one operation class must be weighted"
+        );
         assert!(self.body_len > 0, "body must be non-empty");
         assert!(self.iterations > 0, "need at least one iteration");
-        assert!(self.working_set.is_power_of_two(), "working set must be a power of two");
+        assert!(
+            self.working_set.is_power_of_two(),
+            "working set must be a power of two"
+        );
 
         let mut rng = SplitMix64::new(self.seed);
         let mut b = ProgramBuilder::new();
@@ -223,7 +229,11 @@ mod tests {
 
     #[test]
     fn weights_steer_the_mix() {
-        let muls = SyntheticSpec { mul_weight: 5, alu_weight: 1, ..SyntheticSpec::balanced() };
+        let muls = SyntheticSpec {
+            mul_weight: 5,
+            alu_weight: 1,
+            ..SyntheticSpec::balanced()
+        };
         let m = measure_mix(&muls.build(), 200_000);
         assert!(m.muldiv_fraction() > 0.2, "{m}");
     }
@@ -245,6 +255,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_working_set_rejected() {
-        SyntheticSpec { working_set: 1000, ..SyntheticSpec::balanced() }.build();
+        SyntheticSpec {
+            working_set: 1000,
+            ..SyntheticSpec::balanced()
+        }
+        .build();
     }
 }

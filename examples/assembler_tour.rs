@@ -5,8 +5,8 @@
 //! cargo run --release --example assembler_tour
 //! ```
 
-use reese::isa::{abi::*, assemble, disassemble_text, encode_text, ProgramBuilder};
 use reese::cpu::Emulator;
+use reese::isa::{abi::*, assemble, disassemble_text, encode_text, ProgramBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Text assembly with labels, a data segment, and pseudo-ops.
@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          arr:     .dword 10, 20, 30, 40\n",
     )?;
     let result = Emulator::new(&program).run(10_000)?;
-    println!("assembled program prints: {:?} (expected [100])", result.output);
+    println!(
+        "assembled program prints: {:?} (expected [100])",
+        result.output
+    );
 
     // 2. The same program generated through the builder API.
     let mut b = ProgramBuilder::new();
@@ -61,7 +64,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Binary encoding and a disassembly listing.
     let image = encode_text(built.text()).map_err(|(i, e)| format!("instr {i}: {e}"))?;
-    println!("\nbinary image: {} bytes ({} instructions)", image.len(), built.len());
-    println!("disassembly:\n{}", disassemble_text(built.text(), built.text_base()));
+    println!(
+        "\nbinary image: {} bytes ({} instructions)",
+        image.len(),
+        built.len()
+    );
+    println!(
+        "disassembly:\n{}",
+        disassemble_text(built.text(), built.text_base())
+    );
     Ok(())
 }

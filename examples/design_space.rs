@@ -51,8 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The §4.3 early-removal optimisation, quantified.
     let held = ReeseSim::new(ReeseConfig::over(base_cfg.clone())).run(&program)?;
-    let early =
-        ReeseSim::new(ReeseConfig::over(base_cfg.clone()).with_early_removal(true)).run(&program)?;
+    let early = ReeseSim::new(ReeseConfig::over(base_cfg.clone()).with_early_removal(true))
+        .run(&program)?;
     println!(
         "early RUU removal (§4.3): held-RUU IPC {:.3} → early-removal IPC {:.3} ({:+.1}%)",
         held.ipc(),

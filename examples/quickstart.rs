@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Golden functional run.
     let emu = Emulator::new(&program).run(1_000_000)?;
-    println!("functional model: {} instructions, output {:?}", emu.instructions, emu.output);
+    println!(
+        "functional model: {} instructions, output {:?}",
+        emu.instructions, emu.output
+    );
 
     // The paper's Table 1 baseline machine.
     let base = PipelineSim::new(PipelineConfig::starting()).run(&program)?;

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! reese run <file.s> [options]     simulate an assembly program
+//! reese campaign [options]         run a fault-injection campaign
 //! reese mix <file.s|kernel>        print a program's dynamic instruction mix
 //! reese disasm <file.s>            assemble and disassemble a program
 //! reese trace <file.s|kernel> [--out f]   capture and profile a trace
@@ -25,6 +26,20 @@
 //! --kernel NAME      run a built-in kernel instead of a file
 //! --scale N          kernel scale (default 1)
 //! ```
+//!
+//! Campaign options:
+//!
+//! ```text
+//! --kernel NAME | <file.s>   workload (default kernel `lisp`)
+//! --trials N         number of injection trials (default 200)
+//! --seed S           campaign PRNG seed (default 0xFA017)
+//! --mix broad|result fault-class mix (default broad)
+//! --machine ...      base configuration, as for `run`
+//! --spare-alus N / --spare-muls N   REESE spare elements
+//! --max-insns N      per-trial committed-instruction budget
+//! -j N, --jobs N     worker threads (default: available parallelism;
+//!                    1 forces the serial path — same report either way)
+//! ```
 
 use reese::core::{DuplexSim, InjectedFault, ReeseConfig, ReeseSim};
 use reese::cpu::Emulator;
@@ -37,12 +52,15 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
         Some("mix") => cmd_mix(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("kernels") => cmd_kernels(),
         _ => {
-            eprintln!("usage: reese <run|mix|disasm|trace|kernels> [options]  (see --help in source)");
+            eprintln!(
+                "usage: reese <run|campaign|mix|disasm|trace|kernels> [options]  (see --help in source)"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -61,10 +79,15 @@ fn machine(name: &str) -> Result<PipelineConfig, CliError> {
     Ok(match name {
         "starting" => PipelineConfig::starting(),
         "ruu32" => PipelineConfig::starting().with_ruu(32).with_lsq(16),
-        "wide16" => PipelineConfig::starting().with_ruu(32).with_lsq(16).with_width(16),
-        "ports4" => {
-            PipelineConfig::starting().with_ruu(32).with_lsq(16).with_width(16).with_mem_ports(4)
-        }
+        "wide16" => PipelineConfig::starting()
+            .with_ruu(32)
+            .with_lsq(16)
+            .with_width(16),
+        "ports4" => PipelineConfig::starting()
+            .with_ruu(32)
+            .with_lsq(16)
+            .with_width(16)
+            .with_mem_ports(4),
         other => return Err(format!("unknown machine `{other}`").into()),
     })
 }
@@ -127,7 +150,8 @@ fn parse_run(args: &[String]) -> Result<RunOpts, CliError> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = || -> Result<&String, CliError> {
-            it.next().ok_or_else(|| format!("`{a}` needs a value").into())
+            it.next()
+                .ok_or_else(|| format!("`{a}` needs a value").into())
         };
         match a.as_str() {
             "--scheme" => opts.scheme = value()?.clone(),
@@ -162,7 +186,10 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         "emulate" => {
             let mut emu = Emulator::new(&o.program);
             let r = emu.run(o.max_insns)?;
-            println!("emulated {} instructions, stop: {:?}", r.instructions, r.stop);
+            println!(
+                "emulated {} instructions, stop: {:?}",
+                r.instructions, r.stop
+            );
             print_output(&r.output);
         }
         "baseline" => {
@@ -231,6 +258,82 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+struct CampaignOpts {
+    program: Program,
+    mix: reese::faults::FaultMix,
+    trials: usize,
+    seed: u64,
+    base: PipelineConfig,
+    spare_alus: u32,
+    spare_muls: u32,
+    max_insns: u64,
+    jobs: usize,
+}
+
+fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
+    let mut opts = CampaignOpts {
+        program: Program::from_text(vec![]),
+        mix: reese::faults::FaultMix::broad(),
+        trials: 200,
+        seed: 0xFA017,
+        base: PipelineConfig::starting(),
+        spare_alus: 0,
+        spare_muls: 0,
+        max_insns: u64::MAX,
+        jobs: reese::stats::available_jobs(),
+    };
+    let mut file: Option<String> = None;
+    let mut kernel: Option<Kernel> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = || -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| format!("`{a}` needs a value").into())
+        };
+        match a.as_str() {
+            "--trials" => opts.trials = value()?.parse()?,
+            "--seed" => opts.seed = value()?.parse()?,
+            "--mix" => {
+                opts.mix = match value()?.as_str() {
+                    "broad" => reese::faults::FaultMix::broad(),
+                    "result" => reese::faults::FaultMix::result_errors_only(),
+                    other => return Err(format!("unknown mix `{other}`, want broad|result").into()),
+                }
+            }
+            "--machine" => opts.base = machine(value()?)?,
+            "--spare-alus" => opts.spare_alus = value()?.parse()?,
+            "--spare-muls" => opts.spare_muls = value()?.parse()?,
+            "--max-insns" => opts.max_insns = value()?.parse()?,
+            "-j" | "--jobs" => opts.jobs = value()?.parse()?,
+            "--kernel" => kernel = Some(kernel_by_name(value()?)?),
+            other if !other.starts_with('-') => file = Some(other.to_string()),
+            other => return Err(format!("unknown option `{other}`").into()),
+        }
+    }
+    opts.program = match (file, kernel) {
+        (Some(path), None) => assemble(&std::fs::read_to_string(&path)?)?,
+        (None, Some(k)) => k.build(1),
+        (Some(_), Some(_)) => return Err("give a file or --kernel, not both".into()),
+        (None, None) => Kernel::Lisp.build(1),
+    };
+    Ok(opts)
+}
+
+fn cmd_campaign(args: &[String]) -> Result<(), CliError> {
+    let o = parse_campaign(args)?;
+    let cfg = ReeseConfig::over(o.base)
+        .with_spare_int_alus(o.spare_alus)
+        .with_spare_int_muldivs(o.spare_muls);
+    let report = reese::faults::Campaign::new(cfg, o.mix)
+        .trials(o.trials)
+        .seed(o.seed)
+        .max_instructions(o.max_insns)
+        .jobs(o.jobs)
+        .run(&o.program)?;
+    print!("{report}");
+    Ok(())
+}
+
 fn print_output(output: &[i64]) {
     if !output.is_empty() {
         println!("program output: {output:?}");
@@ -280,7 +383,10 @@ fn cmd_disasm(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_trace(args: &[String]) -> Result<(), CliError> {
     let program = load_source(args)?;
-    let out = args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1));
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1));
     let trace = reese::cpu::Trace::capture(&program, 10_000_000)?;
     let (branches, taken) = trace.branch_profile();
     println!(
@@ -305,7 +411,12 @@ fn cmd_trace(args: &[String]) -> Result<(), CliError> {
 fn cmd_kernels() -> Result<(), CliError> {
     println!("built-in kernels (SPEC95 integer stand-ins):");
     for k in Kernel::ALL {
-        println!("  {:<9} — stands in for {} ({})", k.name(), k.paper_benchmark(), k.paper_input());
+        println!(
+            "  {:<9} — stands in for {} ({})",
+            k.name(),
+            k.paper_benchmark(),
+            k.paper_input()
+        );
     }
     Ok(())
 }
@@ -332,9 +443,18 @@ mod tests {
 
     #[test]
     fn fault_specs_parse() {
-        assert_eq!(parse_fault("10:3:p").unwrap(), InjectedFault::primary(10, 3));
-        assert_eq!(parse_fault("10:3:r").unwrap(), InjectedFault::redundant(10, 3));
-        assert_eq!(parse_fault("10:3:perm").unwrap(), InjectedFault::permanent(10, 3));
+        assert_eq!(
+            parse_fault("10:3:p").unwrap(),
+            InjectedFault::primary(10, 3)
+        );
+        assert_eq!(
+            parse_fault("10:3:r").unwrap(),
+            InjectedFault::redundant(10, 3)
+        );
+        assert_eq!(
+            parse_fault("10:3:perm").unwrap(),
+            InjectedFault::permanent(10, 3)
+        );
         assert!(parse_fault("10:3").is_err());
         assert!(parse_fault("10:3:x").is_err());
         assert!(parse_fault("a:3:p").is_err());
@@ -343,9 +463,24 @@ mod tests {
     #[test]
     fn run_options_parse() {
         let args: Vec<String> = [
-            "--kernel", "perl", "--scheme", "reese", "--spare-alus", "2", "--rqueue", "64",
-            "--early-removal", "--dup-period", "2", "--inject", "5:1:p", "--max-insns", "1000",
-            "--skip", "10", "--stats",
+            "--kernel",
+            "perl",
+            "--scheme",
+            "reese",
+            "--spare-alus",
+            "2",
+            "--rqueue",
+            "64",
+            "--early-removal",
+            "--dup-period",
+            "2",
+            "--inject",
+            "5:1:p",
+            "--max-insns",
+            "1000",
+            "--skip",
+            "10",
+            "--stats",
         ]
         .iter()
         .map(ToString::to_string)
@@ -361,6 +496,41 @@ mod tests {
         assert_eq!(o.skip, 10);
         assert!(o.verbose);
         assert!(!o.program.is_empty());
+    }
+
+    #[test]
+    fn campaign_options_parse() {
+        let args: Vec<String> = [
+            "--kernel",
+            "perl",
+            "--trials",
+            "50",
+            "--seed",
+            "9",
+            "--mix",
+            "result",
+            "-j",
+            "4",
+            "--max-insns",
+            "5000",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let o = parse_campaign(&args).unwrap();
+        assert_eq!(o.trials, 50);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.jobs, 4);
+        assert_eq!(o.max_insns, 5000);
+        assert!(!o.program.is_empty());
+    }
+
+    #[test]
+    fn campaign_defaults_to_available_parallelism() {
+        let o = parse_campaign(&[]).unwrap();
+        assert!(o.jobs >= 1);
+        assert_eq!(o.trials, 200);
+        assert!(!o.program.is_empty(), "defaults to the lisp kernel");
     }
 
     #[test]

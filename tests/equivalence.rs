@@ -13,7 +13,9 @@ use reese::workloads::Kernel;
 fn all_kernels_agree_across_all_three_machines() {
     for kernel in Kernel::ALL {
         let program = kernel.build(1);
-        let emu = Emulator::new(&program).run(u64::MAX).expect("emulator halts");
+        let emu = Emulator::new(&program)
+            .run(u64::MAX)
+            .expect("emulator halts");
         let base = PipelineSim::new(PipelineConfig::starting())
             .run(&program)
             .unwrap_or_else(|e| panic!("{kernel} baseline: {e}"));
@@ -24,8 +26,16 @@ fn all_kernels_agree_across_all_three_machines() {
             .run(&program)
             .unwrap_or_else(|e| panic!("{kernel} REESE/early: {e}"));
 
-        assert_eq!(base.committed_instructions(), emu.instructions, "{kernel}: baseline count");
-        assert_eq!(reese.committed_instructions(), emu.instructions, "{kernel}: REESE count");
+        assert_eq!(
+            base.committed_instructions(),
+            emu.instructions,
+            "{kernel}: baseline count"
+        );
+        assert_eq!(
+            reese.committed_instructions(),
+            emu.instructions,
+            "{kernel}: REESE count"
+        );
         assert_eq!(
             reese_early.committed_instructions(),
             emu.instructions,
@@ -33,9 +43,18 @@ fn all_kernels_agree_across_all_three_machines() {
         );
         assert_eq!(base.output, emu.output, "{kernel}: baseline output");
         assert_eq!(reese.output, emu.output, "{kernel}: REESE output");
-        assert_eq!(base.state_digest, emu.state_digest, "{kernel}: baseline digest");
-        assert_eq!(reese.state_digest, emu.state_digest, "{kernel}: REESE digest");
-        assert_eq!(reese_early.state_digest, emu.state_digest, "{kernel}: early digest");
+        assert_eq!(
+            base.state_digest, emu.state_digest,
+            "{kernel}: baseline digest"
+        );
+        assert_eq!(
+            reese.state_digest, emu.state_digest,
+            "{kernel}: REESE digest"
+        );
+        assert_eq!(
+            reese_early.state_digest, emu.state_digest,
+            "{kernel}: early digest"
+        );
     }
 }
 
@@ -43,14 +62,22 @@ fn all_kernels_agree_across_all_three_machines() {
 fn reese_compares_every_committed_instruction() {
     for kernel in Kernel::ALL {
         let program = kernel.build(1);
-        let r = ReeseSim::new(ReeseConfig::starting()).run(&program).expect("runs");
+        let r = ReeseSim::new(ReeseConfig::starting())
+            .run(&program)
+            .expect("runs");
         assert_eq!(
             r.stats.comparisons,
             r.committed_instructions(),
             "{kernel}: full duplication means one comparison per commit"
         );
-        assert_eq!(r.stats.r_skipped, 0, "{kernel}: nothing skipped at period 1");
-        assert!(r.detections.is_empty(), "{kernel}: no faults, no detections");
+        assert_eq!(
+            r.stats.r_skipped, 0,
+            "{kernel}: nothing skipped at period 1"
+        );
+        assert!(
+            r.detections.is_empty(),
+            "{kernel}: no faults, no detections"
+        );
     }
 }
 
@@ -58,8 +85,12 @@ fn reese_compares_every_committed_instruction() {
 fn redundancy_is_never_faster_than_baseline_on_the_same_hardware() {
     for kernel in Kernel::ALL {
         let program = kernel.build(1);
-        let base = PipelineSim::new(PipelineConfig::starting()).run(&program).expect("runs");
-        let reese = ReeseSim::new(ReeseConfig::starting()).run(&program).expect("runs");
+        let base = PipelineSim::new(PipelineConfig::starting())
+            .run(&program)
+            .expect("runs");
+        let reese = ReeseSim::new(ReeseConfig::starting())
+            .run(&program)
+            .expect("runs");
         assert!(
             reese.cycles() >= base.cycles(),
             "{kernel}: REESE {} cycles < baseline {} cycles",
@@ -72,17 +103,24 @@ fn redundancy_is_never_faster_than_baseline_on_the_same_hardware() {
 #[test]
 fn runs_are_bit_identical_across_repeats() {
     let program = Kernel::Gameplay.build(1);
-    let a = ReeseSim::new(ReeseConfig::starting()).run(&program).expect("runs");
-    let b = ReeseSim::new(ReeseConfig::starting()).run(&program).expect("runs");
+    let a = ReeseSim::new(ReeseConfig::starting())
+        .run(&program)
+        .expect("runs");
+    let b = ReeseSim::new(ReeseConfig::starting())
+        .run(&program)
+        .expect("runs");
     assert_eq!(a, b, "simulation must be deterministic");
 }
 
 #[test]
 fn instruction_limited_runs_agree_on_prefix_behaviour() {
     let program = Kernel::Strings.build(2);
-    let base =
-        PipelineSim::new(PipelineConfig::starting()).run_limit(&program, 20_000).expect("runs");
-    let reese = ReeseSim::new(ReeseConfig::starting()).run_limit(&program, 20_000).expect("runs");
+    let base = PipelineSim::new(PipelineConfig::starting())
+        .run_limit(&program, 20_000)
+        .expect("runs");
+    let reese = ReeseSim::new(ReeseConfig::starting())
+        .run_limit(&program, 20_000)
+        .expect("runs");
     assert!(base.committed_instructions() >= 20_000);
     assert!(reese.committed_instructions() >= 20_000);
     // Both machines committed the same program prefix, so any output
@@ -94,8 +132,12 @@ fn instruction_limited_runs_agree_on_prefix_behaviour() {
 fn fp_workload_agrees_across_machines() {
     let program = reese::workloads::extras::floatmath(1);
     let emu = Emulator::new(&program).run(u64::MAX).expect("halts");
-    let base = PipelineSim::new(PipelineConfig::starting()).run(&program).expect("runs");
-    let reese = ReeseSim::new(ReeseConfig::starting()).run(&program).expect("runs");
+    let base = PipelineSim::new(PipelineConfig::starting())
+        .run(&program)
+        .expect("runs");
+    let reese = ReeseSim::new(ReeseConfig::starting())
+        .run(&program)
+        .expect("runs");
     assert_eq!(base.state_digest, emu.state_digest);
     assert_eq!(reese.state_digest, emu.state_digest);
     assert_eq!(base.output, emu.output);
@@ -105,7 +147,12 @@ fn fp_workload_agrees_across_machines() {
         .stats
         .fu_utilisation
         .iter()
-        .filter(|(c, _)| matches!(c, reese::isa::FuClass::FpAlu | reese::isa::FuClass::FpMulDiv))
+        .filter(|(c, _)| {
+            matches!(
+                c,
+                reese::isa::FuClass::FpAlu | reese::isa::FuClass::FpMulDiv
+            )
+        })
         .map(|(_, u)| *u)
         .sum();
     assert!(fp_busy > 0.01, "FP units idle on an FP workload");
@@ -114,19 +161,26 @@ fn fp_workload_agrees_across_machines() {
 #[test]
 fn fast_forward_preserves_architectural_results() {
     let program = reese::workloads::Kernel::Compiler.build(1);
-    let full = PipelineSim::new(PipelineConfig::starting()).run(&program).expect("runs");
+    let full = PipelineSim::new(PipelineConfig::starting())
+        .run(&program)
+        .expect("runs");
     let total = full.committed_instructions();
     let skip = total / 2;
-    let region =
-        PipelineSim::new(PipelineConfig::starting()).run_region(&program, skip, u64::MAX).expect("runs");
+    let region = PipelineSim::new(PipelineConfig::starting())
+        .run_region(&program, skip, u64::MAX)
+        .expect("runs");
     // The timed region commits exactly the remaining instructions and
     // lands on the same final architectural state.
     assert_eq!(region.committed_instructions(), total - skip);
     assert_eq!(region.state_digest, full.state_digest);
-    assert!(region.cycles() < full.cycles(), "skipping work must save cycles");
+    assert!(
+        region.cycles() < full.cycles(),
+        "skipping work must save cycles"
+    );
 
-    let reese_region =
-        ReeseSim::new(ReeseConfig::starting()).run_region(&program, skip, u64::MAX).expect("runs");
+    let reese_region = ReeseSim::new(ReeseConfig::starting())
+        .run_region(&program, skip, u64::MAX)
+        .expect("runs");
     assert_eq!(reese_region.committed_instructions(), total - skip);
     assert_eq!(reese_region.state_digest, full.state_digest);
 }
@@ -137,11 +191,18 @@ fn sorting_workload_agrees_across_machines() {
     // the replay window and LSQ forwarding paths.
     let program = reese::workloads::extras::sorting(1);
     let emu = Emulator::new(&program).run(u64::MAX).expect("halts");
-    let base = PipelineSim::new(PipelineConfig::starting()).run(&program).expect("runs");
-    let reese = ReeseSim::new(ReeseConfig::starting()).run(&program).expect("runs");
+    let base = PipelineSim::new(PipelineConfig::starting())
+        .run(&program)
+        .expect("runs");
+    let reese = ReeseSim::new(ReeseConfig::starting())
+        .run(&program)
+        .expect("runs");
     assert_eq!(base.state_digest, emu.state_digest);
     assert_eq!(reese.state_digest, emu.state_digest);
     assert_eq!(base.output, emu.output);
     assert_eq!(reese.output, emu.output);
-    assert!(base.stats.loads_forwarded > 0, "the range stack must forward");
+    assert!(
+        base.stats.loads_forwarded > 0,
+        "the range stack must forward"
+    );
 }

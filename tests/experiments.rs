@@ -15,7 +15,12 @@ fn avg_ipc_baseline(suite: &Suite, cfg: &PipelineConfig) -> f64 {
     mean(
         &suite
             .iter()
-            .map(|w| PipelineSim::new(cfg.clone()).run(&w.program).expect("runs").ipc())
+            .map(|w| {
+                PipelineSim::new(cfg.clone())
+                    .run(&w.program)
+                    .expect("runs")
+                    .ipc()
+            })
             .collect::<Vec<_>>(),
     )
 }
@@ -24,7 +29,12 @@ fn avg_ipc_reese(suite: &Suite, cfg: &ReeseConfig) -> f64 {
     mean(
         &suite
             .iter()
-            .map(|w| ReeseSim::new(cfg.clone()).run(&w.program).expect("runs").ipc())
+            .map(|w| {
+                ReeseSim::new(cfg.clone())
+                    .run(&w.program)
+                    .expect("runs")
+                    .ipc()
+            })
             .collect::<Vec<_>>(),
     )
 }
@@ -37,8 +47,14 @@ fn fig2_shape_reese_trails_and_spares_help() {
     let base = avg_ipc_baseline(&s, &PipelineConfig::starting());
     let plain = avg_ipc_reese(&s, &ReeseConfig::starting());
     let spared = avg_ipc_reese(&s, &ReeseConfig::starting().with_spare_int_alus(2));
-    assert!(plain < base, "REESE {plain:.3} must trail baseline {base:.3}");
-    assert!(spared >= plain, "+2 ALUs must not hurt ({spared:.3} vs {plain:.3})");
+    assert!(
+        plain < base,
+        "REESE {plain:.3} must trail baseline {base:.3}"
+    );
+    assert!(
+        spared >= plain,
+        "+2 ALUs must not hurt ({spared:.3} vs {plain:.3})"
+    );
     let gap = (base - plain) / base;
     assert!(
         (0.02..0.40).contains(&gap),
@@ -53,7 +69,10 @@ fn fig3_shape_bigger_window_helps_baseline() {
     let s = suite();
     let small = avg_ipc_baseline(&s, &PipelineConfig::starting());
     let big = avg_ipc_baseline(&s, &PipelineConfig::starting().with_ruu(32).with_lsq(16));
-    assert!(big > small, "RUU 32 ({big:.3}) must beat RUU 16 ({small:.3})");
+    assert!(
+        big > small,
+        "RUU 32 ({big:.3}) must beat RUU 16 ({small:.3})"
+    );
 }
 
 /// Figure 4's shape: a 16-wide datapath does not slow anything down.
@@ -61,16 +80,27 @@ fn fig3_shape_bigger_window_helps_baseline() {
 fn fig4_shape_wider_datapath_not_worse() {
     let s = suite();
     let narrow = avg_ipc_baseline(&s, &PipelineConfig::starting().with_ruu(32).with_lsq(16));
-    let wide =
-        avg_ipc_baseline(&s, &PipelineConfig::starting().with_ruu(32).with_lsq(16).with_width(16));
-    assert!(wide >= narrow * 0.98, "wide {wide:.3} vs narrow {narrow:.3}");
+    let wide = avg_ipc_baseline(
+        &s,
+        &PipelineConfig::starting()
+            .with_ruu(32)
+            .with_lsq(16)
+            .with_width(16),
+    );
+    assert!(
+        wide >= narrow * 0.98,
+        "wide {wide:.3} vs narrow {narrow:.3}"
+    );
 }
 
 /// Figure 5's shape: extra memory ports lift REESE's absolute IPC.
 #[test]
 fn fig5_shape_ports_help_reese() {
     let s = suite();
-    let base16 = PipelineConfig::starting().with_ruu(32).with_lsq(16).with_width(16);
+    let base16 = PipelineConfig::starting()
+        .with_ruu(32)
+        .with_lsq(16)
+        .with_width(16);
     let two_ports = avg_ipc_reese(&s, &ReeseConfig::over(base16.clone()));
     let four_ports = avg_ipc_reese(&s, &ReeseConfig::over(base16.with_mem_ports(4)));
     assert!(
@@ -84,7 +114,13 @@ fn fig5_shape_ports_help_reese() {
 #[test]
 fn fig7_shape_fus_collapse_the_gap() {
     let s = suite();
-    let more_fus = FuCounts { int_alu: 8, int_muldiv: 4, fp_alu: 8, fp_muldiv: 4, mem_ports: 2 };
+    let more_fus = FuCounts {
+        int_alu: 8,
+        int_muldiv: 4,
+        fp_alu: 8,
+        fp_muldiv: 4,
+        mem_ports: 2,
+    };
     let ruu_only = PipelineConfig::starting().with_ruu(64).with_lsq(32);
     let with_fus = ruu_only.clone().with_fu(more_fus);
 
@@ -124,7 +160,10 @@ fn partial_duplication_monotone() {
     let mut last = 0.0;
     for period in [1u64, 2, 4] {
         let ipc = avg_ipc_reese(&s, &ReeseConfig::starting().with_duplication_period(period));
-        assert!(ipc >= last, "period {period}: IPC {ipc:.3} regressed below {last:.3}");
+        assert!(
+            ipc >= last,
+            "period {period}: IPC {ipc:.3} regressed below {last:.3}"
+        );
         last = ipc;
     }
 }
@@ -135,7 +174,9 @@ fn partial_duplication_monotone() {
 fn baseline_has_idle_capacity() {
     let s = suite();
     for w in s.iter() {
-        let r = PipelineSim::new(PipelineConfig::starting()).run(&w.program).expect("runs");
+        let r = PipelineSim::new(PipelineConfig::starting())
+            .run(&w.program)
+            .expect("runs");
         let idle = r.stats.idle_issue_fraction(8);
         assert!(
             idle > 0.3,

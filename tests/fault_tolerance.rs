@@ -19,10 +19,18 @@ fn every_result_error_is_detected_and_recovered() {
         } else {
             InjectedFault::redundant(seq, bit)
         };
-        let run = sim.run_with_faults(&program, &[fault], u64::MAX).expect("faulted run");
+        let run = sim
+            .run_with_faults(&program, &[fault], u64::MAX)
+            .expect("faulted run");
         assert_eq!(run.stats.detections, 1, "{kernel}: the flip must be caught");
-        assert_eq!(run.detections[0].seq, seq, "{kernel}: caught at the right instruction");
-        assert_eq!(run.state_digest, clean.state_digest, "{kernel}: state restored");
+        assert_eq!(
+            run.detections[0].seq, seq,
+            "{kernel}: caught at the right instruction"
+        );
+        assert_eq!(
+            run.state_digest, clean.state_digest,
+            "{kernel}: state restored"
+        );
         assert_eq!(run.output, clean.output, "{kernel}: output unperturbed");
         // One flush's direct cost is small, but the replay perturbs the
         // global branch history, which can swing total cycles slightly
@@ -59,7 +67,11 @@ fn uncovered_classes_stay_uncovered() {
         .seed(7)
         .run(&program)
         .expect("campaign");
-    for class in [FaultClass::PostCompare, FaultClass::CacheCell, FaultClass::PipelineControl] {
+    for class in [
+        FaultClass::PostCompare,
+        FaultClass::CacheCell,
+        FaultClass::PipelineControl,
+    ] {
         let (detected, total) = report.by_class(class);
         assert_eq!(detected, 0, "{class} is outside REESE's observation window");
         assert!(total > 0, "the broad mix must exercise {class}");
@@ -96,23 +108,35 @@ fn multiple_transients_each_detected_once() {
         .expect("runs");
     assert_eq!(run.stats.detections, 3);
     let seqs: Vec<u64> = run.detections.iter().map(|d| d.seq).collect();
-    assert_eq!(seqs, vec![10, 500, 2_000], "detections arrive in program order");
+    assert_eq!(
+        seqs,
+        vec![10, 500, 2_000],
+        "detections arrive in program order"
+    );
 }
 
 #[test]
 fn partial_duplication_trades_coverage_for_nothing_worse() {
     let program = Kernel::Lisp.build(1);
-    let full = ReeseSim::new(ReeseConfig::starting()).run(&program).expect("runs");
+    let full = ReeseSim::new(ReeseConfig::starting())
+        .run(&program)
+        .expect("runs");
     let half = ReeseSim::new(ReeseConfig::starting().with_duplication_period(2))
         .run(&program)
         .expect("runs");
-    assert!(half.cycles() <= full.cycles(), "less re-execution can't be slower");
+    assert!(
+        half.cycles() <= full.cycles(),
+        "less re-execution can't be slower"
+    );
     assert!(half.stats.r_skipped > 0);
     // A fault on a skipped (odd) instruction silently escapes.
     let escaped = ReeseSim::new(ReeseConfig::starting().with_duplication_period(2))
         .run_with_faults(&program, &[InjectedFault::primary(101, 5)], u64::MAX)
         .expect("runs");
-    assert_eq!(escaped.stats.detections, 0, "odd instructions are unprotected at period 2");
+    assert_eq!(
+        escaped.stats.detections, 0,
+        "odd instructions are unprotected at period 2"
+    );
 }
 
 #[test]
@@ -138,13 +162,29 @@ fn short_duration_faults_always_detected() {
     // corruption hits exactly one stream and must be caught.
     let mut affected_any = false;
     for start in (clean.cycles() / 4..clean.cycles() / 2).step_by(997) {
-        let fault = DurationFault { start_cycle: start, duration: 1, class: FuClass::IntAlu, bit: 5 };
-        let (run, report) = sim.run_with_duration_fault(&program, fault, u64::MAX).expect("runs");
-        assert_eq!(report.silent_both, 0, "Δt=1 cannot straddle both executions");
+        let fault = DurationFault {
+            start_cycle: start,
+            duration: 1,
+            class: FuClass::IntAlu,
+            bit: 5,
+        };
+        let (run, report) = sim
+            .run_with_duration_fault(&program, fault, u64::MAX)
+            .expect("runs");
+        assert_eq!(
+            report.silent_both, 0,
+            "Δt=1 cannot straddle both executions"
+        );
         if report.affected() {
             affected_any = true;
-            assert!(run.stats.detections > 0, "a one-stream corruption must be detected");
-            assert_eq!(run.state_digest, clean.state_digest, "recovery restores state");
+            assert!(
+                run.stats.detections > 0,
+                "a one-stream corruption must be detected"
+            );
+            assert_eq!(
+                run.state_digest, clean.state_digest,
+                "recovery restores state"
+            );
         }
     }
     assert!(affected_any, "at least one window must hit an instruction");
@@ -168,7 +208,10 @@ fn long_duration_faults_escape_silently() {
     };
     match sim.run_with_duration_fault(&program, fault, u64::MAX) {
         Ok((_, report)) => {
-            assert!(report.silent_both > 0, "long faults must produce silent escapes: {report:?}");
+            assert!(
+                report.silent_both > 0,
+                "long faults must produce silent escapes: {report:?}"
+            );
         }
         Err(ReeseError::PermanentFault { .. }) => {
             // Also acceptable: the disturbance outlasted the retry and
@@ -181,8 +224,58 @@ fn long_duration_faults_escape_silently() {
 #[test]
 fn separation_statistics_are_recorded() {
     let program = Kernel::Strings.build(1);
-    let run = ReeseSim::new(ReeseConfig::starting()).run(&program).expect("runs");
+    let run = ReeseSim::new(ReeseConfig::starting())
+        .run(&program)
+        .expect("runs");
     let sep = &run.stats.pr_separation;
     assert_eq!(sep.samples(), run.stats.comparisons);
     assert!(sep.mean() > 1.0, "R completion must trail P completion");
+}
+
+/// The ISSUE-mandated large parallel campaign: ≥200 trials per kernel
+/// on two kernels, fanned over 4 workers, with the §4.2 coverage
+/// boundary holding exactly — every result-class fault detected, every
+/// post-compare-class fault (by design) missed.
+#[test]
+fn large_parallel_campaign_respects_coverage_boundary() {
+    for (kernel, seed) in [(Kernel::Compiler, 1001), (Kernel::Lisp, 1002)] {
+        let program = kernel.build(1);
+        let report = Campaign::new(ReeseConfig::starting(), FaultMix::broad())
+            .trials(200)
+            .seed(seed)
+            .jobs(4)
+            .run(&program)
+            .expect("campaign");
+        assert_eq!(report.trials(), 200);
+        for class in [FaultClass::PrimaryResult, FaultClass::RedundantResult] {
+            let (det, total) = report.by_class(class);
+            assert!(
+                total > 0,
+                "{kernel}: the broad mix must draw {class} trials"
+            );
+            assert_eq!(det, total, "{kernel}: every {class} fault must be detected");
+        }
+        for class in [
+            FaultClass::PostCompare,
+            FaultClass::CacheCell,
+            FaultClass::PipelineControl,
+        ] {
+            let (det, total) = report.by_class(class);
+            assert!(
+                total > 0,
+                "{kernel}: the broad mix must draw {class} trials"
+            );
+            assert_eq!(
+                det, 0,
+                "{kernel}: {class} faults are outside REESE's window"
+            );
+        }
+        assert!(
+            report.all_states_clean(),
+            "{kernel}: recovery restores state"
+        );
+        let t = report.throughput.as_ref().expect("throughput recorded");
+        assert_eq!(t.items(), 200);
+        assert_eq!(t.jobs, 4);
+    }
 }

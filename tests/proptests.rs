@@ -1,106 +1,121 @@
-//! Property-based tests over the whole stack: random programs must
-//! behave identically on every machine, random faults must always be
-//! caught, and the binary encoding must round-trip anything.
+//! Randomized-but-deterministic tests over the whole stack: seeded
+//! random programs must behave identically on every machine, random
+//! faults must always be caught, and the binary encoding must
+//! round-trip anything. Every case derives from a fixed SplitMix64
+//! stream, so failures reproduce exactly.
 
-use proptest::prelude::*;
 use reese::core::{InjectedFault, ReeseConfig, ReeseSim};
 use reese::cpu::Emulator;
-use reese::isa::{abi, decode, encode, Instr, Opcode, Program, ProgramBuilder, Reg};
+use reese::isa::ProgramBuilder;
+use reese::isa::{abi, decode, encode, Instr, Opcode, Reg};
 use reese::pipeline::{PipelineConfig, PipelineSim};
+use reese::stats::SplitMix64;
 use reese::workloads::SyntheticSpec;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..64).prop_map(|r| Reg::from_raw(r).expect("in range"))
+fn random_instr(rng: &mut SplitMix64) -> Instr {
+    let op = Opcode::ALL[rng.index(Opcode::ALL.len())];
+    let reg = |rng: &mut SplitMix64| Reg::from_raw((rng.next_u64() & 63) as u8).expect("in range");
+    let rd = reg(rng);
+    let rs1 = reg(rng);
+    let rs2 = reg(rng);
+    let imm = i64::from(rng.next_u32() as i32);
+    Instr {
+        op,
+        rd,
+        rs1,
+        rs2,
+        imm,
+    }
 }
 
-fn arb_opcode() -> impl Strategy<Value = Opcode> {
-    prop::sample::select(Opcode::ALL.to_vec())
-}
-
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    (arb_opcode(), arb_reg(), arb_reg(), arb_reg(), any::<i32>())
-        .prop_map(|(op, rd, rs1, rs2, imm)| Instr { op, rd, rs1, rs2, imm: i64::from(imm) })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// encode ∘ decode is the identity on canonical instructions.
-    #[test]
-    fn encoding_round_trips(instr in arb_instr()) {
+/// encode ∘ decode is the identity on canonical instructions.
+#[test]
+fn encoding_round_trips() {
+    let mut rng = SplitMix64::new(0xE0C0DE);
+    for _ in 0..256 {
+        let instr = random_instr(&mut rng);
         let word = encode(&instr).expect("i32 immediates always encode");
         let back = decode(word).expect("encoder output always decodes");
-        prop_assert_eq!(back, instr.canonical());
+        assert_eq!(back, instr.canonical());
         // And encoding is stable: re-encoding gives the same word.
-        prop_assert_eq!(encode(&back).expect("canonical encodes"), word);
+        assert_eq!(encode(&back).expect("canonical encodes"), word);
     }
 }
 
 /// A random but always-terminating program: straight-line ALU/memory
 /// ops over a small scratch buffer, wrapped in a bounded countdown loop.
-fn arb_program() -> impl Strategy<Value = Program> {
-    (any::<u64>(), 4usize..40, 1u32..8).prop_map(|(seed, body, iters)| {
-        SyntheticSpec {
-            body_len: body,
-            iterations: iters,
-            seed,
-            ..SyntheticSpec::balanced()
-        }
-        .build()
-    })
+fn random_program(rng: &mut SplitMix64) -> reese::isa::Program {
+    SyntheticSpec {
+        body_len: 4 + rng.index(36),
+        iterations: 1 + rng.next_u32() % 7,
+        seed: rng.next_u64(),
+        ..SyntheticSpec::balanced()
+    }
+    .build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Random programs: pipeline == emulator == REESE, architecturally.
-    #[test]
-    fn machines_agree_on_random_programs(program in arb_program()) {
+/// Random programs: pipeline == emulator == REESE, architecturally.
+#[test]
+fn machines_agree_on_random_programs() {
+    let mut rng = SplitMix64::new(0xA62EE);
+    for _ in 0..24 {
+        let program = random_program(&mut rng);
         let emu = Emulator::new(&program).run(u64::MAX).expect("halts");
-        let base = PipelineSim::new(PipelineConfig::starting()).run(&program).expect("runs");
-        let reese = ReeseSim::new(ReeseConfig::starting()).run(&program).expect("runs");
-        prop_assert_eq!(base.state_digest, emu.state_digest);
-        prop_assert_eq!(reese.state_digest, emu.state_digest);
-        prop_assert_eq!(&base.output, &emu.output);
-        prop_assert_eq!(&reese.output, &emu.output);
-        prop_assert_eq!(base.committed_instructions(), emu.instructions);
-        prop_assert_eq!(reese.committed_instructions(), emu.instructions);
+        let base = PipelineSim::new(PipelineConfig::starting())
+            .run(&program)
+            .expect("runs");
+        let reese = ReeseSim::new(ReeseConfig::starting())
+            .run(&program)
+            .expect("runs");
+        assert_eq!(base.state_digest, emu.state_digest);
+        assert_eq!(reese.state_digest, emu.state_digest);
+        assert_eq!(&base.output, &emu.output);
+        assert_eq!(&reese.output, &emu.output);
+        assert_eq!(base.committed_instructions(), emu.instructions);
+        assert_eq!(reese.committed_instructions(), emu.instructions);
     }
+}
 
-    /// Any single result-latch bit flip anywhere in a random program is
-    /// detected, and the machine recovers to the clean state.
-    #[test]
-    fn any_result_fault_is_detected(
-        seed in any::<u64>(),
-        seq_frac in 0.0f64..1.0,
-        bit in 0u8..64,
-        primary in any::<bool>(),
-    ) {
-        let program = SyntheticSpec { seed, iterations: 4, ..SyntheticSpec::balanced() }.build();
-        let dynlen = Emulator::new(&program).run(u64::MAX).expect("halts").instructions;
-        let seq = ((dynlen - 1) as f64 * seq_frac) as u64;
-        let fault = if primary {
+/// Any single result-latch bit flip anywhere in a random program is
+/// detected, and the machine recovers to the clean state.
+#[test]
+fn any_result_fault_is_detected() {
+    let mut rng = SplitMix64::new(0xFA_0175);
+    for _ in 0..24 {
+        let program = SyntheticSpec {
+            seed: rng.next_u64(),
+            iterations: 4,
+            ..SyntheticSpec::balanced()
+        }
+        .build();
+        let dynlen = Emulator::new(&program)
+            .run(u64::MAX)
+            .expect("halts")
+            .instructions;
+        let seq = rng.range_u64(0, dynlen);
+        let bit = (rng.next_u64() & 63) as u8;
+        let fault = if rng.chance(0.5) {
             InjectedFault::primary(seq, bit)
         } else {
             InjectedFault::redundant(seq, bit)
         };
         let sim = ReeseSim::new(ReeseConfig::starting());
         let clean = sim.run(&program).expect("clean");
-        let run = sim.run_with_faults(&program, &[fault], u64::MAX).expect("faulted");
-        prop_assert_eq!(run.stats.detections, 1);
-        prop_assert_eq!(run.detections[0].seq, seq);
-        prop_assert_eq!(run.state_digest, clean.state_digest);
+        let run = sim
+            .run_with_faults(&program, &[fault], u64::MAX)
+            .expect("faulted");
+        assert_eq!(run.stats.detections, 1);
+        assert_eq!(run.detections[0].seq, seq);
+        assert_eq!(run.state_digest, clean.state_digest);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The R-stream Queue commits in program order: outputs of print
-    /// instructions appear in the same order as a fully sequential run,
-    /// whatever the interleaving of the two streams.
-    #[test]
-    fn commit_order_is_program_order(n in 2u32..20) {
+/// The R-stream Queue commits in program order: outputs of print
+/// instructions appear in the same order as a fully sequential run,
+/// whatever the interleaving of the two streams.
+#[test]
+fn commit_order_is_program_order() {
+    for n in 2u32..20 {
         let mut b = ProgramBuilder::new();
         let top = b.label("top");
         b.li(abi::T0, i64::from(n));
@@ -113,8 +128,10 @@ proptest! {
         b.li(abi::A0, 0);
         b.halt();
         let program = b.build().expect("builds");
-        let run = ReeseSim::new(ReeseConfig::starting()).run(&program).expect("runs");
+        let run = ReeseSim::new(ReeseConfig::starting())
+            .run(&program)
+            .expect("runs");
         let expected: Vec<i64> = (1..=i64::from(n)).collect();
-        prop_assert_eq!(run.output, expected);
+        assert_eq!(run.output, expected);
     }
 }

@@ -21,15 +21,15 @@ fn kernel_listings_reassemble_identically() {
     for kernel in Kernel::ALL {
         let program = kernel.build(1);
         // Strip the address column the listing prints.
-        let listing: String = program
-            .text()
-            .iter()
-            .map(|i| format!("  {i}\n"))
-            .collect();
-        let reassembled = assemble(&listing)
-            .unwrap_or_else(|e| panic!("{kernel}: listing must reassemble: {e}"));
+        let listing: String = program.text().iter().map(|i| format!("  {i}\n")).collect();
+        let reassembled =
+            assemble(&listing).unwrap_or_else(|e| panic!("{kernel}: listing must reassemble: {e}"));
         let canonical: Vec<_> = program.text().iter().map(|i| i.canonical()).collect();
-        assert_eq!(reassembled.text(), &canonical[..], "{kernel}: assembly round trip");
+        assert_eq!(
+            reassembled.text(),
+            &canonical[..],
+            "{kernel}: assembly round trip"
+        );
     }
 }
 
