@@ -1,0 +1,223 @@
+//! Scan vs event-driven scheduler micro-benchmark.
+//!
+//! Times all three machine models (baseline pipeline, REESE, duplex)
+//! on a long-running kernel under both [`SchedulerMode`]s, on the
+//! Table 1 starting configuration and on a large-window machine
+//! (RUU=256, LSQ=128) where the per-cycle scans are most expensive.
+//! Results — simulated cycles per wall-clock second and the
+//! event-driven/scan speedup — are printed and written to
+//! `BENCH_pipeline.json` (override with `--out FILE`; `--samples N`
+//! adjusts the timed sample count).
+//!
+//! The two modes must also produce bit-identical results; this binary
+//! asserts that on every cell, so a perf run doubles as an
+//! equivalence check.
+
+use reese_core::{DuplexSim, ReeseConfig, ReeseSim, SchedulerMode};
+use reese_pipeline::{PipelineConfig, PipelineSim};
+use reese_stats::bench::{Criterion, Measurement};
+use reese_workloads::Kernel;
+use std::hint::black_box;
+
+/// Dynamic instructions per benchmark run: long enough that the cycle
+/// loop dominates and the idle/scan cost difference is visible.
+const TARGET_INSTRUCTIONS: u64 = 120_000;
+
+struct Cell {
+    machine: &'static str,
+    sim: &'static str,
+    cycles: u64,
+    scan: Measurement,
+    event: Measurement,
+}
+
+impl Cell {
+    fn scan_cps(&self) -> f64 {
+        self.cycles as f64 / self.scan.min.as_secs_f64()
+    }
+
+    fn event_cps(&self) -> f64 {
+        self.cycles as f64 / self.event.min.as_secs_f64()
+    }
+
+    fn speedup(&self) -> f64 {
+        self.scan.min.as_secs_f64() / self.event.min.as_secs_f64()
+    }
+}
+
+fn machines() -> Vec<(&'static str, PipelineConfig)> {
+    vec![
+        ("starting (RUU=16, LSQ=8)", PipelineConfig::starting()),
+        (
+            "large (RUU=256, LSQ=128)",
+            PipelineConfig::starting().with_ruu(256).with_lsq(128),
+        ),
+        (
+            "huge (RUU=512, LSQ=256, width 16)",
+            PipelineConfig::starting()
+                .with_ruu(512)
+                .with_lsq(256)
+                .with_width(16),
+        ),
+    ]
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_pipeline.json");
+    let mut samples = 7usize;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--out" => out_path = argv.next().expect("--out needs a path"),
+            "--samples" => {
+                samples = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--samples needs a number")
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let kernel = Kernel::Lisp;
+    let program = kernel.build_for(TARGET_INSTRUCTIONS);
+    let mut cells = Vec::new();
+    let mut c = Criterion::default();
+
+    for (machine, base) in machines() {
+        let mut g = c.benchmark_group(machine);
+        g.sample_size(samples);
+
+        // Baseline out-of-order pipeline.
+        let run_pipe = |mode| {
+            PipelineSim::new(base.clone().with_scheduler(mode))
+                .run(&program)
+                .expect("kernel runs")
+        };
+        let reference = run_pipe(SchedulerMode::Scan);
+        assert_eq!(
+            reference,
+            run_pipe(SchedulerMode::EventDriven),
+            "baseline modes diverged"
+        );
+        let scan = g.bench_measured("baseline/scan", |b| {
+            b.iter(|| black_box(run_pipe(SchedulerMode::Scan)))
+        });
+        let event = g.bench_measured("baseline/event", |b| {
+            b.iter(|| black_box(run_pipe(SchedulerMode::EventDriven)))
+        });
+        cells.push(Cell {
+            machine,
+            sim: "baseline",
+            cycles: reference.stats.cycles,
+            scan,
+            event,
+        });
+
+        // REESE with full re-execution.
+        let reese_cfg = |mode| {
+            let mut cfg = ReeseConfig::starting().with_scheduler(mode);
+            cfg.pipeline = base.clone().with_scheduler(mode);
+            cfg
+        };
+        let run_reese = |mode| {
+            ReeseSim::new(reese_cfg(mode))
+                .run(&program)
+                .expect("kernel runs")
+        };
+        let reference = run_reese(SchedulerMode::Scan);
+        assert_eq!(
+            reference,
+            run_reese(SchedulerMode::EventDriven),
+            "REESE modes diverged"
+        );
+        let scan = g.bench_measured("reese/scan", |b| {
+            b.iter(|| black_box(run_reese(SchedulerMode::Scan)))
+        });
+        let event = g.bench_measured("reese/event", |b| {
+            b.iter(|| black_box(run_reese(SchedulerMode::EventDriven)))
+        });
+        cells.push(Cell {
+            machine,
+            sim: "reese",
+            cycles: reference.stats.pipeline.cycles,
+            scan,
+            event,
+        });
+
+        // Time-shared duplex comparison machine.
+        let run_duplex = |mode| {
+            DuplexSim::new(base.clone().with_scheduler(mode))
+                .run(&program)
+                .expect("kernel runs")
+        };
+        let reference = run_duplex(SchedulerMode::Scan);
+        assert_eq!(
+            reference,
+            run_duplex(SchedulerMode::EventDriven),
+            "duplex modes diverged"
+        );
+        let scan = g.bench_measured("duplex/scan", |b| {
+            b.iter(|| black_box(run_duplex(SchedulerMode::Scan)))
+        });
+        let event = g.bench_measured("duplex/event", |b| {
+            b.iter(|| black_box(run_duplex(SchedulerMode::EventDriven)))
+        });
+        cells.push(Cell {
+            machine,
+            sim: "duplex",
+            cycles: reference.stats.pipeline.cycles,
+            scan,
+            event,
+        });
+        g.finish();
+    }
+
+    println!();
+    println!(
+        "{:<26} {:<9} {:>14} {:>14} {:>8}",
+        "machine", "sim", "scan cyc/s", "event cyc/s", "speedup"
+    );
+    for cell in &cells {
+        println!(
+            "{:<26} {:<9} {:>14.0} {:>14.0} {:>7.2}x",
+            cell.machine,
+            cell.sim,
+            cell.scan_cps(),
+            cell.event_cps(),
+            cell.speedup()
+        );
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"scheduler\",\n");
+    json.push_str(&format!("  \"kernel\": \"{}\",\n", kernel.name()));
+    json.push_str(&format!(
+        "  \"target_instructions\": {TARGET_INSTRUCTIONS},\n"
+    ));
+    json.push_str(&format!("  \"samples\": {samples},\n"));
+    json.push_str("  \"cells\": [\n");
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|cell| {
+            format!(
+                "    {{\"machine\": \"{}\", \"sim\": \"{}\", \"cycles\": {}, \
+                 \"scan_min_s\": {:.6}, \"event_min_s\": {:.6}, \
+                 \"scan_cycles_per_s\": {:.0}, \"event_cycles_per_s\": {:.0}, \
+                 \"speedup\": {:.3}}}",
+                cell.machine,
+                cell.sim,
+                cell.cycles,
+                cell.scan.min.as_secs_f64(),
+                cell.event.min.as_secs_f64(),
+                cell.scan_cps(),
+                cell.event_cps(),
+                cell.speedup()
+            )
+        })
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write bench report");
+    println!("\nwritten to {out_path}");
+}

@@ -1,6 +1,6 @@
 //! REESE configuration.
 
-use reese_pipeline::{FuCounts, PipelineConfig};
+use reese_pipeline::{FuCounts, PipelineConfig, SchedulerMode};
 
 /// Configuration of the REESE time-redundant machine.
 ///
@@ -108,6 +108,14 @@ impl ReeseConfig {
         self
     }
 
+    /// Selects the cycle-loop scheduler implementation (results are
+    /// bit-identical either way; see
+    /// [`reese_pipeline::SchedulerMode`]).
+    pub fn with_scheduler(mut self, mode: SchedulerMode) -> ReeseConfig {
+        self.pipeline.scheduler = mode;
+        self
+    }
+
     /// Validates structural invariants.
     ///
     /// # Panics
@@ -172,6 +180,13 @@ mod tests {
         ReeseConfig::starting()
             .with_duplication_period(0)
             .validate();
+    }
+
+    #[test]
+    fn scheduler_knob_reaches_pipeline() {
+        let c = ReeseConfig::starting().with_scheduler(SchedulerMode::Scan);
+        assert_eq!(c.pipeline.scheduler, SchedulerMode::Scan);
+        c.validate();
     }
 
     #[test]

@@ -17,8 +17,8 @@ use crate::{ReeseError, ReeseResult, ReeseStats};
 use reese_isa::{FuClass, Program};
 use reese_mem::MemHierarchy;
 use reese_pipeline::{
-    FetchUnit, Fetched, FuPool, LoadPlan, Lsq, PipelineConfig, PredictionInfo, Ruu, Seq, SimError,
-    SimStop,
+    FetchUnit, Fetched, FuPool, LoadPlan, Lsq, PipelineConfig, PredictionInfo, Ruu, SchedulerMode,
+    Seq, SimError, SimStop,
 };
 use std::collections::VecDeque;
 
@@ -111,7 +111,7 @@ impl<'c> DuplexMachine<'c> {
             cycle: 0,
             fetch: FetchUnit::new(program, cfg.predictor.clone()),
             fetchq: VecDeque::with_capacity(cfg.fetch_queue_size),
-            ruu: Ruu::new(cfg.ruu_size),
+            ruu: Ruu::with_scheduler(cfg.ruu_size, cfg.scheduler),
             lsq: Lsq::new(cfg.lsq_size),
             fu: FuPool::new(cfg.fu),
             hierarchy: MemHierarchy::new(cfg.hierarchy.clone()),
@@ -125,6 +125,9 @@ impl<'c> DuplexMachine<'c> {
     fn run(&mut self, max_instructions: u64) -> Result<ReeseResult, ReeseError> {
         let stop = loop {
             self.cycle += 1;
+            if self.cfg.scheduler == SchedulerMode::EventDriven {
+                self.skip_idle_cycles();
+            }
 
             self.commit(max_instructions);
             if self.exit_code.is_some() {
@@ -160,6 +163,46 @@ impl<'c> DuplexMachine<'c> {
             state_digest: self.fetch.state_digest(),
             detections: Vec::new(),
         })
+    }
+
+    /// Jumps the clock over cycles on which no stage can act (see the
+    /// baseline's `skip_idle_cycles`). Pair commit needs a *completed*
+    /// head, so an incomplete head makes commit a guaranteed no-op.
+    fn skip_idle_cycles(&mut self) {
+        if self.ruu.head().is_some_and(|e| e.completed)
+            || self.ruu.has_ready()
+            || !self.fetchq.is_empty()
+        {
+            return;
+        }
+        if self
+            .ruu
+            .next_completion_cycle()
+            .is_some_and(|t| t <= self.cycle)
+        {
+            return;
+        }
+        let fetch_at = self.fetch.next_fetch_cycle(self.cycle);
+        if fetch_at == Some(self.cycle) {
+            return;
+        }
+        let Some(target) = [self.ruu.next_completion_cycle(), fetch_at]
+            .into_iter()
+            .flatten()
+            .min()
+        else {
+            // Nothing will ever wake: let the drain/deadlock path run.
+            return;
+        };
+        let mut target = target.min(self.last_commit_cycle + DEADLOCK_HORIZON + 1);
+        if self.cfg.max_cycles > 0 {
+            target = target.min(self.cfg.max_cycles);
+        }
+        if target <= self.cycle {
+            return;
+        }
+        self.stats.pipeline.fetch_queue_empty_cycles += target - self.cycle;
+        self.cycle = target;
     }
 
     /// Commits pairs: the redundant copy (even RUU seq) and the primary
@@ -203,12 +246,15 @@ impl<'c> DuplexMachine<'c> {
     }
 
     fn writeback(&mut self) {
-        let done: Vec<Seq> = self
-            .ruu
-            .iter()
-            .filter(|e| e.issued && !e.completed && e.complete_cycle <= self.cycle)
-            .map(|e| e.seq)
-            .collect();
+        let done: Vec<Seq> = match self.cfg.scheduler {
+            SchedulerMode::Scan => self
+                .ruu
+                .iter()
+                .filter(|e| e.issued && !e.completed && e.complete_cycle <= self.cycle)
+                .map(|e| e.seq)
+                .collect(),
+            SchedulerMode::EventDriven => self.ruu.take_completions(self.cycle),
+        };
         for seq in done {
             self.ruu.complete(seq);
             let e = self.ruu.get(seq).expect("just completed").clone();
@@ -229,7 +275,10 @@ impl<'c> DuplexMachine<'c> {
     }
 
     fn issue(&mut self) {
-        let ready: Vec<Seq> = self.ruu.ready_seqs().collect();
+        let ready: Vec<Seq> = match self.cfg.scheduler {
+            SchedulerMode::Scan => self.ruu.ready_seqs().collect(),
+            SchedulerMode::EventDriven => self.ruu.ready_snapshot(),
+        };
         let mut issued = 0usize;
         for seq in ready {
             if issued == self.cfg.width {
@@ -264,10 +313,7 @@ impl<'c> DuplexMachine<'c> {
                 }
                 u64::from(op.latency())
             };
-            let e = self.ruu.get_mut(seq).expect("ready seq in window");
-            e.issued = true;
-            e.issue_cycle = self.cycle;
-            e.complete_cycle = self.cycle + latency;
+            self.ruu.mark_issued(seq, self.cycle, self.cycle + latency);
             issued += 1;
             self.stats.pipeline.issued += 1;
             if seq % 2 == 0 {
@@ -432,6 +478,19 @@ mod tests {
             .unwrap();
         assert_eq!(r.stop, SimStop::InstructionLimit);
         assert!(r.committed_instructions() >= 50);
+    }
+
+    #[test]
+    fn scan_and_event_driven_agree() {
+        let prog = reese_workloads_like_program();
+        let scan = DuplexSim::new(PipelineConfig::starting().with_scheduler(SchedulerMode::Scan))
+            .run(&prog)
+            .unwrap();
+        let event =
+            DuplexSim::new(PipelineConfig::starting().with_scheduler(SchedulerMode::EventDriven))
+                .run(&prog)
+                .unwrap();
+        assert_eq!(scan, event);
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub use rqueue::{RQueue, RQueueEntry};
 pub use sim::ReeseSim;
 pub use stats::{ReeseError, ReeseResult, ReeseStats};
 
+// The scheduler-mode knob lives on the pipeline config; re-export it so
+// REESE-level callers can flip it without importing reese-pipeline.
+pub use reese_pipeline::SchedulerMode;
+
 // Campaigns and sweeps share one `ReeseSim` across worker threads
 // (each `run*` call builds its own machine internally); keep the
 // simulator and its configuration `Send + Sync` so that fan-out stays

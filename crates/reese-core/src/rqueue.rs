@@ -1,8 +1,9 @@
 //! The R-stream Queue: the heart of REESE.
 
 use reese_cpu::StepInfo;
-use reese_pipeline::Seq;
-use std::collections::VecDeque;
+use reese_pipeline::{SchedulerMode, Seq};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 /// One R-stream Queue entry.
 ///
@@ -92,21 +93,47 @@ pub struct RQueue {
     entries: VecDeque<RQueueEntry>,
     capacity: usize,
     peak_occupancy: usize,
+    mode: SchedulerMode,
+    /// Seqs awaiting redundant issue (non-skip, not yet issued), kept in
+    /// ascending order — the redundant scheduler's FIFO-lookahead order.
+    /// [`SchedulerMode::EventDriven`] only.
+    pending_r: BTreeSet<Seq>,
+    /// Redundant-completion event wheel keyed by
+    /// `(r_complete_cycle, seq)`. [`SchedulerMode::EventDriven`] only.
+    completions: BinaryHeap<Reverse<(u64, Seq)>>,
 }
 
 impl RQueue {
-    /// Creates an empty queue.
+    /// Creates an empty queue with the default (event-driven) scheduler.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> RQueue {
+        RQueue::with_scheduler(capacity, SchedulerMode::default())
+    }
+
+    /// Creates an empty queue with an explicit scheduler mode. Under
+    /// [`SchedulerMode::Scan`] no incremental structures are maintained
+    /// and the simulator falls back to whole-queue scans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_scheduler(capacity: usize, mode: SchedulerMode) -> RQueue {
         assert!(capacity > 0, "R-stream Queue capacity must be positive");
         RQueue {
             entries: VecDeque::with_capacity(capacity),
             capacity,
             peak_occupancy: 0,
+            mode,
+            pending_r: BTreeSet::new(),
+            completions: BinaryHeap::new(),
         }
+    }
+
+    fn event_driven(&self) -> bool {
+        self.mode == SchedulerMode::EventDriven
     }
 
     /// Occupied entries.
@@ -149,8 +176,64 @@ impl RQueue {
                 "R-stream Queue must fill in program order"
             );
         }
+        if self.event_driven() && !entry.skip_r {
+            self.pending_r.insert(entry.seq);
+        }
         self.entries.push_back(entry);
         self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+    }
+
+    /// Records that the redundant execution of `seq` issued, leaving
+    /// the pending pool and scheduling its completion event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not resident.
+    pub fn mark_r_issued(&mut self, seq: Seq, r_complete_cycle: u64) {
+        let event_driven = self.event_driven();
+        let entry = self.get_mut(seq).expect("issuing an R seq not in queue");
+        debug_assert!(
+            !entry.r_issued && !entry.skip_r,
+            "only pending entries issue"
+        );
+        entry.r_issued = true;
+        entry.r_complete_cycle = r_complete_cycle;
+        if event_driven {
+            self.pending_r.remove(&seq);
+            self.completions.push(Reverse((r_complete_cycle, seq)));
+        }
+    }
+
+    /// The first `limit` seqs awaiting redundant issue, oldest first —
+    /// exactly the entries the FIFO-lookahead scan would consider
+    /// (event-driven mode only; empty under [`SchedulerMode::Scan`]).
+    pub fn pending_r_front(&self, limit: usize) -> Vec<Seq> {
+        self.pending_r.iter().take(limit).copied().collect()
+    }
+
+    /// Whether any entry awaits redundant issue (event-driven mode only).
+    pub fn has_pending_r(&self) -> bool {
+        !self.pending_r.is_empty()
+    }
+
+    /// Pops the seqs of every redundant completion due at or before
+    /// `now`, in `(cycle, seq)` order (event-driven mode only).
+    pub fn take_r_completions(&mut self, now: u64) -> Vec<Seq> {
+        let mut done = Vec::new();
+        while let Some(&Reverse((cycle, seq))) = self.completions.peek() {
+            if cycle > now {
+                break;
+            }
+            self.completions.pop();
+            done.push(seq);
+        }
+        done
+    }
+
+    /// Cycle of the earliest scheduled redundant completion, if any
+    /// (event-driven mode only).
+    pub fn next_r_completion_cycle(&self) -> Option<u64> {
+        self.completions.peek().map(|&Reverse((cycle, _))| cycle)
     }
 
     /// The oldest entry.
@@ -161,6 +244,16 @@ impl RQueue {
     /// Removes the oldest entry (after comparison at commit).
     pub fn pop_head(&mut self) -> Option<RQueueEntry> {
         self.entries.pop_front()
+    }
+
+    /// Shared access to an entry by sequence number (see
+    /// [`RQueue::get_mut`] for why the lookup is O(1)).
+    pub fn get(&self, seq: Seq) -> Option<&RQueueEntry> {
+        let front = self.entries.front()?.seq;
+        let idx = usize::try_from(seq.checked_sub(front)?).ok()?;
+        let entry = self.entries.get(idx)?;
+        debug_assert_eq!(entry.seq, seq, "R-stream Queue seqs must be contiguous");
+        (entry.seq == seq).then_some(entry)
     }
 
     /// Mutable access to an entry by sequence number.
@@ -188,8 +281,14 @@ impl RQueue {
     }
 
     /// Clears the queue (error-detection flush).
+    ///
+    /// The pending set and the completion wheel are drained too: the
+    /// flush rewinds fetch, so the *same* sequence numbers re-enter the
+    /// queue later and stale events must never fire against them.
     pub fn flush_all(&mut self) {
         self.entries.clear();
+        self.pending_r.clear();
+        self.completions.clear();
     }
 }
 
@@ -295,5 +394,71 @@ mod tests {
         q.push(entry(0));
         q.flush_all();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pending_pool_tracks_issue() {
+        let mut q = RQueue::new(8);
+        q.push(entry(0));
+        q.push(entry(1));
+        q.push(entry(2));
+        assert!(q.has_pending_r());
+        assert_eq!(q.pending_r_front(2), vec![0, 1]);
+        q.mark_r_issued(1, 7);
+        assert_eq!(q.pending_r_front(8), vec![0, 2]);
+        assert_eq!(q.get_mut(1).unwrap().r_complete_cycle, 7);
+        assert!(q.get_mut(1).unwrap().r_issued);
+    }
+
+    #[test]
+    fn skipped_entries_never_pend() {
+        let mut s = ArchState::new(0x1000);
+        let mut m = Memory::new();
+        let info = step(&mut s, &Instr::rri(Opcode::Li, T0, ZERO, 7), &mut m);
+        let mut q = RQueue::new(4);
+        q.push(RQueueEntry::new(0, info, 0, true));
+        assert!(!q.has_pending_r());
+        assert_eq!(q.pending_r_front(4), Vec::<Seq>::new());
+    }
+
+    #[test]
+    fn r_completion_wheel_order_and_drain() {
+        let mut q = RQueue::new(8);
+        for seq in 0..3 {
+            q.push(entry(seq));
+        }
+        q.mark_r_issued(2, 4);
+        q.mark_r_issued(0, 4);
+        q.mark_r_issued(1, 6);
+        assert_eq!(q.next_r_completion_cycle(), Some(4));
+        assert_eq!(q.take_r_completions(3), Vec::<Seq>::new());
+        assert_eq!(q.take_r_completions(4), vec![0, 2]);
+        assert_eq!(q.take_r_completions(9), vec![1]);
+        assert_eq!(q.next_r_completion_cycle(), None);
+    }
+
+    #[test]
+    fn flush_drains_pending_and_wheel() {
+        let mut q = RQueue::new(8);
+        q.push(entry(0));
+        q.push(entry(1));
+        q.mark_r_issued(0, 9);
+        q.flush_all();
+        assert!(!q.has_pending_r(), "no stale pending seqs after a flush");
+        assert_eq!(
+            q.next_r_completion_cycle(),
+            None,
+            "no stale events may fire against re-migrated seqs"
+        );
+    }
+
+    #[test]
+    fn scan_mode_maintains_no_structures() {
+        let mut q = RQueue::with_scheduler(4, SchedulerMode::Scan);
+        q.push(entry(0));
+        assert!(!q.has_pending_r());
+        q.mark_r_issued(0, 5);
+        assert_eq!(q.next_r_completion_cycle(), None);
+        assert!(q.get_mut(0).unwrap().r_issued);
     }
 }

@@ -6,7 +6,9 @@ use crate::{
 };
 use reese_isa::{FuClass, Program};
 use reese_mem::MemHierarchy;
-use reese_pipeline::{FetchUnit, Fetched, FuPool, LoadPlan, Lsq, Ruu, Seq, SimError, SimStop};
+use reese_pipeline::{
+    FetchUnit, Fetched, FuPool, LoadPlan, Lsq, Ruu, SchedulerMode, Seq, SimError, SimStop,
+};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 const DEADLOCK_HORIZON: u64 = 100_000;
@@ -181,9 +183,9 @@ impl<'c> ReeseMachine<'c> {
             cycle: 0,
             fetch: FetchUnit::new(program, cfg.pipeline.predictor.clone()),
             fetchq: VecDeque::with_capacity(cfg.pipeline.fetch_queue_size),
-            ruu: Ruu::new(cfg.pipeline.ruu_size),
+            ruu: Ruu::with_scheduler(cfg.pipeline.ruu_size, cfg.pipeline.scheduler),
             lsq: Lsq::new(cfg.pipeline.lsq_size),
-            rqueue: RQueue::new(cfg.rqueue_size),
+            rqueue: RQueue::with_scheduler(cfg.rqueue_size, cfg.pipeline.scheduler),
             fu: FuPool::new(cfg.pipeline.fu),
             hierarchy: MemHierarchy::new(cfg.pipeline.hierarchy.clone()),
             stats: ReeseStats::new(cfg.rqueue_size),
@@ -205,6 +207,9 @@ impl<'c> ReeseMachine<'c> {
     fn run(&mut self, max_instructions: u64) -> Result<ReeseResult, ReeseError> {
         let stop = loop {
             self.cycle += 1;
+            if self.cfg.pipeline.scheduler == SchedulerMode::EventDriven {
+                self.skip_idle_cycles();
+            }
 
             self.commit(max_instructions);
             if let Some((seq, pc)) = self.permanent {
@@ -252,6 +257,64 @@ impl<'c> ReeseMachine<'c> {
             && self.fetchq.is_empty()
             && self.ruu.is_empty()
             && self.rqueue.is_empty()
+    }
+
+    /// Jumps the clock over cycles on which no stage can act (see the
+    /// baseline's `skip_idle_cycles`): no comparable queue head, no
+    /// migratable RUU instruction, no P or R completion due, nothing
+    /// ready or pending to issue, nothing to dispatch, fetch dormant.
+    /// Skipped cycles get their per-cycle statistics applied in bulk;
+    /// the landing cycle runs the normal loop body so the cycle-limit
+    /// and deadlock checks fire exactly as in `Scan` mode.
+    fn skip_idle_cycles(&mut self) {
+        if self.rqueue.head().is_some_and(|e| e.commit_ready())
+            || self.ruu.has_ready()
+            || self.rqueue.has_pending_r()
+            || !self.fetchq.is_empty()
+        {
+            return;
+        }
+        // A completed migration candidate acts this cycle even when the
+        // queue is full (it counts a `rqueue_full_stalls` sample).
+        if self
+            .ruu
+            .get(self.next_migrate_seq)
+            .is_some_and(|e| e.completed)
+        {
+            return;
+        }
+        let p_wake = self.ruu.next_completion_cycle();
+        let r_wake = self.rqueue.next_r_completion_cycle();
+        if p_wake.is_some_and(|t| t <= self.cycle) || r_wake.is_some_and(|t| t <= self.cycle) {
+            return;
+        }
+        let fetch_at = self.fetch.next_fetch_cycle(self.cycle);
+        if fetch_at == Some(self.cycle) {
+            return;
+        }
+        let Some(target) = [p_wake, r_wake, fetch_at].into_iter().flatten().min() else {
+            // Nothing will ever wake: let the drain/deadlock path run.
+            return;
+        };
+        let mut target = target.min(self.last_commit_cycle + DEADLOCK_HORIZON + 1);
+        if self.cfg.pipeline.max_cycles > 0 {
+            target = target.min(self.cfg.pipeline.max_cycles);
+        }
+        if target <= self.cycle {
+            return;
+        }
+        // Per-cycle bookkeeping the skipped no-op cycles would have done:
+        // the occupancy sample, the empty-queue counter, and the
+        // R-priority counter (`issue` counts it even when nothing issues).
+        let skipped = target - self.cycle;
+        self.stats
+            .rqueue_occupancy
+            .record_n(self.rqueue.len() as u64, skipped);
+        self.stats.pipeline.fetch_queue_empty_cycles += skipped;
+        if self.rqueue.len() >= self.cfg.high_water {
+            self.stats.r_priority_cycles += skipped;
+        }
+        self.cycle = target;
     }
 
     /// Commit from the R-stream Queue head: compare P and R results,
@@ -472,12 +535,15 @@ impl<'c> ReeseMachine<'c> {
     /// dependants, resolving control) and R completions in the queue.
     fn writeback(&mut self) {
         // Primary stream, identical to the baseline.
-        let done: Vec<Seq> = self
-            .ruu
-            .iter()
-            .filter(|e| e.issued && !e.completed && e.complete_cycle <= self.cycle)
-            .map(|e| e.seq)
-            .collect();
+        let done: Vec<Seq> = match self.cfg.pipeline.scheduler {
+            SchedulerMode::Scan => self
+                .ruu
+                .iter()
+                .filter(|e| e.issued && !e.completed && e.complete_cycle <= self.cycle)
+                .map(|e| e.seq)
+                .collect(),
+            SchedulerMode::EventDriven => self.ruu.take_completions(self.cycle),
+        };
         for seq in done {
             self.ruu.complete(seq);
             let e = self.ruu.get(seq).expect("just completed").clone();
@@ -500,8 +566,14 @@ impl<'c> ReeseMachine<'c> {
         // Redundant stream completions: one in-place pass. Splitting the
         // borrows (queue vs fault state) avoids the old
         // copy-out/apply/copy-back dance, which walked the queue twice
-        // per completion on top of the linear `get_mut` lookups.
+        // per completion on top of the linear `get_mut` lookups. Fault
+        // application is per-seq and order-independent, so the event
+        // wheel's (cycle, seq) pop order is as good as queue order.
         let cycle = self.cycle;
+        let r_done = match self.cfg.pipeline.scheduler {
+            SchedulerMode::Scan => None,
+            SchedulerMode::EventDriven => Some(self.rqueue.take_r_completions(cycle)),
+        };
         let Self {
             rqueue,
             faults,
@@ -511,19 +583,31 @@ impl<'c> ReeseMachine<'c> {
             duration_p_hits,
             ..
         } = self;
-        for entry in rqueue.iter_mut() {
-            if entry.r_issued && !entry.r_completed && entry.r_complete_cycle <= cycle {
-                entry.r_completed = true;
-                Self::apply_faults_to(faults, inject_cycles, cycle, entry, Stream::Redundant);
-                Self::apply_duration_fault_to(
-                    *duration_fault,
-                    duration_report,
-                    duration_p_hits,
-                    inject_cycles,
-                    cycle,
-                    entry,
-                    Stream::Redundant,
-                );
+        let mut finish = |entry: &mut RQueueEntry| {
+            entry.r_completed = true;
+            Self::apply_faults_to(faults, inject_cycles, cycle, entry, Stream::Redundant);
+            Self::apply_duration_fault_to(
+                *duration_fault,
+                duration_report,
+                duration_p_hits,
+                inject_cycles,
+                cycle,
+                entry,
+                Stream::Redundant,
+            );
+        };
+        match r_done {
+            None => {
+                for entry in rqueue.iter_mut() {
+                    if entry.r_issued && !entry.r_completed && entry.r_complete_cycle <= cycle {
+                        finish(entry);
+                    }
+                }
+            }
+            Some(seqs) => {
+                for seq in seqs {
+                    finish(rqueue.get_mut(seq).expect("completing seq in queue"));
+                }
             }
         }
     }
@@ -546,7 +630,10 @@ impl<'c> ReeseMachine<'c> {
     }
 
     fn issue_primary(&mut self, budget: &mut usize) {
-        let ready: Vec<Seq> = self.ruu.ready_seqs().collect();
+        let ready: Vec<Seq> = match self.cfg.pipeline.scheduler {
+            SchedulerMode::Scan => self.ruu.ready_seqs().collect(),
+            SchedulerMode::EventDriven => self.ruu.ready_snapshot(),
+        };
         for seq in ready {
             if *budget == 0 {
                 break;
@@ -580,10 +667,7 @@ impl<'c> ReeseMachine<'c> {
                 }
                 u64::from(op.latency())
             };
-            let e = self.ruu.get_mut(seq).expect("ready seq in window");
-            e.issued = true;
-            e.issue_cycle = self.cycle;
-            e.complete_cycle = self.cycle + latency;
+            self.ruu.mark_issued(seq, self.cycle, self.cycle + latency);
             *budget -= 1;
             self.stats.pipeline.issued += 1;
         }
@@ -600,41 +684,77 @@ impl<'c> ReeseMachine<'c> {
         let cycle = self.cycle;
         let l1d_hit = u64::from(self.hierarchy.l1d_hit_latency());
         let lookahead = self.cfg.r_issue_lookahead;
-        let mut considered = 0usize;
         let mut issued_now = 0u64;
-        for entry in self.rqueue.iter_mut() {
-            if *budget == 0 || considered == lookahead {
-                break;
+        match self.cfg.pipeline.scheduler {
+            SchedulerMode::Scan => {
+                let mut considered = 0usize;
+                for entry in self.rqueue.iter_mut() {
+                    if *budget == 0 || considered == lookahead {
+                        break;
+                    }
+                    if entry.r_issued || entry.skip_r {
+                        continue;
+                    }
+                    considered += 1;
+                    let op = entry.info.instr.op;
+                    // R memory verifications recompute the effective
+                    // address on an integer ALU and re-access the cache
+                    // (a guaranteed L1 hit, §4.4) through a port, just
+                    // like the primary access.
+                    let issued = if entry.info.mem.is_some() {
+                        self.fu.try_issue_mem(op, cycle)
+                    } else {
+                        self.fu.try_issue(op, cycle)
+                    };
+                    if !issued {
+                        // A blocked entry does not dam the whole queue:
+                        // the scheduler may slip past it within the small
+                        // lookahead window (limited out-of-order slip,
+                        // like a real issue window over the queue's head
+                        // entries).
+                        continue;
+                    }
+                    let latency: u64 = if entry.info.mem.is_some() {
+                        1 + l1d_hit
+                    } else {
+                        u64::from(op.latency())
+                    };
+                    entry.r_issued = true;
+                    entry.r_complete_cycle = cycle + latency;
+                    *budget -= 1;
+                    issued_now += 1;
+                }
             }
-            if entry.r_issued || entry.skip_r {
-                continue;
+            SchedulerMode::EventDriven => {
+                // `pending_r_front` is exactly the set of entries the
+                // scan above would have counted as `considered`: the
+                // first `lookahead` un-issued, un-skipped entries in
+                // queue (= seq) order.
+                for seq in self.rqueue.pending_r_front(lookahead) {
+                    if *budget == 0 {
+                        break;
+                    }
+                    let entry = self.rqueue.get(seq).expect("pending seq in queue");
+                    let op = entry.info.instr.op;
+                    let is_mem = entry.info.mem.is_some();
+                    let issued = if is_mem {
+                        self.fu.try_issue_mem(op, cycle)
+                    } else {
+                        self.fu.try_issue(op, cycle)
+                    };
+                    if !issued {
+                        continue;
+                    }
+                    let latency: u64 = if is_mem {
+                        1 + l1d_hit
+                    } else {
+                        u64::from(op.latency())
+                    };
+                    self.rqueue.mark_r_issued(seq, cycle + latency);
+                    *budget -= 1;
+                    issued_now += 1;
+                }
             }
-            considered += 1;
-            let op = entry.info.instr.op;
-            // R memory verifications recompute the effective address on
-            // an integer ALU and re-access the cache (a guaranteed L1
-            // hit, §4.4) through a port, just like the primary access.
-            let issued = if entry.info.mem.is_some() {
-                self.fu.try_issue_mem(op, cycle)
-            } else {
-                self.fu.try_issue(op, cycle)
-            };
-            if !issued {
-                // A blocked entry does not dam the whole queue: the
-                // scheduler may slip past it within the small lookahead
-                // window (limited out-of-order slip, like a real issue
-                // window over the queue's head entries).
-                continue;
-            }
-            let latency: u64 = if entry.info.mem.is_some() {
-                1 + l1d_hit
-            } else {
-                u64::from(op.latency())
-            };
-            entry.r_issued = true;
-            entry.r_complete_cycle = cycle + latency;
-            *budget -= 1;
-            issued_now += 1;
         }
         self.stats.r_issued += issued_now;
     }
@@ -897,6 +1017,85 @@ mod tests {
             .unwrap();
         assert_eq!(r.stop, SimStop::InstructionLimit);
         assert!(r.committed_instructions() >= 100);
+    }
+
+    #[test]
+    fn scan_and_event_driven_agree() {
+        let mem_src = "  la a0, arr\n  li t0, 0\n  li t1, 16\n\
+             loop: slli t2, t0, 3\n  add t3, a0, t2\n  sd t0, 0(t3)\n  ld t4, 0(t3)\n  add t5, t5, t4\n  addi t0, t0, 1\n  bne t0, t1, loop\n\
+             \n  print t5\n  halt\n  .data\narr: .space 128\n";
+        for src in [LOOP, mem_src] {
+            let prog = assemble(src).unwrap();
+            let scan = ReeseSim::new(ReeseConfig::starting().with_scheduler(SchedulerMode::Scan))
+                .run(&prog)
+                .unwrap();
+            let event =
+                ReeseSim::new(ReeseConfig::starting().with_scheduler(SchedulerMode::EventDriven))
+                    .run(&prog)
+                    .unwrap();
+            assert_eq!(scan, event, "modes diverged on {src:?}");
+        }
+    }
+
+    #[test]
+    fn scan_and_event_driven_agree_under_faults() {
+        // Detection flushes must fully drain the ready set and both
+        // event wheels; any stale event would desynchronise the modes
+        // (or fire against a re-delivered seq).
+        let prog = assemble(LOOP).unwrap();
+        let faults = [
+            InjectedFault::primary(5, 1),
+            InjectedFault::redundant(50, 63),
+            InjectedFault::primary(100, 2),
+        ];
+        let scan = ReeseSim::new(ReeseConfig::starting().with_scheduler(SchedulerMode::Scan))
+            .run_with_faults(&prog, &faults, u64::MAX)
+            .unwrap();
+        let event =
+            ReeseSim::new(ReeseConfig::starting().with_scheduler(SchedulerMode::EventDriven))
+                .run_with_faults(&prog, &faults, u64::MAX)
+                .unwrap();
+        assert_eq!(scan, event);
+        assert_eq!(event.stats.detections, 3);
+    }
+
+    #[test]
+    fn repeated_flush_stress_with_seeded_faults() {
+        // A crude SplitMix64 drives fault placement so the schedule of
+        // flushes is arbitrary but reproducible; every trial must agree
+        // across modes and still drain to a clean halt.
+        let prog = assemble(LOOP).unwrap();
+        let mut state: u64 = 0x9e3779b97f4a7c15;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        for trial in 0..10 {
+            let faults: Vec<InjectedFault> = (0..3)
+                .map(|_| {
+                    let seq = next() % 200;
+                    let bit = (next() % 64) as u8;
+                    if next() % 2 == 0 {
+                        InjectedFault::primary(seq, bit)
+                    } else {
+                        InjectedFault::redundant(seq, bit)
+                    }
+                })
+                .collect();
+            let scan = ReeseSim::new(ReeseConfig::starting().with_scheduler(SchedulerMode::Scan))
+                .run_with_faults(&prog, &faults, u64::MAX)
+                .unwrap();
+            let event =
+                ReeseSim::new(ReeseConfig::starting().with_scheduler(SchedulerMode::EventDriven))
+                    .run_with_faults(&prog, &faults, u64::MAX)
+                    .unwrap();
+            assert_eq!(scan, event, "trial {trial} faults {faults:?}");
+            assert_eq!(event.stop, SimStop::Halted, "trial {trial}");
+            assert_eq!(event.exit_code, Some(0), "trial {trial}");
+        }
     }
 
     #[test]

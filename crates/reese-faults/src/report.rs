@@ -154,6 +154,73 @@ impl CoverageReport {
         }
         t
     }
+
+    /// Serialises every trial as CSV with a header row: one line per
+    /// outcome, in campaign order. An undetected trial has an empty
+    /// `detection_latency` field. Class names contain no commas or
+    /// quotes, so no RFC-4180 quoting is ever needed.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "trial,class,seq,bit,detected,detection_latency,extra_cycles,state_clean\n",
+        );
+        for (i, o) in self.outcomes.iter().enumerate() {
+            let latency = o.detection_latency.map_or(String::new(), |l| l.to_string());
+            out.push_str(&format!(
+                "{i},{},{},{},{},{latency},{},{}\n",
+                o.class, o.seq, o.bit, o.detected, o.extra_cycles, o.state_clean
+            ));
+        }
+        out
+    }
+
+    /// Serialises the report — summary aggregates, the per-class table,
+    /// and every outcome — as a JSON object. Hand-rolled (the project is
+    /// std-only): every value is a number, boolean, null, or a class
+    /// name that needs no escaping.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"trials\": {},\n", self.trials()));
+        out.push_str(&format!("  \"detected\": {},\n", self.detected));
+        out.push_str(&format!("  \"coverage\": {:.6},\n", self.coverage()));
+        out.push_str(&format!("  \"clean_cycles\": {},\n", self.clean_cycles));
+        out.push_str(&format!(
+            "  \"mean_detection_latency\": {:.3},\n",
+            self.mean_detection_latency()
+        ));
+        out.push_str(&format!(
+            "  \"mean_recovery_cycles\": {:.3},\n",
+            self.mean_recovery_cycles()
+        ));
+        out.push_str(&format!(
+            "  \"all_states_clean\": {},\n",
+            self.all_states_clean()
+        ));
+        out.push_str("  \"by_class\": {");
+        let classes: Vec<String> = self
+            .class_table()
+            .into_iter()
+            .map(|(name, (d, n))| format!("\"{name}\": {{\"detected\": {d}, \"total\": {n}}}"))
+            .collect();
+        out.push_str(&classes.join(", "));
+        out.push_str("},\n");
+        out.push_str("  \"outcomes\": [\n");
+        let rows: Vec<String> = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                let latency = o
+                    .detection_latency
+                    .map_or_else(|| "null".to_string(), |l| l.to_string());
+                format!(
+                    "    {{\"class\": \"{}\", \"seq\": {}, \"bit\": {}, \"detected\": {}, \"detection_latency\": {latency}, \"extra_cycles\": {}, \"state_clean\": {}}}",
+                    o.class, o.seq, o.bit, o.detected, o.extra_cycles, o.state_clean
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
 }
 
 impl fmt::Display for CoverageReport {
@@ -220,6 +287,46 @@ mod tests {
         assert_eq!(r.coverage(), 0.0);
         assert_eq!(r.mean_detection_latency(), 0.0);
         assert!(r.all_states_clean());
+    }
+
+    #[test]
+    fn csv_round_trips_fields() {
+        let mut r = CoverageReport::new(100);
+        r.record(outcome(FaultClass::PrimaryResult, true));
+        r.record(outcome(FaultClass::CacheCell, false));
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 trials");
+        assert_eq!(
+            lines[0],
+            "trial,class,seq,bit,detected,detection_latency,extra_cycles,state_clean"
+        );
+        assert_eq!(lines[1], "0,p-result,0,0,true,10,20,true");
+        assert_eq!(lines[2], "1,cache-cell,0,0,false,,0,true");
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let mut r = CoverageReport::new(100);
+        r.record(outcome(FaultClass::PrimaryResult, true));
+        r.record(outcome(FaultClass::CacheCell, false));
+        let json = r.to_json();
+        // Balanced braces/brackets (no string values contain them).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes, "{json}");
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"trials\": 2"));
+        assert!(json.contains("\"coverage\": 0.500000"));
+        assert!(json.contains("\"detection_latency\": null"));
+        assert!(json.contains("\"p-result\": {\"detected\": 1, \"total\": 1}"));
+    }
+
+    #[test]
+    fn empty_report_serialises() {
+        let r = CoverageReport::new(0);
+        assert_eq!(r.to_csv().lines().count(), 1, "header only");
+        assert!(r.to_json().contains("\"outcomes\": [\n\n  ]"));
     }
 
     #[test]

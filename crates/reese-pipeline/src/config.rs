@@ -54,6 +54,27 @@ impl Default for FuCounts {
     }
 }
 
+/// How the cycle loop finds work each cycle.
+///
+/// Both modes are cycle-accurate and produce bit-identical results; the
+/// equivalence suite in the workspace root asserts exactly that. The
+/// scan path is retained as the executable specification the
+/// event-driven path is checked against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// Re-scan the whole instruction window every cycle (the original
+    /// SimpleScalar-style implementation): writeback filters every RUU
+    /// entry, issue collects every ready entry, and the clock always
+    /// advances one cycle at a time.
+    Scan,
+    /// Maintain incremental structures instead: a ready set updated at
+    /// dispatch/wake-up, a completion event wheel keyed by
+    /// `complete_cycle`, and idle-cycle skipping that jumps the clock to
+    /// the next scheduled event when the machine is provably quiescent.
+    #[default]
+    EventDriven,
+}
+
 /// Full configuration of the baseline out-of-order pipeline.
 ///
 /// [`PipelineConfig::starting`] reproduces the paper's Table 1 "starting
@@ -91,6 +112,8 @@ pub struct PipelineConfig {
     pub mispredict_penalty: u32,
     /// Hard safety cap on simulated cycles (0 = unlimited).
     pub max_cycles: u64,
+    /// How the cycle loop finds work (results are identical either way).
+    pub scheduler: SchedulerMode,
 }
 
 impl PipelineConfig {
@@ -107,7 +130,14 @@ impl PipelineConfig {
             predictor: PredictorConfig::paper(),
             mispredict_penalty: 3,
             max_cycles: 0,
+            scheduler: SchedulerMode::default(),
         }
+    }
+
+    /// Selects the cycle-loop scheduler implementation.
+    pub fn with_scheduler(mut self, mode: SchedulerMode) -> PipelineConfig {
+        self.scheduler = mode;
+        self
     }
 
     /// Sets the RUU size.
@@ -223,6 +253,15 @@ mod tests {
             .with_ruu(8)
             .with_lsq(16)
             .validate();
+    }
+
+    #[test]
+    fn scheduler_defaults_to_event_driven() {
+        let c = PipelineConfig::starting();
+        assert_eq!(c.scheduler, SchedulerMode::EventDriven);
+        let c = c.with_scheduler(SchedulerMode::Scan);
+        assert_eq!(c.scheduler, SchedulerMode::Scan);
+        c.validate();
     }
 
     #[test]

@@ -102,6 +102,21 @@ impl FetchUnit {
         self.delivered_halt || (self.emu_done && self.cursor == self.buffer.len())
     }
 
+    /// Earliest cycle at or after `now` when fetch could deliver an
+    /// instruction, or `None` if it cannot run until some pipeline event
+    /// unblocks it (stalled on a misprediction, or out of instructions).
+    ///
+    /// `Some(now)` means fetch is active *this* cycle; the event-driven
+    /// loop uses this to decide whether the clock may jump ahead, and if
+    /// so, how far.
+    pub fn next_fetch_cycle(&self, now: u64) -> Option<u64> {
+        if self.blocked_on.is_some() || self.exhausted() {
+            None
+        } else {
+            Some(self.resume_at.max(now))
+        }
+    }
+
     /// The emulator error that terminated instruction supply, if any.
     pub fn error(&self) -> Option<&EmuError> {
         self.emu_error.as_ref()
@@ -447,6 +462,20 @@ mod tests {
         drain(&mut f, &mut h);
         f.on_commit(2);
         f.flush_to(0, 0);
+    }
+
+    #[test]
+    fn next_fetch_cycle_tracks_stall_state() {
+        let mut f = unit("  li t0, 1\n  li t1, 2\n  halt\n");
+        let mut h = hier();
+        assert_eq!(f.next_fetch_cycle(1), Some(1));
+        drain(&mut f, &mut h);
+        // Exhausted: no future cycle will deliver anything.
+        assert_eq!(f.next_fetch_cycle(5), None);
+        // A flush re-arms fetch at its resume cycle.
+        f.flush_to(1, 9);
+        assert_eq!(f.next_fetch_cycle(5), Some(9));
+        assert_eq!(f.next_fetch_cycle(12), Some(12));
     }
 
     #[test]

@@ -36,7 +36,7 @@ mod ruu;
 mod sim;
 mod stats;
 
-pub use config::{FuCounts, PipelineConfig};
+pub use config::{FuCounts, PipelineConfig, SchedulerMode};
 pub use dyninst::{DynInst, PredictionInfo, Seq};
 pub use fetch::{FetchUnit, Fetched};
 pub use fu::FuPool;

@@ -116,9 +116,12 @@ impl Lsq {
     }
 
     /// Marks a memory instruction as executed (address + data done).
+    ///
+    /// Entries are kept in ascending seq order, so the lookup is a
+    /// binary search rather than a scan.
     pub fn mark_executed(&mut self, seq: Seq) {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.seq == seq) {
-            e.executed = true;
+        if let Ok(idx) = self.entries.binary_search_by_key(&seq, |e| e.seq) {
+            self.entries[idx].executed = true;
         }
     }
 
@@ -143,10 +146,20 @@ impl Lsq {
 
     /// Removes the entry for a committing instruction (no-op for
     /// non-memory seqs).
+    ///
+    /// O(1): instructions commit in program order and the LSQ fills in
+    /// program order, so a committing seq that is resident is always the
+    /// front entry — a front that is *older* than `seq` would have had
+    /// to commit (and be removed) first.
     pub fn remove(&mut self, seq: Seq) {
-        if let Some(pos) = self.entries.iter().position(|e| e.seq == seq) {
-            self.entries.remove(pos);
+        if self.entries.front().is_some_and(|e| e.seq == seq) {
+            self.entries.pop_front();
+            return;
         }
+        debug_assert!(
+            !self.entries.iter().any(|e| e.seq == seq),
+            "removal of a non-front seq breaks the in-order-departure invariant"
+        );
     }
 
     /// Squashes everything.
@@ -224,6 +237,31 @@ mod tests {
         assert_eq!(lsq.len(), 1);
         lsq.flush_all();
         assert!(lsq.is_empty());
+    }
+
+    #[test]
+    fn in_order_removal_with_non_memory_gaps() {
+        // Commit removes every seq in order, but only memory seqs are
+        // resident: absent seqs (2, 5) must be silent no-ops and present
+        // ones must leave from the front.
+        let mut lsq = Lsq::new(4);
+        lsq.insert(1, 0x1000, 8, true);
+        lsq.insert(3, 0x2000, 8, false);
+        lsq.insert(4, 0x3000, 8, false);
+        for seq in 0..=5 {
+            lsq.remove(seq);
+        }
+        assert!(lsq.is_empty());
+    }
+
+    #[test]
+    fn mark_executed_finds_any_resident_seq() {
+        let mut lsq = Lsq::new(4);
+        lsq.insert(2, 0x1000, 8, true);
+        lsq.insert(7, 0x1000, 8, false);
+        lsq.mark_executed(2);
+        lsq.mark_executed(5); // absent: no-op
+        assert_eq!(lsq.plan_load(7, 0x1000, 8), LoadPlan::Forward { store: 2 });
     }
 
     #[test]

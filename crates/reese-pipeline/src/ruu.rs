@@ -1,9 +1,10 @@
 //! The Register Update Unit.
 
-use crate::{DynInst, PredictionInfo, Seq};
+use crate::{DynInst, PredictionInfo, SchedulerMode, Seq};
 use reese_cpu::StepInfo;
 use reese_isa::NUM_REGS;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 /// The Register Update Unit: SimpleScalar's combined reorder buffer and
 /// reservation stations.
@@ -25,22 +26,55 @@ pub struct Ruu {
     head_seq: Seq,
     capacity: usize,
     rename: [Option<Seq>; NUM_REGS as usize],
+    mode: SchedulerMode,
+    /// Sequence numbers whose operands have all resolved but which have
+    /// not issued ([`SchedulerMode::EventDriven`] only). Ascending
+    /// iteration over the set is oldest-first, the same order the
+    /// [`Ruu::ready_seqs`] scan produces.
+    ready: BTreeSet<Seq>,
+    /// Completion event wheel: issued-but-incomplete instructions keyed
+    /// by `(complete_cycle, seq)` ([`SchedulerMode::EventDriven`] only).
+    /// All latencies are at least one cycle, so at any writeback every
+    /// pending event is for the current or a future cycle — popping the
+    /// events due *now* yields them in ascending seq order, identical to
+    /// the full-window scan.
+    completions: BinaryHeap<Reverse<(u64, Seq)>>,
 }
 
 impl Ruu {
-    /// Creates an empty RUU with `capacity` entries.
+    /// Creates an empty RUU with `capacity` entries and the default
+    /// (event-driven) scheduler.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Ruu {
+        Ruu::with_scheduler(capacity, SchedulerMode::default())
+    }
+
+    /// Creates an empty RUU with an explicit scheduler mode. In
+    /// [`SchedulerMode::Scan`] the incremental structures are not
+    /// maintained at all, so that mode measures the original
+    /// implementation faithfully.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_scheduler(capacity: usize, mode: SchedulerMode) -> Ruu {
         assert!(capacity > 0, "RUU capacity must be positive");
         Ruu {
             entries: VecDeque::with_capacity(capacity),
             head_seq: 0,
             capacity,
             rename: [None; NUM_REGS as usize],
+            mode,
+            ready: BTreeSet::new(),
+            completions: BinaryHeap::new(),
         }
+    }
+
+    fn event_driven(&self) -> bool {
+        self.mode == SchedulerMode::EventDriven
     }
 
     /// Number of occupied entries.
@@ -120,6 +154,9 @@ impl Ruu {
         if let Some(rd) = info.instr.dest() {
             self.rename[rd.raw() as usize] = Some(seq);
         }
+        if self.event_driven() && inst.ready() {
+            self.ready.insert(seq);
+        }
         self.entries.push_back(inst);
     }
 
@@ -141,8 +178,65 @@ impl Ruu {
             if let Some(ci) = self.index_of(c) {
                 debug_assert!(self.entries[ci].pending_deps > 0);
                 self.entries[ci].pending_deps -= 1;
+                if self.event_driven() && self.entries[ci].ready() {
+                    self.ready.insert(c);
+                }
             }
         }
+    }
+
+    /// Records that `seq` issued this cycle, leaving the ready pool and
+    /// scheduling its completion event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not in flight.
+    pub fn mark_issued(&mut self, seq: Seq, issue_cycle: u64, complete_cycle: u64) {
+        let idx = self.index_of(seq).expect("issuing a seq not in the RUU");
+        let e = &mut self.entries[idx];
+        debug_assert!(e.ready(), "only ready instructions issue");
+        e.issued = true;
+        e.issue_cycle = issue_cycle;
+        e.complete_cycle = complete_cycle;
+        if self.event_driven() {
+            self.ready.remove(&seq);
+            self.completions.push(Reverse((complete_cycle, seq)));
+        }
+    }
+
+    /// Pops and returns the seqs of every scheduled completion due at or
+    /// before `now`, in `(complete_cycle, seq)` order — which, because
+    /// every latency is at least one cycle, is ascending seq order
+    /// within a writeback. Event-driven mode only (empty under
+    /// [`SchedulerMode::Scan`]).
+    pub fn take_completions(&mut self, now: u64) -> Vec<Seq> {
+        let mut done = Vec::new();
+        while let Some(&Reverse((cycle, seq))) = self.completions.peek() {
+            if cycle > now {
+                break;
+            }
+            self.completions.pop();
+            done.push(seq);
+        }
+        done
+    }
+
+    /// Cycle of the earliest scheduled completion, if any (event-driven
+    /// mode only).
+    pub fn next_completion_cycle(&self) -> Option<u64> {
+        self.completions.peek().map(|&Reverse((cycle, _))| cycle)
+    }
+
+    /// Whether any instruction is ready to issue (event-driven mode
+    /// only; always `false` under [`SchedulerMode::Scan`]).
+    pub fn has_ready(&self) -> bool {
+        !self.ready.is_empty()
+    }
+
+    /// Snapshot of the ready set, oldest first (event-driven mode only).
+    /// A snapshot is required because issuing mutates the set.
+    pub fn ready_snapshot(&self) -> Vec<Seq> {
+        self.ready.iter().copied().collect()
     }
 
     /// The oldest in-flight instruction.
@@ -180,9 +274,16 @@ impl Ruu {
     }
 
     /// Squashes every in-flight instruction and clears renaming.
+    ///
+    /// The ready set and the completion wheel are drained too: after a
+    /// detection flush the front end re-delivers the *same* sequence
+    /// numbers, so a stale event surviving here would fire against an
+    /// unrelated re-dispatched instruction.
     pub fn flush_all(&mut self) {
         self.entries.clear();
         self.rename = [None; NUM_REGS as usize];
+        self.ready.clear();
+        self.completions.clear();
     }
 }
 
@@ -341,6 +442,87 @@ mod tests {
         let info = step(&mut s, &Instr::rrr(Opcode::Add, T1, T0, T0), &mut m);
         ruu.dispatch(1, info, PredictionInfo::default(), 0);
         assert_eq!(ruu.get(1).unwrap().pending_deps, 0);
+    }
+
+    #[test]
+    fn ready_set_tracks_dispatch_and_wakeup() {
+        let mut ruu = Ruu::new(8);
+        dispatch_chain(
+            &mut ruu,
+            &[
+                Instr::rri(Opcode::Li, T0, ZERO, 1), // seq 0: ready at dispatch
+                Instr::rrr(Opcode::Add, T1, T0, T0), // seq 1: waits on 0
+            ],
+        );
+        assert!(ruu.has_ready());
+        assert_eq!(ruu.ready_snapshot(), vec![0]);
+        assert_eq!(
+            ruu.ready_snapshot(),
+            ruu.ready_seqs().collect::<Vec<_>>(),
+            "set and scan must agree"
+        );
+        ruu.mark_issued(0, 1, 2);
+        assert!(!ruu.has_ready(), "issued instructions leave the set");
+        ruu.complete(0);
+        assert_eq!(ruu.ready_snapshot(), vec![1], "wake-up inserts consumers");
+        assert_eq!(ruu.ready_snapshot(), ruu.ready_seqs().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn completion_wheel_fires_in_cycle_then_seq_order() {
+        let mut ruu = Ruu::new(8);
+        dispatch_chain(
+            &mut ruu,
+            &[
+                Instr::rri(Opcode::Li, T0, ZERO, 1),
+                Instr::rri(Opcode::Li, T1, ZERO, 2),
+                Instr::rri(Opcode::Li, T2, ZERO, 3),
+            ],
+        );
+        ruu.mark_issued(2, 1, 2);
+        ruu.mark_issued(0, 1, 4);
+        ruu.mark_issued(1, 1, 2);
+        assert_eq!(ruu.next_completion_cycle(), Some(2));
+        assert_eq!(ruu.take_completions(1), Vec::<Seq>::new());
+        assert_eq!(ruu.take_completions(2), vec![1, 2]);
+        assert_eq!(ruu.next_completion_cycle(), Some(4));
+        assert_eq!(ruu.take_completions(10), vec![0]);
+        assert_eq!(ruu.next_completion_cycle(), None);
+    }
+
+    #[test]
+    fn flush_drains_ready_set_and_wheel() {
+        let mut ruu = Ruu::new(8);
+        dispatch_chain(
+            &mut ruu,
+            &[
+                Instr::rri(Opcode::Li, T0, ZERO, 1),
+                Instr::rri(Opcode::Li, T1, ZERO, 2),
+            ],
+        );
+        ruu.mark_issued(0, 1, 5);
+        assert!(ruu.has_ready());
+        assert_eq!(ruu.next_completion_cycle(), Some(5));
+        ruu.flush_all();
+        assert!(!ruu.has_ready(), "no stale ready seqs after a flush");
+        assert_eq!(
+            ruu.next_completion_cycle(),
+            None,
+            "no stale events may fire against re-delivered seqs"
+        );
+    }
+
+    #[test]
+    fn scan_mode_skips_incremental_structures() {
+        let mut ruu = Ruu::with_scheduler(8, SchedulerMode::Scan);
+        dispatch_chain(&mut ruu, &[Instr::rri(Opcode::Li, T0, ZERO, 1)]);
+        assert!(!ruu.has_ready(), "scan mode maintains no ready set");
+        assert_eq!(ruu.ready_seqs().collect::<Vec<_>>(), vec![0]);
+        ruu.mark_issued(0, 1, 2);
+        assert_eq!(ruu.next_completion_cycle(), None, "no wheel in scan mode");
+        let e = ruu.get(0).unwrap();
+        assert!(e.issued);
+        assert_eq!((e.issue_cycle, e.complete_cycle), (1, 2));
     }
 
     #[test]

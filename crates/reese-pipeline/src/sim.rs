@@ -1,8 +1,8 @@
 //! The baseline out-of-order superscalar simulator.
 
 use crate::{
-    FetchUnit, Fetched, FuPool, LoadPlan, Lsq, PipelineConfig, PipelineStats, Ruu, SimError,
-    SimResult, SimStop,
+    FetchUnit, Fetched, FuPool, LoadPlan, Lsq, PipelineConfig, PipelineStats, Ruu, SchedulerMode,
+    SimError, SimResult, SimStop,
 };
 use reese_isa::{FuClass, Program};
 use reese_mem::MemHierarchy;
@@ -119,7 +119,7 @@ impl<'c> Machine<'c> {
             cycle: 0,
             fetch: FetchUnit::new(program, cfg.predictor.clone()),
             fetchq: VecDeque::with_capacity(cfg.fetch_queue_size),
-            ruu: Ruu::new(cfg.ruu_size),
+            ruu: Ruu::with_scheduler(cfg.ruu_size, cfg.scheduler),
             lsq: Lsq::new(cfg.lsq_size),
             fu: FuPool::new(cfg.fu),
             hierarchy: MemHierarchy::new(cfg.hierarchy.clone()),
@@ -133,6 +133,9 @@ impl<'c> Machine<'c> {
     fn run(&mut self, max_instructions: u64) -> Result<SimResult, SimError> {
         let stop = loop {
             self.cycle += 1;
+            if self.cfg.scheduler == SchedulerMode::EventDriven {
+                self.skip_idle_cycles();
+            }
 
             self.commit(max_instructions);
             if self.exit_code.is_some() {
@@ -177,6 +180,50 @@ impl<'c> Machine<'c> {
         self.fetch.exhausted() && self.fetchq.is_empty() && self.ruu.is_empty()
     }
 
+    /// When this cycle provably does nothing — no committable head, no
+    /// completion due, nothing ready to issue, nothing to dispatch, and
+    /// fetch dormant — jumps the clock to the next cycle on which any
+    /// unit can make progress, bulk-accounting the skipped idle cycles.
+    /// The landing cycle then runs through the normal loop body, so the
+    /// cycle-limit and deadlock checks fire exactly as in `Scan` mode.
+    fn skip_idle_cycles(&mut self) {
+        if self.ruu.head().is_some_and(|e| e.completed)
+            || self.ruu.has_ready()
+            || !self.fetchq.is_empty()
+        {
+            return;
+        }
+        if self
+            .ruu
+            .next_completion_cycle()
+            .is_some_and(|t| t <= self.cycle)
+        {
+            return;
+        }
+        let fetch_at = self.fetch.next_fetch_cycle(self.cycle);
+        if fetch_at == Some(self.cycle) {
+            return;
+        }
+        let target = match (self.ruu.next_completion_cycle(), fetch_at) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            // Nothing will ever wake: let the drain/deadlock path run.
+            (None, None) => return,
+        };
+        let mut target = target.min(self.last_commit_cycle + DEADLOCK_HORIZON + 1);
+        if self.cfg.max_cycles > 0 {
+            target = target.min(self.cfg.max_cycles);
+        }
+        if target <= self.cycle {
+            return;
+        }
+        // Cycles `self.cycle..target` are no-ops; the only per-cycle
+        // bookkeeping they would have done is the empty-queue counter.
+        self.stats.fetch_queue_empty_cycles += target - self.cycle;
+        self.cycle = target;
+    }
+
     /// In-order commit from the RUU head, up to the machine width.
     fn commit(&mut self, max_instructions: u64) {
         for _ in 0..self.cfg.width {
@@ -205,12 +252,15 @@ impl<'c> Machine<'c> {
     /// Completes instructions whose execution finishes this cycle,
     /// waking dependants and resolving control flow.
     fn writeback(&mut self) {
-        let done: Vec<u64> = self
-            .ruu
-            .iter()
-            .filter(|e| e.issued && !e.completed && e.complete_cycle <= self.cycle)
-            .map(|e| e.seq)
-            .collect();
+        let done: Vec<u64> = match self.cfg.scheduler {
+            SchedulerMode::Scan => self
+                .ruu
+                .iter()
+                .filter(|e| e.issued && !e.completed && e.complete_cycle <= self.cycle)
+                .map(|e| e.seq)
+                .collect(),
+            SchedulerMode::EventDriven => self.ruu.take_completions(self.cycle),
+        };
         for seq in done {
             self.ruu.complete(seq);
             let e = self.ruu.get(seq).expect("just completed").clone();
@@ -232,7 +282,10 @@ impl<'c> Machine<'c> {
     /// Out-of-order issue: oldest ready instructions first, bounded by
     /// the machine width and functional-unit availability.
     fn issue(&mut self) {
-        let ready: Vec<u64> = self.ruu.ready_seqs().collect();
+        let ready: Vec<u64> = match self.cfg.scheduler {
+            SchedulerMode::Scan => self.ruu.ready_seqs().collect(),
+            SchedulerMode::EventDriven => self.ruu.ready_snapshot(),
+        };
         let mut issued = 0usize;
         for seq in ready {
             if issued == self.cfg.width {
@@ -269,10 +322,7 @@ impl<'c> Machine<'c> {
                 }
                 u64::from(op.latency())
             };
-            let e = self.ruu.get_mut(seq).expect("ready seq in window");
-            e.issued = true;
-            e.issue_cycle = self.cycle;
-            e.complete_cycle = self.cycle + latency;
+            self.ruu.mark_issued(seq, self.cycle, self.cycle + latency);
             issued += 1;
             self.stats.issued += 1;
         }
@@ -489,6 +539,49 @@ mod tests {
         let a = run(src);
         let b = run(src);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scan_and_event_driven_agree() {
+        // The event-driven scheduler is an implementation change only:
+        // every statistic must match the per-cycle scan bit for bit.
+        let srcs = [
+            "  li t0, 200\nloop: addi t0, t0, -1\n  mul t1, t0, t0\n  bnez t0, loop\n  halt\n",
+            "  li t0, 9\n  li t1, 3\n  div t2, t0, t1\n  div t2, t2, t1\n  print t2\n  halt\n",
+            "  li t0, 7\n  sd t0, -8(sp)\n  ld t1, -8(sp)\n  print t1\n  halt\n",
+        ];
+        for src in srcs {
+            let prog = assemble(src).unwrap();
+            let scan =
+                PipelineSim::new(PipelineConfig::starting().with_scheduler(SchedulerMode::Scan))
+                    .run(&prog)
+                    .unwrap();
+            let event = PipelineSim::new(
+                PipelineConfig::starting().with_scheduler(SchedulerMode::EventDriven),
+            )
+            .run(&prog)
+            .unwrap();
+            assert_eq!(scan, event, "modes diverged on {src:?}");
+        }
+    }
+
+    #[test]
+    fn idle_skip_preserves_cycle_limit_semantics() {
+        // A long divide chain leaves many cycles with nothing to do;
+        // the skipping clock must still stop on the exact same cycle.
+        let src = "  li t0, 1000000\n  li t1, 3\n  div t2, t0, t1\n  div t2, t2, t1\n  div t2, t2, t1\n  halt\n";
+        let prog = assemble(src).unwrap();
+        for limit in [10, 25, 40] {
+            let mut scan_cfg = PipelineConfig::starting().with_scheduler(SchedulerMode::Scan);
+            scan_cfg.max_cycles = limit;
+            let mut event_cfg =
+                PipelineConfig::starting().with_scheduler(SchedulerMode::EventDriven);
+            event_cfg.max_cycles = limit;
+            let a = PipelineSim::new(scan_cfg).run(&prog).unwrap();
+            let b = PipelineSim::new(event_cfg).run(&prog).unwrap();
+            assert_eq!(a, b, "cycle limit {limit}");
+            assert_eq!(b.stop, SimStop::CycleLimit);
+        }
     }
 
     #[test]

@@ -22,6 +22,19 @@
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+/// The timing summary of one benchmark, for callers that persist
+/// results (e.g. the `bench_pipeline` binary writing
+/// `BENCH_pipeline.json`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Measurement {
+    /// Mean wall-clock per iteration across the timed samples.
+    pub mean: Duration,
+    /// Fastest sample — the least-noisy estimate of the true cost.
+    pub min: Duration,
+    /// Number of timed samples taken.
+    pub samples: usize,
+}
+
 /// Units for reporting throughput alongside timings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Throughput {
@@ -72,7 +85,17 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Times one benchmark and prints its summary line.
-    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_measured(id, f);
+        self
+    }
+
+    /// Like [`BenchmarkGroup::bench_function`], but also returns the
+    /// [`Measurement`] so the caller can persist it.
+    pub fn bench_measured<F>(&mut self, id: impl Into<String>, mut f: F) -> Measurement
     where
         F: FnMut(&mut Bencher),
     {
@@ -96,7 +119,11 @@ impl BenchmarkGroup<'_> {
             line.push_str(&format!(" ({:.0} elem/s)", n as f64 / min.as_secs_f64()));
         }
         println!("{line}");
-        self
+        Measurement {
+            mean,
+            min,
+            samples: b.samples.len(),
+        }
     }
 
     /// Ends the group (marker for call-site symmetry with Criterion).
@@ -161,5 +188,18 @@ mod tests {
         g.finish();
         // 3 timed samples + 1 warm-up.
         assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn measurement_is_returned() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(5);
+        let m = g.bench_measured("spin", |b| {
+            b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+        });
+        g.finish();
+        assert_eq!(m.samples, 5);
+        assert!(m.min <= m.mean);
     }
 }

@@ -60,6 +60,25 @@ impl Histogram {
         self.max_seen = self.max_seen.max(value);
     }
 
+    /// Records `n` identical samples at once (a no-op when `n == 0`).
+    ///
+    /// Equivalent to calling [`Histogram::record`] `n` times; used by
+    /// the event-driven simulator loop to account for skipped idle
+    /// cycles in bulk.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if (value as usize) < self.buckets.len() {
+            self.buckets[value as usize] += n;
+        } else {
+            self.overflow += n;
+        }
+        self.total += n;
+        self.sum += value as u128 * n as u128;
+        self.max_seen = self.max_seen.max(value);
+    }
+
     /// Number of samples that fell exactly in bucket `value`.
     pub fn count(&self, value: u64) -> u64 {
         self.buckets
@@ -145,6 +164,19 @@ mod tests {
         assert_eq!(h.overflow(), 1);
         assert_eq!(h.samples(), 5);
         assert_eq!(h.max(), 9);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = Histogram::new("h", 4);
+        let mut one = Histogram::new("h", 4);
+        bulk.record_n(2, 3);
+        bulk.record_n(9, 2); // overflow bucket
+        bulk.record_n(1, 0); // no-op
+        for v in [2, 2, 2, 9, 9] {
+            one.record(v);
+        }
+        assert_eq!(bulk, one);
     }
 
     #[test]

@@ -119,8 +119,10 @@ impl fmt::Display for ParallelStats {
 ///
 /// `jobs == 1` (or a single item) runs inline on the calling thread —
 /// the serial path — with identical results; more jobs only changes
-/// timing. Workers pull items off a shared atomic cursor, so load
-/// imbalance between items self-levels.
+/// timing. Workers steal index *ranges* from a shared atomic cursor —
+/// one `fetch_add` per chunk instead of per item — and fall back to
+/// per-item stealing over the final chunk's worth of indices so the
+/// stragglers self-level.
 ///
 /// # Panics
 ///
@@ -149,24 +151,46 @@ where
         return (results, stats);
     }
 
-    let cursor = AtomicUsize::new(0);
+    // Chunked handout: the bulk of the indices is claimed a chunk at a
+    // time (one atomic RMW per chunk), while the last `jobs` chunks'
+    // worth is claimed item by item so a slow final chunk cannot leave
+    // the other workers idle. With few items `bulk` is 0 and this
+    // degenerates to pure per-item stealing.
+    const CHUNKS_PER_WORKER: usize = 8;
+    let chunk = (items.len() / (jobs * CHUNKS_PER_WORKER)).max(1);
+    let bulk = items.len() - (chunk * jobs).min(items.len());
+    let bulk_cursor = AtomicUsize::new(0);
+    let tail_cursor = AtomicUsize::new(bulk);
     let per_worker: Vec<(Vec<(usize, R)>, WorkerStats)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..jobs)
             .map(|worker| {
-                let cursor = &cursor;
+                let bulk_cursor = &bulk_cursor;
+                let tail_cursor = &tail_cursor;
                 let f = &f;
                 s.spawn(move || {
                     let mut out: Vec<(usize, R)> = Vec::new();
                     let mut busy = Duration::ZERO;
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
+                    let mut work = |i: usize, out: &mut Vec<(usize, R)>| {
                         let t0 = Instant::now();
                         let r = f(i, &items[i]);
                         busy += t0.elapsed();
                         out.push((i, r));
+                    };
+                    loop {
+                        let lo = bulk_cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if lo >= bulk {
+                            break;
+                        }
+                        for i in lo..(lo + chunk).min(bulk) {
+                            work(i, &mut out);
+                        }
+                    }
+                    loop {
+                        let i = tail_cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        work(i, &mut out);
                     }
                     let stats = WorkerStats {
                         worker,
@@ -232,6 +256,24 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(s1.jobs, 1);
         assert_eq!(s4.jobs, 4);
+    }
+
+    #[test]
+    fn chunked_handout_covers_every_index_exactly_once() {
+        // Sizes chosen to hit the edges of the chunk arithmetic: fewer
+        // items than workers, exactly one chunk, a ragged final chunk,
+        // and a large bulk region.
+        for len in [0usize, 1, 2, 7, 8, 9, 63, 64, 65, 255, 1024, 1025] {
+            for jobs in [2usize, 3, 8] {
+                let items: Vec<usize> = (0..len).collect();
+                let (out, stats) = par_map_indexed(jobs, &items, |i, &x| {
+                    assert_eq!(i, x);
+                    x
+                });
+                assert_eq!(out, items, "len {len} jobs {jobs}");
+                assert_eq!(stats.items(), len as u64, "len {len} jobs {jobs}");
+            }
+        }
     }
 
     #[test]

@@ -39,6 +39,8 @@
 //! --max-insns N      per-trial committed-instruction budget
 //! -j N, --jobs N     worker threads (default: available parallelism;
 //!                    1 forces the serial path — same report either way)
+//! --out FILE         write the per-trial report to FILE
+//!                    (.json → JSON, anything else → CSV)
 //! ```
 
 use reese::core::{DuplexSim, InjectedFault, ReeseConfig, ReeseSim};
@@ -268,6 +270,7 @@ struct CampaignOpts {
     spare_muls: u32,
     max_insns: u64,
     jobs: usize,
+    out: Option<String>,
 }
 
 fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
@@ -281,6 +284,7 @@ fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
         spare_muls: 0,
         max_insns: u64::MAX,
         jobs: reese::stats::available_jobs(),
+        out: None,
     };
     let mut file: Option<String> = None;
     let mut kernel: Option<Kernel> = None;
@@ -305,6 +309,7 @@ fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
             "--spare-muls" => opts.spare_muls = value()?.parse()?,
             "--max-insns" => opts.max_insns = value()?.parse()?,
             "-j" | "--jobs" => opts.jobs = value()?.parse()?,
+            "--out" => opts.out = Some(value()?.clone()),
             "--kernel" => kernel = Some(kernel_by_name(value()?)?),
             other if !other.starts_with('-') => file = Some(other.to_string()),
             other => return Err(format!("unknown option `{other}`").into()),
@@ -331,6 +336,15 @@ fn cmd_campaign(args: &[String]) -> Result<(), CliError> {
         .jobs(o.jobs)
         .run(&o.program)?;
     print!("{report}");
+    if let Some(path) = &o.out {
+        let serialised = if path.ends_with(".json") {
+            report.to_json()
+        } else {
+            report.to_csv()
+        };
+        std::fs::write(path, serialised)?;
+        println!("report written to {path}");
+    }
     Ok(())
 }
 
@@ -513,6 +527,8 @@ mod tests {
             "4",
             "--max-insns",
             "5000",
+            "--out",
+            "report.json",
         ]
         .iter()
         .map(ToString::to_string)
@@ -522,6 +538,7 @@ mod tests {
         assert_eq!(o.seed, 9);
         assert_eq!(o.jobs, 4);
         assert_eq!(o.max_insns, 5000);
+        assert_eq!(o.out.as_deref(), Some("report.json"));
         assert!(!o.program.is_empty());
     }
 

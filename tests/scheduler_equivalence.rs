@@ -1,0 +1,100 @@
+//! Scan vs event-driven scheduler equivalence.
+//!
+//! The event-driven cycle loop (ready queue + completion wheels + idle
+//! skipping) is an implementation change only: on every workload kernel
+//! and every machine model it must produce results — including every
+//! per-cycle statistic — bit-identical to the per-cycle scan it
+//! replaced.
+
+use reese::core::{DuplexSim, ReeseConfig, ReeseSim, SchedulerMode};
+use reese::faults::{Campaign, FaultMix};
+use reese::pipeline::{PipelineConfig, PipelineSim};
+use reese::workloads::Kernel;
+
+fn scan_pipeline() -> PipelineConfig {
+    PipelineConfig::starting().with_scheduler(SchedulerMode::Scan)
+}
+
+fn event_pipeline() -> PipelineConfig {
+    PipelineConfig::starting().with_scheduler(SchedulerMode::EventDriven)
+}
+
+#[test]
+fn baseline_modes_agree_on_all_kernels() {
+    for kernel in Kernel::ALL {
+        let program = kernel.build(1);
+        let scan = PipelineSim::new(scan_pipeline()).run(&program).unwrap();
+        let event = PipelineSim::new(event_pipeline()).run(&program).unwrap();
+        assert_eq!(scan, event, "{kernel}: baseline modes diverged");
+    }
+}
+
+#[test]
+fn reese_modes_agree_on_all_kernels() {
+    for kernel in Kernel::ALL {
+        let program = kernel.build(1);
+        let scan = ReeseSim::new(ReeseConfig::starting().with_scheduler(SchedulerMode::Scan))
+            .run(&program)
+            .unwrap();
+        let event =
+            ReeseSim::new(ReeseConfig::starting().with_scheduler(SchedulerMode::EventDriven))
+                .run(&program)
+                .unwrap();
+        assert_eq!(scan, event, "{kernel}: REESE modes diverged");
+    }
+}
+
+#[test]
+fn reese_modes_agree_with_spares_and_partial_duplication() {
+    // Exercise the R-priority path (tiny queue, low high-water mark) and
+    // the skip_r bookkeeping in both modes.
+    let program = Kernel::Lisp.build(1);
+    for cfg in [
+        ReeseConfig::starting().with_spare_int_alus(2),
+        ReeseConfig::starting().with_rqueue_size(8),
+        ReeseConfig::starting().with_duplication_period(3),
+        ReeseConfig::starting().with_early_removal(true),
+    ] {
+        let scan = ReeseSim::new(cfg.clone().with_scheduler(SchedulerMode::Scan))
+            .run(&program)
+            .unwrap();
+        let event = ReeseSim::new(cfg.clone().with_scheduler(SchedulerMode::EventDriven))
+            .run(&program)
+            .unwrap();
+        assert_eq!(scan, event, "modes diverged on {cfg:?}");
+    }
+}
+
+#[test]
+fn duplex_modes_agree_on_all_kernels() {
+    for kernel in Kernel::ALL {
+        let program = kernel.build(1);
+        let scan = DuplexSim::new(scan_pipeline()).run(&program).unwrap();
+        let event = DuplexSim::new(event_pipeline()).run(&program).unwrap();
+        assert_eq!(scan, event, "{kernel}: duplex modes diverged");
+    }
+}
+
+#[test]
+fn fault_campaign_reports_agree_across_modes() {
+    // A full injection campaign drives detection flushes at arbitrary
+    // points; the per-trial outcomes (detection, latency, recovery
+    // cycles, state cleanliness) must be identical in both modes.
+    let program = Kernel::Strings.build(1);
+    let run = |mode| {
+        Campaign::new(
+            ReeseConfig::starting().with_scheduler(mode),
+            FaultMix::broad(),
+        )
+        .trials(40)
+        .seed(0xFA017)
+        .max_instructions(5_000)
+        .jobs(2)
+        .run(&program)
+        .unwrap()
+    };
+    let scan = run(SchedulerMode::Scan);
+    let event = run(SchedulerMode::EventDriven);
+    assert_eq!(scan, event, "campaign reports diverged across modes");
+    assert!(event.trials() == 40);
+}
