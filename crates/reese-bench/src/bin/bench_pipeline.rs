@@ -1,21 +1,27 @@
-//! Scan vs event-driven scheduler micro-benchmark.
+//! Scan vs event-driven scheduler micro-benchmark, plus the
+//! sharded-vs-monolithic comparison for the checkpoint subsystem.
 //!
 //! Times all three machine models (baseline pipeline, REESE, duplex)
 //! on a long-running kernel under both [`SchedulerMode`]s, on the
 //! Table 1 starting configuration and on a large-window machine
 //! (RUU=256, LSQ=128) where the per-cycle scans are most expensive.
-//! Results — simulated cycles per wall-clock second and the
-//! event-driven/scan speedup — are printed and written to
-//! `BENCH_pipeline.json` (override with `--out FILE`; `--samples N`
-//! adjusts the timed sample count).
+//! Scan and event samples are interleaved and the reported speedup is
+//! the median of per-pair ratios, so drift on a busy host cancels
+//! instead of biasing one mode. Results — simulated cycles per
+//! wall-clock second and the event-driven/scan speedup — are printed
+//! and written to `BENCH_pipeline.json` (override with `--out FILE`;
+//! `--samples N` adjusts the timed sample count).
 //!
 //! The two modes must also produce bit-identical results; this binary
 //! asserts that on every cell, so a perf run doubles as an
-//! equivalence check.
+//! equivalence check. The sharded row likewise asserts the
+//! `reese-ckpt` oracle: stitched instruction counts and architectural
+//! state must match the monolithic run exactly.
 
+use reese_ckpt::{run_sharded, Scheme, ShardOptions};
 use reese_core::{DuplexSim, ReeseConfig, ReeseSim, SchedulerMode};
 use reese_pipeline::{PipelineConfig, PipelineSim};
-use reese_stats::bench::{Criterion, Measurement};
+use reese_stats::bench::{Criterion, PairMeasurement};
 use reese_workloads::Kernel;
 use std::hint::black_box;
 
@@ -23,25 +29,62 @@ use std::hint::black_box;
 /// loop dominates and the idle/scan cost difference is visible.
 const TARGET_INSTRUCTIONS: u64 = 120_000;
 
+/// Event-driven/scan speedups measured at the start of this change
+/// (BTreeSet ready set, whole-window rescans in migrate and R-issue,
+/// binary-heap completion events), keyed like the live cells. Kept in
+/// the report so `BENCH_pipeline.json` records the before/after of the
+/// scheduler work without digging through git history.
+const SPEEDUP_BEFORE: &[(&str, &str, f64)] = &[
+    ("starting (RUU=16, LSQ=8)", "baseline", 0.97),
+    ("starting (RUU=16, LSQ=8)", "reese", 0.84),
+    ("starting (RUU=16, LSQ=8)", "duplex", 0.94),
+    ("large (RUU=256, LSQ=128)", "baseline", 1.28),
+    ("large (RUU=256, LSQ=128)", "reese", 1.15),
+    ("large (RUU=256, LSQ=128)", "duplex", 1.35),
+    ("huge (RUU=512, LSQ=256, width 16)", "baseline", 2.51),
+    ("huge (RUU=512, LSQ=256, width 16)", "reese", 1.69),
+    ("huge (RUU=512, LSQ=256, width 16)", "duplex", 2.85),
+];
+
 struct Cell {
     machine: &'static str,
     sim: &'static str,
     cycles: u64,
-    scan: Measurement,
-    event: Measurement,
+    pair: PairMeasurement,
 }
 
 impl Cell {
     fn scan_cps(&self) -> f64 {
-        self.cycles as f64 / self.scan.min.as_secs_f64()
+        self.cycles as f64 / self.pair.a.min.as_secs_f64()
     }
 
     fn event_cps(&self) -> f64 {
-        self.cycles as f64 / self.event.min.as_secs_f64()
+        self.cycles as f64 / self.pair.b.min.as_secs_f64()
     }
 
     fn speedup(&self) -> f64 {
-        self.scan.min.as_secs_f64() / self.event.min.as_secs_f64()
+        self.pair.speedup
+    }
+
+    fn speedup_before(&self) -> Option<f64> {
+        SPEEDUP_BEFORE
+            .iter()
+            .find(|(m, s, _)| *m == self.machine && *s == self.sim)
+            .map(|&(_, _, v)| v)
+    }
+}
+
+struct ShardCell {
+    intervals: usize,
+    warmup: u64,
+    pair: PairMeasurement,
+    monolithic_cycles: u64,
+    sharded_cycles: u64,
+}
+
+impl ShardCell {
+    fn cycle_error(&self) -> f64 {
+        (self.sharded_cycles as f64 - self.monolithic_cycles as f64) / self.monolithic_cycles as f64
     }
 }
 
@@ -100,18 +143,17 @@ fn main() {
             run_pipe(SchedulerMode::EventDriven),
             "baseline modes diverged"
         );
-        let scan = g.bench_measured("baseline/scan", |b| {
-            b.iter(|| black_box(run_pipe(SchedulerMode::Scan)))
-        });
-        let event = g.bench_measured("baseline/event", |b| {
-            b.iter(|| black_box(run_pipe(SchedulerMode::EventDriven)))
-        });
+        let pair = g.bench_pair(
+            "baseline/scan",
+            "baseline/event",
+            || black_box(run_pipe(SchedulerMode::Scan)),
+            || black_box(run_pipe(SchedulerMode::EventDriven)),
+        );
         cells.push(Cell {
             machine,
             sim: "baseline",
             cycles: reference.stats.cycles,
-            scan,
-            event,
+            pair,
         });
 
         // REESE with full re-execution.
@@ -131,18 +173,17 @@ fn main() {
             run_reese(SchedulerMode::EventDriven),
             "REESE modes diverged"
         );
-        let scan = g.bench_measured("reese/scan", |b| {
-            b.iter(|| black_box(run_reese(SchedulerMode::Scan)))
-        });
-        let event = g.bench_measured("reese/event", |b| {
-            b.iter(|| black_box(run_reese(SchedulerMode::EventDriven)))
-        });
+        let pair = g.bench_pair(
+            "reese/scan",
+            "reese/event",
+            || black_box(run_reese(SchedulerMode::Scan)),
+            || black_box(run_reese(SchedulerMode::EventDriven)),
+        );
         cells.push(Cell {
             machine,
             sim: "reese",
             cycles: reference.stats.pipeline.cycles,
-            scan,
-            event,
+            pair,
         });
 
         // Time-shared duplex comparison machine.
@@ -157,37 +198,101 @@ fn main() {
             run_duplex(SchedulerMode::EventDriven),
             "duplex modes diverged"
         );
-        let scan = g.bench_measured("duplex/scan", |b| {
-            b.iter(|| black_box(run_duplex(SchedulerMode::Scan)))
-        });
-        let event = g.bench_measured("duplex/event", |b| {
-            b.iter(|| black_box(run_duplex(SchedulerMode::EventDriven)))
-        });
+        let pair = g.bench_pair(
+            "duplex/scan",
+            "duplex/event",
+            || black_box(run_duplex(SchedulerMode::Scan)),
+            || black_box(run_duplex(SchedulerMode::EventDriven)),
+        );
         cells.push(Cell {
             machine,
             sim: "duplex",
             cycles: reference.stats.pipeline.cycles,
-            scan,
-            event,
+            pair,
         });
         g.finish();
     }
 
+    // Sharded vs monolithic: one REESE run on the starting machine,
+    // split into 4 intervals through the checkpoint subsystem. The
+    // oracle certifies the stitched run commits the same instructions
+    // to the same architectural state; the recorded cycle error is the
+    // cold-boundary cost the warm-up window is buying down.
+    let shard_cell = {
+        let mut g = c.benchmark_group("sharded (starting, reese)");
+        g.sample_size(samples.min(5));
+        let config = ReeseConfig::starting();
+        let opts = ShardOptions {
+            intervals: 4,
+            warmup: 4_000,
+            compare_monolithic: false,
+            ..ShardOptions::default()
+        };
+        let monolithic = ReeseSim::new(config.clone())
+            .run(&program)
+            .expect("kernel runs");
+        let report =
+            run_sharded(&program, &config, Scheme::Reese, &opts).expect("sharded run succeeds");
+        assert!(
+            report.oracle.exact(),
+            "sharded run diverged functionally: {:?}",
+            report.oracle
+        );
+        assert_eq!(
+            report.total_instructions,
+            monolithic.stats.pipeline.committed
+        );
+        let pair = g.bench_pair(
+            "monolithic",
+            "sharded x4",
+            || {
+                black_box(
+                    ReeseSim::new(config.clone())
+                        .run(&program)
+                        .expect("kernel runs"),
+                )
+            },
+            || {
+                black_box(
+                    run_sharded(&program, &config, Scheme::Reese, &opts)
+                        .expect("sharded run succeeds"),
+                )
+            },
+        );
+        g.finish();
+        ShardCell {
+            intervals: opts.intervals,
+            warmup: opts.warmup,
+            pair,
+            monolithic_cycles: monolithic.stats.pipeline.cycles,
+            sharded_cycles: report.sharded_cycles,
+        }
+    };
+
     println!();
     println!(
-        "{:<26} {:<9} {:>14} {:>14} {:>8}",
-        "machine", "sim", "scan cyc/s", "event cyc/s", "speedup"
+        "{:<26} {:<9} {:>14} {:>14} {:>8} {:>8}",
+        "machine", "sim", "scan cyc/s", "event cyc/s", "before", "speedup"
     );
     for cell in &cells {
         println!(
-            "{:<26} {:<9} {:>14.0} {:>14.0} {:>7.2}x",
+            "{:<26} {:<9} {:>14.0} {:>14.0} {:>7.2}x {:>7.2}x",
             cell.machine,
             cell.sim,
             cell.scan_cps(),
             cell.event_cps(),
+            cell.speedup_before().unwrap_or(f64::NAN),
             cell.speedup()
         );
     }
+    println!(
+        "sharded x{} (warmup {}): wall {:.2}x vs monolithic, cycle error {:+.2}%, \
+         instruction counts exact",
+        shard_cell.intervals,
+        shard_cell.warmup,
+        shard_cell.pair.speedup,
+        shard_cell.cycle_error() * 100.0
+    );
 
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"scheduler\",\n");
@@ -204,20 +309,37 @@ fn main() {
                 "    {{\"machine\": \"{}\", \"sim\": \"{}\", \"cycles\": {}, \
                  \"scan_min_s\": {:.6}, \"event_min_s\": {:.6}, \
                  \"scan_cycles_per_s\": {:.0}, \"event_cycles_per_s\": {:.0}, \
-                 \"speedup\": {:.3}}}",
+                 \"speedup_before\": {:.3}, \"speedup\": {:.3}}}",
                 cell.machine,
                 cell.sim,
                 cell.cycles,
-                cell.scan.min.as_secs_f64(),
-                cell.event.min.as_secs_f64(),
+                cell.pair.a.min.as_secs_f64(),
+                cell.pair.b.min.as_secs_f64(),
                 cell.scan_cps(),
                 cell.event_cps(),
+                cell.speedup_before().unwrap_or(f64::NAN),
                 cell.speedup()
             )
         })
         .collect();
     json.push_str(&rows.join(",\n"));
-    json.push_str("\n  ]\n}\n");
+    json.push_str("\n  ],\n");
+    json.push_str(&format!(
+        "  \"sharded\": {{\"machine\": \"starting (RUU=16, LSQ=8)\", \"sim\": \"reese\", \
+         \"intervals\": {}, \"warmup\": {}, \"monolithic_cycles\": {}, \
+         \"sharded_cycles\": {}, \"cycle_error\": {:.5}, \
+         \"monolithic_min_s\": {:.6}, \"sharded_min_s\": {:.6}, \
+         \"wall_speedup\": {:.3}, \"functionally_exact\": true}}\n",
+        shard_cell.intervals,
+        shard_cell.warmup,
+        shard_cell.monolithic_cycles,
+        shard_cell.sharded_cycles,
+        shard_cell.cycle_error(),
+        shard_cell.pair.a.min.as_secs_f64(),
+        shard_cell.pair.b.min.as_secs_f64(),
+        shard_cell.pair.speedup,
+    ));
+    json.push_str("}\n");
     std::fs::write(&out_path, json).expect("write bench report");
     println!("\nwritten to {out_path}");
 }

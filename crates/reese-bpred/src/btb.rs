@@ -43,6 +43,25 @@ impl Btb {
         let i = self.idx(pc);
         self.entries[i] = Some((pc, target));
     }
+
+    /// Exports every `(pc tag, target)` slot for checkpointing.
+    pub fn export_entries(&self) -> Vec<Option<(u64, u64)>> {
+        self.entries.clone()
+    }
+
+    /// Restores slots exported by [`Btb::export_entries`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an entry-count mismatch.
+    pub fn import_entries(&mut self, entries: &[Option<(u64, u64)>]) {
+        assert_eq!(
+            entries.len(),
+            self.entries.len(),
+            "BTB snapshot size mismatch"
+        );
+        self.entries.copy_from_slice(entries);
+    }
 }
 
 /// A return-address stack.
@@ -96,6 +115,39 @@ impl Ras {
     pub fn depth(&self) -> usize {
         self.depth
     }
+
+    /// Exports the circular buffer, top index, and depth.
+    pub fn export_state(&self) -> RasSnapshot {
+        RasSnapshot {
+            stack: self.stack.clone(),
+            top: self.top,
+            depth: self.depth,
+        }
+    }
+
+    /// Restores state exported by [`Ras::export_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a capacity mismatch or out-of-range top/depth.
+    pub fn import_state(&mut self, snap: &RasSnapshot) {
+        assert_eq!(snap.stack.len(), self.capacity, "RAS snapshot mismatch");
+        assert!(snap.top < self.capacity && snap.depth <= self.capacity);
+        self.stack.copy_from_slice(&snap.stack);
+        self.top = snap.top;
+        self.depth = snap.depth;
+    }
+}
+
+/// A complete snapshot of a [`Ras`] for checkpointing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RasSnapshot {
+    /// The circular buffer contents.
+    pub stack: Vec<u64>,
+    /// Index of the top-of-stack slot.
+    pub top: usize,
+    /// Number of valid entries.
+    pub depth: usize,
 }
 
 #[cfg(test)]

@@ -59,6 +59,12 @@ impl TwoBit {
     pub const fn state(self) -> u8 {
         self.0
     }
+
+    /// Rebuilds a counter from a raw state, saturating anything above 3
+    /// (checkpoint restore).
+    pub const fn from_state(state: u8) -> TwoBit {
+        TwoBit(if state > 3 { 3 } else { state })
+    }
 }
 
 impl Default for TwoBit {

@@ -16,11 +16,52 @@ pub trait DirectionPredictor {
     fn update(&mut self, pc: u64, taken: bool);
     /// Short display name ("gshare", "bimodal", …).
     fn name(&self) -> &'static str;
+    /// Flattens the predictor's mutable state into words for
+    /// checkpointing (two-bit tables packed 32 counters per word).
+    /// Stateless predictors return an empty vector.
+    fn export_words(&self) -> Vec<u64> {
+        Vec::new()
+    }
+    /// Restores state produced by
+    /// [`DirectionPredictor::export_words`] on a predictor of the same
+    /// kind and geometry.
+    ///
+    /// # Panics
+    ///
+    /// Stateful predictors panic on a word-count mismatch.
+    fn import_words(&mut self, words: &[u64]) {
+        let _ = words;
+    }
 }
 
 fn index(pc: u64, bits: u32) -> usize {
     // Instructions are 8 bytes; drop the alignment bits before hashing.
     ((pc >> 3) & ((1 << bits) - 1)) as usize
+}
+
+/// Packs two-bit counters 32 per word, low bits first.
+fn pack_counters(table: &[TwoBit]) -> Vec<u64> {
+    let mut words = vec![0u64; table.len().div_ceil(32)];
+    for (i, c) in table.iter().enumerate() {
+        words[i / 32] |= u64::from(c.state()) << ((i % 32) * 2);
+    }
+    words
+}
+
+/// Unpacks counters produced by [`pack_counters`] into `table`.
+///
+/// # Panics
+///
+/// Panics if `words` is not exactly the packed size of `table`.
+fn unpack_counters(words: &[u64], table: &mut [TwoBit]) {
+    assert_eq!(
+        words.len(),
+        table.len().div_ceil(32),
+        "counter snapshot size mismatch"
+    );
+    for (i, c) in table.iter_mut().enumerate() {
+        *c = TwoBit::from_state(((words[i / 32] >> ((i % 32) * 2)) & 0b11) as u8);
+    }
 }
 
 /// Predicts every branch taken (or not), the degenerate baseline.
@@ -91,6 +132,14 @@ impl DirectionPredictor for Bimodal {
     fn name(&self) -> &'static str {
         "bimodal"
     }
+
+    fn export_words(&self) -> Vec<u64> {
+        pack_counters(&self.table)
+    }
+
+    fn import_words(&mut self, words: &[u64]) {
+        unpack_counters(words, &mut self.table);
+    }
 }
 
 /// McFarling's gshare: global history XOR-folded into the PC index.
@@ -142,6 +191,18 @@ impl DirectionPredictor for Gshare {
 
     fn name(&self) -> &'static str {
         "gshare"
+    }
+
+    fn export_words(&self) -> Vec<u64> {
+        let mut words = pack_counters(&self.table);
+        words.push(self.history);
+        words
+    }
+
+    fn import_words(&mut self, words: &[u64]) {
+        let (history, counters) = words.split_last().expect("gshare snapshot has history");
+        unpack_counters(counters, &mut self.table);
+        self.history = *history;
     }
 }
 
@@ -195,6 +256,18 @@ impl DirectionPredictor for TwoLevel {
     fn name(&self) -> &'static str {
         "two-level"
     }
+
+    fn export_words(&self) -> Vec<u64> {
+        let mut words = self.histories.clone();
+        words.extend(pack_counters(&self.pattern));
+        words
+    }
+
+    fn import_words(&mut self, words: &[u64]) {
+        let (histories, pattern) = words.split_at(self.histories.len());
+        self.histories.copy_from_slice(histories);
+        unpack_counters(pattern, &mut self.pattern);
+    }
 }
 
 /// McFarling's combining predictor: a chooser table picks, per PC,
@@ -244,6 +317,23 @@ impl DirectionPredictor for Combined {
 
     fn name(&self) -> &'static str {
         "combined"
+    }
+
+    fn export_words(&self) -> Vec<u64> {
+        let mut words = self.bimodal.export_words();
+        words.extend(self.gshare.export_words());
+        words.extend(pack_counters(&self.chooser));
+        words
+    }
+
+    fn import_words(&mut self, words: &[u64]) {
+        let bim_len = self.bimodal.table.len().div_ceil(32);
+        let gs_len = self.gshare.table.len().div_ceil(32) + 1;
+        let (bim, rest) = words.split_at(bim_len);
+        let (gs, chooser) = rest.split_at(gs_len);
+        self.bimodal.import_words(bim);
+        self.gshare.import_words(gs);
+        unpack_counters(chooser, &mut self.chooser);
     }
 }
 

@@ -25,7 +25,7 @@ mod counter;
 mod direction;
 mod unit;
 
-pub use btb::{Btb, Ras};
+pub use btb::{Btb, Ras, RasSnapshot};
 pub use counter::TwoBit;
 pub use direction::{Bimodal, Combined, DirectionPredictor, Gshare, StaticPredictor, TwoLevel};
-pub use unit::{BranchStats, BranchUnit, PredictorConfig, PredictorKind};
+pub use unit::{BranchSnapshot, BranchStats, BranchUnit, PredictorConfig, PredictorKind};

@@ -1,6 +1,8 @@
 //! The complete front-end prediction unit used by the pipeline.
 
-use crate::{Bimodal, Btb, Combined, DirectionPredictor, Gshare, Ras, StaticPredictor, TwoLevel};
+use crate::{
+    Bimodal, Btb, Combined, DirectionPredictor, Gshare, Ras, RasSnapshot, StaticPredictor, TwoLevel,
+};
 
 /// Which direction predictor to instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,6 +72,14 @@ pub struct BranchStats {
 }
 
 impl BranchStats {
+    /// Accumulates another interval's counters into this one.
+    pub fn merge(&mut self, other: &BranchStats) {
+        self.branch_lookups += other.branch_lookups;
+        self.branch_mispredicts += other.branch_mispredicts;
+        self.indirect_lookups += other.indirect_lookups;
+        self.indirect_mispredicts += other.indirect_mispredicts;
+    }
+
     /// Direction misprediction rate in `[0, 1]`.
     pub fn mispredict_rate(&self) -> f64 {
         if self.branch_lookups == 0 {
@@ -180,6 +190,46 @@ impl BranchUnit {
     pub fn stats(&self) -> BranchStats {
         self.stats
     }
+
+    /// Exports the unit's full dynamic state (direction tables, BTB,
+    /// RAS, statistics) for checkpointing. The configuration is not
+    /// captured; restore into a unit built from the same
+    /// [`PredictorConfig`].
+    pub fn export_state(&self) -> BranchSnapshot {
+        BranchSnapshot {
+            dir_words: self.dir.export_words(),
+            btb: self.btb.export_entries(),
+            ras: self.ras.export_state(),
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state exported by [`BranchUnit::export_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component's snapshot does not match this unit's
+    /// geometry.
+    pub fn import_state(&mut self, snap: &BranchSnapshot) {
+        self.dir.import_words(&snap.dir_words);
+        self.btb.import_entries(&snap.btb);
+        self.ras.import_state(&snap.ras);
+        self.stats = snap.stats;
+    }
+}
+
+/// A complete snapshot of a [`BranchUnit`] for checkpointing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BranchSnapshot {
+    /// Direction-predictor state (see
+    /// [`DirectionPredictor::export_words`]).
+    pub dir_words: Vec<u64>,
+    /// BTB slots.
+    pub btb: Vec<Option<(u64, u64)>>,
+    /// Return-address stack.
+    pub ras: RasSnapshot,
+    /// Accumulated statistics.
+    pub stats: BranchStats,
 }
 
 #[cfg(test)]

@@ -1,0 +1,228 @@
+//! Fast functional fast-forward: run the emulator to chosen instruction
+//! boundaries and emit [`Checkpoint`]s, optionally warming the caches,
+//! TLBs, and branch predictor over the last `warmup` instructions
+//! before each boundary.
+//!
+//! The fast-forward pass is purely functional — no pipeline, no
+//! scheduling — so it costs one emulator step per instruction plus, only
+//! inside warm windows, one hierarchy access and one predictor update
+//! per instruction. Warm windows never overlap (each is clamped at the
+//! previous boundary), so at most one set of warm structures is live at
+//! a time.
+
+use crate::Checkpoint;
+use reese_bpred::{BranchStats, BranchUnit};
+use reese_cpu::{EmuError, Emulator, StepInfo};
+use reese_isa::{Instr, OpKind, Opcode, Program, Reg};
+use reese_mem::{CacheStats, MemHierarchy};
+use reese_pipeline::{PipelineConfig, WarmState};
+
+/// Evenly spaced interval start points: `i * total / intervals` for
+/// `i` in `0..intervals`, deduplicated (short programs can collapse
+/// adjacent boundaries). Always starts at 0.
+pub fn boundaries(total: u64, intervals: usize) -> Vec<u64> {
+    let k = intervals.max(1) as u64;
+    let mut out: Vec<u64> = (0..k).map(|i| i * total / k).collect();
+    out.dedup();
+    out
+}
+
+/// Runs the program functionally, capturing a [`Checkpoint`] at each of
+/// the given instruction `boundaries` (which must be strictly ascending
+/// and reachable before the program halts). With `warmup > 0`, the last
+/// `warmup` instructions before each boundary — clamped at the previous
+/// boundary — additionally drive a fresh cache hierarchy and branch
+/// predictor whose state is attached to that boundary's checkpoint.
+///
+/// The warm structures mirror what the detailed front end and execution
+/// stages would have touched: an instruction-cache access per fetch, a
+/// data access per load/store, and a predict-then-train pass per
+/// control instruction. Their statistics are scrubbed before attachment
+/// so a restored interval reports only its own activity.
+///
+/// # Errors
+///
+/// Returns [`EmuError`] if the program leaves its text segment.
+///
+/// # Panics
+///
+/// Panics if `boundaries` is not strictly ascending or extends past the
+/// program's halt.
+pub fn checkpoints_at(
+    program: &Program,
+    boundaries: &[u64],
+    warmup: u64,
+    pipeline: &PipelineConfig,
+) -> Result<Vec<Checkpoint>, EmuError> {
+    assert!(
+        boundaries.windows(2).all(|w| w[0] < w[1]),
+        "checkpoint boundaries must be strictly ascending"
+    );
+    let mut emu = Emulator::new(program);
+    let mut out = Vec::with_capacity(boundaries.len());
+    let mut warm_active: Option<(MemHierarchy, BranchUnit)> = None;
+    let mut next = 0;
+    while next < boundaries.len() {
+        let executed = emu.instructions();
+        if boundaries[next] == executed {
+            let warm = warm_active.take().map(|(hierarchy, branch)| {
+                scrubbed(WarmState {
+                    hierarchy: hierarchy.export_state(),
+                    branch: branch.export_state(),
+                })
+            });
+            out.push(Checkpoint::capture(&emu, warm));
+            next += 1;
+            continue;
+        }
+        assert!(
+            emu.exit_code().is_none(),
+            "checkpoint boundary {} lies beyond the program's halt",
+            boundaries[next]
+        );
+        let target = boundaries[next];
+        let window_floor = if next == 0 { 0 } else { boundaries[next - 1] };
+        if warmup > 0
+            && warm_active.is_none()
+            && executed >= target.saturating_sub(warmup).max(window_floor)
+        {
+            warm_active = Some((
+                MemHierarchy::new(pipeline.hierarchy.clone()),
+                BranchUnit::new(pipeline.predictor.clone()),
+            ));
+        }
+        let info = emu.step()?;
+        if let Some((hierarchy, branch)) = &mut warm_active {
+            warm_step(hierarchy, branch, &info);
+        }
+    }
+    Ok(out)
+}
+
+/// Drives the warm structures exactly as the detailed machine would for
+/// one committed instruction: icache fetch, dcache access, and the
+/// front end's predict-then-resolve sequence for control flow.
+fn warm_step(hierarchy: &mut MemHierarchy, branch: &mut BranchUnit, info: &StepInfo) {
+    hierarchy.access_inst(info.pc);
+    if let Some(mem) = info.mem {
+        hierarchy.access_data(mem.addr, mem.is_store);
+    }
+    let instr = &info.instr;
+    match instr.op.kind() {
+        OpKind::Branch => {
+            let predicted = branch.predict_branch(info.pc);
+            branch.resolve_branch(info.pc, predicted, info.taken);
+        }
+        OpKind::Jump => {
+            if instr.op == Opcode::Jal {
+                if instr.rd == Reg::RA {
+                    branch.push_return(info.pc + Instr::SIZE);
+                }
+            } else {
+                let is_return = instr.rd.is_zero() && instr.rs1 == Reg::RA;
+                let predicted = if is_return {
+                    branch.pop_return()
+                } else {
+                    branch.predict_indirect(info.pc)
+                };
+                if instr.rd == Reg::RA {
+                    branch.push_return(info.pc + Instr::SIZE);
+                }
+                branch.resolve_indirect(info.pc, predicted, info.next_pc);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Zeroes the statistics carried inside a warm snapshot, keeping the
+/// tactical state (lines, LRU ticks, counters, stacks). A restored
+/// interval then reports only the accesses it performs itself.
+fn scrubbed(mut warm: WarmState) -> WarmState {
+    warm.hierarchy.l1i.stats = CacheStats::default();
+    warm.hierarchy.l1d.stats = CacheStats::default();
+    warm.hierarchy.l2.stats = CacheStats::default();
+    for tlb in [&mut warm.hierarchy.itlb, &mut warm.hierarchy.dtlb] {
+        tlb.hits = 0;
+        tlb.misses = 0;
+    }
+    warm.hierarchy.prefetches_issued = 0;
+    warm.branch.stats = BranchStats::default();
+    warm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reese_isa::assemble;
+
+    const PROG: &str = "  li s0, 60\n  la a0, buf\nloop: andi t0, s0, 31\n  slli t1, t0, 3\n  \
+                        add t2, a0, t1\n  sd s0, 0(t2)\n  ld t3, 0(t2)\n  addi s0, s0, -1\n  \
+                        bnez s0, loop\n  halt\n  .data\nbuf: .space 256\n";
+
+    #[test]
+    fn boundaries_are_even_and_deduplicated() {
+        assert_eq!(boundaries(100, 4), vec![0, 25, 50, 75]);
+        assert_eq!(boundaries(7, 3), vec![0, 2, 4]);
+        assert_eq!(boundaries(2, 8), vec![0, 1]);
+        assert_eq!(boundaries(0, 4), vec![0]);
+    }
+
+    #[test]
+    fn checkpoints_land_on_their_boundaries() {
+        let prog = assemble(PROG).unwrap();
+        let n = Emulator::new(&prog).run(u64::MAX).unwrap().instructions;
+        let bs = boundaries(n, 4);
+        let cks = checkpoints_at(&prog, &bs, 0, &PipelineConfig::starting()).unwrap();
+        assert_eq!(cks.len(), bs.len());
+        for (ck, &b) in cks.iter().zip(&bs) {
+            assert_eq!(ck.instructions, b);
+            assert!(ck.warm.is_none());
+        }
+    }
+
+    #[test]
+    fn restored_checkpoint_continues_bit_identically() {
+        let prog = assemble(PROG).unwrap();
+        let reference = Emulator::new(&prog).run(u64::MAX).unwrap();
+        let bs = boundaries(reference.instructions, 3);
+        let cks = checkpoints_at(&prog, &bs, 16, &PipelineConfig::starting()).unwrap();
+        for ck in &cks {
+            let mut emu = ck.restore(&prog);
+            let done = emu.run(u64::MAX).unwrap();
+            assert_eq!(done.instructions, reference.instructions);
+            assert_eq!(done.state_digest, reference.state_digest);
+            assert_eq!(emu.output(), reference.output);
+        }
+    }
+
+    #[test]
+    fn warmup_attaches_scrubbed_state_to_later_boundaries() {
+        let prog = assemble(PROG).unwrap();
+        let n = Emulator::new(&prog).run(u64::MAX).unwrap().instructions;
+        let bs = boundaries(n, 3);
+        let cks = checkpoints_at(&prog, &bs, 32, &PipelineConfig::starting()).unwrap();
+        // Boundary 0 has an empty window; later boundaries carry state.
+        assert!(cks[0].warm.is_none());
+        for ck in &cks[1..] {
+            let warm = ck.warm.as_ref().expect("warm state present");
+            assert!(
+                warm.hierarchy.l1d.lines.iter().any(|l| l.valid),
+                "warm-up must have touched the data cache"
+            );
+            assert_eq!(warm.hierarchy.l1d.stats, CacheStats::default());
+            assert_eq!(warm.branch.stats, BranchStats::default());
+            assert!(
+                warm.branch.dir_words.iter().any(|&w| w != 0),
+                "warm-up must have trained the direction predictor"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unordered_boundaries_panic() {
+        let prog = assemble("  halt\n").unwrap();
+        let _ = checkpoints_at(&prog, &[5, 3], 0, &PipelineConfig::starting());
+    }
+}

@@ -1,0 +1,503 @@
+//! The sharded single-run driver: split one long simulation into K
+//! intervals at checkpoint boundaries, simulate each interval's
+//! detailed timing on a worker pool, and stitch the per-interval
+//! statistics into one report.
+//!
+//! Functional results (instruction counts, committed architectural
+//! state, program output) are *exact* — the emulator continues
+//! bit-identically from a restored checkpoint. Cycle counts are
+//! approximate: each interval starts with a cold (or warmed) pipeline,
+//! caches, and branch predictor, so the stitched cycle total carries a
+//! per-interval cold-start error that the oracle measures against a
+//! monolithic run.
+//!
+//! Checkpoints cross the worker boundary in their serialized form: each
+//! worker decodes the binary frame, restores the emulator, and runs its
+//! interval, so every sharded run also exercises the wire format
+//! end-to-end.
+
+use crate::{boundaries, checkpoints_at, Checkpoint, CkptError};
+use reese_core::{DuplexSim, ReeseConfig, ReeseError, ReeseSim, ReeseStats};
+use reese_cpu::{EmuError, Emulator, StopReason};
+use reese_isa::Program;
+use reese_pipeline::{PipelineSim, SimResult};
+use reese_stats::{par_map_indexed, ParallelStats};
+use std::fmt;
+
+/// Which detailed timing machine simulates the intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// The unprotected out-of-order baseline.
+    Baseline,
+    /// REESE: R-stream Queue time redundancy.
+    Reese,
+    /// Dispatch duplication (Franklin's scheme).
+    Duplex,
+}
+
+impl Scheme {
+    /// All schemes, in report order.
+    pub const ALL: [Scheme; 3] = [Scheme::Baseline, Scheme::Reese, Scheme::Duplex];
+
+    /// Stable lower-case name for CLI and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Baseline => "baseline",
+            Scheme::Reese => "reese",
+            Scheme::Duplex => "duplex",
+        }
+    }
+
+    /// Parses a [`Scheme::name`].
+    pub fn parse(s: &str) -> Option<Scheme> {
+        Scheme::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// Why a sharded run failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardError {
+    /// The functional reference run failed.
+    Emu(EmuError),
+    /// The program never halts, so it cannot be split into a finite
+    /// number of intervals.
+    DidNotHalt,
+    /// A checkpoint failed to decode on a worker.
+    Ckpt(CkptError),
+    /// A detailed interval simulation failed.
+    Interval {
+        /// Which interval.
+        index: usize,
+        /// The simulator's error.
+        source: ReeseError,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Emu(e) => write!(f, "functional reference run failed: {e}"),
+            ShardError::DidNotHalt => write!(f, "program did not halt; cannot shard"),
+            ShardError::Ckpt(e) => write!(f, "checkpoint rejected: {e}"),
+            ShardError::Interval { index, source } => {
+                write!(f, "interval {index} simulation failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<EmuError> for ShardError {
+    fn from(e: EmuError) -> ShardError {
+        ShardError::Emu(e)
+    }
+}
+
+/// How to shard a run.
+#[derive(Debug, Clone)]
+pub struct ShardOptions {
+    /// Number of intervals K (collapsed if the program is shorter).
+    pub intervals: usize,
+    /// Worker threads for the interval simulations.
+    pub jobs: usize,
+    /// Warm-up window W: the last W instructions before each boundary
+    /// (clamped at the previous boundary) warm the caches and branch
+    /// predictor during fast-forward. 0 = cold intervals.
+    pub warmup: u64,
+    /// Also run the monolithic detailed simulation and measure the
+    /// stitched cycle error against it.
+    pub compare_monolithic: bool,
+    /// Bound on the functional reference pass; a program still running
+    /// after this many instructions is treated as non-halting.
+    pub max_instructions: u64,
+}
+
+impl Default for ShardOptions {
+    fn default() -> ShardOptions {
+        ShardOptions {
+            intervals: 4,
+            jobs: reese_stats::available_jobs(),
+            warmup: 0,
+            compare_monolithic: true,
+            max_instructions: u64::MAX,
+        }
+    }
+}
+
+/// One interval's detailed-timing outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalResult {
+    /// First dynamic instruction of this interval.
+    pub start: u64,
+    /// Instructions committed by this interval's detailed run.
+    pub instructions: u64,
+    /// Cycles this interval's detailed run took.
+    pub cycles: u64,
+    /// Whether the interval's checkpoint carried warm state.
+    pub warmed: bool,
+}
+
+/// The exactness/accuracy oracle: functional quantities must match
+/// bit-for-bit; cycles are compared against the monolithic run when
+/// available.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardOracle {
+    /// Stitched committed-instruction count equals the functional run's.
+    pub instructions_match: bool,
+    /// Final architectural state digest equals the functional run's.
+    pub digest_match: bool,
+    /// Concatenated program output equals the functional run's.
+    pub output_match: bool,
+    /// Monolithic detailed cycle count, if measured.
+    pub monolithic_cycles: Option<u64>,
+    /// Relative cycle error of the stitched total vs monolithic:
+    /// `(sharded - monolithic) / monolithic`.
+    pub cycle_error: Option<f64>,
+}
+
+impl ShardOracle {
+    /// All functional quantities match bit-for-bit.
+    pub fn exact(&self) -> bool {
+        self.instructions_match && self.digest_match && self.output_match
+    }
+}
+
+/// The stitched result of a sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Which machine simulated the intervals.
+    pub scheme: Scheme,
+    /// Dynamic instruction count of the whole program.
+    pub total_instructions: u64,
+    /// Per-interval outcomes, in program order.
+    pub intervals: Vec<IntervalResult>,
+    /// Sum of per-interval cycle counts.
+    pub sharded_cycles: u64,
+    /// Stitched statistics (cycle counts summed, histograms merged).
+    pub stats: ReeseStats,
+    /// Concatenated program output.
+    pub output: Vec<i64>,
+    /// Exit code from the final interval.
+    pub exit_code: Option<u64>,
+    /// Final architectural state digest, from the final interval.
+    pub state_digest: u64,
+    /// The exactness/accuracy oracle verdict.
+    pub oracle: ShardOracle,
+    /// Worker-pool throughput for the interval simulations.
+    pub parallel: ParallelStats,
+    /// Total size of the serialized checkpoints shipped to workers.
+    pub checkpoint_bytes: usize,
+}
+
+impl ShardReport {
+    /// Stitched instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.sharded_cycles == 0 {
+            return 0.0;
+        }
+        self.total_instructions as f64 / self.sharded_cycles as f64
+    }
+}
+
+/// What one worker sends back: the scheme-independent slice of a
+/// detailed run.
+struct Outcome {
+    stats: ReeseStats,
+    output: Vec<i64>,
+    exit_code: Option<u64>,
+    state_digest: u64,
+    warmed: bool,
+}
+
+impl Outcome {
+    fn from_baseline(r: SimResult, warmed: bool) -> Outcome {
+        let mut stats = ReeseStats::new(1);
+        stats.pipeline = r.stats;
+        Outcome {
+            stats,
+            output: r.output,
+            exit_code: r.exit_code,
+            state_digest: r.state_digest,
+            warmed,
+        }
+    }
+
+    fn from_reese(r: reese_core::ReeseResult, warmed: bool) -> Outcome {
+        Outcome {
+            stats: r.stats,
+            output: r.output,
+            exit_code: r.exit_code,
+            state_digest: r.state_digest,
+            warmed,
+        }
+    }
+}
+
+/// Splits one run of `program` into `opts.intervals` intervals at
+/// checkpoint boundaries, simulates each interval's detailed timing
+/// under `scheme` on `opts.jobs` workers, and stitches the results.
+///
+/// # Errors
+///
+/// Returns a [`ShardError`] if the program does not halt, a checkpoint
+/// fails to decode, or any interval simulation fails.
+pub fn run_sharded(
+    program: &Program,
+    config: &ReeseConfig,
+    scheme: Scheme,
+    opts: &ShardOptions,
+) -> Result<ShardReport, ShardError> {
+    // Pass 1: the functional reference run. Its instruction count fixes
+    // the boundaries; its digest and output are the oracle's ground
+    // truth.
+    let reference = Emulator::new(program).run(opts.max_instructions)?;
+    let StopReason::Halted { .. } = reference.stop else {
+        return Err(ShardError::DidNotHalt);
+    };
+    let total = reference.instructions;
+
+    // Pass 2: fast-forward, emitting one checkpoint per interval start.
+    let bounds = boundaries(total, opts.intervals);
+    let ckpts = checkpoints_at(program, &bounds, opts.warmup, &config.pipeline)?;
+
+    // Ship each interval to the pool in serialized form.
+    let jobs: Vec<(Vec<u8>, u64)> = ckpts
+        .iter()
+        .enumerate()
+        .map(|(i, ck)| {
+            let end = bounds.get(i + 1).copied().unwrap_or(total);
+            (ck.encode(), end - bounds[i])
+        })
+        .collect();
+    let checkpoint_bytes = jobs.iter().map(|(bytes, _)| bytes.len()).sum();
+
+    let (results, parallel) = par_map_indexed(opts.jobs, &jobs, |index, (bytes, len)| {
+        run_one_interval(program, config, scheme, bytes, *len).map_err(|source| match source {
+            IntervalError::Ckpt(e) => ShardError::Ckpt(e),
+            IntervalError::Sim(source) => ShardError::Interval { index, source },
+        })
+    });
+
+    // Stitch, in program order.
+    let mut intervals = Vec::with_capacity(results.len());
+    let mut stats: Option<ReeseStats> = None;
+    let mut output = Vec::new();
+    let mut exit_code = None;
+    let mut state_digest = 0;
+    let mut committed_total = 0u64;
+    for (i, result) in results.into_iter().enumerate() {
+        let outcome = result?;
+        intervals.push(IntervalResult {
+            start: bounds[i],
+            instructions: outcome.stats.pipeline.committed,
+            cycles: outcome.stats.pipeline.cycles,
+            warmed: outcome.warmed,
+        });
+        committed_total += outcome.stats.pipeline.committed;
+        output.extend_from_slice(&outcome.output);
+        exit_code = outcome.exit_code;
+        state_digest = outcome.state_digest;
+        match &mut stats {
+            None => stats = Some(outcome.stats),
+            Some(s) => s.merge(&outcome.stats),
+        }
+    }
+    let stats = stats.expect("at least one interval");
+    let sharded_cycles = stats.pipeline.cycles;
+
+    // The oracle: functional exactness always; cycle accuracy when the
+    // monolithic detailed run is requested.
+    let monolithic_cycles = if opts.compare_monolithic {
+        Some(run_monolithic(program, config, scheme)?)
+    } else {
+        None
+    };
+    let oracle = ShardOracle {
+        instructions_match: committed_total == total,
+        digest_match: state_digest == reference.state_digest,
+        output_match: output == reference.output,
+        monolithic_cycles,
+        cycle_error: monolithic_cycles
+            .map(|mono| (sharded_cycles as f64 - mono as f64) / mono as f64),
+    };
+
+    Ok(ShardReport {
+        scheme,
+        total_instructions: total,
+        intervals,
+        sharded_cycles,
+        stats,
+        output,
+        exit_code,
+        state_digest,
+        oracle,
+        parallel,
+        checkpoint_bytes,
+    })
+}
+
+enum IntervalError {
+    Ckpt(CkptError),
+    Sim(ReeseError),
+}
+
+fn run_one_interval(
+    program: &Program,
+    config: &ReeseConfig,
+    scheme: Scheme,
+    bytes: &[u8],
+    len: u64,
+) -> Result<Outcome, IntervalError> {
+    let ck = Checkpoint::decode(bytes).map_err(IntervalError::Ckpt)?;
+    let emulator = ck.restore(program);
+    let warm = ck.warm.as_ref();
+    let warmed = warm.is_some();
+    match scheme {
+        Scheme::Baseline => PipelineSim::new(config.pipeline.clone())
+            .run_interval(emulator, warm, len)
+            .map(|r| Outcome::from_baseline(r, warmed))
+            .map_err(|e| IntervalError::Sim(ReeseError::Sim(e))),
+        Scheme::Reese => ReeseSim::new(config.clone())
+            .run_interval(emulator, warm, len)
+            .map(|r| Outcome::from_reese(r, warmed))
+            .map_err(IntervalError::Sim),
+        Scheme::Duplex => DuplexSim::new(config.pipeline.clone())
+            .run_interval(emulator, warm, len)
+            .map(|r| Outcome::from_reese(r, warmed))
+            .map_err(IntervalError::Sim),
+    }
+}
+
+fn run_monolithic(
+    program: &Program,
+    config: &ReeseConfig,
+    scheme: Scheme,
+) -> Result<u64, ShardError> {
+    let err = |source| ShardError::Interval {
+        index: usize::MAX,
+        source,
+    };
+    match scheme {
+        Scheme::Baseline => PipelineSim::new(config.pipeline.clone())
+            .run(program)
+            .map(|r| r.stats.cycles)
+            .map_err(|e| err(ReeseError::Sim(e))),
+        Scheme::Reese => ReeseSim::new(config.clone())
+            .run(program)
+            .map(|r| r.cycles())
+            .map_err(err),
+        Scheme::Duplex => DuplexSim::new(config.pipeline.clone())
+            .run(program)
+            .map(|r| r.cycles())
+            .map_err(err),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reese_isa::assemble;
+
+    fn program() -> Program {
+        assemble(
+            "  la a0, buf\n  li s0, 300\n\
+             loop: andi t4, s0, 63\n  slli t2, t4, 3\n  add t3, a0, t2\n  ld t0, 0(t3)\n\
+             \n  addi t0, t0, 3\n  mul t1, t0, s0\n  xor t5, t5, t1\n  sd t0, 0(t3)\n\
+             \n  addi s0, s0, -1\n  bnez s0, loop\n  print t5\n  halt\n\
+             \n  .data\nbuf: .space 512\n",
+        )
+        .unwrap()
+    }
+
+    fn options(intervals: usize) -> ShardOptions {
+        ShardOptions {
+            intervals,
+            jobs: 2,
+            ..ShardOptions::default()
+        }
+    }
+
+    #[test]
+    fn sharded_run_is_functionally_exact_for_every_scheme() {
+        let prog = program();
+        let config = ReeseConfig::starting();
+        for scheme in Scheme::ALL {
+            let report = run_sharded(&prog, &config, scheme, &options(4)).unwrap();
+            assert!(
+                report.oracle.exact(),
+                "{}: {:?}",
+                scheme.name(),
+                report.oracle
+            );
+            assert_eq!(report.intervals.len(), 4);
+            assert_eq!(
+                report.intervals.iter().map(|i| i.instructions).sum::<u64>(),
+                report.total_instructions
+            );
+            assert_eq!(report.stats.pipeline.cycles, report.sharded_cycles);
+            assert!(report.checkpoint_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn warmup_reduces_or_preserves_cycle_error() {
+        let prog = program();
+        let config = ReeseConfig::starting();
+        let cold = run_sharded(&prog, &config, Scheme::Baseline, &options(4)).unwrap();
+        let mut warm_opts = options(4);
+        warm_opts.warmup = 2000;
+        let warm = run_sharded(&prog, &config, Scheme::Baseline, &warm_opts).unwrap();
+        assert!(warm.oracle.exact());
+        let (c, w) = (
+            cold.oracle.cycle_error.unwrap().abs(),
+            warm.oracle.cycle_error.unwrap().abs(),
+        );
+        assert!(
+            w <= c + 1e-9,
+            "warm-up must not worsen cycle error (cold {c:.4}, warm {w:.4})"
+        );
+    }
+
+    #[test]
+    fn single_interval_shard_matches_monolithic_cycles_exactly() {
+        let prog = program();
+        let config = ReeseConfig::starting();
+        for scheme in Scheme::ALL {
+            let report = run_sharded(&prog, &config, scheme, &options(1)).unwrap();
+            assert!(report.oracle.exact());
+            assert_eq!(
+                Some(report.sharded_cycles),
+                report.oracle.monolithic_cycles,
+                "{}: one cold interval from instruction 0 is the monolithic run",
+                scheme.name()
+            );
+            assert_eq!(report.oracle.cycle_error, Some(0.0));
+        }
+    }
+
+    #[test]
+    fn intervals_collapse_on_short_programs() {
+        let prog = assemble("  li a0, 1\n  print a0\n  halt\n").unwrap();
+        let report = run_sharded(
+            &prog,
+            &ReeseConfig::starting(),
+            Scheme::Baseline,
+            &options(16),
+        )
+        .unwrap();
+        assert!(report.oracle.exact());
+        assert!(report.intervals.len() <= 3);
+        assert_eq!(report.output, vec![1]);
+    }
+
+    #[test]
+    fn non_halting_program_is_rejected() {
+        let prog = assemble("loop: j loop\n  halt\n").unwrap();
+        let mut opts = options(2);
+        opts.max_instructions = 10_000;
+        let err =
+            run_sharded(&prog, &ReeseConfig::starting(), Scheme::Baseline, &opts).unwrap_err();
+        assert_eq!(err, ShardError::DidNotHalt);
+    }
+}

@@ -1,0 +1,197 @@
+//! Little-endian binary primitives for the checkpoint format.
+//!
+//! Hand-rolled on purpose: the checkpoint is a long-lived artifact that
+//! must stay readable across builds, so the layout is pinned here byte
+//! by byte rather than delegated to a serialization library whose
+//! defaults could drift.
+
+use crate::CkptError;
+
+/// IEEE 802.3 reflected CRC-32 polynomial.
+const CRC32_POLY: u32 = 0xEDB8_8320;
+
+/// Computes the CRC-32 (IEEE, reflected) of `bytes`.
+///
+/// Bitwise rather than table-driven: checkpoints are written once per
+/// interval, not per cycle, and 8 shifts per byte keeps the
+/// implementation obviously correct.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            crc = (crc >> 1) ^ (CRC32_POLY & (crc & 1).wrapping_neg());
+        }
+    }
+    !crc
+}
+
+/// An append-only little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Encodes a `usize` length prefix; checkpoint sections are bounded
+    /// far below `u32::MAX` entries.
+    pub fn put_len(&mut self, v: usize) {
+        self.put_u32(u32::try_from(v).expect("checkpoint section exceeds u32 length"));
+    }
+
+    /// Appends the CRC-32 of everything written so far and returns the
+    /// finished frame.
+    pub fn finish_with_crc(mut self) -> Vec<u8> {
+        let crc = crc32(&self.buf);
+        self.put_u32(crc);
+        self.buf
+    }
+}
+
+/// A bounds-checked little-endian reader over a byte slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    pub fn new(data: &'a [u8]) -> Decoder<'a> {
+        Decoder { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        if self.remaining() < n {
+            return Err(CkptError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn take_u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn take_u16(&mut self) -> Result<u16, CkptError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    pub fn take_u32(&mut self) -> Result<u32, CkptError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    pub fn take_u64(&mut self) -> Result<u64, CkptError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    pub fn take_i64(&mut self) -> Result<i64, CkptError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    pub fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        self.take(n)
+    }
+
+    /// Reads a `u32` length prefix, rejecting prefixes that could not
+    /// possibly fit in the remaining bytes (each entry is at least
+    /// `min_entry_bytes`) — a cheap guard against allocating gigabytes
+    /// off four corrupted bytes.
+    pub fn take_len(&mut self, min_entry_bytes: usize) -> Result<usize, CkptError> {
+        let n = self.take_u32()? as usize;
+        if min_entry_bytes > 0 && n > self.remaining() / min_entry_bytes {
+            return Err(CkptError::Truncated);
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The classic check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut e = Encoder::new();
+        e.put_u8(0xAB);
+        e.put_u16(0xBEEF);
+        e.put_u32(0xDEAD_BEEF);
+        e.put_u64(0x0123_4567_89AB_CDEF);
+        e.put_i64(-42);
+        e.put_len(3);
+        e.put_bytes(&[1, 2, 3]);
+        let frame = e.finish_with_crc();
+
+        let body = &frame[..frame.len() - 4];
+        let stored = u32::from_le_bytes(frame[frame.len() - 4..].try_into().unwrap());
+        assert_eq!(stored, crc32(body));
+
+        let mut d = Decoder::new(body);
+        assert_eq!(d.take_u8().unwrap(), 0xAB);
+        assert_eq!(d.take_u16().unwrap(), 0xBEEF);
+        assert_eq!(d.take_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.take_u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(d.take_i64().unwrap(), -42);
+        let n = d.take_len(1).unwrap();
+        assert_eq!(d.take_bytes(n).unwrap(), &[1, 2, 3]);
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn decoder_rejects_overrun() {
+        let mut d = Decoder::new(&[1, 2, 3]);
+        assert_eq!(d.take_u64().unwrap_err(), CkptError::Truncated);
+        // A failed read consumes nothing.
+        assert_eq!(d.take_u16().unwrap(), 0x0201);
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected() {
+        let mut e = Encoder::new();
+        e.put_u32(u32::MAX);
+        let frame = e.finish_with_crc();
+        let mut d = Decoder::new(&frame[..frame.len() - 4]);
+        assert_eq!(d.take_len(8).unwrap_err(), CkptError::Truncated);
+    }
+}

@@ -14,11 +14,12 @@
 //! run the same workload on both machines and compare.
 
 use crate::{ReeseError, ReeseResult, ReeseStats};
+use reese_cpu::Emulator;
 use reese_isa::{FuClass, Program};
 use reese_mem::MemHierarchy;
 use reese_pipeline::{
     FetchUnit, Fetched, FuPool, LoadPlan, Lsq, PipelineConfig, PredictionInfo, Ruu, SchedulerMode,
-    Seq, SimError, SimStop,
+    Seq, SimError, SimStop, WarmState,
 };
 use std::collections::VecDeque;
 
@@ -87,6 +88,23 @@ impl DuplexSim {
         let mut m = DuplexMachine::new(&self.config, program);
         m.run(max_instructions)
     }
+
+    /// Runs one sharded interval: continues from a restored emulator,
+    /// optionally warming the caches and branch predictor from a
+    /// [`WarmState`], and stops after `max_instructions` pair commits.
+    ///
+    /// # Errors
+    ///
+    /// See [`DuplexSim::run`].
+    pub fn run_interval(
+        &self,
+        emulator: Emulator,
+        warm: Option<&WarmState>,
+        max_instructions: u64,
+    ) -> Result<ReeseResult, ReeseError> {
+        let mut m = DuplexMachine::restored(&self.config, emulator, warm);
+        m.run(max_instructions)
+    }
 }
 
 struct DuplexMachine<'c> {
@@ -102,23 +120,51 @@ struct DuplexMachine<'c> {
     output: Vec<i64>,
     exit_code: Option<u64>,
     last_commit_cycle: u64,
+    scratch_done: Vec<Seq>,
+    scratch_ready: Vec<Seq>,
 }
 
 impl<'c> DuplexMachine<'c> {
     fn new(cfg: &'c PipelineConfig, program: &Program) -> DuplexMachine<'c> {
+        let fetch = FetchUnit::new(program, cfg.predictor.clone());
+        let hierarchy = MemHierarchy::new(cfg.hierarchy.clone());
+        DuplexMachine::with_front_end(cfg, fetch, hierarchy)
+    }
+
+    fn restored(
+        cfg: &'c PipelineConfig,
+        emulator: Emulator,
+        warm: Option<&WarmState>,
+    ) -> DuplexMachine<'c> {
+        let mut fetch = FetchUnit::from_restored(emulator, cfg.predictor.clone());
+        let mut hierarchy = MemHierarchy::new(cfg.hierarchy.clone());
+        if let Some(w) = warm {
+            fetch.import_branch_state(&w.branch);
+            hierarchy.import_state(&w.hierarchy);
+        }
+        DuplexMachine::with_front_end(cfg, fetch, hierarchy)
+    }
+
+    fn with_front_end(
+        cfg: &'c PipelineConfig,
+        fetch: FetchUnit,
+        hierarchy: MemHierarchy,
+    ) -> DuplexMachine<'c> {
         DuplexMachine {
             cfg,
             cycle: 0,
-            fetch: FetchUnit::new(program, cfg.predictor.clone()),
+            fetch,
             fetchq: VecDeque::with_capacity(cfg.fetch_queue_size),
             ruu: Ruu::with_scheduler(cfg.ruu_size, cfg.scheduler),
             lsq: Lsq::new(cfg.lsq_size),
             fu: FuPool::new(cfg.fu),
-            hierarchy: MemHierarchy::new(cfg.hierarchy.clone()),
+            hierarchy,
             stats: ReeseStats::new(1),
             output: Vec::new(),
             exit_code: None,
             last_commit_cycle: 0,
+            scratch_done: Vec::new(),
+            scratch_ready: Vec::new(),
         }
     }
 
@@ -246,41 +292,53 @@ impl<'c> DuplexMachine<'c> {
     }
 
     fn writeback(&mut self) {
-        let done: Vec<Seq> = match self.cfg.scheduler {
-            SchedulerMode::Scan => self
-                .ruu
-                .iter()
-                .filter(|e| e.issued && !e.completed && e.complete_cycle <= self.cycle)
-                .map(|e| e.seq)
-                .collect(),
-            SchedulerMode::EventDriven => self.ruu.take_completions(self.cycle),
-        };
-        for seq in done {
+        let mut done = std::mem::take(&mut self.scratch_done);
+        match self.cfg.scheduler {
+            SchedulerMode::Scan => {
+                done.clear();
+                done.extend(
+                    self.ruu
+                        .iter()
+                        .filter(|e| e.issued && !e.completed && e.complete_cycle <= self.cycle)
+                        .map(|e| e.seq),
+                );
+            }
+            SchedulerMode::EventDriven => self.ruu.take_completions_into(self.cycle, &mut done),
+        }
+        for seq in done.drain(..) {
             self.ruu.complete(seq);
-            let e = self.ruu.get(seq).expect("just completed").clone();
-            if e.is_mem() {
+            // Copy out the two Copy fields needed below rather than
+            // cloning the whole entry per completion.
+            let e = self.ruu.get(seq).expect("just completed");
+            let is_mem = e.is_mem();
+            // Resolve control once per pair, on the primary copy.
+            let fetched = (e.is_control() && e.seq % 2 == 1).then_some(Fetched {
+                seq: e.seq / 2,
+                info: e.info,
+                pred: e.pred,
+            });
+            if is_mem {
                 self.lsq.mark_executed(seq);
             }
-            // Resolve control once per pair, on the primary copy.
-            if e.is_control() && e.seq % 2 == 1 {
-                let fetched = Fetched {
-                    seq: e.seq / 2,
-                    info: e.info,
-                    pred: e.pred,
-                };
+            if let Some(fetched) = fetched {
                 self.fetch
                     .resolve_control(&fetched, self.cycle, self.cfg.mispredict_penalty);
             }
         }
+        self.scratch_done = done;
     }
 
     fn issue(&mut self) {
-        let ready: Vec<Seq> = match self.cfg.scheduler {
-            SchedulerMode::Scan => self.ruu.ready_seqs().collect(),
-            SchedulerMode::EventDriven => self.ruu.ready_snapshot(),
-        };
+        let mut ready = std::mem::take(&mut self.scratch_ready);
+        match self.cfg.scheduler {
+            SchedulerMode::Scan => {
+                ready.clear();
+                ready.extend(self.ruu.ready_seqs());
+            }
+            SchedulerMode::EventDriven => self.ruu.ready_into(&mut ready),
+        }
         let mut issued = 0usize;
-        for seq in ready {
+        for seq in ready.drain(..) {
             if issued == self.cfg.width {
                 break;
             }
@@ -320,6 +378,7 @@ impl<'c> DuplexMachine<'c> {
                 self.stats.r_issued += 1;
             }
         }
+        self.scratch_ready = ready;
     }
 
     /// Dispatches each fetched instruction twice: the redundant copy

@@ -1,9 +1,8 @@
 //! The R-stream Queue: the heart of REESE.
 
 use reese_cpu::StepInfo;
-use reese_pipeline::{SchedulerMode, Seq};
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use reese_pipeline::{EventWheel, ReadyRing, SchedulerMode, Seq};
+use std::collections::VecDeque;
 
 /// One R-stream Queue entry.
 ///
@@ -97,10 +96,10 @@ pub struct RQueue {
     /// Seqs awaiting redundant issue (non-skip, not yet issued), kept in
     /// ascending order — the redundant scheduler's FIFO-lookahead order.
     /// [`SchedulerMode::EventDriven`] only.
-    pending_r: BTreeSet<Seq>,
+    pending_r: ReadyRing,
     /// Redundant-completion event wheel keyed by
     /// `(r_complete_cycle, seq)`. [`SchedulerMode::EventDriven`] only.
-    completions: BinaryHeap<Reverse<(u64, Seq)>>,
+    completions: EventWheel,
 }
 
 impl RQueue {
@@ -127,8 +126,8 @@ impl RQueue {
             capacity,
             peak_occupancy: 0,
             mode,
-            pending_r: BTreeSet::new(),
-            completions: BinaryHeap::new(),
+            pending_r: ReadyRing::new(capacity),
+            completions: EventWheel::new(),
         }
     }
 
@@ -199,8 +198,8 @@ impl RQueue {
         entry.r_issued = true;
         entry.r_complete_cycle = r_complete_cycle;
         if event_driven {
-            self.pending_r.remove(&seq);
-            self.completions.push(Reverse((r_complete_cycle, seq)));
+            self.pending_r.remove(seq);
+            self.completions.push(r_complete_cycle, seq);
         }
     }
 
@@ -208,7 +207,20 @@ impl RQueue {
     /// exactly the entries the FIFO-lookahead scan would consider
     /// (event-driven mode only; empty under [`SchedulerMode::Scan`]).
     pub fn pending_r_front(&self, limit: usize) -> Vec<Seq> {
-        self.pending_r.iter().take(limit).copied().collect()
+        let mut out = Vec::with_capacity(limit.min(self.pending_r.len()));
+        self.pending_r_front_into(limit, &mut out);
+        out
+    }
+
+    /// Like [`RQueue::pending_r_front`] but reusing a caller-owned
+    /// buffer (cleared first), so the per-cycle redundant-issue loop
+    /// allocates nothing.
+    pub fn pending_r_front_into(&self, limit: usize, out: &mut Vec<Seq>) {
+        out.clear();
+        let Some(front) = self.entries.front() else {
+            return;
+        };
+        self.pending_r.collect_from(front.seq, limit, out);
     }
 
     /// Whether any entry awaits redundant issue (event-driven mode only).
@@ -219,21 +231,20 @@ impl RQueue {
     /// Pops the seqs of every redundant completion due at or before
     /// `now`, in `(cycle, seq)` order (event-driven mode only).
     pub fn take_r_completions(&mut self, now: u64) -> Vec<Seq> {
-        let mut done = Vec::new();
-        while let Some(&Reverse((cycle, seq))) = self.completions.peek() {
-            if cycle > now {
-                break;
-            }
-            self.completions.pop();
-            done.push(seq);
-        }
-        done
+        self.completions.take_due(now)
+    }
+
+    /// Like [`RQueue::take_r_completions`] but reusing a caller-owned
+    /// buffer (cleared first), so the per-cycle writeback loop
+    /// allocates nothing.
+    pub fn take_r_completions_into(&mut self, now: u64, out: &mut Vec<Seq>) {
+        self.completions.take_due_into(now, out);
     }
 
     /// Cycle of the earliest scheduled redundant completion, if any
     /// (event-driven mode only).
-    pub fn next_r_completion_cycle(&self) -> Option<u64> {
-        self.completions.peek().map(|&Reverse((cycle, _))| cycle)
+    pub fn next_r_completion_cycle(&mut self) -> Option<u64> {
+        self.completions.next_cycle()
     }
 
     /// The oldest entry.

@@ -4,10 +4,12 @@ use crate::{
     DetectionEvent, DurationFault, DurationReport, InjectedFault, RQueue, RQueueEntry, ReeseConfig,
     ReeseError, ReeseResult, ReeseStats, Stream,
 };
+use reese_cpu::Emulator;
 use reese_isa::{FuClass, Program};
 use reese_mem::MemHierarchy;
 use reese_pipeline::{
     FetchUnit, Fetched, FuPool, LoadPlan, Lsq, Ruu, SchedulerMode, Seq, SimError, SimStop,
+    WarmState,
 };
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -144,6 +146,26 @@ impl ReeseSim {
         m.next_migrate_seq = skipped;
         m.run(max_instructions)
     }
+
+    /// Resumes detailed timing mid-program from a checkpoint-restored
+    /// emulator, fault-free, until `halt` or until `max_instructions`
+    /// commit in this interval (see
+    /// [`reese_pipeline::PipelineSim::run_interval`]). Statistics cover
+    /// this interval only, for stitching with
+    /// [`crate::ReeseStats::merge`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ReeseSim::run`].
+    pub fn run_interval(
+        &self,
+        emulator: Emulator,
+        warm: Option<&WarmState>,
+        max_instructions: u64,
+    ) -> Result<ReeseResult, ReeseError> {
+        let mut m = ReeseMachine::restored(&self.config, emulator, warm);
+        m.run(max_instructions)
+    }
 }
 
 struct ReeseMachine<'c> {
@@ -170,10 +192,45 @@ struct ReeseMachine<'c> {
     duration_fault: Option<DurationFault>,
     duration_report: DurationReport,
     duration_p_hits: HashSet<Seq>,
+    /// Reused buffers for the per-cycle writeback/issue work lists, so
+    /// the steady-state loop never allocates.
+    scratch_done: Vec<Seq>,
+    scratch_rdone: Vec<Seq>,
+    scratch_ready: Vec<Seq>,
+    scratch_pending: Vec<Seq>,
 }
 
 impl<'c> ReeseMachine<'c> {
     fn new(cfg: &'c ReeseConfig, program: &Program, faults: &[InjectedFault]) -> ReeseMachine<'c> {
+        let fetch = FetchUnit::new(program, cfg.pipeline.predictor.clone());
+        let hierarchy = MemHierarchy::new(cfg.pipeline.hierarchy.clone());
+        ReeseMachine::with_front_end(cfg, fetch, hierarchy, faults)
+    }
+
+    fn restored(
+        cfg: &'c ReeseConfig,
+        emulator: Emulator,
+        warm: Option<&WarmState>,
+    ) -> ReeseMachine<'c> {
+        let start = emulator.instructions();
+        let mut fetch = FetchUnit::from_restored(emulator, cfg.pipeline.predictor.clone());
+        let mut hierarchy = MemHierarchy::new(cfg.pipeline.hierarchy.clone());
+        if let Some(w) = warm {
+            fetch.import_branch_state(&w.branch);
+            hierarchy.import_state(&w.hierarchy);
+        }
+        let mut m = ReeseMachine::with_front_end(cfg, fetch, hierarchy, &[]);
+        // Sequence numbering continues from the checkpoint boundary.
+        m.next_migrate_seq = start;
+        m
+    }
+
+    fn with_front_end(
+        cfg: &'c ReeseConfig,
+        fetch: FetchUnit,
+        hierarchy: MemHierarchy,
+        faults: &[InjectedFault],
+    ) -> ReeseMachine<'c> {
         let mut map: HashMap<Seq, Vec<InjectedFault>> = HashMap::new();
         for f in faults {
             map.entry(f.seq).or_default().push(*f);
@@ -181,13 +238,13 @@ impl<'c> ReeseMachine<'c> {
         ReeseMachine {
             cfg,
             cycle: 0,
-            fetch: FetchUnit::new(program, cfg.pipeline.predictor.clone()),
+            fetch,
             fetchq: VecDeque::with_capacity(cfg.pipeline.fetch_queue_size),
             ruu: Ruu::with_scheduler(cfg.pipeline.ruu_size, cfg.pipeline.scheduler),
             lsq: Lsq::new(cfg.pipeline.lsq_size),
             rqueue: RQueue::with_scheduler(cfg.rqueue_size, cfg.pipeline.scheduler),
             fu: FuPool::new(cfg.pipeline.fu),
-            hierarchy: MemHierarchy::new(cfg.pipeline.hierarchy.clone()),
+            hierarchy,
             stats: ReeseStats::new(cfg.rqueue_size),
             output: Vec::new(),
             exit_code: None,
@@ -201,6 +258,10 @@ impl<'c> ReeseMachine<'c> {
             duration_fault: None,
             duration_report: DurationReport::default(),
             duration_p_hits: HashSet::new(),
+            scratch_done: Vec::new(),
+            scratch_rdone: Vec::new(),
+            scratch_ready: Vec::new(),
+            scratch_pending: Vec::new(),
         }
     }
 
@@ -457,6 +518,11 @@ impl<'c> ReeseMachine<'c> {
         entry: &mut RQueueEntry,
         stream: Stream,
     ) {
+        if faults.is_empty() {
+            // The common case outside injection campaigns: skip the
+            // per-instruction hash probe entirely.
+            return;
+        }
         let Some(list) = faults.get_mut(&entry.seq) else {
             return;
         };
@@ -535,27 +601,34 @@ impl<'c> ReeseMachine<'c> {
     /// dependants, resolving control) and R completions in the queue.
     fn writeback(&mut self) {
         // Primary stream, identical to the baseline.
-        let done: Vec<Seq> = match self.cfg.pipeline.scheduler {
-            SchedulerMode::Scan => self
-                .ruu
-                .iter()
-                .filter(|e| e.issued && !e.completed && e.complete_cycle <= self.cycle)
-                .map(|e| e.seq)
-                .collect(),
-            SchedulerMode::EventDriven => self.ruu.take_completions(self.cycle),
-        };
-        for seq in done {
+        let mut done = std::mem::take(&mut self.scratch_done);
+        match self.cfg.pipeline.scheduler {
+            SchedulerMode::Scan => {
+                done.clear();
+                done.extend(
+                    self.ruu
+                        .iter()
+                        .filter(|e| e.issued && !e.completed && e.complete_cycle <= self.cycle)
+                        .map(|e| e.seq),
+                );
+            }
+            SchedulerMode::EventDriven => self.ruu.take_completions_into(self.cycle, &mut done),
+        }
+        for seq in done.drain(..) {
             self.ruu.complete(seq);
-            let e = self.ruu.get(seq).expect("just completed").clone();
-            if e.is_mem() {
+            // Copy out the two Copy fields needed below rather than
+            // cloning the whole entry per completion.
+            let e = self.ruu.get(seq).expect("just completed");
+            let is_mem = e.is_mem();
+            let fetched = e.is_control().then_some(Fetched {
+                seq: e.seq,
+                info: e.info,
+                pred: e.pred,
+            });
+            if is_mem {
                 self.lsq.mark_executed(seq);
             }
-            if e.is_control() {
-                let fetched = Fetched {
-                    seq: e.seq,
-                    info: e.info,
-                    pred: e.pred,
-                };
+            if let Some(fetched) = fetched {
                 self.fetch.resolve_control(
                     &fetched,
                     self.cycle,
@@ -563,6 +636,7 @@ impl<'c> ReeseMachine<'c> {
                 );
             }
         }
+        self.scratch_done = done;
         // Redundant stream completions: one in-place pass. Splitting the
         // borrows (queue vs fault state) avoids the old
         // copy-out/apply/copy-back dance, which walked the queue twice
@@ -570,10 +644,11 @@ impl<'c> ReeseMachine<'c> {
         // application is per-seq and order-independent, so the event
         // wheel's (cycle, seq) pop order is as good as queue order.
         let cycle = self.cycle;
-        let r_done = match self.cfg.pipeline.scheduler {
-            SchedulerMode::Scan => None,
-            SchedulerMode::EventDriven => Some(self.rqueue.take_r_completions(cycle)),
-        };
+        let event_driven = self.cfg.pipeline.scheduler == SchedulerMode::EventDriven;
+        let mut r_done = std::mem::take(&mut self.scratch_rdone);
+        if event_driven {
+            self.rqueue.take_r_completions_into(cycle, &mut r_done);
+        }
         let Self {
             rqueue,
             faults,
@@ -596,20 +671,18 @@ impl<'c> ReeseMachine<'c> {
                 Stream::Redundant,
             );
         };
-        match r_done {
-            None => {
-                for entry in rqueue.iter_mut() {
-                    if entry.r_issued && !entry.r_completed && entry.r_complete_cycle <= cycle {
-                        finish(entry);
-                    }
-                }
+        if event_driven {
+            for seq in r_done.drain(..) {
+                finish(rqueue.get_mut(seq).expect("completing seq in queue"));
             }
-            Some(seqs) => {
-                for seq in seqs {
-                    finish(rqueue.get_mut(seq).expect("completing seq in queue"));
+        } else {
+            for entry in rqueue.iter_mut() {
+                if entry.r_issued && !entry.r_completed && entry.r_complete_cycle <= cycle {
+                    finish(entry);
                 }
             }
         }
+        self.scratch_rdone = r_done;
     }
 
     /// Issue both streams under a shared width budget. Primary
@@ -630,11 +703,15 @@ impl<'c> ReeseMachine<'c> {
     }
 
     fn issue_primary(&mut self, budget: &mut usize) {
-        let ready: Vec<Seq> = match self.cfg.pipeline.scheduler {
-            SchedulerMode::Scan => self.ruu.ready_seqs().collect(),
-            SchedulerMode::EventDriven => self.ruu.ready_snapshot(),
-        };
-        for seq in ready {
+        let mut ready = std::mem::take(&mut self.scratch_ready);
+        match self.cfg.pipeline.scheduler {
+            SchedulerMode::Scan => {
+                ready.clear();
+                ready.extend(self.ruu.ready_seqs());
+            }
+            SchedulerMode::EventDriven => self.ruu.ready_into(&mut ready),
+        }
+        for seq in ready.drain(..) {
             if *budget == 0 {
                 break;
             }
@@ -671,6 +748,7 @@ impl<'c> ReeseMachine<'c> {
             *budget -= 1;
             self.stats.pipeline.issued += 1;
         }
+        self.scratch_ready = ready;
     }
 
     /// Issue redundant executions from the front of the R-stream Queue.
@@ -726,11 +804,13 @@ impl<'c> ReeseMachine<'c> {
                 }
             }
             SchedulerMode::EventDriven => {
-                // `pending_r_front` is exactly the set of entries the
-                // scan above would have counted as `considered`: the
+                // `pending_r_front_into` is exactly the set of entries
+                // the scan above would have counted as `considered`: the
                 // first `lookahead` un-issued, un-skipped entries in
                 // queue (= seq) order.
-                for seq in self.rqueue.pending_r_front(lookahead) {
+                let mut pending = std::mem::take(&mut self.scratch_pending);
+                self.rqueue.pending_r_front_into(lookahead, &mut pending);
+                for seq in pending.drain(..) {
                     if *budget == 0 {
                         break;
                     }
@@ -754,6 +834,7 @@ impl<'c> ReeseMachine<'c> {
                     *budget -= 1;
                     issued_now += 1;
                 }
+                self.scratch_pending = pending;
             }
         }
         self.stats.r_issued += issued_now;

@@ -110,6 +110,29 @@ impl Emulator {
         }
     }
 
+    /// Rebuilds an emulator mid-run from checkpointed architectural
+    /// state: registers + PC, memory image, printed output so far, the
+    /// dynamic instruction count, and the halt latch. The program is
+    /// not part of the checkpoint — it is the deterministic input that
+    /// produced the state.
+    pub fn from_parts(
+        program: &Program,
+        state: ArchState,
+        memory: Memory,
+        output: Vec<i64>,
+        instructions: u64,
+        halted: Option<u64>,
+    ) -> Emulator {
+        Emulator {
+            program: program.clone(),
+            state,
+            memory,
+            output,
+            instructions,
+            halted,
+        }
+    }
+
     /// Executes one instruction.
     ///
     /// # Errors

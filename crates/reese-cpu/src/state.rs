@@ -62,6 +62,21 @@ impl ArchState {
         self.write(r, value.to_bits());
     }
 
+    /// The raw register file, `x0..x31` then `f0..f31`, for
+    /// checkpointing.
+    pub fn regs(&self) -> &[u64; NUM_REGS as usize] {
+        &self.regs
+    }
+
+    /// Rebuilds a state from a raw register file and PC (the inverse of
+    /// [`ArchState::regs`]). `x0` is forced back to zero so a corrupted
+    /// snapshot cannot break the hardwired-zero invariant.
+    pub fn from_regs(regs: [u64; NUM_REGS as usize], pc: u64) -> ArchState {
+        let mut state = ArchState { regs, pc };
+        state.regs[0] = 0;
+        state
+    }
+
     /// A stable digest of the full register file + PC, for equivalence
     /// tests between the emulator and the timing simulators.
     pub fn digest(&self) -> u64 {

@@ -94,6 +94,33 @@ struct Line {
     lru: u64,
 }
 
+/// Checkpointable state of one cache line (tag/valid/dirty/LRU — the
+/// full replacement-relevant contents of a way).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LineState {
+    /// Tag bits of the cached block.
+    pub tag: u64,
+    /// Whether the way holds a block.
+    pub valid: bool,
+    /// Whether the block has been written since allocation.
+    pub dirty: bool,
+    /// LRU stamp (compared against the cache's tick counter).
+    pub lru: u64,
+}
+
+/// A complete, geometry-independent snapshot of a cache's dynamic
+/// state: every way of every set (sets in index order, ways in way
+/// order), the LRU tick counter, and the accumulated statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// One entry per way, sets-major.
+    pub lines: Vec<LineState>,
+    /// The LRU tick counter.
+    pub tick: u64,
+    /// Accumulated statistics.
+    pub stats: CacheStats,
+}
+
 /// Aggregate access statistics for one cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -104,6 +131,14 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Accumulates another interval's counters into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.writebacks += other.writebacks;
+    }
+
     /// Miss rate in `[0, 1]`; 0 when no accesses were made.
     pub fn miss_rate(&self) -> f64 {
         if self.accesses == 0 {
@@ -235,6 +270,50 @@ impl Cache {
                 *line = Line::default();
             }
         }
+    }
+
+    /// Exports the full dynamic state for checkpointing.
+    pub fn export_state(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            lines: self
+                .sets
+                .iter()
+                .flatten()
+                .map(|l| LineState {
+                    tag: l.tag,
+                    valid: l.valid,
+                    dirty: l.dirty,
+                    lru: l.lru,
+                })
+                .collect(),
+            tick: self.tick,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state exported by [`Cache::export_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's line count does not match this cache's
+    /// geometry (sets × ways).
+    pub fn import_state(&mut self, snap: &CacheSnapshot) {
+        let ways = self.config.assoc as usize;
+        assert_eq!(
+            snap.lines.len(),
+            self.sets.len() * ways,
+            "cache snapshot geometry mismatch"
+        );
+        for (i, line) in snap.lines.iter().enumerate() {
+            self.sets[i / ways][i % ways] = Line {
+                tag: line.tag,
+                valid: line.valid,
+                dirty: line.dirty,
+                lru: line.lru,
+            };
+        }
+        self.tick = snap.tick;
+        self.stats = snap.stats;
     }
 }
 

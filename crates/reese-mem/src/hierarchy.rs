@@ -1,6 +1,6 @@
 //! The composed cache hierarchy: L1I + L1D over a shared L2 over DRAM.
 
-use crate::{AccessKind, Cache, CacheConfig, Tlb, TlbConfig};
+use crate::{AccessKind, Cache, CacheConfig, CacheSnapshot, Tlb, TlbConfig, TlbSnapshot};
 
 /// Configuration of the full memory hierarchy.
 ///
@@ -62,6 +62,37 @@ pub struct HierarchyStats {
     pub l2: crate::CacheStats,
     pub itlb_misses: u64,
     pub dtlb_misses: u64,
+}
+
+impl HierarchyStats {
+    /// Accumulates another interval's counters into this one.
+    pub fn merge(&mut self, other: &HierarchyStats) {
+        self.l1i.merge(&other.l1i);
+        self.l1d.merge(&other.l1d);
+        self.l2.merge(&other.l2);
+        self.itlb_misses += other.itlb_misses;
+        self.dtlb_misses += other.dtlb_misses;
+    }
+}
+
+/// A complete snapshot of the hierarchy's dynamic (timing) state:
+/// every cache's lines and counters plus both TLBs. Used for warm-start
+/// checkpointing; the configuration is not captured — a snapshot may
+/// only be restored into a hierarchy of identical geometry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HierarchySnapshot {
+    /// L1 instruction cache state.
+    pub l1i: CacheSnapshot,
+    /// L1 data cache state.
+    pub l1d: CacheSnapshot,
+    /// Unified L2 state.
+    pub l2: CacheSnapshot,
+    /// Instruction TLB state.
+    pub itlb: TlbSnapshot,
+    /// Data TLB state.
+    pub dtlb: TlbSnapshot,
+    /// Prefetch lines pulled into L1D so far.
+    pub prefetches_issued: u64,
 }
 
 /// The instantiated memory hierarchy timing model.
@@ -199,6 +230,33 @@ impl MemHierarchy {
         self.l1i.invalidate_all();
         self.l1d.invalidate_all();
         self.l2.invalidate_all();
+    }
+
+    /// Exports the full dynamic state for checkpointing.
+    pub fn export_state(&self) -> HierarchySnapshot {
+        HierarchySnapshot {
+            l1i: self.l1i.export_state(),
+            l1d: self.l1d.export_state(),
+            l2: self.l2.export_state(),
+            itlb: self.itlb.export_state(),
+            dtlb: self.dtlb.export_state(),
+            prefetches_issued: self.prefetches_issued,
+        }
+    }
+
+    /// Restores state exported by [`MemHierarchy::export_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component snapshot does not match this hierarchy's
+    /// geometry.
+    pub fn import_state(&mut self, snap: &HierarchySnapshot) {
+        self.l1i.import_state(&snap.l1i);
+        self.l1d.import_state(&snap.l1d);
+        self.l2.import_state(&snap.l2);
+        self.itlb.import_state(&snap.itlb);
+        self.dtlb.import_state(&snap.dtlb);
+        self.prefetches_issued = snap.prefetches_issued;
     }
 }
 

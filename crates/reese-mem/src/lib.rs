@@ -31,8 +31,10 @@ mod memory;
 mod ports;
 mod tlb;
 
-pub use cache::{AccessKind, AccessResult, Cache, CacheConfig, CacheStats};
-pub use hierarchy::{HierarchyConfig, HierarchyStats, MemHierarchy};
+pub use cache::{
+    AccessKind, AccessResult, Cache, CacheConfig, CacheSnapshot, CacheStats, LineState,
+};
+pub use hierarchy::{HierarchyConfig, HierarchySnapshot, HierarchyStats, MemHierarchy};
 pub use memory::{Memory, PAGE_SIZE};
 pub use ports::MemPorts;
-pub use tlb::{Tlb, TlbConfig};
+pub use tlb::{Tlb, TlbConfig, TlbSnapshot};

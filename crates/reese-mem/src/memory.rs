@@ -137,6 +137,21 @@ impl Memory {
     pub fn allocated_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// The allocated pages as `(page_number, contents)`, sorted by page
+    /// number so that checkpoint encoding is deterministic regardless of
+    /// `HashMap` iteration order.
+    pub fn pages_sorted(&self) -> Vec<(u64, &[u8; PAGE_SIZE as usize])> {
+        let mut pages: Vec<_> = self.pages.iter().map(|(&n, p)| (n, &**p)).collect();
+        pages.sort_unstable_by_key(|&(n, _)| n);
+        pages
+    }
+
+    /// Installs a whole page at `page_number` (checkpoint restore),
+    /// replacing any existing contents.
+    pub fn insert_page(&mut self, page_number: u64, contents: [u8; PAGE_SIZE as usize]) {
+        self.pages.insert(page_number, Box::new(contents));
+    }
 }
 
 #[cfg(test)]

@@ -39,6 +39,21 @@ impl TlbConfig {
     }
 }
 
+/// A complete snapshot of a TLB's dynamic state. Entries are stored in
+/// their internal (insertion/`swap_remove`) order, which must be
+/// preserved for a restored TLB to replay bit-identically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TlbSnapshot {
+    /// `(virtual page number, lru stamp)` pairs in internal order.
+    pub entries: Vec<(u64, u64)>,
+    /// The LRU tick counter.
+    pub tick: u64,
+    /// Hit count.
+    pub hits: u64,
+    /// Miss count.
+    pub misses: u64,
+}
+
 /// A fully-associative TLB with true LRU replacement.
 ///
 /// The simulated machine has no real virtual memory — translation is
@@ -114,6 +129,33 @@ impl Tlb {
     /// The TLB's configuration.
     pub fn config(&self) -> &TlbConfig {
         &self.config
+    }
+
+    /// Exports the full dynamic state for checkpointing.
+    pub fn export_state(&self) -> TlbSnapshot {
+        TlbSnapshot {
+            entries: self.entries.clone(),
+            tick: self.tick,
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+
+    /// Restores state exported by [`Tlb::export_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot holds more entries than this TLB has.
+    pub fn import_state(&mut self, snap: &TlbSnapshot) {
+        assert!(
+            snap.entries.len() <= self.config.entries,
+            "TLB snapshot larger than the TLB"
+        );
+        self.entries.clear();
+        self.entries.extend_from_slice(&snap.entries);
+        self.tick = snap.tick;
+        self.hits = snap.hits;
+        self.misses = snap.misses;
     }
 }
 

@@ -85,6 +85,34 @@ impl FetchUnit {
         }
     }
 
+    /// Creates a front end resuming mid-program from a restored
+    /// emulator (checkpoint restore). The emulator must sit exactly at
+    /// an instruction boundary; `emulator.instructions()` becomes the
+    /// next sequence number, so dynamic numbering continues exactly
+    /// where the monolithic run would be. Unlike
+    /// [`FetchUnit::fast_forward`], this needs no functional replay.
+    pub fn from_restored(emulator: Emulator, predictor: PredictorConfig) -> FetchUnit {
+        let emu_done = emulator.exit_code().is_some();
+        FetchUnit {
+            base_seq: emulator.instructions(),
+            branch: BranchUnit::new(predictor),
+            emulator,
+            buffer: VecDeque::new(),
+            cursor: 0,
+            blocked_on: None,
+            resume_at: 0,
+            delivered_halt: false,
+            emu_done,
+            emu_error: None,
+            total_fetched: 0,
+        }
+    }
+
+    /// Overwrites the branch unit's dynamic state (checkpoint warm-up).
+    pub fn import_branch_state(&mut self, snap: &reese_bpred::BranchSnapshot) {
+        self.branch.import_state(snap);
+    }
+
     /// Sequence number of the next instruction to deliver.
     pub fn next_seq(&self) -> Seq {
         self.base_seq + self.cursor as Seq

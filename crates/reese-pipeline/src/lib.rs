@@ -32,15 +32,19 @@ mod dyninst;
 mod fetch;
 mod fu;
 mod lsq;
+mod readyring;
 mod ruu;
 mod sim;
 mod stats;
+mod wheel;
 
 pub use config::{FuCounts, PipelineConfig, SchedulerMode};
 pub use dyninst::{DynInst, PredictionInfo, Seq};
 pub use fetch::{FetchUnit, Fetched};
 pub use fu::FuPool;
 pub use lsq::{LoadPlan, Lsq};
+pub use readyring::ReadyRing;
 pub use ruu::Ruu;
-pub use sim::PipelineSim;
+pub use sim::{PipelineSim, WarmState};
 pub use stats::{PipelineStats, SimError, SimResult, SimStop};
+pub use wheel::EventWheel;

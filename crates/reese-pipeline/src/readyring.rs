@@ -1,0 +1,238 @@
+//! A bitmap ring over a sliding sequence-number window.
+//!
+//! The event-driven scheduler needs a set of sequence numbers with four
+//! cheap operations: insert, remove, "is anything here?", and iterate
+//! oldest-first. A `BTreeSet` gives all four but pays pointer-chasing
+//! and node allocation on every mutation, which for small windows
+//! (RUU = 16) costs more than the full-window scan it replaces. The
+//! members, however, always live inside a window of at most `capacity`
+//! consecutive sequence numbers (the RUU/R-queue window), so a bitmap
+//! of `capacity` bits indexed by `seq mod ring_size` is exact: one word
+//! op per mutation, no allocation ever, and oldest-first iteration is a
+//! rotated word scan starting at the window base.
+
+use crate::Seq;
+
+/// A fixed-size bitmap set of sequence numbers, valid while all members
+/// lie in a window of less than `ring_size` consecutive seqs (callers
+/// guarantee this structurally: an instruction window never holds seqs
+/// further apart than its capacity).
+#[derive(Debug, Clone)]
+pub struct ReadyRing {
+    words: Vec<u64>,
+    mask: u64,
+    len: usize,
+}
+
+impl ReadyRing {
+    /// Creates a ring able to track any window of up to `capacity`
+    /// consecutive sequence numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> ReadyRing {
+        assert!(capacity > 0, "ready ring needs a positive capacity");
+        let ring = capacity.next_power_of_two().max(64);
+        ReadyRing {
+            words: vec![0; ring / 64],
+            mask: (ring - 1) as u64,
+            len: 0,
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `seq`; a no-op if already present.
+    pub fn insert(&mut self, seq: Seq) {
+        let pos = (seq & self.mask) as usize;
+        let bit = 1u64 << (pos % 64);
+        let w = &mut self.words[pos / 64];
+        if *w & bit == 0 {
+            *w |= bit;
+            self.len += 1;
+        }
+    }
+
+    /// Removes `seq`, returning whether it was present.
+    pub fn remove(&mut self, seq: Seq) -> bool {
+        let pos = (seq & self.mask) as usize;
+        let bit = 1u64 << (pos % 64);
+        let w = &mut self.words[pos / 64];
+        if *w & bit != 0 {
+            *w &= !bit;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `seq` is a member.
+    pub fn contains(&self, seq: Seq) -> bool {
+        let pos = (seq & self.mask) as usize;
+        self.words[pos / 64] & (1 << (pos % 64)) != 0
+    }
+
+    /// Removes every member.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Appends up to `limit` members to `out` in ascending sequence
+    /// order, starting the rotated scan at `base`. `base` must be at or
+    /// below every member and within one ring size of all of them —
+    /// for an instruction window, its head sequence number.
+    pub fn collect_from(&self, base: Seq, limit: usize, out: &mut Vec<Seq>) {
+        if self.len == 0 || limit == 0 {
+            return;
+        }
+        let nwords = self.words.len();
+        let start_bit = (base & self.mask) as usize;
+        let (start_word, start_off) = (start_bit / 64, start_bit % 64);
+        let mut remaining = limit.min(self.len);
+        for k in 0..=nwords {
+            let wi = (start_word + k) % nwords;
+            let mut w = self.words[wi];
+            if k == 0 {
+                w &= !0u64 << start_off;
+            } else if k == nwords {
+                if start_off == 0 {
+                    break;
+                }
+                w &= (1u64 << start_off) - 1;
+            }
+            while w != 0 {
+                let b = w.trailing_zeros() as u64;
+                w &= w - 1;
+                let pos = wi as u64 * 64 + b;
+                let offset = pos.wrapping_sub(start_bit as u64) & self.mask;
+                out.push(base + offset);
+                remaining -= 1;
+                if remaining == 0 {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(ring: &ReadyRing, base: Seq) -> Vec<Seq> {
+        let mut v = Vec::new();
+        ring.collect_from(base, usize::MAX, &mut v);
+        v
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut r = ReadyRing::new(16);
+        assert!(r.is_empty());
+        r.insert(5);
+        r.insert(5); // idempotent
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(5));
+        assert!(r.remove(5));
+        assert!(!r.remove(5));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn iterates_ascending_from_base() {
+        let mut r = ReadyRing::new(16);
+        for s in [12, 3, 7, 3] {
+            r.insert(s);
+        }
+        assert_eq!(drain(&r, 0), vec![3, 7, 12]);
+        assert_eq!(drain(&r, 3), vec![3, 7, 12]);
+    }
+
+    #[test]
+    fn window_wrapping_preserves_order() {
+        // Ring size 64: a window of seqs straddling a multiple of 64
+        // maps to bits on both sides of the rotation point.
+        let mut r = ReadyRing::new(16);
+        for s in [60, 61, 64, 70] {
+            r.insert(s);
+        }
+        assert_eq!(drain(&r, 60), vec![60, 61, 64, 70]);
+        let mut front = Vec::new();
+        r.collect_from(60, 2, &mut front);
+        assert_eq!(front, vec![60, 61]);
+    }
+
+    #[test]
+    fn wrapping_across_many_words() {
+        let mut r = ReadyRing::new(256);
+        let base = 250;
+        let members: Vec<Seq> = (0..40).map(|i| base + i * 6).collect();
+        for &s in &members {
+            r.insert(s);
+        }
+        assert_eq!(drain(&r, base), members);
+    }
+
+    #[test]
+    fn matches_btreeset_under_random_window_traffic() {
+        use std::collections::BTreeSet;
+        // SplitMix64-driven churn over a sliding 32-wide window.
+        let mut state: u64 = 0x1234_5678_9abc_def0;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut ring = ReadyRing::new(32);
+        let mut set: BTreeSet<Seq> = BTreeSet::new();
+        let mut head: Seq = 0;
+        for _ in 0..10_000 {
+            match next() % 4 {
+                0 | 1 => {
+                    let seq = head + next() % 32;
+                    ring.insert(seq);
+                    set.insert(seq);
+                }
+                2 => {
+                    if let Some(&seq) = set.iter().next() {
+                        set.remove(&seq);
+                        assert!(ring.remove(seq));
+                        head = head.max(seq); // window never moves backwards
+                    }
+                }
+                _ => {
+                    // Advance the window: retire everything below the new head.
+                    head += next() % 4;
+                    while let Some(&seq) = set.iter().next() {
+                        if seq >= head {
+                            break;
+                        }
+                        set.remove(&seq);
+                        ring.remove(seq);
+                    }
+                }
+            }
+            assert_eq!(ring.len(), set.len());
+            assert_eq!(drain(&ring, head), set.iter().copied().collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn zero_capacity_panics() {
+        ReadyRing::new(0);
+    }
+}

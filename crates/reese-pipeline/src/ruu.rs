@@ -1,10 +1,9 @@
 //! The Register Update Unit.
 
-use crate::{DynInst, PredictionInfo, SchedulerMode, Seq};
+use crate::{DynInst, EventWheel, PredictionInfo, ReadyRing, SchedulerMode, Seq};
 use reese_cpu::StepInfo;
 use reese_isa::NUM_REGS;
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 /// The Register Update Unit: SimpleScalar's combined reorder buffer and
 /// reservation stations.
@@ -29,16 +28,17 @@ pub struct Ruu {
     mode: SchedulerMode,
     /// Sequence numbers whose operands have all resolved but which have
     /// not issued ([`SchedulerMode::EventDriven`] only). Ascending
-    /// iteration over the set is oldest-first, the same order the
-    /// [`Ruu::ready_seqs`] scan produces.
-    ready: BTreeSet<Seq>,
+    /// iteration (a rotated bitmap scan from `head_seq`) is
+    /// oldest-first, the same order the [`Ruu::ready_seqs`] scan
+    /// produces.
+    ready: ReadyRing,
     /// Completion event wheel: issued-but-incomplete instructions keyed
     /// by `(complete_cycle, seq)` ([`SchedulerMode::EventDriven`] only).
     /// All latencies are at least one cycle, so at any writeback every
     /// pending event is for the current or a future cycle — popping the
     /// events due *now* yields them in ascending seq order, identical to
     /// the full-window scan.
-    completions: BinaryHeap<Reverse<(u64, Seq)>>,
+    completions: EventWheel,
 }
 
 impl Ruu {
@@ -68,8 +68,8 @@ impl Ruu {
             capacity,
             rename: [None; NUM_REGS as usize],
             mode,
-            ready: BTreeSet::new(),
-            completions: BinaryHeap::new(),
+            ready: ReadyRing::new(capacity),
+            completions: EventWheel::new(),
         }
     }
 
@@ -199,9 +199,16 @@ impl Ruu {
         e.issue_cycle = issue_cycle;
         e.complete_cycle = complete_cycle;
         if self.event_driven() {
-            self.ready.remove(&seq);
-            self.completions.push(Reverse((complete_cycle, seq)));
+            self.ready.remove(seq);
+            self.completions.push(complete_cycle, seq);
         }
+    }
+
+    /// Like [`Ruu::take_completions`] but reusing a caller-owned buffer
+    /// (cleared first), so the per-cycle writeback loop allocates
+    /// nothing.
+    pub fn take_completions_into(&mut self, now: u64, out: &mut Vec<Seq>) {
+        self.completions.take_due_into(now, out);
     }
 
     /// Pops and returns the seqs of every scheduled completion due at or
@@ -210,21 +217,13 @@ impl Ruu {
     /// within a writeback. Event-driven mode only (empty under
     /// [`SchedulerMode::Scan`]).
     pub fn take_completions(&mut self, now: u64) -> Vec<Seq> {
-        let mut done = Vec::new();
-        while let Some(&Reverse((cycle, seq))) = self.completions.peek() {
-            if cycle > now {
-                break;
-            }
-            self.completions.pop();
-            done.push(seq);
-        }
-        done
+        self.completions.take_due(now)
     }
 
     /// Cycle of the earliest scheduled completion, if any (event-driven
     /// mode only).
-    pub fn next_completion_cycle(&self) -> Option<u64> {
-        self.completions.peek().map(|&Reverse((cycle, _))| cycle)
+    pub fn next_completion_cycle(&mut self) -> Option<u64> {
+        self.completions.next_cycle()
     }
 
     /// Whether any instruction is ready to issue (event-driven mode
@@ -236,7 +235,20 @@ impl Ruu {
     /// Snapshot of the ready set, oldest first (event-driven mode only).
     /// A snapshot is required because issuing mutates the set.
     pub fn ready_snapshot(&self) -> Vec<Seq> {
-        self.ready.iter().copied().collect()
+        let mut out = Vec::with_capacity(self.ready.len());
+        self.ready_into_inner(&mut out);
+        out
+    }
+
+    /// Like [`Ruu::ready_snapshot`] but reusing a caller-owned buffer
+    /// (cleared first), so the per-cycle issue loop allocates nothing.
+    pub fn ready_into(&self, out: &mut Vec<Seq>) {
+        out.clear();
+        self.ready_into_inner(out);
+    }
+
+    fn ready_into_inner(&self, out: &mut Vec<Seq>) {
+        self.ready.collect_from(self.head_seq, usize::MAX, out);
     }
 
     /// The oldest in-flight instruction.

@@ -4,9 +4,23 @@ use crate::{
     FetchUnit, Fetched, FuPool, LoadPlan, Lsq, PipelineConfig, PipelineStats, Ruu, SchedulerMode,
     SimError, SimResult, SimStop,
 };
+use reese_cpu::Emulator;
 use reese_isa::{FuClass, Program};
 use reese_mem::MemHierarchy;
 use std::collections::VecDeque;
+
+/// Warm microarchitectural state to seed an interval run with: the
+/// cache/TLB hierarchy and the branch unit as some earlier execution
+/// left them. Produced by a checkpointing fast-forward pass and
+/// consumed by [`PipelineSim::run_interval`]; both sides must use the
+/// same hierarchy and predictor geometry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WarmState {
+    /// Cache and TLB state.
+    pub hierarchy: reese_mem::HierarchySnapshot,
+    /// Branch predictor, BTB, and RAS state.
+    pub branch: reese_bpred::BranchSnapshot,
+}
 
 /// Cycles without a commit after which the simulator declares a
 /// deadlock (an internal invariant violation, not a program property).
@@ -94,6 +108,27 @@ impl PipelineSim {
         m.fetch.fast_forward(skip);
         m.run(max_instructions)
     }
+
+    /// Resumes detailed timing mid-program from a checkpoint-restored
+    /// emulator (see [`FetchUnit::from_restored`]), simulating until
+    /// `halt` or until `max_instructions` commit in this interval.
+    /// Caches, predictors, and queues start cold unless `warm` state is
+    /// supplied. The returned statistics cover this interval only, so a
+    /// sharded driver can stitch intervals with
+    /// [`PipelineStats::merge`].
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineSim::run`].
+    pub fn run_interval(
+        &self,
+        emulator: Emulator,
+        warm: Option<&WarmState>,
+        max_instructions: u64,
+    ) -> Result<SimResult, SimError> {
+        let mut m = Machine::restored(&self.config, emulator, warm);
+        m.run(max_instructions)
+    }
 }
 
 /// Transient per-run machine state.
@@ -110,23 +145,52 @@ struct Machine<'c> {
     output: Vec<i64>,
     exit_code: Option<u64>,
     last_commit_cycle: u64,
+    /// Reused buffers for the per-cycle writeback/issue work lists, so
+    /// the steady-state loop never allocates.
+    scratch_done: Vec<u64>,
+    scratch_ready: Vec<u64>,
 }
 
 impl<'c> Machine<'c> {
     fn new(cfg: &'c PipelineConfig, program: &Program) -> Machine<'c> {
+        let fetch = FetchUnit::new(program, cfg.predictor.clone());
+        Machine::with_front_end(cfg, fetch, MemHierarchy::new(cfg.hierarchy.clone()))
+    }
+
+    fn restored(
+        cfg: &'c PipelineConfig,
+        emulator: Emulator,
+        warm: Option<&WarmState>,
+    ) -> Machine<'c> {
+        let mut fetch = FetchUnit::from_restored(emulator, cfg.predictor.clone());
+        let mut hierarchy = MemHierarchy::new(cfg.hierarchy.clone());
+        if let Some(w) = warm {
+            fetch.import_branch_state(&w.branch);
+            hierarchy.import_state(&w.hierarchy);
+        }
+        Machine::with_front_end(cfg, fetch, hierarchy)
+    }
+
+    fn with_front_end(
+        cfg: &'c PipelineConfig,
+        fetch: FetchUnit,
+        hierarchy: MemHierarchy,
+    ) -> Machine<'c> {
         Machine {
             cfg,
             cycle: 0,
-            fetch: FetchUnit::new(program, cfg.predictor.clone()),
+            fetch,
             fetchq: VecDeque::with_capacity(cfg.fetch_queue_size),
             ruu: Ruu::with_scheduler(cfg.ruu_size, cfg.scheduler),
             lsq: Lsq::new(cfg.lsq_size),
             fu: FuPool::new(cfg.fu),
-            hierarchy: MemHierarchy::new(cfg.hierarchy.clone()),
+            hierarchy,
             stats: PipelineStats::default(),
             output: Vec::new(),
             exit_code: None,
             last_commit_cycle: 0,
+            scratch_done: Vec::new(),
+            scratch_ready: Vec::new(),
         }
     }
 
@@ -252,42 +316,54 @@ impl<'c> Machine<'c> {
     /// Completes instructions whose execution finishes this cycle,
     /// waking dependants and resolving control flow.
     fn writeback(&mut self) {
-        let done: Vec<u64> = match self.cfg.scheduler {
-            SchedulerMode::Scan => self
-                .ruu
-                .iter()
-                .filter(|e| e.issued && !e.completed && e.complete_cycle <= self.cycle)
-                .map(|e| e.seq)
-                .collect(),
-            SchedulerMode::EventDriven => self.ruu.take_completions(self.cycle),
-        };
-        for seq in done {
+        let mut done = std::mem::take(&mut self.scratch_done);
+        match self.cfg.scheduler {
+            SchedulerMode::Scan => {
+                done.clear();
+                done.extend(
+                    self.ruu
+                        .iter()
+                        .filter(|e| e.issued && !e.completed && e.complete_cycle <= self.cycle)
+                        .map(|e| e.seq),
+                );
+            }
+            SchedulerMode::EventDriven => self.ruu.take_completions_into(self.cycle, &mut done),
+        }
+        for seq in done.drain(..) {
             self.ruu.complete(seq);
-            let e = self.ruu.get(seq).expect("just completed").clone();
-            if e.is_mem() {
+            // Copy out the two Copy fields needed below rather than
+            // cloning the whole entry per completion.
+            let e = self.ruu.get(seq).expect("just completed");
+            let is_mem = e.is_mem();
+            let fetched = e.is_control().then_some(Fetched {
+                seq: e.seq,
+                info: e.info,
+                pred: e.pred,
+            });
+            if is_mem {
                 self.lsq.mark_executed(seq);
             }
-            if e.is_control() {
-                let fetched = Fetched {
-                    seq: e.seq,
-                    info: e.info,
-                    pred: e.pred,
-                };
+            if let Some(fetched) = fetched {
                 self.fetch
                     .resolve_control(&fetched, self.cycle, self.cfg.mispredict_penalty);
             }
         }
+        self.scratch_done = done;
     }
 
     /// Out-of-order issue: oldest ready instructions first, bounded by
     /// the machine width and functional-unit availability.
     fn issue(&mut self) {
-        let ready: Vec<u64> = match self.cfg.scheduler {
-            SchedulerMode::Scan => self.ruu.ready_seqs().collect(),
-            SchedulerMode::EventDriven => self.ruu.ready_snapshot(),
-        };
+        let mut ready = std::mem::take(&mut self.scratch_ready);
+        match self.cfg.scheduler {
+            SchedulerMode::Scan => {
+                ready.clear();
+                ready.extend(self.ruu.ready_seqs());
+            }
+            SchedulerMode::EventDriven => self.ruu.ready_into(&mut ready),
+        }
         let mut issued = 0usize;
-        for seq in ready {
+        for seq in ready.drain(..) {
             if issued == self.cfg.width {
                 break;
             }
@@ -326,6 +402,7 @@ impl<'c> Machine<'c> {
             issued += 1;
             self.stats.issued += 1;
         }
+        self.scratch_ready = ready;
     }
 
     /// In-order dispatch from the fetch queue into the RUU/LSQ.

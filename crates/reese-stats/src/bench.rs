@@ -35,6 +35,21 @@ pub struct Measurement {
     pub samples: usize,
 }
 
+/// The result of an interleaved A/B comparison (see
+/// [`BenchmarkGroup::bench_pair`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairMeasurement {
+    /// Timing summary of the first closure.
+    pub a: Measurement,
+    /// Timing summary of the second closure.
+    pub b: Measurement,
+    /// Median of the per-sample `a/b` time ratios — how many times
+    /// faster `b` is than `a`. Because each ratio divides two
+    /// back-to-back timings, slow drift (frequency scaling, a noisy
+    /// neighbour on a shared core) cancels instead of biasing one side.
+    pub speedup: f64,
+}
+
 /// Units for reporting throughput alongside timings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Throughput {
@@ -126,6 +141,68 @@ impl BenchmarkGroup<'_> {
         }
     }
 
+    /// Times two closures with their samples interleaved (`a, b, a, b,
+    /// …`) and reports the median of the per-pair `a/b` ratios.
+    ///
+    /// Use this instead of two [`BenchmarkGroup::bench_measured`] calls
+    /// when the quantity of interest is the *ratio*: taking all `a`
+    /// samples minutes before all `b` samples lets clock drift and
+    /// neighbour load masquerade as a speedup, while adjacent pairs see
+    /// the same machine conditions.
+    pub fn bench_pair<OA, OB>(
+        &mut self,
+        id_a: impl Into<String>,
+        id_b: impl Into<String>,
+        mut fa: impl FnMut() -> OA,
+        mut fb: impl FnMut() -> OB,
+    ) -> PairMeasurement {
+        let (id_a, id_b) = (id_a.into(), id_b.into());
+        // Untimed warm-up of both sides.
+        black_box(fa());
+        black_box(fb());
+        let mut times_a = Vec::with_capacity(self.sample_size);
+        let mut times_b = Vec::with_capacity(self.sample_size);
+        let mut ratios = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(fa());
+            let da = start.elapsed();
+            let start = Instant::now();
+            black_box(fb());
+            let db = start.elapsed();
+            times_a.push(da);
+            times_b.push(db);
+            ratios.push(da.as_secs_f64() / db.as_secs_f64());
+        }
+        ratios.sort_by(|x, y| x.partial_cmp(y).expect("finite timings"));
+        let mid = ratios.len() / 2;
+        let speedup = if ratios.len() % 2 == 1 {
+            ratios[mid]
+        } else {
+            (ratios[mid - 1] + ratios[mid]) / 2.0
+        };
+        let summarise = |times: &[Duration]| Measurement {
+            mean: times
+                .iter()
+                .sum::<Duration>()
+                .checked_div(times.len() as u32)
+                .unwrap_or_default(),
+            min: times.iter().min().copied().unwrap_or_default(),
+            samples: times.len(),
+        };
+        let a = summarise(&times_a);
+        let b = summarise(&times_b);
+        println!(
+            "  {}/{id_a}: mean {:?}, min {:?} over {} samples",
+            self.name, a.mean, a.min, a.samples
+        );
+        println!(
+            "  {}/{id_b}: mean {:?}, min {:?} over {} samples ({speedup:.2}x vs {id_a}, paired median)",
+            self.name, b.mean, b.min, b.samples
+        );
+        PairMeasurement { a, b, speedup }
+    }
+
     /// Ends the group (marker for call-site symmetry with Criterion).
     pub fn finish(self) {}
 }
@@ -188,6 +265,26 @@ mod tests {
         g.finish();
         // 3 timed samples + 1 warm-up.
         assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn paired_samples_interleave_and_summarise() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(5);
+        let order = std::cell::RefCell::new(String::new());
+        let p = g.bench_pair(
+            "a",
+            "b",
+            || order.borrow_mut().push('a'),
+            || order.borrow_mut().push('b'),
+        );
+        g.finish();
+        assert_eq!(p.a.samples, 5);
+        assert_eq!(p.b.samples, 5);
+        assert!(p.speedup.is_finite() && p.speedup > 0.0);
+        // Warm-up pair followed by strictly alternating timed pairs.
+        assert_eq!(*order.borrow(), "abababababab");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! * [`faults`] — soft-error injection and detection-coverage campaigns
 //! * [`workloads`] — SPEC95-integer-like synthetic kernels
 //! * [`stats`] — counters, histograms, tables, and the deterministic PRNG
+//! * [`ckpt`] — binary simulator checkpoints and sharded single-run simulation
 //!
 //! # Quickstart
 //!
@@ -36,6 +37,7 @@
 //! ```
 
 pub use reese_bpred as bpred;
+pub use reese_ckpt as ckpt;
 pub use reese_core as core;
 pub use reese_cpu as cpu;
 pub use reese_faults as faults;
@@ -47,6 +49,7 @@ pub use reese_workloads as workloads;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use reese_ckpt::{run_sharded, Checkpoint, Scheme, ShardOptions};
     pub use reese_core::{ReeseConfig, ReeseSim};
     pub use reese_cpu::Emulator;
     pub use reese_isa::{abi, assemble, Program, ProgramBuilder};

@@ -3,6 +3,7 @@
 //! ```text
 //! reese run <file.s> [options]     simulate an assembly program
 //! reese campaign [options]         run a fault-injection campaign
+//! reese shard [options]            shard one run across checkpoint intervals
 //! reese mix <file.s|kernel>        print a program's dynamic instruction mix
 //! reese disasm <file.s>            assemble and disassemble a program
 //! reese trace <file.s|kernel> [--out f]   capture and profile a trace
@@ -42,7 +43,24 @@
 //! --out FILE         write the per-trial report to FILE
 //!                    (.json → JSON, anything else → CSV)
 //! ```
+//!
+//! Shard options:
+//!
+//! ```text
+//! --kernel NAME | <file.s>   workload (default kernel `lisp`)
+//! --scale N          kernel scale (default 1)
+//! --intervals K      number of checkpoint intervals (default 4)
+//! -j N, --jobs N     worker threads (default: available parallelism)
+//! --scheme baseline|reese|duplex   timing machine (default reese)
+//! --machine ...      base configuration, as for `run`
+//! --warmup W         warm caches/bpred over the last W instructions
+//!                    of each interval's fast-forward (default 0)
+//! --no-verify        skip the monolithic run (no cycle-error oracle)
+//! --out FILE         write the shard report as JSON
+//! --snapshot FILE    write the first mid-run checkpoint to FILE
+//! ```
 
+use reese::ckpt::{self, Scheme, ShardOptions};
 use reese::core::{DuplexSim, InjectedFault, ReeseConfig, ReeseSim};
 use reese::cpu::Emulator;
 use reese::isa::{assemble, disassemble_text, Program};
@@ -55,13 +73,14 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("shard") => cmd_shard(&args[1..]),
         Some("mix") => cmd_mix(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("kernels") => cmd_kernels(),
         _ => {
             eprintln!(
-                "usage: reese <run|campaign|mix|disasm|trace|kernels> [options]  (see --help in source)"
+                "usage: reese <run|campaign|shard|mix|disasm|trace|kernels> [options]  (see --help in source)"
             );
             return ExitCode::FAILURE;
         }
@@ -346,6 +365,178 @@ fn cmd_campaign(args: &[String]) -> Result<(), CliError> {
         println!("report written to {path}");
     }
     Ok(())
+}
+
+struct ShardCliOpts {
+    program: Program,
+    scheme: Scheme,
+    base: PipelineConfig,
+    shard: ShardOptions,
+    out: Option<String>,
+    snapshot: Option<String>,
+}
+
+fn parse_shard(args: &[String]) -> Result<ShardCliOpts, CliError> {
+    let mut opts = ShardCliOpts {
+        program: Program::from_text(vec![]),
+        scheme: Scheme::Reese,
+        base: PipelineConfig::starting(),
+        shard: ShardOptions::default(),
+        out: None,
+        snapshot: None,
+    };
+    let mut file: Option<String> = None;
+    let mut kernel: Option<Kernel> = None;
+    let mut scale: u32 = 1;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = || -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| format!("`{a}` needs a value").into())
+        };
+        match a.as_str() {
+            "--intervals" => opts.shard.intervals = value()?.parse()?,
+            "-j" | "--jobs" => opts.shard.jobs = value()?.parse()?,
+            "--warmup" => opts.shard.warmup = value()?.parse()?,
+            "--no-verify" => opts.shard.compare_monolithic = false,
+            "--scheme" => {
+                let name = value()?;
+                opts.scheme = Scheme::parse(name).ok_or_else(|| {
+                    format!("unknown scheme `{name}`, want baseline|reese|duplex")
+                })?;
+            }
+            "--machine" => opts.base = machine(value()?)?,
+            "--out" => opts.out = Some(value()?.clone()),
+            "--snapshot" => opts.snapshot = Some(value()?.clone()),
+            "--kernel" => kernel = Some(kernel_by_name(value()?)?),
+            "--scale" => scale = value()?.parse()?,
+            other if !other.starts_with('-') => file = Some(other.to_string()),
+            other => return Err(format!("unknown option `{other}`").into()),
+        }
+    }
+    opts.program = match (file, kernel) {
+        (Some(path), None) => assemble(&std::fs::read_to_string(&path)?)?,
+        (None, Some(k)) => k.build(scale),
+        (Some(_), Some(_)) => return Err("give a file or --kernel, not both".into()),
+        (None, None) => Kernel::Lisp.build(1),
+    };
+    Ok(opts)
+}
+
+fn cmd_shard(args: &[String]) -> Result<(), CliError> {
+    let o = parse_shard(args)?;
+    let config = ReeseConfig::over(o.base);
+    let report = ckpt::run_sharded(&o.program, &config, o.scheme, &o.shard)?;
+
+    println!(
+        "sharded {} run: {} instructions over {} intervals on {} jobs (warmup {})",
+        report.scheme.name(),
+        report.total_instructions,
+        report.intervals.len(),
+        o.shard.jobs,
+        o.shard.warmup
+    );
+    for (i, iv) in report.intervals.iter().enumerate() {
+        println!(
+            "  interval {i}: start {:>10}, {:>9} instructions, {:>9} cycles{}",
+            iv.start,
+            iv.instructions,
+            iv.cycles,
+            if iv.warmed { ", warmed" } else { "" }
+        );
+    }
+    println!(
+        "stitched: {} cycles — IPC {:.3}; {} checkpoint bytes shipped, pool utilisation {:.0}%",
+        report.sharded_cycles,
+        report.ipc(),
+        report.checkpoint_bytes,
+        report.parallel.utilisation() * 100.0
+    );
+    let oracle = &report.oracle;
+    println!(
+        "oracle: instructions {}, final state {}, output {}",
+        tick(oracle.instructions_match),
+        tick(oracle.digest_match),
+        tick(oracle.output_match)
+    );
+    if let (Some(mono), Some(err)) = (oracle.monolithic_cycles, oracle.cycle_error) {
+        println!(
+            "cycle accuracy: sharded {} vs monolithic {mono} — error {:+.3}%",
+            report.sharded_cycles,
+            err * 100.0
+        );
+    }
+
+    if let Some(path) = &o.snapshot {
+        // The first mid-run checkpoint (interval 1's start), regenerated
+        // from the same deterministic fast-forward pass.
+        let bounds = ckpt::boundaries(report.total_instructions, o.shard.intervals);
+        let which = usize::from(bounds.len() > 1);
+        let cks = ckpt::checkpoints_at(
+            &o.program,
+            &bounds[which..=which],
+            o.shard.warmup,
+            &config.pipeline,
+        )?;
+        std::fs::write(path, cks[0].encode())?;
+        println!(
+            "checkpoint at instruction {} written to {path}",
+            cks[0].instructions
+        );
+    }
+    if let Some(path) = &o.out {
+        std::fs::write(path, shard_report_json(&report))?;
+        println!("report written to {path}");
+    }
+    if !oracle.exact() {
+        return Err("sharded run diverged from the monolithic run".into());
+    }
+    Ok(())
+}
+
+fn tick(ok: bool) -> &'static str {
+    if ok {
+        "exact"
+    } else {
+        "MISMATCH"
+    }
+}
+
+fn shard_report_json(r: &ckpt::ShardReport) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"scheme\": \"{}\",\n", r.scheme.name()));
+    s.push_str(&format!(
+        "  \"total_instructions\": {},\n  \"sharded_cycles\": {},\n  \"ipc\": {:.6},\n",
+        r.total_instructions,
+        r.sharded_cycles,
+        r.ipc()
+    ));
+    s.push_str(&format!(
+        "  \"checkpoint_bytes\": {},\n  \"intervals\": [\n",
+        r.checkpoint_bytes
+    ));
+    for (i, iv) in r.intervals.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"start\": {}, \"instructions\": {}, \"cycles\": {}, \"warmed\": {}}}{}\n",
+            iv.start,
+            iv.instructions,
+            iv.cycles,
+            iv.warmed,
+            if i + 1 < r.intervals.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"oracle\": {\n");
+    s.push_str(&format!(
+        "    \"instructions_match\": {},\n    \"digest_match\": {},\n    \"output_match\": {}",
+        r.oracle.instructions_match, r.oracle.digest_match, r.oracle.output_match
+    ));
+    if let (Some(mono), Some(err)) = (r.oracle.monolithic_cycles, r.oracle.cycle_error) {
+        s.push_str(&format!(
+            ",\n    \"monolithic_cycles\": {mono},\n    \"cycle_error\": {err:.6}"
+        ));
+    }
+    s.push_str("\n  }\n}\n");
+    s
 }
 
 fn print_output(output: &[i64]) {
