@@ -22,6 +22,7 @@ use reese_ckpt::{run_sharded, Scheme, ShardOptions};
 use reese_core::{DuplexSim, ReeseConfig, ReeseSim, SchedulerMode};
 use reese_pipeline::{PipelineConfig, PipelineSim};
 use reese_stats::bench::{Criterion, PairMeasurement};
+use reese_trace::Tracer;
 use reese_workloads::Kernel;
 use std::hint::black_box;
 
@@ -71,6 +72,20 @@ impl Cell {
             .iter()
             .find(|(m, s, _)| *m == self.machine && *s == self.sim)
             .map(|&(_, _, v)| v)
+    }
+}
+
+struct TraceCell {
+    pair: PairMeasurement,
+    events: usize,
+    metrics_rows: usize,
+}
+
+impl TraceCell {
+    /// Wall-clock cost of collecting a full pipetrace + sampled
+    /// metrics, as traced-time / untraced-time (1.0 = free).
+    fn overhead(&self) -> f64 {
+        1.0 / self.pair.speedup
     }
 }
 
@@ -269,6 +284,53 @@ fn main() {
         }
     };
 
+    // Observability overhead: the same REESE run untraced (no-op
+    // observer, statically compiled out) vs with a collecting Tracer
+    // attached (full pipetrace ring + sampled metrics). The untraced
+    // side guards the zero-cost-when-disabled claim — hooks ride the
+    // generic no-op path; the traced side prices full collection.
+    let trace_cell = {
+        let mut g = c.benchmark_group("traced (starting, reese)");
+        g.sample_size(samples);
+        let config = ReeseConfig::starting();
+        let untraced = ReeseSim::new(config.clone())
+            .run(&program)
+            .expect("kernel runs");
+        let mut probe = Tracer::new();
+        let traced = ReeseSim::new(config.clone())
+            .run_with_faults_observed(&program, &[], 0, u64::MAX, &mut probe)
+            .expect("kernel runs");
+        assert_eq!(untraced, traced, "tracing changed the simulation");
+        probe.finish();
+        let (ring, metrics) = probe.into_parts();
+        let pair = g.bench_pair(
+            "untraced",
+            "traced",
+            || {
+                black_box(
+                    ReeseSim::new(config.clone())
+                        .run(&program)
+                        .expect("kernel runs"),
+                )
+            },
+            || {
+                let mut t = Tracer::new();
+                black_box(
+                    ReeseSim::new(config.clone())
+                        .run_with_faults_observed(&program, &[], 0, u64::MAX, &mut t)
+                        .expect("kernel runs"),
+                );
+                black_box(t);
+            },
+        );
+        g.finish();
+        TraceCell {
+            pair,
+            events: ring.len(),
+            metrics_rows: metrics.rows.len(),
+        }
+    };
+
     println!();
     println!(
         "{:<26} {:<9} {:>14} {:>14} {:>8} {:>8}",
@@ -292,6 +354,13 @@ fn main() {
         shard_cell.warmup,
         shard_cell.pair.speedup,
         shard_cell.cycle_error() * 100.0
+    );
+    println!(
+        "traced (starting, reese): {:.2}x wall overhead collecting {} trace events \
+         and {} metrics rows, results bit-identical",
+        trace_cell.overhead(),
+        trace_cell.events,
+        trace_cell.metrics_rows
     );
 
     let mut json = String::from("{\n");
@@ -338,6 +407,16 @@ fn main() {
         shard_cell.pair.a.min.as_secs_f64(),
         shard_cell.pair.b.min.as_secs_f64(),
         shard_cell.pair.speedup,
+    ));
+    json.push_str(&format!(
+        "  ,\"traced\": {{\"machine\": \"starting (RUU=16, LSQ=8)\", \"sim\": \"reese\", \
+         \"untraced_min_s\": {:.6}, \"traced_min_s\": {:.6}, \"overhead\": {:.3}, \
+         \"trace_events\": {}, \"metrics_rows\": {}, \"bit_identical\": true}}\n",
+        trace_cell.pair.a.min.as_secs_f64(),
+        trace_cell.pair.b.min.as_secs_f64(),
+        trace_cell.overhead(),
+        trace_cell.events,
+        trace_cell.metrics_rows,
     ));
     json.push_str("}\n");
     std::fs::write(&out_path, json).expect("write bench report");

@@ -22,6 +22,7 @@ use reese_cpu::{EmuError, Emulator, StopReason};
 use reese_isa::Program;
 use reese_pipeline::{PipelineSim, SimResult};
 use reese_stats::{par_map_indexed, ParallelStats};
+use reese_trace::{MetricsSeries, TraceRing, Tracer};
 use std::fmt;
 
 /// Which detailed timing machine simulates the intervals.
@@ -111,6 +112,10 @@ pub struct ShardOptions {
     /// Bound on the functional reference pass; a program still running
     /// after this many instructions is treated as non-halting.
     pub max_instructions: u64,
+    /// Sampling interval in cycles for the per-interval metrics series
+    /// and pipetrace ring. 0 (the default) runs the intervals
+    /// unobserved — the zero-cost path.
+    pub metrics_interval: u64,
 }
 
 impl Default for ShardOptions {
@@ -121,6 +126,7 @@ impl Default for ShardOptions {
             warmup: 0,
             compare_monolithic: true,
             max_instructions: u64::MAX,
+            metrics_interval: 0,
         }
     }
 }
@@ -188,6 +194,12 @@ pub struct ShardReport {
     pub parallel: ParallelStats,
     /// Total size of the serialized checkpoints shipped to workers.
     pub checkpoint_bytes: usize,
+    /// Per-interval metrics stitched onto the global cycle axis, when
+    /// [`ShardOptions::metrics_interval`] asked for observation.
+    pub metrics: Option<MetricsSeries>,
+    /// Pipetrace events stitched onto the global cycle axis, when
+    /// observation was requested.
+    pub trace: Option<TraceRing>,
 }
 
 impl ShardReport {
@@ -208,6 +220,8 @@ struct Outcome {
     exit_code: Option<u64>,
     state_digest: u64,
     warmed: bool,
+    metrics: Option<MetricsSeries>,
+    trace: Option<TraceRing>,
 }
 
 impl Outcome {
@@ -220,6 +234,8 @@ impl Outcome {
             exit_code: r.exit_code,
             state_digest: r.state_digest,
             warmed,
+            metrics: None,
+            trace: None,
         }
     }
 
@@ -230,6 +246,8 @@ impl Outcome {
             exit_code: r.exit_code,
             state_digest: r.state_digest,
             warmed,
+            metrics: None,
+            trace: None,
         }
     }
 }
@@ -273,19 +291,26 @@ pub fn run_sharded(
     let checkpoint_bytes = jobs.iter().map(|(bytes, _)| bytes.len()).sum();
 
     let (results, parallel) = par_map_indexed(opts.jobs, &jobs, |index, (bytes, len)| {
-        run_one_interval(program, config, scheme, bytes, *len).map_err(|source| match source {
-            IntervalError::Ckpt(e) => ShardError::Ckpt(e),
-            IntervalError::Sim(source) => ShardError::Interval { index, source },
-        })
+        run_one_interval(program, config, scheme, bytes, *len, opts.metrics_interval).map_err(
+            |source| match source {
+                IntervalError::Ckpt(e) => ShardError::Ckpt(e),
+                IntervalError::Sim(source) => ShardError::Interval { index, source },
+            },
+        )
     });
 
-    // Stitch, in program order.
+    // Stitch, in program order. Each interval's observer ran on a local
+    // clock starting at zero, so its rows and events are shifted by the
+    // cycles of every interval before it.
     let mut intervals = Vec::with_capacity(results.len());
     let mut stats: Option<ReeseStats> = None;
     let mut output = Vec::new();
     let mut exit_code = None;
     let mut state_digest = 0;
     let mut committed_total = 0u64;
+    let mut metrics: Option<MetricsSeries> = None;
+    let mut trace: Option<TraceRing> = None;
+    let mut cycle_offset = 0u64;
     for (i, result) in results.into_iter().enumerate() {
         let outcome = result?;
         intervals.push(IntervalResult {
@@ -298,6 +323,17 @@ pub fn run_sharded(
         output.extend_from_slice(&outcome.output);
         exit_code = outcome.exit_code;
         state_digest = outcome.state_digest;
+        if let Some(m) = &outcome.metrics {
+            metrics
+                .get_or_insert_with(|| MetricsSeries::new(m.interval))
+                .merge_concat(m, cycle_offset);
+        }
+        if let Some(t) = &outcome.trace {
+            trace
+                .get_or_insert_with(|| TraceRing::new(t.capacity()))
+                .merge_concat(t, cycle_offset);
+        }
+        cycle_offset += outcome.stats.pipeline.cycles;
         match &mut stats {
             None => stats = Some(outcome.stats),
             Some(s) => s.merge(&outcome.stats),
@@ -334,6 +370,8 @@ pub fn run_sharded(
         oracle,
         parallel,
         checkpoint_bytes,
+        metrics,
+        trace,
     })
 }
 
@@ -348,25 +386,49 @@ fn run_one_interval(
     scheme: Scheme,
     bytes: &[u8],
     len: u64,
+    metrics_interval: u64,
 ) -> Result<Outcome, IntervalError> {
     let ck = Checkpoint::decode(bytes).map_err(IntervalError::Ckpt)?;
     let emulator = ck.restore(program);
     let warm = ck.warm.as_ref();
     let warmed = warm.is_some();
-    match scheme {
-        Scheme::Baseline => PipelineSim::new(config.pipeline.clone())
-            .run_interval(emulator, warm, len)
+    let mut tracer = (metrics_interval > 0).then(|| Tracer::new().with_interval(metrics_interval));
+    let mut outcome = match scheme {
+        Scheme::Baseline => {
+            let sim = PipelineSim::new(config.pipeline.clone());
+            match &mut tracer {
+                Some(t) => sim.run_interval_observed(emulator, warm, len, t),
+                None => sim.run_interval(emulator, warm, len),
+            }
             .map(|r| Outcome::from_baseline(r, warmed))
-            .map_err(|e| IntervalError::Sim(ReeseError::Sim(e))),
-        Scheme::Reese => ReeseSim::new(config.clone())
-            .run_interval(emulator, warm, len)
+            .map_err(|e| IntervalError::Sim(ReeseError::Sim(e)))?
+        }
+        Scheme::Reese => {
+            let sim = ReeseSim::new(config.clone());
+            match &mut tracer {
+                Some(t) => sim.run_interval_observed(emulator, warm, len, t),
+                None => sim.run_interval(emulator, warm, len),
+            }
             .map(|r| Outcome::from_reese(r, warmed))
-            .map_err(IntervalError::Sim),
-        Scheme::Duplex => DuplexSim::new(config.pipeline.clone())
-            .run_interval(emulator, warm, len)
+            .map_err(IntervalError::Sim)?
+        }
+        Scheme::Duplex => {
+            let sim = DuplexSim::new(config.pipeline.clone());
+            match &mut tracer {
+                Some(t) => sim.run_interval_observed(emulator, warm, len, t),
+                None => sim.run_interval(emulator, warm, len),
+            }
             .map(|r| Outcome::from_reese(r, warmed))
-            .map_err(IntervalError::Sim),
+            .map_err(IntervalError::Sim)?
+        }
+    };
+    if let Some(mut t) = tracer {
+        t.finish();
+        let (ring, metrics) = t.into_parts();
+        outcome.trace = Some(ring);
+        outcome.metrics = Some(metrics);
     }
+    Ok(outcome)
 }
 
 fn run_monolithic(
@@ -489,6 +551,39 @@ mod tests {
         assert!(report.oracle.exact());
         assert!(report.intervals.len() <= 3);
         assert_eq!(report.output, vec![1]);
+    }
+
+    #[test]
+    fn observed_shard_merges_metrics_and_stays_exact() {
+        let prog = program();
+        let config = ReeseConfig::starting();
+        let mut opts = options(4);
+        opts.metrics_interval = 500;
+        let report = run_sharded(&prog, &config, Scheme::Reese, &opts).unwrap();
+        assert!(report.oracle.exact(), "{:?}", report.oracle);
+
+        // Observation must not perturb timing: the stitched cycle count
+        // matches the unobserved sharded run exactly.
+        let plain = run_sharded(&prog, &config, Scheme::Reese, &options(4)).unwrap();
+        assert_eq!(report.sharded_cycles, plain.sharded_cycles);
+        assert!(plain.metrics.is_none(), "unobserved run collects nothing");
+        assert!(plain.trace.is_none());
+
+        let m = report.metrics.as_ref().expect("metrics collected");
+        assert!(!m.rows.is_empty());
+        assert_eq!(
+            m.totals().committed,
+            report.total_instructions,
+            "stitched metrics must account for every committed instruction"
+        );
+        // Rows sit on one global cycle axis, in program order.
+        for w in m.rows.windows(2) {
+            assert!(w[0].start_cycle <= w[1].start_cycle);
+        }
+        assert!(m.totals().end_cycle <= report.sharded_cycles + 1);
+
+        let t = report.trace.as_ref().expect("trace collected");
+        assert!(!t.is_empty());
     }
 
     #[test]

@@ -21,6 +21,7 @@ use reese_pipeline::{
     FetchUnit, Fetched, FuPool, LoadPlan, Lsq, PipelineConfig, PredictionInfo, Ruu, SchedulerMode,
     Seq, SimError, SimStop, WarmState,
 };
+use reese_trace::{CycleState, NoopObserver, Observer, Stage, Stream as TStream, TraceEvent};
 use std::collections::VecDeque;
 
 const DEADLOCK_HORIZON: u64 = 100_000;
@@ -85,8 +86,25 @@ impl DuplexSim {
         program: &Program,
         max_instructions: u64,
     ) -> Result<ReeseResult, ReeseError> {
+        self.run_limit_observed(program, max_instructions, &mut NoopObserver)
+    }
+
+    /// Like [`DuplexSim::run_limit`] but reporting per-cycle state and
+    /// per-instruction lifecycle events to `obs`. With
+    /// [`NoopObserver`] this compiles down to exactly
+    /// [`DuplexSim::run_limit`].
+    ///
+    /// # Errors
+    ///
+    /// See [`DuplexSim::run`].
+    pub fn run_limit_observed<O: Observer>(
+        &self,
+        program: &Program,
+        max_instructions: u64,
+        obs: &mut O,
+    ) -> Result<ReeseResult, ReeseError> {
         let mut m = DuplexMachine::new(&self.config, program);
-        m.run(max_instructions)
+        m.run(max_instructions, obs)
     }
 
     /// Runs one sharded interval: continues from a restored emulator,
@@ -102,8 +120,23 @@ impl DuplexSim {
         warm: Option<&WarmState>,
         max_instructions: u64,
     ) -> Result<ReeseResult, ReeseError> {
+        self.run_interval_observed(emulator, warm, max_instructions, &mut NoopObserver)
+    }
+
+    /// Like [`DuplexSim::run_interval`] but with an observer.
+    ///
+    /// # Errors
+    ///
+    /// See [`DuplexSim::run`].
+    pub fn run_interval_observed<O: Observer>(
+        &self,
+        emulator: Emulator,
+        warm: Option<&WarmState>,
+        max_instructions: u64,
+        obs: &mut O,
+    ) -> Result<ReeseResult, ReeseError> {
         let mut m = DuplexMachine::restored(&self.config, emulator, warm);
-        m.run(max_instructions)
+        m.run(max_instructions, obs)
     }
 }
 
@@ -168,24 +201,31 @@ impl<'c> DuplexMachine<'c> {
         }
     }
 
-    fn run(&mut self, max_instructions: u64) -> Result<ReeseResult, ReeseError> {
+    fn run<O: Observer>(
+        &mut self,
+        max_instructions: u64,
+        obs: &mut O,
+    ) -> Result<ReeseResult, ReeseError> {
         let stop = loop {
+            if O::ENABLED && self.cycle > 0 {
+                obs.cycle(self.cycle, &self.cycle_state());
+            }
             self.cycle += 1;
             if self.cfg.scheduler == SchedulerMode::EventDriven {
-                self.skip_idle_cycles();
+                self.skip_idle_cycles(obs);
             }
 
-            self.commit(max_instructions);
+            self.commit(max_instructions, obs);
             if self.exit_code.is_some() {
                 break SimStop::Halted;
             }
             if self.stats.pipeline.committed >= max_instructions {
                 break SimStop::InstructionLimit;
             }
-            self.writeback();
-            self.issue();
-            self.dispatch();
-            self.do_fetch();
+            self.writeback(obs);
+            self.issue(obs);
+            self.dispatch(obs);
+            self.do_fetch(obs);
 
             if self.cfg.max_cycles > 0 && self.cycle >= self.cfg.max_cycles {
                 break SimStop::CycleLimit;
@@ -200,6 +240,9 @@ impl<'c> DuplexMachine<'c> {
                 return Err(ReeseError::Sim(SimError::Deadlock { cycle: self.cycle }));
             }
         };
+        if O::ENABLED {
+            obs.cycle(self.cycle, &self.cycle_state());
+        }
         self.finalise();
         Ok(ReeseResult {
             stop,
@@ -214,7 +257,29 @@ impl<'c> DuplexMachine<'c> {
     /// Jumps the clock over cycles on which no stage can act (see the
     /// baseline's `skip_idle_cycles`). Pair commit needs a *completed*
     /// head, so an incomplete head makes commit a guaranteed no-op.
-    fn skip_idle_cycles(&mut self) {
+    /// Snapshot of the cumulative counters and queue occupancies the
+    /// metrics sampler records. Duplex has no R-stream Queue, so the
+    /// R-queue occupancy and missed-slot counters stay zero; redundant
+    /// copies are identified by RUU seq parity instead.
+    fn cycle_state(&self) -> CycleState {
+        CycleState {
+            committed: self.stats.pipeline.committed,
+            issued: self.stats.pipeline.issued,
+            r_issued: self.stats.r_issued,
+            r_missed: 0,
+            dispatch_stall_ruu: self.stats.pipeline.dispatch_stall_ruu_full,
+            dispatch_stall_lsq: self.stats.pipeline.dispatch_stall_lsq_full,
+            fetch_empty: self.stats.pipeline.fetch_queue_empty_cycles,
+            fu_busy: self.fu.busy_by_class(),
+            sched_ops: self.ruu.sched_ops(),
+            ruu_occ: self.ruu.len(),
+            lsq_occ: self.lsq.len(),
+            rqueue_occ: 0,
+            fetchq_occ: self.fetchq.len(),
+        }
+    }
+
+    fn skip_idle_cycles<O: Observer>(&mut self, obs: &mut O) {
         if self.ruu.head().is_some_and(|e| e.completed)
             || self.ruu.has_ready()
             || !self.fetchq.is_empty()
@@ -248,13 +313,16 @@ impl<'c> DuplexMachine<'c> {
             return;
         }
         self.stats.pipeline.fetch_queue_empty_cycles += target - self.cycle;
+        if O::ENABLED {
+            obs.idle_skip(self.cycle, target, &self.cycle_state());
+        }
         self.cycle = target;
     }
 
     /// Commits pairs: the redundant copy (even RUU seq) and the primary
     /// copy (odd RUU seq) retire together once both have completed —
     /// the comparison point of Franklin's scheme.
-    fn commit(&mut self, max_instructions: u64) {
+    fn commit<O: Observer>(&mut self, max_instructions: u64, obs: &mut O) {
         for _ in 0..self.cfg.width / 2 {
             if self.stats.pipeline.committed >= max_instructions {
                 return;
@@ -275,6 +343,22 @@ impl<'c> DuplexMachine<'c> {
             let r_copy = self.ruu.pop_head();
             let p_copy = self.ruu.pop_head();
             debug_assert_eq!(r_copy.info.result, p_copy.info.result, "fault-free run");
+            if O::ENABLED {
+                obs.event(TraceEvent {
+                    cycle: self.cycle,
+                    seq: r_copy.seq,
+                    pc: p_copy.info.pc,
+                    stage: Stage::Compare,
+                    stream: TStream::Redundant,
+                });
+                obs.event(TraceEvent {
+                    cycle: self.cycle,
+                    seq: p_copy.seq,
+                    pc: p_copy.info.pc,
+                    stage: Stage::Commit,
+                    stream: TStream::Primary,
+                });
+            }
             self.lsq.remove(r_copy.seq);
             self.lsq.remove(p_copy.seq);
             self.fetch.on_commit(1);
@@ -291,7 +375,7 @@ impl<'c> DuplexMachine<'c> {
         }
     }
 
-    fn writeback(&mut self) {
+    fn writeback<O: Observer>(&mut self, obs: &mut O) {
         let mut done = std::mem::take(&mut self.scratch_done);
         match self.cfg.scheduler {
             SchedulerMode::Scan => {
@@ -310,6 +394,19 @@ impl<'c> DuplexMachine<'c> {
             // Copy out the two Copy fields needed below rather than
             // cloning the whole entry per completion.
             let e = self.ruu.get(seq).expect("just completed");
+            if O::ENABLED {
+                obs.event(TraceEvent {
+                    cycle: self.cycle,
+                    seq,
+                    pc: e.info.pc,
+                    stage: Stage::Writeback,
+                    stream: if seq % 2 == 0 {
+                        TStream::Redundant
+                    } else {
+                        TStream::Primary
+                    },
+                });
+            }
             let is_mem = e.is_mem();
             // Resolve control once per pair, on the primary copy.
             let fetched = (e.is_control() && e.seq % 2 == 1).then_some(Fetched {
@@ -328,7 +425,7 @@ impl<'c> DuplexMachine<'c> {
         self.scratch_done = done;
     }
 
-    fn issue(&mut self) {
+    fn issue<O: Observer>(&mut self, obs: &mut O) {
         let mut ready = std::mem::take(&mut self.scratch_ready);
         match self.cfg.scheduler {
             SchedulerMode::Scan => {
@@ -371,6 +468,19 @@ impl<'c> DuplexMachine<'c> {
                 }
                 u64::from(op.latency())
             };
+            if O::ENABLED {
+                obs.event(TraceEvent {
+                    cycle: self.cycle,
+                    seq,
+                    pc: e.info.pc,
+                    stage: Stage::Issue,
+                    stream: if seq % 2 == 0 {
+                        TStream::Redundant
+                    } else {
+                        TStream::Primary
+                    },
+                });
+            }
             self.ruu.mark_issued(seq, self.cycle, self.cycle + latency);
             issued += 1;
             self.stats.pipeline.issued += 1;
@@ -384,7 +494,7 @@ impl<'c> DuplexMachine<'c> {
     /// Dispatches each fetched instruction twice: the redundant copy
     /// first (even RUU seq), the primary second (odd), so later readers
     /// rename against the primary.
-    fn dispatch(&mut self) {
+    fn dispatch<O: Observer>(&mut self, obs: &mut O) {
         if self.fetchq.is_empty() {
             self.stats.pipeline.fetch_queue_empty_cycles += 1;
             return;
@@ -404,6 +514,22 @@ impl<'c> DuplexMachine<'c> {
             }
             let f = self.fetchq.pop_front().expect("checked front");
             let (r_seq, p_seq) = (f.seq * 2, f.seq * 2 + 1);
+            if O::ENABLED {
+                obs.event(TraceEvent {
+                    cycle: self.cycle,
+                    seq: r_seq,
+                    pc: f.info.pc,
+                    stage: Stage::Dispatch,
+                    stream: TStream::Redundant,
+                });
+                obs.event(TraceEvent {
+                    cycle: self.cycle,
+                    seq: p_seq,
+                    pc: f.info.pc,
+                    stage: Stage::Dispatch,
+                    stream: TStream::Primary,
+                });
+            }
             self.ruu
                 .dispatch(r_seq, f.info, PredictionInfo::default(), self.cycle);
             self.ruu.dispatch(p_seq, f.info, f.pred, self.cycle);
@@ -416,7 +542,7 @@ impl<'c> DuplexMachine<'c> {
         }
     }
 
-    fn do_fetch(&mut self) {
+    fn do_fetch<O: Observer>(&mut self, obs: &mut O) {
         let space = self.cfg.fetch_queue_size - self.fetchq.len();
         if space == 0 {
             return;
@@ -424,6 +550,17 @@ impl<'c> DuplexMachine<'c> {
         let batch = self
             .fetch
             .fetch_cycle(self.cycle, self.cfg.width, space, &mut self.hierarchy);
+        if O::ENABLED {
+            for f in &batch {
+                obs.event(TraceEvent {
+                    cycle: self.cycle,
+                    seq: f.seq,
+                    pc: f.info.pc,
+                    stage: Stage::Fetch,
+                    stream: TStream::Primary,
+                });
+            }
+        }
         self.fetchq.extend(batch);
     }
 

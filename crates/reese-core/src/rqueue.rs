@@ -100,6 +100,10 @@ pub struct RQueue {
     /// Redundant-completion event wheel keyed by
     /// `(r_complete_cycle, seq)`. [`SchedulerMode::EventDriven`] only.
     completions: EventWheel,
+    /// Scheduler bookkeeping operations performed so far: ReadyRing
+    /// inserts/removes plus EventWheel pushes/pops. Stays 0 under
+    /// [`SchedulerMode::Scan`]; read by the metrics sampler.
+    sched_ops: u64,
 }
 
 impl RQueue {
@@ -128,7 +132,14 @@ impl RQueue {
             mode,
             pending_r: ReadyRing::new(capacity),
             completions: EventWheel::new(),
+            sched_ops: 0,
         }
+    }
+
+    /// Scheduler bookkeeping operations (ReadyRing + EventWheel)
+    /// performed so far; 0 under [`SchedulerMode::Scan`].
+    pub fn sched_ops(&self) -> u64 {
+        self.sched_ops
     }
 
     fn event_driven(&self) -> bool {
@@ -177,6 +188,7 @@ impl RQueue {
         }
         if self.event_driven() && !entry.skip_r {
             self.pending_r.insert(entry.seq);
+            self.sched_ops += 1;
         }
         self.entries.push_back(entry);
         self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
@@ -200,6 +212,7 @@ impl RQueue {
         if event_driven {
             self.pending_r.remove(seq);
             self.completions.push(r_complete_cycle, seq);
+            self.sched_ops += 2;
         }
     }
 
@@ -231,7 +244,9 @@ impl RQueue {
     /// Pops the seqs of every redundant completion due at or before
     /// `now`, in `(cycle, seq)` order (event-driven mode only).
     pub fn take_r_completions(&mut self, now: u64) -> Vec<Seq> {
-        self.completions.take_due(now)
+        let due = self.completions.take_due(now);
+        self.sched_ops += due.len() as u64;
+        due
     }
 
     /// Like [`RQueue::take_r_completions`] but reusing a caller-owned
@@ -239,6 +254,7 @@ impl RQueue {
     /// allocates nothing.
     pub fn take_r_completions_into(&mut self, now: u64, out: &mut Vec<Seq>) {
         self.completions.take_due_into(now, out);
+        self.sched_ops += out.len() as u64;
     }
 
     /// Cycle of the earliest scheduled redundant completion, if any

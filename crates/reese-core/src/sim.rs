@@ -11,6 +11,7 @@ use reese_pipeline::{
     FetchUnit, Fetched, FuPool, LoadPlan, Lsq, Ruu, SchedulerMode, Seq, SimError, SimStop,
     WarmState,
 };
+use reese_trace::{CycleState, NoopObserver, Observer, Stage, Stream as TStream, TraceEvent};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 const DEADLOCK_HORIZON: u64 = 100_000;
@@ -98,8 +99,33 @@ impl ReeseSim {
         faults: &[InjectedFault],
         max_instructions: u64,
     ) -> Result<ReeseResult, ReeseError> {
+        self.run_with_faults_observed(program, faults, 0, max_instructions, &mut NoopObserver)
+    }
+
+    /// Like [`ReeseSim::run_with_faults`] — with an optional functional
+    /// fast-forward of `skip` instructions first — and an [`Observer`]
+    /// receiving per-instruction lifecycle events (P and R streams
+    /// tagged separately) plus per-cycle machine state. Observers are
+    /// passive: results are bit-identical with any observer, and with
+    /// [`NoopObserver`] the hooks compile away.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReeseSim::run_with_faults`].
+    pub fn run_with_faults_observed<O: Observer>(
+        &self,
+        program: &Program,
+        faults: &[InjectedFault],
+        skip: u64,
+        max_instructions: u64,
+        obs: &mut O,
+    ) -> Result<ReeseResult, ReeseError> {
         let mut m = ReeseMachine::new(&self.config, program, faults);
-        m.run(max_instructions)
+        if skip > 0 {
+            let skipped = m.fetch.fast_forward(skip);
+            m.next_migrate_seq = skipped;
+        }
+        m.run(max_instructions, obs)
     }
 
     /// Runs with an environmental disturbance of duration Δt (§2 of the
@@ -122,7 +148,7 @@ impl ReeseSim {
     ) -> Result<(ReeseResult, DurationReport), ReeseError> {
         let mut m = ReeseMachine::new(&self.config, program, &[]);
         m.duration_fault = Some(fault);
-        let result = m.run(max_instructions)?;
+        let result = m.run(max_instructions, &mut NoopObserver)?;
         Ok((result, m.duration_report))
     }
 
@@ -141,10 +167,7 @@ impl ReeseSim {
         skip: u64,
         max_instructions: u64,
     ) -> Result<ReeseResult, ReeseError> {
-        let mut m = ReeseMachine::new(&self.config, program, &[]);
-        let skipped = m.fetch.fast_forward(skip);
-        m.next_migrate_seq = skipped;
-        m.run(max_instructions)
+        self.run_with_faults_observed(program, &[], skip, max_instructions, &mut NoopObserver)
     }
 
     /// Resumes detailed timing mid-program from a checkpoint-restored
@@ -163,8 +186,23 @@ impl ReeseSim {
         warm: Option<&WarmState>,
         max_instructions: u64,
     ) -> Result<ReeseResult, ReeseError> {
+        self.run_interval_observed(emulator, warm, max_instructions, &mut NoopObserver)
+    }
+
+    /// Like [`ReeseSim::run_interval`] but with an [`Observer`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ReeseSim::run`].
+    pub fn run_interval_observed<O: Observer>(
+        &self,
+        emulator: Emulator,
+        warm: Option<&WarmState>,
+        max_instructions: u64,
+        obs: &mut O,
+    ) -> Result<ReeseResult, ReeseError> {
         let mut m = ReeseMachine::restored(&self.config, emulator, warm);
-        m.run(max_instructions)
+        m.run(max_instructions, obs)
     }
 }
 
@@ -189,6 +227,11 @@ struct ReeseMachine<'c> {
     permanent: Option<(Seq, u64)>,
     /// Next sequence number to migrate into the R-stream Queue.
     next_migrate_seq: Seq,
+    /// R-issue opportunities considered but not taken so far: pending
+    /// entries inside the lookahead window that found no functional
+    /// unit. Metrics-only (surfaced through [`Observer::cycle`]); not
+    /// part of [`ReeseStats`], so it never affects result equality.
+    r_missed: u64,
     duration_fault: Option<DurationFault>,
     duration_report: DurationReport,
     duration_p_hits: HashSet<Seq>,
@@ -255,6 +298,7 @@ impl<'c> ReeseMachine<'c> {
             retry_seq: None,
             permanent: None,
             next_migrate_seq: 0,
+            r_missed: 0,
             duration_fault: None,
             duration_report: DurationReport::default(),
             duration_p_hits: HashSet::new(),
@@ -265,14 +309,24 @@ impl<'c> ReeseMachine<'c> {
         }
     }
 
-    fn run(&mut self, max_instructions: u64) -> Result<ReeseResult, ReeseError> {
+    fn run<O: Observer>(
+        &mut self,
+        max_instructions: u64,
+        obs: &mut O,
+    ) -> Result<ReeseResult, ReeseError> {
         let stop = loop {
+            // The cycle hook fires for the *previous* cycle once all its
+            // stages have run; the final cycle's hook fires after the
+            // loop breaks.
+            if O::ENABLED && self.cycle > 0 {
+                obs.cycle(self.cycle, &self.cycle_state());
+            }
             self.cycle += 1;
             if self.cfg.pipeline.scheduler == SchedulerMode::EventDriven {
-                self.skip_idle_cycles();
+                self.skip_idle_cycles(obs);
             }
 
-            self.commit(max_instructions);
+            self.commit(max_instructions, obs);
             if let Some((seq, pc)) = self.permanent {
                 return Err(ReeseError::PermanentFault { seq, pc });
             }
@@ -282,11 +336,11 @@ impl<'c> ReeseMachine<'c> {
             if self.stats.pipeline.committed >= max_instructions {
                 break SimStop::InstructionLimit;
             }
-            self.migrate();
-            self.writeback();
-            self.issue();
-            self.dispatch();
-            self.do_fetch();
+            self.migrate(obs);
+            self.writeback(obs);
+            self.issue(obs);
+            self.dispatch(obs);
+            self.do_fetch(obs);
             self.stats.rqueue_occupancy.record(self.rqueue.len() as u64);
 
             if self.cfg.pipeline.max_cycles > 0 && self.cycle >= self.cfg.pipeline.max_cycles {
@@ -302,6 +356,9 @@ impl<'c> ReeseMachine<'c> {
                 return Err(ReeseError::Sim(SimError::Deadlock { cycle: self.cycle }));
             }
         };
+        if O::ENABLED {
+            obs.cycle(self.cycle, &self.cycle_state());
+        }
         self.finalise();
         Ok(ReeseResult {
             stop,
@@ -320,6 +377,26 @@ impl<'c> ReeseMachine<'c> {
             && self.rqueue.is_empty()
     }
 
+    /// The cumulative-counter snapshot handed to [`Observer::cycle`].
+    /// Only built when an observer is enabled.
+    fn cycle_state(&self) -> CycleState {
+        CycleState {
+            committed: self.stats.pipeline.committed,
+            issued: self.stats.pipeline.issued,
+            r_issued: self.stats.r_issued,
+            r_missed: self.r_missed,
+            dispatch_stall_ruu: self.stats.pipeline.dispatch_stall_ruu_full,
+            dispatch_stall_lsq: self.stats.pipeline.dispatch_stall_lsq_full,
+            fetch_empty: self.stats.pipeline.fetch_queue_empty_cycles,
+            fu_busy: self.fu.busy_by_class(),
+            sched_ops: self.ruu.sched_ops() + self.rqueue.sched_ops(),
+            ruu_occ: self.ruu.len(),
+            lsq_occ: self.lsq.len(),
+            rqueue_occ: self.rqueue.len(),
+            fetchq_occ: self.fetchq.len(),
+        }
+    }
+
     /// Jumps the clock over cycles on which no stage can act (see the
     /// baseline's `skip_idle_cycles`): no comparable queue head, no
     /// migratable RUU instruction, no P or R completion due, nothing
@@ -327,7 +404,7 @@ impl<'c> ReeseMachine<'c> {
     /// Skipped cycles get their per-cycle statistics applied in bulk;
     /// the landing cycle runs the normal loop body so the cycle-limit
     /// and deadlock checks fire exactly as in `Scan` mode.
-    fn skip_idle_cycles(&mut self) {
+    fn skip_idle_cycles<O: Observer>(&mut self, obs: &mut O) {
         if self.rqueue.head().is_some_and(|e| e.commit_ready())
             || self.ruu.has_ready()
             || self.rqueue.has_pending_r()
@@ -375,13 +452,16 @@ impl<'c> ReeseMachine<'c> {
         if self.rqueue.len() >= self.cfg.high_water {
             self.stats.r_priority_cycles += skipped;
         }
+        if O::ENABLED {
+            obs.idle_skip(self.cycle, target, &self.cycle_state());
+        }
         self.cycle = target;
     }
 
     /// Commit from the R-stream Queue head: compare P and R results,
     /// then retire (paper Figure 1: comparison sits between writeback
     /// and commit).
-    fn commit(&mut self, max_instructions: u64) {
+    fn commit<O: Observer>(&mut self, max_instructions: u64, obs: &mut O) {
         for _ in 0..self.cfg.pipeline.width {
             if self.stats.pipeline.committed >= max_instructions {
                 return;
@@ -393,7 +473,7 @@ impl<'c> ReeseMachine<'c> {
                 return;
             }
             if !head.results_match() {
-                self.detect_and_flush();
+                self.detect_and_flush(obs);
                 return;
             }
             let e = self.rqueue.pop_head().expect("checked head");
@@ -409,8 +489,26 @@ impl<'c> ReeseMachine<'c> {
                 self.stats
                     .pr_separation
                     .record(e.r_complete_cycle.saturating_sub(e.p_complete_cycle));
+                if O::ENABLED {
+                    obs.event(TraceEvent {
+                        cycle: self.cycle,
+                        seq: e.seq,
+                        pc: e.info.pc,
+                        stage: Stage::Compare,
+                        stream: TStream::Redundant,
+                    });
+                }
             } else {
                 self.stats.r_skipped += 1;
+            }
+            if O::ENABLED {
+                obs.event(TraceEvent {
+                    cycle: self.cycle,
+                    seq: e.seq,
+                    pc: e.info.pc,
+                    stage: Stage::Commit,
+                    stream: TStream::Primary,
+                });
             }
             self.fetch.on_commit(1);
             self.stats.pipeline.committed += 1;
@@ -430,8 +528,25 @@ impl<'c> ReeseMachine<'c> {
 
     /// A comparison failed at the queue head: record the detection and
     /// flush the machine back to the faulting instruction.
-    fn detect_and_flush(&mut self) {
+    fn detect_and_flush<O: Observer>(&mut self, obs: &mut O) {
         let head = *self.rqueue.head().expect("mismatch needs a head");
+        if O::ENABLED {
+            // The mismatching comparison, then the squash it triggers.
+            obs.event(TraceEvent {
+                cycle: self.cycle,
+                seq: head.seq,
+                pc: head.info.pc,
+                stage: Stage::Compare,
+                stream: TStream::Redundant,
+            });
+            obs.event(TraceEvent {
+                cycle: self.cycle,
+                seq: head.seq,
+                pc: head.info.pc,
+                stage: Stage::Flush,
+                stream: TStream::Primary,
+            });
+        }
         self.stats.detections += 1;
         self.stats.flushes += 1;
         self.detections.push(DetectionEvent {
@@ -470,7 +585,7 @@ impl<'c> ReeseMachine<'c> {
     /// freeing window space; otherwise the RUU entry is held until the
     /// comparison commits (the conservative implementation), and only a
     /// copy enters the queue.
-    fn migrate(&mut self) {
+    fn migrate<O: Observer>(&mut self, obs: &mut O) {
         for _ in 0..self.cfg.pipeline.width {
             let Some(next) = self.ruu.get(self.next_migrate_seq) else {
                 return;
@@ -489,6 +604,15 @@ impl<'c> ReeseMachine<'c> {
                 self.lsq.remove(e.seq);
             }
             self.next_migrate_seq = seq + 1;
+            if O::ENABLED {
+                obs.event(TraceEvent {
+                    cycle: self.cycle,
+                    seq,
+                    pc: info.pc,
+                    stage: Stage::Migrate,
+                    stream: TStream::Primary,
+                });
+            }
             let skip_r = seq % self.cfg.duplication_period != 0 && !info.halted;
             let mut entry = RQueueEntry::new(seq, info, self.cycle, skip_r).with_p_complete(p_done);
             self.apply_faults(&mut entry, Stream::Primary);
@@ -599,7 +723,7 @@ impl<'c> ReeseMachine<'c> {
 
     /// Writeback for both streams: P completions in the RUU (waking
     /// dependants, resolving control) and R completions in the queue.
-    fn writeback(&mut self) {
+    fn writeback<O: Observer>(&mut self, obs: &mut O) {
         // Primary stream, identical to the baseline.
         let mut done = std::mem::take(&mut self.scratch_done);
         match self.cfg.pipeline.scheduler {
@@ -625,6 +749,15 @@ impl<'c> ReeseMachine<'c> {
                 info: e.info,
                 pred: e.pred,
             });
+            if O::ENABLED {
+                obs.event(TraceEvent {
+                    cycle: self.cycle,
+                    seq,
+                    pc: e.info.pc,
+                    stage: Stage::Writeback,
+                    stream: TStream::Primary,
+                });
+            }
             if is_mem {
                 self.lsq.mark_executed(seq);
             }
@@ -673,12 +806,31 @@ impl<'c> ReeseMachine<'c> {
         };
         if event_driven {
             for seq in r_done.drain(..) {
-                finish(rqueue.get_mut(seq).expect("completing seq in queue"));
+                let entry = rqueue.get_mut(seq).expect("completing seq in queue");
+                finish(entry);
+                if O::ENABLED {
+                    obs.event(TraceEvent {
+                        cycle,
+                        seq,
+                        pc: entry.info.pc,
+                        stage: Stage::Writeback,
+                        stream: TStream::Redundant,
+                    });
+                }
             }
         } else {
             for entry in rqueue.iter_mut() {
                 if entry.r_issued && !entry.r_completed && entry.r_complete_cycle <= cycle {
                     finish(entry);
+                    if O::ENABLED {
+                        obs.event(TraceEvent {
+                            cycle,
+                            seq: entry.seq,
+                            pc: entry.info.pc,
+                            stage: Stage::Writeback,
+                            stream: TStream::Redundant,
+                        });
+                    }
                 }
             }
         }
@@ -690,19 +842,19 @@ impl<'c> ReeseMachine<'c> {
     /// stream instruction, whenever possible", §4.3) until the queue
     /// crosses its high-water mark, at which point the redundant stream
     /// goes first to guarantee forward progress.
-    fn issue(&mut self) {
+    fn issue<O: Observer>(&mut self, obs: &mut O) {
         let mut budget = self.cfg.pipeline.width;
         if self.rqueue.len() >= self.cfg.high_water {
             self.stats.r_priority_cycles += 1;
-            self.issue_redundant(&mut budget);
-            self.issue_primary(&mut budget);
+            self.issue_redundant(&mut budget, obs);
+            self.issue_primary(&mut budget, obs);
         } else {
-            self.issue_primary(&mut budget);
-            self.issue_redundant(&mut budget);
+            self.issue_primary(&mut budget, obs);
+            self.issue_redundant(&mut budget, obs);
         }
     }
 
-    fn issue_primary(&mut self, budget: &mut usize) {
+    fn issue_primary<O: Observer>(&mut self, budget: &mut usize, obs: &mut O) {
         let mut ready = std::mem::take(&mut self.scratch_ready);
         match self.cfg.pipeline.scheduler {
             SchedulerMode::Scan => {
@@ -744,6 +896,15 @@ impl<'c> ReeseMachine<'c> {
                 }
                 u64::from(op.latency())
             };
+            if O::ENABLED {
+                obs.event(TraceEvent {
+                    cycle: self.cycle,
+                    seq,
+                    pc: e.info.pc,
+                    stage: Stage::Issue,
+                    stream: TStream::Primary,
+                });
+            }
             self.ruu.mark_issued(seq, self.cycle, self.cycle + latency);
             *budget -= 1;
             self.stats.pipeline.issued += 1;
@@ -758,11 +919,12 @@ impl<'c> ReeseMachine<'c> {
     /// the FIFO lookahead. R loads are guaranteed L1 hits — the primary
     /// access warmed the cache (§4.4) — so they charge the hit latency
     /// and a memory port but never walk the hierarchy.
-    fn issue_redundant(&mut self, budget: &mut usize) {
+    fn issue_redundant<O: Observer>(&mut self, budget: &mut usize, obs: &mut O) {
         let cycle = self.cycle;
         let l1d_hit = u64::from(self.hierarchy.l1d_hit_latency());
         let lookahead = self.cfg.r_issue_lookahead;
         let mut issued_now = 0u64;
+        let mut tried = 0u64;
         match self.cfg.pipeline.scheduler {
             SchedulerMode::Scan => {
                 let mut considered = 0usize;
@@ -774,6 +936,7 @@ impl<'c> ReeseMachine<'c> {
                         continue;
                     }
                     considered += 1;
+                    tried += 1;
                     let op = entry.info.instr.op;
                     // R memory verifications recompute the effective
                     // address on an integer ALU and re-access the cache
@@ -797,6 +960,15 @@ impl<'c> ReeseMachine<'c> {
                     } else {
                         u64::from(op.latency())
                     };
+                    if O::ENABLED {
+                        obs.event(TraceEvent {
+                            cycle,
+                            seq: entry.seq,
+                            pc: entry.info.pc,
+                            stage: Stage::Issue,
+                            stream: TStream::Redundant,
+                        });
+                    }
                     entry.r_issued = true;
                     entry.r_complete_cycle = cycle + latency;
                     *budget -= 1;
@@ -814,9 +986,11 @@ impl<'c> ReeseMachine<'c> {
                     if *budget == 0 {
                         break;
                     }
+                    tried += 1;
                     let entry = self.rqueue.get(seq).expect("pending seq in queue");
                     let op = entry.info.instr.op;
                     let is_mem = entry.info.mem.is_some();
+                    let pc = entry.info.pc;
                     let issued = if is_mem {
                         self.fu.try_issue_mem(op, cycle)
                     } else {
@@ -830,6 +1004,15 @@ impl<'c> ReeseMachine<'c> {
                     } else {
                         u64::from(op.latency())
                     };
+                    if O::ENABLED {
+                        obs.event(TraceEvent {
+                            cycle,
+                            seq,
+                            pc,
+                            stage: Stage::Issue,
+                            stream: TStream::Redundant,
+                        });
+                    }
                     self.rqueue.mark_r_issued(seq, cycle + latency);
                     *budget -= 1;
                     issued_now += 1;
@@ -838,9 +1021,10 @@ impl<'c> ReeseMachine<'c> {
             }
         }
         self.stats.r_issued += issued_now;
+        self.r_missed += tried - issued_now;
     }
 
-    fn dispatch(&mut self) {
+    fn dispatch<O: Observer>(&mut self, obs: &mut O) {
         if self.fetchq.is_empty() {
             self.stats.pipeline.fetch_queue_empty_cycles += 1;
             return;
@@ -858,6 +1042,15 @@ impl<'c> ReeseMachine<'c> {
                 break;
             }
             let f = self.fetchq.pop_front().expect("checked front");
+            if O::ENABLED {
+                obs.event(TraceEvent {
+                    cycle: self.cycle,
+                    seq: f.seq,
+                    pc: f.info.pc,
+                    stage: Stage::Dispatch,
+                    stream: TStream::Primary,
+                });
+            }
             self.ruu.dispatch(f.seq, f.info, f.pred, self.cycle);
             if let Some(mem) = f.info.mem {
                 self.lsq
@@ -866,7 +1059,7 @@ impl<'c> ReeseMachine<'c> {
         }
     }
 
-    fn do_fetch(&mut self) {
+    fn do_fetch<O: Observer>(&mut self, obs: &mut O) {
         let space = self.cfg.pipeline.fetch_queue_size - self.fetchq.len();
         if space == 0 {
             return;
@@ -877,6 +1070,17 @@ impl<'c> ReeseMachine<'c> {
             space,
             &mut self.hierarchy,
         );
+        if O::ENABLED {
+            for f in &batch {
+                obs.event(TraceEvent {
+                    cycle: self.cycle,
+                    seq: f.seq,
+                    pc: f.info.pc,
+                    stage: Stage::Fetch,
+                    stream: TStream::Primary,
+                });
+            }
+        }
         self.fetchq.extend(batch);
     }
 

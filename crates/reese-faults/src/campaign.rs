@@ -5,6 +5,7 @@ use reese_core::{InjectedFault, ReeseConfig, ReeseError, ReeseSim};
 use reese_cpu::Emulator;
 use reese_isa::Program;
 use reese_stats::{par_map_indexed, SplitMix64};
+use reese_trace::{MetricsSeries, Tracer};
 use std::fmt;
 
 /// Error raised by a campaign.
@@ -75,6 +76,7 @@ pub struct Campaign {
     seed: u64,
     max_instructions: u64,
     jobs: usize,
+    metrics_interval: u64,
 }
 
 impl Campaign {
@@ -87,6 +89,7 @@ impl Campaign {
             seed: 0xFA017,
             max_instructions: u64::MAX,
             jobs: 1,
+            metrics_interval: 0,
         }
     }
 
@@ -112,6 +115,16 @@ impl Campaign {
     /// bit-identical for every value; 0 is treated as 1.
     pub fn jobs(mut self, n: usize) -> Campaign {
         self.jobs = n.max(1);
+        self
+    }
+
+    /// Samples per-interval metrics every `n` cycles during each
+    /// simulated trial and pools them row-by-row into
+    /// [`CoverageReport::metrics`]. 0 (the default) disables sampling —
+    /// trials run on the zero-cost unobserved path. Trial outcomes are
+    /// bit-identical either way.
+    pub fn metrics_interval(mut self, n: u64) -> Campaign {
+        self.metrics_interval = n;
         self
     }
 
@@ -171,14 +184,25 @@ impl Campaign {
             });
 
         let mut report = CoverageReport::new(clean_cycles);
+        let mut metrics: Option<MetricsSeries> = None;
         for outcome in outcomes {
-            report.record(outcome?);
+            let (trial, trial_metrics) = outcome?;
+            report.record(trial);
+            if let Some(m) = trial_metrics {
+                match &mut metrics {
+                    None => metrics = Some(m),
+                    Some(acc) => acc.merge_pooled(&m),
+                }
+            }
         }
+        report.metrics = metrics;
         report.throughput = Some(throughput);
         Ok(report)
     }
 
     /// Runs one injection trial (independent of every other trial).
+    /// Returns the outcome plus the trial's metrics series when
+    /// sampling is on and the trial actually simulated.
     #[allow(clippy::too_many_arguments)]
     fn run_trial(
         &self,
@@ -190,7 +214,7 @@ impl Campaign {
         bit: u8,
         clean_cycles: u64,
         clean_digest: u64,
-    ) -> Result<TrialOutcome, CampaignError> {
+    ) -> Result<(TrialOutcome, Option<MetricsSeries>), CampaignError> {
         match class {
             FaultClass::PrimaryResult | FaultClass::RedundantResult => {
                 let fault = if class == FaultClass::PrimaryResult {
@@ -198,34 +222,50 @@ impl Campaign {
                 } else {
                     InjectedFault::redundant(seq, bit)
                 };
-                let r = sim
-                    .run_with_faults(program, &[fault], self.max_instructions)
-                    .map_err(|e: ReeseError| CampaignError::Trial {
-                        trial,
-                        message: e.to_string(),
-                    })?;
+                let mut tracer = (self.metrics_interval > 0)
+                    .then(|| Tracer::new().with_interval(self.metrics_interval));
+                let r = match &mut tracer {
+                    Some(t) => {
+                        sim.run_with_faults_observed(program, &[fault], 0, self.max_instructions, t)
+                    }
+                    None => sim.run_with_faults(program, &[fault], self.max_instructions),
+                }
+                .map_err(|e: ReeseError| CampaignError::Trial {
+                    trial,
+                    message: e.to_string(),
+                })?;
                 let detected = !r.detections.is_empty();
-                Ok(TrialOutcome {
-                    class,
-                    seq,
-                    bit,
-                    detected,
-                    detection_latency: r.detections.first().map(DetectionLatency::of),
-                    extra_cycles: r.cycles().saturating_sub(clean_cycles),
-                    state_clean: r.state_digest == clean_digest,
-                })
+                let metrics = tracer.map(|mut t| {
+                    t.finish();
+                    t.into_parts().1
+                });
+                Ok((
+                    TrialOutcome {
+                        class,
+                        seq,
+                        bit,
+                        detected,
+                        detection_latency: r.detections.first().map(DetectionLatency::of),
+                        extra_cycles: r.cycles().saturating_sub(clean_cycles),
+                        state_clean: r.state_digest == clean_digest,
+                    },
+                    metrics,
+                ))
             }
             // Classes outside REESE's observation window: scored
             // undetected-by-design, nothing to simulate.
-            _ => Ok(TrialOutcome {
-                class,
-                seq,
-                bit,
-                detected: false,
-                detection_latency: None,
-                extra_cycles: 0,
-                state_clean: true,
-            }),
+            _ => Ok((
+                TrialOutcome {
+                    class,
+                    seq,
+                    bit,
+                    detected: false,
+                    detection_latency: None,
+                    extra_cycles: 0,
+                    state_clean: true,
+                },
+                None,
+            )),
         }
     }
 }
@@ -325,6 +365,32 @@ mod tests {
         assert_eq!(t.items(), 8);
         assert_eq!(t.jobs, 4);
         assert!(t.items_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn sampled_campaign_pools_metrics_without_changing_outcomes() {
+        let run = |interval: u64| {
+            Campaign::new(ReeseConfig::starting(), FaultMix::result_errors_only())
+                .trials(6)
+                .seed(11)
+                .metrics_interval(interval)
+                .run(&loop_prog())
+                .unwrap()
+        };
+        let plain = run(0);
+        let sampled = run(200);
+        assert_eq!(
+            sampled, plain,
+            "sampling must not perturb trial outcomes (equality ignores metrics)"
+        );
+        assert!(plain.metrics.is_none());
+        let m = sampled.metrics.as_ref().expect("metrics pooled");
+        assert!(!m.rows.is_empty());
+        // Six simulated trials pooled: the committed total is six times
+        // one faulted run's commit count (all trials run the same
+        // program to completion).
+        assert_eq!(m.totals().committed % 6, 0);
+        assert!(m.totals().committed > 0);
     }
 
     #[test]

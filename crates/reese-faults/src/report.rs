@@ -2,6 +2,7 @@
 
 use crate::FaultClass;
 use reese_stats::ParallelStats;
+use reese_trace::MetricsSeries;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -56,6 +57,10 @@ pub struct CoverageReport {
     /// the same seeded campaign are *the same report* however long they
     /// took or however many workers they used.
     pub throughput: Option<ParallelStats>,
+    /// Per-interval metrics pooled row-by-row across every simulated
+    /// trial, when the campaign sampled them. Observability only —
+    /// excluded from equality like `throughput`.
+    pub metrics: Option<MetricsSeries>,
 }
 
 /// Equality is over the scientific content (outcomes and reference
@@ -76,6 +81,7 @@ impl CoverageReport {
             detected: 0,
             clean_cycles,
             throughput: None,
+            metrics: None,
         }
     }
 

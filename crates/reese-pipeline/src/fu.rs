@@ -158,6 +158,16 @@ impl FuPool {
         self.classes[class_index(class)].busy_cycles
     }
 
+    /// Unit-cycles of occupancy for every class at once, in
+    /// [`FuClass::ALL`] order (the layout the metrics sampler records).
+    pub fn busy_by_class(&self) -> [u64; 5] {
+        let mut busy = [0u64; 5];
+        for (out, &class) in busy.iter_mut().zip(FuClass::ALL.iter()) {
+            *out = self.busy_cycles(class);
+        }
+        busy
+    }
+
     /// Average utilisation of `class` over `cycles` simulated cycles, in
     /// `[0, 1]`.
     pub fn utilisation(&self, class: FuClass, cycles: u64) -> f64 {

@@ -39,6 +39,12 @@ pub struct Ruu {
     /// events due *now* yields them in ascending seq order, identical to
     /// the full-window scan.
     completions: EventWheel,
+    /// Scheduler bookkeeping operations performed so far: ReadyRing
+    /// inserts/removes plus EventWheel pushes/pops. Stays 0 under
+    /// [`SchedulerMode::Scan`], which maintains neither structure — the
+    /// metrics sampler reads this to expose the event-driven
+    /// scheduler's bookkeeping cost per cycle.
+    sched_ops: u64,
 }
 
 impl Ruu {
@@ -70,7 +76,14 @@ impl Ruu {
             mode,
             ready: ReadyRing::new(capacity),
             completions: EventWheel::new(),
+            sched_ops: 0,
         }
+    }
+
+    /// Scheduler bookkeeping operations (ReadyRing + EventWheel)
+    /// performed so far; 0 under [`SchedulerMode::Scan`].
+    pub fn sched_ops(&self) -> u64 {
+        self.sched_ops
     }
 
     fn event_driven(&self) -> bool {
@@ -156,6 +169,7 @@ impl Ruu {
         }
         if self.event_driven() && inst.ready() {
             self.ready.insert(seq);
+            self.sched_ops += 1;
         }
         self.entries.push_back(inst);
     }
@@ -180,6 +194,7 @@ impl Ruu {
                 self.entries[ci].pending_deps -= 1;
                 if self.event_driven() && self.entries[ci].ready() {
                     self.ready.insert(c);
+                    self.sched_ops += 1;
                 }
             }
         }
@@ -201,6 +216,7 @@ impl Ruu {
         if self.event_driven() {
             self.ready.remove(seq);
             self.completions.push(complete_cycle, seq);
+            self.sched_ops += 2;
         }
     }
 
@@ -209,6 +225,7 @@ impl Ruu {
     /// nothing.
     pub fn take_completions_into(&mut self, now: u64, out: &mut Vec<Seq>) {
         self.completions.take_due_into(now, out);
+        self.sched_ops += out.len() as u64;
     }
 
     /// Pops and returns the seqs of every scheduled completion due at or
@@ -217,7 +234,9 @@ impl Ruu {
     /// within a writeback. Event-driven mode only (empty under
     /// [`SchedulerMode::Scan`]).
     pub fn take_completions(&mut self, now: u64) -> Vec<Seq> {
-        self.completions.take_due(now)
+        let due = self.completions.take_due(now);
+        self.sched_ops += due.len() as u64;
+        due
     }
 
     /// Cycle of the earliest scheduled completion, if any (event-driven

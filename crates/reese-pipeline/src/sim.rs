@@ -7,6 +7,7 @@ use crate::{
 use reese_cpu::Emulator;
 use reese_isa::{FuClass, Program};
 use reese_mem::MemHierarchy;
+use reese_trace::{CycleState, NoopObserver, Observer, Stage, Stream, TraceEvent};
 use std::collections::VecDeque;
 
 /// Warm microarchitectural state to seed an interval run with: the
@@ -104,9 +105,27 @@ impl PipelineSim {
         skip: u64,
         max_instructions: u64,
     ) -> Result<SimResult, SimError> {
+        self.run_observed(program, skip, max_instructions, &mut NoopObserver)
+    }
+
+    /// Like [`PipelineSim::run_region`] but with an [`Observer`]
+    /// receiving per-instruction lifecycle events and per-cycle state.
+    /// Observers are passive — results are bit-identical with any
+    /// observer, and with [`NoopObserver`] the hooks compile away.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineSim::run`].
+    pub fn run_observed<O: Observer>(
+        &self,
+        program: &Program,
+        skip: u64,
+        max_instructions: u64,
+        obs: &mut O,
+    ) -> Result<SimResult, SimError> {
         let mut m = Machine::new(&self.config, program);
         m.fetch.fast_forward(skip);
-        m.run(max_instructions)
+        m.run(max_instructions, obs)
     }
 
     /// Resumes detailed timing mid-program from a checkpoint-restored
@@ -126,8 +145,23 @@ impl PipelineSim {
         warm: Option<&WarmState>,
         max_instructions: u64,
     ) -> Result<SimResult, SimError> {
+        self.run_interval_observed(emulator, warm, max_instructions, &mut NoopObserver)
+    }
+
+    /// Like [`PipelineSim::run_interval`] but with an [`Observer`].
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineSim::run`].
+    pub fn run_interval_observed<O: Observer>(
+        &self,
+        emulator: Emulator,
+        warm: Option<&WarmState>,
+        max_instructions: u64,
+        obs: &mut O,
+    ) -> Result<SimResult, SimError> {
         let mut m = Machine::restored(&self.config, emulator, warm);
-        m.run(max_instructions)
+        m.run(max_instructions, obs)
     }
 }
 
@@ -194,24 +228,34 @@ impl<'c> Machine<'c> {
         }
     }
 
-    fn run(&mut self, max_instructions: u64) -> Result<SimResult, SimError> {
+    fn run<O: Observer>(
+        &mut self,
+        max_instructions: u64,
+        obs: &mut O,
+    ) -> Result<SimResult, SimError> {
         let stop = loop {
+            // The cycle hook fires for the *previous* cycle once all its
+            // stages have run, so the state it sees is complete; the
+            // final cycle's hook fires after the loop breaks.
+            if O::ENABLED && self.cycle > 0 {
+                obs.cycle(self.cycle, &self.cycle_state());
+            }
             self.cycle += 1;
             if self.cfg.scheduler == SchedulerMode::EventDriven {
-                self.skip_idle_cycles();
+                self.skip_idle_cycles(obs);
             }
 
-            self.commit(max_instructions);
+            self.commit(max_instructions, obs);
             if self.exit_code.is_some() {
                 break SimStop::Halted;
             }
             if self.stats.committed >= max_instructions {
                 break SimStop::InstructionLimit;
             }
-            self.writeback();
-            self.issue();
-            self.dispatch();
-            self.do_fetch();
+            self.writeback(obs);
+            self.issue(obs);
+            self.dispatch(obs);
+            self.do_fetch(obs);
 
             if self.cfg.max_cycles > 0 && self.cycle >= self.cfg.max_cycles {
                 break SimStop::CycleLimit;
@@ -230,6 +274,9 @@ impl<'c> Machine<'c> {
                 return Err(SimError::Deadlock { cycle: self.cycle });
             }
         };
+        if O::ENABLED {
+            obs.cycle(self.cycle, &self.cycle_state());
+        }
         self.finalise();
         Ok(SimResult {
             stop,
@@ -244,13 +291,33 @@ impl<'c> Machine<'c> {
         self.fetch.exhausted() && self.fetchq.is_empty() && self.ruu.is_empty()
     }
 
+    /// The cumulative-counter snapshot handed to [`Observer::cycle`].
+    /// Only built when an observer is enabled.
+    fn cycle_state(&self) -> CycleState {
+        CycleState {
+            committed: self.stats.committed,
+            issued: self.stats.issued,
+            r_issued: 0,
+            r_missed: 0,
+            dispatch_stall_ruu: self.stats.dispatch_stall_ruu_full,
+            dispatch_stall_lsq: self.stats.dispatch_stall_lsq_full,
+            fetch_empty: self.stats.fetch_queue_empty_cycles,
+            fu_busy: self.fu.busy_by_class(),
+            sched_ops: self.ruu.sched_ops(),
+            ruu_occ: self.ruu.len(),
+            lsq_occ: self.lsq.len(),
+            rqueue_occ: 0,
+            fetchq_occ: self.fetchq.len(),
+        }
+    }
+
     /// When this cycle provably does nothing — no committable head, no
     /// completion due, nothing ready to issue, nothing to dispatch, and
     /// fetch dormant — jumps the clock to the next cycle on which any
     /// unit can make progress, bulk-accounting the skipped idle cycles.
     /// The landing cycle then runs through the normal loop body, so the
     /// cycle-limit and deadlock checks fire exactly as in `Scan` mode.
-    fn skip_idle_cycles(&mut self) {
+    fn skip_idle_cycles<O: Observer>(&mut self, obs: &mut O) {
         if self.ruu.head().is_some_and(|e| e.completed)
             || self.ruu.has_ready()
             || !self.fetchq.is_empty()
@@ -285,11 +352,14 @@ impl<'c> Machine<'c> {
         // Cycles `self.cycle..target` are no-ops; the only per-cycle
         // bookkeeping they would have done is the empty-queue counter.
         self.stats.fetch_queue_empty_cycles += target - self.cycle;
+        if O::ENABLED {
+            obs.idle_skip(self.cycle, target, &self.cycle_state());
+        }
         self.cycle = target;
     }
 
     /// In-order commit from the RUU head, up to the machine width.
-    fn commit(&mut self, max_instructions: u64) {
+    fn commit<O: Observer>(&mut self, max_instructions: u64, obs: &mut O) {
         for _ in 0..self.cfg.width {
             if self.stats.committed >= max_instructions {
                 return;
@@ -301,6 +371,15 @@ impl<'c> Machine<'c> {
             let e = self.ruu.pop_head();
             self.lsq.remove(e.seq);
             self.fetch.on_commit(1);
+            if O::ENABLED {
+                obs.event(TraceEvent {
+                    cycle: self.cycle,
+                    seq: e.seq,
+                    pc: e.info.pc,
+                    stage: Stage::Commit,
+                    stream: Stream::Primary,
+                });
+            }
             self.stats.committed += 1;
             self.last_commit_cycle = self.cycle;
             if let Some(v) = e.info.printed {
@@ -315,7 +394,7 @@ impl<'c> Machine<'c> {
 
     /// Completes instructions whose execution finishes this cycle,
     /// waking dependants and resolving control flow.
-    fn writeback(&mut self) {
+    fn writeback<O: Observer>(&mut self, obs: &mut O) {
         let mut done = std::mem::take(&mut self.scratch_done);
         match self.cfg.scheduler {
             SchedulerMode::Scan => {
@@ -340,6 +419,15 @@ impl<'c> Machine<'c> {
                 info: e.info,
                 pred: e.pred,
             });
+            if O::ENABLED {
+                obs.event(TraceEvent {
+                    cycle: self.cycle,
+                    seq,
+                    pc: e.info.pc,
+                    stage: Stage::Writeback,
+                    stream: Stream::Primary,
+                });
+            }
             if is_mem {
                 self.lsq.mark_executed(seq);
             }
@@ -353,7 +441,7 @@ impl<'c> Machine<'c> {
 
     /// Out-of-order issue: oldest ready instructions first, bounded by
     /// the machine width and functional-unit availability.
-    fn issue(&mut self) {
+    fn issue<O: Observer>(&mut self, obs: &mut O) {
         let mut ready = std::mem::take(&mut self.scratch_ready);
         match self.cfg.scheduler {
             SchedulerMode::Scan => {
@@ -398,6 +486,15 @@ impl<'c> Machine<'c> {
                 }
                 u64::from(op.latency())
             };
+            if O::ENABLED {
+                obs.event(TraceEvent {
+                    cycle: self.cycle,
+                    seq,
+                    pc: e.info.pc,
+                    stage: Stage::Issue,
+                    stream: Stream::Primary,
+                });
+            }
             self.ruu.mark_issued(seq, self.cycle, self.cycle + latency);
             issued += 1;
             self.stats.issued += 1;
@@ -406,7 +503,7 @@ impl<'c> Machine<'c> {
     }
 
     /// In-order dispatch from the fetch queue into the RUU/LSQ.
-    fn dispatch(&mut self) {
+    fn dispatch<O: Observer>(&mut self, obs: &mut O) {
         if self.fetchq.is_empty() {
             self.stats.fetch_queue_empty_cycles += 1;
             return;
@@ -425,6 +522,15 @@ impl<'c> Machine<'c> {
             }
             let f = self.fetchq.pop_front().expect("checked front");
             self.ruu.dispatch(f.seq, f.info, f.pred, self.cycle);
+            if O::ENABLED {
+                obs.event(TraceEvent {
+                    cycle: self.cycle,
+                    seq: f.seq,
+                    pc: f.info.pc,
+                    stage: Stage::Dispatch,
+                    stream: Stream::Primary,
+                });
+            }
             if let Some(mem) = f.info.mem {
                 self.lsq
                     .insert(f.seq, mem.addr, mem.width.bytes(), mem.is_store);
@@ -433,7 +539,7 @@ impl<'c> Machine<'c> {
     }
 
     /// Fetches new instructions into the fetch queue.
-    fn do_fetch(&mut self) {
+    fn do_fetch<O: Observer>(&mut self, obs: &mut O) {
         let space = self.cfg.fetch_queue_size - self.fetchq.len();
         if space == 0 {
             return;
@@ -441,6 +547,17 @@ impl<'c> Machine<'c> {
         let batch = self
             .fetch
             .fetch_cycle(self.cycle, self.cfg.width, space, &mut self.hierarchy);
+        if O::ENABLED {
+            for f in &batch {
+                obs.event(TraceEvent {
+                    cycle: self.cycle,
+                    seq: f.seq,
+                    pc: f.info.pc,
+                    stage: Stage::Fetch,
+                    stream: Stream::Primary,
+                });
+            }
+        }
         self.fetchq.extend(batch);
     }
 

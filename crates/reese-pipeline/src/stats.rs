@@ -129,6 +129,17 @@ impl PipelineStats {
         }
     }
 
+    /// A counter normalised to events per 1000 simulated cycles, so
+    /// stall pressure compares across runs of different lengths; 0 for
+    /// a zero-cycle run.
+    pub fn per_1k_cycles(&self, count: u64) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            count as f64 * 1000.0 / self.cycles as f64
+        }
+    }
+
     /// Fraction of issue bandwidth left idle (the paper's "idle
     /// capacity"), given the machine width.
     pub fn idle_issue_fraction(&self, width: usize) -> f64 {
@@ -155,9 +166,12 @@ impl fmt::Display for PipelineStats {
         )?;
         writeln!(
             f,
-            "stalls: {} RUU-full, {} LSQ-full, {} empty-fetch-queue cycles",
+            "stalls: {} RUU-full ({:.2}/1k cycles), {} LSQ-full ({:.2}/1k cycles), \
+             {} empty-fetch-queue cycles",
             self.dispatch_stall_ruu_full,
+            self.per_1k_cycles(self.dispatch_stall_ruu_full),
             self.dispatch_stall_lsq_full,
+            self.per_1k_cycles(self.dispatch_stall_lsq_full),
             self.fetch_queue_empty_cycles
         )?;
         writeln!(
@@ -243,6 +257,21 @@ mod tests {
         };
         assert!((s.idle_issue_fraction(8) - 0.5).abs() < 1e-12);
         assert_eq!(PipelineStats::default().idle_issue_fraction(8), 0.0);
+    }
+
+    #[test]
+    fn stall_lines_report_rates_per_1k_cycles() {
+        let s = PipelineStats {
+            cycles: 2000,
+            dispatch_stall_ruu_full: 30,
+            dispatch_stall_lsq_full: 5,
+            ..Default::default()
+        };
+        assert!((s.per_1k_cycles(s.dispatch_stall_ruu_full) - 15.0).abs() < 1e-12);
+        let text = s.to_string();
+        assert!(text.contains("30 RUU-full (15.00/1k cycles)"), "{text}");
+        assert!(text.contains("5 LSQ-full (2.50/1k cycles)"), "{text}");
+        assert_eq!(PipelineStats::default().per_1k_cycles(7), 0.0);
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub struct WorkerStats {
     pub worker: usize,
     /// Items this worker processed.
     pub items: u64,
+    /// Items this worker claimed one at a time from the shared tail
+    /// region — steals that level out stragglers — as opposed to items
+    /// handed out in bulk chunks. Always 0 on the serial path.
+    pub steals: u64,
     /// Time spent inside the work closure.
     pub busy: Duration,
 }
@@ -61,6 +65,11 @@ impl ParallelStats {
     /// Total items processed across all workers.
     pub fn items(&self) -> u64 {
         self.workers.iter().map(|w| w.items).sum()
+    }
+
+    /// Total per-item tail claims (steals) across all workers.
+    pub fn steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
     }
 
     /// Items completed per wall-clock second; 0 for an instant run.
@@ -100,12 +109,14 @@ impl fmt::Display for ParallelStats {
             self.utilisation() * 100.0
         )?;
         if self.jobs > 1 {
+            write!(f, ", {} tail steals", self.steals())?;
             for w in &self.workers {
                 write!(
                     f,
-                    "\n  worker {}: {} items, busy {:.3}s",
+                    "\n  worker {}: {} items ({} stolen), busy {:.3}s",
                     w.worker,
                     w.items,
+                    w.steals,
                     w.busy.as_secs_f64()
                 )?;
             }
@@ -145,6 +156,7 @@ where
             workers: vec![WorkerStats {
                 worker: 0,
                 items: items.len() as u64,
+                steals: 0,
                 busy,
             }],
         };
@@ -170,6 +182,7 @@ where
                 s.spawn(move || {
                     let mut out: Vec<(usize, R)> = Vec::new();
                     let mut busy = Duration::ZERO;
+                    let mut steals = 0u64;
                     let mut work = |i: usize, out: &mut Vec<(usize, R)>| {
                         let t0 = Instant::now();
                         let r = f(i, &items[i]);
@@ -190,11 +203,13 @@ where
                         if i >= items.len() {
                             break;
                         }
+                        steals += 1;
                         work(i, &mut out);
                     }
                     let stats = WorkerStats {
                         worker,
                         items: out.len() as u64,
+                        steals,
                         busy,
                     };
                     (out, stats)
@@ -304,6 +319,22 @@ mod tests {
         let ids: Vec<usize> = stats.workers.iter().map(|w| w.worker).collect();
         assert_eq!(ids, vec![0, 1, 2, 3]);
         assert_eq!(stats.items(), 50);
+    }
+
+    #[test]
+    fn tail_steals_are_accounted() {
+        // Every index past the bulk region is claimed one at a time, so
+        // total steals equals the tail size: items - bulk.
+        let items: Vec<usize> = (0..257).collect();
+        let jobs = 4;
+        let (_, stats) = par_map_indexed(jobs, &items, |_, &x| x);
+        let chunk = items.len() / (jobs * 8);
+        let tail = (chunk * jobs).min(items.len());
+        assert_eq!(stats.steals(), tail as u64);
+        assert!(stats.to_string().contains("tail steals"));
+
+        let (_, serial) = par_map_indexed(1, &items, |_, &x| x);
+        assert_eq!(serial.steals(), 0, "serial path never steals");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! * [`faults`] — soft-error injection and detection-coverage campaigns
 //! * [`workloads`] — SPEC95-integer-like synthetic kernels
 //! * [`stats`] — counters, histograms, tables, and the deterministic PRNG
+//! * [`trace`] — zero-cost-when-disabled pipetrace and sampled-metrics observability
 //! * [`ckpt`] — binary simulator checkpoints and sharded single-run simulation
 //!
 //! # Quickstart
@@ -45,6 +46,7 @@ pub use reese_isa as isa;
 pub use reese_mem as mem;
 pub use reese_pipeline as pipeline;
 pub use reese_stats as stats;
+pub use reese_trace as trace;
 pub use reese_workloads as workloads;
 
 /// The most commonly used items, for glob import.

@@ -26,6 +26,10 @@
 //! --stats            print the full statistics block
 //! --kernel NAME      run a built-in kernel instead of a file
 //! --scale N          kernel scale (default 1)
+//! --trace-out FILE   write a pipetrace (.txt → SimpleScalar-style text,
+//!                    anything else → Chrome trace-event JSON for Perfetto)
+//! --metrics-out FILE write per-interval metrics (.json → JSON, else CSV)
+//! --metrics-interval N   sampling interval in cycles (default 10000)
 //! ```
 //!
 //! Campaign options:
@@ -42,6 +46,9 @@
 //!                    1 forces the serial path — same report either way)
 //! --out FILE         write the per-trial report to FILE
 //!                    (.json → JSON, anything else → CSV)
+//! --trace-out FILE   pipetrace of the clean reference run
+//! --metrics-out FILE per-interval metrics pooled across simulated trials
+//! --metrics-interval N   sampling interval in cycles (default 10000)
 //! ```
 //!
 //! Shard options:
@@ -58,6 +65,9 @@
 //! --no-verify        skip the monolithic run (no cycle-error oracle)
 //! --out FILE         write the shard report as JSON
 //! --snapshot FILE    write the first mid-run checkpoint to FILE
+//! --trace-out FILE   stitched pipetrace across the intervals
+//! --metrics-out FILE stitched per-interval metrics (.json → JSON, else CSV)
+//! --metrics-interval N   sampling interval in cycles (default 10000)
 //! ```
 
 use reese::ckpt::{self, Scheme, ShardOptions};
@@ -65,6 +75,7 @@ use reese::core::{DuplexSim, InjectedFault, ReeseConfig, ReeseSim};
 use reese::cpu::Emulator;
 use reese::isa::{assemble, disassemble_text, Program};
 use reese::pipeline::{PipelineConfig, PipelineSim};
+use reese::trace::{MetricsSeries, TraceRing, Tracer};
 use reese::workloads::{measure_mix, Kernel};
 use std::process::ExitCode;
 
@@ -148,6 +159,72 @@ struct RunOpts {
     max_insns: u64,
     skip: u64,
     verbose: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    metrics_interval: u64,
+}
+
+impl RunOpts {
+    /// A collecting tracer when any observability output was requested;
+    /// `None` keeps the simulators on the statically-dispatched no-op
+    /// path.
+    fn tracer(&self) -> Option<Tracer> {
+        (self.trace_out.is_some() || self.metrics_out.is_some())
+            .then(|| Tracer::new().with_interval(self.metrics_interval))
+    }
+}
+
+/// Writes a captured pipetrace: `.txt` → compact text, anything else →
+/// Chrome trace-event JSON (loadable in Perfetto / `chrome://tracing`).
+fn write_trace(path: &str, ring: &TraceRing) -> Result<(), CliError> {
+    let body = if path.ends_with(".txt") {
+        ring.to_pipetrace_text()
+    } else {
+        ring.to_chrome_json()
+    };
+    std::fs::write(path, body)?;
+    println!(
+        "trace written to {path}: {} events ({} dropped)",
+        ring.len(),
+        ring.dropped()
+    );
+    Ok(())
+}
+
+/// Writes a metrics series: `.json` → JSON, anything else → CSV.
+fn write_metrics(path: &str, metrics: &MetricsSeries) -> Result<(), CliError> {
+    let body = if path.ends_with(".json") {
+        metrics.to_json()
+    } else {
+        metrics.to_csv()
+    };
+    std::fs::write(path, body)?;
+    println!(
+        "metrics written to {path}: {} intervals of {} cycles",
+        metrics.rows.len(),
+        metrics.interval
+    );
+    Ok(())
+}
+
+/// Flushes a finished run's tracer to the requested output files.
+fn write_observability(
+    tracer: Option<Tracer>,
+    trace_out: Option<&str>,
+    metrics_out: Option<&str>,
+) -> Result<(), CliError> {
+    let Some(mut t) = tracer else {
+        return Ok(());
+    };
+    t.finish();
+    let (ring, metrics) = t.into_parts();
+    if let Some(path) = trace_out {
+        write_trace(path, &ring)?;
+    }
+    if let Some(path) = metrics_out {
+        write_metrics(path, &metrics)?;
+    }
+    Ok(())
 }
 
 fn parse_run(args: &[String]) -> Result<RunOpts, CliError> {
@@ -164,6 +241,9 @@ fn parse_run(args: &[String]) -> Result<RunOpts, CliError> {
         max_insns: u64::MAX,
         skip: 0,
         verbose: false,
+        trace_out: None,
+        metrics_out: None,
+        metrics_interval: Tracer::DEFAULT_INTERVAL,
     };
     let mut file: Option<String> = None;
     let mut kernel: Option<Kernel> = None;
@@ -188,6 +268,9 @@ fn parse_run(args: &[String]) -> Result<RunOpts, CliError> {
             "--stats" => opts.verbose = true,
             "--kernel" => kernel = Some(kernel_by_name(value()?)?),
             "--scale" => scale = value()?.parse()?,
+            "--trace-out" => opts.trace_out = Some(value()?.clone()),
+            "--metrics-out" => opts.metrics_out = Some(value()?.clone()),
+            "--metrics-interval" => opts.metrics_interval = value()?.parse()?,
             other if !other.starts_with("--") => file = Some(other.to_string()),
             other => return Err(format!("unknown option `{other}`").into()),
         }
@@ -205,6 +288,9 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let o = parse_run(args)?;
     match o.scheme.as_str() {
         "emulate" => {
+            if o.trace_out.is_some() || o.metrics_out.is_some() {
+                return Err("--trace-out/--metrics-out need a timing scheme, not emulate".into());
+            }
             let mut emu = Emulator::new(&o.program);
             let r = emu.run(o.max_insns)?;
             println!(
@@ -214,7 +300,13 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             print_output(&r.output);
         }
         "baseline" => {
-            let r = PipelineSim::new(o.base).run_region(&o.program, o.skip, o.max_insns)?;
+            let mut tracer = o.tracer();
+            let r = match &mut tracer {
+                Some(t) => {
+                    PipelineSim::new(o.base).run_observed(&o.program, o.skip, o.max_insns, t)?
+                }
+                None => PipelineSim::new(o.base).run_region(&o.program, o.skip, o.max_insns)?,
+            };
             println!(
                 "baseline: {} instructions in {} cycles — IPC {:.3}",
                 r.committed_instructions(),
@@ -227,9 +319,14 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             } else {
                 print_pipeline_stats(&r.stats);
             }
+            write_observability(tracer, o.trace_out.as_deref(), o.metrics_out.as_deref())?;
         }
         "duplex" => {
-            let r = DuplexSim::new(o.base).run_limit(&o.program, o.max_insns)?;
+            let mut tracer = o.tracer();
+            let r = match &mut tracer {
+                Some(t) => DuplexSim::new(o.base).run_limit_observed(&o.program, o.max_insns, t)?,
+                None => DuplexSim::new(o.base).run_limit(&o.program, o.max_insns)?,
+            };
             println!(
                 "dispatch duplication: {} instructions in {} cycles — IPC {:.3}, {} comparisons",
                 r.committed_instructions(),
@@ -238,18 +335,33 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
                 r.stats.comparisons
             );
             print_output(&r.output);
+            write_observability(tracer, o.trace_out.as_deref(), o.metrics_out.as_deref())?;
         }
         "reese" => {
+            let mut tracer = o.tracer();
             let cfg = ReeseConfig::over(o.base)
                 .with_spare_int_alus(o.spare_alus)
                 .with_spare_int_muldivs(o.spare_muls)
                 .with_rqueue_size(o.rqueue)
                 .with_early_removal(o.early_removal)
                 .with_duplication_period(o.dup_period);
-            let r = if o.skip > 0 {
-                ReeseSim::new(cfg).run_region(&o.program, o.skip, o.max_insns)?
-            } else {
-                ReeseSim::new(cfg).run_with_faults(&o.program, &o.faults, o.max_insns)?
+            let r = match &mut tracer {
+                Some(t) => {
+                    // run_region drops faults when skipping; mirror that so the
+                    // traced and untraced paths simulate the same run.
+                    let faults: &[InjectedFault] = if o.skip > 0 { &[] } else { &o.faults };
+                    ReeseSim::new(cfg).run_with_faults_observed(
+                        &o.program,
+                        faults,
+                        o.skip,
+                        o.max_insns,
+                        t,
+                    )?
+                }
+                None if o.skip > 0 => {
+                    ReeseSim::new(cfg).run_region(&o.program, o.skip, o.max_insns)?
+                }
+                None => ReeseSim::new(cfg).run_with_faults(&o.program, &o.faults, o.max_insns)?,
             };
             println!(
                 "REESE: {} instructions in {} cycles — IPC {:.3}, {} comparisons, {} detections",
@@ -273,6 +385,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             } else {
                 print_pipeline_stats(&r.stats.pipeline);
             }
+            write_observability(tracer, o.trace_out.as_deref(), o.metrics_out.as_deref())?;
         }
         other => return Err(format!("unknown scheme `{other}`").into()),
     }
@@ -290,6 +403,9 @@ struct CampaignOpts {
     max_insns: u64,
     jobs: usize,
     out: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    metrics_interval: u64,
 }
 
 fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
@@ -304,6 +420,9 @@ fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
         max_insns: u64::MAX,
         jobs: reese::stats::available_jobs(),
         out: None,
+        trace_out: None,
+        metrics_out: None,
+        metrics_interval: Tracer::DEFAULT_INTERVAL,
     };
     let mut file: Option<String> = None;
     let mut kernel: Option<Kernel> = None;
@@ -329,6 +448,9 @@ fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
             "--max-insns" => opts.max_insns = value()?.parse()?,
             "-j" | "--jobs" => opts.jobs = value()?.parse()?,
             "--out" => opts.out = Some(value()?.clone()),
+            "--trace-out" => opts.trace_out = Some(value()?.clone()),
+            "--metrics-out" => opts.metrics_out = Some(value()?.clone()),
+            "--metrics-interval" => opts.metrics_interval = value()?.parse()?,
             "--kernel" => kernel = Some(kernel_by_name(value()?)?),
             other if !other.starts_with('-') => file = Some(other.to_string()),
             other => return Err(format!("unknown option `{other}`").into()),
@@ -348,11 +470,16 @@ fn cmd_campaign(args: &[String]) -> Result<(), CliError> {
     let cfg = ReeseConfig::over(o.base)
         .with_spare_int_alus(o.spare_alus)
         .with_spare_int_muldivs(o.spare_muls);
-    let report = reese::faults::Campaign::new(cfg, o.mix)
+    let report = reese::faults::Campaign::new(cfg.clone(), o.mix)
         .trials(o.trials)
         .seed(o.seed)
         .max_instructions(o.max_insns)
         .jobs(o.jobs)
+        .metrics_interval(if o.metrics_out.is_some() {
+            o.metrics_interval
+        } else {
+            0
+        })
         .run(&o.program)?;
     print!("{report}");
     if let Some(path) = &o.out {
@@ -364,6 +491,28 @@ fn cmd_campaign(args: &[String]) -> Result<(), CliError> {
         std::fs::write(path, serialised)?;
         println!("report written to {path}");
     }
+    if let Some(path) = &o.metrics_out {
+        let Some(metrics) = &report.metrics else {
+            return Err("campaign produced no metrics (no simulated trials?)".into());
+        };
+        write_metrics(path, metrics)?;
+    }
+    if let Some(path) = &o.trace_out {
+        // The campaign itself runs thousands of short trials; a pipetrace
+        // of all of them would be meaningless. Trace the clean (fault-free)
+        // reference run instead, which every trial is compared against.
+        let mut tracer = Tracer::new().with_interval(o.metrics_interval);
+        ReeseSim::new(cfg).run_with_faults_observed(
+            &o.program,
+            &[],
+            0,
+            o.max_insns,
+            &mut tracer,
+        )?;
+        tracer.finish();
+        let (ring, _) = tracer.into_parts();
+        write_trace(path, &ring)?;
+    }
     Ok(())
 }
 
@@ -374,6 +523,8 @@ struct ShardCliOpts {
     shard: ShardOptions,
     out: Option<String>,
     snapshot: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn parse_shard(args: &[String]) -> Result<ShardCliOpts, CliError> {
@@ -384,10 +535,13 @@ fn parse_shard(args: &[String]) -> Result<ShardCliOpts, CliError> {
         shard: ShardOptions::default(),
         out: None,
         snapshot: None,
+        trace_out: None,
+        metrics_out: None,
     };
     let mut file: Option<String> = None;
     let mut kernel: Option<Kernel> = None;
     let mut scale: u32 = 1;
+    let mut metrics_interval = Tracer::DEFAULT_INTERVAL;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = || -> Result<&String, CliError> {
@@ -408,11 +562,17 @@ fn parse_shard(args: &[String]) -> Result<ShardCliOpts, CliError> {
             "--machine" => opts.base = machine(value()?)?,
             "--out" => opts.out = Some(value()?.clone()),
             "--snapshot" => opts.snapshot = Some(value()?.clone()),
+            "--trace-out" => opts.trace_out = Some(value()?.clone()),
+            "--metrics-out" => opts.metrics_out = Some(value()?.clone()),
+            "--metrics-interval" => metrics_interval = value()?.parse()?,
             "--kernel" => kernel = Some(kernel_by_name(value()?)?),
             "--scale" => scale = value()?.parse()?,
             other if !other.starts_with('-') => file = Some(other.to_string()),
             other => return Err(format!("unknown option `{other}`").into()),
         }
+    }
+    if opts.trace_out.is_some() || opts.metrics_out.is_some() {
+        opts.shard.metrics_interval = metrics_interval;
     }
     opts.program = match (file, kernel) {
         (Some(path), None) => assemble(&std::fs::read_to_string(&path)?)?,
@@ -484,6 +644,18 @@ fn cmd_shard(args: &[String]) -> Result<(), CliError> {
             cks[0].instructions
         );
     }
+    if let Some(path) = &o.trace_out {
+        let Some(ring) = &report.trace else {
+            return Err("sharded run produced no trace".into());
+        };
+        write_trace(path, ring)?;
+    }
+    if let Some(path) = &o.metrics_out {
+        let Some(metrics) = &report.metrics else {
+            return Err("sharded run produced no metrics".into());
+        };
+        write_metrics(path, metrics)?;
+    }
     if let Some(path) = &o.out {
         std::fs::write(path, shard_report_json(&report))?;
         println!("report written to {path}");
@@ -525,7 +697,13 @@ fn shard_report_json(r: &ckpt::ShardReport) -> String {
             if i + 1 < r.intervals.len() { "," } else { "" }
         ));
     }
-    s.push_str("  ],\n  \"oracle\": {\n");
+    s.push_str("  ],\n");
+    if let Some(m) = &r.metrics {
+        s.push_str("  \"metrics\": ");
+        s.push_str(m.to_json().trim_end());
+        s.push_str(",\n");
+    }
+    s.push_str("  \"oracle\": {\n");
     s.push_str(&format!(
         "    \"instructions_match\": {},\n    \"digest_match\": {},\n    \"output_match\": {}",
         r.oracle.instructions_match, r.oracle.digest_match, r.oracle.output_match
@@ -686,6 +864,12 @@ mod tests {
             "--skip",
             "10",
             "--stats",
+            "--trace-out",
+            "t.json",
+            "--metrics-out",
+            "m.csv",
+            "--metrics-interval",
+            "500",
         ]
         .iter()
         .map(ToString::to_string)
@@ -701,6 +885,46 @@ mod tests {
         assert_eq!(o.skip, 10);
         assert!(o.verbose);
         assert!(!o.program.is_empty());
+        assert_eq!(o.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(o.metrics_out.as_deref(), Some("m.csv"));
+        assert_eq!(o.metrics_interval, 500);
+        assert!(o.tracer().is_some());
+    }
+
+    #[test]
+    fn observability_flags_default_off() {
+        let args: Vec<String> = ["--kernel", "strings"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let o = parse_run(&args).unwrap();
+        assert!(o.trace_out.is_none() && o.metrics_out.is_none());
+        assert_eq!(o.metrics_interval, Tracer::DEFAULT_INTERVAL);
+        assert!(o.tracer().is_none(), "no flags → no tracer → no-op path");
+    }
+
+    #[test]
+    fn shard_metrics_interval_only_applies_with_output() {
+        let args: Vec<String> = ["--kernel", "strings", "--metrics-interval", "250"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let o = parse_shard(&args).unwrap();
+        assert_eq!(o.shard.metrics_interval, 0, "no output flag → unobserved");
+        let args: Vec<String> = [
+            "--kernel",
+            "strings",
+            "--metrics-out",
+            "m.csv",
+            "--metrics-interval",
+            "250",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let o = parse_shard(&args).unwrap();
+        assert_eq!(o.shard.metrics_interval, 250);
+        assert_eq!(o.metrics_out.as_deref(), Some("m.csv"));
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Tracing must be invisible to the simulation.
+//!
+//! The `reese-trace` observer hooks are statically dispatched and
+//! guarded by `Observer::ENABLED`; attaching a collecting [`Tracer`]
+//! must change *nothing* about the simulated machine. Every result —
+//! cycles, stats, output, state digest — has to be bit-identical with
+//! tracing on and off, across every kernel, every scheme, and both
+//! scheduler modes.
+
+use reese::core::{DuplexSim, ReeseConfig, ReeseSim, SchedulerMode};
+use reese::pipeline::{PipelineConfig, PipelineSim};
+use reese::trace::Tracer;
+use reese::workloads::Kernel;
+
+/// Per-kernel instruction cap: long enough to exercise stalls, idle
+/// skips, and several metrics intervals, short enough for debug builds.
+const CAP: u64 = 15_000;
+
+const MODES: [SchedulerMode; 2] = [SchedulerMode::Scan, SchedulerMode::EventDriven];
+
+fn tracer() -> Tracer {
+    Tracer::new().with_interval(1_000)
+}
+
+#[test]
+fn baseline_results_identical_with_tracing_on() {
+    for kernel in Kernel::ALL {
+        let program = kernel.build(1);
+        for mode in MODES {
+            let cfg = PipelineConfig::starting().with_scheduler(mode);
+            let plain = PipelineSim::new(cfg.clone())
+                .run_region(&program, 0, CAP)
+                .unwrap();
+            let mut t = tracer();
+            let traced = PipelineSim::new(cfg)
+                .run_observed(&program, 0, CAP, &mut t)
+                .unwrap();
+            assert_eq!(plain, traced, "{kernel}/{mode:?}: tracing changed baseline");
+            t.finish();
+            let (ring, metrics) = t.into_parts();
+            assert!(!ring.is_empty(), "{kernel}/{mode:?}: empty trace ring");
+            assert!(!metrics.rows.is_empty(), "{kernel}/{mode:?}: no metrics");
+        }
+    }
+}
+
+#[test]
+fn reese_results_identical_with_tracing_on() {
+    for kernel in Kernel::ALL {
+        let program = kernel.build(1);
+        for mode in MODES {
+            let cfg = ReeseConfig::starting().with_scheduler(mode);
+            let plain = ReeseSim::new(cfg.clone())
+                .run_with_faults(&program, &[], CAP)
+                .unwrap();
+            let mut t = tracer();
+            let traced = ReeseSim::new(cfg)
+                .run_with_faults_observed(&program, &[], 0, CAP, &mut t)
+                .unwrap();
+            assert_eq!(plain, traced, "{kernel}/{mode:?}: tracing changed REESE");
+            t.finish();
+            let (ring, metrics) = t.into_parts();
+            assert!(!ring.is_empty(), "{kernel}/{mode:?}: empty trace ring");
+            assert!(!metrics.rows.is_empty(), "{kernel}/{mode:?}: no metrics");
+        }
+    }
+}
+
+#[test]
+fn duplex_results_identical_with_tracing_on() {
+    for kernel in Kernel::ALL {
+        let program = kernel.build(1);
+        for mode in MODES {
+            let cfg = PipelineConfig::starting().with_scheduler(mode);
+            let plain = DuplexSim::new(cfg.clone())
+                .run_limit(&program, CAP)
+                .unwrap();
+            let mut t = tracer();
+            let traced = DuplexSim::new(cfg)
+                .run_limit_observed(&program, CAP, &mut t)
+                .unwrap();
+            assert_eq!(plain, traced, "{kernel}/{mode:?}: tracing changed duplex");
+            t.finish();
+            let (ring, metrics) = t.into_parts();
+            assert!(!ring.is_empty(), "{kernel}/{mode:?}: empty trace ring");
+            assert!(!metrics.rows.is_empty(), "{kernel}/{mode:?}: no metrics");
+        }
+    }
+}
+
+#[test]
+fn reese_traced_run_matches_under_spares_and_partial_duplication() {
+    // The R-stream issue hooks live on both the scan and the
+    // budget-capped event-driven paths; cover the configurations that
+    // steer instructions through them differently.
+    let program = Kernel::Lisp.build(1);
+    for cfg in [
+        ReeseConfig::starting().with_spare_int_alus(2),
+        ReeseConfig::starting().with_rqueue_size(8),
+        ReeseConfig::starting().with_duplication_period(3),
+        ReeseConfig::starting().with_early_removal(true),
+    ] {
+        let plain = ReeseSim::new(cfg.clone())
+            .run_with_faults(&program, &[], CAP)
+            .unwrap();
+        let mut t = tracer();
+        let traced = ReeseSim::new(cfg)
+            .run_with_faults_observed(&program, &[], 0, CAP, &mut t)
+            .unwrap();
+        assert_eq!(plain, traced, "tracing changed a tuned REESE run");
+    }
+}
+
+#[test]
+fn chrome_trace_export_is_wellformed_json() {
+    let mut t = tracer();
+    ReeseSim::new(ReeseConfig::starting())
+        .run_with_faults_observed(&Kernel::Strings.build(1), &[], 0, CAP, &mut t)
+        .unwrap();
+    t.finish();
+    let (ring, metrics) = t.into_parts();
+    let json = ring.to_chrome_json();
+    assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"ph\""));
+    let mjson = metrics.to_json();
+    assert!(mjson.trim_start().starts_with('{') && mjson.trim_end().ends_with('}'));
+    assert!(
+        metrics.to_csv().lines().count() > 1,
+        "CSV has header + rows"
+    );
+}
