@@ -36,15 +36,15 @@ const TARGET_INSTRUCTIONS: u64 = 120_000;
 /// the report so `BENCH_pipeline.json` records the before/after of the
 /// scheduler work without digging through git history.
 const SPEEDUP_BEFORE: &[(&str, &str, f64)] = &[
-    ("starting (RUU=16, LSQ=8)", "baseline", 0.97),
-    ("starting (RUU=16, LSQ=8)", "reese", 0.84),
-    ("starting (RUU=16, LSQ=8)", "duplex", 0.94),
-    ("large (RUU=256, LSQ=128)", "baseline", 1.28),
-    ("large (RUU=256, LSQ=128)", "reese", 1.15),
-    ("large (RUU=256, LSQ=128)", "duplex", 1.35),
-    ("huge (RUU=512, LSQ=256, width 16)", "baseline", 2.51),
-    ("huge (RUU=512, LSQ=256, width 16)", "reese", 1.69),
-    ("huge (RUU=512, LSQ=256, width 16)", "duplex", 2.85),
+    ("starting (RUU=16, LSQ=8)", "baseline", 0.99),
+    ("starting (RUU=16, LSQ=8)", "reese", 0.90),
+    ("starting (RUU=16, LSQ=8)", "duplex", 1.01),
+    ("large (RUU=256, LSQ=128)", "baseline", 1.63),
+    ("large (RUU=256, LSQ=128)", "reese", 1.63),
+    ("large (RUU=256, LSQ=128)", "duplex", 1.89),
+    ("huge (RUU=512, LSQ=256, width 16)", "baseline", 2.27),
+    ("huge (RUU=512, LSQ=256, width 16)", "reese", 2.18),
+    ("huge (RUU=512, LSQ=256, width 16)", "duplex", 2.56),
 ];
 
 struct Cell {

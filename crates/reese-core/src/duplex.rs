@@ -434,6 +434,7 @@ impl<'c> DuplexMachine<'c> {
             }
             SchedulerMode::EventDriven => self.ruu.ready_into(&mut ready),
         }
+        let event_driven = self.cfg.scheduler == SchedulerMode::EventDriven;
         let mut issued = 0usize;
         for seq in ready.drain(..) {
             if issued == self.cfg.width {
@@ -441,6 +442,22 @@ impl<'c> DuplexMachine<'c> {
             }
             let e = self.ruu.get(seq).expect("ready seq in window");
             let op = e.info.instr.op;
+            // O(1) per-class gate (event mode) — see the baseline
+            // machine's `issue`: loads are never gated because a
+            // forwarded load needs no functional unit.
+            if event_driven {
+                let blocked = match e.info.mem {
+                    None => !self.fu.class_free(op.fu_class(), self.cycle),
+                    Some(mem) if mem.is_store => {
+                        !(self.fu.class_free(FuClass::IntAlu, self.cycle)
+                            && self.fu.class_free(FuClass::MemPort, self.cycle))
+                    }
+                    Some(_) => false,
+                };
+                if blocked {
+                    continue;
+                }
+            }
             let latency: u64 = if let Some(mem) = e.info.mem {
                 if mem.is_store {
                     if !self.fu.try_issue_mem(op, self.cycle) {

@@ -101,9 +101,19 @@ pub struct RQueue {
     /// `(r_complete_cycle, seq)`. [`SchedulerMode::EventDriven`] only.
     completions: EventWheel,
     /// Scheduler bookkeeping operations performed so far: ReadyRing
-    /// inserts/removes plus EventWheel pushes/pops. Stays 0 under
-    /// [`SchedulerMode::Scan`]; read by the metrics sampler.
+    /// inserts/removes plus EventWheel pushes/pops, plus front-window
+    /// rebuild scans. Stays 0 under [`SchedulerMode::Scan`]; read by
+    /// the metrics sampler.
     sched_ops: u64,
+    /// Incrementally maintained cache of the oldest
+    /// `min(pending, front_limit)` pending seqs, ascending — the
+    /// redundant scheduler's lookahead window. Valid only when
+    /// `front_valid`; rebuilt lazily from `pending_r` otherwise.
+    front_window: Vec<Seq>,
+    /// The lookahead limit `front_window` was built for.
+    front_limit: usize,
+    /// Whether `front_window` currently reflects `pending_r`.
+    front_valid: bool,
 }
 
 impl RQueue {
@@ -133,6 +143,9 @@ impl RQueue {
             pending_r: ReadyRing::new(capacity),
             completions: EventWheel::new(),
             sched_ops: 0,
+            front_window: Vec::new(),
+            front_limit: 0,
+            front_valid: false,
         }
     }
 
@@ -189,6 +202,12 @@ impl RQueue {
         if self.event_driven() && !entry.skip_r {
             self.pending_r.insert(entry.seq);
             self.sched_ops += 1;
+            // A migrating seq is larger than every pending seq, so it
+            // belongs in the front window exactly when the window is not
+            // yet at its limit (a short window holds *all* pending seqs).
+            if self.front_valid && self.front_window.len() < self.front_limit {
+                self.front_window.push(entry.seq);
+            }
         }
         self.entries.push_back(entry);
         self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
@@ -210,6 +229,22 @@ impl RQueue {
         entry.r_issued = true;
         entry.r_complete_cycle = r_complete_cycle;
         if event_driven {
+            // When the window holds every pending seq, removal keeps it
+            // exact; otherwise a seq beyond the window tail must slide
+            // in, which only a rebuild can find — invalidate and let the
+            // next lookup rescan once.
+            if self.front_valid {
+                if self.front_window.len() == self.pending_r.len() {
+                    match self.front_window.binary_search(&seq) {
+                        Ok(pos) => {
+                            self.front_window.remove(pos);
+                        }
+                        Err(_) => self.front_valid = false,
+                    }
+                } else {
+                    self.front_valid = false;
+                }
+            }
             self.pending_r.remove(seq);
             self.completions.push(r_complete_cycle, seq);
             self.sched_ops += 2;
@@ -219,7 +254,7 @@ impl RQueue {
     /// The first `limit` seqs awaiting redundant issue, oldest first —
     /// exactly the entries the FIFO-lookahead scan would consider
     /// (event-driven mode only; empty under [`SchedulerMode::Scan`]).
-    pub fn pending_r_front(&self, limit: usize) -> Vec<Seq> {
+    pub fn pending_r_front(&mut self, limit: usize) -> Vec<Seq> {
         let mut out = Vec::with_capacity(limit.min(self.pending_r.len()));
         self.pending_r_front_into(limit, &mut out);
         out
@@ -228,12 +263,36 @@ impl RQueue {
     /// Like [`RQueue::pending_r_front`] but reusing a caller-owned
     /// buffer (cleared first), so the per-cycle redundant-issue loop
     /// allocates nothing.
-    pub fn pending_r_front_into(&self, limit: usize, out: &mut Vec<Seq>) {
+    ///
+    /// Served from the incrementally maintained front window: migration
+    /// appends, issue removes, and only an issue that slides the window
+    /// (or a flush, or a changed `limit`) forces a rebuild scan of the
+    /// pending ring. Steady-state cycles where the window is unchanged
+    /// pay a memcpy of at most `limit` seqs instead of a ring scan.
+    pub fn pending_r_front_into(&mut self, limit: usize, out: &mut Vec<Seq>) {
         out.clear();
+        self.refresh_front_window(limit);
+        out.extend_from_slice(&self.front_window);
+    }
+
+    /// Rebuilds the cached front window if it is stale or was built for
+    /// a different lookahead limit.
+    fn refresh_front_window(&mut self, limit: usize) {
+        if self.front_valid && self.front_limit == limit {
+            return;
+        }
+        self.front_window.clear();
+        self.front_limit = limit;
+        self.front_valid = true;
         let Some(front) = self.entries.front() else {
             return;
         };
-        self.pending_r.collect_from(front.seq, limit, out);
+        self.pending_r
+            .collect_from(front.seq, limit, &mut self.front_window);
+        // A rebuild costs one ring scan: bill one op per recovered seq
+        // (plus one for the scan itself) so the sched-op counter shows
+        // how rarely the window must be rebuilt.
+        self.sched_ops += self.front_window.len() as u64 + 1;
     }
 
     /// Whether any entry awaits redundant issue (event-driven mode only).
@@ -316,6 +375,9 @@ impl RQueue {
         self.entries.clear();
         self.pending_r.clear();
         self.completions.clear();
+        // An empty window over an empty pending set is exact, so the
+        // cache stays valid across a flush and refills via `push`.
+        self.front_window.clear();
     }
 }
 
@@ -446,6 +508,118 @@ mod tests {
         q.push(RQueueEntry::new(0, info, 0, true));
         assert!(!q.has_pending_r());
         assert_eq!(q.pending_r_front(4), Vec::<Seq>::new());
+    }
+
+    #[test]
+    fn front_window_slides_after_issue() {
+        let mut q = RQueue::new(8);
+        for seq in 0..6 {
+            q.push(entry(seq));
+        }
+        assert_eq!(q.pending_r_front(3), vec![0, 1, 2]);
+        q.mark_r_issued(1, 9);
+        assert_eq!(
+            q.pending_r_front(3),
+            vec![0, 2, 3],
+            "window must slide past the issued seq"
+        );
+        q.mark_r_issued(0, 9);
+        q.mark_r_issued(2, 9);
+        assert_eq!(q.pending_r_front(3), vec![3, 4, 5]);
+        q.mark_r_issued(3, 10);
+        q.mark_r_issued(4, 10);
+        assert_eq!(q.pending_r_front(3), vec![5], "window shrinks as pending dries up");
+        q.mark_r_issued(5, 10);
+        assert_eq!(q.pending_r_front(3), Vec::<Seq>::new());
+    }
+
+    #[test]
+    fn front_window_refills_incrementally_after_flush() {
+        let mut q = RQueue::new(8);
+        q.push(entry(0));
+        assert_eq!(q.pending_r_front(4), vec![0]);
+        q.flush_all();
+        assert_eq!(q.pending_r_front(4), Vec::<Seq>::new());
+        // Fetch rewinds after a detection: the same seqs migrate again
+        // and must re-enter the window.
+        q.push(entry(0));
+        q.push(entry(1));
+        assert_eq!(q.pending_r_front(4), vec![0, 1]);
+    }
+
+    #[test]
+    fn front_window_tracks_limit_changes() {
+        let mut q = RQueue::new(8);
+        for seq in 0..5 {
+            q.push(entry(seq));
+        }
+        assert_eq!(q.pending_r_front(2), vec![0, 1]);
+        assert_eq!(q.pending_r_front(4), vec![0, 1, 2, 3]);
+        assert_eq!(q.pending_r_front(2), vec![0, 1]);
+    }
+
+    #[test]
+    fn front_window_matches_fresh_scan_under_churn() {
+        // SplitMix64-driven push/issue/retire/flush churn: the cached
+        // window must always equal a from-scratch FIFO-lookahead scan.
+        let mut state: u64 = 0x51ce_b00c_5eed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut q = RQueue::new(16);
+        let mut next_seq: Seq = 0;
+        for round in 0..5_000 {
+            match next() % 8 {
+                0..=2 => {
+                    if !q.is_full() {
+                        let mut s = ArchState::new(0x1000);
+                        let mut m = Memory::new();
+                        let info = step(&mut s, &Instr::rri(Opcode::Li, T0, ZERO, 7), &mut m);
+                        q.push(RQueueEntry::new(next_seq, info, 0, next() % 4 == 0));
+                        next_seq += 1;
+                    }
+                }
+                3..=4 => {
+                    let pending: Vec<Seq> = q
+                        .iter()
+                        .filter(|e| !e.r_issued && !e.skip_r)
+                        .map(|e| e.seq)
+                        .collect();
+                    if !pending.is_empty() {
+                        let lookahead = pending.len().min(4);
+                        let pick = pending[(next() as usize) % lookahead];
+                        q.mark_r_issued(pick, 1);
+                    }
+                }
+                5..=6 => {
+                    if let Some(head) = q.head().copied() {
+                        if head.skip_r || head.r_issued {
+                            if let Some(e) = q.get_mut(head.seq) {
+                                e.r_completed = e.r_issued;
+                            }
+                            q.pop_head();
+                        }
+                    }
+                }
+                _ => {
+                    if next() % 16 == 0 {
+                        q.flush_all();
+                    }
+                }
+            }
+            let limit = [1usize, 3, 4, 8][(next() as usize) % 4];
+            let expected: Vec<Seq> = q
+                .iter()
+                .filter(|e| !e.r_issued && !e.skip_r)
+                .take(limit)
+                .map(|e| e.seq)
+                .collect();
+            assert_eq!(q.pending_r_front(limit), expected, "round {round}");
+        }
     }
 
     #[test]

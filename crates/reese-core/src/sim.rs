@@ -227,11 +227,6 @@ struct ReeseMachine<'c> {
     permanent: Option<(Seq, u64)>,
     /// Next sequence number to migrate into the R-stream Queue.
     next_migrate_seq: Seq,
-    /// R-issue opportunities considered but not taken so far: pending
-    /// entries inside the lookahead window that found no functional
-    /// unit. Metrics-only (surfaced through [`Observer::cycle`]); not
-    /// part of [`ReeseStats`], so it never affects result equality.
-    r_missed: u64,
     duration_fault: Option<DurationFault>,
     duration_report: DurationReport,
     duration_p_hits: HashSet<Seq>,
@@ -298,7 +293,6 @@ impl<'c> ReeseMachine<'c> {
             retry_seq: None,
             permanent: None,
             next_migrate_seq: 0,
-            r_missed: 0,
             duration_fault: None,
             duration_report: DurationReport::default(),
             duration_p_hits: HashSet::new(),
@@ -384,7 +378,7 @@ impl<'c> ReeseMachine<'c> {
             committed: self.stats.pipeline.committed,
             issued: self.stats.pipeline.issued,
             r_issued: self.stats.r_issued,
-            r_missed: self.r_missed,
+            r_missed: self.stats.r_missed,
             dispatch_stall_ruu: self.stats.pipeline.dispatch_stall_ruu_full,
             dispatch_stall_lsq: self.stats.pipeline.dispatch_stall_lsq_full,
             fetch_empty: self.stats.pipeline.fetch_queue_empty_cycles,
@@ -407,7 +401,6 @@ impl<'c> ReeseMachine<'c> {
     fn skip_idle_cycles<O: Observer>(&mut self, obs: &mut O) {
         if self.rqueue.head().is_some_and(|e| e.commit_ready())
             || self.ruu.has_ready()
-            || self.rqueue.has_pending_r()
             || !self.fetchq.is_empty()
         {
             return;
@@ -430,7 +423,47 @@ impl<'c> ReeseMachine<'c> {
         if fetch_at == Some(self.cycle) {
             return;
         }
-        let Some(target) = [p_wake, r_wake, fetch_at].into_iter().flatten().min() else {
+        // Pending redundant work no longer pins the clock to one cycle
+        // at a time: during a skip nothing issues anywhere, so the pool's
+        // per-class free times and the lookahead window are both static,
+        // and the earliest cycle the R stream can move is the minimum
+        // over the window of each entry's needed-class free time (memory
+        // verifications need an address-generation ALU *and* a port, so
+        // they wait for the later of the two). If anything can issue
+        // *now*, this cycle acts; otherwise that minimum becomes one
+        // more wake source.
+        let mut fu_wake = None;
+        let mut window_len = 0u64;
+        if self.rqueue.has_pending_r() {
+            let mut pending = std::mem::take(&mut self.scratch_pending);
+            self.rqueue
+                .pending_r_front_into(self.cfg.r_issue_lookahead, &mut pending);
+            window_len = pending.len() as u64;
+            let mut wake = u64::MAX;
+            for &seq in &pending {
+                let entry = self.rqueue.get(seq).expect("pending seq in queue");
+                let at = if entry.info.mem.is_some() {
+                    self.fu
+                        .earliest_free(FuClass::IntAlu)
+                        .max(self.fu.earliest_free(FuClass::MemPort))
+                } else {
+                    self.fu.earliest_free(entry.info.instr.op.fu_class())
+                };
+                wake = wake.min(at);
+            }
+            self.scratch_pending = pending;
+            if wake <= self.cycle {
+                return; // an R entry can issue this cycle
+            }
+            if wake < u64::MAX {
+                fu_wake = Some(wake);
+            }
+        }
+        let Some(target) = [p_wake, r_wake, fetch_at, fu_wake]
+            .into_iter()
+            .flatten()
+            .min()
+        else {
             // Nothing will ever wake: let the drain/deadlock path run.
             return;
         };
@@ -442,8 +475,11 @@ impl<'c> ReeseMachine<'c> {
             return;
         }
         // Per-cycle bookkeeping the skipped no-op cycles would have done:
-        // the occupancy sample, the empty-queue counter, and the
-        // R-priority counter (`issue` counts it even when nothing issues).
+        // the occupancy sample, the empty-queue counter, the R-priority
+        // counter (`issue` counts it even when nothing issues), and —
+        // when pending R work sat blocked on busy units — the
+        // tried/missed accounting the scan-mode redundant scheduler
+        // accrues every cycle it reconsiders the same window.
         let skipped = target - self.cycle;
         self.stats
             .rqueue_occupancy
@@ -452,6 +488,8 @@ impl<'c> ReeseMachine<'c> {
         if self.rqueue.len() >= self.cfg.high_water {
             self.stats.r_priority_cycles += skipped;
         }
+        self.stats.r_tried += window_len * skipped;
+        self.stats.r_missed += window_len * skipped;
         if O::ENABLED {
             obs.idle_skip(self.cycle, target, &self.cycle_state());
         }
@@ -586,23 +624,28 @@ impl<'c> ReeseMachine<'c> {
     /// comparison commits (the conservative implementation), and only a
     /// copy enters the queue.
     fn migrate<O: Observer>(&mut self, obs: &mut O) {
-        for _ in 0..self.cfg.pipeline.width {
-            let Some(next) = self.ruu.get(self.next_migrate_seq) else {
-                return;
-            };
-            if !next.completed {
-                return;
-            }
-            if self.rqueue.is_full() {
-                self.stats.rqueue_full_stalls += 1;
-                return;
-            }
-            let (seq, info, p_done) = (next.seq, next.info, next.complete_cycle);
-            if self.cfg.early_removal {
+        // Size the whole batch up front: one contiguous walk over the
+        // completed run at the migration point replaces the per-seq
+        // probe-check-full sequence the old loop ran for every entry.
+        let run = self
+            .ruu
+            .completed_run_len(self.next_migrate_seq, self.cfg.pipeline.width);
+        if run == 0 {
+            return;
+        }
+        let space = self.rqueue.capacity() - self.rqueue.len();
+        let take = run.min(space);
+        for _ in 0..take {
+            let seq = self.next_migrate_seq;
+            let (info, p_done) = if self.cfg.early_removal {
                 debug_assert_eq!(self.ruu.head().map(|h| h.seq), Some(seq));
                 let e = self.ruu.pop_head();
                 self.lsq.remove(e.seq);
-            }
+                (e.info, e.complete_cycle)
+            } else {
+                let e = self.ruu.get(seq).expect("sized batch is resident");
+                (e.info, e.complete_cycle)
+            };
             self.next_migrate_seq = seq + 1;
             if O::ENABLED {
                 obs.event(TraceEvent {
@@ -618,6 +661,12 @@ impl<'c> ReeseMachine<'c> {
             self.apply_faults(&mut entry, Stream::Primary);
             self.apply_duration_fault(&mut entry, Stream::Primary);
             self.rqueue.push(entry);
+        }
+        if take < run {
+            // The next completed candidate found the queue full — the
+            // same single stall sample per cycle the per-entry loop
+            // recorded before bailing out.
+            self.stats.rqueue_full_stalls += 1;
         }
     }
 
@@ -856,6 +905,7 @@ impl<'c> ReeseMachine<'c> {
 
     fn issue_primary<O: Observer>(&mut self, budget: &mut usize, obs: &mut O) {
         let mut ready = std::mem::take(&mut self.scratch_ready);
+        let event_driven = self.cfg.pipeline.scheduler == SchedulerMode::EventDriven;
         match self.cfg.pipeline.scheduler {
             SchedulerMode::Scan => {
                 ready.clear();
@@ -869,6 +919,25 @@ impl<'c> ReeseMachine<'c> {
             }
             let e = self.ruu.get(seq).expect("ready seq in window");
             let op = e.info.instr.op;
+            // O(1) per-class gate (event mode): `class_free` is exactly
+            // `try_issue`'s success condition, so a blocked entry is
+            // skipped on one compare instead of a per-unit probe. Stores
+            // need an address-generation ALU and a port together; loads
+            // are never gated because a forwarded load issues without
+            // any functional unit.
+            if event_driven {
+                let blocked = match e.info.mem {
+                    None => !self.fu.class_free(op.fu_class(), self.cycle),
+                    Some(mem) if mem.is_store => {
+                        !(self.fu.class_free(FuClass::IntAlu, self.cycle)
+                            && self.fu.class_free(FuClass::MemPort, self.cycle))
+                    }
+                    Some(_) => false,
+                };
+                if blocked {
+                    continue;
+                }
+            }
             let latency: u64 = if let Some(mem) = e.info.mem {
                 if mem.is_store {
                     if !self.fu.try_issue_mem(op, self.cycle) {
@@ -979,7 +1048,8 @@ impl<'c> ReeseMachine<'c> {
                 // `pending_r_front_into` is exactly the set of entries
                 // the scan above would have counted as `considered`: the
                 // first `lookahead` un-issued, un-skipped entries in
-                // queue (= seq) order.
+                // queue (= seq) order (served from the incrementally
+                // maintained front window, not a per-cycle ring scan).
                 let mut pending = std::mem::take(&mut self.scratch_pending);
                 self.rqueue.pending_r_front_into(lookahead, &mut pending);
                 for seq in pending.drain(..) {
@@ -991,14 +1061,24 @@ impl<'c> ReeseMachine<'c> {
                     let op = entry.info.instr.op;
                     let is_mem = entry.info.mem.is_some();
                     let pc = entry.info.pc;
+                    // O(1) per-class gate: `class_free` is exactly the
+                    // success condition of `try_issue`, so a busy class
+                    // skips the entry without probing per-unit state.
+                    let free = if is_mem {
+                        self.fu.class_free(FuClass::IntAlu, cycle)
+                            && self.fu.class_free(FuClass::MemPort, cycle)
+                    } else {
+                        self.fu.class_free(op.fu_class(), cycle)
+                    };
+                    if !free {
+                        continue;
+                    }
                     let issued = if is_mem {
                         self.fu.try_issue_mem(op, cycle)
                     } else {
                         self.fu.try_issue(op, cycle)
                     };
-                    if !issued {
-                        continue;
-                    }
+                    debug_assert!(issued, "a free class must accept the issue");
                     let latency: u64 = if is_mem {
                         1 + l1d_hit
                     } else {
@@ -1021,7 +1101,8 @@ impl<'c> ReeseMachine<'c> {
             }
         }
         self.stats.r_issued += issued_now;
-        self.r_missed += tried - issued_now;
+        self.stats.r_tried += tried;
+        self.stats.r_missed += tried - issued_now;
     }
 
     fn dispatch<O: Observer>(&mut self, obs: &mut O) {

@@ -16,6 +16,17 @@ pub struct ReeseStats {
     pub pipeline: PipelineStats,
     /// Redundant executions issued.
     pub r_issued: u64,
+    /// Redundant-issue opportunities considered: pending entries inside
+    /// the lookahead window examined by the scheduler, whether or not a
+    /// functional unit accepted them. Part of result equality, so the
+    /// scan and event-driven schedulers must account it identically —
+    /// including across bulk-skipped idle cycles.
+    pub r_tried: u64,
+    /// Considered-but-not-issued redundant opportunities: the window
+    /// entry found no idle functional unit this cycle. `r_tried -
+    /// r_issued` over the whole run; the paper's "unused hardware"
+    /// harvest failing to materialise for a cycle.
+    pub r_missed: u64,
     /// Comparisons performed at commit.
     pub comparisons: u64,
     /// Instructions committed without re-execution (partial duplication).
@@ -44,6 +55,8 @@ impl ReeseStats {
         ReeseStats {
             pipeline: PipelineStats::default(),
             r_issued: 0,
+            r_tried: 0,
+            r_missed: 0,
             comparisons: 0,
             r_skipped: 0,
             detections: 0,
@@ -68,6 +81,8 @@ impl ReeseStats {
     pub fn merge(&mut self, other: &ReeseStats) {
         self.pipeline.merge(&other.pipeline);
         self.r_issued += other.r_issued;
+        self.r_tried += other.r_tried;
+        self.r_missed += other.r_missed;
         self.comparisons += other.comparisons;
         self.r_skipped += other.r_skipped;
         self.detections += other.detections;
@@ -85,8 +100,9 @@ impl fmt::Display for ReeseStats {
         write!(f, "{}", self.pipeline)?;
         writeln!(
             f,
-            "redundant stream: {} issued, {} compared, {} skipped; {} detections, {} flushes",
-            self.r_issued, self.comparisons, self.r_skipped, self.detections, self.flushes
+            "redundant stream: {} issued ({} tried, {} missed), {} compared, {} skipped; {} detections, {} flushes",
+            self.r_issued, self.r_tried, self.r_missed, self.comparisons, self.r_skipped,
+            self.detections, self.flushes
         )?;
         writeln!(
             f,

@@ -109,10 +109,17 @@ impl FaultMix {
         self.weights[idx]
     }
 
-    /// Samples a class using `pick` uniform in `[0, total_weight)`.
+    /// Samples a class using `pick` uniform in `[0, 2^64)` (a raw RNG
+    /// draw). The draw is reduced to `[0, total_weight)` with Lemire's
+    /// widening multiply-shift rather than `pick % total`: the modulo
+    /// over-represents the low residues whenever `2^64` is not a
+    /// multiple of `total`, while the multiply's bias is bounded by
+    /// `total / 2^64` per class — unobservable at any campaign size.
+    /// A single draw per trial keeps campaigns deterministic: the class
+    /// is a pure function of the serially pre-drawn seed stream.
     pub fn sample(&self, pick: u64) -> FaultClass {
         let total: u64 = self.weights.iter().map(|&w| u64::from(w)).sum();
-        let mut p = pick % total;
+        let mut p = ((u128::from(pick) * u128::from(total)) >> 64) as u64;
         for (i, &w) in self.weights.iter().enumerate() {
             if p < u64::from(w) {
                 return FaultClass::ALL[i];
@@ -142,10 +149,19 @@ mod tests {
         assert!(!FaultClass::PipelineControl.detectable_by_design());
     }
 
+    /// Picks spread uniformly across the full `u64` range, the way the
+    /// campaign RNG produces them. Small consecutive integers no longer
+    /// walk the weight table — `sample` treats the pick as a fixed-point
+    /// fraction of `2^64`, so coverage tests must span the whole range.
+    fn spread_picks(n: u64) -> impl Iterator<Item = u64> {
+        let stride = u64::MAX / n;
+        (0..n).map(move |i| i * stride + stride / 2)
+    }
+
     #[test]
     fn sample_respects_zero_weights() {
         let mix = FaultMix::result_errors_only();
-        for pick in 0..100 {
+        for pick in spread_picks(100) {
             assert!(mix.sample(pick).detectable_by_design());
         }
     }
@@ -154,10 +170,62 @@ mod tests {
     fn sample_covers_all_weighted_classes() {
         let mix = FaultMix::broad();
         let mut seen = std::collections::HashSet::new();
-        for pick in 0..12 {
+        for pick in spread_picks(24) {
             seen.insert(mix.sample(pick));
         }
         assert_eq!(seen.len(), 5, "broad mix should produce every class");
+    }
+
+    #[test]
+    fn sample_strata_match_weights_exactly() {
+        // The multiply-shift maps [0, 2^64) onto total_weight contiguous
+        // strata whose sizes differ by at most one part in 2^64 / total.
+        // Probing the midpoint of each ideal stratum must therefore land
+        // exactly on the class the weight table assigns to that stratum.
+        let mix = FaultMix::broad();
+        let total: u64 = FaultClass::ALL.iter().map(|&c| u64::from(mix.weight(c))).sum();
+        for stratum in 0..total {
+            let pick = (u64::MAX / total) * stratum + u64::MAX / total / 2;
+            let mut acc = 0;
+            let expect = FaultClass::ALL
+                .iter()
+                .copied()
+                .find(|&c| {
+                    acc += u64::from(mix.weight(c));
+                    stratum < acc
+                })
+                .unwrap();
+            assert_eq!(mix.sample(pick), expect, "stratum {stratum}");
+        }
+    }
+
+    #[test]
+    fn sample_bias_is_bounded_over_seeded_stream() {
+        // Empirical distribution check over the same kind of stream the
+        // campaign feeds in: per-class frequency must sit within ±1.5
+        // percentage points of the exact weight fraction, a bound the
+        // old modulo reduction also met for uniform u64 picks but which
+        // documents (and pins) the intended distribution.
+        use reese_stats::SplitMix64;
+        let mix = FaultMix::broad();
+        let total: f64 = FaultClass::ALL
+            .iter()
+            .map(|&c| f64::from(mix.weight(c)))
+            .sum();
+        let mut rng = SplitMix64::new(0xFA017);
+        let mut counts = std::collections::HashMap::new();
+        let n = 100_000;
+        for _ in 0..n {
+            *counts.entry(mix.sample(rng.next_u64())).or_insert(0u64) += 1;
+        }
+        for c in FaultClass::ALL {
+            let expect = f64::from(mix.weight(c)) / total;
+            let got = *counts.get(&c).unwrap_or(&0) as f64 / n as f64;
+            assert!(
+                (got - expect).abs() < 0.015,
+                "{c}: frequency {got:.4} vs weight fraction {expect:.4}"
+            );
+        }
     }
 
     #[test]

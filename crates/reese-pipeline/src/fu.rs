@@ -43,6 +43,11 @@ pub struct FuPool {
     classes: [ClassPool; 5],
     counts: FuCounts,
     mem_port_occupancy: u64,
+    /// Per-class minimum of `next_free` — the earliest cycle at which
+    /// *some* unit of the class can accept an operation. Maintained on
+    /// every issue/flush so availability is one compare instead of a
+    /// per-unit scan. A class with zero units holds `u64::MAX`.
+    earliest_free: [u64; 5],
 }
 
 fn class_index(class: FuClass) -> usize {
@@ -63,16 +68,24 @@ impl FuPool {
             issued: 0,
             busy_cycles: 0,
         };
+        let classes = [
+            make(counts.int_alu),
+            make(counts.int_muldiv),
+            make(counts.fp_alu),
+            make(counts.fp_muldiv),
+            make(counts.mem_ports),
+        ];
+        let mut earliest_free = [u64::MAX; 5];
+        for (e, pool) in earliest_free.iter_mut().zip(&classes) {
+            if !pool.next_free.is_empty() {
+                *e = 0;
+            }
+        }
         FuPool {
-            classes: [
-                make(counts.int_alu),
-                make(counts.int_muldiv),
-                make(counts.fp_alu),
-                make(counts.fp_muldiv),
-                make(counts.mem_ports),
-            ],
+            classes,
             counts,
             mem_port_occupancy: 1,
+            earliest_free,
         }
     }
 
@@ -98,8 +111,15 @@ impl FuPool {
     /// verification accesses, which are tag-check-only guaranteed hits
     /// and release the port after one cycle.
     pub fn try_issue_occupying(&mut self, op: Opcode, now: u64, occupancy: Option<u64>) -> bool {
+        // Deliberately the original per-unit probe, with no early bail
+        // on `earliest_free`: `Scan` mode is the measurement baseline
+        // and equivalence oracle, so it must keep the original
+        // algorithm's cost profile. The event-driven schedulers get the
+        // O(1) bail by gating on [`FuPool::class_free`] at their call
+        // sites instead.
         let class = op.fu_class();
-        let pool = &mut self.classes[class_index(class)];
+        let idx = class_index(class);
+        let pool = &mut self.classes[idx];
         let Some(unit) = pool.next_free.iter_mut().find(|f| **f <= now) else {
             return false;
         };
@@ -116,6 +136,7 @@ impl FuPool {
         *unit = now + occupancy;
         pool.issued += 1;
         pool.busy_cycles += occupancy;
+        self.earliest_free[idx] = pool.next_free.iter().copied().min().unwrap_or(u64::MAX);
         true
     }
 
@@ -129,6 +150,9 @@ impl FuPool {
     /// Debug-panics if `op` is not a memory operation.
     pub fn try_issue_mem(&mut self, op: Opcode, now: u64) -> bool {
         debug_assert_eq!(op.fu_class(), FuClass::MemPort, "{op} is not a memory op");
+        // Original per-unit availability scan, as with
+        // [`FuPool::try_issue_occupying`] — event-driven callers gate on
+        // `class_free(IntAlu) && class_free(MemPort)` before probing.
         if self.free_units(FuClass::IntAlu, now) == 0 || self.free_units(FuClass::MemPort, now) == 0
         {
             return false;
@@ -137,6 +161,22 @@ impl FuPool {
         let port = self.try_issue(op, now);
         debug_assert!(agen && port, "both units were checked free");
         true
+    }
+
+    /// Whether at least one unit of `class` can accept an operation at
+    /// cycle `now`. O(1): one compare against the maintained per-class
+    /// minimum — this is exactly the success condition of
+    /// [`FuPool::try_issue`] for an op of that class.
+    pub fn class_free(&self, class: FuClass, now: u64) -> bool {
+        self.earliest_free[class_index(class)] <= now
+    }
+
+    /// The earliest cycle at which some unit of `class` is free
+    /// (`u64::MAX` when the class has no units). The event-driven
+    /// scheduler uses this to compute when a blocked redundant stream
+    /// can next make progress.
+    pub fn earliest_free(&self, class: FuClass) -> u64 {
+        self.earliest_free[class_index(class)]
     }
 
     /// Number of units of `class` free at cycle `now`.
@@ -186,8 +226,11 @@ impl FuPool {
 
     /// Releases every unit (pipeline flush; in-flight work is squashed).
     pub fn flush(&mut self) {
-        for pool in &mut self.classes {
+        for (pool, earliest) in self.classes.iter_mut().zip(&mut self.earliest_free) {
             pool.next_free.fill(0);
+            if !pool.next_free.is_empty() {
+                *earliest = 0;
+            }
         }
     }
 }
@@ -270,6 +313,40 @@ mod tests {
         p.try_issue(Opcode::Div, 0);
         p.flush();
         assert!(p.try_issue(Opcode::Div, 1));
+    }
+
+    #[test]
+    fn class_free_mirrors_try_issue() {
+        // class_free must be exactly try_issue's success condition, at
+        // every cycle, so the event-driven scheduler can gate on it.
+        let mut p = FuPool::new(FuCounts {
+            int_muldiv: 1,
+            ..FuCounts::paper()
+        });
+        assert!(p.class_free(FuClass::IntMulDiv, 0));
+        assert!(p.try_issue(Opcode::Div, 0));
+        for c in 0..20 {
+            assert!(!p.class_free(FuClass::IntMulDiv, c), "divider busy at {c}");
+        }
+        assert!(p.class_free(FuClass::IntMulDiv, 20));
+        assert_eq!(p.earliest_free(FuClass::IntMulDiv), 20);
+        p.flush();
+        assert!(p.class_free(FuClass::IntMulDiv, 0));
+        assert_eq!(p.earliest_free(FuClass::IntMulDiv), 0);
+    }
+
+    #[test]
+    fn earliest_free_tracks_min_across_units() {
+        let mut p = FuPool::new(FuCounts {
+            int_alu: 2,
+            ..FuCounts::paper()
+        });
+        assert!(p.try_issue(Opcode::Add, 0));
+        assert_eq!(p.earliest_free(FuClass::IntAlu), 0, "second unit idle");
+        assert!(p.try_issue(Opcode::Add, 0));
+        assert_eq!(p.earliest_free(FuClass::IntAlu), 1, "both booked to 1");
+        assert!(!p.class_free(FuClass::IntAlu, 0));
+        assert!(p.class_free(FuClass::IntAlu, 1));
     }
 
     #[test]

@@ -294,6 +294,22 @@ impl Ruu {
         e
     }
 
+    /// Number of contiguous completed instructions starting at
+    /// `start_seq`, capped at `max`. Entries are seq-contiguous, so one
+    /// forward walk sizes the whole batch the REESE migrate stage can
+    /// drain this cycle without re-probing each sequence number.
+    pub fn completed_run_len(&self, start_seq: Seq, max: usize) -> usize {
+        let Some(start) = self.index_of(start_seq) else {
+            return 0;
+        };
+        self.entries
+            .iter()
+            .skip(start)
+            .take(max)
+            .take_while(|e| e.completed)
+            .count()
+    }
+
     /// Sequence numbers of instructions ready to issue, oldest first.
     pub fn ready_seqs(&self) -> impl Iterator<Item = Seq> + '_ {
         self.entries.iter().filter(|e| e.ready()).map(|e| e.seq)

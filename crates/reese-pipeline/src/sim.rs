@@ -450,6 +450,7 @@ impl<'c> Machine<'c> {
             }
             SchedulerMode::EventDriven => self.ruu.ready_into(&mut ready),
         }
+        let event_driven = self.cfg.scheduler == SchedulerMode::EventDriven;
         let mut issued = 0usize;
         for seq in ready.drain(..) {
             if issued == self.cfg.width {
@@ -457,6 +458,24 @@ impl<'c> Machine<'c> {
             }
             let e = self.ruu.get(seq).expect("ready seq in window");
             let op = e.info.instr.op;
+            // O(1) per-class gate (event mode): `class_free` is exactly
+            // `try_issue`'s success condition, so a blocked entry skips
+            // on one compare instead of a per-unit probe. Stores need an
+            // agen ALU and a port together; loads are never gated — a
+            // forwarded load issues without any functional unit.
+            if event_driven {
+                let blocked = match e.info.mem {
+                    None => !self.fu.class_free(op.fu_class(), self.cycle),
+                    Some(mem) if mem.is_store => {
+                        !(self.fu.class_free(FuClass::IntAlu, self.cycle)
+                            && self.fu.class_free(FuClass::MemPort, self.cycle))
+                    }
+                    Some(_) => false,
+                };
+                if blocked {
+                    continue;
+                }
+            }
             let latency: u64 = if let Some(mem) = e.info.mem {
                 if mem.is_store {
                     if !self.fu.try_issue_mem(op, self.cycle) {

@@ -191,8 +191,13 @@ pub struct CycleState {
     /// indexed in [`FuClass::ALL`] order.
     pub fu_busy: [u64; NUM_FU_CLASSES],
     /// Scheduler bookkeeping operations so far: ReadyRing
-    /// inserts/removes plus EventWheel pushes/pops across the RUU and
-    /// the R-stream Queue (0 in `Scan` mode, which maintains neither).
+    /// inserts/removes, EventWheel pushes/pops, and R-stream front
+    /// window maintenance (one op per incremental append/remove, plus
+    /// one per recovered seq on the rare rebuild scans) across the RUU
+    /// and the R-stream Queue. 0 in `Scan` mode, which maintains none
+    /// of these structures — so this counter is the direct price of
+    /// event-driven scheduling, and comparing it against the per-cycle
+    /// probes it replaces proves the per-cycle op reduction.
     pub sched_ops: u64,
     /// RUU entries resident at the end of this cycle.
     pub ruu_occ: usize,

@@ -227,6 +227,22 @@ fn write_observability(
     Ok(())
 }
 
+/// Parses a flag value that must be a strictly positive integer.
+///
+/// Zero is rejected here, at parse time, because it would otherwise
+/// degrade silently far from the command line: `-j 0` quietly runs on
+/// one worker, `--metrics-interval 0` makes the tracer sample every
+/// cycle, and `--intervals 0` collapses a sharded run to one interval.
+fn positive<T: TryFrom<u64>>(flag: &str, raw: &str) -> Result<T, CliError> {
+    let v: u64 = raw
+        .parse()
+        .map_err(|_| format!("`{flag}` expects a positive integer, got `{raw}`"))?;
+    if v == 0 {
+        return Err(format!("`{flag}` must be at least 1").into());
+    }
+    T::try_from(v).map_err(|_| format!("`{flag}` value `{raw}` is out of range").into())
+}
+
 fn parse_run(args: &[String]) -> Result<RunOpts, CliError> {
     let mut opts = RunOpts {
         program: Program::from_text(vec![]),
@@ -270,7 +286,7 @@ fn parse_run(args: &[String]) -> Result<RunOpts, CliError> {
             "--scale" => scale = value()?.parse()?,
             "--trace-out" => opts.trace_out = Some(value()?.clone()),
             "--metrics-out" => opts.metrics_out = Some(value()?.clone()),
-            "--metrics-interval" => opts.metrics_interval = value()?.parse()?,
+            "--metrics-interval" => opts.metrics_interval = positive(a, value()?)?,
             other if !other.starts_with("--") => file = Some(other.to_string()),
             other => return Err(format!("unknown option `{other}`").into()),
         }
@@ -446,11 +462,11 @@ fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
             "--spare-alus" => opts.spare_alus = value()?.parse()?,
             "--spare-muls" => opts.spare_muls = value()?.parse()?,
             "--max-insns" => opts.max_insns = value()?.parse()?,
-            "-j" | "--jobs" => opts.jobs = value()?.parse()?,
+            "-j" | "--jobs" => opts.jobs = positive(a, value()?)?,
             "--out" => opts.out = Some(value()?.clone()),
             "--trace-out" => opts.trace_out = Some(value()?.clone()),
             "--metrics-out" => opts.metrics_out = Some(value()?.clone()),
-            "--metrics-interval" => opts.metrics_interval = value()?.parse()?,
+            "--metrics-interval" => opts.metrics_interval = positive(a, value()?)?,
             "--kernel" => kernel = Some(kernel_by_name(value()?)?),
             other if !other.starts_with('-') => file = Some(other.to_string()),
             other => return Err(format!("unknown option `{other}`").into()),
@@ -549,8 +565,8 @@ fn parse_shard(args: &[String]) -> Result<ShardCliOpts, CliError> {
                 .ok_or_else(|| format!("`{a}` needs a value").into())
         };
         match a.as_str() {
-            "--intervals" => opts.shard.intervals = value()?.parse()?,
-            "-j" | "--jobs" => opts.shard.jobs = value()?.parse()?,
+            "--intervals" => opts.shard.intervals = positive(a, value()?)?,
+            "-j" | "--jobs" => opts.shard.jobs = positive(a, value()?)?,
             "--warmup" => opts.shard.warmup = value()?.parse()?,
             "--no-verify" => opts.shard.compare_monolithic = false,
             "--scheme" => {
@@ -564,7 +580,7 @@ fn parse_shard(args: &[String]) -> Result<ShardCliOpts, CliError> {
             "--snapshot" => opts.snapshot = Some(value()?.clone()),
             "--trace-out" => opts.trace_out = Some(value()?.clone()),
             "--metrics-out" => opts.metrics_out = Some(value()?.clone()),
-            "--metrics-interval" => metrics_interval = value()?.parse()?,
+            "--metrics-interval" => metrics_interval = positive(a, value()?)?,
             "--kernel" => kernel = Some(kernel_by_name(value()?)?),
             "--scale" => scale = value()?.parse()?,
             other if !other.starts_with('-') => file = Some(other.to_string()),
@@ -970,5 +986,55 @@ mod tests {
         assert!(parse_run(&[]).is_err());
         let args = vec!["--scheme".to_string(), "reese".to_string()];
         assert!(parse_run(&args).is_err());
+    }
+
+    fn strings(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn zero_metrics_interval_is_rejected_at_parse_time() {
+        let err = parse_run(&strings(&["--kernel", "strings", "--metrics-interval", "0"]))
+            .err()
+            .expect("zero interval must be rejected")
+            .to_string();
+        assert!(err.contains("--metrics-interval"), "got: {err}");
+        assert!(err.contains("at least 1"), "got: {err}");
+        assert!(parse_campaign(&strings(&["--metrics-interval", "0"])).is_err());
+        assert!(parse_shard(&strings(&["--metrics-interval", "0"])).is_err());
+    }
+
+    #[test]
+    fn zero_jobs_is_rejected_at_parse_time() {
+        for flag in ["-j", "--jobs"] {
+            let err = parse_campaign(&strings(&[flag, "0"]))
+                .err()
+                .expect("zero jobs must be rejected")
+                .to_string();
+            assert!(err.contains(flag), "got: {err}");
+            assert!(parse_shard(&strings(&[flag, "0"])).is_err());
+        }
+    }
+
+    #[test]
+    fn zero_intervals_is_rejected_at_parse_time() {
+        let err = parse_shard(&strings(&["--intervals", "0"]))
+            .err()
+            .expect("zero intervals must be rejected")
+            .to_string();
+        assert!(err.contains("--intervals") && err.contains("at least 1"), "got: {err}");
+    }
+
+    #[test]
+    fn non_numeric_positive_flags_report_the_flag_name() {
+        let err = parse_campaign(&strings(&["--jobs", "many"]))
+            .err()
+            .expect("non-numeric jobs must be rejected")
+            .to_string();
+        assert!(err.contains("--jobs") && err.contains("many"), "got: {err}");
+        // Valid positive values still parse.
+        let o = parse_campaign(&strings(&["--jobs", "3", "--metrics-interval", "1"])).unwrap();
+        assert_eq!(o.jobs, 3);
+        assert_eq!(o.metrics_interval, 1);
     }
 }

@@ -66,6 +66,41 @@ fn reese_modes_agree_with_spares_and_partial_duplication() {
 }
 
 #[test]
+fn r_issue_accounting_agrees_and_is_exercised() {
+    // `r_tried` / `r_missed` used to be metrics-only (machine-local, not
+    // part of result equality), so the event scheduler could drift from
+    // the scan without any oracle noticing. They now live in
+    // `ReeseStats` and must match bit-for-bit — including the bulk
+    // accounting performed for skipped idle cycles. A contended machine
+    // (narrow pipeline, one spare-less FU pool, big queue) guarantees
+    // misses actually occur, so the assertion is not vacuous.
+    let program = Kernel::Imaging.build(1);
+    let cfg = ReeseConfig::starting().with_rqueue_size(64);
+    let scan = ReeseSim::new(cfg.clone().with_scheduler(SchedulerMode::Scan))
+        .run(&program)
+        .unwrap();
+    let event = ReeseSim::new(cfg.with_scheduler(SchedulerMode::EventDriven))
+        .run(&program)
+        .unwrap();
+    assert_eq!(
+        (scan.stats.r_tried, scan.stats.r_missed),
+        (event.stats.r_tried, event.stats.r_missed),
+        "R-issue accounting diverged across modes"
+    );
+    assert!(scan.stats.r_tried > 0, "workload never exercised R issue");
+    assert!(
+        scan.stats.r_missed > 0,
+        "workload too idle: no missed R-issue opportunities to compare"
+    );
+    assert_eq!(
+        scan.stats.r_tried - scan.stats.r_issued,
+        scan.stats.r_missed,
+        "tried/issued/missed must stay internally consistent"
+    );
+    assert_eq!(scan, event);
+}
+
+#[test]
 fn duplex_modes_agree_on_all_kernels() {
     for kernel in Kernel::ALL {
         let program = kernel.build(1);

@@ -111,6 +111,54 @@ fn reese_traced_run_matches_under_spares_and_partial_duplication() {
     }
 }
 
+/// The sampled `sched_ops` counter prices the event-driven machinery:
+/// ReadyRing/EventWheel traffic plus R-stream front-window maintenance.
+/// Scan mode maintains none of it and must report zero; event mode pays
+/// a bounded, amortised-per-instruction cost — not the per-cycle
+/// window-rescan cost (`cycles x lookahead`) the incremental front
+/// window replaced.
+#[test]
+fn sched_ops_counter_proves_per_cycle_op_reduction() {
+    let program = Kernel::Lisp.build(1);
+    let mut totals = [0u64; 2];
+    for (slot, mode) in MODES.into_iter().enumerate() {
+        let cfg = ReeseConfig::starting().with_scheduler(mode);
+        let mut t = tracer();
+        let result = ReeseSim::new(cfg)
+            .run_with_faults_observed(&program, &[], 0, CAP, &mut t)
+            .unwrap();
+        t.finish();
+        let (_, metrics) = t.into_parts();
+        totals[slot] = metrics.rows.iter().map(|r| r.sched_ops).sum();
+        if mode == SchedulerMode::Scan {
+            assert_eq!(
+                totals[slot], 0,
+                "scan mode maintains no event structures, so it bills no sched-ops"
+            );
+        } else {
+            let insns = result.committed_instructions();
+            let cycles = result.stats.pipeline.cycles;
+            assert!(totals[slot] > 0, "event mode must bill its bookkeeping");
+            // Amortised constant per instruction: push + issue + complete
+            // plus ReadyRing traffic and the rare window rebuilds.
+            assert!(
+                totals[slot] <= 12 * insns,
+                "sched-ops {} exceed 12 per committed instruction ({insns})",
+                totals[slot]
+            );
+            // Strictly cheaper than rescanning the lookahead window every
+            // cycle, which is what the maintained front window replaced.
+            let lookahead = 8;
+            assert!(
+                totals[slot] < cycles * lookahead,
+                "sched-ops {} not below the per-cycle rescan cost {}",
+                totals[slot],
+                cycles * lookahead
+            );
+        }
+    }
+}
+
 #[test]
 fn chrome_trace_export_is_wellformed_json() {
     let mut t = tracer();
