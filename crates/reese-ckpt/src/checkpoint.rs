@@ -1,17 +1,18 @@
 //! The versioned binary checkpoint: full functional simulator state,
 //! plus an optional microarchitectural warm section.
 //!
-//! # Format (version 1)
+//! # Format (version 2)
 //!
 //! All integers little-endian. The file is one frame:
 //!
 //! ```text
 //! magic      4 bytes  b"RCKP"
-//! version    u16      1
+//! version    u16      2
 //! flags      u16      bit0 = warm section present, bit1 = halted
 //! instructions u64    dynamic instructions executed so far
 //! pc         u64
 //! regs       u32 count, then count x u64
+//! digest     u64      FNV-1a over (regs, pc) — architectural self-check
 //! exit_code  u64      only if flags bit1
 //! output     u32 count, then count x i64   (values printed so far)
 //! pages      u32 count, then count x (u64 page_number, 4096 bytes)
@@ -30,6 +31,11 @@
 //!
 //! Only touched memory pages are stored, so checkpoint size scales with
 //! the program's working set, not the address space.
+//!
+//! Version 2 added the architectural digest (a semantic complement to
+//! the byte-level CRC: it travels with the snapshot into any future
+//! container that re-frames the bytes). Version-1 frames are rejected
+//! with [`CkptError::UnsupportedVersion`] rather than read.
 
 use crate::wire::{crc32, Decoder, Encoder};
 use reese_bpred::{BranchSnapshot, BranchStats, RasSnapshot};
@@ -43,7 +49,7 @@ use std::fmt;
 pub const MAGIC: [u8; 4] = *b"RCKP";
 
 /// Current format version.
-pub const VERSION: u16 = 1;
+pub const VERSION: u16 = 2;
 
 const FLAG_WARM: u16 = 1 << 0;
 const FLAG_HALTED: u16 = 1 << 1;
@@ -158,7 +164,14 @@ impl Checkpoint {
         )
     }
 
-    /// Serializes to the version-1 binary format.
+    /// FNV-1a digest of the architectural state (registers + PC) this
+    /// checkpoint restores to — the same digest [`Emulator::run`]
+    /// reports, so a restored run can be checked against the frame.
+    pub fn arch_digest(&self) -> u64 {
+        ArchState::from_regs(self.regs, self.pc).digest()
+    }
+
+    /// Serializes to the version-2 binary format.
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Encoder::new();
         e.put_bytes(&MAGIC);
@@ -177,6 +190,7 @@ impl Checkpoint {
         for &r in &self.regs {
             e.put_u64(r);
         }
+        e.put_u64(self.arch_digest());
         if let Some(code) = self.exit_code {
             e.put_u64(code);
         }
@@ -236,6 +250,10 @@ impl Checkpoint {
         }
         if regs[0] != 0 {
             return Err(CkptError::Malformed("nonzero x0"));
+        }
+        let digest = d.take_u64()?;
+        if digest != ArchState::from_regs(regs, pc).digest() {
+            return Err(CkptError::Malformed("architectural digest mismatch"));
         }
         let exit_code = if flags & FLAG_HALTED != 0 {
             Some(d.take_u64()?)
@@ -552,6 +570,47 @@ mod tests {
 
         assert_eq!(Checkpoint::decode(&good[..6]), Err(CkptError::Truncated));
         assert_eq!(Checkpoint::decode(b""), Err(CkptError::Truncated));
+    }
+
+    #[test]
+    fn version_1_frames_are_rejected_after_the_digest_bump() {
+        // The digest field changed the frame layout, so version-1 blobs
+        // must be refused outright rather than misparsed.
+        let (_, emu) = mid_run_emulator();
+        let mut v1 = Checkpoint::capture(&emu, None).encode();
+        assert_eq!(
+            u16::from_le_bytes([v1[4], v1[5]]),
+            VERSION,
+            "current frames carry the bumped version"
+        );
+        v1[4] = 1;
+        v1[5] = 0;
+        let n = v1.len();
+        let crc = crc32(&v1[..n - 4]);
+        v1[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            Checkpoint::decode(&v1),
+            Err(CkptError::UnsupportedVersion(1))
+        );
+    }
+
+    #[test]
+    fn architectural_digest_catches_corruption_the_crc_misses() {
+        // A rewritten frame (valid CRC, altered register) models
+        // corruption upstream of serialization — e.g. a buggy tool that
+        // re-frames checkpoints. The semantic digest must refuse it.
+        let (_, emu) = mid_run_emulator();
+        let mut bytes = Checkpoint::capture(&emu, None).encode();
+        // regs[1] low byte: magic 4 + version 2 + flags 2 +
+        // instructions 8 + pc 8 + count 4 + regs[0] 8 = 36.
+        bytes[36] ^= 0xFF;
+        let n = bytes.len();
+        let crc = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            Checkpoint::decode(&bytes),
+            Err(CkptError::Malformed("architectural digest mismatch"))
+        );
     }
 
     #[test]

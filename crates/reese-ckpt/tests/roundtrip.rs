@@ -10,7 +10,7 @@
 use reese_ckpt::{checkpoints_at, run_sharded, Checkpoint, CkptError, Scheme, ShardOptions};
 use reese_core::ReeseConfig;
 use reese_cpu::Emulator;
-use reese_pipeline::PipelineConfig;
+use reese_pipeline::{PipelineConfig, SchedulerMode};
 use reese_stats::SplitMix64;
 use reese_workloads::Kernel;
 
@@ -59,6 +59,53 @@ fn every_kernel_round_trips_through_a_mid_run_snapshot() {
                 kernel.name()
             );
         }
+    }
+}
+
+#[test]
+fn arena_backed_warmup_snapshots_match_the_scan_oracle_on_every_kernel() {
+    // `checkpoints_at` warms the pipeline while fast-forwarding, so its
+    // frames are produced *through* the scheduler's instruction store:
+    // the SoA `InstArena` under `EventDriven`, the original AoS deque
+    // under `Scan`. A checkpoint is a function of architectural state
+    // only — both layouts must emit byte-identical version-2 frames,
+    // and a restore from the arena-produced frame must finish the run
+    // bit-identically.
+    let mut rng = SplitMix64::new(0xA2E7A);
+    for kernel in Kernel::ALL {
+        let prog = kernel.build_for(KERNEL_INSTRUCTIONS);
+        let reference = Emulator::new(&prog).run(u64::MAX).unwrap();
+        let boundary = rng.range_u64(1, reference.instructions);
+
+        let event_cfg = PipelineConfig::starting().with_scheduler(SchedulerMode::EventDriven);
+        let scan_cfg = PipelineConfig::starting().with_scheduler(SchedulerMode::Scan);
+        let from_arena = checkpoints_at(&prog, &[boundary], 256, &event_cfg).unwrap();
+        let from_scan = checkpoints_at(&prog, &[boundary], 256, &scan_cfg).unwrap();
+        let bytes = from_arena[0].encode();
+        assert_eq!(
+            bytes,
+            from_scan[0].encode(),
+            "{}: frame must not depend on the scheduler's window layout",
+            kernel.name()
+        );
+        assert_eq!(
+            u16::from_le_bytes([bytes[4], bytes[5]]),
+            reese_ckpt::VERSION,
+            "{}: frames carry the bumped wire version",
+            kernel.name()
+        );
+
+        let decoded = Checkpoint::decode(&bytes).unwrap();
+        assert_eq!(decoded, from_arena[0], "{}: round trip", kernel.name());
+        let mut resumed = decoded.restore(&prog);
+        let done = resumed.run(u64::MAX).unwrap();
+        assert_eq!(
+            (done.instructions, done.state_digest),
+            (reference.instructions, reference.state_digest),
+            "{}: arena-produced frame resumes bit-identically",
+            kernel.name()
+        );
+        assert_eq!(resumed.output(), reference.output, "{}", kernel.name());
     }
 }
 

@@ -411,7 +411,7 @@ impl<'c> DuplexMachine<'c> {
             // Resolve control once per pair, on the primary copy.
             let fetched = (e.is_control() && e.seq % 2 == 1).then_some(Fetched {
                 seq: e.seq / 2,
-                info: e.info,
+                info: *e.info,
                 pred: e.pred,
             });
             if is_mem {

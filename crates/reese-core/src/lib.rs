@@ -34,6 +34,7 @@ mod config;
 mod duplex;
 mod fault;
 mod rqueue;
+mod seqmap;
 mod sim;
 mod stats;
 

@@ -528,7 +528,11 @@ mod tests {
         assert_eq!(q.pending_r_front(3), vec![3, 4, 5]);
         q.mark_r_issued(3, 10);
         q.mark_r_issued(4, 10);
-        assert_eq!(q.pending_r_front(3), vec![5], "window shrinks as pending dries up");
+        assert_eq!(
+            q.pending_r_front(3),
+            vec![5],
+            "window shrinks as pending dries up"
+        );
         q.mark_r_issued(5, 10);
         assert_eq!(q.pending_r_front(3), Vec::<Seq>::new());
     }

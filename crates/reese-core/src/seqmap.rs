@@ -1,0 +1,140 @@
+//! Seq-indexed fault bookkeeping with deterministic iteration order.
+//!
+//! `ReeseMachine` used to key its injected-fault lists and
+//! injection-cycle records with `std::collections::HashMap<Seq, _>`.
+//! Lookups were fine, but the std hasher is seeded per process, so the
+//! *iteration* order of those maps differs run to run — a latent
+//! determinism bug for anything that walks the bookkeeping (debug
+//! dumps, future report fields) and a standing risk to the campaign
+//! byte-identity guarantee. These containers store `(Seq, T)` pairs
+//! sorted by seq instead: iteration order is defined by construction,
+//! lookups are a branch-free binary search over a dense sorted slice
+//! (cache-friendly at campaign sizes of one to a handful of faults),
+//! and the sorted layout matches the arena's seq-indexed view of the
+//! world — injected faults apply at migrate time in ascending seq
+//! order, so inserts are pure appends on the hot path.
+
+use reese_pipeline::Seq;
+
+/// A map from sequence number to `T`, stored as a seq-sorted vector.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SeqTable<T> {
+    entries: Vec<(Seq, T)>,
+}
+
+impl<T> SeqTable<T> {
+    pub fn new() -> SeqTable<T> {
+        SeqTable {
+            entries: Vec::new(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn position(&self, seq: Seq) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&seq, |&(s, _)| s)
+    }
+
+    pub fn get(&self, seq: Seq) -> Option<&T> {
+        self.position(seq).ok().map(|i| &self.entries[i].1)
+    }
+
+    pub fn get_mut(&mut self, seq: Seq) -> Option<&mut T> {
+        match self.position(seq) {
+            Ok(i) => Some(&mut self.entries[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// The value at `seq`, inserting `default()` first if absent.
+    pub fn get_or_insert_with(&mut self, seq: Seq, default: impl FnOnce() -> T) -> &mut T {
+        let i = match self.position(seq) {
+            Ok(i) => i,
+            Err(i) => {
+                self.entries.insert(i, (seq, default()));
+                i
+            }
+        };
+        &mut self.entries[i].1
+    }
+
+    /// Inserts `value` at `seq` only if no value is recorded yet (the
+    /// `HashMap::entry(..).or_insert(..)` idiom).
+    pub fn insert_if_absent(&mut self, seq: Seq, value: T) {
+        if let Err(i) = self.position(seq) {
+            self.entries.insert(i, (seq, value));
+        }
+    }
+
+    pub fn remove(&mut self, seq: Seq) {
+        if let Ok(i) = self.position(seq) {
+            self.entries.remove(i);
+        }
+    }
+}
+
+/// A set of sequence numbers, stored sorted.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SeqSet {
+    seqs: Vec<Seq>,
+}
+
+impl SeqSet {
+    pub fn new() -> SeqSet {
+        SeqSet { seqs: Vec::new() }
+    }
+
+    pub fn insert(&mut self, seq: Seq) {
+        if let Err(i) = self.seqs.binary_search(&seq) {
+            self.seqs.insert(i, seq);
+        }
+    }
+
+    pub fn contains(&self, seq: Seq) -> bool {
+        self.seqs.binary_search(&seq).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_lookup_insert_remove() {
+        let mut t: SeqTable<u64> = SeqTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(3), None);
+        // Out-of-order inserts land sorted.
+        for seq in [9, 3, 7] {
+            t.get_or_insert_with(seq, || seq * 10);
+        }
+        assert_eq!(
+            t.entries.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+            [3, 7, 9]
+        );
+        assert_eq!(t.get(7), Some(&70));
+        *t.get_mut(7).unwrap() = 71;
+        assert_eq!(t.get(7), Some(&71));
+        t.insert_if_absent(7, 999);
+        assert_eq!(t.get(7), Some(&71), "first record wins");
+        t.insert_if_absent(5, 50);
+        assert_eq!(t.get(5), Some(&50));
+        t.remove(7);
+        assert_eq!(t.get(7), None);
+        t.remove(7); // absent: no-op
+        assert_eq!(t.entries.len(), 3);
+    }
+
+    #[test]
+    fn set_insert_contains() {
+        let mut s = SeqSet::new();
+        for seq in [4, 1, 4, 2] {
+            s.insert(seq);
+        }
+        assert!(s.contains(1) && s.contains(2) && s.contains(4));
+        assert!(!s.contains(3));
+        assert_eq!(s.seqs, [1, 2, 4], "duplicates collapse, order sorted");
+    }
+}

@@ -1,5 +1,6 @@
 //! The REESE time-redundant simulator.
 
+use crate::seqmap::{SeqSet, SeqTable};
 use crate::{
     DetectionEvent, DurationFault, DurationReport, InjectedFault, RQueue, RQueueEntry, ReeseConfig,
     ReeseError, ReeseResult, ReeseStats, Stream,
@@ -12,7 +13,7 @@ use reese_pipeline::{
     WarmState,
 };
 use reese_trace::{CycleState, NoopObserver, Observer, Stage, Stream as TStream, TraceEvent};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 const DEADLOCK_HORIZON: u64 = 100_000;
 
@@ -220,8 +221,13 @@ struct ReeseMachine<'c> {
     output: Vec<i64>,
     exit_code: Option<u64>,
     last_commit_cycle: u64,
-    faults: HashMap<Seq, Vec<InjectedFault>>,
-    inject_cycles: HashMap<Seq, u64>,
+    /// Pending injected faults keyed by target seq; seq-sorted so any
+    /// walk over the bookkeeping is process-independent (std-hash
+    /// iteration order is seeded per process — a latent determinism
+    /// bug for campaign byte-identity).
+    faults: SeqTable<Vec<InjectedFault>>,
+    /// Cycle each fault first fired, keyed by target seq (same layout).
+    inject_cycles: SeqTable<u64>,
     detections: Vec<DetectionEvent>,
     retry_seq: Option<Seq>,
     permanent: Option<(Seq, u64)>,
@@ -229,7 +235,7 @@ struct ReeseMachine<'c> {
     next_migrate_seq: Seq,
     duration_fault: Option<DurationFault>,
     duration_report: DurationReport,
-    duration_p_hits: HashSet<Seq>,
+    duration_p_hits: SeqSet,
     /// Reused buffers for the per-cycle writeback/issue work lists, so
     /// the steady-state loop never allocates.
     scratch_done: Vec<Seq>,
@@ -269,9 +275,9 @@ impl<'c> ReeseMachine<'c> {
         hierarchy: MemHierarchy,
         faults: &[InjectedFault],
     ) -> ReeseMachine<'c> {
-        let mut map: HashMap<Seq, Vec<InjectedFault>> = HashMap::new();
+        let mut map: SeqTable<Vec<InjectedFault>> = SeqTable::new();
         for f in faults {
-            map.entry(f.seq).or_default().push(*f);
+            map.get_or_insert_with(f.seq, Vec::new).push(*f);
         }
         ReeseMachine {
             cfg,
@@ -288,14 +294,14 @@ impl<'c> ReeseMachine<'c> {
             exit_code: None,
             last_commit_cycle: 0,
             faults: map,
-            inject_cycles: HashMap::new(),
+            inject_cycles: SeqTable::new(),
             detections: Vec::new(),
             retry_seq: None,
             permanent: None,
             next_migrate_seq: 0,
             duration_fault: None,
             duration_report: DurationReport::default(),
-            duration_p_hits: HashSet::new(),
+            duration_p_hits: SeqSet::new(),
             scratch_done: Vec::new(),
             scratch_rdone: Vec::new(),
             scratch_ready: Vec::new(),
@@ -593,7 +599,7 @@ impl<'c> ReeseMachine<'c> {
             detect_cycle: self.cycle,
             inject_cycle: self
                 .inject_cycles
-                .get(&head.seq)
+                .get(head.seq)
                 .copied()
                 .unwrap_or(self.cycle),
         });
@@ -644,7 +650,7 @@ impl<'c> ReeseMachine<'c> {
                 (e.info, e.complete_cycle)
             } else {
                 let e = self.ruu.get(seq).expect("sized batch is resident");
-                (e.info, e.complete_cycle)
+                (*e.info, e.complete_cycle)
             };
             self.next_migrate_seq = seq + 1;
             if O::ENABLED {
@@ -656,7 +662,7 @@ impl<'c> ReeseMachine<'c> {
                     stream: TStream::Primary,
                 });
             }
-            let skip_r = seq % self.cfg.duplication_period != 0 && !info.halted;
+            let skip_r = !seq.is_multiple_of(self.cfg.duplication_period) && !info.halted;
             let mut entry = RQueueEntry::new(seq, info, self.cycle, skip_r).with_p_complete(p_done);
             self.apply_faults(&mut entry, Stream::Primary);
             self.apply_duration_fault(&mut entry, Stream::Primary);
@@ -685,18 +691,18 @@ impl<'c> ReeseMachine<'c> {
     /// pass) can split-borrow the fault state instead of copying the
     /// entry out and back.
     fn apply_faults_to(
-        faults: &mut HashMap<Seq, Vec<InjectedFault>>,
-        inject_cycles: &mut HashMap<Seq, u64>,
+        faults: &mut SeqTable<Vec<InjectedFault>>,
+        inject_cycles: &mut SeqTable<u64>,
         cycle: u64,
         entry: &mut RQueueEntry,
         stream: Stream,
     ) {
         if faults.is_empty() {
             // The common case outside injection campaigns: skip the
-            // per-instruction hash probe entirely.
+            // per-instruction probe entirely.
             return;
         }
-        let Some(list) = faults.get_mut(&entry.seq) else {
+        let Some(list) = faults.get_mut(entry.seq) else {
             return;
         };
         let mut fired = false;
@@ -712,10 +718,10 @@ impl<'c> ReeseMachine<'c> {
             f.sticky // transient faults are consumed; sticky ones persist
         });
         if fired {
-            inject_cycles.entry(entry.seq).or_insert(cycle);
+            inject_cycles.insert_if_absent(entry.seq, cycle);
         }
         if list.is_empty() {
-            faults.remove(&entry.seq);
+            faults.remove(entry.seq);
         }
     }
 
@@ -739,8 +745,8 @@ impl<'c> ReeseMachine<'c> {
     fn apply_duration_fault_to(
         duration_fault: Option<DurationFault>,
         duration_report: &mut DurationReport,
-        duration_p_hits: &mut HashSet<Seq>,
-        inject_cycles: &mut HashMap<Seq, u64>,
+        duration_p_hits: &mut SeqSet,
+        inject_cycles: &mut SeqTable<u64>,
         cycle: u64,
         entry: &mut RQueueEntry,
         stream: Stream,
@@ -754,17 +760,17 @@ impl<'c> ReeseMachine<'c> {
                 entry.p_value ^= fault.mask();
                 duration_report.p_corrupted += 1;
                 duration_p_hits.insert(entry.seq);
-                inject_cycles.entry(entry.seq).or_insert(cycle);
+                inject_cycles.insert_if_absent(entry.seq, cycle);
             }
             Stream::Redundant if fault.active_at(entry.r_complete_cycle) => {
                 entry.r_value ^= fault.mask();
                 duration_report.r_corrupted += 1;
-                if duration_p_hits.contains(&entry.seq) {
+                if duration_p_hits.contains(entry.seq) {
                     // Both copies hit inside the window: identical flips,
                     // the comparison will pass — a silent escape (§2).
                     duration_report.silent_both += 1;
                 }
-                inject_cycles.entry(entry.seq).or_insert(cycle);
+                inject_cycles.insert_if_absent(entry.seq, cycle);
             }
             _ => {}
         }
@@ -795,7 +801,7 @@ impl<'c> ReeseMachine<'c> {
             let is_mem = e.is_mem();
             let fetched = e.is_control().then_some(Fetched {
                 seq: e.seq,
-                info: e.info,
+                info: *e.info,
                 pred: e.pred,
             });
             if O::ENABLED {

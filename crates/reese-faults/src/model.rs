@@ -183,7 +183,10 @@ mod tests {
         // Probing the midpoint of each ideal stratum must therefore land
         // exactly on the class the weight table assigns to that stratum.
         let mix = FaultMix::broad();
-        let total: u64 = FaultClass::ALL.iter().map(|&c| u64::from(mix.weight(c))).sum();
+        let total: u64 = FaultClass::ALL
+            .iter()
+            .map(|&c| u64::from(mix.weight(c)))
+            .sum();
         for stratum in 0..total {
             let pick = (u64::MAX / total) * stratum + u64::MAX / total / 2;
             let mut acc = 0;

@@ -27,6 +27,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod arena;
 mod config;
 mod dyninst;
 mod fetch;
@@ -38,6 +39,7 @@ mod sim;
 mod stats;
 mod wheel;
 
+pub use arena::{InstArena, InstView};
 pub use config::{FuCounts, PipelineConfig, SchedulerMode};
 pub use dyninst::{DynInst, PredictionInfo, Seq};
 pub use fetch::{FetchUnit, Fetched};

@@ -1,7 +1,16 @@
 //! The load/store queue and memory disambiguation.
+//!
+//! Storage is a fixed-capacity positional ring, allocated once at
+//! construction: entry `i` (oldest = 0) lives in
+//! `slots[(head + i) & mask]` with `slots.len()` the capacity rounded
+//! up to a power of two. This is the same masked-slot discipline as
+//! the scheduler's `InstArena`, applied to *positions* rather than
+//! seqs — memory seqs are not contiguous (ALU instructions sit between
+//! them), so the LSQ cannot index by `seq & mask` directly. Dispatch,
+//! commit, and flush all become index arithmetic with no allocation
+//! and no element movement.
 
 use crate::Seq;
-use std::collections::VecDeque;
 
 /// What the scheduler should do with a load this cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +40,16 @@ struct LsqEntry {
     executed: bool,
 }
 
+/// Placeholder for never-written ring slots; every read goes through
+/// the `[head, head + len)` window, so this is never observed.
+const EMPTY: LsqEntry = LsqEntry {
+    seq: 0,
+    addr: 0,
+    len: 0,
+    is_store: false,
+    executed: false,
+};
+
 fn overlaps(a: &LsqEntry, addr: u64, len: u64) -> bool {
     a.addr < addr + len && addr < a.addr + a.len
 }
@@ -58,7 +77,12 @@ fn overlaps(a: &LsqEntry, addr: u64, len: u64) -> bool {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Lsq {
-    entries: VecDeque<LsqEntry>,
+    /// Power-of-two ring; live entries occupy positions
+    /// `0..len`, position `i` at `slots[(head + i) & mask]`.
+    slots: Vec<LsqEntry>,
+    mask: usize,
+    head: usize,
+    len: usize,
     capacity: usize,
 }
 
@@ -70,25 +94,34 @@ impl Lsq {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Lsq {
         assert!(capacity > 0, "LSQ capacity must be positive");
+        let slots = capacity.next_power_of_two();
         Lsq {
-            entries: VecDeque::with_capacity(capacity),
+            slots: vec![EMPTY; slots],
+            mask: slots - 1,
+            head: 0,
+            len: 0,
             capacity,
         }
     }
 
+    /// The entry at program-order position `i` (0 = oldest).
+    fn at(&self, i: usize) -> &LsqEntry {
+        &self.slots[(self.head + i) & self.mask]
+    }
+
     /// Occupied entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Whether the LSQ is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Whether dispatch of a memory instruction must stall.
     pub fn is_full(&self) -> bool {
-        self.entries.len() == self.capacity
+        self.len == self.capacity
     }
 
     /// Configured capacity.
@@ -103,25 +136,38 @@ impl Lsq {
     /// Panics if full or out of program order.
     pub fn insert(&mut self, seq: Seq, addr: u64, len: u64, is_store: bool) {
         assert!(!self.is_full(), "insert into a full LSQ");
-        if let Some(back) = self.entries.back() {
-            assert!(seq > back.seq, "LSQ insert must follow program order");
+        if self.len > 0 {
+            assert!(
+                seq > self.at(self.len - 1).seq,
+                "LSQ insert must follow program order"
+            );
         }
-        self.entries.push_back(LsqEntry {
+        self.slots[(self.head + self.len) & self.mask] = LsqEntry {
             seq,
             addr,
             len,
             is_store,
             executed: false,
-        });
+        };
+        self.len += 1;
     }
 
     /// Marks a memory instruction as executed (address + data done).
     ///
-    /// Entries are kept in ascending seq order, so the lookup is a
-    /// binary search rather than a scan.
+    /// Entries sit in ascending seq order by position, so the lookup is
+    /// a binary search over positions rather than a scan.
     pub fn mark_executed(&mut self, seq: Seq) {
-        if let Ok(idx) = self.entries.binary_search_by_key(&seq, |e| e.seq) {
-            self.entries[idx].executed = true;
+        let (mut lo, mut hi) = (0, self.len);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.at(mid).seq.cmp(&seq) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => {
+                    self.slots[(self.head + mid) & self.mask].executed = true;
+                    return;
+                }
+            }
         }
     }
 
@@ -129,7 +175,8 @@ impl Lsq {
     /// proceed this cycle.
     pub fn plan_load(&self, seq: Seq, addr: u64, len: u64) -> LoadPlan {
         // Scan older entries youngest-first for the nearest overlapping store.
-        for e in self.entries.iter().rev() {
+        for i in (0..self.len).rev() {
+            let e = self.at(i);
             if e.seq >= seq {
                 continue;
             }
@@ -152,19 +199,20 @@ impl Lsq {
     /// front entry — a front that is *older* than `seq` would have had
     /// to commit (and be removed) first.
     pub fn remove(&mut self, seq: Seq) {
-        if self.entries.front().is_some_and(|e| e.seq == seq) {
-            self.entries.pop_front();
+        if self.len > 0 && self.at(0).seq == seq {
+            self.head = (self.head + 1) & self.mask;
+            self.len -= 1;
             return;
         }
         debug_assert!(
-            !self.entries.iter().any(|e| e.seq == seq),
+            !(0..self.len).any(|i| self.at(i).seq == seq),
             "removal of a non-front seq breaks the in-order-departure invariant"
         );
     }
 
     /// Squashes everything.
     pub fn flush_all(&mut self) {
-        self.entries.clear();
+        self.len = 0;
     }
 }
 
@@ -262,6 +310,37 @@ mod tests {
         lsq.mark_executed(2);
         lsq.mark_executed(5); // absent: no-op
         assert_eq!(lsq.plan_load(7, 0x1000, 8), LoadPlan::Forward { store: 2 });
+    }
+
+    #[test]
+    fn ring_wraps_without_losing_order_or_entries() {
+        // Capacity 3 on a 4-slot ring: the head crosses the wrap seam
+        // every other round, with live disambiguation queries spanning
+        // it each time.
+        let mut lsq = Lsq::new(3);
+        let mut seq: Seq = 0;
+        for _ in 0..25 {
+            let (store, load) = (seq, seq + 1);
+            seq += 2;
+            lsq.insert(store, 0x1000, 8, true);
+            lsq.insert(load, 0x1000, 8, false);
+            assert_eq!(lsq.plan_load(load, 0x1000, 8), LoadPlan::Wait { store });
+            lsq.mark_executed(store);
+            assert_eq!(lsq.plan_load(load, 0x1000, 8), LoadPlan::Forward { store });
+            lsq.remove(store);
+            lsq.remove(load);
+            assert!(lsq.is_empty());
+        }
+        // Fill to capacity straddling the seam and check the youngest-
+        // older-store rule still resolves across it.
+        lsq.insert(seq, 0x2000, 8, true);
+        lsq.insert(seq + 1, 0x3000, 8, true);
+        lsq.insert(seq + 2, 0x2000, 8, false);
+        assert!(lsq.is_full());
+        assert_eq!(
+            lsq.plan_load(seq + 2, 0x2000, 8),
+            LoadPlan::Wait { store: seq }
+        );
     }
 
     #[test]

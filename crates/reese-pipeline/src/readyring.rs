@@ -10,6 +10,11 @@
 //! of `capacity` bits indexed by `seq mod ring_size` is exact: one word
 //! op per mutation, no allocation ever, and oldest-first iteration is a
 //! rotated word scan starting at the window base.
+//!
+//! This `seq & mask` slot mapping is shared with [`crate::InstArena`]
+//! (same power-of-two rounding, same injectivity argument over a
+//! seq-contiguous live window), so a ready bit and the arena record it
+//! qualifies always agree on the slot a seq occupies.
 
 use crate::Seq;
 

@@ -416,7 +416,7 @@ impl<'c> Machine<'c> {
             let is_mem = e.is_mem();
             let fetched = e.is_control().then_some(Fetched {
                 seq: e.seq,
-                info: e.info,
+                info: *e.info,
                 pred: e.pred,
             });
             if O::ENABLED {

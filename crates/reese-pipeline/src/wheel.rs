@@ -17,6 +17,27 @@
 //! of exactly one cycle and the ring never needs tombstones. If a push
 //! ever outruns the horizon the ring doubles (a handful of times per
 //! process at most, driven by configured latencies, not by load).
+//!
+//! # Over-span scheduling audit
+//!
+//! An event scheduled ≥ `ring_size` cycles ahead would alias the slot
+//! of a nearer cycle under `cycle & mask` — a long-latency op landing
+//! in an occupied bucket would then fire with (and be sorted among)
+//! events of a different cycle: silently early and misordered. The
+//! guard is the grow loop in [`EventWheel::push`]: it runs *before*
+//! the slot index is computed and doubles the ring until
+//! `cycle - cursor < ring_size`, restoring the one-cycle-per-bucket
+//! invariant. [`EventWheel::grow`] preserves it for the events already
+//! resident: every live cycle lies in `[cursor, cursor + old_size)`,
+//! and re-homing bucket `(cursor + d) & old_mask` to
+//! `(cursor + d) & new_mask` for `d in 0..old_size` maps distinct live
+//! cycles to distinct new slots (the window is shorter than the new
+//! ring) while freshly-created slots start empty. The drain and
+//! [`EventWheel::next_cycle`] walk cycle-by-cycle from
+//! `cursor.max(hint)`, so they can neither resurrect a drained bucket
+//! nor skip a due one. The alias regression is pinned by
+//! `over_span_event_into_an_occupied_slot_neither_drops_nor_reorders`
+//! below.
 
 use crate::Seq;
 
@@ -210,6 +231,36 @@ mod tests {
         assert_eq!(w.take_due(2), vec![0, 2]);
         assert_eq!(w.next_cycle(), Some(INITIAL_SLOTS as u64 * 3));
         assert_eq!(w.take_due(u64::MAX - 1), vec![1]);
+    }
+
+    #[test]
+    fn over_span_event_into_an_occupied_slot_neither_drops_nor_reorders() {
+        // A long-latency completion lands a full wheel span (or two)
+        // after a near event with the *same* masked slot index. Without
+        // the pre-index grow loop the far events would join the near
+        // bucket and fire early; with it they must keep their own
+        // cycles and ascending order.
+        let span = INITIAL_SLOTS as u64;
+        let mut w = EventWheel::new();
+        w.push(3, 10); // occupies slot 3
+        w.push(3 + span, 11); // would alias slot 3 under the old mask
+        w.push(3 + 2 * span, 12); // aliases the doubled ring too
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.take_due(3), vec![10], "only the near event is due");
+        assert_eq!(w.next_cycle(), Some(3 + span));
+        assert_eq!(w.take_due(3 + span), vec![11]);
+        assert_eq!(w.next_cycle(), Some(3 + 2 * span));
+        assert_eq!(w.take_due(3 + 2 * span), vec![12]);
+        assert!(w.is_empty());
+
+        // Same shape with the far event pushed first, so growth has to
+        // re-home an occupied far bucket past a later near push.
+        let mut w = EventWheel::new();
+        w.push(7, 1);
+        w.push(7 + span, 0); // grows; seq 0 younger than the near seq 1
+        w.push(7 + span, 2);
+        assert_eq!(w.take_due(7 + span - 1), vec![1]);
+        assert_eq!(w.take_due(7 + span), vec![0, 2], "bucket drains sorted");
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! ```text
 //! --scheme emulate|baseline|reese|duplex   machine model (default baseline)
 //! --machine starting|ruu32|wide16|ports4   base configuration (default starting)
+//! --ruu-size N       override the RUU window size (≥ 1)
+//! --lsq-size N       override the LSQ size (≥ 1, ≤ RUU size)
+//! --width N          override the fetch/issue width (≥ 1)
 //! --spare-alus N     extra integer ALUs for REESE
 //! --spare-muls N     extra integer multiplier/dividers for REESE
 //! --rqueue N         R-stream Queue size (default 32)
@@ -243,6 +246,20 @@ fn positive<T: TryFrom<u64>>(flag: &str, raw: &str) -> Result<T, CliError> {
     T::try_from(v).map_err(|_| format!("`{flag}` value `{raw}` is out of range").into())
 }
 
+/// Rejects inconsistent machine-geometry overrides at parse time, so
+/// a bad `--ruu-size`/`--lsq-size` pair surfaces as a CLI error instead
+/// of an `assert!` deep inside `PipelineConfig::validate`.
+fn check_geometry(base: &PipelineConfig) -> Result<(), CliError> {
+    if base.lsq_size > base.ruu_size {
+        return Err(format!(
+            "`--lsq-size` ({}) must not exceed the RUU size ({}) — the LSQ tracks a subset of the RUU window",
+            base.lsq_size, base.ruu_size
+        )
+        .into());
+    }
+    Ok(())
+}
+
 fn parse_run(args: &[String]) -> Result<RunOpts, CliError> {
     let mut opts = RunOpts {
         program: Program::from_text(vec![]),
@@ -273,6 +290,9 @@ fn parse_run(args: &[String]) -> Result<RunOpts, CliError> {
         match a.as_str() {
             "--scheme" => opts.scheme = value()?.clone(),
             "--machine" => opts.base = machine(value()?)?,
+            "--ruu-size" => opts.base.ruu_size = positive(a, value()?)?,
+            "--lsq-size" => opts.base.lsq_size = positive(a, value()?)?,
+            "--width" => opts.base.width = positive(a, value()?)?,
             "--spare-alus" => opts.spare_alus = value()?.parse()?,
             "--spare-muls" => opts.spare_muls = value()?.parse()?,
             "--rqueue" => opts.rqueue = value()?.parse()?,
@@ -297,6 +317,7 @@ fn parse_run(args: &[String]) -> Result<RunOpts, CliError> {
         (Some(_), Some(_)) => return Err("give a file or --kernel, not both".into()),
         (None, None) => return Err("give an assembly file or --kernel NAME".into()),
     };
+    check_geometry(&opts.base)?;
     Ok(opts)
 }
 
@@ -459,6 +480,9 @@ fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
                 }
             }
             "--machine" => opts.base = machine(value()?)?,
+            "--ruu-size" => opts.base.ruu_size = positive(a, value()?)?,
+            "--lsq-size" => opts.base.lsq_size = positive(a, value()?)?,
+            "--width" => opts.base.width = positive(a, value()?)?,
             "--spare-alus" => opts.spare_alus = value()?.parse()?,
             "--spare-muls" => opts.spare_muls = value()?.parse()?,
             "--max-insns" => opts.max_insns = value()?.parse()?,
@@ -478,6 +502,7 @@ fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
         (Some(_), Some(_)) => return Err("give a file or --kernel, not both".into()),
         (None, None) => Kernel::Lisp.build(1),
     };
+    check_geometry(&opts.base)?;
     Ok(opts)
 }
 
@@ -576,6 +601,9 @@ fn parse_shard(args: &[String]) -> Result<ShardCliOpts, CliError> {
                 })?;
             }
             "--machine" => opts.base = machine(value()?)?,
+            "--ruu-size" => opts.base.ruu_size = positive(a, value()?)?,
+            "--lsq-size" => opts.base.lsq_size = positive(a, value()?)?,
+            "--width" => opts.base.width = positive(a, value()?)?,
             "--out" => opts.out = Some(value()?.clone()),
             "--snapshot" => opts.snapshot = Some(value()?.clone()),
             "--trace-out" => opts.trace_out = Some(value()?.clone()),
@@ -596,6 +624,7 @@ fn parse_shard(args: &[String]) -> Result<ShardCliOpts, CliError> {
         (Some(_), Some(_)) => return Err("give a file or --kernel, not both".into()),
         (None, None) => Kernel::Lisp.build(1),
     };
+    check_geometry(&opts.base)?;
     Ok(opts)
 }
 
@@ -994,10 +1023,15 @@ mod tests {
 
     #[test]
     fn zero_metrics_interval_is_rejected_at_parse_time() {
-        let err = parse_run(&strings(&["--kernel", "strings", "--metrics-interval", "0"]))
-            .err()
-            .expect("zero interval must be rejected")
-            .to_string();
+        let err = parse_run(&strings(&[
+            "--kernel",
+            "strings",
+            "--metrics-interval",
+            "0",
+        ]))
+        .err()
+        .expect("zero interval must be rejected")
+        .to_string();
         assert!(err.contains("--metrics-interval"), "got: {err}");
         assert!(err.contains("at least 1"), "got: {err}");
         assert!(parse_campaign(&strings(&["--metrics-interval", "0"])).is_err());
@@ -1022,7 +1056,61 @@ mod tests {
             .err()
             .expect("zero intervals must be rejected")
             .to_string();
-        assert!(err.contains("--intervals") && err.contains("at least 1"), "got: {err}");
+        assert!(
+            err.contains("--intervals") && err.contains("at least 1"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn zero_machine_geometry_is_rejected_at_parse_time() {
+        // A zero here used to survive parsing and blow up as an
+        // `assert!` inside `Ruu::with_scheduler` / `Lsq::new`; all
+        // three front ends must reject it with the flag name instead.
+        for flag in ["--ruu-size", "--lsq-size", "--width"] {
+            let err = parse_run(&strings(&["--kernel", "strings", flag, "0"]))
+                .err()
+                .expect("zero geometry must be rejected")
+                .to_string();
+            assert!(err.contains(flag), "got: {err}");
+            assert!(err.contains("at least 1"), "got: {err}");
+            assert!(parse_campaign(&strings(&[flag, "0"])).is_err());
+            assert!(parse_shard(&strings(&[flag, "0"])).is_err());
+        }
+    }
+
+    #[test]
+    fn lsq_exceeding_ruu_is_rejected_at_parse_time() {
+        let err = parse_run(&strings(&[
+            "--kernel",
+            "strings",
+            "--ruu-size",
+            "8",
+            "--lsq-size",
+            "16",
+        ]))
+        .err()
+        .expect("LSQ > RUU must be rejected")
+        .to_string();
+        assert!(err.contains("--lsq-size"), "got: {err}");
+        assert!(parse_campaign(&strings(&["--ruu-size", "8", "--lsq-size", "16"])).is_err());
+        assert!(parse_shard(&strings(&["--ruu-size", "8", "--lsq-size", "16"])).is_err());
+        // Valid overrides land in the config.
+        let o = parse_run(&strings(&[
+            "--kernel",
+            "strings",
+            "--ruu-size",
+            "64",
+            "--lsq-size",
+            "32",
+            "--width",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(
+            (o.base.ruu_size, o.base.lsq_size, o.base.width),
+            (64, 32, 4)
+        );
     }
 
     #[test]

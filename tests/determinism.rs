@@ -1,0 +1,45 @@
+//! Cross-process determinism of seeded fault campaigns.
+//!
+//! Campaign reports are supposed to be a pure function of (workload,
+//! config, seed, trials) — never of the process that produced them.
+//! The in-process tests already prove serial-vs-parallel byte
+//! identity, but they cannot catch state that varies *between*
+//! processes, e.g. the per-process seed of std's hash maps: iterating
+//! a `HashMap<Seq, _>` to build any part of a report would pass every
+//! in-process test and still differ run to run. `ReeseSim`'s fault
+//! bookkeeping is seq-sorted for exactly that reason; this test pins
+//! the whole pipeline down by running the released binary twice and
+//! byte-comparing the reports.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn campaign_output(tag: &str) -> Vec<u8> {
+    let out: PathBuf = std::env::temp_dir().join(format!(
+        "reese-determinism-{}-{tag}.json",
+        std::process::id()
+    ));
+    let status = Command::new(env!("CARGO_BIN_EXE_reese"))
+        .args([
+            "campaign", "--kernel", "strings", "--trials", "24", "--seed", "20010701", "-j", "2",
+            "--out",
+        ])
+        .arg(&out)
+        .status()
+        .expect("campaign run");
+    assert!(status.success(), "campaign exited with {status}");
+    let bytes = std::fs::read(&out).expect("report written");
+    let _ = std::fs::remove_file(&out);
+    bytes
+}
+
+#[test]
+fn seeded_campaign_is_byte_identical_across_processes() {
+    let first = campaign_output("a");
+    let second = campaign_output("b");
+    assert!(!first.is_empty());
+    assert_eq!(
+        first, second,
+        "same seed, different process ⇒ reports must match byte for byte"
+    );
+}
