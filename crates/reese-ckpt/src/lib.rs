@@ -42,7 +42,10 @@ mod shard;
 mod wire;
 
 pub use checkpoint::{Checkpoint, CkptError, MAGIC, VERSION};
-pub use fastforward::{boundaries, checkpoints_at};
+pub use fastforward::{
+    boundaries, checkpoint_stream, checkpoint_stream_thinned, checkpoints_at, derive_checkpoint,
+    warm_checkpoint_at,
+};
 pub use shard::{
     run_sharded, IntervalResult, Scheme, ShardError, ShardOptions, ShardOracle, ShardReport,
 };

@@ -202,7 +202,49 @@ impl ReeseSim {
         max_instructions: u64,
         obs: &mut O,
     ) -> Result<ReeseResult, ReeseError> {
-        let mut m = ReeseMachine::restored(&self.config, emulator, warm);
+        self.run_interval_with_faults_observed(emulator, warm, &[], max_instructions, obs)
+    }
+
+    /// Like [`ReeseSim::run_interval`] but with injected faults. Fault
+    /// sequence numbers stay in the *global* dynamic-instruction
+    /// numbering (the restored machine continues counting from the
+    /// checkpoint boundary), so a fault targeting an instruction before
+    /// the boundary never fires.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReeseSim::run_with_faults`].
+    pub fn run_interval_with_faults(
+        &self,
+        emulator: Emulator,
+        warm: Option<&WarmState>,
+        faults: &[InjectedFault],
+        max_instructions: u64,
+    ) -> Result<ReeseResult, ReeseError> {
+        self.run_interval_with_faults_observed(
+            emulator,
+            warm,
+            faults,
+            max_instructions,
+            &mut NoopObserver,
+        )
+    }
+
+    /// Like [`ReeseSim::run_interval_with_faults`] but with an
+    /// [`Observer`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ReeseSim::run_with_faults`].
+    pub fn run_interval_with_faults_observed<O: Observer>(
+        &self,
+        emulator: Emulator,
+        warm: Option<&WarmState>,
+        faults: &[InjectedFault],
+        max_instructions: u64,
+        obs: &mut O,
+    ) -> Result<ReeseResult, ReeseError> {
+        let mut m = ReeseMachine::restored(&self.config, emulator, warm, faults);
         m.run(max_instructions, obs)
     }
 }
@@ -255,6 +297,7 @@ impl<'c> ReeseMachine<'c> {
         cfg: &'c ReeseConfig,
         emulator: Emulator,
         warm: Option<&WarmState>,
+        faults: &[InjectedFault],
     ) -> ReeseMachine<'c> {
         let start = emulator.instructions();
         let mut fetch = FetchUnit::from_restored(emulator, cfg.pipeline.predictor.clone());
@@ -263,7 +306,7 @@ impl<'c> ReeseMachine<'c> {
             fetch.import_branch_state(&w.branch);
             hierarchy.import_state(&w.hierarchy);
         }
-        let mut m = ReeseMachine::with_front_end(cfg, fetch, hierarchy, &[]);
+        let mut m = ReeseMachine::with_front_end(cfg, fetch, hierarchy, faults);
         // Sequence numbering continues from the checkpoint boundary.
         m.next_migrate_seq = start;
         m

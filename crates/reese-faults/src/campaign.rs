@@ -1,12 +1,20 @@
 //! Monte-Carlo fault-injection campaigns.
 
-use crate::{CoverageReport, FaultClass, FaultMix, TrialOutcome};
-use reese_core::{InjectedFault, ReeseConfig, ReeseError, ReeseSim};
+use crate::engine::{
+    boundary_count, clean_window, output_fnv, plan_window, TrialWindow, WindowBaseline,
+    MAX_RESIDENT_CHECKPOINTS,
+};
+use crate::stream::{fnv1a64, outcome_line, read_log, LogHeader, LogWriter};
+use crate::{CoverageReport, FaultClass, FaultMix, TrialEngine, TrialOutcome};
+use reese_ckpt::{checkpoint_stream_thinned, derive_checkpoint, warm_checkpoint_at, Checkpoint};
+use reese_core::{InjectedFault, ReeseConfig, ReeseSim};
 use reese_cpu::Emulator;
 use reese_isa::Program;
 use reese_stats::{par_map_indexed, SplitMix64};
 use reese_trace::{MetricsSeries, Tracer};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
+use std::path::PathBuf;
 
 /// Error raised by a campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +28,11 @@ pub enum CampaignError {
         /// Description of the failure.
         message: String,
     },
+    /// A `--resume` log exists but records a different campaign (or is
+    /// corrupt), so its outcomes cannot be reused.
+    Resume(String),
+    /// Reading or writing a campaign log failed.
+    Io(String),
 }
 
 impl fmt::Display for CampaignError {
@@ -27,6 +40,8 @@ impl fmt::Display for CampaignError {
         match self {
             CampaignError::Workload(m) => write!(f, "workload failed: {m}"),
             CampaignError::Trial { trial, message } => write!(f, "trial {trial} failed: {message}"),
+            CampaignError::Resume(m) => write!(f, "resume log mismatch: {m}"),
+            CampaignError::Io(m) => write!(f, "campaign log I/O failed: {m}"),
         }
     }
 }
@@ -45,11 +60,22 @@ impl std::error::Error for CampaignError {}
 /// scored as undetected without corrupting anything — they model the
 /// coverage boundary the paper states in §4.2.
 ///
-/// Trials are independent full simulator runs, so a campaign fans out
-/// over [`Campaign::jobs`] worker threads. All per-trial parameters are
-/// drawn **serially** from the single SplitMix64 stream before any
-/// trial runs, so the resulting [`CoverageReport`] compares equal for
-/// any worker count — parallelism buys wall-clock time only.
+/// Simulated trials are scored over a **checkpoint-anchored window**
+/// around the fault (see [`crate::engine`]): under the default
+/// [`TrialEngine::Replay`] a fault deep in a long workload costs a
+/// restore plus a short suffix run instead of a whole-program
+/// re-simulation, and identical fault keys are memoized, so campaigns
+/// with millions of injections stay tractable. [`TrialEngine::Full`]
+/// recomputes every trial from instruction 0 with no shared state and
+/// is kept as the oracle arm: both engines must produce byte-identical
+/// reports.
+///
+/// All per-trial parameters are drawn **serially** from the single
+/// SplitMix64 stream before any trial runs, so the resulting
+/// [`CoverageReport`] compares equal for any worker count —
+/// parallelism buys wall-clock time only — and a campaign interrupted
+/// and resumed from its [`Campaign::outcomes_jsonl`] log recomputes
+/// exactly the missing trials.
 ///
 /// # Example
 ///
@@ -77,6 +103,11 @@ pub struct Campaign {
     max_instructions: u64,
     jobs: usize,
     metrics_interval: u64,
+    engine: TrialEngine,
+    ckpt_every: u64,
+    outcomes_jsonl: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    trial_limit: Option<usize>,
 }
 
 impl Campaign {
@@ -90,6 +121,11 @@ impl Campaign {
             max_instructions: u64::MAX,
             jobs: 1,
             metrics_interval: 0,
+            engine: TrialEngine::Replay,
+            ckpt_every: crate::DEFAULT_CKPT_EVERY,
+            outcomes_jsonl: None,
+            resume: None,
+            trial_limit: None,
         }
     }
 
@@ -121,10 +157,58 @@ impl Campaign {
     /// Samples per-interval metrics every `n` cycles during each
     /// simulated trial and pools them row-by-row into
     /// [`CoverageReport::metrics`]. 0 (the default) disables sampling —
-    /// trials run on the zero-cost unobserved path. Trial outcomes are
-    /// bit-identical either way.
+    /// trials run on the zero-cost unobserved path, and identical fault
+    /// keys are memoized. Trial outcomes are bit-identical either way.
     pub fn metrics_interval(mut self, n: u64) -> Campaign {
         self.metrics_interval = n;
+        self
+    }
+
+    /// Selects the trial engine (default [`TrialEngine::Replay`]). Both
+    /// engines produce byte-identical reports; `Full` pays the
+    /// from-scratch cost per trial and exists as the oracle arm.
+    pub fn engine(mut self, engine: TrialEngine) -> Campaign {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the checkpoint interval K in instructions (default
+    /// [`crate::DEFAULT_CKPT_EVERY`]). Smaller K means shorter replay
+    /// windows but more checkpoints; the interval shapes the anchored
+    /// windows, so it participates in the campaign-log header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0.
+    pub fn ckpt_every(mut self, n: u64) -> Campaign {
+        assert!(n >= 1, "checkpoint interval must be at least 1");
+        self.ckpt_every = n;
+        self
+    }
+
+    /// Streams every computed outcome to a JSONL campaign log (header
+    /// line plus one line per trial, appended and flushed as trials
+    /// complete), creating/truncating the file.
+    pub fn outcomes_jsonl(mut self, path: impl Into<PathBuf>) -> Campaign {
+        self.outcomes_jsonl = Some(path.into());
+        self
+    }
+
+    /// Resumes from an existing campaign log: recorded trials are
+    /// reused verbatim, only missing ones are computed, and the new
+    /// outcomes append to the same file. The final report is
+    /// byte-identical to an uninterrupted run. Takes precedence over
+    /// [`Campaign::outcomes_jsonl`].
+    pub fn resume(mut self, path: impl Into<PathBuf>) -> Campaign {
+        self.resume = Some(path.into());
+        self
+    }
+
+    /// Caps how many *new* trials this invocation computes (in trial
+    /// order), leaving the rest for a later [`Campaign::resume`]. The
+    /// returned report is partial; `None` (the default) computes all.
+    pub fn trial_limit(mut self, n: usize) -> Campaign {
+        self.trial_limit = Some(n);
         self
     }
 
@@ -133,27 +217,51 @@ impl Campaign {
     /// # Errors
     ///
     /// Returns [`CampaignError::Workload`] if the program cannot run
-    /// cleanly, or [`CampaignError::Trial`] if a trial fails in an
+    /// cleanly, [`CampaignError::Trial`] if a trial fails in an
     /// unexpected way (permanent faults are *expected* only for sticky
-    /// injections, which this campaign does not produce).
+    /// injections, which this campaign does not produce),
+    /// [`CampaignError::Resume`] if a resume log records a different
+    /// campaign, or [`CampaignError::Io`] on log file failures.
     pub fn run(&self, program: &Program) -> Result<CoverageReport, CampaignError> {
-        // Reference run: dynamic length and clean cycle count.
-        let mut emu = Emulator::new(program);
-        let reference = emu
-            .run(self.max_instructions)
-            .map_err(|e| CampaignError::Workload(e.to_string()))?;
-        let dynamic_len = reference.instructions;
+        let sim = ReeseSim::new(self.config.clone());
+
+        // The reference sweep (dynamic length + checkpoints) and the
+        // clean detailed run are independent: overlap them when the
+        // campaign has workers to spare.
+        let (sweep, clean) = if self.jobs > 1 {
+            std::thread::scope(|scope| {
+                let clean = scope.spawn(|| sim.run_limit(program, self.max_instructions));
+                let sweep = self.reference_sweep(program);
+                (sweep, clean.join().expect("clean reference pass panicked"))
+            })
+        } else {
+            (
+                self.reference_sweep(program),
+                sim.run_limit(program, self.max_instructions),
+            )
+        };
+        let (coarse, stride, dynamic_len) = sweep?;
+        let clean = clean.map_err(|e| CampaignError::Workload(e.to_string()))?;
         if dynamic_len == 0 {
             return Err(CampaignError::Workload(
                 "program executes no instructions".into(),
             ));
         }
-        let sim = ReeseSim::new(self.config.clone());
-        let clean = sim
-            .run_limit(program, self.max_instructions)
-            .map_err(|e| CampaignError::Workload(e.to_string()))?;
         let clean_cycles = clean.cycles();
         let clean_digest = clean.state_digest;
+        let boundaries = boundary_count(dynamic_len, self.ckpt_every);
+        if self.engine == TrialEngine::Replay {
+            assert_eq!(
+                stride % self.ckpt_every,
+                0,
+                "sweep stride must stay on the anchor grid"
+            );
+            assert_eq!(
+                coarse.len(),
+                boundary_count(dynamic_len, stride),
+                "checkpoint sweep disagrees with planned boundary count"
+            );
+        }
 
         // Serial parameter pre-draw: the single SplitMix64 stream is
         // consumed in trial order here, before any trial executes, so
@@ -169,113 +277,348 @@ impl Campaign {
             })
             .collect();
 
-        let (outcomes, throughput) =
-            par_map_indexed(self.jobs, &params, |trial, &(class, seq, bit)| {
-                self.run_trial(
-                    &sim,
-                    program,
-                    trial,
-                    class,
-                    seq,
-                    bit,
-                    clean_cycles,
-                    clean_digest,
+        // Campaign-log plumbing: a resume log replays its recorded
+        // outcomes after header validation; a fresh log starts with the
+        // header line.
+        let header = self.log_header(dynamic_len, clean_cycles, clean_digest);
+        let (recorded, mut log) = match (&self.resume, &self.outcomes_jsonl) {
+            (Some(path), _) => {
+                let recorded = read_log(path, &header)?;
+                (recorded, Some(LogWriter::append(path)?))
+            }
+            (None, Some(path)) => (BTreeMap::new(), Some(LogWriter::create(path, &header)?)),
+            (None, None) => (BTreeMap::new(), None),
+        };
+
+        // Which trials still need computing, honoring the trial cap.
+        let mut todo: Vec<usize> = (0..self.trials)
+            .filter(|t| !recorded.contains_key(t))
+            .collect();
+        if let Some(cap) = self.trial_limit {
+            todo.truncate(cap);
+        }
+
+        // Distinct fault keys in first-occurrence order: a simulated
+        // outcome is a pure function of (class, seq, bit), so the
+        // memoized path computes each key once however many trials drew
+        // it.
+        let mut keys: Vec<(FaultClass, u64, u8)> = Vec::new();
+        let mut key_of: HashMap<(FaultClass, u64, u8), usize> = HashMap::new();
+        for &t in &todo {
+            key_of.entry(params[t]).or_insert_with(|| {
+                keys.push(params[t]);
+                keys.len() - 1
+            });
+        }
+
+        // Recover exactly the anchor checkpoints the distinct keys use
+        // from the coarse sweep — the campaign pays a capture per
+        // *used* anchor, not per boundary of a long program.
+        let anchors = self.anchor_checkpoints(program, &coarse, stride, boundaries, &keys)?;
+        drop(coarse);
+        let baselines = self.window_baselines(&sim, program, &anchors, boundaries, &keys)?;
+
+        let mut computed: BTreeMap<usize, TrialOutcome> = BTreeMap::new();
+        let mut metrics: Option<MetricsSeries> = None;
+        let throughput;
+        if self.metrics_interval == 0 {
+            let (results, stats) = par_map_indexed(self.jobs, &keys, |_, &(class, seq, bit)| {
+                self.trial_outcome(
+                    &sim, program, &anchors, &baselines, boundaries, class, seq, bit, None,
                 )
             });
-
-        let mut report = CoverageReport::new(clean_cycles);
-        let mut metrics: Option<MetricsSeries> = None;
-        for outcome in outcomes {
-            let (trial, trial_metrics) = outcome?;
-            report.record(trial);
-            if let Some(m) = trial_metrics {
-                match &mut metrics {
-                    None => metrics = Some(m),
-                    Some(acc) => acc.merge_pooled(&m),
+            throughput = stats;
+            for &t in &todo {
+                match &results[key_of[&params[t]]] {
+                    Ok(o) => {
+                        computed.insert(t, *o);
+                    }
+                    Err(m) => {
+                        return Err(CampaignError::Trial {
+                            trial: t,
+                            message: m.clone(),
+                        })
+                    }
                 }
             }
+        } else {
+            // Metrics sampling pools one series per simulated *trial*;
+            // memoization would collapse duplicate keys and change the
+            // pooled totals, so every trial simulates individually.
+            let (results, stats) = par_map_indexed(self.jobs, &todo, |_, &t| {
+                let (class, seq, bit) = params[t];
+                let mut tracer = class
+                    .detectable_by_design()
+                    .then(|| Tracer::new().with_interval(self.metrics_interval));
+                let outcome = self
+                    .trial_outcome(
+                        &sim,
+                        program,
+                        &anchors,
+                        &baselines,
+                        boundaries,
+                        class,
+                        seq,
+                        bit,
+                        tracer.as_mut(),
+                    )
+                    .map_err(|message| CampaignError::Trial { trial: t, message })?;
+                let series = tracer.map(|mut t| {
+                    t.finish();
+                    t.into_parts().1
+                });
+                Ok((outcome, series))
+            });
+            throughput = stats;
+            for (result, &t) in results.into_iter().zip(&todo) {
+                let (outcome, series) = result?;
+                computed.insert(t, outcome);
+                if let Some(m) = series {
+                    match &mut metrics {
+                        None => metrics = Some(m),
+                        Some(acc) => acc.merge_pooled(&m),
+                    }
+                }
+            }
+        }
+
+        // Stream the new outcomes (trial order) before assembling the
+        // report, so an interrupted consumer still has them on disk.
+        if let Some(log) = &mut log {
+            for (&t, o) in &computed {
+                log.line(&outcome_line(t, o))?;
+            }
+        }
+
+        let mut all = recorded;
+        all.extend(computed);
+        let mut report = CoverageReport::new(clean_cycles);
+        for o in all.values() {
+            report.record(*o);
         }
         report.metrics = metrics;
         report.throughput = Some(throughput);
         Ok(report)
     }
 
-    /// Runs one injection trial (independent of every other trial).
-    /// Returns the outcome plus the trial's metrics series when
-    /// sampling is on and the trial actually simulated.
-    #[allow(clippy::too_many_arguments)]
-    fn run_trial(
+    /// The reference pass. Under `Replay` the checkpoint-capture sweep
+    /// *is* the reference pass — one emulator walk yields the dynamic
+    /// length and a bounded set of coarse checkpoints (the sweep thins
+    /// itself on long programs; the anchors trials actually use are
+    /// derived afterwards, so capture cost scales with the campaign,
+    /// not the program). Under `Full` no state is kept (trials
+    /// re-derive their anchors from scratch), so only a plain emulator
+    /// run measures the length.
+    fn reference_sweep(
+        &self,
+        program: &Program,
+    ) -> Result<(Vec<Checkpoint>, u64, u64), CampaignError> {
+        match self.engine {
+            TrialEngine::Replay => checkpoint_stream_thinned(
+                program,
+                self.ckpt_every,
+                &self.config.pipeline,
+                self.max_instructions,
+                MAX_RESIDENT_CHECKPOINTS,
+            )
+            .map_err(|e| CampaignError::Workload(e.to_string())),
+            TrialEngine::Full => {
+                let mut emu = Emulator::new(program);
+                let r = emu
+                    .run(self.max_instructions)
+                    .map_err(|e| CampaignError::Workload(e.to_string()))?;
+                Ok((Vec::new(), self.ckpt_every, r.instructions))
+            }
+        }
+    }
+
+    /// Derives the anchor checkpoints the distinct simulated keys use
+    /// from the coarse sweep, on the worker pool. Each distinct anchor
+    /// costs at most one coarse-stride warm fast-forward plus one
+    /// capture; anchors that land on the coarse grid are reused as-is.
+    /// Replay-only: the `Full` arm re-derives anchors from instruction
+    /// 0 inside each trial.
+    fn anchor_checkpoints(
+        &self,
+        program: &Program,
+        coarse: &[Checkpoint],
+        stride: u64,
+        boundaries: usize,
+        keys: &[(FaultClass, u64, u8)],
+    ) -> Result<HashMap<usize, Checkpoint>, CampaignError> {
+        if self.engine == TrialEngine::Full {
+            return Ok(HashMap::new());
+        }
+        let mut wanted: Vec<usize> = Vec::new();
+        let mut seen = HashSet::new();
+        for &(class, seq, _) in keys {
+            if class.detectable_by_design() {
+                let w = plan_window(seq, self.ckpt_every, boundaries, self.max_instructions);
+                if seen.insert(w.anchor_idx) {
+                    wanted.push(w.anchor_idx);
+                }
+            }
+        }
+        let (results, _) = par_map_indexed(self.jobs, &wanted, |_, &idx| {
+            let boundary = idx as u64 * self.ckpt_every;
+            let base = &coarse[(boundary / stride) as usize];
+            derive_checkpoint(program, base, boundary, &self.config.pipeline)
+                .map_err(|e| e.to_string())
+        });
+        let mut map = HashMap::with_capacity(wanted.len());
+        for (idx, r) in wanted.into_iter().zip(results) {
+            let ck =
+                r.map_err(|m| CampaignError::Workload(format!("anchor derivation failed: {m}")))?;
+            map.insert(idx, ck);
+        }
+        Ok(map)
+    }
+
+    /// The campaign-log header: everything the outcome sequence is a
+    /// pure function of (deliberately excluding the engine, the worker
+    /// count, and metrics sampling — none may change outcomes).
+    fn log_header(&self, dynamic_len: u64, clean_cycles: u64, clean_digest: u64) -> LogHeader {
+        let mut mix = [0u32; 5];
+        for (slot, class) in mix.iter_mut().zip(FaultClass::ALL) {
+            *slot = self.mix.weight(class);
+        }
+        LogHeader {
+            seed: self.seed,
+            trials: self.trials as u64,
+            mix,
+            ckpt_every: self.ckpt_every,
+            max_instructions: self.max_instructions,
+            config_fnv: fnv1a64(format!("{:?}", self.config).as_bytes()),
+            dynamic_len,
+            clean_cycles,
+            clean_digest,
+        }
+    }
+
+    /// Clean-window baselines for every distinct window the simulated
+    /// keys touch, computed on the worker pool before trial fan-out.
+    /// Replay-only: the `Full` arm recomputes its baseline inside each
+    /// trial, sharing nothing.
+    fn window_baselines(
         &self,
         sim: &ReeseSim,
         program: &Program,
-        trial: usize,
+        anchors: &HashMap<usize, Checkpoint>,
+        boundaries: usize,
+        keys: &[(FaultClass, u64, u8)],
+    ) -> Result<HashMap<TrialWindow, WindowBaseline>, CampaignError> {
+        if self.engine == TrialEngine::Full {
+            return Ok(HashMap::new());
+        }
+        let mut windows: Vec<TrialWindow> = Vec::new();
+        let mut seen = HashSet::new();
+        for &(class, seq, _) in keys {
+            if class.detectable_by_design() {
+                let w = plan_window(seq, self.ckpt_every, boundaries, self.max_instructions);
+                if seen.insert(w) {
+                    windows.push(w);
+                }
+            }
+        }
+        let (results, _) = par_map_indexed(self.jobs, &windows, |_, w| {
+            clean_window(sim, program, &anchors[&w.anchor_idx], w.budget).map_err(|e| e.to_string())
+        });
+        let mut map = HashMap::with_capacity(windows.len());
+        for (w, r) in windows.into_iter().zip(results) {
+            let baseline =
+                r.map_err(|m| CampaignError::Workload(format!("clean window failed: {m}")))?;
+            map.insert(w, baseline);
+        }
+        Ok(map)
+    }
+
+    /// Scores one fault key over its anchored window (see
+    /// [`crate::engine`] for the window contract shared by both
+    /// engines).
+    #[allow(clippy::too_many_arguments)]
+    fn trial_outcome(
+        &self,
+        sim: &ReeseSim,
+        program: &Program,
+        anchors: &HashMap<usize, Checkpoint>,
+        baselines: &HashMap<TrialWindow, WindowBaseline>,
+        boundaries: usize,
         class: FaultClass,
         seq: u64,
         bit: u8,
-        clean_cycles: u64,
-        clean_digest: u64,
-    ) -> Result<(TrialOutcome, Option<MetricsSeries>), CampaignError> {
-        match class {
-            FaultClass::PrimaryResult | FaultClass::RedundantResult => {
-                let fault = if class == FaultClass::PrimaryResult {
-                    InjectedFault::primary(seq, bit)
-                } else {
-                    InjectedFault::redundant(seq, bit)
-                };
-                let mut tracer = (self.metrics_interval > 0)
-                    .then(|| Tracer::new().with_interval(self.metrics_interval));
-                let r = match &mut tracer {
-                    Some(t) => {
-                        sim.run_with_faults_observed(program, &[fault], 0, self.max_instructions, t)
-                    }
-                    None => sim.run_with_faults(program, &[fault], self.max_instructions),
-                }
-                .map_err(|e: ReeseError| CampaignError::Trial {
-                    trial,
-                    message: e.to_string(),
-                })?;
-                let detected = !r.detections.is_empty();
-                let metrics = tracer.map(|mut t| {
-                    t.finish();
-                    t.into_parts().1
-                });
-                Ok((
-                    TrialOutcome {
-                        class,
-                        seq,
-                        bit,
-                        detected,
-                        detection_latency: r.detections.first().map(DetectionLatency::of),
-                        extra_cycles: r.cycles().saturating_sub(clean_cycles),
-                        state_clean: r.state_digest == clean_digest,
-                    },
-                    metrics,
-                ))
-            }
+        tracer: Option<&mut Tracer>,
+    ) -> Result<TrialOutcome, String> {
+        if !class.detectable_by_design() {
             // Classes outside REESE's observation window: scored
             // undetected-by-design, nothing to simulate.
-            _ => Ok((
-                TrialOutcome {
-                    class,
-                    seq,
-                    bit,
-                    detected: false,
-                    detection_latency: None,
-                    extra_cycles: 0,
-                    state_clean: true,
-                },
-                None,
-            )),
+            return Ok(TrialOutcome {
+                class,
+                seq,
+                bit,
+                detected: false,
+                detection_latency: None,
+                extra_cycles: 0,
+                state_clean: true,
+            });
         }
-    }
-}
-
-/// Helper newtype so `map` above stays readable.
-struct DetectionLatency;
-
-impl DetectionLatency {
-    fn of(d: &reese_core::DetectionEvent) -> u64 {
-        d.latency()
+        let window = plan_window(seq, self.ckpt_every, boundaries, self.max_instructions);
+        let owned;
+        let (ck, baseline): (&Checkpoint, WindowBaseline) = match self.engine {
+            TrialEngine::Replay => (&anchors[&window.anchor_idx], baselines[&window]),
+            TrialEngine::Full => {
+                // The oracle arm: re-derive the anchor state from
+                // instruction 0 and re-run the clean window, every
+                // trial, sharing nothing with any other trial.
+                owned = warm_checkpoint_at(
+                    program,
+                    window.anchor(self.ckpt_every),
+                    &self.config.pipeline,
+                )
+                .map_err(|e| e.to_string())?;
+                let baseline =
+                    clean_window(sim, program, &owned, window.budget).map_err(|e| e.to_string())?;
+                (&owned, baseline)
+            }
+        };
+        let fault = if class == FaultClass::PrimaryResult {
+            InjectedFault::primary(seq, bit)
+        } else {
+            InjectedFault::redundant(seq, bit)
+        };
+        let faults = [fault];
+        let r = match tracer {
+            Some(t) => sim.run_interval_with_faults_observed(
+                ck.restore(program),
+                ck.warm.as_ref(),
+                &faults,
+                window.budget,
+                t,
+            ),
+            None => sim.run_interval_with_faults(
+                ck.restore(program),
+                ck.warm.as_ref(),
+                &faults,
+                window.budget,
+            ),
+        }
+        .map_err(|e| e.to_string())?;
+        // Commit-granularity cleanliness: recovery must leave the
+        // committed output stream identical to the clean window's. The
+        // frontier digest is only comparable when the window reached
+        // halt — a budget-limited stop leaves the fetch emulator a
+        // recovery-dependent distance past the last commit, so there
+        // the digest measures speculative fetch depth, not state.
+        let state_clean = output_fnv(&r.output) == baseline.output_fnv
+            && (!baseline.halted || r.state_digest == baseline.digest);
+        Ok(TrialOutcome {
+            class,
+            seq,
+            bit,
+            detected: !r.detections.is_empty(),
+            detection_latency: r.detections.first().map(|d| d.latency()),
+            extra_cycles: r.cycles().saturating_sub(baseline.cycles),
+            state_clean,
+        })
     }
 }
 
@@ -355,6 +698,22 @@ mod tests {
     }
 
     #[test]
+    fn full_engine_matches_replay_engine() {
+        let run = |engine: TrialEngine| {
+            Campaign::new(ReeseConfig::starting(), FaultMix::broad())
+                .trials(20)
+                .seed(42)
+                .engine(engine)
+                .run(&loop_prog())
+                .unwrap()
+        };
+        let full = run(TrialEngine::Full);
+        let replay = run(TrialEngine::Replay);
+        assert_eq!(full, replay);
+        assert_eq!(full.to_json(), replay.to_json());
+    }
+
+    #[test]
     fn parallel_run_reports_throughput() {
         let report = Campaign::new(ReeseConfig::starting(), FaultMix::result_errors_only())
             .trials(8)
@@ -362,7 +721,7 @@ mod tests {
             .run(&loop_prog())
             .unwrap();
         let t = report.throughput.expect("throughput recorded");
-        assert_eq!(t.items(), 8);
+        assert_eq!(t.items(), 8, "eight distinct fault keys, none memoized");
         assert_eq!(t.jobs, 4);
         assert!(t.items_per_sec() > 0.0);
     }
@@ -413,5 +772,110 @@ mod tests {
             .unwrap();
         assert_eq!(report.trials(), 0);
         assert_eq!(report.coverage(), 0.0);
+    }
+
+    #[test]
+    fn memoization_keeps_duplicate_keys_cheap() {
+        // A one-instruction-long program (plus halt) gives few distinct
+        // seqs, so a large campaign collapses to few simulated keys.
+        let prog =
+            assemble("  li t0, 2\nloop: addi t0, t0, -1\n  bnez t0, loop\n  halt\n").unwrap();
+        let report = Campaign::new(ReeseConfig::starting(), FaultMix::result_errors_only())
+            .trials(5_000)
+            .seed(5)
+            .run(&prog)
+            .unwrap();
+        assert_eq!(report.trials(), 5_000);
+        let t = report.throughput.expect("throughput recorded");
+        // 2 classes x 6 dynamic instructions x 64 bits = 768 keys max.
+        assert!(
+            t.items() <= 768,
+            "{} simulated items for 5000 trials",
+            t.items()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_checkpoint_interval_panics() {
+        let _ = Campaign::new(ReeseConfig::starting(), FaultMix::broad()).ckpt_every(0);
+    }
+
+    #[test]
+    fn outcomes_jsonl_then_resume_is_byte_identical() {
+        let dir = std::env::temp_dir().join(format!("reese-campaign-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("campaign.jsonl");
+        let base = || {
+            Campaign::new(ReeseConfig::starting(), FaultMix::broad())
+                .trials(16)
+                .seed(9)
+        };
+        let whole = base().run(&loop_prog()).unwrap();
+        // First half, interrupted via the trial cap...
+        let partial = base()
+            .outcomes_jsonl(&log)
+            .trial_limit(8)
+            .run(&loop_prog())
+            .unwrap();
+        assert_eq!(partial.trials(), 8);
+        assert_eq!(partial.outcomes, whole.outcomes[..8]);
+        // ...then resumed to completion.
+        let resumed = base().resume(&log).run(&loop_prog()).unwrap();
+        assert_eq!(resumed, whole);
+        assert_eq!(resumed.to_json(), whole.to_json());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_seed() {
+        let dir = std::env::temp_dir().join(format!("reese-campaign-seed-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("campaign.jsonl");
+        Campaign::new(ReeseConfig::starting(), FaultMix::broad())
+            .trials(4)
+            .seed(1)
+            .outcomes_jsonl(&log)
+            .run(&loop_prog())
+            .unwrap();
+        let err = Campaign::new(ReeseConfig::starting(), FaultMix::broad())
+            .trials(4)
+            .seed(2)
+            .resume(&log)
+            .run(&loop_prog())
+            .unwrap_err();
+        match err {
+            CampaignError::Resume(m) => assert!(m.contains("`seed`"), "{m}"),
+            other => panic!("expected Resume error, got {other}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_different_program() {
+        let dir = std::env::temp_dir().join(format!("reese-campaign-prog-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("campaign.jsonl");
+        let base = || {
+            Campaign::new(ReeseConfig::starting(), FaultMix::broad())
+                .trials(4)
+                .seed(1)
+        };
+        base().outcomes_jsonl(&log).run(&loop_prog()).unwrap();
+        let other =
+            assemble("  li t0, 10\nloop: addi t0, t0, -1\n  bnez t0, loop\n  halt\n").unwrap();
+        let err = base().resume(&log).run(&other).unwrap_err();
+        assert!(matches!(err, CampaignError::Resume(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_missing_file_is_io_error() {
+        let err = Campaign::new(ReeseConfig::starting(), FaultMix::broad())
+            .trials(4)
+            .resume("/nonexistent/campaign.jsonl")
+            .run(&loop_prog())
+            .unwrap_err();
+        assert!(matches!(err, CampaignError::Io(_)), "{err}");
     }
 }

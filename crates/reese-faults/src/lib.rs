@@ -25,9 +25,12 @@
 //! ```
 
 mod campaign;
+mod engine;
 mod model;
 mod report;
+mod stream;
 
 pub use campaign::{Campaign, CampaignError};
+pub use engine::{TrialEngine, DEFAULT_CKPT_EVERY};
 pub use model::{FaultClass, FaultMix};
 pub use report::{CoverageReport, TrialOutcome};

@@ -45,6 +45,12 @@ impl FaultClass {
             FaultClass::PrimaryResult | FaultClass::RedundantResult
         )
     }
+
+    /// Parses a display name (`"p-result"`, …) back to the class, the
+    /// inverse of [`fmt::Display`]. Used by campaign-log resume.
+    pub fn from_name(name: &str) -> Option<FaultClass> {
+        FaultClass::ALL.into_iter().find(|c| c.to_string() == name)
+    }
 }
 
 impl fmt::Display for FaultClass {
@@ -242,5 +248,13 @@ mod tests {
         for c in FaultClass::ALL {
             assert!(!c.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn name_round_trips() {
+        for c in FaultClass::ALL {
+            assert_eq!(FaultClass::from_name(&c.to_string()), Some(c));
+        }
+        assert_eq!(FaultClass::from_name("gamma-ray"), None);
     }
 }

@@ -39,7 +39,9 @@
 //!
 //! ```text
 //! --kernel NAME | <file.s>   workload (default kernel `lisp`)
+//! --scale N          kernel scale (default 1)
 //! --trials N         number of injection trials (default 200)
+//! --injections N     alias for --trials
 //! --seed S           campaign PRNG seed (default 0xFA017)
 //! --mix broad|result fault-class mix (default broad)
 //! --machine ...      base configuration, as for `run`
@@ -47,6 +49,12 @@
 //! --max-insns N      per-trial committed-instruction budget
 //! -j N, --jobs N     worker threads (default: available parallelism;
 //!                    1 forces the serial path — same report either way)
+//! --engine full|replay   trial engine (default replay; full is the
+//!                    from-scratch oracle arm — byte-identical reports)
+//! --ckpt-every K     checkpoint interval in instructions (default 2048)
+//! --outcomes-jsonl FILE  stream per-trial outcomes to a campaign log
+//! --resume FILE      resume an interrupted campaign from its log
+//! --trial-limit N    compute at most N new trials (for staged runs)
 //! --out FILE         write the per-trial report to FILE
 //!                    (.json → JSON, anything else → CSV)
 //! --trace-out FILE   pipetrace of the clean reference run
@@ -431,6 +439,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
 
 struct CampaignOpts {
     program: Program,
+    scale: u32,
     mix: reese::faults::FaultMix,
     trials: usize,
     seed: u64,
@@ -439,6 +448,11 @@ struct CampaignOpts {
     spare_muls: u32,
     max_insns: u64,
     jobs: usize,
+    engine: reese::faults::TrialEngine,
+    ckpt_every: u64,
+    outcomes_jsonl: Option<String>,
+    resume: Option<String>,
+    trial_limit: Option<usize>,
     out: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
@@ -448,6 +462,7 @@ struct CampaignOpts {
 fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
     let mut opts = CampaignOpts {
         program: Program::from_text(vec![]),
+        scale: 1,
         mix: reese::faults::FaultMix::broad(),
         trials: 200,
         seed: 0xFA017,
@@ -456,6 +471,11 @@ fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
         spare_muls: 0,
         max_insns: u64::MAX,
         jobs: reese::stats::available_jobs(),
+        engine: reese::faults::TrialEngine::Replay,
+        ckpt_every: reese::faults::DEFAULT_CKPT_EVERY,
+        outcomes_jsonl: None,
+        resume: None,
+        trial_limit: None,
         out: None,
         trace_out: None,
         metrics_out: None,
@@ -470,7 +490,8 @@ fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
                 .ok_or_else(|| format!("`{a}` needs a value").into())
         };
         match a.as_str() {
-            "--trials" => opts.trials = value()?.parse()?,
+            "--trials" | "--injections" => opts.trials = value()?.parse()?,
+            "--scale" => opts.scale = positive(a, value()?)?,
             "--seed" => opts.seed = value()?.parse()?,
             "--mix" => {
                 opts.mix = match value()?.as_str() {
@@ -487,6 +508,11 @@ fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
             "--spare-muls" => opts.spare_muls = value()?.parse()?,
             "--max-insns" => opts.max_insns = value()?.parse()?,
             "-j" | "--jobs" => opts.jobs = positive(a, value()?)?,
+            "--engine" => opts.engine = value()?.parse::<reese::faults::TrialEngine>()?,
+            "--ckpt-every" => opts.ckpt_every = positive(a, value()?)?,
+            "--outcomes-jsonl" => opts.outcomes_jsonl = Some(value()?.clone()),
+            "--resume" => opts.resume = Some(value()?.clone()),
+            "--trial-limit" => opts.trial_limit = Some(positive(a, value()?)?),
             "--out" => opts.out = Some(value()?.clone()),
             "--trace-out" => opts.trace_out = Some(value()?.clone()),
             "--metrics-out" => opts.metrics_out = Some(value()?.clone()),
@@ -496,11 +522,14 @@ fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
             other => return Err(format!("unknown option `{other}`").into()),
         }
     }
+    if opts.resume.is_some() && opts.outcomes_jsonl.is_some() {
+        return Err("`--resume` already appends to its log; drop `--outcomes-jsonl`".into());
+    }
     opts.program = match (file, kernel) {
         (Some(path), None) => assemble(&std::fs::read_to_string(&path)?)?,
-        (None, Some(k)) => k.build(1),
+        (None, Some(k)) => k.build(opts.scale),
         (Some(_), Some(_)) => return Err("give a file or --kernel, not both".into()),
-        (None, None) => Kernel::Lisp.build(1),
+        (None, None) => Kernel::Lisp.build(opts.scale),
     };
     check_geometry(&opts.base)?;
     Ok(opts)
@@ -511,17 +540,28 @@ fn cmd_campaign(args: &[String]) -> Result<(), CliError> {
     let cfg = ReeseConfig::over(o.base)
         .with_spare_int_alus(o.spare_alus)
         .with_spare_int_muldivs(o.spare_muls);
-    let report = reese::faults::Campaign::new(cfg.clone(), o.mix)
+    let mut campaign = reese::faults::Campaign::new(cfg.clone(), o.mix)
         .trials(o.trials)
         .seed(o.seed)
         .max_instructions(o.max_insns)
         .jobs(o.jobs)
+        .engine(o.engine)
+        .ckpt_every(o.ckpt_every)
         .metrics_interval(if o.metrics_out.is_some() {
             o.metrics_interval
         } else {
             0
-        })
-        .run(&o.program)?;
+        });
+    if let Some(path) = &o.outcomes_jsonl {
+        campaign = campaign.outcomes_jsonl(path);
+    }
+    if let Some(path) = &o.resume {
+        campaign = campaign.resume(path);
+    }
+    if let Some(n) = o.trial_limit {
+        campaign = campaign.trial_limit(n);
+    }
+    let report = campaign.run(&o.program)?;
     print!("{report}");
     if let Some(path) = &o.out {
         let serialised = if path.ends_with(".json") {
@@ -1008,6 +1048,97 @@ mod tests {
         assert!(o.jobs >= 1);
         assert_eq!(o.trials, 200);
         assert!(!o.program.is_empty(), "defaults to the lisp kernel");
+        assert_eq!(o.engine, reese::faults::TrialEngine::Replay);
+        assert_eq!(o.ckpt_every, reese::faults::DEFAULT_CKPT_EVERY);
+        assert!(o.outcomes_jsonl.is_none() && o.resume.is_none());
+        assert!(o.trial_limit.is_none());
+    }
+
+    #[test]
+    fn campaign_replay_flags_parse() {
+        let o = parse_campaign(
+            &[
+                "--engine",
+                "full",
+                "--injections",
+                "1000000",
+                "--ckpt-every",
+                "512",
+                "--outcomes-jsonl",
+                "log.jsonl",
+                "--trial-limit",
+                "500",
+            ]
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert_eq!(o.engine, reese::faults::TrialEngine::Full);
+        assert_eq!(o.trials, 1_000_000, "--injections aliases --trials");
+        assert_eq!(o.ckpt_every, 512);
+        assert_eq!(o.outcomes_jsonl.as_deref(), Some("log.jsonl"));
+        assert_eq!(o.trial_limit, Some(500));
+    }
+
+    #[test]
+    fn campaign_scale_grows_the_kernel() {
+        let small = parse_campaign(&strings(&["--kernel", "strings"])).unwrap();
+        let big = parse_campaign(&strings(&["--kernel", "strings", "--scale", "4"])).unwrap();
+        assert_eq!(big.scale, 4);
+        assert!(big.program.len() >= small.program.len());
+        let err = parse_campaign(&strings(&["--scale", "0"]))
+            .err()
+            .expect("zero scale must be rejected")
+            .to_string();
+        assert!(
+            err.contains("--scale") && err.contains("at least 1"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn campaign_bad_engine_is_rejected_at_parse_time() {
+        let err = parse_campaign(&strings(&["--engine", "warp"]))
+            .err()
+            .expect("unknown engine must be rejected")
+            .to_string();
+        assert!(err.contains("unknown trial engine `warp`"), "got: {err}");
+    }
+
+    #[test]
+    fn campaign_zero_ckpt_every_is_rejected_at_parse_time() {
+        let err = parse_campaign(&strings(&["--ckpt-every", "0"]))
+            .err()
+            .expect("zero interval must be rejected")
+            .to_string();
+        assert!(
+            err.contains("--ckpt-every") && err.contains("at least 1"),
+            "got: {err}"
+        );
+        assert!(parse_campaign(&strings(&["--trial-limit", "0"])).is_err());
+    }
+
+    #[test]
+    fn campaign_resume_excludes_outcomes_jsonl() {
+        let err = parse_campaign(&strings(&[
+            "--resume",
+            "a.jsonl",
+            "--outcomes-jsonl",
+            "b.jsonl",
+        ]))
+        .err()
+        .expect("conflicting log flags must be rejected")
+        .to_string();
+        assert!(err.contains("--resume"), "got: {err}");
+        // Each alone is fine.
+        assert_eq!(
+            parse_campaign(&strings(&["--resume", "a.jsonl"]))
+                .unwrap()
+                .resume
+                .as_deref(),
+            Some("a.jsonl")
+        );
     }
 
     #[test]
