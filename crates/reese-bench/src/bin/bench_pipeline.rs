@@ -19,9 +19,18 @@
 //! equivalence check. The sharded row likewise asserts the
 //! `reese-ckpt` oracle: stitched instruction counts and architectural
 //! state must match the monolithic run exactly.
+//!
+//! A final section prices every registered detection scheme through
+//! the [`reese_faults::schemes`] trait: clean-run simulated-cycle and
+//! code-size overhead vs the unprotected baseline, plus wall-clock
+//! throughput. The simulated overheads are deterministic, so `--guard`
+//! holds each scheme to its recorded seed value — a protected scheme's
+//! overhead collapsing toward 1.0x means the scheme quietly stopped
+//! doing its redundant work.
 
 use reese_ckpt::{run_sharded, Scheme, ShardOptions};
 use reese_core::{DuplexSim, ReeseConfig, ReeseSim, SchedulerMode};
+use reese_faults::schemes;
 use reese_pipeline::{PipelineConfig, PipelineSim};
 use reese_stats::bench::{Criterion, PairMeasurement};
 use reese_trace::Tracer;
@@ -59,6 +68,21 @@ const SPEEDUP_BEFORE: &[(&str, &str, f64)] = &[
 /// the ~2x swing an actual small-window regression produced when the
 /// first ready-set implementation landed.
 const GUARD_TOLERANCE: f64 = 0.85;
+
+/// Clean-run overheads of every registered detection scheme vs the
+/// unprotected baseline on the bench kernel (lisp @ 120k, starting
+/// machine): `(scheme, simulated-cycle overhead, code-size overhead)`.
+/// Simulated quantities, so they are exactly reproducible on any host;
+/// the guard holds each protected scheme's overhead to at least
+/// `GUARD_TOLERANCE` of its seed — a collapse toward 1.0x means the
+/// redundant work silently disappeared.
+const SCHEME_OVERHEAD_SEED: &[(&str, f64, f64)] = &[
+    ("baseline", 1.0, 1.0),
+    ("reese", 1.2241, 1.0),
+    ("duplex", 1.7531, 1.0),
+    ("meek", 1.0, 1.0),
+    ("swift", 2.8933, 3.3438),
+];
 
 struct Cell {
     machine: &'static str,
@@ -99,6 +123,29 @@ impl TraceCell {
     /// metrics, as traced-time / untraced-time (1.0 = free).
     fn overhead(&self) -> f64 {
         1.0 / self.pair.speedup
+    }
+}
+
+struct SchemeCell {
+    name: &'static str,
+    cycles: u64,
+    time_overhead: f64,
+    code_overhead: f64,
+    pair: PairMeasurement,
+}
+
+impl SchemeCell {
+    /// Wall-clock cost of running the scheme's clean detailed model,
+    /// as scheme-time / unprotected-pipeline-time (1.0 = free).
+    fn wall_overhead(&self) -> f64 {
+        1.0 / self.pair.speedup
+    }
+
+    fn seed(&self) -> Option<(f64, f64)> {
+        SCHEME_OVERHEAD_SEED
+            .iter()
+            .find(|(n, _, _)| *n == self.name)
+            .map(|&(_, t, c)| (t, c))
     }
 }
 
@@ -346,6 +393,48 @@ fn main() {
         }
     };
 
+    // Detection-scheme pricing: a clean run of every registered backend
+    // over the same kernel through the `DetectionScheme` trait. The
+    // simulated-cycle and code-size overheads are deterministic (the
+    // wall-clock pair is the only host-dependent number), which is what
+    // makes them guardable against the seed table above.
+    let scheme_cells = {
+        let mut g = c.benchmark_group("schemes (starting)");
+        g.sample_size(samples.min(5));
+        let config = ReeseConfig::starting();
+        let base_cycles = schemes::build(Scheme::Baseline, &config)
+            .run_limit(&program, u64::MAX)
+            .expect("kernel runs")
+            .cycles;
+        let mut v = Vec::new();
+        for scheme in Scheme::ALL {
+            let backend = schemes::build(scheme, &config);
+            let prepared = backend.prepare(&program).expect("prepare succeeds");
+            let clean = backend.run_limit(&prepared, u64::MAX).expect("kernel runs");
+            let pair = g.bench_pair(
+                format!("{scheme}/unprotected"),
+                format!("{scheme}/protected"),
+                || {
+                    black_box(
+                        PipelineSim::new(config.pipeline.clone())
+                            .run(&program)
+                            .expect("kernel runs"),
+                    )
+                },
+                || black_box(backend.run_limit(&prepared, u64::MAX).expect("kernel runs")),
+            );
+            v.push(SchemeCell {
+                name: scheme.name(),
+                cycles: clean.cycles,
+                time_overhead: clean.cycles as f64 / base_cycles as f64,
+                code_overhead: prepared.len() as f64 / program.len() as f64,
+                pair,
+            });
+        }
+        g.finish();
+        v
+    };
+
     println!();
     println!(
         "{:<26} {:<9} {:>14} {:>14} {:>8} {:>8}",
@@ -397,6 +486,50 @@ fn main() {
         trace_cell.events,
         trace_cell.metrics_rows
     );
+
+    println!();
+    println!(
+        "{:<9} {:>12} {:>10} {:>10} {:>10}",
+        "scheme", "clean cyc", "time ovh", "code ovh", "wall ovh"
+    );
+    for cell in &scheme_cells {
+        println!(
+            "{:<9} {:>12} {:>9.2}x {:>9.2}x {:>9.2}x",
+            cell.name,
+            cell.cycles,
+            cell.time_overhead,
+            cell.code_overhead,
+            cell.wall_overhead()
+        );
+    }
+    if guard {
+        // A protected scheme's simulated overheads are exact, so any
+        // drop below seed x tolerance means the backend stopped doing
+        // its redundant work (the expensive direction is a perf
+        // question; vanishing overhead is a correctness one).
+        for cell in &scheme_cells {
+            let (time_seed, code_seed) = cell.seed().expect("seed row exists");
+            assert!(
+                cell.time_overhead >= time_seed * GUARD_TOLERANCE,
+                "guard: {} time overhead {:.3} fell below {:.3} \
+                 (seed {:.3} x tolerance {GUARD_TOLERANCE})",
+                cell.name,
+                cell.time_overhead,
+                time_seed * GUARD_TOLERANCE,
+                time_seed,
+            );
+            assert!(
+                cell.code_overhead >= code_seed * GUARD_TOLERANCE,
+                "guard: {} code overhead {:.3} fell below {:.3} \
+                 (seed {:.3} x tolerance {GUARD_TOLERANCE})",
+                cell.name,
+                cell.code_overhead,
+                code_seed * GUARD_TOLERANCE,
+                code_seed,
+            );
+        }
+        println!("guard: scheme overheads hold their seed values");
+    }
 
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"scheduler\",\n");
@@ -453,6 +586,27 @@ fn main() {
         trace_cell.events,
         trace_cell.metrics_rows,
     ));
+    json.push_str("  ,\"schemes\": [\n");
+    let rows: Vec<String> = scheme_cells
+        .iter()
+        .map(|cell| {
+            format!(
+                "    {{\"scheme\": \"{}\", \"clean_cycles\": {}, \
+                 \"time_overhead\": {:.4}, \"code_overhead\": {:.4}, \
+                 \"unprotected_min_s\": {:.6}, \"protected_min_s\": {:.6}, \
+                 \"wall_overhead\": {:.3}}}",
+                cell.name,
+                cell.cycles,
+                cell.time_overhead,
+                cell.code_overhead,
+                cell.pair.a.min.as_secs_f64(),
+                cell.pair.b.min.as_secs_f64(),
+                cell.wall_overhead()
+            )
+        })
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ]\n");
     json.push_str("}\n");
     std::fs::write(&out_path, json).expect("write bench report");
     println!("\nwritten to {out_path}");

@@ -1,18 +1,19 @@
 //! The versioned binary checkpoint: full functional simulator state,
 //! plus an optional microarchitectural warm section.
 //!
-//! # Format (version 2)
+//! # Format (version 3)
 //!
 //! All integers little-endian. The file is one frame:
 //!
 //! ```text
 //! magic      4 bytes  b"RCKP"
-//! version    u16      2
+//! version    u16      3
 //! flags      u16      bit0 = warm section present, bit1 = halted
 //! instructions u64    dynamic instructions executed so far
 //! pc         u64
 //! regs       u32 count, then count x u64
 //! digest     u64      FNV-1a over (regs, pc) — architectural self-check
+//! scheme     u8       detection scheme the snapshot was captured under
 //! exit_code  u64      only if flags bit1
 //! output     u32 count, then count x i64   (values printed so far)
 //! pages      u32 count, then count x (u64 page_number, 4096 bytes)
@@ -34,10 +35,14 @@
 //!
 //! Version 2 added the architectural digest (a semantic complement to
 //! the byte-level CRC: it travels with the snapshot into any future
-//! container that re-frames the bytes). Version-1 frames are rejected
-//! with [`CkptError::UnsupportedVersion`] rather than read.
+//! container that re-frames the bytes). Version 3 added the capturing
+//! [`Scheme`] id so a snapshot cannot be silently restored under a
+//! different detection scheme — [`Checkpoint::decode_for`] enforces the
+//! match. Version-1 and version-2 frames are rejected with
+//! [`CkptError::UnsupportedVersion`] rather than read.
 
 use crate::wire::{crc32, Decoder, Encoder};
+use crate::Scheme;
 use reese_bpred::{BranchSnapshot, BranchStats, RasSnapshot};
 use reese_cpu::{ArchState, Emulator};
 use reese_isa::{Program, NUM_REGS};
@@ -49,7 +54,7 @@ use std::fmt;
 pub const MAGIC: [u8; 4] = *b"RCKP";
 
 /// Current format version.
-pub const VERSION: u16 = 2;
+pub const VERSION: u16 = 3;
 
 const FLAG_WARM: u16 = 1 << 0;
 const FLAG_HALTED: u16 = 1 << 1;
@@ -72,6 +77,14 @@ pub enum CkptError {
     },
     /// Structurally well-formed bytes with an impossible value.
     Malformed(&'static str),
+    /// The snapshot was captured under a different detection scheme
+    /// than the one asking to restore it.
+    SchemeMismatch {
+        /// Scheme recorded in the frame.
+        stored: Scheme,
+        /// Scheme the caller is restoring under.
+        requested: Scheme,
+    },
 }
 
 impl fmt::Display for CkptError {
@@ -90,6 +103,10 @@ impl fmt::Display for CkptError {
                 "checkpoint CRC mismatch (stored {stored:#010x}, computed {computed:#010x})"
             ),
             CkptError::Malformed(what) => write!(f, "malformed checkpoint: {what}"),
+            CkptError::SchemeMismatch { stored, requested } => write!(
+                f,
+                "checkpoint was captured under scheme `{stored}` but is being restored under `{requested}`"
+            ),
         }
     }
 }
@@ -119,6 +136,11 @@ pub struct Checkpoint {
     pub pages: Vec<(u64, [u8; PAGE_SIZE as usize])>,
     /// Microarchitectural warm state, if warm-up was requested.
     pub warm: Option<WarmState>,
+    /// Detection scheme the snapshot was captured under. The functional
+    /// state is scheme-independent, but warm state and downstream
+    /// timing are not, so [`Checkpoint::decode_for`] refuses a frame
+    /// stamped with a different scheme.
+    pub scheme: Scheme,
 }
 
 impl Checkpoint {
@@ -137,12 +159,19 @@ impl Checkpoint {
                 .map(|(n, p)| (n, *p))
                 .collect(),
             warm: None,
+            scheme: Scheme::Baseline,
         }
         .with_warm(warm)
     }
 
     fn with_warm(mut self, warm: Option<WarmState>) -> Checkpoint {
         self.warm = warm;
+        self
+    }
+
+    /// Stamps the detection scheme this snapshot belongs to.
+    pub fn with_scheme(mut self, scheme: Scheme) -> Checkpoint {
+        self.scheme = scheme;
         self
     }
 
@@ -171,7 +200,7 @@ impl Checkpoint {
         ArchState::from_regs(self.regs, self.pc).digest()
     }
 
-    /// Serializes to the version-2 binary format.
+    /// Serializes to the version-3 binary format.
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Encoder::new();
         e.put_bytes(&MAGIC);
@@ -191,6 +220,7 @@ impl Checkpoint {
             e.put_u64(r);
         }
         e.put_u64(self.arch_digest());
+        e.put_u8(self.scheme.id());
         if let Some(code) = self.exit_code {
             e.put_u64(code);
         }
@@ -255,6 +285,8 @@ impl Checkpoint {
         if digest != ArchState::from_regs(regs, pc).digest() {
             return Err(CkptError::Malformed("architectural digest mismatch"));
         }
+        let scheme =
+            Scheme::from_id(d.take_u8()?).ok_or(CkptError::Malformed("unknown scheme id"))?;
         let exit_code = if flags & FLAG_HALTED != 0 {
             Some(d.take_u64()?)
         } else {
@@ -296,7 +328,26 @@ impl Checkpoint {
             output,
             pages,
             warm,
+            scheme,
         })
+    }
+
+    /// Decodes and additionally enforces that the frame was captured
+    /// under `scheme` — the restore-time half of the scheme stamp.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Checkpoint::decode`] rejects, plus
+    /// [`CkptError::SchemeMismatch`] when the stored scheme differs.
+    pub fn decode_for(bytes: &[u8], scheme: Scheme) -> Result<Checkpoint, CkptError> {
+        let ck = Checkpoint::decode(bytes)?;
+        if ck.scheme != scheme {
+            return Err(CkptError::SchemeMismatch {
+                stored: ck.scheme,
+                requested: scheme,
+            });
+        }
+        Ok(ck)
     }
 }
 
@@ -573,24 +624,66 @@ mod tests {
     }
 
     #[test]
-    fn version_1_frames_are_rejected_after_the_digest_bump() {
-        // The digest field changed the frame layout, so version-1 blobs
-        // must be refused outright rather than misparsed.
+    fn old_version_frames_are_rejected_after_layout_bumps() {
+        // v2 added the digest field, v3 the scheme byte; both changed
+        // the frame layout, so older blobs must be refused outright
+        // rather than misparsed.
         let (_, emu) = mid_run_emulator();
-        let mut v1 = Checkpoint::capture(&emu, None).encode();
+        let good = Checkpoint::capture(&emu, None).encode();
         assert_eq!(
-            u16::from_le_bytes([v1[4], v1[5]]),
+            u16::from_le_bytes([good[4], good[5]]),
             VERSION,
             "current frames carry the bumped version"
         );
-        v1[4] = 1;
-        v1[5] = 0;
-        let n = v1.len();
-        let crc = crc32(&v1[..n - 4]);
-        v1[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        for old in [1u16, 2] {
+            let mut bytes = good.clone();
+            bytes[4..6].copy_from_slice(&old.to_le_bytes());
+            let n = bytes.len();
+            let crc = crc32(&bytes[..n - 4]);
+            bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+            assert_eq!(
+                Checkpoint::decode(&bytes),
+                Err(CkptError::UnsupportedVersion(old))
+            );
+        }
+    }
+
+    #[test]
+    fn scheme_round_trips_and_mismatch_is_rejected() {
+        let (_, emu) = mid_run_emulator();
+        for scheme in Scheme::ALL {
+            let ck = Checkpoint::capture(&emu, None).with_scheme(scheme);
+            let bytes = ck.encode();
+            let back = Checkpoint::decode(&bytes).unwrap();
+            assert_eq!(back.scheme, scheme);
+            assert_eq!(Checkpoint::decode_for(&bytes, scheme).unwrap(), ck);
+            for other in Scheme::ALL.into_iter().filter(|&o| o != scheme) {
+                assert_eq!(
+                    Checkpoint::decode_for(&bytes, other),
+                    Err(CkptError::SchemeMismatch {
+                        stored: scheme,
+                        requested: other,
+                    }),
+                    "a `{scheme}` snapshot must not restore under `{other}`"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_scheme_id_is_malformed() {
+        let (_, emu) = mid_run_emulator();
+        let mut bytes = Checkpoint::capture(&emu, None).encode();
+        // Scheme byte offset: magic 4 + version 2 + flags 2 +
+        // instructions 8 + pc 8 + count 4 + 64 regs + digest 8 = 548.
+        let off = 4 + 2 + 2 + 8 + 8 + 4 + 64 * 8 + 8;
+        bytes[off] = 0xEE;
+        let n = bytes.len();
+        let crc = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
         assert_eq!(
-            Checkpoint::decode(&v1),
-            Err(CkptError::UnsupportedVersion(1))
+            Checkpoint::decode(&bytes),
+            Err(CkptError::Malformed("unknown scheme id"))
         );
     }
 

@@ -38,6 +38,7 @@
 
 mod checkpoint;
 mod fastforward;
+mod scheme;
 mod shard;
 mod wire;
 
@@ -46,7 +47,6 @@ pub use fastforward::{
     boundaries, checkpoint_stream, checkpoint_stream_thinned, checkpoints_at, derive_checkpoint,
     warm_checkpoint_at,
 };
-pub use shard::{
-    run_sharded, IntervalResult, Scheme, ShardError, ShardOptions, ShardOracle, ShardReport,
-};
+pub use scheme::Scheme;
+pub use shard::{run_sharded, IntervalResult, ShardError, ShardOptions, ShardOracle, ShardReport};
 pub use wire::crc32;

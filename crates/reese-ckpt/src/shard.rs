@@ -16,7 +16,7 @@
 //! interval, so every sharded run also exercises the wire format
 //! end-to-end.
 
-use crate::{boundaries, checkpoints_at, Checkpoint, CkptError};
+use crate::{boundaries, checkpoints_at, Checkpoint, CkptError, Scheme};
 use reese_core::{DuplexSim, ReeseConfig, ReeseError, ReeseSim, ReeseStats};
 use reese_cpu::{EmuError, Emulator, StopReason};
 use reese_isa::Program;
@@ -25,39 +25,12 @@ use reese_stats::{par_map_indexed, ParallelStats};
 use reese_trace::{MetricsSeries, TraceRing, Tracer};
 use std::fmt;
 
-/// Which detailed timing machine simulates the intervals.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scheme {
-    /// The unprotected out-of-order baseline.
-    Baseline,
-    /// REESE: R-stream Queue time redundancy.
-    Reese,
-    /// Dispatch duplication (Franklin's scheme).
-    Duplex,
-}
-
-impl Scheme {
-    /// All schemes, in report order.
-    pub const ALL: [Scheme; 3] = [Scheme::Baseline, Scheme::Reese, Scheme::Duplex];
-
-    /// Stable lower-case name for CLI and JSON.
-    pub fn name(self) -> &'static str {
-        match self {
-            Scheme::Baseline => "baseline",
-            Scheme::Reese => "reese",
-            Scheme::Duplex => "duplex",
-        }
-    }
-
-    /// Parses a [`Scheme::name`].
-    pub fn parse(s: &str) -> Option<Scheme> {
-        Scheme::ALL.into_iter().find(|k| k.name() == s)
-    }
-}
-
 /// Why a sharded run failed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ShardError {
+    /// The scheme has no per-interval timing machine (see
+    /// [`Scheme::shardable`]).
+    UnsupportedScheme(Scheme),
     /// The functional reference run failed.
     Emu(EmuError),
     /// The program never halts, so it cannot be split into a finite
@@ -77,6 +50,9 @@ pub enum ShardError {
 impl fmt::Display for ShardError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ShardError::UnsupportedScheme(s) => {
+                write!(f, "scheme `{s}` has no sharded interval machine")
+            }
             ShardError::Emu(e) => write!(f, "functional reference run failed: {e}"),
             ShardError::DidNotHalt => write!(f, "program did not halt; cannot shard"),
             ShardError::Ckpt(e) => write!(f, "checkpoint rejected: {e}"),
@@ -266,6 +242,10 @@ pub fn run_sharded(
     scheme: Scheme,
     opts: &ShardOptions,
 ) -> Result<ShardReport, ShardError> {
+    if !scheme.shardable() {
+        return Err(ShardError::UnsupportedScheme(scheme));
+    }
+
     // Pass 1: the functional reference run. Its instruction count fixes
     // the boundaries; its digest and output are the oracle's ground
     // truth.
@@ -277,7 +257,10 @@ pub fn run_sharded(
 
     // Pass 2: fast-forward, emitting one checkpoint per interval start.
     let bounds = boundaries(total, opts.intervals);
-    let ckpts = checkpoints_at(program, &bounds, opts.warmup, &config.pipeline)?;
+    let mut ckpts = checkpoints_at(program, &bounds, opts.warmup, &config.pipeline)?;
+    for ck in &mut ckpts {
+        ck.scheme = scheme;
+    }
 
     // Ship each interval to the pool in serialized form.
     let jobs: Vec<(Vec<u8>, u64)> = ckpts
@@ -388,7 +371,7 @@ fn run_one_interval(
     len: u64,
     metrics_interval: u64,
 ) -> Result<Outcome, IntervalError> {
-    let ck = Checkpoint::decode(bytes).map_err(IntervalError::Ckpt)?;
+    let ck = Checkpoint::decode_for(bytes, scheme).map_err(IntervalError::Ckpt)?;
     let emulator = ck.restore(program);
     let warm = ck.warm.as_ref();
     let warmed = warm.is_some();
@@ -421,6 +404,8 @@ fn run_one_interval(
             .map(|r| Outcome::from_reese(r, warmed))
             .map_err(IntervalError::Sim)?
         }
+        // `run_sharded` rejects non-shardable schemes before dispatch.
+        Scheme::Meek | Scheme::Swift => unreachable!("non-shardable scheme reached a worker"),
     };
     if let Some(mut t) = tracer {
         t.finish();
@@ -453,6 +438,7 @@ fn run_monolithic(
             .run(program)
             .map(|r| r.cycles())
             .map_err(err),
+        Scheme::Meek | Scheme::Swift => Err(ShardError::UnsupportedScheme(scheme)),
     }
 }
 
@@ -484,7 +470,7 @@ mod tests {
     fn sharded_run_is_functionally_exact_for_every_scheme() {
         let prog = program();
         let config = ReeseConfig::starting();
-        for scheme in Scheme::ALL {
+        for scheme in Scheme::ALL.into_iter().filter(|s| s.shardable()) {
             let report = run_sharded(&prog, &config, scheme, &options(4)).unwrap();
             assert!(
                 report.oracle.exact(),
@@ -525,7 +511,7 @@ mod tests {
     fn single_interval_shard_matches_monolithic_cycles_exactly() {
         let prog = program();
         let config = ReeseConfig::starting();
-        for scheme in Scheme::ALL {
+        for scheme in Scheme::ALL.into_iter().filter(|s| s.shardable()) {
             let report = run_sharded(&prog, &config, scheme, &options(1)).unwrap();
             assert!(report.oracle.exact());
             assert_eq!(
@@ -584,6 +570,16 @@ mod tests {
 
         let t = report.trace.as_ref().expect("trace collected");
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn non_shardable_schemes_are_rejected_up_front() {
+        let prog = program();
+        for scheme in Scheme::ALL.into_iter().filter(|s| !s.shardable()) {
+            let err =
+                run_sharded(&prog, &ReeseConfig::starting(), scheme, &options(2)).unwrap_err();
+            assert_eq!(err, ShardError::UnsupportedScheme(scheme));
+        }
     }
 
     #[test]

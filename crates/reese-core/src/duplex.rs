@@ -13,7 +13,8 @@
 //! stream's dependences. [`DuplexSim`] makes that claim measurable:
 //! run the same workload on both machines and compare.
 
-use crate::{ReeseError, ReeseResult, ReeseStats};
+use crate::seqmap::SeqTable;
+use crate::{DetectionEvent, InjectedFault, ReeseError, ReeseResult, ReeseStats, Stream};
 use reese_cpu::Emulator;
 use reese_isa::{FuClass, Program};
 use reese_mem::MemHierarchy;
@@ -103,7 +104,42 @@ impl DuplexSim {
         max_instructions: u64,
         obs: &mut O,
     ) -> Result<ReeseResult, ReeseError> {
-        let mut m = DuplexMachine::new(&self.config, program);
+        self.run_with_faults_observed(program, &[], max_instructions, obs)
+    }
+
+    /// Runs with a set of faults to inject. A fault targeting dynamic
+    /// instruction `seq` corrupts one copy's latched result, so the
+    /// pair comparison at commit fails: the machine records a
+    /// [`DetectionEvent`], flushes, and re-executes from the faulting
+    /// instruction — Franklin's comparison at the bottom of the
+    /// pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReeseError::PermanentFault`] if a sticky fault makes
+    /// the same comparison fail twice in a row.
+    pub fn run_with_faults(
+        &self,
+        program: &Program,
+        faults: &[InjectedFault],
+        max_instructions: u64,
+    ) -> Result<ReeseResult, ReeseError> {
+        self.run_with_faults_observed(program, faults, max_instructions, &mut NoopObserver)
+    }
+
+    /// Like [`DuplexSim::run_with_faults`] but with an observer.
+    ///
+    /// # Errors
+    ///
+    /// See [`DuplexSim::run_with_faults`].
+    pub fn run_with_faults_observed<O: Observer>(
+        &self,
+        program: &Program,
+        faults: &[InjectedFault],
+        max_instructions: u64,
+        obs: &mut O,
+    ) -> Result<ReeseResult, ReeseError> {
+        let mut m = DuplexMachine::new(&self.config, program, faults);
         m.run(max_instructions, obs)
     }
 
@@ -135,7 +171,47 @@ impl DuplexSim {
         max_instructions: u64,
         obs: &mut O,
     ) -> Result<ReeseResult, ReeseError> {
-        let mut m = DuplexMachine::restored(&self.config, emulator, warm);
+        self.run_interval_with_faults_observed(emulator, warm, &[], max_instructions, obs)
+    }
+
+    /// Like [`DuplexSim::run_interval`] but with injected faults. Fault
+    /// sequence numbers are global (the restored emulator keeps
+    /// counting from its checkpoint boundary).
+    ///
+    /// # Errors
+    ///
+    /// See [`DuplexSim::run_with_faults`].
+    pub fn run_interval_with_faults(
+        &self,
+        emulator: Emulator,
+        warm: Option<&WarmState>,
+        faults: &[InjectedFault],
+        max_instructions: u64,
+    ) -> Result<ReeseResult, ReeseError> {
+        self.run_interval_with_faults_observed(
+            emulator,
+            warm,
+            faults,
+            max_instructions,
+            &mut NoopObserver,
+        )
+    }
+
+    /// Like [`DuplexSim::run_interval_with_faults`] but with an
+    /// observer.
+    ///
+    /// # Errors
+    ///
+    /// See [`DuplexSim::run_with_faults`].
+    pub fn run_interval_with_faults_observed<O: Observer>(
+        &self,
+        emulator: Emulator,
+        warm: Option<&WarmState>,
+        faults: &[InjectedFault],
+        max_instructions: u64,
+        obs: &mut O,
+    ) -> Result<ReeseResult, ReeseError> {
+        let mut m = DuplexMachine::restored(&self.config, emulator, warm, faults);
         m.run(max_instructions, obs)
     }
 }
@@ -155,19 +231,31 @@ struct DuplexMachine<'c> {
     last_commit_cycle: u64,
     scratch_done: Vec<Seq>,
     scratch_ready: Vec<Seq>,
+    /// Pending injected faults keyed by *fetch* seq (the pair index).
+    faults: SeqTable<Vec<InjectedFault>>,
+    detections: Vec<DetectionEvent>,
+    /// Pair currently re-executing after a detection flush; a second
+    /// consecutive mismatch there is a permanent fault.
+    retry_seq: Option<Seq>,
+    permanent: Option<(Seq, u64)>,
 }
 
 impl<'c> DuplexMachine<'c> {
-    fn new(cfg: &'c PipelineConfig, program: &Program) -> DuplexMachine<'c> {
+    fn new(
+        cfg: &'c PipelineConfig,
+        program: &Program,
+        faults: &[InjectedFault],
+    ) -> DuplexMachine<'c> {
         let fetch = FetchUnit::new(program, cfg.predictor.clone());
         let hierarchy = MemHierarchy::new(cfg.hierarchy.clone());
-        DuplexMachine::with_front_end(cfg, fetch, hierarchy)
+        DuplexMachine::with_front_end(cfg, fetch, hierarchy, faults)
     }
 
     fn restored(
         cfg: &'c PipelineConfig,
         emulator: Emulator,
         warm: Option<&WarmState>,
+        faults: &[InjectedFault],
     ) -> DuplexMachine<'c> {
         let mut fetch = FetchUnit::from_restored(emulator, cfg.predictor.clone());
         let mut hierarchy = MemHierarchy::new(cfg.hierarchy.clone());
@@ -175,14 +263,19 @@ impl<'c> DuplexMachine<'c> {
             fetch.import_branch_state(&w.branch);
             hierarchy.import_state(&w.hierarchy);
         }
-        DuplexMachine::with_front_end(cfg, fetch, hierarchy)
+        DuplexMachine::with_front_end(cfg, fetch, hierarchy, faults)
     }
 
     fn with_front_end(
         cfg: &'c PipelineConfig,
         fetch: FetchUnit,
         hierarchy: MemHierarchy,
+        faults: &[InjectedFault],
     ) -> DuplexMachine<'c> {
+        let mut map: SeqTable<Vec<InjectedFault>> = SeqTable::new();
+        for f in faults {
+            map.get_or_insert_with(f.seq, Vec::new).push(*f);
+        }
         DuplexMachine {
             cfg,
             cycle: 0,
@@ -198,6 +291,10 @@ impl<'c> DuplexMachine<'c> {
             last_commit_cycle: 0,
             scratch_done: Vec::new(),
             scratch_ready: Vec::new(),
+            faults: map,
+            detections: Vec::new(),
+            retry_seq: None,
+            permanent: None,
         }
     }
 
@@ -216,6 +313,9 @@ impl<'c> DuplexMachine<'c> {
             }
 
             self.commit(max_instructions, obs);
+            if let Some((seq, pc)) = self.permanent {
+                return Err(ReeseError::PermanentFault { seq, pc });
+            }
             if self.exit_code.is_some() {
                 break SimStop::Halted;
             }
@@ -250,7 +350,7 @@ impl<'c> DuplexMachine<'c> {
             output: std::mem::take(&mut self.output),
             exit_code: self.exit_code,
             state_digest: self.fetch.state_digest(),
-            detections: Vec::new(),
+            detections: std::mem::take(&mut self.detections),
         })
     }
 
@@ -340,6 +440,15 @@ impl<'c> DuplexMachine<'c> {
             if !p_copy.completed {
                 return;
             }
+            // The comparison point: a pending injected fault corrupted
+            // one copy's latched result, so the pair mismatches here.
+            let pair_seq = r_copy.seq / 2;
+            if self.faults.get(pair_seq).is_some_and(|l| !l.is_empty()) {
+                let (pc, r_done, p_done) =
+                    (p_copy.info.pc, r_copy.complete_cycle, p_copy.complete_cycle);
+                self.detect_and_flush(pair_seq, pc, r_done, p_done, obs);
+                return;
+            }
             let r_copy = self.ruu.pop_head();
             let p_copy = self.ruu.pop_head();
             debug_assert_eq!(r_copy.info.result, p_copy.info.result, "fault-free run");
@@ -365,6 +474,9 @@ impl<'c> DuplexMachine<'c> {
             self.stats.pipeline.committed += 1;
             self.stats.comparisons += 1;
             self.last_commit_cycle = self.cycle;
+            if self.retry_seq == Some(pair_seq) {
+                self.retry_seq = None;
+            }
             if let Some(v) = p_copy.info.printed {
                 self.output.push(v);
             }
@@ -373,6 +485,70 @@ impl<'c> DuplexMachine<'c> {
                 return;
             }
         }
+    }
+
+    /// A pair comparison failed at the RUU head: record the detection
+    /// and flush the machine back to the faulting instruction. A
+    /// transient fault is consumed (the re-execution compares clean); a
+    /// sticky fault fires again and the second consecutive mismatch
+    /// stops the machine as a permanent fault.
+    fn detect_and_flush<O: Observer>(
+        &mut self,
+        seq: Seq,
+        pc: u64,
+        r_done: u64,
+        p_done: u64,
+        obs: &mut O,
+    ) {
+        let list = self.faults.get_mut(seq).expect("pending fault");
+        let fault = list[0];
+        if !fault.sticky {
+            list.remove(0);
+        }
+        let inject_cycle = match fault.stream {
+            Stream::Primary => p_done,
+            Stream::Redundant => r_done,
+        };
+        if O::ENABLED {
+            // The mismatching comparison, then the squash it triggers.
+            obs.event(TraceEvent {
+                cycle: self.cycle,
+                seq: seq * 2,
+                pc,
+                stage: Stage::Compare,
+                stream: TStream::Redundant,
+            });
+            obs.event(TraceEvent {
+                cycle: self.cycle,
+                seq: seq * 2 + 1,
+                pc,
+                stage: Stage::Flush,
+                stream: TStream::Primary,
+            });
+        }
+        self.stats.detections += 1;
+        self.stats.flushes += 1;
+        self.detections.push(DetectionEvent {
+            seq,
+            pc,
+            detect_cycle: self.cycle,
+            inject_cycle,
+        });
+        if self.retry_seq == Some(seq) {
+            // Second consecutive failure of the same pair: stop the
+            // pipeline and notify, as REESE's permanent-fault path does.
+            self.permanent = Some((seq, pc));
+            return;
+        }
+        self.retry_seq = Some(seq);
+        self.ruu.flush_all();
+        self.lsq.flush_all();
+        self.fetchq.clear();
+        self.fu.flush();
+        // Duplex has no dedicated flush ladder; the recovery squash
+        // costs the same front-end refill as a mispredict.
+        self.fetch
+            .flush_to(seq, self.cycle + 1 + u64::from(self.cfg.mispredict_penalty));
     }
 
     fn writeback<O: Observer>(&mut self, obs: &mut O) {
@@ -704,6 +880,65 @@ mod tests {
                 .run(&prog)
                 .unwrap();
         assert_eq!(scan, event);
+    }
+
+    #[test]
+    fn transient_fault_is_detected_and_recovered() {
+        let prog = assemble(LOOP).unwrap();
+        let clean = DuplexSim::new(PipelineConfig::starting())
+            .run(&prog)
+            .unwrap();
+        let faulted = DuplexSim::new(PipelineConfig::starting())
+            .run_with_faults(&prog, &[InjectedFault::primary(40, 7)], u64::MAX)
+            .unwrap();
+        assert_eq!(faulted.stats.detections, 1);
+        assert_eq!(faulted.stats.flushes, 1);
+        assert_eq!(faulted.detections.len(), 1);
+        assert_eq!(faulted.detections[0].seq, 40);
+        // Recovery is architecturally transparent.
+        assert_eq!(faulted.output, clean.output);
+        assert_eq!(faulted.state_digest, clean.state_digest);
+        assert!(
+            faulted.cycles() > clean.cycles(),
+            "the detection flush must cost cycles"
+        );
+    }
+
+    #[test]
+    fn redundant_stream_fault_is_detected_too() {
+        let prog = assemble(LOOP).unwrap();
+        let r = DuplexSim::new(PipelineConfig::starting())
+            .run_with_faults(&prog, &[InjectedFault::redundant(10, 3)], u64::MAX)
+            .unwrap();
+        assert_eq!(r.stats.detections, 1);
+        assert!(r.detections[0].detect_cycle >= r.detections[0].inject_cycle);
+    }
+
+    #[test]
+    fn permanent_fault_stops_the_machine() {
+        let prog = assemble(LOOP).unwrap();
+        let err = DuplexSim::new(PipelineConfig::starting())
+            .run_with_faults(&prog, &[InjectedFault::permanent(15, 2)], u64::MAX)
+            .unwrap_err();
+        assert!(matches!(err, ReeseError::PermanentFault { seq: 15, .. }));
+    }
+
+    #[test]
+    fn faulted_scan_and_event_driven_agree() {
+        let prog = reese_workloads_like_program();
+        let faults = [
+            InjectedFault::primary(100, 5),
+            InjectedFault::redundant(900, 60),
+        ];
+        let scan = DuplexSim::new(PipelineConfig::starting().with_scheduler(SchedulerMode::Scan))
+            .run_with_faults(&prog, &faults, u64::MAX)
+            .unwrap();
+        let event =
+            DuplexSim::new(PipelineConfig::starting().with_scheduler(SchedulerMode::EventDriven))
+                .run_with_faults(&prog, &faults, u64::MAX)
+                .unwrap();
+        assert_eq!(scan, event);
+        assert_eq!(scan.stats.detections, 2);
     }
 
     #[test]

@@ -87,6 +87,9 @@ pub struct Emulator {
     output: Vec<i64>,
     instructions: u64,
     halted: Option<u64>,
+    /// Pending architectural result faults: (dynamic instruction index,
+    /// bit). Applied once when the matching instruction executes.
+    faults: Vec<(u64, u8)>,
 }
 
 impl Emulator {
@@ -107,6 +110,7 @@ impl Emulator {
             output: Vec::new(),
             instructions: 0,
             halted: None,
+            faults: Vec::new(),
         }
     }
 
@@ -130,7 +134,23 @@ impl Emulator {
             output,
             instructions,
             halted,
+            faults: Vec::new(),
         }
+    }
+
+    /// Arms a single-bit architectural fault: when dynamic instruction
+    /// `seq` executes, bit `bit` of its destination-register result is
+    /// flipped — in the returned [`StepInfo`] *and* in the register
+    /// file, so the error propagates through later instructions exactly
+    /// as a real particle strike at writeback would. Faults on
+    /// instructions that write no register (stores, branches, `print`,
+    /// `halt`) are architecturally masked.
+    ///
+    /// This models the *unprotected* datapath: hardware schemes latch
+    /// their compare values upstream of this point, so they inject into
+    /// the pipeline model instead.
+    pub fn inject_result_fault(&mut self, seq: u64, bit: u8) {
+        self.faults.push((seq, bit));
     }
 
     /// Executes one instruction.
@@ -143,7 +163,23 @@ impl Emulator {
     pub fn step(&mut self) -> Result<StepInfo, EmuError> {
         let pc = self.state.pc;
         let instr: Instr = *self.program.fetch(pc).ok_or(EmuError::PcOutOfText { pc })?;
-        let info = step(&mut self.state, &instr, &mut self.memory);
+        let seq = self.instructions;
+        let mut info = step(&mut self.state, &instr, &mut self.memory);
+        if !self.faults.is_empty() {
+            let mut i = 0;
+            while i < self.faults.len() {
+                if self.faults[i].0 == seq {
+                    let (_, bit) = self.faults.swap_remove(i);
+                    if info.wrote_rd {
+                        let flipped = info.result ^ (1u64 << (bit & 63));
+                        self.state.write(instr.rd, flipped);
+                        info.result = flipped;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
         self.instructions += 1;
         if let Some(v) = info.printed {
             self.output.push(v);
@@ -317,6 +353,34 @@ mod tests {
         let prog = b.build().unwrap();
         let r = Emulator::new(&prog).run(1_000).unwrap();
         assert_eq!(r.output, vec![3]);
+    }
+
+    #[test]
+    fn injected_result_fault_propagates_architecturally() {
+        let src = "  li t0, 21\n  add t1, t0, t0\n  print t1\n  halt\n";
+        let prog = assemble(src).unwrap();
+        let mut emu = Emulator::new(&prog);
+        // Flip bit 3 of the `add` result (seq 1): 42 ^ 8 = 34, and the
+        // corrupted value must flow into the print.
+        emu.inject_result_fault(1, 3);
+        let r = emu.run(100).unwrap();
+        assert_eq!(r.output, vec![34]);
+        assert_ne!(
+            r.state_digest,
+            Emulator::new(&prog).run(100).unwrap().state_digest
+        );
+    }
+
+    #[test]
+    fn fault_on_non_writing_instruction_is_masked() {
+        let src = "  li t0, 21\n  add t1, t0, t0\n  print t1\n  halt\n";
+        let prog = assemble(src).unwrap();
+        let mut emu = Emulator::new(&prog);
+        // `print` (seq 2) writes no register: architecturally masked.
+        emu.inject_result_fault(2, 5);
+        let r = emu.run(100).unwrap();
+        let clean = Emulator::new(&prog).run(100).unwrap();
+        assert_eq!(r, clean);
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! Monte-Carlo fault-injection campaigns.
 
 use crate::engine::{
-    boundary_count, clean_window, output_fnv, plan_window, TrialWindow, WindowBaseline,
+    boundary_count, clean_window, plan_window, TrialWindow, WindowBaseline,
     MAX_RESIDENT_CHECKPOINTS,
 };
+use crate::schemes::{self, DetectionScheme, Trial};
 use crate::stream::{fnv1a64, outcome_line, read_log, LogHeader, LogWriter};
 use crate::{CoverageReport, FaultClass, FaultMix, TrialEngine, TrialOutcome};
-use reese_ckpt::{checkpoint_stream_thinned, derive_checkpoint, warm_checkpoint_at, Checkpoint};
-use reese_core::{InjectedFault, ReeseConfig, ReeseSim};
+use reese_ckpt::{
+    checkpoint_stream_thinned, derive_checkpoint, warm_checkpoint_at, Checkpoint, Scheme,
+};
+use reese_core::ReeseConfig;
 use reese_cpu::Emulator;
 use reese_isa::Program;
 use reese_stats::{par_map_indexed, SplitMix64};
@@ -98,6 +101,7 @@ impl std::error::Error for CampaignError {}
 pub struct Campaign {
     config: ReeseConfig,
     mix: FaultMix,
+    scheme: Scheme,
     trials: usize,
     seed: u64,
     max_instructions: u64,
@@ -116,6 +120,7 @@ impl Campaign {
         Campaign {
             config,
             mix,
+            scheme: Scheme::Reese,
             trials: 100,
             seed: 0xFA017,
             max_instructions: u64::MAX,
@@ -127,6 +132,16 @@ impl Campaign {
             resume: None,
             trial_limit: None,
         }
+    }
+
+    /// Selects the detection backend under test (default
+    /// [`Scheme::Reese`]). The campaign machinery — parameter
+    /// pre-draw, anchored windows, memoization, resume — is shared;
+    /// only program preparation and trial scoring go through the
+    /// scheme (see [`crate::schemes`]).
+    pub fn scheme(mut self, scheme: Scheme) -> Campaign {
+        self.scheme = scheme;
+        self
     }
 
     /// Sets the number of trials (default 100).
@@ -223,31 +238,36 @@ impl Campaign {
     /// [`CampaignError::Resume`] if a resume log records a different
     /// campaign, or [`CampaignError::Io`] on log file failures.
     pub fn run(&self, program: &Program) -> Result<CoverageReport, CampaignError> {
-        let sim = ReeseSim::new(self.config.clone());
+        let scheme = schemes::build(self.scheme, &self.config);
+        // Everything downstream — checkpoints, dynamic length, fault
+        // sequence numbers — is in terms of the *prepared* program
+        // (the identity for every hardware scheme).
+        let prepared = scheme.prepare(program).map_err(CampaignError::Workload)?;
+        let program = &prepared;
 
         // The reference sweep (dynamic length + checkpoints) and the
         // clean detailed run are independent: overlap them when the
         // campaign has workers to spare.
         let (sweep, clean) = if self.jobs > 1 {
             std::thread::scope(|scope| {
-                let clean = scope.spawn(|| sim.run_limit(program, self.max_instructions));
+                let clean = scope.spawn(|| scheme.run_limit(program, self.max_instructions));
                 let sweep = self.reference_sweep(program);
                 (sweep, clean.join().expect("clean reference pass panicked"))
             })
         } else {
             (
                 self.reference_sweep(program),
-                sim.run_limit(program, self.max_instructions),
+                scheme.run_limit(program, self.max_instructions),
             )
         };
         let (coarse, stride, dynamic_len) = sweep?;
-        let clean = clean.map_err(|e| CampaignError::Workload(e.to_string()))?;
+        let clean = clean.map_err(CampaignError::Workload)?;
         if dynamic_len == 0 {
             return Err(CampaignError::Workload(
                 "program executes no instructions".into(),
             ));
         }
-        let clean_cycles = clean.cycles();
+        let clean_cycles = clean.cycles;
         let clean_digest = clean.state_digest;
         let boundaries = boundary_count(dynamic_len, self.ckpt_every);
         if self.engine == TrialEngine::Replay {
@@ -314,9 +334,17 @@ impl Campaign {
         // Recover exactly the anchor checkpoints the distinct keys use
         // from the coarse sweep — the campaign pays a capture per
         // *used* anchor, not per boundary of a long program.
-        let anchors = self.anchor_checkpoints(program, &coarse, stride, boundaries, &keys)?;
+        let anchors =
+            self.anchor_checkpoints(program, &coarse, stride, boundaries, dynamic_len, &keys)?;
         drop(coarse);
-        let baselines = self.window_baselines(&sim, program, &anchors, boundaries, &keys)?;
+        let baselines = self.window_baselines(
+            scheme.as_ref(),
+            program,
+            &anchors,
+            boundaries,
+            dynamic_len,
+            &keys,
+        )?;
 
         let mut computed: BTreeMap<usize, TrialOutcome> = BTreeMap::new();
         let mut metrics: Option<MetricsSeries> = None;
@@ -324,7 +352,16 @@ impl Campaign {
         if self.metrics_interval == 0 {
             let (results, stats) = par_map_indexed(self.jobs, &keys, |_, &(class, seq, bit)| {
                 self.trial_outcome(
-                    &sim, program, &anchors, &baselines, boundaries, class, seq, bit, None,
+                    scheme.as_ref(),
+                    program,
+                    &anchors,
+                    &baselines,
+                    boundaries,
+                    dynamic_len,
+                    class,
+                    seq,
+                    bit,
+                    None,
                 )
             });
             throughput = stats;
@@ -352,11 +389,12 @@ impl Campaign {
                     .then(|| Tracer::new().with_interval(self.metrics_interval));
                 let outcome = self
                     .trial_outcome(
-                        &sim,
+                        scheme.as_ref(),
                         program,
                         &anchors,
                         &baselines,
                         boundaries,
+                        dynamic_len,
                         class,
                         seq,
                         bit,
@@ -444,6 +482,7 @@ impl Campaign {
         coarse: &[Checkpoint],
         stride: u64,
         boundaries: usize,
+        dynamic_len: u64,
         keys: &[(FaultClass, u64, u8)],
     ) -> Result<HashMap<usize, Checkpoint>, CampaignError> {
         if self.engine == TrialEngine::Full {
@@ -453,7 +492,13 @@ impl Campaign {
         let mut seen = HashSet::new();
         for &(class, seq, _) in keys {
             if class.detectable_by_design() {
-                let w = plan_window(seq, self.ckpt_every, boundaries, self.max_instructions);
+                let w = plan_window(
+                    seq,
+                    self.ckpt_every,
+                    boundaries,
+                    self.max_instructions,
+                    dynamic_len,
+                );
                 if seen.insert(w.anchor_idx) {
                     wanted.push(w.anchor_idx);
                 }
@@ -482,13 +527,20 @@ impl Campaign {
         for (slot, class) in mix.iter_mut().zip(FaultClass::ALL) {
             *slot = self.mix.weight(class);
         }
+        // The scheme participates in the config digest (a duplex log
+        // must not resume a REESE campaign). The REESE hash stays
+        // unsalted so logs from before schemes existed keep resuming.
+        let config_fnv = match self.scheme {
+            Scheme::Reese => fnv1a64(format!("{:?}", self.config).as_bytes()),
+            s => fnv1a64(format!("{}:{:?}", s.name(), self.config).as_bytes()),
+        };
         LogHeader {
             seed: self.seed,
             trials: self.trials as u64,
             mix,
             ckpt_every: self.ckpt_every,
             max_instructions: self.max_instructions,
-            config_fnv: fnv1a64(format!("{:?}", self.config).as_bytes()),
+            config_fnv,
             dynamic_len,
             clean_cycles,
             clean_digest,
@@ -501,10 +553,11 @@ impl Campaign {
     /// trial, sharing nothing.
     fn window_baselines(
         &self,
-        sim: &ReeseSim,
+        scheme: &dyn DetectionScheme,
         program: &Program,
         anchors: &HashMap<usize, Checkpoint>,
         boundaries: usize,
+        dynamic_len: u64,
         keys: &[(FaultClass, u64, u8)],
     ) -> Result<HashMap<TrialWindow, WindowBaseline>, CampaignError> {
         if self.engine == TrialEngine::Full {
@@ -514,14 +567,20 @@ impl Campaign {
         let mut seen = HashSet::new();
         for &(class, seq, _) in keys {
             if class.detectable_by_design() {
-                let w = plan_window(seq, self.ckpt_every, boundaries, self.max_instructions);
+                let w = plan_window(
+                    seq,
+                    self.ckpt_every,
+                    boundaries,
+                    self.max_instructions,
+                    dynamic_len,
+                );
                 if seen.insert(w) {
                     windows.push(w);
                 }
             }
         }
         let (results, _) = par_map_indexed(self.jobs, &windows, |_, w| {
-            clean_window(sim, program, &anchors[&w.anchor_idx], w.budget).map_err(|e| e.to_string())
+            clean_window(scheme, program, &anchors[&w.anchor_idx], w.budget)
         });
         let mut map = HashMap::with_capacity(windows.len());
         for (w, r) in windows.into_iter().zip(results) {
@@ -538,19 +597,20 @@ impl Campaign {
     #[allow(clippy::too_many_arguments)]
     fn trial_outcome(
         &self,
-        sim: &ReeseSim,
+        scheme: &dyn DetectionScheme,
         program: &Program,
         anchors: &HashMap<usize, Checkpoint>,
         baselines: &HashMap<TrialWindow, WindowBaseline>,
         boundaries: usize,
+        dynamic_len: u64,
         class: FaultClass,
         seq: u64,
         bit: u8,
         tracer: Option<&mut Tracer>,
     ) -> Result<TrialOutcome, String> {
         if !class.detectable_by_design() {
-            // Classes outside REESE's observation window: scored
-            // undetected-by-design, nothing to simulate.
+            // Classes outside every scheme's observation window:
+            // scored undetected-by-design, nothing to simulate.
             return Ok(TrialOutcome {
                 class,
                 seq,
@@ -561,7 +621,13 @@ impl Campaign {
                 state_clean: true,
             });
         }
-        let window = plan_window(seq, self.ckpt_every, boundaries, self.max_instructions);
+        let window = plan_window(
+            seq,
+            self.ckpt_every,
+            boundaries,
+            self.max_instructions,
+            dynamic_len,
+        );
         let owned;
         let (ck, baseline): (&Checkpoint, WindowBaseline) = match self.engine {
             TrialEngine::Replay => (&anchors[&window.anchor_idx], baselines[&window]),
@@ -575,49 +641,19 @@ impl Campaign {
                     &self.config.pipeline,
                 )
                 .map_err(|e| e.to_string())?;
-                let baseline =
-                    clean_window(sim, program, &owned, window.budget).map_err(|e| e.to_string())?;
+                let baseline = clean_window(scheme, program, &owned, window.budget)?;
                 (&owned, baseline)
             }
         };
-        let fault = if class == FaultClass::PrimaryResult {
-            InjectedFault::primary(seq, bit)
-        } else {
-            InjectedFault::redundant(seq, bit)
-        };
-        let faults = [fault];
-        let r = match tracer {
-            Some(t) => sim.run_interval_with_faults_observed(
-                ck.restore(program),
-                ck.warm.as_ref(),
-                &faults,
-                window.budget,
-                t,
-            ),
-            None => sim.run_interval_with_faults(
-                ck.restore(program),
-                ck.warm.as_ref(),
-                &faults,
-                window.budget,
-            ),
-        }
-        .map_err(|e| e.to_string())?;
-        // Commit-granularity cleanliness: recovery must leave the
-        // committed output stream identical to the clean window's. The
-        // frontier digest is only comparable when the window reached
-        // halt — a budget-limited stop leaves the fetch emulator a
-        // recovery-dependent distance past the last commit, so there
-        // the digest measures speculative fetch depth, not state.
-        let state_clean = output_fnv(&r.output) == baseline.output_fnv
-            && (!baseline.halted || r.state_digest == baseline.digest);
-        Ok(TrialOutcome {
+        scheme.run_trial(Trial {
+            program,
+            ck,
+            baseline: &baseline,
             class,
             seq,
             bit,
-            detected: !r.detections.is_empty(),
-            detection_latency: r.detections.first().map(|d| d.latency()),
-            extra_cycles: r.cycles().saturating_sub(baseline.cycles),
-            state_clean,
+            budget: window.budget,
+            tracer,
         })
     }
 }

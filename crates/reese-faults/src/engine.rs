@@ -33,8 +33,8 @@
 //! checkpoint capture/restore, baseline caching, memoization, parallel
 //! fan-out, and resume — against the from-scratch computation.
 
+use crate::schemes::DetectionScheme;
 use reese_ckpt::Checkpoint;
-use reese_core::{ReeseError, ReeseSim};
 use reese_isa::Program;
 use std::fmt;
 use std::str::FromStr;
@@ -123,17 +123,34 @@ pub(crate) fn boundary_count(dynamic_len: u64, every: u64) -> usize {
 }
 
 /// Plans the window for a fault at `seq`. `limit` is the campaign's
-/// committed-instruction cap (`u64::MAX` = none).
-pub(crate) fn plan_window(seq: u64, every: u64, boundaries: usize, limit: u64) -> TrialWindow {
+/// committed-instruction cap (`u64::MAX` = none); `dynamic_len` is the
+/// clean run's committed-instruction count.
+pub(crate) fn plan_window(
+    seq: u64,
+    every: u64,
+    boundaries: usize,
+    limit: u64,
+    dynamic_len: u64,
+) -> TrialWindow {
     let anchor_idx = ((seq.saturating_sub(RUNWAY) / every) as usize).min(boundaries - 1);
     let anchor = anchor_idx as u64 * every;
     let stop_idx = (seq + MARGIN) / every + 1;
     let budget = if (stop_idx as usize) < boundaries {
         stop_idx * every - anchor
-    } else if limit == u64::MAX {
-        u64::MAX
     } else {
-        limit - anchor
+        // Final window: the clean tail halts after `dynamic_len -
+        // anchor` commits, but an architecturally corrupted stream may
+        // never halt at all (a flipped loop bound loops forever), so
+        // "run to halt" still needs a ceiling. One full checkpoint
+        // interval of headroom past the clean halt separates a late
+        // halt from a runaway; a run that exhausts it scores as
+        // budget-limited and not clean.
+        let tail = dynamic_len - anchor + every;
+        if limit == u64::MAX {
+            tail
+        } else {
+            tail.min(limit - anchor)
+        }
     };
     TrialWindow { anchor_idx, budget }
 }
@@ -141,8 +158,10 @@ pub(crate) fn plan_window(seq: u64, every: u64, boundaries: usize, limit: u64) -
 /// Clean-window reference: cycle count, fetch-frontier digest, and
 /// committed output of the fault-free run from `ck` under `budget`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct WindowBaseline {
+pub struct WindowBaseline {
+    /// Cycles of the clean window.
     pub cycles: u64,
+    /// Fetch-frontier architectural digest at window end.
     pub digest: u64,
     /// FNV-1a over the window's committed output writes.
     pub output_fnv: u64,
@@ -158,16 +177,16 @@ pub(crate) fn output_fnv(out: &[i64]) -> u64 {
     crate::stream::fnv1a64(&bytes)
 }
 
-/// Runs the clean window from a checkpoint.
+/// Runs the clean window from a checkpoint through a detection scheme.
 pub(crate) fn clean_window(
-    sim: &ReeseSim,
+    scheme: &dyn DetectionScheme,
     program: &Program,
     ck: &Checkpoint,
     budget: u64,
-) -> Result<WindowBaseline, ReeseError> {
-    let r = sim.run_interval(ck.restore(program), ck.warm.as_ref(), budget)?;
+) -> Result<WindowBaseline, String> {
+    let r = scheme.run_window(program, ck, budget)?;
     Ok(WindowBaseline {
-        cycles: r.cycles(),
+        cycles: r.cycles,
         digest: r.state_digest,
         output_fnv: output_fnv(&r.output),
         halted: r.exit_code.is_some(),
@@ -201,7 +220,7 @@ mod tests {
     fn window_gives_runway_and_margin() {
         // Fault deep in the stream: anchored one boundary back, stopped
         // one boundary past seq + margin.
-        let w = plan_window(4500, 2048, 8, u64::MAX);
+        let w = plan_window(4500, 2048, 8, u64::MAX, 16_000);
         assert_eq!(w.anchor_idx, 1); // (4500-512)/2048 = 1
         assert_eq!(w.anchor(2048), 2048);
         assert_eq!(w.budget, (2 + 1) * 2048 - 2048); // stop at boundary 3
@@ -210,21 +229,24 @@ mod tests {
 
     #[test]
     fn window_near_start_anchors_at_zero() {
-        let w = plan_window(100, 2048, 8, u64::MAX);
+        let w = plan_window(100, 2048, 8, u64::MAX, 16_000);
         assert_eq!(w.anchor_idx, 0);
         assert_eq!(w.budget, 2048);
     }
 
     #[test]
     fn window_near_end_runs_to_halt() {
-        let w = plan_window(15_000, 2048, 8, u64::MAX);
+        // Run-to-halt is still bounded: the clean tail plus one
+        // interval of headroom, so a corrupted stream that loops
+        // forever cannot hang the trial.
+        let w = plan_window(15_000, 2048, 8, u64::MAX, 16_000);
         assert_eq!(w.anchor_idx, 7);
-        assert_eq!(w.budget, u64::MAX);
+        assert_eq!(w.budget, 16_000 - 7 * 2048 + 2048);
     }
 
     #[test]
     fn window_near_end_respects_instruction_cap() {
-        let w = plan_window(15_000, 2048, 8, 16_000);
+        let w = plan_window(15_000, 2048, 8, 16_000, 16_000);
         assert_eq!(w.anchor_idx, 7);
         assert_eq!(w.budget, 16_000 - 7 * 2048);
     }
@@ -235,8 +257,8 @@ mod tests {
         // window — the historical full-run trial.
         let n = boundary_count(122, DEFAULT_CKPT_EVERY);
         assert_eq!(n, 1);
-        let w = plan_window(60, DEFAULT_CKPT_EVERY, n, u64::MAX);
+        let w = plan_window(60, DEFAULT_CKPT_EVERY, n, u64::MAX, 122);
         assert_eq!(w.anchor_idx, 0);
-        assert_eq!(w.budget, u64::MAX);
+        assert_eq!(w.budget, 122 + DEFAULT_CKPT_EVERY);
     }
 }

@@ -28,9 +28,11 @@ mod campaign;
 mod engine;
 mod model;
 mod report;
+pub mod schemes;
 mod stream;
 
 pub use campaign::{Campaign, CampaignError};
-pub use engine::{TrialEngine, DEFAULT_CKPT_EVERY};
+pub use engine::{TrialEngine, WindowBaseline, DEFAULT_CKPT_EVERY};
 pub use model::{FaultClass, FaultMix};
 pub use report::{CoverageReport, TrialOutcome};
+pub use schemes::{DetectionScheme, SchemeRun, SchemesReport, Trial};

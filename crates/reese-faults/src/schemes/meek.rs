@@ -1,0 +1,257 @@
+//! MEEK-style heterogeneous checker cores.
+//!
+//! The big out-of-order core runs the program unmodified; every
+//! committed instruction is pushed, in commit order, through a small
+//! bank of in-order single-issue checker pipelines behind a bounded
+//! fan-out queue. A checker re-executes its instruction and compares
+//! against the committed result; a mismatch triggers a rollback to the
+//! last verified checkpoint.
+//!
+//! The checker bank is modeled *analytically* over the observed commit
+//! stream rather than simulated per-structure:
+//!
+//! - [`CHECKERS`] checkers each retire one instruction per cycle.
+//! - The fan-out queue holds [`QUEUE_DEPTH`] committed-but-unchecked
+//!   instructions. A committed instruction cannot enter the queue
+//!   before an older one has vacated its slot (`complete[i - DEPTH]`),
+//!   which is exactly stall-on-full backpressure expressed as a
+//!   recurrence: when commit outruns the checkers, enqueue times — and
+//!   with them the end of verification — slide past the core's own
+//!   cycles.
+//! - Load values are **forwarded** from the main core to the checkers
+//!   (the checkers have no port into the memory hierarchy), so a main-
+//!   core fault in a load result is re-used verbatim by the checker
+//!   and escapes detection. This is the scheme's honest coverage gap.
+//!
+//! Clean-run time overhead is the verification tail: the run is done
+//! when the last instruction is *checked*, not when it commits.
+
+use super::observe::CommitProbe;
+use super::{DetectionScheme, SchemeRun, Trial};
+use crate::engine::output_fnv;
+use crate::{FaultClass, TrialOutcome};
+use reese_ckpt::{Checkpoint, Scheme};
+use reese_core::ReeseConfig;
+use reese_isa::{OpKind, Program};
+use reese_pipeline::PipelineSim;
+use reese_trace::Pair;
+
+/// Number of small in-order checker cores.
+pub const CHECKERS: usize = 2;
+
+/// Capacity of the commit-to-checker fan-out queue, in instructions.
+pub const QUEUE_DEPTH: usize = 16;
+
+/// Completion cycle of each committed instruction's check, given the
+/// commit stream `(seq, cycle, pc)`. One pass, O(n · CHECKERS).
+fn checker_completions(commits: &[(u64, u64, u64)]) -> Vec<u64> {
+    let mut complete = Vec::with_capacity(commits.len());
+    let mut free = [0u64; CHECKERS];
+    for (i, &(_, commit_cycle, _)) in commits.iter().enumerate() {
+        // Backpressure: the queue slot frees when the instruction
+        // QUEUE_DEPTH places older finishes its check.
+        let enqueue = if i >= QUEUE_DEPTH {
+            commit_cycle.max(complete[i - QUEUE_DEPTH])
+        } else {
+            commit_cycle
+        };
+        let (slot, &earliest) = free
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &t)| t)
+            .expect("CHECKERS > 0");
+        let done = enqueue.max(earliest) + 1;
+        free[slot] = done;
+        complete.push(done);
+    }
+    complete
+}
+
+/// The MEEK-style checker-core backend.
+pub(crate) struct MeekScheme {
+    sim: PipelineSim,
+    /// Modeled rollback cost on detection (re-steer to the last
+    /// verified checkpoint), charged on top of the detection latency.
+    rollback: u64,
+}
+
+impl MeekScheme {
+    pub fn new(config: &ReeseConfig) -> MeekScheme {
+        MeekScheme {
+            sim: PipelineSim::new(config.pipeline.clone()),
+            rollback: u64::from(config.flush_penalty),
+        }
+    }
+
+    /// Whether a main-core result fault at `pc` is visible to a
+    /// checker: the instruction must produce a register result, and
+    /// load values are forwarded (not re-loaded), so loads escape.
+    fn primary_fault_checked(program: &Program, pc: u64) -> bool {
+        match program.fetch(pc) {
+            Some(ins) => ins.dest().is_some() && ins.op.kind() != OpKind::Load,
+            None => false,
+        }
+    }
+
+    /// Whether a checker-side upset at `pc` is caught: any corrupted
+    /// checker copy of a register result (including a forwarded load
+    /// value) mismatches the main core's committed result.
+    fn checker_fault_checked(program: &Program, pc: u64) -> bool {
+        match program.fetch(pc) {
+            Some(ins) => ins.dest().is_some(),
+            None => false,
+        }
+    }
+}
+
+impl DetectionScheme for MeekScheme {
+    fn scheme(&self) -> Scheme {
+        Scheme::Meek
+    }
+
+    fn run_limit(&self, program: &Program, max_instructions: u64) -> Result<SchemeRun, String> {
+        let mut probe = CommitProbe::new();
+        let r = self
+            .sim
+            .run_observed(program, 0, max_instructions, &mut probe)
+            .map_err(|e| e.to_string())?;
+        // The run is over when the last commit has been *checked*.
+        let verified_end = checker_completions(&probe.commits)
+            .last()
+            .copied()
+            .unwrap_or(0);
+        Ok(SchemeRun {
+            cycles: r.stats.cycles.max(verified_end),
+            committed: r.stats.committed,
+            output: r.output,
+            exit_code: r.exit_code,
+            state_digest: r.state_digest,
+        })
+    }
+
+    fn run_window(
+        &self,
+        program: &Program,
+        ck: &Checkpoint,
+        budget: u64,
+    ) -> Result<SchemeRun, String> {
+        // Window baselines stay in core cycles: trial recovery cost is
+        // charged explicitly from the checker model, and mixing the
+        // drain tail into the reference would double-count it.
+        self.sim
+            .run_interval(ck.restore(program), ck.warm.as_ref(), budget)
+            .map(|r| SchemeRun {
+                cycles: r.stats.cycles,
+                committed: r.stats.committed,
+                output: r.output,
+                exit_code: r.exit_code,
+                state_digest: r.state_digest,
+            })
+            .map_err(|e| e.to_string())
+    }
+
+    fn run_trial(&self, t: Trial<'_>) -> Result<TrialOutcome, String> {
+        // Primary-result faults corrupt the main core architecturally;
+        // checker-side (redundant) upsets corrupt only the checker's
+        // latched copy, so the main core stays clean.
+        let mut emu = t.ck.restore(t.program);
+        let primary = t.class == FaultClass::PrimaryResult;
+        if primary {
+            emu.inject_result_fault(t.seq, t.bit);
+        }
+        let mut probe = CommitProbe::new();
+        let r = match t.tracer {
+            Some(tr) => self.sim.run_interval_observed(
+                emu,
+                t.ck.warm.as_ref(),
+                t.budget,
+                &mut Pair(&mut probe, tr),
+            ),
+            None => self
+                .sim
+                .run_interval_observed(emu, t.ck.warm.as_ref(), t.budget, &mut probe),
+        }
+        .map_err(|e| e.to_string())?;
+
+        let pc = probe.pc_of(t.seq);
+        let detected = match (primary, pc) {
+            (true, Some(pc)) => Self::primary_fault_checked(t.program, pc),
+            (false, Some(pc)) => Self::checker_fault_checked(t.program, pc),
+            // The fault target never committed in the window (halt
+            // landed first): nothing reached the checkers.
+            (_, None) => false,
+        };
+
+        if detected {
+            // Caught at check completion; rollback restores the last
+            // verified checkpoint, so the architectural state is clean
+            // and the cost is the latency plus the rollback penalty.
+            let complete = checker_completions(&probe.commits);
+            let idx = probe
+                .commits
+                .iter()
+                .position(|&(s, _, _)| s == t.seq)
+                .expect("detected fault must be in the commit stream");
+            let latency = complete[idx].saturating_sub(probe.commits[idx].1);
+            Ok(TrialOutcome {
+                class: t.class,
+                seq: t.seq,
+                bit: t.bit,
+                detected: true,
+                detection_latency: Some(latency),
+                extra_cycles: latency + self.rollback,
+                state_clean: true,
+            })
+        } else {
+            // Escaped (masked fault, or a forwarded load value): score
+            // the architectural damage honestly against the clean
+            // window.
+            let state_clean = output_fnv(&r.output) == t.baseline.output_fnv
+                && (!t.baseline.halted || r.state_digest == t.baseline.digest);
+            Ok(TrialOutcome {
+                class: t.class,
+                seq: t.seq,
+                bit: t.bit,
+                detected: false,
+                detection_latency: None,
+                extra_cycles: r.stats.cycles.saturating_sub(t.baseline.cycles),
+                state_clean,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checker_bank_paces_at_one_per_cycle_per_checker() {
+        // 4 instructions all committing at cycle 10, 2 checkers: pairs
+        // finish at 11, 12.
+        let commits: Vec<(u64, u64, u64)> = (0..4).map(|i| (i, 10, 0)).collect();
+        assert_eq!(checker_completions(&commits), vec![11, 11, 12, 12]);
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure() {
+        // A burst far larger than the queue: instruction i cannot even
+        // enqueue before instruction i - QUEUE_DEPTH has been checked.
+        let n = QUEUE_DEPTH * 3;
+        let commits: Vec<(u64, u64, u64)> = (0..n as u64).map(|i| (i, 5, 0)).collect();
+        let complete = checker_completions(&commits);
+        let last = *complete.last().unwrap();
+        // 2 checkers, 1/cycle: the burst drains at ~n/2 cycles.
+        assert_eq!(last, 5 + (n as u64).div_ceil(CHECKERS as u64));
+        // Every enqueue respected the slot recurrence.
+        for i in QUEUE_DEPTH..n {
+            assert!(complete[i] > complete[i - QUEUE_DEPTH]);
+        }
+    }
+
+    #[test]
+    fn idle_checkers_finish_next_cycle() {
+        let commits = vec![(0, 100, 0), (1, 200, 0)];
+        assert_eq!(checker_completions(&commits), vec![101, 201]);
+    }
+}

@@ -1,0 +1,50 @@
+//! Trace probes the off-core schemes attach to the baseline pipeline.
+
+use reese_trace::{CycleState, Observer, Stage, TraceEvent};
+
+/// Records the commit stream of a window: `(seq, commit cycle, pc)`
+/// per committed instruction, in commit order. The MEEK checker model
+/// replays this stream through its checker cores; the SWIFT scorer
+/// uses it to anchor detection latency at the faulted instruction's
+/// commit.
+#[derive(Debug, Default)]
+pub(crate) struct CommitProbe {
+    pub commits: Vec<(u64, u64, u64)>,
+}
+
+impl CommitProbe {
+    pub fn new() -> CommitProbe {
+        CommitProbe::default()
+    }
+
+    /// The commit cycle of a dynamic instruction, if it committed in
+    /// the observed window.
+    pub fn commit_cycle(&self, seq: u64) -> Option<u64> {
+        self.commits
+            .iter()
+            .find(|&&(s, _, _)| s == seq)
+            .map(|&(_, cycle, _)| cycle)
+    }
+
+    /// The pc of a dynamic instruction, if it committed in the window.
+    pub fn pc_of(&self, seq: u64) -> Option<u64> {
+        self.commits
+            .iter()
+            .find(|&&(s, _, _)| s == seq)
+            .map(|&(_, _, pc)| pc)
+    }
+}
+
+impl Observer for CommitProbe {
+    const ENABLED: bool = true;
+
+    fn event(&mut self, ev: TraceEvent) {
+        if ev.stage == Stage::Commit {
+            self.commits.push((ev.seq, ev.cycle, ev.pc));
+        }
+    }
+
+    fn cycle(&mut self, _cycle: u64, _state: &CycleState) {}
+
+    fn idle_skip(&mut self, _from: u64, _to: u64, _state: &CycleState) {}
+}

@@ -10,6 +10,7 @@
 //! count, with or without interrupt+resume — that identity certifies
 //! the entire reuse machinery against the from-scratch computation.
 
+use reese_ckpt::Scheme;
 use reese_core::ReeseConfig;
 use reese_faults::{Campaign, FaultMix, TrialEngine};
 use reese_workloads::Kernel;
@@ -77,6 +78,31 @@ fn replay_matches_full_when_the_sweep_thins() {
         .unwrap();
     assert_eq!(replay, full);
     assert_eq!(replay.to_json(), full.to_json());
+}
+
+#[test]
+fn replay_matches_full_for_every_scheme() {
+    // The anchored-window reuse machinery is scheme-generic: for every
+    // registered backend — including the program-transforming software
+    // scheme, whose checkpoints index the *prepared* stream — the
+    // replay engine must reproduce the from-scratch arm byte for byte.
+    let program = Kernel::Strings.build_for(TARGET);
+    for scheme in Scheme::ALL {
+        let full = campaign(FaultMix::broad(), 0x9E)
+            .scheme(scheme)
+            .engine(TrialEngine::Full)
+            .run(&program)
+            .unwrap();
+        let replay = campaign(FaultMix::broad(), 0x9E)
+            .scheme(scheme)
+            .engine(TrialEngine::Replay)
+            .jobs(4)
+            .run(&program)
+            .unwrap();
+        assert_eq!(replay, full, "{scheme}");
+        assert_eq!(replay.to_json(), full.to_json(), "{scheme}");
+        assert_eq!(replay.to_csv(), full.to_csv(), "{scheme}");
+    }
 }
 
 #[test]

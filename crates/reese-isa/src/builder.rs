@@ -157,6 +157,17 @@ impl ProgramBuilder {
         self
     }
 
+    /// Emits a raw pc-relative control-flow instruction (branch or
+    /// `jal` form) whose immediate is resolved from `target` at build
+    /// time. This is the escape hatch for program *transforms* that
+    /// rewrite existing instruction streams: the original branch
+    /// offsets are invalid after instructions are inserted, so the
+    /// rewriter re-emits each control transfer against a label bound
+    /// where the original target landed.
+    pub fn emit_branch(&mut self, i: Instr, target: Label) -> &mut Self {
+        self.emit_fixup(i, Fixup::PcRelative(target))
+    }
+
     fn emit_fixup(&mut self, i: Instr, fixup: Fixup) -> &mut Self {
         self.fixups.push((self.text.len(), fixup));
         self.text.push(i);

@@ -253,6 +253,50 @@ impl Observer for NoopObserver {
     fn idle_skip(&mut self, _from: u64, _to: u64, _state: &CycleState) {}
 }
 
+/// Fans every hook out to two observers, in order. `ENABLED` is the OR
+/// of the parts, so pairing with [`NoopObserver`] costs nothing extra —
+/// each part still guards its own work behind its own flag at runtime.
+///
+/// Observers borrow mutably for the duration of a run, so composing an
+/// analysis probe with a [`Tracer`] needs this combinator rather than
+/// two separate passes.
+#[derive(Debug)]
+pub struct Pair<'a, A, B>(pub &'a mut A, pub &'a mut B);
+
+impl<A: Observer, B: Observer> Observer for Pair<'_, A, B> {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline]
+    fn event(&mut self, ev: TraceEvent) {
+        if A::ENABLED {
+            self.0.event(ev);
+        }
+        if B::ENABLED {
+            self.1.event(ev);
+        }
+    }
+
+    #[inline]
+    fn cycle(&mut self, cycle: u64, state: &CycleState) {
+        if A::ENABLED {
+            self.0.cycle(cycle, state);
+        }
+        if B::ENABLED {
+            self.1.cycle(cycle, state);
+        }
+    }
+
+    #[inline]
+    fn idle_skip(&mut self, from: u64, to: u64, state: &CycleState) {
+        if A::ENABLED {
+            self.0.idle_skip(from, to, state);
+        }
+        if B::ENABLED {
+            self.1.idle_skip(from, to, state);
+        }
+    }
+}
+
 /// A bounded ring buffer of [`TraceEvent`]s keeping the **last**
 /// `capacity` events; older events are dropped (and counted) so a long
 /// run cannot exhaust memory.

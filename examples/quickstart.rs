@@ -53,5 +53,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "time-redundancy overhead: {:+.1}% cycles",
         (reese.cycles() as f64 / base.cycles() as f64 - 1.0) * 100.0
     );
+
+    // Every registered detection scheme, through the one trait the
+    // fault campaign drives: prepare (a no-op for hardware schemes, a
+    // duplicating rewrite for the software-only one), then a clean run.
+    println!("\nall registered schemes on the same program:");
+    let config = ReeseConfig::starting();
+    for scheme in Scheme::ALL {
+        let backend = reese::faults::schemes::build(scheme, &config);
+        let prepared = backend.prepare(&program)?;
+        let run = backend.run_limit(&prepared, u64::MAX)?;
+        assert_eq!(run.output, base.output, "{scheme} changed the program");
+        println!(
+            "  {:<9} {:>6} cycles ({:+5.1}%), {:>3} static instructions — {}",
+            scheme.name(),
+            run.cycles,
+            (run.cycles as f64 / base.cycles() as f64 - 1.0) * 100.0,
+            prepared.len(),
+            scheme.description()
+        );
+    }
     Ok(())
 }

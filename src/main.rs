@@ -3,6 +3,7 @@
 //! ```text
 //! reese run <file.s> [options]     simulate an assembly program
 //! reese campaign [options]         run a fault-injection campaign
+//! reese schemes [options]          rank every detection scheme on the kernel suite
 //! reese shard [options]            shard one run across checkpoint intervals
 //! reese mix <file.s|kernel>        print a program's dynamic instruction mix
 //! reese disasm <file.s>            assemble and disassemble a program
@@ -10,10 +11,14 @@
 //! reese kernels                    list the built-in workload kernels
 //! ```
 //!
+//! Every `--scheme` flag accepts any name from the detection-scheme
+//! registry (`baseline|reese|duplex|meek|swift`), or any unambiguous
+//! prefix of one.
+//!
 //! Run options:
 //!
 //! ```text
-//! --scheme emulate|baseline|reese|duplex   machine model (default baseline)
+//! --scheme emulate|<scheme>   machine model (default baseline)
 //! --machine starting|ruu32|wide16|ports4   base configuration (default starting)
 //! --ruu-size N       override the RUU window size (≥ 1)
 //! --lsq-size N       override the LSQ size (≥ 1, ≤ RUU size)
@@ -40,6 +45,7 @@
 //! ```text
 //! --kernel NAME | <file.s>   workload (default kernel `lisp`)
 //! --scale N          kernel scale (default 1)
+//! --scheme <scheme>  detection scheme under test (default reese)
 //! --trials N         number of injection trials (default 200)
 //! --injections N     alias for --trials
 //! --seed S           campaign PRNG seed (default 0xFA017)
@@ -62,6 +68,23 @@
 //! --metrics-interval N   sampling interval in cycles (default 10000)
 //! ```
 //!
+//! Schemes options:
+//!
+//! ```text
+//! --kernel NAME      restrict to one kernel (repeatable; default all six)
+//! --scale N          kernel scale (default 1)
+//! --target N         calibrate each kernel to ≥ N dynamic instructions
+//! --trials N         injection trials per (scheme, kernel) cell (default 100)
+//! --seed S           campaign PRNG seed (default 0xFA017)
+//! --mix broad|result fault-class mix (default result)
+//! --machine ...      base configuration, as for `run`
+//! --max-insns N      per-run committed-instruction budget
+//! -j N, --jobs N     worker threads (default 1)
+//! --engine full|replay   trial engine (default replay)
+//! --csv FILE         write the per-cell table as CSV
+//! --json FILE        write rows + ranking as JSON
+//! ```
+//!
 //! Shard options:
 //!
 //! ```text
@@ -69,7 +92,8 @@
 //! --scale N          kernel scale (default 1)
 //! --intervals K      number of checkpoint intervals (default 4)
 //! -j N, --jobs N     worker threads (default: available parallelism)
-//! --scheme baseline|reese|duplex   timing machine (default reese)
+//! --scheme <scheme>  interval timing machine (default reese;
+//!                    must be shardable: baseline|reese|duplex)
 //! --machine ...      base configuration, as for `run`
 //! --warmup W         warm caches/bpred over the last W instructions
 //!                    of each interval's fast-forward (default 0)
@@ -84,6 +108,8 @@
 use reese::ckpt::{self, Scheme, ShardOptions};
 use reese::core::{DuplexSim, InjectedFault, ReeseConfig, ReeseSim};
 use reese::cpu::Emulator;
+use reese::faults::schemes::EvalOptions;
+use reese::faults::SchemesReport;
 use reese::isa::{assemble, disassemble_text, Program};
 use reese::pipeline::{PipelineConfig, PipelineSim};
 use reese::trace::{MetricsSeries, TraceRing, Tracer};
@@ -95,6 +121,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("schemes") => cmd_schemes(&args[1..]),
         Some("shard") => cmd_shard(&args[1..]),
         Some("mix") => cmd_mix(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
@@ -102,7 +129,7 @@ fn main() -> ExitCode {
         Some("kernels") => cmd_kernels(),
         _ => {
             eprintln!(
-                "usage: reese <run|campaign|shard|mix|disasm|trace|kernels> [options]  (see --help in source)"
+                "usage: reese <run|campaign|schemes|shard|mix|disasm|trace|kernels> [options]  (see --help in source)"
             );
             return ExitCode::FAILURE;
         }
@@ -140,6 +167,45 @@ fn kernel_by_name(name: &str) -> Result<Kernel, CliError> {
         .into_iter()
         .find(|k| k.name() == name || k.paper_benchmark() == name)
         .ok_or_else(|| format!("unknown kernel `{name}` (try `reese kernels`)").into())
+}
+
+/// Resolves a user-supplied name against a candidate list, accepting
+/// exact names and unique prefixes. All `--scheme` flags funnel through
+/// this, so every front end shares one error shape and the accepted set
+/// is derived from the registry rather than hand-written per command.
+fn resolve<'a>(what: &str, input: &str, names: &[&'a str]) -> Result<&'a str, CliError> {
+    if let Some(exact) = names.iter().find(|n| **n == input) {
+        return Ok(exact);
+    }
+    let matches: Vec<&str> = if input.is_empty() {
+        Vec::new()
+    } else {
+        names
+            .iter()
+            .copied()
+            .filter(|n| n.starts_with(input))
+            .collect()
+    };
+    match matches[..] {
+        [only] => Ok(only),
+        [] => Err(format!("unknown {what} `{input}`, want {}", names.join("|")).into()),
+        _ => Err(format!("ambiguous {what} `{input}`: matches {}", matches.join(", ")).into()),
+    }
+}
+
+/// Parses a detection-scheme name from the registry.
+fn parse_scheme(input: &str) -> Result<Scheme, CliError> {
+    let names = Scheme::ALL.map(Scheme::name);
+    let name = resolve("scheme", input, &names)?;
+    Ok(Scheme::parse(name).expect("resolved name is registered"))
+}
+
+/// The `run` subcommand's scheme set: the registry plus the functional
+/// emulator (which has no timing model and so is not a [`Scheme`]).
+fn run_scheme_names() -> Vec<&'static str> {
+    let mut names = vec!["emulate"];
+    names.extend(Scheme::ALL.map(Scheme::name));
+    names
 }
 
 fn parse_fault(spec: &str) -> Result<InjectedFault, CliError> {
@@ -296,7 +362,7 @@ fn parse_run(args: &[String]) -> Result<RunOpts, CliError> {
                 .ok_or_else(|| format!("`{a}` needs a value").into())
         };
         match a.as_str() {
-            "--scheme" => opts.scheme = value()?.clone(),
+            "--scheme" => opts.scheme = resolve("scheme", value()?, &run_scheme_names())?.into(),
             "--machine" => opts.base = machine(value()?)?,
             "--ruu-size" => opts.base.ruu_size = positive(a, value()?)?,
             "--lsq-size" => opts.base.lsq_size = positive(a, value()?)?,
@@ -432,6 +498,39 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             }
             write_observability(tracer, o.trace_out.as_deref(), o.metrics_out.as_deref())?;
         }
+        name @ ("meek" | "swift") => {
+            let scheme = Scheme::parse(name).expect("registry name");
+            if o.trace_out.is_some() || o.metrics_out.is_some() {
+                return Err(
+                    format!("--trace-out/--metrics-out are not supported for `{name}`").into(),
+                );
+            }
+            if !o.faults.is_empty() || o.skip > 0 {
+                return Err(format!(
+                    "`{name}` runs clean here; inject faults with `reese campaign --scheme {name}`"
+                )
+                .into());
+            }
+            let cfg = ReeseConfig::over(o.base);
+            let backend = reese::faults::schemes::build(scheme, &cfg);
+            let prepared = backend.prepare(&o.program)?;
+            let r = backend.run_limit(&prepared, o.max_insns)?;
+            println!(
+                "{name}: {} instructions in {} cycles — IPC {:.3}",
+                r.committed,
+                r.cycles,
+                r.committed as f64 / r.cycles.max(1) as f64
+            );
+            if prepared.len() != o.program.len() {
+                println!(
+                    "  transformed program: {} → {} static instructions ({:.2}x)",
+                    o.program.len(),
+                    prepared.len(),
+                    prepared.len() as f64 / o.program.len().max(1) as f64
+                );
+            }
+            print_output(&r.output);
+        }
         other => return Err(format!("unknown scheme `{other}`").into()),
     }
     Ok(())
@@ -440,6 +539,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
 struct CampaignOpts {
     program: Program,
     scale: u32,
+    scheme: Scheme,
     mix: reese::faults::FaultMix,
     trials: usize,
     seed: u64,
@@ -463,6 +563,7 @@ fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
     let mut opts = CampaignOpts {
         program: Program::from_text(vec![]),
         scale: 1,
+        scheme: Scheme::Reese,
         mix: reese::faults::FaultMix::broad(),
         trials: 200,
         seed: 0xFA017,
@@ -492,6 +593,7 @@ fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
         match a.as_str() {
             "--trials" | "--injections" => opts.trials = value()?.parse()?,
             "--scale" => opts.scale = positive(a, value()?)?,
+            "--scheme" => opts.scheme = parse_scheme(value()?)?,
             "--seed" => opts.seed = value()?.parse()?,
             "--mix" => {
                 opts.mix = match value()?.as_str() {
@@ -537,10 +639,16 @@ fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
 
 fn cmd_campaign(args: &[String]) -> Result<(), CliError> {
     let o = parse_campaign(args)?;
+    if o.trace_out.is_some() && o.scheme != Scheme::Reese {
+        return Err(
+            "--trace-out traces the clean REESE reference run; it needs --scheme reese".into(),
+        );
+    }
     let cfg = ReeseConfig::over(o.base)
         .with_spare_int_alus(o.spare_alus)
         .with_spare_int_muldivs(o.spare_muls);
     let mut campaign = reese::faults::Campaign::new(cfg.clone(), o.mix)
+        .scheme(o.scheme)
         .trials(o.trials)
         .seed(o.seed)
         .max_instructions(o.max_insns)
@@ -597,6 +705,95 @@ fn cmd_campaign(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+struct SchemesOpts {
+    programs: Vec<(String, Program)>,
+    mix: reese::faults::FaultMix,
+    base: PipelineConfig,
+    eval: EvalOptions,
+    csv: Option<String>,
+    json: Option<String>,
+}
+
+fn parse_schemes(args: &[String]) -> Result<SchemesOpts, CliError> {
+    let mut opts = SchemesOpts {
+        programs: Vec::new(),
+        mix: reese::faults::FaultMix::result_errors_only(),
+        base: PipelineConfig::starting(),
+        eval: EvalOptions::default(),
+        csv: None,
+        json: None,
+    };
+    let mut kernels: Vec<Kernel> = Vec::new();
+    let mut scale: u32 = 1;
+    let mut target: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = || -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| format!("`{a}` needs a value").into())
+        };
+        match a.as_str() {
+            "--kernel" => kernels.push(kernel_by_name(value()?)?),
+            "--scale" => scale = positive(a, value()?)?,
+            "--target" => target = Some(positive(a, value()?)?),
+            "--trials" => opts.eval.trials = positive(a, value()?)?,
+            "--seed" => opts.eval.seed = value()?.parse()?,
+            "--mix" => {
+                opts.mix = match value()?.as_str() {
+                    "broad" => reese::faults::FaultMix::broad(),
+                    "result" => reese::faults::FaultMix::result_errors_only(),
+                    other => return Err(format!("unknown mix `{other}`, want broad|result").into()),
+                }
+            }
+            "--machine" => opts.base = machine(value()?)?,
+            "--ruu-size" => opts.base.ruu_size = positive(a, value()?)?,
+            "--lsq-size" => opts.base.lsq_size = positive(a, value()?)?,
+            "--width" => opts.base.width = positive(a, value()?)?,
+            "--max-insns" => opts.eval.max_instructions = value()?.parse()?,
+            "-j" | "--jobs" => opts.eval.jobs = positive(a, value()?)?,
+            "--engine" => opts.eval.engine = value()?.parse::<reese::faults::TrialEngine>()?,
+            "--csv" => opts.csv = Some(value()?.clone()),
+            "--json" => opts.json = Some(value()?.clone()),
+            other => return Err(format!("unknown option `{other}`").into()),
+        }
+    }
+    check_geometry(&opts.base)?;
+    if scale != 1 && target.is_some() {
+        return Err("give --scale or --target, not both".into());
+    }
+    if kernels.is_empty() {
+        // Default is the whole suite in Table 2 order.
+        kernels = Kernel::ALL.to_vec();
+    }
+    opts.programs = kernels
+        .into_iter()
+        .map(|k| {
+            let program = match target {
+                Some(t) => k.build_for(t),
+                None => k.build(scale),
+            };
+            (k.name().to_string(), program)
+        })
+        .collect();
+    Ok(opts)
+}
+
+fn cmd_schemes(args: &[String]) -> Result<(), CliError> {
+    let o = parse_schemes(args)?;
+    let cfg = ReeseConfig::over(o.base);
+    let report = SchemesReport::evaluate(&cfg, &o.mix, &o.programs, &o.eval)?;
+    print!("{report}");
+    if let Some(path) = &o.csv {
+        std::fs::write(path, report.to_csv())?;
+        println!("csv written to {path}");
+    }
+    if let Some(path) = &o.json {
+        std::fs::write(path, report.to_json())?;
+        println!("json written to {path}");
+    }
+    Ok(())
+}
+
 struct ShardCliOpts {
     program: Program,
     scheme: Scheme,
@@ -635,10 +832,20 @@ fn parse_shard(args: &[String]) -> Result<ShardCliOpts, CliError> {
             "--warmup" => opts.shard.warmup = value()?.parse()?,
             "--no-verify" => opts.shard.compare_monolithic = false,
             "--scheme" => {
-                let name = value()?;
-                opts.scheme = Scheme::parse(name).ok_or_else(|| {
-                    format!("unknown scheme `{name}`, want baseline|reese|duplex")
-                })?;
+                let s = parse_scheme(value()?)?;
+                if !s.shardable() {
+                    let shardable: Vec<&str> = Scheme::ALL
+                        .into_iter()
+                        .filter(|s| s.shardable())
+                        .map(Scheme::name)
+                        .collect();
+                    return Err(format!(
+                        "scheme `{s}` has no interval timing machine; shardable schemes: {}",
+                        shardable.join("|")
+                    )
+                    .into());
+                }
+                opts.scheme = s;
             }
             "--machine" => opts.base = machine(value()?)?,
             "--ruu-size" => opts.base.ruu_size = positive(a, value()?)?,
@@ -723,10 +930,17 @@ fn cmd_shard(args: &[String]) -> Result<(), CliError> {
             o.shard.warmup,
             &config.pipeline,
         )?;
-        std::fs::write(path, cks[0].encode())?;
+        // Stamp the scheme so a later restore under a different machine
+        // is rejected at decode time instead of silently mis-timed.
+        let ck = cks
+            .into_iter()
+            .next()
+            .expect("one boundary requested")
+            .with_scheme(o.scheme);
+        std::fs::write(path, ck.encode())?;
         println!(
             "checkpoint at instruction {} written to {path}",
-            cks[0].instructions
+            ck.instructions
         );
     }
     if let Some(path) = &o.trace_out {
@@ -1139,6 +1353,116 @@ mod tests {
                 .as_deref(),
             Some("a.jsonl")
         );
+    }
+
+    #[test]
+    fn scheme_names_come_from_the_registry() {
+        // Every registered scheme parses in every front end that takes
+        // one, with no per-command allow-list to fall out of date.
+        for s in Scheme::ALL {
+            let o = parse_run(&strings(&["--kernel", "strings", "--scheme", s.name()])).unwrap();
+            assert_eq!(o.scheme, s.name());
+            assert_eq!(
+                parse_campaign(&strings(&["--scheme", s.name()]))
+                    .unwrap()
+                    .scheme,
+                s
+            );
+        }
+        let o = parse_run(&strings(&["--kernel", "strings", "--scheme", "emulate"])).unwrap();
+        assert_eq!(o.scheme, "emulate");
+    }
+
+    #[test]
+    fn unknown_scheme_errors_list_the_registry() {
+        for parse in [
+            parse_run(&strings(&["--kernel", "strings", "--scheme", "tmr"])),
+            parse_campaign(&strings(&["--scheme", "tmr"])).map(|_| unreachable!()),
+            parse_shard(&strings(&["--scheme", "tmr"])).map(|_| unreachable!()),
+        ] {
+            let err = parse
+                .err()
+                .expect("unknown scheme must be rejected")
+                .to_string();
+            assert!(err.contains("unknown scheme `tmr`"), "got: {err}");
+            for s in Scheme::ALL {
+                assert!(err.contains(s.name()), "error must offer {s}: {err}");
+            }
+        }
+        // `emulate` is a run-only pseudo-scheme, not a detection scheme.
+        assert!(parse_campaign(&strings(&["--scheme", "emulate"])).is_err());
+        assert!(parse_shard(&strings(&["--scheme", "emulate"])).is_err());
+    }
+
+    #[test]
+    fn scheme_prefixes_resolve_when_unambiguous() {
+        let o = parse_run(&strings(&["--kernel", "strings", "--scheme", "ree"])).unwrap();
+        assert_eq!(o.scheme, "reese");
+        assert_eq!(
+            parse_campaign(&strings(&["--scheme", "me"]))
+                .unwrap()
+                .scheme,
+            Scheme::Meek
+        );
+        assert_eq!(
+            parse_shard(&strings(&["--scheme", "d"])).unwrap().scheme,
+            Scheme::Duplex
+        );
+    }
+
+    #[test]
+    fn ambiguous_names_are_rejected_not_guessed() {
+        // The registry's names currently share no prefixes, so drive
+        // the resolver directly with a colliding candidate set.
+        let err = resolve("scheme", "re", &["reese", "replay"])
+            .expect_err("shared prefix must be ambiguous")
+            .to_string();
+        assert!(err.contains("ambiguous scheme `re`"), "got: {err}");
+        assert!(
+            err.contains("reese") && err.contains("replay"),
+            "got: {err}"
+        );
+        // The empty string prefixes everything; it must never resolve.
+        assert!(resolve("scheme", "", &["reese", "replay"]).is_err());
+        // Exact names win even when they prefix a longer candidate.
+        assert_eq!(
+            resolve("scheme", "reese", &["reese", "reese2"]).unwrap(),
+            "reese"
+        );
+    }
+
+    #[test]
+    fn shard_rejects_unshardable_schemes() {
+        for name in ["meek", "swift"] {
+            let err = parse_shard(&strings(&["--scheme", name]))
+                .err()
+                .expect("no interval machine")
+                .to_string();
+            assert!(err.contains(name), "got: {err}");
+            assert!(err.contains("baseline|reese|duplex"), "got: {err}");
+        }
+    }
+
+    #[test]
+    fn schemes_options_parse() {
+        let o = parse_schemes(&strings(&[
+            "--kernel", "strings", "--trials", "7", "--seed", "3", "-j", "2", "--engine", "full",
+            "--csv", "s.csv", "--json", "s.json",
+        ]))
+        .unwrap();
+        assert_eq!(o.programs.len(), 1);
+        assert_eq!(o.programs[0].0, "strings");
+        assert_eq!(o.eval.trials, 7);
+        assert_eq!(o.eval.seed, 3);
+        assert_eq!(o.eval.jobs, 2);
+        assert_eq!(o.eval.engine, reese::faults::TrialEngine::Full);
+        assert_eq!(o.csv.as_deref(), Some("s.csv"));
+        assert_eq!(o.json.as_deref(), Some("s.json"));
+        // No kernel filter → the whole suite, in registry order.
+        let all = parse_schemes(&[]).unwrap();
+        assert_eq!(all.programs.len(), Kernel::ALL.len());
+        assert!(parse_schemes(&strings(&["--scale", "2", "--target", "100"])).is_err());
+        assert!(parse_schemes(&strings(&["--trials", "0"])).is_err());
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! per-cycle statistic — bit-identical to the per-cycle scan it
 //! replaced.
 
+use reese::ckpt::Scheme;
 use reese::core::{DuplexSim, ReeseConfig, ReeseSim, SchedulerMode};
-use reese::faults::{Campaign, FaultMix};
+use reese::faults::{schemes, Campaign, FaultMix};
 use reese::pipeline::{PipelineConfig, PipelineSim};
 use reese::workloads::Kernel;
 
@@ -107,6 +108,99 @@ fn duplex_modes_agree_on_all_kernels() {
         let scan = DuplexSim::new(scan_pipeline()).run(&program).unwrap();
         let event = DuplexSim::new(event_pipeline()).run(&program).unwrap();
         assert_eq!(scan, event, "{kernel}: duplex modes diverged");
+    }
+}
+
+#[test]
+fn trait_backends_match_direct_simulators_on_all_kernels() {
+    // The DetectionScheme refactor must be a pure re-plumbing: the
+    // baseline/reese/duplex backends are the same machines the CLI and
+    // campaign drove directly before the trait existed, so their clean
+    // runs must agree with the direct simulators field for field, in
+    // both scheduler modes, on every kernel.
+    for mode in [SchedulerMode::Scan, SchedulerMode::EventDriven] {
+        let cfg = ReeseConfig::starting().with_scheduler(mode);
+        for kernel in Kernel::ALL {
+            let program = kernel.build(1);
+
+            let direct = PipelineSim::new(cfg.pipeline.clone())
+                .run(&program)
+                .unwrap();
+            let via = schemes::build(Scheme::Baseline, &cfg)
+                .run_limit(&program, u64::MAX)
+                .unwrap();
+            assert_eq!(
+                (via.cycles, via.committed, &via.output, via.state_digest),
+                (
+                    direct.stats.cycles,
+                    direct.stats.committed,
+                    &direct.output,
+                    direct.state_digest
+                ),
+                "{kernel}/{mode:?}: baseline trait run diverged"
+            );
+
+            let direct = ReeseSim::new(cfg.clone()).run(&program).unwrap();
+            let via = schemes::build(Scheme::Reese, &cfg)
+                .run_limit(&program, u64::MAX)
+                .unwrap();
+            assert_eq!(
+                (via.cycles, via.committed, &via.output, via.state_digest),
+                (
+                    direct.cycles(),
+                    direct.committed_instructions(),
+                    &direct.output,
+                    direct.state_digest
+                ),
+                "{kernel}/{mode:?}: REESE trait run diverged"
+            );
+
+            let direct = DuplexSim::new(cfg.pipeline.clone()).run(&program).unwrap();
+            let via = schemes::build(Scheme::Duplex, &cfg)
+                .run_limit(&program, u64::MAX)
+                .unwrap();
+            assert_eq!(
+                (via.cycles, via.committed, &via.output, via.state_digest),
+                (
+                    direct.cycles(),
+                    direct.committed_instructions(),
+                    &direct.output,
+                    direct.state_digest
+                ),
+                "{kernel}/{mode:?}: duplex trait run diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn campaigns_agree_across_modes_for_every_scheme() {
+    // The scheduler mode is a timing-implementation detail; every
+    // registered backend (including the ones that run the baseline
+    // pipeline under the hood) must report identical campaigns in both.
+    let program = Kernel::Strings.build(1);
+    for scheme in Scheme::ALL {
+        let run = |mode| {
+            Campaign::new(
+                ReeseConfig::starting().with_scheduler(mode),
+                FaultMix::result_errors_only(),
+            )
+            .scheme(scheme)
+            .trials(12)
+            .seed(0xFA017)
+            .max_instructions(5_000)
+            .jobs(2)
+            .run(&program)
+            .unwrap()
+        };
+        let scan = run(SchedulerMode::Scan);
+        let event = run(SchedulerMode::EventDriven);
+        assert_eq!(scan, event, "{scheme}: campaign diverged across modes");
+        assert_eq!(
+            scan.to_csv(),
+            event.to_csv(),
+            "{scheme}: serialisation diverged across modes"
+        );
     }
 }
 
