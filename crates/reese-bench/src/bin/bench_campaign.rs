@@ -55,6 +55,11 @@ const GUARD_TOLERANCE: f64 = 0.85;
 /// trial counts.
 const GUARD_FLOOR: f64 = 5.0;
 
+/// `--guard` ceiling on the telemetry-on / telemetry-off time ratio.
+/// The journal writes sit around the simulation phases, never inside a
+/// trial, so attaching one must be free; 1.10 is far above noise.
+const TELEMETRY_CEILING: f64 = 1.10;
+
 struct Cell {
     kernel: &'static str,
     pair: PairMeasurement,
@@ -157,6 +162,39 @@ fn main() {
         });
     }
 
+    // Telemetry must be free: the journal is written around the
+    // phases, not inside trials, so a campaign with `--telemetry-out`
+    // attached may not cost measurable throughput. One kernel suffices
+    // — every campaign shares the phase structure.
+    let tele_pair = {
+        let kernel = Kernel::Lisp;
+        let program = kernel.build_for(TARGET_INSTRUCTIONS);
+        let journal = std::env::temp_dir().join(format!("bench-tele-{}.jsonl", std::process::id()));
+        let campaign = || {
+            Campaign::new(ReeseConfig::starting(), FaultMix::broad())
+                .trials(TRIALS)
+                .engine(TrialEngine::Replay)
+        };
+        let mut g = c.benchmark_group("telemetry");
+        g.sample_size(samples);
+        let pair = g.bench_pair(
+            "campaign/telemetry-on",
+            "campaign/telemetry-off",
+            || {
+                black_box(
+                    campaign()
+                        .telemetry_out(&journal)
+                        .run(&program)
+                        .expect("campaign runs"),
+                )
+            },
+            || black_box(campaign().run(&program).expect("campaign runs")),
+        );
+        g.finish();
+        let _ = std::fs::remove_file(&journal);
+        pair
+    };
+
     println!();
     println!(
         "{:<10} {:>8} {:>14} {:>16} {:>8} {:>8}",
@@ -182,7 +220,17 @@ fn main() {
         (sorted[mid - 1] + sorted[mid]) / 2.0
     };
     println!("median speedup across kernels: {median:.2}x");
+    println!(
+        "telemetry journal cost: on/off time ratio {:.3} (ceiling {TELEMETRY_CEILING})",
+        tele_pair.speedup
+    );
     if guard {
+        assert!(
+            tele_pair.speedup <= TELEMETRY_CEILING,
+            "guard: telemetry-on/telemetry-off time ratio {:.3} exceeds the \
+             {TELEMETRY_CEILING} ceiling — the journal leaked into the trial path",
+            tele_pair.speedup
+        );
         assert!(
             median >= GUARD_FLOOR,
             "guard: median replay/full campaign speedup {median:.3} fell below the \
@@ -215,6 +263,13 @@ fn main() {
     json.push_str(&format!("  \"samples\": {samples},\n"));
     json.push_str(&format!("  \"median_speedup\": {median:.3},\n"));
     json.push_str(&format!("  \"median_floor\": {GUARD_FLOOR:.1},\n"));
+    json.push_str(&format!(
+        "  \"telemetry_on_off_ratio\": {:.3},\n",
+        tele_pair.speedup
+    ));
+    json.push_str(&format!(
+        "  \"telemetry_ceiling\": {TELEMETRY_CEILING:.2},\n"
+    ));
     json.push_str("  \"cells\": [\n");
     let rows: Vec<String> = cells
         .iter()

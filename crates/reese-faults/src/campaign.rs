@@ -6,6 +6,7 @@ use crate::engine::{
 };
 use crate::schemes::{self, DetectionScheme, Trial};
 use crate::stream::{fnv1a64, outcome_line, read_log, LogHeader, LogWriter};
+use crate::telemetry::{json_str, Telemetry};
 use crate::{CoverageReport, FaultClass, FaultMix, TrialEngine, TrialOutcome};
 use reese_ckpt::{
     checkpoint_stream_thinned, derive_checkpoint, warm_checkpoint_at, Checkpoint, Scheme,
@@ -112,6 +113,8 @@ pub struct Campaign {
     outcomes_jsonl: Option<PathBuf>,
     resume: Option<PathBuf>,
     trial_limit: Option<usize>,
+    telemetry_out: Option<PathBuf>,
+    telemetry: Option<std::sync::Arc<Telemetry>>,
 }
 
 impl Campaign {
@@ -131,6 +134,8 @@ impl Campaign {
             outcomes_jsonl: None,
             resume: None,
             trial_limit: None,
+            telemetry_out: None,
+            telemetry: None,
         }
     }
 
@@ -227,6 +232,25 @@ impl Campaign {
         self
     }
 
+    /// Streams a telemetry journal (phase timings, worker throughput,
+    /// memoization hit rate, progress/ETA) to a JSONL file as the
+    /// campaign runs (see [`crate::telemetry`]). The journal records
+    /// wall-clock observations only — trial outcomes are bit-identical
+    /// with or without it.
+    pub fn telemetry_out(mut self, path: impl Into<PathBuf>) -> Campaign {
+        self.telemetry_out = Some(path.into());
+        self
+    }
+
+    /// Attaches an already-open shared [`Telemetry`] journal instead of
+    /// creating one: several sequential campaigns (the `schemes`
+    /// ranking's cells) then interleave their events into one file.
+    /// Takes precedence over [`Campaign::telemetry_out`].
+    pub fn telemetry(mut self, journal: std::sync::Arc<Telemetry>) -> Campaign {
+        self.telemetry = Some(journal);
+        self
+    }
+
     /// Runs the campaign.
     ///
     /// # Errors
@@ -238,6 +262,26 @@ impl Campaign {
     /// [`CampaignError::Resume`] if a resume log records a different
     /// campaign, or [`CampaignError::Io`] on log file failures.
     pub fn run(&self, program: &Program) -> Result<CoverageReport, CampaignError> {
+        let tele = match (&self.telemetry, &self.telemetry_out) {
+            (Some(shared), _) => Some(std::sync::Arc::clone(shared)),
+            (None, Some(path)) => Some(std::sync::Arc::new(
+                Telemetry::create(path).map_err(CampaignError::Io)?,
+            )),
+            (None, None) => None,
+        };
+        if let Some(t) = &tele {
+            t.reset_progress();
+            t.emit(
+                "campaign_start",
+                &[
+                    ("scheme", json_str(self.scheme.name())),
+                    ("engine", json_str(&format!("{:?}", self.engine))),
+                    ("jobs", self.jobs.to_string()),
+                    ("trials", self.trials.to_string()),
+                    ("seed", self.seed.to_string()),
+                ],
+            );
+        }
         let scheme = schemes::build(self.scheme, &self.config);
         // Everything downstream — checkpoints, dynamic length, fault
         // sequence numbers — is in terms of the *prepared* program
@@ -245,6 +289,7 @@ impl Campaign {
         let prepared = scheme.prepare(program).map_err(CampaignError::Workload)?;
         let program = &prepared;
 
+        let phase_start = std::time::Instant::now();
         // The reference sweep (dynamic length + checkpoints) and the
         // clean detailed run are independent: overlap them when the
         // campaign has workers to spare.
@@ -269,6 +314,21 @@ impl Campaign {
         }
         let clean_cycles = clean.cycles;
         let clean_digest = clean.state_digest;
+        if let Some(t) = &tele {
+            t.emit(
+                "reference_done",
+                &[
+                    ("checkpoints", coarse.len().to_string()),
+                    ("stride", stride.to_string()),
+                    ("dynamic_len", dynamic_len.to_string()),
+                    ("clean_cycles", clean_cycles.to_string()),
+                    (
+                        "phase_ms",
+                        (phase_start.elapsed().as_millis() as u64).to_string(),
+                    ),
+                ],
+            );
+        }
         let boundaries = boundary_count(dynamic_len, self.ckpt_every);
         if self.engine == TrialEngine::Replay {
             assert_eq!(
@@ -310,6 +370,12 @@ impl Campaign {
             (None, None) => (BTreeMap::new(), None),
         };
 
+        if let Some(t) = &tele {
+            if !recorded.is_empty() {
+                t.emit("resume_loaded", &[("recorded", recorded.len().to_string())]);
+            }
+        }
+
         // Which trials still need computing, honoring the trial cap.
         let mut todo: Vec<usize> = (0..self.trials)
             .filter(|t| !recorded.contains_key(t))
@@ -331,12 +397,43 @@ impl Campaign {
             });
         }
 
+        if let Some(t) = &tele {
+            // Memoization effectiveness: duplicated keys never simulate.
+            let hit_rate = if todo.is_empty() {
+                0.0
+            } else {
+                1.0 - keys.len() as f64 / todo.len() as f64
+            };
+            t.emit(
+                "plan",
+                &[
+                    ("todo", todo.len().to_string()),
+                    ("distinct_keys", keys.len().to_string()),
+                    ("memo_hit_rate", format!("{hit_rate:.4}")),
+                ],
+            );
+        }
+
         // Recover exactly the anchor checkpoints the distinct keys use
         // from the coarse sweep — the campaign pays a capture per
         // *used* anchor, not per boundary of a long program.
+        let phase_start = std::time::Instant::now();
         let anchors =
             self.anchor_checkpoints(program, &coarse, stride, boundaries, dynamic_len, &keys)?;
         drop(coarse);
+        if let Some(t) = &tele {
+            t.emit(
+                "anchors_derived",
+                &[
+                    ("anchors", anchors.len().to_string()),
+                    (
+                        "phase_ms",
+                        (phase_start.elapsed().as_millis() as u64).to_string(),
+                    ),
+                ],
+            );
+        }
+        let phase_start = std::time::Instant::now();
         let baselines = self.window_baselines(
             scheme.as_ref(),
             program,
@@ -345,13 +442,27 @@ impl Campaign {
             dynamic_len,
             &keys,
         )?;
+        if let Some(t) = &tele {
+            t.emit(
+                "baselines_cached",
+                &[
+                    ("windows", baselines.len().to_string()),
+                    (
+                        "phase_ms",
+                        (phase_start.elapsed().as_millis() as u64).to_string(),
+                    ),
+                ],
+            );
+        }
 
         let mut computed: BTreeMap<usize, TrialOutcome> = BTreeMap::new();
         let mut metrics: Option<MetricsSeries> = None;
         let throughput;
         if self.metrics_interval == 0 {
+            let total = keys.len() as u64;
+            let stride = (total / 16).max(1);
             let (results, stats) = par_map_indexed(self.jobs, &keys, |_, &(class, seq, bit)| {
-                self.trial_outcome(
+                let r = self.trial_outcome(
                     scheme.as_ref(),
                     program,
                     &anchors,
@@ -362,7 +473,11 @@ impl Campaign {
                     seq,
                     bit,
                     None,
-                )
+                );
+                if let Some(t) = &tele {
+                    t.progress(total, stride);
+                }
+                r
             });
             throughput = stats;
             for &t in &todo {
@@ -382,6 +497,8 @@ impl Campaign {
             // Metrics sampling pools one series per simulated *trial*;
             // memoization would collapse duplicate keys and change the
             // pooled totals, so every trial simulates individually.
+            let total = todo.len() as u64;
+            let stride = (total / 16).max(1);
             let (results, stats) = par_map_indexed(self.jobs, &todo, |_, &t| {
                 let (class, seq, bit) = params[t];
                 let mut tracer = class
@@ -405,6 +522,9 @@ impl Campaign {
                     t.finish();
                     t.into_parts().1
                 });
+                if let Some(tl) = &tele {
+                    tl.progress(total, stride);
+                }
                 Ok((outcome, series))
             });
             throughput = stats;
@@ -420,11 +540,15 @@ impl Campaign {
             }
         }
 
+        if let Some(t) = &tele {
+            t.trials_done(&throughput);
+        }
+
         // Stream the new outcomes (trial order) before assembling the
         // report, so an interrupted consumer still has them on disk.
         if let Some(log) = &mut log {
             for (&t, o) in &computed {
-                log.line(&outcome_line(t, o))?;
+                log.line(&outcome_line(self.seed, t, o))?;
             }
         }
 
@@ -436,6 +560,16 @@ impl Campaign {
         }
         report.metrics = metrics;
         report.throughput = Some(throughput);
+        if let Some(t) = &tele {
+            t.emit(
+                "campaign_done",
+                &[
+                    ("trials", report.trials().to_string()),
+                    ("detected", report.detected.to_string()),
+                    ("coverage", format!("{:.6}", report.coverage())),
+                ],
+            );
+        }
         Ok(report)
     }
 
@@ -619,6 +753,9 @@ impl Campaign {
                 detection_latency: None,
                 extra_cycles: 0,
                 state_clean: true,
+                inject_cycle: None,
+                diverge_cycle: None,
+                detect_cycle: None,
             });
         }
         let window = plan_window(
@@ -654,6 +791,7 @@ impl Campaign {
             bit,
             budget: window.budget,
             tracer,
+            probe: None,
         })
     }
 }

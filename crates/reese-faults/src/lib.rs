@@ -26,13 +26,17 @@
 
 mod campaign;
 mod engine;
+pub mod forensics;
 mod model;
 mod report;
 pub mod schemes;
 mod stream;
+pub mod telemetry;
 
 pub use campaign::{Campaign, CampaignError};
 pub use engine::{TrialEngine, WindowBaseline, DEFAULT_CKPT_EVERY};
+pub use forensics::{explain_trial, Explanation, TrialRef};
 pub use model::{FaultClass, FaultMix};
-pub use report::{CoverageReport, TrialOutcome};
+pub use report::{CoverageReport, TrialOutcome, LATENCY_HISTOGRAM_CAP};
 pub use schemes::{DetectionScheme, SchemeRun, SchemesReport, Trial};
+pub use stream::trial_id;

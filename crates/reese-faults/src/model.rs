@@ -46,23 +46,29 @@ impl FaultClass {
         )
     }
 
-    /// Parses a display name (`"p-result"`, …) back to the class, the
-    /// inverse of [`fmt::Display`]. Used by campaign-log resume.
-    pub fn from_name(name: &str) -> Option<FaultClass> {
-        FaultClass::ALL.into_iter().find(|c| c.to_string() == name)
-    }
-}
-
-impl fmt::Display for FaultClass {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+    /// The display name as a static string (what [`fmt::Display`]
+    /// prints): `"p-result"`, `"r-result"`, `"post-compare"`,
+    /// `"cache-cell"`, `"pipeline-control"`.
+    pub const fn name(self) -> &'static str {
+        match self {
             FaultClass::PrimaryResult => "p-result",
             FaultClass::RedundantResult => "r-result",
             FaultClass::PostCompare => "post-compare",
             FaultClass::CacheCell => "cache-cell",
             FaultClass::PipelineControl => "pipeline-control",
-        };
-        f.write_str(s)
+        }
+    }
+
+    /// Parses a display name (`"p-result"`, …) back to the class, the
+    /// inverse of [`fmt::Display`]. Used by campaign-log resume.
+    pub fn from_name(name: &str) -> Option<FaultClass> {
+        FaultClass::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 

@@ -1,12 +1,26 @@
 //! Campaign results and coverage reports.
 
 use crate::FaultClass;
-use reese_stats::ParallelStats;
+use reese_stats::{Histogram, ParallelStats};
 use reese_trace::MetricsSeries;
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Unit-width buckets in a detection-latency histogram; latencies at or
+/// above this land in the overflow bucket. REESE-style compare-at-head
+/// latencies are tens of cycles, so the distribution body fits easily.
+pub const LATENCY_HISTOGRAM_CAP: usize = 256;
+
 /// The outcome of one injection trial.
+///
+/// The three `*_cycle` fields are **window-relative**: cycle 0 is the
+/// first cycle after the trial's anchor checkpoint is restored, so the
+/// values are identical under the Full and Replay engines (both run the
+/// same anchored window from the same boundary). They are `None` when
+/// the quantity was not observable — the faulted instruction never
+/// committed inside the window, the scheme squashed the corruption
+/// before it reached architectural state, or the trial was scored
+/// analytically without simulation (modeled-undetectable classes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrialOutcome {
     /// The class of fault injected.
@@ -23,6 +37,14 @@ pub struct TrialOutcome {
     pub extra_cycles: u64,
     /// Whether the final architectural state matched the clean run.
     pub state_clean: bool,
+    /// Window-relative cycle the corrupted value entered the machine.
+    pub inject_cycle: Option<u64>,
+    /// Window-relative cycle the corruption first became architectural
+    /// (the faulted instruction's commit, for schemes that let it
+    /// commit before checking).
+    pub diverge_cycle: Option<u64>,
+    /// Window-relative cycle the detecting comparison (or trap) fired.
+    pub detect_cycle: Option<u64>,
 }
 
 /// Aggregated results of a fault-injection campaign.
@@ -41,6 +63,9 @@ pub struct TrialOutcome {
 ///     detection_latency: Some(12),
 ///     extra_cycles: 30,
 ///     state_clean: true,
+///     inject_cycle: Some(100),
+///     diverge_cycle: None,
+///     detect_cycle: Some(112),
 /// });
 /// assert_eq!(r.coverage(), 1.0);
 /// ```
@@ -168,6 +193,65 @@ impl CoverageReport {
         self.outcomes.iter().all(|o| o.state_clean)
     }
 
+    /// Detection latencies over detected trials, sorted ascending.
+    fn sorted_latencies(&self) -> Vec<u64> {
+        let mut lats: Vec<u64> = self
+            .outcomes
+            .iter()
+            .filter_map(|o| o.detection_latency)
+            .collect();
+        lats.sort_unstable();
+        lats
+    }
+
+    /// The `num/den` quantile of detection latency over detected trials
+    /// (nearest-rank on the sorted sample, index `(n-1)*num/den` — the
+    /// same integer convention the schemes report has always used for
+    /// p90), or `None` when nothing was detected.
+    pub fn latency_percentile(&self, num: usize, den: usize) -> Option<u64> {
+        let lats = self.sorted_latencies();
+        if lats.is_empty() {
+            None
+        } else {
+            Some(lats[(lats.len() - 1) * num / den])
+        }
+    }
+
+    /// Detection-latency histogram over every detected trial:
+    /// unit-width buckets up to [`LATENCY_HISTOGRAM_CAP`] cycles plus
+    /// an overflow bucket.
+    pub fn latency_histogram(&self) -> Histogram {
+        let mut h = Histogram::new("detection_latency", LATENCY_HISTOGRAM_CAP);
+        for o in &self.outcomes {
+            if let Some(l) = o.detection_latency {
+                h.record(l);
+            }
+        }
+        h
+    }
+
+    /// Per-fault-class detection-latency histograms, for classes with
+    /// at least one detection, in [`FaultClass::ALL`] order. The fault
+    /// class is the corrupted-structure axis: each class names the
+    /// structure the bit was flipped in (result bus, compare queue,
+    /// cache cell, pipeline control).
+    pub fn latency_histograms_by_class(&self) -> Vec<(FaultClass, Histogram)> {
+        FaultClass::ALL
+            .into_iter()
+            .filter_map(|class| {
+                let mut h = Histogram::new(class.name(), LATENCY_HISTOGRAM_CAP);
+                for o in &self.outcomes {
+                    if o.class == class {
+                        if let Some(l) = o.detection_latency {
+                            h.record(l);
+                        }
+                    }
+                }
+                (h.samples() > 0).then_some((class, h))
+            })
+            .collect()
+    }
+
     /// Per-class (detected, total) table.
     pub fn class_table(&self) -> BTreeMap<String, (u64, u64)> {
         let mut t = BTreeMap::new();
@@ -181,18 +265,30 @@ impl CoverageReport {
     }
 
     /// Serialises every trial as CSV with a header row: one line per
-    /// outcome, in campaign order. An undetected trial has an empty
-    /// `detection_latency` field. Class names contain no commas or
-    /// quotes, so no RFC-4180 quoting is ever needed.
+    /// outcome, in campaign order. Unobserved optional fields
+    /// (`detection_latency` and the three window-relative cycle
+    /// columns) are empty. Class names contain no commas or quotes, so
+    /// no RFC-4180 quoting is ever needed.
     pub fn to_csv(&self) -> String {
+        fn opt(v: Option<u64>) -> String {
+            v.map_or(String::new(), |v| v.to_string())
+        }
         let mut out = String::from(
-            "trial,class,seq,bit,detected,detection_latency,extra_cycles,state_clean\n",
+            "trial,class,seq,bit,detected,detection_latency,extra_cycles,state_clean,inject_cycle,diverge_cycle,detect_cycle\n",
         );
         for (i, o) in self.outcomes.iter().enumerate() {
-            let latency = o.detection_latency.map_or(String::new(), |l| l.to_string());
             out.push_str(&format!(
-                "{i},{},{},{},{},{latency},{},{}\n",
-                o.class, o.seq, o.bit, o.detected, o.extra_cycles, o.state_clean
+                "{i},{},{},{},{},{},{},{},{},{},{}\n",
+                o.class,
+                o.seq,
+                o.bit,
+                o.detected,
+                opt(o.detection_latency),
+                o.extra_cycles,
+                o.state_clean,
+                opt(o.inject_cycle),
+                opt(o.diverge_cycle),
+                opt(o.detect_cycle)
             ));
         }
         out
@@ -220,6 +316,28 @@ impl CoverageReport {
             "  \"all_states_clean\": {},\n",
             self.all_states_clean()
         ));
+        let pct = |num, den| {
+            self.latency_percentile(num, den)
+                .map_or_else(|| "null".to_string(), |v| v.to_string())
+        };
+        out.push_str(&format!(
+            "  \"latency_p50\": {}, \"latency_p90\": {}, \"latency_p99\": {},\n",
+            pct(1, 2),
+            pct(9, 10),
+            pct(99, 100)
+        ));
+        out.push_str(&format!(
+            "  \"latency_histogram\": {},\n",
+            histogram_json(&self.latency_histogram())
+        ));
+        out.push_str("  \"latency_by_class\": {");
+        let class_hists: Vec<String> = self
+            .latency_histograms_by_class()
+            .into_iter()
+            .map(|(class, h)| format!("\"{class}\": {}", histogram_json(&h)))
+            .collect();
+        out.push_str(&class_hists.join(", "));
+        out.push_str("},\n");
         out.push_str("  \"by_class\": {");
         let classes: Vec<String> = self
             .class_table()
@@ -233,12 +351,21 @@ impl CoverageReport {
             .outcomes
             .iter()
             .map(|o| {
-                let latency = o
-                    .detection_latency
-                    .map_or_else(|| "null".to_string(), |l| l.to_string());
+                let opt = |v: Option<u64>| {
+                    v.map_or_else(|| "null".to_string(), |v| v.to_string())
+                };
                 format!(
-                    "    {{\"class\": \"{}\", \"seq\": {}, \"bit\": {}, \"detected\": {}, \"detection_latency\": {latency}, \"extra_cycles\": {}, \"state_clean\": {}}}",
-                    o.class, o.seq, o.bit, o.detected, o.extra_cycles, o.state_clean
+                    "    {{\"class\": \"{}\", \"seq\": {}, \"bit\": {}, \"detected\": {}, \"detection_latency\": {}, \"extra_cycles\": {}, \"state_clean\": {}, \"inject_cycle\": {}, \"diverge_cycle\": {}, \"detect_cycle\": {}}}",
+                    o.class,
+                    o.seq,
+                    o.bit,
+                    o.detected,
+                    opt(o.detection_latency),
+                    o.extra_cycles,
+                    o.state_clean,
+                    opt(o.inject_cycle),
+                    opt(o.diverge_cycle),
+                    opt(o.detect_cycle)
                 )
             })
             .collect();
@@ -246,6 +373,26 @@ impl CoverageReport {
         out.push_str("\n  ]\n}\n");
         out
     }
+}
+
+/// Serialises a histogram as a compact JSON object with sparse buckets
+/// (only non-empty unit buckets appear, keyed by cycle count).
+pub(crate) fn histogram_json(h: &Histogram) -> String {
+    let mut buckets: Vec<String> = Vec::new();
+    for v in 0..LATENCY_HISTOGRAM_CAP as u64 {
+        let n = h.count(v);
+        if n > 0 {
+            buckets.push(format!("\"{v}\": {n}"));
+        }
+    }
+    format!(
+        "{{\"samples\": {}, \"mean\": {:.3}, \"max\": {}, \"overflow\": {}, \"buckets\": {{{}}}}}",
+        h.samples(),
+        h.mean(),
+        h.max(),
+        h.overflow(),
+        buckets.join(", ")
+    )
 }
 
 impl fmt::Display for CoverageReport {
@@ -261,6 +408,18 @@ impl fmt::Display for CoverageReport {
         )?;
         for (name, (d, n)) in self.class_table() {
             writeln!(f, "  {name:<18} {d}/{n}")?;
+        }
+        if self.detected > 0 {
+            let p = |num, den| self.latency_percentile(num, den).unwrap_or(0);
+            writeln!(
+                f,
+                "detection latency CDF: p50 {} / p90 {} / p99 {} / max {} cycles over {} detections",
+                p(1, 2),
+                p(9, 10),
+                p(99, 100),
+                self.latency_histogram().max(),
+                self.detected
+            )?;
         }
         if let Some(t) = &self.throughput {
             writeln!(f, "throughput: {t}")?;
@@ -282,6 +441,9 @@ mod tests {
             detection_latency: detected.then_some(10),
             extra_cycles: if detected { 20 } else { 0 },
             state_clean: true,
+            inject_cycle: detected.then_some(100),
+            diverge_cycle: None,
+            detect_cycle: detected.then_some(110),
         }
     }
 
@@ -359,10 +521,10 @@ mod tests {
         assert_eq!(lines.len(), 3, "header + 2 trials");
         assert_eq!(
             lines[0],
-            "trial,class,seq,bit,detected,detection_latency,extra_cycles,state_clean"
+            "trial,class,seq,bit,detected,detection_latency,extra_cycles,state_clean,inject_cycle,diverge_cycle,detect_cycle"
         );
-        assert_eq!(lines[1], "0,p-result,0,0,true,10,20,true");
-        assert_eq!(lines[2], "1,cache-cell,0,0,false,,0,true");
+        assert_eq!(lines[1], "0,p-result,0,0,true,10,20,true,100,,110");
+        assert_eq!(lines[2], "1,cache-cell,0,0,false,,0,true,,,");
     }
 
     #[test]
@@ -380,6 +542,34 @@ mod tests {
         assert!(json.contains("\"coverage\": 0.500000"));
         assert!(json.contains("\"detection_latency\": null"));
         assert!(json.contains("\"p-result\": {\"detected\": 1, \"total\": 1}"));
+        assert!(json.contains("\"inject_cycle\": 100"));
+        assert!(json.contains("\"diverge_cycle\": null"));
+        assert!(json.contains("\"latency_histogram\": {\"samples\": 1"));
+        assert!(json.contains("\"buckets\": {\"10\": 1}"));
+        assert!(json.contains("\"latency_p50\": 10"));
+    }
+
+    #[test]
+    fn latency_histogram_and_percentiles() {
+        let mut r = CoverageReport::new(100);
+        for lat in [5u64, 5, 7, 300] {
+            let mut o = outcome(FaultClass::PrimaryResult, true);
+            o.detection_latency = Some(lat);
+            r.record(o);
+        }
+        r.record(outcome(FaultClass::CacheCell, false));
+        let h = r.latency_histogram();
+        assert_eq!(h.samples(), 4);
+        assert_eq!(h.count(5), 2);
+        assert_eq!(h.overflow(), 1, "latency 300 overflows the cap");
+        assert_eq!(h.max(), 300);
+        assert_eq!(r.latency_percentile(1, 2), Some(5));
+        assert_eq!(r.latency_percentile(99, 100), Some(7));
+        let by_class = r.latency_histograms_by_class();
+        assert_eq!(by_class.len(), 1, "only classes with detections");
+        assert_eq!(by_class[0].0, FaultClass::PrimaryResult);
+        assert_eq!(by_class[0].1.samples(), 4);
+        assert!(CoverageReport::new(0).latency_percentile(1, 2).is_none());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! construction; its `state_clean` column is the silent-data-corruption
 //! rate the protected schemes are measured against.
 
+use super::observe::CommitProbe;
 use super::{DetectionScheme, SchemeRun, Trial};
 use crate::engine::output_fnv;
 use crate::{FaultClass, TrialOutcome};
@@ -21,6 +22,7 @@ use reese_ckpt::{Checkpoint, Scheme};
 use reese_core::{DuplexSim, InjectedFault, ReeseConfig, ReeseResult, ReeseSim};
 use reese_isa::Program;
 use reese_pipeline::{PipelineSim, SimResult};
+use reese_trace::{DeepLog, Pair};
 
 fn from_pipeline(r: SimResult) -> SchemeRun {
     SchemeRun {
@@ -53,14 +55,21 @@ fn score_redundant(t: &Trial<'_>, r: &ReeseResult) -> TrialOutcome {
     // the digest measures speculative fetch depth, not state.
     let state_clean = output_fnv(&r.output) == t.baseline.output_fnv
         && (!t.baseline.halted || r.state_digest == t.baseline.digest);
+    let first = r.detections.first();
     TrialOutcome {
         class: t.class,
         seq: t.seq,
         bit: t.bit,
         detected: !r.detections.is_empty(),
-        detection_latency: r.detections.first().map(|d| d.latency()),
+        detection_latency: first.map(|d| d.latency()),
         extra_cycles: r.cycles().saturating_sub(t.baseline.cycles),
         state_clean,
+        inject_cycle: first.map(|d| d.inject_cycle),
+        // Compare-before-commit: a detected corruption is squashed in
+        // the compare latch and never goes architectural; an undetected
+        // latch fault on these machines never fired at all.
+        diverge_cycle: None,
+        detect_cycle: first.map(|d| d.detect_cycle),
     }
 }
 
@@ -112,20 +121,51 @@ impl DetectionScheme for BaselineScheme {
             .map_err(|e| e.to_string())
     }
 
-    fn run_trial(&self, t: Trial<'_>) -> Result<TrialOutcome, String> {
+    fn run_window_observed(
+        &self,
+        program: &Program,
+        ck: &Checkpoint,
+        budget: u64,
+        probe: &mut DeepLog,
+    ) -> Result<SchemeRun, String> {
+        self.sim
+            .run_interval_observed(ck.restore(program), ck.warm.as_ref(), budget, probe)
+            .map(from_pipeline)
+            .map_err(|e| e.to_string())
+    }
+
+    fn run_trial(&self, mut t: Trial<'_>) -> Result<TrialOutcome, String> {
         // A single-stream machine has no redundant copy: both result
         // classes degenerate to one architectural result upset.
         let mut emu = t.ck.restore(t.program);
         emu.inject_result_fault(t.seq, t.bit);
-        let r = match t.tracer {
-            Some(tr) => self
+        // The probe pins the injection (first writeback of the faulted
+        // seq) and divergence (its commit) cycles; nothing detects.
+        let mut probe = CommitProbe::watching(t.seq);
+        let warm = t.ck.warm.as_ref();
+        let r = match (t.tracer.take(), t.probe.take()) {
+            (Some(tr), Some(dp)) => self.sim.run_interval_observed(
+                emu,
+                warm,
+                t.budget,
+                &mut Pair(&mut probe, &mut Pair(tr, dp)),
+            ),
+            (Some(tr), None) => {
+                self.sim
+                    .run_interval_observed(emu, warm, t.budget, &mut Pair(&mut probe, tr))
+            }
+            (None, Some(dp)) => {
+                self.sim
+                    .run_interval_observed(emu, warm, t.budget, &mut Pair(&mut probe, dp))
+            }
+            (None, None) => self
                 .sim
-                .run_interval_observed(emu, t.ck.warm.as_ref(), t.budget, tr),
-            None => self.sim.run_interval(emu, t.ck.warm.as_ref(), t.budget),
+                .run_interval_observed(emu, warm, t.budget, &mut probe),
         }
         .map_err(|e| e.to_string())?;
         let state_clean = output_fnv(&r.output) == t.baseline.output_fnv
             && (!t.baseline.halted || r.state_digest == t.baseline.digest);
+        let committed = probe.commit_cycle(t.seq);
         Ok(TrialOutcome {
             class: t.class,
             seq: t.seq,
@@ -134,6 +174,9 @@ impl DetectionScheme for BaselineScheme {
             detection_latency: None,
             extra_cycles: r.stats.cycles.saturating_sub(t.baseline.cycles),
             state_clean,
+            inject_cycle: probe.first_writeback.or(committed),
+            diverge_cycle: committed,
+            detect_cycle: None,
         })
     }
 }
@@ -175,20 +218,40 @@ impl DetectionScheme for ReeseScheme {
             .map_err(|e| e.to_string())
     }
 
+    fn run_window_observed(
+        &self,
+        program: &Program,
+        ck: &Checkpoint,
+        budget: u64,
+        probe: &mut DeepLog,
+    ) -> Result<SchemeRun, String> {
+        self.sim
+            .run_interval_observed(ck.restore(program), ck.warm.as_ref(), budget, probe)
+            .map(from_redundant)
+            .map_err(|e| e.to_string())
+    }
+
     fn run_trial(&self, mut t: Trial<'_>) -> Result<TrialOutcome, String> {
         let faults = [latch_fault(t.class, t.seq, t.bit)];
         let emu = t.ck.restore(t.program);
-        let r = match t.tracer.take() {
-            Some(tr) => self.sim.run_interval_with_faults_observed(
+        let warm = t.ck.warm.as_ref();
+        let r = match (t.tracer.take(), t.probe.take()) {
+            (Some(tr), Some(dp)) => self.sim.run_interval_with_faults_observed(
                 emu,
-                t.ck.warm.as_ref(),
+                warm,
                 &faults,
                 t.budget,
-                tr,
+                &mut Pair(tr, dp),
             ),
-            None => self
+            (Some(tr), None) => self
                 .sim
-                .run_interval_with_faults(emu, t.ck.warm.as_ref(), &faults, t.budget),
+                .run_interval_with_faults_observed(emu, warm, &faults, t.budget, tr),
+            (None, Some(dp)) => self
+                .sim
+                .run_interval_with_faults_observed(emu, warm, &faults, t.budget, dp),
+            (None, None) => self
+                .sim
+                .run_interval_with_faults(emu, warm, &faults, t.budget),
         }
         .map_err(|e| e.to_string())?;
         Ok(score_redundant(&t, &r))
@@ -232,20 +295,40 @@ impl DetectionScheme for DuplexScheme {
             .map_err(|e| e.to_string())
     }
 
+    fn run_window_observed(
+        &self,
+        program: &Program,
+        ck: &Checkpoint,
+        budget: u64,
+        probe: &mut DeepLog,
+    ) -> Result<SchemeRun, String> {
+        self.sim
+            .run_interval_observed(ck.restore(program), ck.warm.as_ref(), budget, probe)
+            .map(from_redundant)
+            .map_err(|e| e.to_string())
+    }
+
     fn run_trial(&self, mut t: Trial<'_>) -> Result<TrialOutcome, String> {
         let faults = [latch_fault(t.class, t.seq, t.bit)];
         let emu = t.ck.restore(t.program);
-        let r = match t.tracer.take() {
-            Some(tr) => self.sim.run_interval_with_faults_observed(
+        let warm = t.ck.warm.as_ref();
+        let r = match (t.tracer.take(), t.probe.take()) {
+            (Some(tr), Some(dp)) => self.sim.run_interval_with_faults_observed(
                 emu,
-                t.ck.warm.as_ref(),
+                warm,
                 &faults,
                 t.budget,
-                tr,
+                &mut Pair(tr, dp),
             ),
-            None => self
+            (Some(tr), None) => self
                 .sim
-                .run_interval_with_faults(emu, t.ck.warm.as_ref(), &faults, t.budget),
+                .run_interval_with_faults_observed(emu, warm, &faults, t.budget, tr),
+            (None, Some(dp)) => self
+                .sim
+                .run_interval_with_faults_observed(emu, warm, &faults, t.budget, dp),
+            (None, None) => self
+                .sim
+                .run_interval_with_faults(emu, warm, &faults, t.budget),
         }
         .map_err(|e| e.to_string())?;
         Ok(score_redundant(&t, &r))

@@ -34,7 +34,7 @@ use reese_ckpt::{Checkpoint, Scheme};
 use reese_core::ReeseConfig;
 use reese_isa::{OpKind, Program};
 use reese_pipeline::PipelineSim;
-use reese_trace::Pair;
+use reese_trace::{DeepLog, Pair};
 
 /// Number of small in-order checker cores.
 pub const CHECKERS: usize = 2;
@@ -150,7 +150,26 @@ impl DetectionScheme for MeekScheme {
             .map_err(|e| e.to_string())
     }
 
-    fn run_trial(&self, t: Trial<'_>) -> Result<TrialOutcome, String> {
+    fn run_window_observed(
+        &self,
+        program: &Program,
+        ck: &Checkpoint,
+        budget: u64,
+        probe: &mut DeepLog,
+    ) -> Result<SchemeRun, String> {
+        self.sim
+            .run_interval_observed(ck.restore(program), ck.warm.as_ref(), budget, probe)
+            .map(|r| SchemeRun {
+                cycles: r.stats.cycles,
+                committed: r.stats.committed,
+                output: r.output,
+                exit_code: r.exit_code,
+                state_digest: r.state_digest,
+            })
+            .map_err(|e| e.to_string())
+    }
+
+    fn run_trial(&self, mut t: Trial<'_>) -> Result<TrialOutcome, String> {
         // Primary-result faults corrupt the main core architecturally;
         // checker-side (redundant) upsets corrupt only the checker's
         // latched copy, so the main core stays clean.
@@ -159,17 +178,26 @@ impl DetectionScheme for MeekScheme {
         if primary {
             emu.inject_result_fault(t.seq, t.bit);
         }
-        let mut probe = CommitProbe::new();
-        let r = match t.tracer {
-            Some(tr) => self.sim.run_interval_observed(
+        let mut probe = CommitProbe::watching(t.seq);
+        let warm = t.ck.warm.as_ref();
+        let r = match (t.tracer.take(), t.probe.take()) {
+            (Some(tr), Some(dp)) => self.sim.run_interval_observed(
                 emu,
-                t.ck.warm.as_ref(),
+                warm,
                 t.budget,
-                &mut Pair(&mut probe, tr),
+                &mut Pair(&mut probe, &mut Pair(tr, dp)),
             ),
-            None => self
+            (Some(tr), None) => {
+                self.sim
+                    .run_interval_observed(emu, warm, t.budget, &mut Pair(&mut probe, tr))
+            }
+            (None, Some(dp)) => {
+                self.sim
+                    .run_interval_observed(emu, warm, t.budget, &mut Pair(&mut probe, dp))
+            }
+            (None, None) => self
                 .sim
-                .run_interval_observed(emu, t.ck.warm.as_ref(), t.budget, &mut probe),
+                .run_interval_observed(emu, warm, t.budget, &mut probe),
         }
         .map_err(|e| e.to_string())?;
 
@@ -193,6 +221,9 @@ impl DetectionScheme for MeekScheme {
                 .position(|&(s, _, _)| s == t.seq)
                 .expect("detected fault must be in the commit stream");
             let latency = complete[idx].saturating_sub(probe.commits[idx].1);
+            // A primary fault goes architectural at the faulted seq's
+            // commit; a checker-side upset never touches the main core.
+            let commit = Some(probe.commits[idx].1);
             Ok(TrialOutcome {
                 class: t.class,
                 seq: t.seq,
@@ -201,6 +232,13 @@ impl DetectionScheme for MeekScheme {
                 detection_latency: Some(latency),
                 extra_cycles: latency + self.rollback,
                 state_clean: true,
+                inject_cycle: if primary {
+                    probe.first_writeback.or(commit)
+                } else {
+                    commit
+                },
+                diverge_cycle: if primary { commit } else { None },
+                detect_cycle: Some(complete[idx]),
             })
         } else {
             // Escaped (masked fault, or a forwarded load value): score
@@ -208,6 +246,7 @@ impl DetectionScheme for MeekScheme {
             // window.
             let state_clean = output_fnv(&r.output) == t.baseline.output_fnv
                 && (!t.baseline.halted || r.state_digest == t.baseline.digest);
+            let commit = probe.commit_cycle(t.seq);
             Ok(TrialOutcome {
                 class: t.class,
                 seq: t.seq,
@@ -216,6 +255,13 @@ impl DetectionScheme for MeekScheme {
                 detection_latency: None,
                 extra_cycles: r.stats.cycles.saturating_sub(t.baseline.cycles),
                 state_clean,
+                inject_cycle: if primary {
+                    probe.first_writeback.or(commit)
+                } else {
+                    commit
+                },
+                diverge_cycle: if primary { commit } else { None },
+                detect_cycle: None,
             })
         }
     }

@@ -44,7 +44,7 @@ use crate::{FaultClass, TrialOutcome};
 use reese_ckpt::{Checkpoint, Scheme};
 use reese_core::ReeseConfig;
 use reese_isa::Program;
-use reese_trace::Tracer;
+use reese_trace::{DeepLog, Tracer};
 
 pub use report::{EvalOptions, SchemeRow, SchemesReport};
 pub use swift::transform as swift_transform;
@@ -85,6 +85,10 @@ pub struct Trial<'a> {
     pub budget: u64,
     /// Metrics tracer, when the campaign samples per-interval metrics.
     pub tracer: Option<&'a mut Tracer>,
+    /// Deep forensic observer, when a single trial is being explained.
+    /// Captures every pipeline event and per-cycle state of the faulty
+    /// run for divergence diffing against the clean window.
+    pub probe: Option<&'a mut DeepLog>,
 }
 
 /// A soft-error detection mechanism, as seen by a fault-injection
@@ -119,6 +123,17 @@ pub trait DetectionScheme: Send + Sync {
         program: &Program,
         ck: &Checkpoint,
         budget: u64,
+    ) -> Result<SchemeRun, String>;
+
+    /// [`DetectionScheme::run_window`] with a deep observer attached —
+    /// the forensics capture path. Must simulate the identical machine:
+    /// the returned [`SchemeRun`] must equal the unobserved one.
+    fn run_window_observed(
+        &self,
+        program: &Program,
+        ck: &Checkpoint,
+        budget: u64,
+        probe: &mut DeepLog,
     ) -> Result<SchemeRun, String>;
 
     /// Scores one injected fault over its anchored window. Only called

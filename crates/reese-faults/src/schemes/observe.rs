@@ -7,14 +7,28 @@ use reese_trace::{CycleState, Observer, Stage, TraceEvent};
 /// replays this stream through its checker cores; the SWIFT scorer
 /// uses it to anchor detection latency at the faulted instruction's
 /// commit.
+///
+/// A probe built with [`CommitProbe::watching`] additionally latches
+/// the first writeback cycle of one dynamic instruction — the cycle an
+/// architecturally injected fault's corrupt value enters the machine.
 #[derive(Debug, Default)]
 pub(crate) struct CommitProbe {
     pub commits: Vec<(u64, u64, u64)>,
+    watch_seq: Option<u64>,
+    pub first_writeback: Option<u64>,
 }
 
 impl CommitProbe {
     pub fn new() -> CommitProbe {
         CommitProbe::default()
+    }
+
+    /// A probe that also latches the first writeback of `seq`.
+    pub fn watching(seq: u64) -> CommitProbe {
+        CommitProbe {
+            watch_seq: Some(seq),
+            ..CommitProbe::default()
+        }
     }
 
     /// The commit cycle of a dynamic instruction, if it committed in
@@ -41,6 +55,11 @@ impl Observer for CommitProbe {
     fn event(&mut self, ev: TraceEvent) {
         if ev.stage == Stage::Commit {
             self.commits.push((ev.seq, ev.cycle, ev.pc));
+        } else if ev.stage == Stage::Writeback
+            && self.watch_seq == Some(ev.seq)
+            && self.first_writeback.is_none()
+        {
+            self.first_writeback = Some(ev.cycle);
         }
     }
 

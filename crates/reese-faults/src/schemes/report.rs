@@ -17,11 +17,13 @@
 //!   instructions are genuine extra targets, not an accounting trick.
 
 use super::build;
+use crate::report::histogram_json;
 use crate::{Campaign, CampaignError, FaultMix, TrialEngine};
 use reese_ckpt::Scheme;
 use reese_core::ReeseConfig;
 use reese_isa::Program;
 use reese_pipeline::PipelineSim;
+use reese_stats::Histogram;
 use std::fmt;
 
 /// One (scheme, kernel) measurement.
@@ -39,8 +41,15 @@ pub struct SchemeRow {
     pub coverage: f64,
     /// Mean detection latency over detected trials, in cycles.
     pub mean_latency: f64,
+    /// Median detection latency, in cycles.
+    pub p50_latency: u64,
     /// 90th-percentile detection latency, in cycles.
     pub p90_latency: u64,
+    /// 99th-percentile detection latency, in cycles.
+    pub p99_latency: u64,
+    /// Full detection-latency distribution over detected trials
+    /// (unit-width buckets, [`crate::report::LATENCY_HISTOGRAM_CAP`]).
+    pub latency_histogram: Histogram,
     /// Clean scheme cycles / clean baseline cycles.
     pub time_overhead: f64,
     /// Prepared static instructions / original static instructions.
@@ -75,6 +84,10 @@ pub struct EvalOptions {
     pub engine: TrialEngine,
     /// Committed-instruction cap per run (`u64::MAX` = none).
     pub max_instructions: u64,
+    /// Shared telemetry journal: every cell campaign appends its phase
+    /// and throughput events here, bracketed by `cell_start` events
+    /// naming the (scheme, kernel) pair. `None` (default) disables.
+    pub telemetry_out: Option<std::path::PathBuf>,
 }
 
 impl Default for EvalOptions {
@@ -85,6 +98,7 @@ impl Default for EvalOptions {
             jobs: 1,
             engine: TrialEngine::Replay,
             max_instructions: u64::MAX,
+            telemetry_out: None,
         }
     }
 }
@@ -108,6 +122,12 @@ impl SchemesReport {
         programs: &[(String, Program)],
         opts: &EvalOptions,
     ) -> Result<SchemesReport, CampaignError> {
+        let tele = match &opts.telemetry_out {
+            Some(path) => Some(std::sync::Arc::new(
+                crate::telemetry::Telemetry::create(path).map_err(CampaignError::Io)?,
+            )),
+            None => None,
+        };
         let mut rows = Vec::with_capacity(Scheme::ALL.len() * programs.len());
         for (kernel, program) in programs {
             let baseline_cycles = PipelineSim::new(config.pipeline.clone())
@@ -121,25 +141,24 @@ impl SchemesReport {
                 let clean = backend
                     .run_limit(&prepared, opts.max_instructions)
                     .map_err(CampaignError::Workload)?;
-                let report = Campaign::new(config.clone(), *mix)
+                let mut campaign = Campaign::new(config.clone(), *mix)
                     .scheme(scheme)
                     .trials(opts.trials)
                     .seed(opts.seed)
                     .jobs(opts.jobs)
                     .engine(opts.engine)
-                    .max_instructions(opts.max_instructions)
-                    .run(program)?;
-                let mut latencies: Vec<u64> = report
-                    .outcomes
-                    .iter()
-                    .filter_map(|o| o.detection_latency)
-                    .collect();
-                latencies.sort_unstable();
-                let p90 = if latencies.is_empty() {
-                    0
-                } else {
-                    latencies[(latencies.len() - 1) * 9 / 10]
-                };
+                    .max_instructions(opts.max_instructions);
+                if let Some(t) = &tele {
+                    t.emit(
+                        "cell_start",
+                        &[
+                            ("scheme", crate::telemetry::json_str(scheme.name())),
+                            ("kernel", crate::telemetry::json_str(kernel)),
+                        ],
+                    );
+                    campaign = campaign.telemetry(std::sync::Arc::clone(t));
+                }
+                let report = campaign.run(program)?;
                 rows.push(SchemeRow {
                     scheme,
                     kernel: kernel.clone(),
@@ -147,7 +166,10 @@ impl SchemesReport {
                     detected: report.detected,
                     coverage: report.coverage(),
                     mean_latency: report.mean_detection_latency(),
-                    p90_latency: p90,
+                    p50_latency: report.latency_percentile(1, 2).unwrap_or(0),
+                    p90_latency: report.latency_percentile(9, 10).unwrap_or(0),
+                    p99_latency: report.latency_percentile(99, 100).unwrap_or(0),
+                    latency_histogram: report.latency_histogram(),
                     time_overhead: clean.cycles as f64 / baseline_cycles.max(1) as f64,
                     code_overhead: prepared.len() as f64 / program.len().max(1) as f64,
                 });
@@ -202,18 +224,20 @@ impl SchemesReport {
     /// file).
     pub fn to_csv(&self) -> String {
         let mut s = String::from(
-            "scheme,kernel,trials,detected,coverage,mean_latency,p90_latency,time_overhead,code_overhead\n",
+            "scheme,kernel,trials,detected,coverage,mean_latency,p50_latency,p90_latency,p99_latency,time_overhead,code_overhead\n",
         );
         for r in &self.rows {
             s.push_str(&format!(
-                "{},{},{},{},{:.4},{:.2},{},{:.4},{:.4}\n",
+                "{},{},{},{},{:.4},{:.2},{},{},{},{:.4},{:.4}\n",
                 r.scheme,
                 r.kernel,
                 r.trials,
                 r.detected,
                 r.coverage,
                 r.mean_latency,
+                r.p50_latency,
                 r.p90_latency,
+                r.p99_latency,
                 r.time_overhead,
                 r.code_overhead
             ));
@@ -226,14 +250,17 @@ impl SchemesReport {
         let mut s = String::from("{\n  \"rows\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"scheme\": \"{}\", \"kernel\": \"{}\", \"trials\": {}, \"detected\": {}, \"coverage\": {:.6}, \"mean_latency\": {:.4}, \"p90_latency\": {}, \"time_overhead\": {:.6}, \"code_overhead\": {:.6}}}{}\n",
+                "    {{\"scheme\": \"{}\", \"kernel\": \"{}\", \"trials\": {}, \"detected\": {}, \"coverage\": {:.6}, \"mean_latency\": {:.4}, \"p50_latency\": {}, \"p90_latency\": {}, \"p99_latency\": {}, \"latency_histogram\": {}, \"time_overhead\": {:.6}, \"code_overhead\": {:.6}}}{}\n",
                 r.scheme,
                 r.kernel,
                 r.trials,
                 r.detected,
                 r.coverage,
                 r.mean_latency,
+                r.p50_latency,
                 r.p90_latency,
+                r.p99_latency,
+                histogram_json(&r.latency_histogram),
                 r.time_overhead,
                 r.code_overhead,
                 if i + 1 < self.rows.len() { "," } else { "" }
@@ -261,24 +288,34 @@ impl fmt::Display for SchemesReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<10} {:>9} {:>10} {:>9} {:>10} {:>10}",
-            "scheme", "coverage", "mean lat", "p90 lat", "time ovh", "code ovh"
+            "{:<10} {:>9} {:>10} {:>8} {:>8} {:>8} {:>10} {:>10}",
+            "scheme",
+            "coverage",
+            "mean lat",
+            "p50 lat",
+            "p90 lat",
+            "p99 lat",
+            "time ovh",
+            "code ovh"
         )?;
         for s in self.ranked() {
-            let p90 = self
-                .rows
-                .iter()
-                .filter(|r| r.scheme == s.scheme)
-                .map(|r| r.p90_latency)
-                .max()
-                .unwrap_or(0);
+            let worst = |pick: fn(&SchemeRow) -> u64| {
+                self.rows
+                    .iter()
+                    .filter(|r| r.scheme == s.scheme)
+                    .map(pick)
+                    .max()
+                    .unwrap_or(0)
+            };
             writeln!(
                 f,
-                "{:<10} {:>8.1}% {:>10.1} {:>9} {:>9.2}x {:>9.2}x",
+                "{:<10} {:>8.1}% {:>10.1} {:>8} {:>8} {:>8} {:>9.2}x {:>9.2}x",
                 s.scheme.name(),
                 s.coverage * 100.0,
                 s.mean_latency,
-                p90,
+                worst(|r| r.p50_latency),
+                worst(|r| r.p90_latency),
+                worst(|r| r.p99_latency),
                 s.time_overhead,
                 s.code_overhead
             )?;

@@ -51,7 +51,7 @@ use reese_isa::{
     TEXT_BASE,
 };
 use reese_pipeline::PipelineSim;
-use reese_trace::Pair;
+use reese_trace::{DeepLog, Pair};
 
 /// Exit code of the software trap handler ("SWFT"). A detected fault
 /// halts the machine with this sentinel; the scheme reserves it.
@@ -460,35 +460,67 @@ impl DetectionScheme for SwiftScheme {
             .map_err(|e| e.to_string())
     }
 
-    fn run_trial(&self, t: Trial<'_>) -> Result<TrialOutcome, String> {
+    fn run_window_observed(
+        &self,
+        program: &Program,
+        ck: &Checkpoint,
+        budget: u64,
+        probe: &mut DeepLog,
+    ) -> Result<SchemeRun, String> {
+        self.sim
+            .run_interval_observed(ck.restore(program), ck.warm.as_ref(), budget, probe)
+            .map(|r| SchemeRun {
+                cycles: r.stats.cycles,
+                committed: r.stats.committed,
+                output: r.output,
+                exit_code: r.exit_code,
+                state_digest: r.state_digest,
+            })
+            .map_err(|e| e.to_string())
+    }
+
+    fn run_trial(&self, mut t: Trial<'_>) -> Result<TrialOutcome, String> {
         // Single-stream scheme: both result classes are one
         // architectural upset in the (hardened) dynamic stream — the
         // duplicated copies are ordinary instructions, so the draw
         // already lands on originals and duplicates alike.
         let mut emu = t.ck.restore(t.program);
         emu.inject_result_fault(t.seq, t.bit);
-        let mut probe = CommitProbe::new();
-        let r = match t.tracer {
-            Some(tr) => self.sim.run_interval_observed(
+        let mut probe = CommitProbe::watching(t.seq);
+        let warm = t.ck.warm.as_ref();
+        let r = match (t.tracer.take(), t.probe.take()) {
+            (Some(tr), Some(dp)) => self.sim.run_interval_observed(
                 emu,
-                t.ck.warm.as_ref(),
+                warm,
                 t.budget,
-                &mut Pair(&mut probe, tr),
+                &mut Pair(&mut probe, &mut Pair(tr, dp)),
             ),
-            None => self
+            (Some(tr), None) => {
+                self.sim
+                    .run_interval_observed(emu, warm, t.budget, &mut Pair(&mut probe, tr))
+            }
+            (None, Some(dp)) => {
+                self.sim
+                    .run_interval_observed(emu, warm, t.budget, &mut Pair(&mut probe, dp))
+            }
+            (None, None) => self
                 .sim
-                .run_interval_observed(emu, t.ck.warm.as_ref(), t.budget, &mut probe),
+                .run_interval_observed(emu, warm, t.budget, &mut probe),
         }
         .map_err(|e| e.to_string())?;
 
         let detected = r.exit_code == Some(SWIFT_TRAP_EXIT);
+        let committed = probe.commit_cycle(t.seq);
         // Latency: from the faulted instruction's commit to the trap
         // handler's halt (the last commit of the window).
-        let detection_latency = if detected {
-            let end = probe.commits.last().map(|&(_, c, _)| c).unwrap_or(0);
-            probe.commit_cycle(t.seq).map(|c| end.saturating_sub(c))
+        let detect_cycle = if detected {
+            probe.commits.last().map(|&(_, c, _)| c)
         } else {
             None
+        };
+        let detection_latency = match (detect_cycle, committed) {
+            (Some(end), Some(c)) => Some(end.saturating_sub(c)),
+            _ => None,
         };
         // Detection halts the run at the trap: the architectural state
         // is *not* repaired (software-only detection has no recovery
@@ -504,6 +536,9 @@ impl DetectionScheme for SwiftScheme {
             detection_latency,
             extra_cycles: r.stats.cycles.saturating_sub(t.baseline.cycles),
             state_clean,
+            inject_cycle: probe.first_writeback.or(committed),
+            diverge_cycle: committed,
+            detect_cycle,
         })
     }
 }

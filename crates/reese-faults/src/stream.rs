@@ -138,21 +138,46 @@ impl LogHeader {
     }
 }
 
+/// The stable, resume-safe identifier of one trial: an FNV-1a over the
+/// campaign seed and the trial index. Unlike the bare line position in
+/// the log (the old implicit-ordering assumption), the id survives
+/// out-of-order appends, interleaved resume runs, and identifies which
+/// campaign a line belongs to — `reese explain` addresses a trial by
+/// it.
+pub fn trial_id(seed: u64, trial: usize) -> u64 {
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&seed.to_le_bytes());
+    bytes[8..].copy_from_slice(&(trial as u64).to_le_bytes());
+    fnv1a64(&bytes)
+}
+
 /// One outcome as a JSONL line (no trailing newline).
-pub(crate) fn outcome_line(trial: usize, o: &TrialOutcome) -> String {
-    let latency = o
-        .detection_latency
-        .map_or_else(|| "null".to_string(), |l| l.to_string());
+pub(crate) fn outcome_line(seed: u64, trial: usize, o: &TrialOutcome) -> String {
+    let opt = |v: Option<u64>| v.map_or_else(|| "null".to_string(), |v| v.to_string());
     format!(
-        "{{\"trial\": {trial}, \"class\": \"{}\", \"seq\": {}, \"bit\": {}, \
-         \"detected\": {}, \"detection_latency\": {latency}, \
-         \"extra_cycles\": {}, \"state_clean\": {}}}",
-        o.class, o.seq, o.bit, o.detected, o.extra_cycles, o.state_clean
+        "{{\"trial\": {trial}, \"id\": {}, \"class\": \"{}\", \"seq\": {}, \"bit\": {}, \
+         \"detected\": {}, \"detection_latency\": {}, \
+         \"extra_cycles\": {}, \"state_clean\": {}, \
+         \"inject_cycle\": {}, \"diverge_cycle\": {}, \"detect_cycle\": {}}}",
+        trial_id(seed, trial),
+        o.class,
+        o.seq,
+        o.bit,
+        o.detected,
+        opt(o.detection_latency),
+        o.extra_cycles,
+        o.state_clean,
+        opt(o.inject_cycle),
+        opt(o.diverge_cycle),
+        opt(o.detect_cycle)
     )
 }
 
-/// Parses one outcome line back, losslessly.
-pub(crate) fn parse_outcome_line(line: &str) -> Result<(usize, TrialOutcome), String> {
+/// Parses one outcome line back, losslessly. The middle element is the
+/// recorded stable id, `None` on logs written before ids existed (the
+/// optional-field scanners also treat the cycle fields as absent on
+/// such logs).
+pub(crate) fn parse_outcome_line(line: &str) -> Result<(usize, Option<u64>, TrialOutcome), String> {
     let field =
         |key: &str| json_u64(line, key).ok_or_else(|| format!("outcome is missing `{key}`"));
     let flag =
@@ -165,6 +190,7 @@ pub(crate) fn parse_outcome_line(line: &str) -> Result<(usize, TrialOutcome), St
     let bit = u8::try_from(field("bit")?).map_err(|_| "bit out of range".to_string())?;
     Ok((
         trial,
+        json_u64(line, "id"),
         TrialOutcome {
             class,
             seq: field("seq")?,
@@ -173,6 +199,9 @@ pub(crate) fn parse_outcome_line(line: &str) -> Result<(usize, TrialOutcome), St
             detection_latency: json_u64(line, "detection_latency"),
             extra_cycles: field("extra_cycles")?,
             state_clean: flag("state_clean")?,
+            inject_cycle: json_u64(line, "inject_cycle"),
+            diverge_cycle: json_u64(line, "diverge_cycle"),
+            detect_cycle: json_u64(line, "detect_cycle"),
         },
     ))
 }
@@ -198,7 +227,7 @@ pub(crate) fn read_log(
         if line.trim().is_empty() {
             continue;
         }
-        let (trial, outcome) = parse_outcome_line(line)
+        let (trial, id, outcome) = parse_outcome_line(line)
             .map_err(|m| CampaignError::Resume(format!("line {}: {m}", i + 2)))?;
         if trial as u64 >= expected.trials {
             return Err(CampaignError::Resume(format!(
@@ -206,6 +235,16 @@ pub(crate) fn read_log(
                 i + 2,
                 expected.trials
             )));
+        }
+        if let Some(id) = id {
+            let want = trial_id(expected.seed, trial);
+            if id != want {
+                return Err(CampaignError::Resume(format!(
+                    "line {}: trial {trial} carries id {id} but this campaign's \
+                     seed assigns {want} — the line belongs to a different campaign",
+                    i + 2
+                )));
+            }
         }
         if recorded.insert(trial, outcome).is_some() {
             return Err(CampaignError::Resume(format!(
@@ -215,6 +254,24 @@ pub(crate) fn read_log(
         }
     }
     Ok(recorded)
+}
+
+/// Reads a campaign log without an expectation to check against: the
+/// forensics path, which takes the log itself as the source of truth
+/// for seed, mix, and window geometry. Ids are still validated against
+/// the recorded seed.
+pub(crate) fn read_log_raw(
+    path: &Path,
+) -> Result<(LogHeader, BTreeMap<usize, TrialOutcome>), CampaignError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CampaignError::Io(format!("reading {}: {e}", path.display())))?;
+    let header_line = text
+        .lines()
+        .next()
+        .ok_or_else(|| CampaignError::Resume(format!("{} is empty", path.display())))?;
+    let header = LogHeader::parse(header_line).map_err(CampaignError::Resume)?;
+    let recorded = read_log(path, &header)?;
+    Ok((header, recorded))
 }
 
 /// Per-trial appending writer over a campaign log.
@@ -368,6 +425,9 @@ mod tests {
                 detection_latency: Some(12),
                 extra_cycles: 30,
                 state_clean: true,
+                inject_cycle: Some(40),
+                diverge_cycle: None,
+                detect_cycle: Some(52),
             },
             TrialOutcome {
                 class: FaultClass::CacheCell,
@@ -377,10 +437,14 @@ mod tests {
                 detection_latency: None,
                 extra_cycles: 0,
                 state_clean: false,
+                inject_cycle: None,
+                diverge_cycle: None,
+                detect_cycle: None,
             },
         ] {
-            let (trial, back) = parse_outcome_line(&outcome_line(3, &o)).unwrap();
+            let (trial, id, back) = parse_outcome_line(&outcome_line(7, 3, &o)).unwrap();
             assert_eq!(trial, 3);
+            assert_eq!(id, Some(trial_id(7, 3)));
             assert_eq!(back, o);
         }
     }
@@ -395,15 +459,73 @@ mod tests {
             detection_latency: None,
             extra_cycles: 0,
             state_clean: true,
+            inject_cycle: None,
+            diverge_cycle: None,
+            detect_cycle: None,
         };
-        let line = outcome_line(0, &o);
+        let line = outcome_line(7, 0, &o);
         assert!(line.contains("\"detection_latency\": null"), "{line}");
         assert!(line.contains("\"class\": \"r-result\""), "{line}");
+        assert!(line.contains("\"inject_cycle\": null"), "{line}");
+    }
+
+    #[test]
+    fn trial_ids_are_stable_and_campaign_specific() {
+        assert_eq!(trial_id(7, 3), trial_id(7, 3), "pure function");
+        assert_ne!(trial_id(7, 3), trial_id(7, 4), "index-sensitive");
+        assert_ne!(trial_id(7, 3), trial_id(8, 3), "seed-sensitive");
+    }
+
+    #[test]
+    fn pre_id_log_lines_still_parse() {
+        // A line written before ids and cycle fields existed.
+        let line = "{\"trial\": 2, \"class\": \"p-result\", \"seq\": 9, \"bit\": 1, \
+                    \"detected\": true, \"detection_latency\": 4, \
+                    \"extra_cycles\": 8, \"state_clean\": true}";
+        let (trial, id, o) = parse_outcome_line(line).unwrap();
+        assert_eq!(trial, 2);
+        assert_eq!(id, None);
+        assert_eq!(o.detection_latency, Some(4));
+        assert_eq!(o.inject_cycle, None);
     }
 
     #[test]
     fn garbage_outcome_line_rejected() {
         assert!(parse_outcome_line("{\"trial\": 0}").is_err());
         assert!(parse_outcome_line("not json").is_err());
+    }
+
+    #[test]
+    fn foreign_id_is_rejected_by_read_log() {
+        let h = header();
+        let o = TrialOutcome {
+            class: FaultClass::PrimaryResult,
+            seq: 1,
+            bit: 1,
+            detected: true,
+            detection_latency: Some(3),
+            extra_cycles: 5,
+            state_clean: true,
+            inject_cycle: None,
+            diverge_cycle: None,
+            detect_cycle: None,
+        };
+        let dir = std::env::temp_dir().join(format!("reese-id-check-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.jsonl");
+        // Line written under a different seed: same trial index, wrong id.
+        let foreign = outcome_line(h.seed + 1, 0, &o);
+        std::fs::write(&path, format!("{}\n{foreign}\n", h.to_line())).unwrap();
+        let err = read_log(&path, &h).unwrap_err().to_string();
+        assert!(err.contains("different campaign"), "{err}");
+        // The same line under the right seed reads back fine.
+        std::fs::write(
+            &path,
+            format!("{}\n{}\n", h.to_line(), outcome_line(h.seed, 0, &o)),
+        )
+        .unwrap();
+        let recorded = read_log(&path, &h).unwrap();
+        assert_eq!(recorded.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -75,11 +75,20 @@ pub enum Stage {
     Commit,
     /// Detection flush: the machine squashed back to this instruction.
     Flush,
+    /// Forensic marker: the injected fault fired on this instruction.
+    /// Never emitted by the simulators themselves — the fault-forensics
+    /// layer synthesises these when annotating a reconstructed trace.
+    Inject,
+    /// Forensic marker: first event at which the faulty run diverged
+    /// from the clean baseline.
+    Diverge,
+    /// Forensic marker: the comparison (or trap) that caught the fault.
+    Detect,
 }
 
 impl Stage {
-    /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 8] = [
+    /// Every stage, in pipeline order; the forensic markers sort last.
+    pub const ALL: [Stage; 11] = [
         Stage::Fetch,
         Stage::Dispatch,
         Stage::Issue,
@@ -88,6 +97,9 @@ impl Stage {
         Stage::Compare,
         Stage::Commit,
         Stage::Flush,
+        Stage::Inject,
+        Stage::Diverge,
+        Stage::Detect,
     ];
 
     /// Short lowercase name, used in both export formats.
@@ -101,6 +113,9 @@ impl Stage {
             Stage::Compare => "compare",
             Stage::Commit => "commit",
             Stage::Flush => "flush",
+            Stage::Inject => "inject",
+            Stage::Diverge => "diverge",
+            Stage::Detect => "detect",
         }
     }
 
@@ -295,6 +310,81 @@ impl<A: Observer, B: Observer> Observer for Pair<'_, A, B> {
             self.1.idle_skip(from, to, state);
         }
     }
+}
+
+/// An unbounded forensic log: every lifecycle event and every executed
+/// cycle's [`CycleState`], kept in full.
+///
+/// This is the divergence observer behind `reese explain`: the same
+/// anchored window is run twice — clean and with the fault injected —
+/// each under a `DeepLog`, and the two logs are diffed event-by-event
+/// to locate the first point where the faulty machine departs from the
+/// baseline. Unlike [`TraceRing`] nothing is evicted, so it is only
+/// suitable for short windows (a fault-trial window is a few thousand
+/// instructions), never for whole-program runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeepLog {
+    /// Every event, in emission order.
+    pub events: Vec<TraceEvent>,
+    /// `(cycle, state)` for every executed cycle, in order.
+    pub states: Vec<(u64, CycleState)>,
+}
+
+/// One logged `(cycle, state)` snapshot from a [`DeepLog`].
+pub type CycleSnapshot = (u64, CycleState);
+
+impl DeepLog {
+    /// An empty log.
+    pub fn new() -> DeepLog {
+        DeepLog::default()
+    }
+
+    /// Index of the first event at which `self` (the faulty run)
+    /// diverges from `clean` — either the events differ, or one log
+    /// ends first. `None` when the streams are identical.
+    pub fn first_event_divergence(&self, clean: &DeepLog) -> Option<usize> {
+        let common = self.events.len().min(clean.events.len());
+        (0..common)
+            .find(|&i| self.events[i] != clean.events[i])
+            .or_else(|| (self.events.len() != clean.events.len()).then_some(common))
+    }
+
+    /// The first executed cycle whose [`CycleState`] differs from the
+    /// clean run's state for the same position, with both snapshots.
+    /// `None` when every common cycle matches and both logs have the
+    /// same length.
+    pub fn first_state_divergence<'a>(
+        &'a self,
+        clean: &'a DeepLog,
+    ) -> Option<(&'a CycleSnapshot, Option<&'a CycleSnapshot>)> {
+        let common = self.states.len().min(clean.states.len());
+        for i in 0..common {
+            if self.states[i] != clean.states[i] {
+                return Some((&self.states[i], Some(&clean.states[i])));
+            }
+        }
+        if self.states.len() > clean.states.len() {
+            return Some((&self.states[common], None));
+        }
+        None
+    }
+}
+
+impl Observer for DeepLog {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn event(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    #[inline]
+    fn cycle(&mut self, cycle: u64, state: &CycleState) {
+        self.states.push((cycle, *state));
+    }
+
+    #[inline]
+    fn idle_skip(&mut self, _from: u64, _to: u64, _state: &CycleState) {}
 }
 
 /// A bounded ring buffer of [`TraceEvent`]s keeping the **last**

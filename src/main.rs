@@ -4,6 +4,7 @@
 //! reese run <file.s> [options]     simulate an assembly program
 //! reese campaign [options]         run a fault-injection campaign
 //! reese schemes [options]          rank every detection scheme on the kernel suite
+//! reese explain [options]          forensically replay one logged campaign trial
 //! reese shard [options]            shard one run across checkpoint intervals
 //! reese mix <file.s|kernel>        print a program's dynamic instruction mix
 //! reese disasm <file.s>            assemble and disassemble a program
@@ -66,6 +67,8 @@
 //! --trace-out FILE   pipetrace of the clean reference run
 //! --metrics-out FILE per-interval metrics pooled across simulated trials
 //! --metrics-interval N   sampling interval in cycles (default 10000)
+//! --telemetry-out FILE   stream a JSONL telemetry journal (phase
+//!                    timings, worker throughput, memo hit rate, ETA)
 //! ```
 //!
 //! Schemes options:
@@ -83,7 +86,33 @@
 //! --engine full|replay   trial engine (default replay)
 //! --csv FILE         write the per-cell table as CSV
 //! --json FILE        write rows + ranking as JSON
+//! --trace-out FILE   stitched pipetrace of the clean REESE run on
+//!                    every evaluated kernel (cycle-offset merged)
+//! --metrics-out FILE stitched per-interval metrics of those runs
+//! --metrics-interval N   sampling interval in cycles (default 10000)
+//! --telemetry-out FILE   one JSONL telemetry journal across all
+//!                    (scheme, kernel) cells, bracketed by cell_start
 //! ```
+//!
+//! Explain options:
+//!
+//! ```text
+//! --outcomes FILE    campaign log (--outcomes-jsonl/--resume file) [required]
+//! --trial N          address the trial by index in the log
+//! --id N             address the trial by stable id (decimal or 0xHEX)
+//! --kernel NAME | <file.s>   the campaign's workload (default `lisp`)
+//! --scale N          kernel scale (default 1)
+//! --scheme <scheme>  the campaign's detection scheme (default reese)
+//! --machine ...      base configuration, as for `run`
+//! --spare-alus N / --spare-muls N   REESE spare elements
+//! --out FILE         write the forensic timeline text to FILE
+//! --trace-out FILE   Chrome trace-event JSON of the faulty window with
+//!                    inject/diverge/detect markers (Perfetto-loadable)
+//! ```
+//!
+//! The workload, scheme, and machine flags must repeat whatever the
+//! campaign ran with; `explain` cross-checks them against the log
+//! header before simulating and refuses on mismatch.
 //!
 //! Shard options:
 //!
@@ -122,6 +151,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
         Some("schemes") => cmd_schemes(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
         Some("shard") => cmd_shard(&args[1..]),
         Some("mix") => cmd_mix(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
@@ -129,7 +159,7 @@ fn main() -> ExitCode {
         Some("kernels") => cmd_kernels(),
         _ => {
             eprintln!(
-                "usage: reese <run|campaign|schemes|shard|mix|disasm|trace|kernels> [options]  (see --help in source)"
+                "usage: reese <run|campaign|schemes|explain|shard|mix|disasm|trace|kernels> [options]  (see --help in source)"
             );
             return ExitCode::FAILURE;
         }
@@ -557,6 +587,7 @@ struct CampaignOpts {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     metrics_interval: u64,
+    telemetry_out: Option<String>,
 }
 
 fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
@@ -581,6 +612,7 @@ fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
         trace_out: None,
         metrics_out: None,
         metrics_interval: Tracer::DEFAULT_INTERVAL,
+        telemetry_out: None,
     };
     let mut file: Option<String> = None;
     let mut kernel: Option<Kernel> = None;
@@ -619,6 +651,7 @@ fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
             "--trace-out" => opts.trace_out = Some(value()?.clone()),
             "--metrics-out" => opts.metrics_out = Some(value()?.clone()),
             "--metrics-interval" => opts.metrics_interval = positive(a, value()?)?,
+            "--telemetry-out" => opts.telemetry_out = Some(value()?.clone()),
             "--kernel" => kernel = Some(kernel_by_name(value()?)?),
             other if !other.starts_with('-') => file = Some(other.to_string()),
             other => return Err(format!("unknown option `{other}`").into()),
@@ -669,6 +702,9 @@ fn cmd_campaign(args: &[String]) -> Result<(), CliError> {
     if let Some(n) = o.trial_limit {
         campaign = campaign.trial_limit(n);
     }
+    if let Some(path) = &o.telemetry_out {
+        campaign = campaign.telemetry_out(path);
+    }
     let report = campaign.run(&o.program)?;
     print!("{report}");
     if let Some(path) = &o.out {
@@ -712,6 +748,9 @@ struct SchemesOpts {
     eval: EvalOptions,
     csv: Option<String>,
     json: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    metrics_interval: u64,
 }
 
 fn parse_schemes(args: &[String]) -> Result<SchemesOpts, CliError> {
@@ -722,6 +761,9 @@ fn parse_schemes(args: &[String]) -> Result<SchemesOpts, CliError> {
         eval: EvalOptions::default(),
         csv: None,
         json: None,
+        trace_out: None,
+        metrics_out: None,
+        metrics_interval: Tracer::DEFAULT_INTERVAL,
     };
     let mut kernels: Vec<Kernel> = Vec::new();
     let mut scale: u32 = 1;
@@ -754,6 +796,10 @@ fn parse_schemes(args: &[String]) -> Result<SchemesOpts, CliError> {
             "--engine" => opts.eval.engine = value()?.parse::<reese::faults::TrialEngine>()?,
             "--csv" => opts.csv = Some(value()?.clone()),
             "--json" => opts.json = Some(value()?.clone()),
+            "--trace-out" => opts.trace_out = Some(value()?.clone()),
+            "--metrics-out" => opts.metrics_out = Some(value()?.clone()),
+            "--metrics-interval" => opts.metrics_interval = positive(a, value()?)?,
+            "--telemetry-out" => opts.eval.telemetry_out = Some(value()?.clone().into()),
             other => return Err(format!("unknown option `{other}`").into()),
         }
     }
@@ -790,6 +836,138 @@ fn cmd_schemes(args: &[String]) -> Result<(), CliError> {
     if let Some(path) = &o.json {
         std::fs::write(path, report.to_json())?;
         println!("json written to {path}");
+    }
+    if o.trace_out.is_some() || o.metrics_out.is_some() {
+        // As for `campaign --trace-out`: per-trial traces would be
+        // noise, so trace the clean REESE reference run — here once per
+        // evaluated kernel, stitched end-to-end with cycle offsets.
+        let mut ring = TraceRing::new(Tracer::DEFAULT_RING_CAPACITY);
+        let mut metrics = MetricsSeries::default();
+        let mut offset = 0u64;
+        for (name, program) in &o.programs {
+            let mut tracer = Tracer::new().with_interval(o.metrics_interval);
+            let r = ReeseSim::new(cfg.clone()).run_with_faults_observed(
+                program,
+                &[],
+                0,
+                o.eval.max_instructions,
+                &mut tracer,
+            )?;
+            tracer.finish();
+            let (kernel_ring, kernel_metrics) = tracer.into_parts();
+            ring.merge_concat(&kernel_ring, offset);
+            metrics.merge_concat(&kernel_metrics, offset);
+            offset += r.stats.pipeline.cycles;
+            println!(
+                "traced clean reese run on {name} ({} cycles)",
+                r.stats.pipeline.cycles
+            );
+        }
+        if let Some(path) = &o.trace_out {
+            write_trace(path, &ring)?;
+        }
+        if let Some(path) = &o.metrics_out {
+            write_metrics(path, &metrics)?;
+        }
+    }
+    Ok(())
+}
+
+struct ExplainOpts {
+    program: Program,
+    scheme: Scheme,
+    base: PipelineConfig,
+    spare_alus: u32,
+    spare_muls: u32,
+    outcomes: String,
+    which: reese::faults::TrialRef,
+    out: Option<String>,
+    trace_out: Option<String>,
+}
+
+fn parse_explain(args: &[String]) -> Result<ExplainOpts, CliError> {
+    let mut opts = ExplainOpts {
+        program: Program::from_text(vec![]),
+        scheme: Scheme::Reese,
+        base: PipelineConfig::starting(),
+        spare_alus: 0,
+        spare_muls: 0,
+        outcomes: String::new(),
+        which: reese::faults::TrialRef::Index(0),
+        out: None,
+        trace_out: None,
+    };
+    let mut file: Option<String> = None;
+    let mut kernel: Option<Kernel> = None;
+    let mut scale: u32 = 1;
+    let mut which: Option<reese::faults::TrialRef> = None;
+    let mut outcomes: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = || -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| format!("`{a}` needs a value").into())
+        };
+        match a.as_str() {
+            "--outcomes" => outcomes = Some(value()?.clone()),
+            "--trial" => {
+                which = Some(reese::faults::TrialRef::Index(value()?.parse()?));
+            }
+            "--id" => {
+                let raw = value()?;
+                let id = match raw.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16)?,
+                    None => raw.parse()?,
+                };
+                which = Some(reese::faults::TrialRef::Id(id));
+            }
+            "--scheme" => opts.scheme = parse_scheme(value()?)?,
+            "--machine" => opts.base = machine(value()?)?,
+            "--ruu-size" => opts.base.ruu_size = positive(a, value()?)?,
+            "--lsq-size" => opts.base.lsq_size = positive(a, value()?)?,
+            "--width" => opts.base.width = positive(a, value()?)?,
+            "--spare-alus" => opts.spare_alus = value()?.parse()?,
+            "--spare-muls" => opts.spare_muls = value()?.parse()?,
+            "--scale" => scale = positive(a, value()?)?,
+            "--kernel" => kernel = Some(kernel_by_name(value()?)?),
+            "--out" => opts.out = Some(value()?.clone()),
+            "--trace-out" => opts.trace_out = Some(value()?.clone()),
+            other if !other.starts_with('-') => file = Some(other.to_string()),
+            other => return Err(format!("unknown option `{other}`").into()),
+        }
+    }
+    opts.outcomes = outcomes.ok_or("`explain` needs --outcomes <campaign log>")?;
+    opts.which = which.ok_or("address the trial with --trial <index> or --id <stable id>")?;
+    opts.program = match (file, kernel) {
+        (Some(path), None) => assemble(&std::fs::read_to_string(&path)?)?,
+        (None, Some(k)) => k.build(scale),
+        (Some(_), Some(_)) => return Err("give a file or --kernel, not both".into()),
+        (None, None) => Kernel::Lisp.build(scale),
+    };
+    check_geometry(&opts.base)?;
+    Ok(opts)
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), CliError> {
+    let o = parse_explain(args)?;
+    let cfg = ReeseConfig::over(o.base)
+        .with_spare_int_alus(o.spare_alus)
+        .with_spare_int_muldivs(o.spare_muls);
+    let ex = reese::faults::explain_trial(
+        &cfg,
+        o.scheme,
+        &o.program,
+        std::path::Path::new(&o.outcomes),
+        o.which,
+    )?;
+    print!("{}", ex.text);
+    if let Some(path) = &o.out {
+        std::fs::write(path, &ex.text)?;
+        println!("forensic timeline written to {path}");
+    }
+    if let Some(path) = &o.trace_out {
+        std::fs::write(path, ex.to_chrome_json())?;
+        println!("forensic trace written to {path}");
     }
     Ok(())
 }
@@ -1463,6 +1641,80 @@ mod tests {
         assert_eq!(all.programs.len(), Kernel::ALL.len());
         assert!(parse_schemes(&strings(&["--scale", "2", "--target", "100"])).is_err());
         assert!(parse_schemes(&strings(&["--trials", "0"])).is_err());
+    }
+
+    #[test]
+    fn observability_flags_parse_on_campaign_and_schemes() {
+        let o = parse_campaign(&strings(&["--telemetry-out", "tele.jsonl"])).unwrap();
+        assert_eq!(o.telemetry_out.as_deref(), Some("tele.jsonl"));
+        let o = parse_schemes(&strings(&[
+            "--kernel",
+            "lisp",
+            "--telemetry-out",
+            "tele.jsonl",
+            "--trace-out",
+            "trace.json",
+            "--metrics-out",
+            "metrics.csv",
+            "--metrics-interval",
+            "500",
+        ]))
+        .unwrap();
+        assert_eq!(
+            o.eval.telemetry_out.as_deref(),
+            Some(std::path::Path::new("tele.jsonl"))
+        );
+        assert_eq!(o.trace_out.as_deref(), Some("trace.json"));
+        assert_eq!(o.metrics_out.as_deref(), Some("metrics.csv"));
+        assert_eq!(o.metrics_interval, 500);
+        assert!(parse_schemes(&strings(&["--metrics-interval", "0"])).is_err());
+    }
+
+    #[test]
+    fn explain_options_parse() {
+        let o = parse_explain(&strings(&[
+            "--outcomes",
+            "camp.jsonl",
+            "--trial",
+            "17",
+            "--kernel",
+            "database",
+            "--scheme",
+            "duplex",
+            "--out",
+            "story.txt",
+            "--trace-out",
+            "story.json",
+        ]))
+        .unwrap();
+        assert_eq!(o.outcomes, "camp.jsonl");
+        assert_eq!(o.which, reese::faults::TrialRef::Index(17));
+        assert_eq!(o.scheme, Scheme::Duplex);
+        assert_eq!(o.out.as_deref(), Some("story.txt"));
+        assert_eq!(o.trace_out.as_deref(), Some("story.json"));
+        assert!(!o.program.is_empty());
+        // Stable ids parse in decimal and hex.
+        let o = parse_explain(&strings(&["--outcomes", "c.jsonl", "--id", "0xFA017"])).unwrap();
+        assert_eq!(o.which, reese::faults::TrialRef::Id(0xFA017));
+        let o = parse_explain(&strings(&["--outcomes", "c.jsonl", "--id", "12345"])).unwrap();
+        assert_eq!(o.which, reese::faults::TrialRef::Id(12345));
+    }
+
+    #[test]
+    fn explain_requires_an_outcomes_log_and_a_trial_address() {
+        let err = parse_explain(&strings(&["--trial", "1"]))
+            .err()
+            .expect("missing --outcomes must be rejected")
+            .to_string();
+        assert!(err.contains("--outcomes"), "got: {err}");
+        let err = parse_explain(&strings(&["--outcomes", "c.jsonl"]))
+            .err()
+            .expect("missing trial address must be rejected")
+            .to_string();
+        assert!(
+            err.contains("--trial") && err.contains("--id"),
+            "got: {err}"
+        );
     }
 
     #[test]

@@ -159,6 +159,42 @@ fn sched_ops_counter_proves_per_cycle_op_reduction() {
     }
 }
 
+/// The schemes that have no sim of their own — MEEK's checker farm and
+/// SWIFT's duplicated software stream — reach the observer hooks
+/// through the campaign path. Sampling per-interval metrics there must
+/// leave every scheme's outcomes bit-identical, or the memoized
+/// unobserved fast path and the observed path would disagree.
+#[test]
+fn campaign_outcomes_identical_with_metrics_sampling_for_every_scheme() {
+    use reese::ckpt::Scheme;
+    use reese::faults::{Campaign, FaultMix};
+    let program = Kernel::Lisp.build(1);
+    let cfg = ReeseConfig::starting();
+    for scheme in Scheme::ALL {
+        let base = Campaign::new(cfg.clone(), FaultMix::broad())
+            .scheme(scheme)
+            .trials(8)
+            .seed(11)
+            .max_instructions(CAP);
+        let plain = base.clone().run(&program).unwrap();
+        let sampled = base.metrics_interval(500).run(&program).unwrap();
+        assert_eq!(
+            plain, sampled,
+            "{scheme:?}: metrics sampling changed outcomes"
+        );
+        if plain
+            .outcomes
+            .iter()
+            .any(|o| o.class.detectable_by_design())
+        {
+            assert!(
+                sampled.metrics.is_some(),
+                "{scheme:?}: simulated trials produced no pooled metrics"
+            );
+        }
+    }
+}
+
 #[test]
 fn chrome_trace_export_is_wellformed_json() {
     let mut t = tracer();
