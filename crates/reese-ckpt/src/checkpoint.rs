@@ -1,19 +1,20 @@
 //! The versioned binary checkpoint: full functional simulator state,
 //! plus an optional microarchitectural warm section.
 //!
-//! # Format (version 3)
+//! # Format (version 4)
 //!
 //! All integers little-endian. The file is one frame:
 //!
 //! ```text
 //! magic      4 bytes  b"RCKP"
-//! version    u16      3
+//! version    u16      4
 //! flags      u16      bit0 = warm section present, bit1 = halted
 //! instructions u64    dynamic instructions executed so far
 //! pc         u64
 //! regs       u32 count, then count x u64
 //! digest     u64      FNV-1a over (regs, pc) — architectural self-check
 //! scheme     u8       detection scheme the snapshot was captured under
+//! isa        u8       instruction set the program executes under
 //! exit_code  u64      only if flags bit1
 //! output     u32 count, then count x i64   (values printed so far)
 //! pages      u32 count, then count x (u64 page_number, 4096 bytes)
@@ -38,14 +39,19 @@
 //! container that re-frames the bytes). Version 3 added the capturing
 //! [`Scheme`] id so a snapshot cannot be silently restored under a
 //! different detection scheme — [`Checkpoint::decode_for`] enforces the
-//! match. Version-1 and version-2 frames are rejected with
+//! match. Version 4 added the [`IsaId`] stamp: functional state is only
+//! meaningful under the ISA that produced it (4- vs 8-byte pcs, 32- vs
+//! 64-bit register contents), so `decode_for` likewise refuses a frame
+//! stamped with a different ISA. Version-3 frames, which predate the
+//! stamp, still decode and are treated as [`IsaId::Native`]; version-1
+//! and version-2 frames are rejected with
 //! [`CkptError::UnsupportedVersion`] rather than read.
 
 use crate::wire::{crc32, Decoder, Encoder};
 use crate::Scheme;
 use reese_bpred::{BranchSnapshot, BranchStats, RasSnapshot};
 use reese_cpu::{ArchState, Emulator};
-use reese_isa::{Program, NUM_REGS};
+use reese_isa::{IsaId, Program, NUM_REGS};
 use reese_mem::{CacheSnapshot, CacheStats, LineState, Memory, TlbSnapshot, PAGE_SIZE};
 use reese_pipeline::WarmState;
 use std::fmt;
@@ -54,7 +60,11 @@ use std::fmt;
 pub const MAGIC: [u8; 4] = *b"RCKP";
 
 /// Current format version.
-pub const VERSION: u16 = 3;
+pub const VERSION: u16 = 4;
+
+/// Oldest format version [`Checkpoint::decode`] still reads. Version-3
+/// frames lack the ISA byte and decode as [`IsaId::Native`].
+pub const MIN_VERSION: u16 = 3;
 
 const FLAG_WARM: u16 = 1 << 0;
 const FLAG_HALTED: u16 = 1 << 1;
@@ -85,6 +95,14 @@ pub enum CkptError {
         /// Scheme the caller is restoring under.
         requested: Scheme,
     },
+    /// The snapshot was captured under a different instruction set than
+    /// the program it is being restored against.
+    IsaMismatch {
+        /// ISA recorded in the frame.
+        stored: IsaId,
+        /// ISA the caller is restoring under.
+        requested: IsaId,
+    },
 }
 
 impl fmt::Display for CkptError {
@@ -106,6 +124,12 @@ impl fmt::Display for CkptError {
             CkptError::SchemeMismatch { stored, requested } => write!(
                 f,
                 "checkpoint was captured under scheme `{stored}` but is being restored under `{requested}`"
+            ),
+            CkptError::IsaMismatch { stored, requested } => write!(
+                f,
+                "checkpoint was captured under ISA `{}` but is being restored under `{}`",
+                stored.name(),
+                requested.name()
             ),
         }
     }
@@ -141,6 +165,11 @@ pub struct Checkpoint {
     /// timing are not, so [`Checkpoint::decode_for`] refuses a frame
     /// stamped with a different scheme.
     pub scheme: Scheme,
+    /// Instruction set the captured program executes under. Register
+    /// contents and the pc are only meaningful per-ISA, so
+    /// [`Checkpoint::decode_for`] refuses a frame stamped with a
+    /// different ISA.
+    pub isa: IsaId,
 }
 
 impl Checkpoint {
@@ -160,6 +189,7 @@ impl Checkpoint {
                 .collect(),
             warm: None,
             scheme: Scheme::Baseline,
+            isa: emulator.isa(),
         }
         .with_warm(warm)
     }
@@ -172,6 +202,14 @@ impl Checkpoint {
     /// Stamps the detection scheme this snapshot belongs to.
     pub fn with_scheme(mut self, scheme: Scheme) -> Checkpoint {
         self.scheme = scheme;
+        self
+    }
+
+    /// Stamps the instruction set this snapshot belongs to. Rarely
+    /// needed directly — [`Checkpoint::capture`] copies the stamp from
+    /// the emulator's program.
+    pub fn with_isa(mut self, isa: IsaId) -> Checkpoint {
+        self.isa = isa;
         self
     }
 
@@ -200,7 +238,7 @@ impl Checkpoint {
         ArchState::from_regs(self.regs, self.pc).digest()
     }
 
-    /// Serializes to the version-3 binary format.
+    /// Serializes to the version-4 binary format.
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Encoder::new();
         e.put_bytes(&MAGIC);
@@ -221,6 +259,7 @@ impl Checkpoint {
         }
         e.put_u64(self.arch_digest());
         e.put_u8(self.scheme.id());
+        e.put_u8(self.isa.id());
         if let Some(code) = self.exit_code {
             e.put_u64(code);
         }
@@ -261,7 +300,7 @@ impl Checkpoint {
 
         let mut d = Decoder::new(&body[4..]);
         let version = d.take_u16()?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(CkptError::UnsupportedVersion(version));
         }
         let flags = d.take_u16()?;
@@ -287,6 +326,11 @@ impl Checkpoint {
         }
         let scheme =
             Scheme::from_id(d.take_u8()?).ok_or(CkptError::Malformed("unknown scheme id"))?;
+        let isa = if version >= 4 {
+            IsaId::from_id(d.take_u8()?).ok_or(CkptError::Malformed("unknown isa id"))?
+        } else {
+            IsaId::Native
+        };
         let exit_code = if flags & FLAG_HALTED != 0 {
             Some(d.take_u64()?)
         } else {
@@ -329,22 +373,30 @@ impl Checkpoint {
             pages,
             warm,
             scheme,
+            isa,
         })
     }
 
     /// Decodes and additionally enforces that the frame was captured
-    /// under `scheme` — the restore-time half of the scheme stamp.
+    /// under `scheme` and `isa` — the restore-time half of both stamps.
     ///
     /// # Errors
     ///
     /// Everything [`Checkpoint::decode`] rejects, plus
-    /// [`CkptError::SchemeMismatch`] when the stored scheme differs.
-    pub fn decode_for(bytes: &[u8], scheme: Scheme) -> Result<Checkpoint, CkptError> {
+    /// [`CkptError::SchemeMismatch`] when the stored scheme differs and
+    /// [`CkptError::IsaMismatch`] when the stored ISA differs.
+    pub fn decode_for(bytes: &[u8], scheme: Scheme, isa: IsaId) -> Result<Checkpoint, CkptError> {
         let ck = Checkpoint::decode(bytes)?;
         if ck.scheme != scheme {
             return Err(CkptError::SchemeMismatch {
                 stored: ck.scheme,
                 requested: scheme,
+            });
+        }
+        if ck.isa != isa {
+            return Err(CkptError::IsaMismatch {
+                stored: ck.isa,
+                requested: isa,
             });
         }
         Ok(ck)
@@ -656,10 +708,13 @@ mod tests {
             let bytes = ck.encode();
             let back = Checkpoint::decode(&bytes).unwrap();
             assert_eq!(back.scheme, scheme);
-            assert_eq!(Checkpoint::decode_for(&bytes, scheme).unwrap(), ck);
+            assert_eq!(
+                Checkpoint::decode_for(&bytes, scheme, IsaId::Native).unwrap(),
+                ck
+            );
             for other in Scheme::ALL.into_iter().filter(|&o| o != scheme) {
                 assert_eq!(
-                    Checkpoint::decode_for(&bytes, other),
+                    Checkpoint::decode_for(&bytes, other, IsaId::Native),
                     Err(CkptError::SchemeMismatch {
                         stored: scheme,
                         requested: other,
@@ -668,6 +723,88 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn isa_round_trips_per_frontend_and_mismatch_is_rejected() {
+        let (_, emu) = mid_run_emulator();
+        for isa in IsaId::ALL {
+            let ck = Checkpoint::capture(&emu, None).with_isa(isa);
+            let bytes = ck.encode();
+            let back = Checkpoint::decode(&bytes).unwrap();
+            assert_eq!(back.isa, isa);
+            assert_eq!(
+                Checkpoint::decode_for(&bytes, Scheme::Baseline, isa).unwrap(),
+                ck
+            );
+            for other in IsaId::ALL.into_iter().filter(|&o| o != isa) {
+                assert_eq!(
+                    Checkpoint::decode_for(&bytes, Scheme::Baseline, other),
+                    Err(CkptError::IsaMismatch {
+                        stored: isa,
+                        requested: other,
+                    }),
+                    "a `{}` snapshot must not restore under `{}`",
+                    isa.name(),
+                    other.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn capture_copies_the_isa_stamp_from_the_program() {
+        let src = "  li a7, 93
+  li a0, 0
+  ecall
+";
+        let prog = IsaId::Rv32i.frontend().assemble(src).unwrap();
+        let mut emu = Emulator::new(&prog);
+        emu.step().unwrap();
+        let ck = Checkpoint::capture(&emu, None);
+        assert_eq!(ck.isa, IsaId::Rv32i);
+        let back = Checkpoint::decode(&ck.encode()).unwrap();
+        assert_eq!(back.isa, IsaId::Rv32i);
+        // A restore continues under rv32i semantics: the next li still
+        // advances the pc by 4.
+        let mut restored = back.restore(&prog);
+        restored.step().unwrap();
+        assert_eq!(restored.state().pc, prog.entry() + 8);
+    }
+
+    #[test]
+    fn v3_frames_without_isa_byte_decode_as_native() {
+        let (_, emu) = mid_run_emulator();
+        let ck = Checkpoint::capture(&emu, None);
+        let v4 = ck.encode();
+        // Rebuild the frame as a v3 blob: drop the isa byte (offset 549,
+        // right after the scheme byte) and stamp version 3.
+        let isa_off = 4 + 2 + 2 + 8 + 8 + 4 + 64 * 8 + 8 + 1;
+        let mut v3: Vec<u8> = Vec::with_capacity(v4.len() - 1);
+        v3.extend_from_slice(&v4[..isa_off]);
+        v3.extend_from_slice(&v4[isa_off + 1..v4.len() - 4]);
+        v3[4..6].copy_from_slice(&3u16.to_le_bytes());
+        let crc = crc32(&v3);
+        v3.extend_from_slice(&crc.to_le_bytes());
+        let back = Checkpoint::decode(&v3).unwrap();
+        assert_eq!(back.isa, IsaId::Native);
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn unknown_isa_id_is_malformed() {
+        let (_, emu) = mid_run_emulator();
+        let mut bytes = Checkpoint::capture(&emu, None).encode();
+        // Isa byte offset: scheme byte at 548, isa right after.
+        let off = 4 + 2 + 2 + 8 + 8 + 4 + 64 * 8 + 8 + 1;
+        bytes[off] = 0xEE;
+        let n = bytes.len();
+        let crc = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            Checkpoint::decode(&bytes),
+            Err(CkptError::Malformed("unknown isa id"))
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use crate::Checkpoint;
 use reese_bpred::{BranchStats, BranchUnit};
 use reese_cpu::{EmuError, Emulator, StepInfo};
-use reese_isa::{Instr, OpKind, Opcode, Program, Reg};
+use reese_isa::{OpKind, Opcode, Program, Reg};
 use reese_mem::{CacheStats, MemHierarchy};
 use reese_pipeline::{PipelineConfig, WarmState};
 
@@ -59,6 +59,7 @@ pub fn checkpoints_at(
         "checkpoint boundaries must be strictly ascending"
     );
     let mut emu = Emulator::new(program);
+    let inst_size = program.inst_size();
     let mut out = Vec::with_capacity(boundaries.len());
     let mut warm_active: Option<(MemHierarchy, BranchUnit)> = None;
     let mut next = 0;
@@ -93,7 +94,7 @@ pub fn checkpoints_at(
         }
         let info = emu.step()?;
         if let Some((hierarchy, branch)) = &mut warm_active {
-            warm_step(hierarchy, branch, &info);
+            warm_step(hierarchy, branch, &info, inst_size);
         }
     }
     Ok(out)
@@ -165,6 +166,7 @@ pub fn checkpoint_stream_thinned(
     assert!(every > 0, "checkpoint interval must be at least 1");
     assert!(max_resident >= 2, "need at least two resident checkpoints");
     let mut emu = Emulator::new(program);
+    let inst_size = program.inst_size();
     let mut out: Vec<Checkpoint> = Vec::new();
     let mut hierarchy = MemHierarchy::new(pipeline.hierarchy.clone());
     let mut branch = BranchUnit::new(pipeline.predictor.clone());
@@ -200,7 +202,7 @@ pub fn checkpoint_stream_thinned(
             next_boundary = (executed / stride + 1) * stride;
         }
         let info = emu.step()?;
-        warm_step(&mut hierarchy, &mut branch, &info);
+        warm_step(&mut hierarchy, &mut branch, &info, inst_size);
     }
     Ok((out, stride, emu.instructions()))
 }
@@ -238,6 +240,7 @@ pub fn derive_checkpoint(
         return Ok(base.clone());
     }
     let mut emu = base.restore(program);
+    let inst_size = program.inst_size();
     let mut hierarchy = MemHierarchy::new(pipeline.hierarchy.clone());
     let mut branch = BranchUnit::new(pipeline.predictor.clone());
     if let Some(w) = &base.warm {
@@ -250,7 +253,7 @@ pub fn derive_checkpoint(
             "checkpoint boundary {boundary} lies beyond the program's halt"
         );
         let info = emu.step()?;
-        warm_step(&mut hierarchy, &mut branch, &info);
+        warm_step(&mut hierarchy, &mut branch, &info, inst_size);
     }
     let warm = (boundary > 0).then(|| {
         scrubbed(WarmState {
@@ -281,6 +284,7 @@ pub fn warm_checkpoint_at(
     pipeline: &PipelineConfig,
 ) -> Result<Checkpoint, EmuError> {
     let mut emu = Emulator::new(program);
+    let inst_size = program.inst_size();
     let mut hierarchy = MemHierarchy::new(pipeline.hierarchy.clone());
     let mut branch = BranchUnit::new(pipeline.predictor.clone());
     while emu.instructions() < boundary {
@@ -289,7 +293,7 @@ pub fn warm_checkpoint_at(
             "checkpoint boundary {boundary} lies beyond the program's halt"
         );
         let info = emu.step()?;
-        warm_step(&mut hierarchy, &mut branch, &info);
+        warm_step(&mut hierarchy, &mut branch, &info, inst_size);
     }
     let warm = (boundary > 0).then(|| {
         scrubbed(WarmState {
@@ -303,7 +307,12 @@ pub fn warm_checkpoint_at(
 /// Drives the warm structures exactly as the detailed machine would for
 /// one committed instruction: icache fetch, dcache access, and the
 /// front end's predict-then-resolve sequence for control flow.
-fn warm_step(hierarchy: &mut MemHierarchy, branch: &mut BranchUnit, info: &StepInfo) {
+fn warm_step(
+    hierarchy: &mut MemHierarchy,
+    branch: &mut BranchUnit,
+    info: &StepInfo,
+    inst_size: u64,
+) {
     hierarchy.access_inst(info.pc);
     if let Some(mem) = info.mem {
         hierarchy.access_data(mem.addr, mem.is_store);
@@ -317,7 +326,7 @@ fn warm_step(hierarchy: &mut MemHierarchy, branch: &mut BranchUnit, info: &StepI
         OpKind::Jump => {
             if instr.op == Opcode::Jal {
                 if instr.rd == Reg::RA {
-                    branch.push_return(info.pc + Instr::SIZE);
+                    branch.push_return(info.pc + inst_size);
                 }
             } else {
                 let is_return = instr.rd.is_zero() && instr.rs1 == Reg::RA;
@@ -327,7 +336,7 @@ fn warm_step(hierarchy: &mut MemHierarchy, branch: &mut BranchUnit, info: &StepI
                     branch.predict_indirect(info.pc)
                 };
                 if instr.rd == Reg::RA {
-                    branch.push_return(info.pc + Instr::SIZE);
+                    branch.push_return(info.pc + inst_size);
                 }
                 branch.resolve_indirect(info.pc, predicted, info.next_pc);
             }

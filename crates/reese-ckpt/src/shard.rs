@@ -371,7 +371,7 @@ fn run_one_interval(
     len: u64,
     metrics_interval: u64,
 ) -> Result<Outcome, IntervalError> {
-    let ck = Checkpoint::decode_for(bytes, scheme).map_err(IntervalError::Ckpt)?;
+    let ck = Checkpoint::decode_for(bytes, scheme, program.isa()).map_err(IntervalError::Ckpt)?;
     let emulator = ck.restore(program);
     let warm = ck.warm.as_ref();
     let warmed = warm.is_some();

@@ -1,7 +1,7 @@
 //! The functional emulator: the machine's golden model.
 
-use crate::{step, ArchState, StepInfo};
-use reese_isa::{Instr, Program, STACK_TOP};
+use crate::{step_for, ArchState, StepInfo};
+use reese_isa::{Instr, IsaId, Program, STACK_TOP};
 use reese_mem::Memory;
 use std::fmt;
 
@@ -164,7 +164,12 @@ impl Emulator {
         let pc = self.state.pc;
         let instr: Instr = *self.program.fetch(pc).ok_or(EmuError::PcOutOfText { pc })?;
         let seq = self.instructions;
-        let mut info = step(&mut self.state, &instr, &mut self.memory);
+        let mut info = step_for(
+            self.program.isa(),
+            &mut self.state,
+            &instr,
+            &mut self.memory,
+        );
         if !self.faults.is_empty() {
             let mut i = 0;
             while i < self.faults.len() {
@@ -209,6 +214,16 @@ impl Emulator {
             output: self.output.clone(),
             state_digest: self.state.digest(),
         })
+    }
+
+    /// The ISA the loaded program executes under.
+    pub fn isa(&self) -> IsaId {
+        self.program.isa()
+    }
+
+    /// Size in bytes of one instruction in the loaded program.
+    pub fn inst_size(&self) -> u64 {
+        self.program.inst_size()
     }
 
     /// The architectural register state.
@@ -381,6 +396,47 @@ mod tests {
         let r = emu.run(100).unwrap();
         let clean = Emulator::new(&prog).run(100).unwrap();
         assert_eq!(r, clean);
+    }
+
+    #[test]
+    fn rv32i_program_runs_with_rv32_semantics() {
+        let src = "\
+  li t0, 10
+  li t1, 0
+loop:
+  add t1, t1, t0
+  addi t0, t0, -1
+  bnez t0, loop
+  li a7, 1
+  mv a0, t1
+  ecall
+  li a7, 93
+  li a0, 0
+  ecall
+";
+        let prog = IsaId::Rv32i.frontend().assemble(src).unwrap();
+        assert_eq!(prog.isa(), IsaId::Rv32i);
+        let mut emu = Emulator::new(&prog);
+        let r = emu.run(1_000).unwrap();
+        assert_eq!(r.output, vec![55]);
+        assert_eq!(r.stop, StopReason::Halted { exit_code: 0 });
+    }
+
+    #[test]
+    fn rv32i_overflow_differs_from_native() {
+        let src = "\
+  li t0, 0x7FFFFFFF
+  addi t0, t0, 1
+  li a7, 1
+  mv a0, t0
+  ecall
+  li a7, 93
+  li a0, 0
+  ecall
+";
+        let prog = IsaId::Rv32i.frontend().assemble(src).unwrap();
+        let r = Emulator::new(&prog).run(100).unwrap();
+        assert_eq!(r.output, vec![i32::MIN as i64], "32-bit add wraps");
     }
 
     #[test]

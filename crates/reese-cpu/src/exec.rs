@@ -8,7 +8,7 @@
 //! the result.
 
 use crate::ArchState;
-use reese_isa::{Instr, MemWidth, Opcode};
+use reese_isa::{Instr, IsaId, MemWidth, Opcode};
 use reese_mem::Memory;
 
 /// A memory access performed by one instruction.
@@ -170,6 +170,7 @@ pub fn step(state: &mut ArchState, instr: &Instr, mem: &mut Memory) -> StepInfo 
         Slti => write_rd(state, &mut info, u64::from((src1 as i64) < imm)),
         Sltiu => write_rd(state, &mut info, u64::from(src1 < imm as u64)),
         Li => write_rd(state, &mut info, imm as u64),
+        Auipc => write_rd(state, &mut info, pc.wrapping_add(imm as u64)),
         Lih => {
             let v = ((imm as u32 as u64) << 32) | (src1 & 0xFFFF_FFFF);
             write_rd(state, &mut info, v);
@@ -299,6 +300,260 @@ pub fn step(state: &mut ArchState, instr: &Instr, mem: &mut Memory) -> StepInfo 
         }
         Print => {
             info.printed = Some(src1 as i64);
+        }
+        Ecall => ecall(pc, src1, src2, &mut info),
+        Ebreak => {
+            info.halted = true;
+            info.next_pc = pc;
+        }
+        Nop => {}
+    }
+
+    state.pc = info.next_pc;
+    info
+}
+
+/// Environment-call semantics shared by both ISAs: the syscall number is
+/// in `a7` (`src1`), the argument in `a0` (`src2`). Syscall 1 prints the
+/// argument, 93 exits with it; anything else halts with the unknown
+/// number as the exit code.
+fn ecall(pc: u64, src1: u64, src2: u64, info: &mut StepInfo) {
+    match src1 {
+        1 => info.printed = Some(src2 as i64),
+        93 => {
+            info.halted = true;
+            info.next_pc = pc;
+            info.result = src2;
+        }
+        _ => {
+            info.halted = true;
+            info.next_pc = pc;
+            info.result = src1;
+        }
+    }
+}
+
+/// Executes one instruction under the semantics of `isa`.
+///
+/// [`IsaId::Native`] dispatches to [`step`]; [`IsaId::Rv32i`] dispatches
+/// to [`step_rv32`]. Simulators should call this rather than `step`
+/// whenever the program may carry a non-native ISA stamp.
+pub fn step_for(isa: IsaId, state: &mut ArchState, instr: &Instr, mem: &mut Memory) -> StepInfo {
+    match isa {
+        IsaId::Native => step(state, instr, mem),
+        IsaId::Rv32i => step_rv32(state, instr, mem),
+    }
+}
+
+fn sext32(v: u32) -> u64 {
+    v as i32 as i64 as u64
+}
+
+fn sdiv32(a: i32, b: i32) -> i32 {
+    if b == 0 {
+        -1
+    } else {
+        a.wrapping_div(b)
+    }
+}
+
+fn srem32(a: i32, b: i32) -> i32 {
+    if b == 0 {
+        a
+    } else {
+        a.wrapping_rem(b)
+    }
+}
+
+/// Executes one instruction with RV32I semantics.
+///
+/// Register cells hold 32-bit values sign-extended to 64 bits; every
+/// result is computed in 32 bits and re-extended, which keeps the
+/// shared 64-bit compare/branch logic correct (sign extension is
+/// monotone for both signed and unsigned order). Differences from the
+/// native executor: 4-byte pc arithmetic, shift amounts masked to 5
+/// bits, `i32` division conventions (`MIN / -1` wraps to `MIN` with
+/// remainder 0, division by zero yields `-1` / `u32::MAX`), and JALR
+/// clears bit 0 of the target. Opcodes outside the RV32I encodable set
+/// (`lih`, `halt`, `print`, fp ops) keep their native semantics so that
+/// SWIFT-transformed programs, which splice such instructions into the
+/// shadow stream, still execute.
+pub fn step_rv32(state: &mut ArchState, instr: &Instr, mem: &mut Memory) -> StepInfo {
+    let pc = state.pc;
+    let fallthrough = sext32((pc as u32).wrapping_add(4));
+    let src1 = if instr.op.reads_rs1() {
+        state.read(instr.rs1)
+    } else {
+        0
+    };
+    let src2 = if instr.op.reads_rs2() {
+        state.read(instr.rs2)
+    } else {
+        0
+    };
+    let a = src1 as u32;
+    let b = src2 as u32;
+    let imm = instr.imm;
+    let imm32 = imm as u32;
+
+    let mut info = StepInfo {
+        pc,
+        instr: *instr,
+        src1,
+        src2,
+        result: 0,
+        wrote_rd: false,
+        mem: None,
+        next_pc: fallthrough,
+        taken: false,
+        halted: false,
+        printed: None,
+    };
+
+    let write_rd = |state: &mut ArchState, info: &mut StepInfo, v: u64| {
+        state.write(instr.rd, v);
+        info.result = v;
+        info.wrote_rd = !instr.rd.is_zero();
+    };
+    let write32 = |state: &mut ArchState, info: &mut StepInfo, v: u32| {
+        write_rd(state, info, sext32(v));
+    };
+
+    use Opcode::*;
+    match instr.op {
+        Add => write32(state, &mut info, a.wrapping_add(b)),
+        Sub => write32(state, &mut info, a.wrapping_sub(b)),
+        Mul => write32(state, &mut info, a.wrapping_mul(b)),
+        Div => write32(state, &mut info, sdiv32(a as i32, b as i32) as u32),
+        Rem => write32(state, &mut info, srem32(a as i32, b as i32) as u32),
+        Divu => write32(state, &mut info, a.checked_div(b).unwrap_or(u32::MAX)),
+        Remu => write32(state, &mut info, if b == 0 { a } else { a % b }),
+        And => write32(state, &mut info, a & b),
+        Or => write32(state, &mut info, a | b),
+        Xor => write32(state, &mut info, a ^ b),
+        Sll => write32(state, &mut info, a << (b & 31)),
+        Srl => write32(state, &mut info, a >> (b & 31)),
+        Sra => write32(state, &mut info, ((a as i32) >> (b & 31)) as u32),
+        Slt => write32(state, &mut info, u32::from((a as i32) < (b as i32))),
+        Sltu => write32(state, &mut info, u32::from(a < b)),
+
+        Addi => write32(state, &mut info, a.wrapping_add(imm32)),
+        Andi => write32(state, &mut info, a & imm32),
+        Ori => write32(state, &mut info, a | imm32),
+        Xori => write32(state, &mut info, a ^ imm32),
+        Slli => write32(state, &mut info, a << (imm32 & 31)),
+        Srli => write32(state, &mut info, a >> (imm32 & 31)),
+        Srai => write32(state, &mut info, ((a as i32) >> (imm32 & 31)) as u32),
+        Slti => write32(state, &mut info, u32::from((a as i32) < (imm as i32))),
+        Sltiu => write32(state, &mut info, u32::from(a < imm32)),
+        Li => write32(state, &mut info, imm32),
+        Auipc => write32(state, &mut info, (pc as u32).wrapping_add(imm32)),
+        Lih => {
+            // Not encodable in RV32I; native semantics for spliced code.
+            let v = ((imm as u32 as u64) << 32) | (src1 & 0xFFFF_FFFF);
+            write_rd(state, &mut info, v);
+        }
+
+        Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld | Fld => {
+            let width = instr.op.mem_width().expect("loads have widths");
+            let addr = a.wrapping_add(imm32) as u64;
+            let raw = mem.read_uint(addr, width.bytes());
+            let value = match instr.op {
+                Lb => raw as u8 as i8 as i64 as u64,
+                Lh => raw as u16 as i16 as i64 as u64,
+                Lw => sext32(raw as u32),
+                _ => raw,
+            };
+            info.mem = Some(MemAccess {
+                addr,
+                width,
+                is_store: false,
+                value,
+            });
+            write_rd(state, &mut info, value);
+        }
+
+        Sb | Sh | Sw | Sd | Fsd => {
+            let width = instr.op.mem_width().expect("stores have widths");
+            let addr = a.wrapping_add(imm32) as u64;
+            mem.write_uint(addr, width.bytes(), src2);
+            let kept = if width.bytes() == 8 {
+                src2
+            } else {
+                src2 & ((1 << (width.bytes() * 8)) - 1)
+            };
+            info.mem = Some(MemAccess {
+                addr,
+                width,
+                is_store: true,
+                value: kept,
+            });
+            info.result = kept;
+        }
+
+        Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+            // Registers hold sign-extended-32 values, so 64-bit compares
+            // agree with the 32-bit ones for both signedness flavours.
+            let taken = match instr.op {
+                Beq => src1 == src2,
+                Bne => src1 != src2,
+                Blt => (src1 as i64) < (src2 as i64),
+                Bge => (src1 as i64) >= (src2 as i64),
+                Bltu => src1 < src2,
+                _ => src1 >= src2,
+            };
+            info.taken = taken;
+            if taken {
+                info.next_pc = sext32((pc as u32).wrapping_add(imm32));
+            }
+            info.result = u64::from(taken);
+        }
+
+        Jal => {
+            write_rd(state, &mut info, fallthrough);
+            info.next_pc = sext32((pc as u32).wrapping_add(imm32));
+            info.taken = true;
+        }
+        Jalr => {
+            let target = a.wrapping_add(imm32) & !1;
+            write_rd(state, &mut info, fallthrough);
+            info.next_pc = sext32(target);
+            info.taken = true;
+        }
+
+        Fadd | Fsub | Fmul | Fdiv | Fsqrt | Fmin | Fmax | Feq | Flt | Fle | Fcvtif | Fcvtfi
+        | Fmvif | Fmvfi => {
+            // Not encodable in RV32I; native semantics for spliced code.
+            let v = match instr.op {
+                Fadd => (f64::from_bits(src1) + f64::from_bits(src2)).to_bits(),
+                Fsub => (f64::from_bits(src1) - f64::from_bits(src2)).to_bits(),
+                Fmul => (f64::from_bits(src1) * f64::from_bits(src2)).to_bits(),
+                Fdiv => (f64::from_bits(src1) / f64::from_bits(src2)).to_bits(),
+                Fsqrt => f64::from_bits(src1).sqrt().to_bits(),
+                Fmin => f64::from_bits(src1).min(f64::from_bits(src2)).to_bits(),
+                Fmax => f64::from_bits(src1).max(f64::from_bits(src2)).to_bits(),
+                Feq => u64::from(f64::from_bits(src1) == f64::from_bits(src2)),
+                Flt => u64::from(f64::from_bits(src1) < f64::from_bits(src2)),
+                Fle => u64::from(f64::from_bits(src1) <= f64::from_bits(src2)),
+                Fcvtif => ((src1 as i64) as f64).to_bits(),
+                Fcvtfi => f2i_saturating(f64::from_bits(src1)) as u64,
+                _ => src1,
+            };
+            write_rd(state, &mut info, v);
+        }
+
+        Halt => {
+            info.halted = true;
+            info.next_pc = pc;
+            info.result = src1;
+        }
+        Print => {
+            info.printed = Some(src1 as i64);
+        }
+        Ecall => ecall(pc, src1, src2, &mut info),
+        Ebreak => {
+            info.halted = true;
+            info.next_pc = pc;
         }
         Nop => {}
     }
@@ -552,6 +807,172 @@ mod tests {
             },
         );
         assert_eq!(i.printed, Some(-7));
+    }
+
+    fn run_rv32(
+        instr: Instr,
+        setup: impl FnOnce(&mut ArchState, &mut Memory),
+    ) -> (StepInfo, ArchState, Memory) {
+        let mut s = ArchState::new(0x1000);
+        let mut m = Memory::new();
+        setup(&mut s, &mut m);
+        let info = step_rv32(&mut s, &instr, &mut m);
+        (info, s, m)
+    }
+
+    #[test]
+    fn native_auipc_adds_to_pc() {
+        let (i, ..) = run_one(
+            Instr::rri(Opcode::Auipc, T0, ZERO, 0x2000).canonical(),
+            |_, _| {},
+        );
+        assert_eq!(i.result, 0x3000);
+        assert_eq!(i.next_pc, 0x1008);
+    }
+
+    #[test]
+    fn ecall_print_exit_and_unknown() {
+        let ec = Instr {
+            op: Opcode::Ecall,
+            ..Instr::nop()
+        }
+        .canonical();
+        let (i, ..) = run_one(ec, |s, _| {
+            s.write(A7, 1);
+            s.write(A0, (-9i64) as u64);
+        });
+        assert_eq!(i.printed, Some(-9));
+        assert!(!i.halted);
+        let (i, s, _) = run_one(ec, |s, _| {
+            s.write(A7, 93);
+            s.write(A0, 17);
+        });
+        assert!(i.halted);
+        assert_eq!(i.result, 17);
+        assert_eq!(s.pc, 0x1000);
+        let (i, ..) = run_one(ec, |s, _| {
+            s.write(A7, 400);
+        });
+        assert!(i.halted);
+        assert_eq!(i.result, 400);
+    }
+
+    #[test]
+    fn rv32_results_are_sign_extended_32() {
+        let (i, s, _) = run_rv32(Instr::rrr(Opcode::Add, T0, T1, T2), |s, _| {
+            s.write(T1, sext32(0x7FFF_FFFF));
+            s.write(T2, 1);
+        });
+        assert_eq!(s.read(T0), sext32(0x8000_0000));
+        assert_eq!(i.result as i64, i32::MIN as i64, "32-bit overflow wraps");
+        assert_eq!(i.next_pc, 0x1004, "rv32i pc advances by 4");
+    }
+
+    #[test]
+    fn rv32_shift_amounts_mask_to_five_bits() {
+        // A 64-bit executor would shift by 33 and keep the bit; RV32I
+        // masks to 5 bits, so 33 & 31 == 1.
+        let (i, ..) = run_rv32(Instr::rrr(Opcode::Sll, T0, T1, T2), |s, _| {
+            s.write(T1, 1);
+            s.write(T2, 33);
+        });
+        assert_eq!(i.result, 2);
+        let (i, ..) = run_rv32(Instr::rri(Opcode::Srai, T0, T1, 31), |s, _| {
+            s.write(T1, sext32(0x8000_0000));
+        });
+        assert_eq!(i.result as i64, -1);
+        let (i, ..) = run_rv32(Instr::rri(Opcode::Srli, T0, T1, 1), |s, _| {
+            s.write(T1, sext32(0x8000_0000));
+        });
+        assert_eq!(i.result, 0x4000_0000, "srli shifts the 32-bit value");
+    }
+
+    #[test]
+    fn rv32_division_edge_cases() {
+        let (i, ..) = run_rv32(Instr::rrr(Opcode::Div, T0, T1, T2), |s, _| {
+            s.write(T1, sext32(i32::MIN as u32));
+            s.write(T2, (-1i64) as u64);
+        });
+        assert_eq!(i.result as i64, i32::MIN as i64, "MIN / -1 wraps to MIN");
+        let (i, ..) = run_rv32(Instr::rrr(Opcode::Rem, T0, T1, T2), |s, _| {
+            s.write(T1, sext32(i32::MIN as u32));
+            s.write(T2, (-1i64) as u64);
+        });
+        assert_eq!(i.result, 0, "MIN rem -1 is 0");
+        let (i, ..) = run_rv32(Instr::rrr(Opcode::Div, T0, T1, T2), |s, _| {
+            s.write(T1, 7);
+        });
+        assert_eq!(i.result as i64, -1, "x / 0 is -1");
+        let (i, ..) = run_rv32(Instr::rrr(Opcode::Divu, T0, T1, T2), |s, _| {
+            s.write(T1, 7);
+        });
+        assert_eq!(i.result, sext32(u32::MAX), "x /u 0 is 2^32-1");
+        let (i, ..) = run_rv32(Instr::rrr(Opcode::Remu, T0, T1, T2), |s, _| {
+            s.write(T1, 7);
+        });
+        assert_eq!(i.result, 7, "x remu 0 is x");
+    }
+
+    #[test]
+    fn rv32_narrow_loads_sign_extend() {
+        let (i, ..) = run_rv32(Instr::load(Opcode::Lw, T0, T1, 0), |s, m| {
+            s.write(T1, 0x2000);
+            m.write_u32(0x2000, 0x8000_0001);
+        });
+        assert_eq!(i.result as i64, 0x8000_0001u32 as i32 as i64);
+        let (i, ..) = run_rv32(Instr::load(Opcode::Lh, T0, T1, 0), |s, m| {
+            s.write(T1, 0x2000);
+            m.write_u16(0x2000, 0x8000);
+        });
+        assert_eq!(i.result as i64, -32768);
+        let (i, ..) = run_rv32(Instr::load(Opcode::Lhu, T0, T1, 0), |s, m| {
+            s.write(T1, 0x2000);
+            m.write_u16(0x2000, 0x8000);
+        });
+        assert_eq!(i.result, 0x8000);
+    }
+
+    #[test]
+    fn rv32_jalr_clears_bit_zero_and_links_pc_plus_4() {
+        let (i, s, _) = run_rv32(Instr::rri(Opcode::Jalr, RA, T1, 3), |s, _| {
+            s.write(T1, 0x5000);
+        });
+        assert_eq!(i.next_pc, 0x5002, "bit 0 cleared");
+        assert_eq!(s.read(RA), 0x1004, "link is pc + 4");
+    }
+
+    #[test]
+    fn rv32_branch_and_auipc_use_32_bit_pc_math() {
+        let (i, ..) = run_rv32(Instr::branch(Opcode::Bne, T1, T2, -8), |s, _| {
+            s.write(T1, 1);
+        });
+        assert!(i.taken);
+        assert_eq!(i.next_pc, 0x1000 - 8);
+        let (i, ..) = run_rv32(
+            Instr::rri(Opcode::Auipc, T0, ZERO, 0x7FFF_F000).canonical(),
+            |_, _| {},
+        );
+        assert_eq!(i.result, sext32(0x7FFF_F000u32.wrapping_add(0x1000)));
+    }
+
+    #[test]
+    fn rv32_sltu_matches_32_bit_unsigned_order() {
+        let (i, ..) = run_rv32(Instr::rrr(Opcode::Sltu, T0, T1, T2), |s, _| {
+            s.write(T1, 1);
+            s.write(T2, sext32(0xFFFF_FFFF));
+        });
+        assert_eq!(i.result, 1, "1 <u 0xFFFFFFFF in 32-bit order");
+    }
+
+    #[test]
+    fn step_for_dispatches_by_isa() {
+        let mut s = ArchState::new(0x1000);
+        let mut m = Memory::new();
+        let i = step_for(IsaId::Rv32i, &mut s, &Instr::nop(), &mut m);
+        assert_eq!(i.next_pc, 0x1004);
+        let mut s = ArchState::new(0x1000);
+        let i = step_for(IsaId::Native, &mut s, &Instr::nop(), &mut m);
+        assert_eq!(i.next_pc, 0x1008);
     }
 
     #[test]

@@ -24,6 +24,6 @@ mod state;
 mod trace;
 
 pub use emulator::{EmuError, Emulator, RunResult, StopReason};
-pub use exec::{step, MemAccess, StepInfo};
+pub use exec::{step, step_for, step_rv32, MemAccess, StepInfo};
 pub use state::ArchState;
 pub use trace::{Trace, TraceRecord};

@@ -187,14 +187,15 @@ pub fn transform(program: &Program) -> Result<Program, String> {
     if text.is_empty() {
         return Err("swift transform: empty program".into());
     }
+    let inst_size = program.inst_size();
     let index_of = |pc: u64| -> Result<usize, String> {
         let off = pc.wrapping_sub(TEXT_BASE);
-        if !off.is_multiple_of(Instr::SIZE) || (off / Instr::SIZE) as usize >= text.len() {
+        if !off.is_multiple_of(inst_size) || (off / inst_size) as usize >= text.len() {
             return Err(format!(
                 "swift transform: control target {pc:#x} outside text"
             ));
         }
-        Ok((off / Instr::SIZE) as usize)
+        Ok((off / inst_size) as usize)
     };
     let entry_idx = index_of(program.entry())?;
 
@@ -211,7 +212,7 @@ pub fn transform(program: &Program) -> Result<Program, String> {
             _ => {}
         }
         if matches!(ins.op.kind(), OpKind::Branch | OpKind::Jump) {
-            let pc = TEXT_BASE + i as u64 * Instr::SIZE;
+            let pc = TEXT_BASE + i as u64 * inst_size;
             let tgt = index_of(pc.wrapping_add_signed(ins.imm))?;
             leader[tgt] = true;
             if i + 1 < text.len() {
@@ -221,7 +222,7 @@ pub fn transform(program: &Program) -> Result<Program, String> {
     }
 
     let sh = assign_shadows(text)?;
-    let mut b = ProgramBuilder::new();
+    let mut b = ProgramBuilder::for_isa(program.isa());
     let labels: Vec<_> = (0..text.len()).map(|i| b.label(&format!("L{i}"))).collect();
     let trap = b.label("swift_trap");
 
@@ -360,14 +361,14 @@ pub fn transform(program: &Program) -> Result<Program, String> {
                 b.emit_branch(Instr::branch(Opcode::Bne, sh.sig, sh.tmp, 0), trap);
                 check!(ins.rs1);
                 check!(ins.rs2);
-                let pc = TEXT_BASE + i as u64 * Instr::SIZE;
+                let pc = TEXT_BASE + i as u64 * inst_size;
                 let tgt = index_of(pc.wrapping_add_signed(ins.imm))?;
                 b.emit_branch(Instr::branch(ins.op, ins.rs1, ins.rs2, 0), labels[tgt]);
             }
             OpKind::Jump => {
                 b.emit(Instr::rri(Opcode::Li, sh.tmp, Reg::ZERO, block_id));
                 b.emit_branch(Instr::branch(Opcode::Bne, sh.sig, sh.tmp, 0), trap);
-                let pc = TEXT_BASE + i as u64 * Instr::SIZE;
+                let pc = TEXT_BASE + i as u64 * inst_size;
                 let tgt = index_of(pc.wrapping_add_signed(ins.imm))?;
                 b.emit_branch(
                     Instr::rri(Opcode::Jal, Reg::ZERO, Reg::ZERO, 0),
@@ -375,12 +376,18 @@ pub fn transform(program: &Program) -> Result<Program, String> {
                 );
             }
             OpKind::System => {
-                if ins.op == Opcode::Halt {
+                // `halt`, `ecall`, and `ebreak` can end the run, so the
+                // block signature must be verified before them just as
+                // before a control transfer.
+                if matches!(ins.op, Opcode::Halt | Opcode::Ecall | Opcode::Ebreak) {
                     b.emit(Instr::rri(Opcode::Li, sh.tmp, Reg::ZERO, block_id));
                     b.emit_branch(Instr::branch(Opcode::Bne, sh.sig, sh.tmp, 0), trap);
                 }
-                if matches!(ins.op, Opcode::Halt | Opcode::Print) {
+                if matches!(ins.op, Opcode::Halt | Opcode::Print | Opcode::Ecall) {
                     check!(ins.rs1);
+                }
+                if ins.op == Opcode::Ecall {
+                    check!(ins.rs2);
                 }
                 b.emit(*ins);
             }
@@ -644,6 +651,42 @@ mod tests {
             }
         }
         assert!(trapped > 0, "no FP fault reached the trap handler");
+    }
+
+    #[test]
+    fn rv32i_programs_transform_with_four_byte_pc_math() {
+        let src = "\
+  li t0, 25
+  li t1, 0
+loop:
+  addi t1, t1, 3
+  addi t0, t0, -1
+  bnez t0, loop
+  li a7, 1
+  mv a0, t1
+  ecall
+  li a7, 93
+  li a0, 9
+  ecall
+";
+        let p = reese_isa::IsaId::Rv32i.frontend().assemble(src).unwrap();
+        let h = transform(&p).unwrap();
+        assert_eq!(h.isa(), reese_isa::IsaId::Rv32i);
+        assert!(h.len() > p.len());
+        assert_eq!(run_output(&h), run_output(&p));
+        assert_eq!(run_output(&h), (vec![75], Some(9)));
+        // Injected faults must still find the trap handler.
+        let clean = Emulator::new(&h).run(10_000).unwrap();
+        let mut trapped = 0;
+        for seq in 0..clean.instructions {
+            let mut emu = Emulator::new(&h);
+            emu.inject_result_fault(seq, 3);
+            let r = emu.run(10_000).unwrap();
+            if exit_code(&r) == Some(SWIFT_TRAP_EXIT) {
+                trapped += 1;
+            }
+        }
+        assert!(trapped > 0, "no rv32i fault reached the trap handler");
     }
 
     #[test]

@@ -21,19 +21,40 @@
 use crate::{BuildError, Opcode, Program, ProgramBuilder, Reg};
 use std::fmt;
 
-/// Error produced by [`assemble`], with a 1-based source line number.
+/// Error produced by [`assemble`], with a 1-based source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsmError {
     /// 1-based line number of the offending statement (0 for link-time
     /// errors with no single source line).
     pub line: usize,
+    /// 1-based column of the offending token (0 when the whole line is
+    /// at fault or the column is unknown).
+    pub col: usize,
     /// Human-readable description.
     pub message: String,
 }
 
+impl AsmError {
+    pub(crate) fn new(line: usize, message: String) -> AsmError {
+        AsmError {
+            line,
+            col: 0,
+            message,
+        }
+    }
+
+    pub(crate) fn at(line: usize, col: usize, message: String) -> AsmError {
+        AsmError { line, col, message }
+    }
+}
+
 impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.col > 0 {
+            write!(f, "line {}:{}: {}", self.line, self.col, self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
     }
 }
 
@@ -41,11 +62,48 @@ impl std::error::Error for AsmError {}
 
 impl From<BuildError> for AsmError {
     fn from(e: BuildError) -> Self {
-        AsmError {
-            line: 0,
-            message: e.to_string(),
+        AsmError::new(0, e.to_string())
+    }
+}
+
+/// 1-based column of `token` within `raw` (0 if `token` is not a
+/// subslice of `raw`). Tokens are always subslices of their source
+/// line, so this recovers the column without tracking offsets.
+pub(crate) fn col_in(raw: &str, token: &str) -> usize {
+    let raw_start = raw.as_ptr() as usize;
+    let tok_start = token.as_ptr() as usize;
+    if tok_start >= raw_start && tok_start + token.len() <= raw_start + raw.len() {
+        tok_start - raw_start + 1
+    } else {
+        0
+    }
+}
+
+/// Strips a trailing comment (`#`, `//`, or `;`) outside string
+/// literals, so `.asciz "a#b"` keeps its hash.
+pub(crate) fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'#' | b';' => return &line[..i],
+            b'/' if bytes.get(i + 1) == Some(&b'/') => return &line[..i],
+            _ => {}
         }
     }
+    line
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,27 +138,28 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
 
     for (lineno, raw) in source.lines().enumerate() {
         let line = lineno + 1;
-        let err = |message: String| AsmError { line, message };
 
-        // Strip comments.
-        let mut code = raw;
-        for marker in ["#", "//", ";"] {
-            if let Some(pos) = code.find(marker) {
-                code = &code[..pos];
-            }
-        }
-        let mut code = code.trim();
+        // Strip comments (string-literal aware) and surrounding space.
+        let mut code = strip_comment(raw).trim();
 
         // Peel off any leading labels.
         while let Some(colon) = code.find(':') {
             let (name, rest) = code.split_at(colon);
             let name = name.trim();
             if name.is_empty() || !is_ident(name) {
-                return Err(err(format!("bad label `{name}`")));
+                return Err(AsmError::at(
+                    line,
+                    col_in(raw, name),
+                    format!("bad label `{name}`"),
+                ));
             }
             let l = b.label(name);
             if b.is_bound(l) {
-                return Err(err(format!("label `{name}` defined twice")));
+                return Err(AsmError::at(
+                    line,
+                    col_in(raw, name),
+                    format!("label `{name}` defined twice"),
+                ));
             }
             match segment {
                 Segment::Text => {
@@ -118,20 +177,24 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         }
 
         if let Some(directive) = code.strip_prefix('.') {
-            parse_directive(&mut b, &mut segment, directive, line)?;
+            parse_directive(&mut b, &mut segment, directive, raw, line)?;
             continue;
         }
 
         if segment == Segment::Data {
-            return Err(err("instructions are not allowed in .data".to_string()));
+            return Err(AsmError::at(
+                line,
+                col_in(raw, code),
+                "instructions are not allowed in .data".to_string(),
+            ));
         }
-        parse_instruction(&mut b, code, line)?;
+        parse_instruction(&mut b, code, raw, line)?;
     }
 
     b.build().map_err(AsmError::from)
 }
 
-fn is_ident(s: &str) -> bool {
+pub(crate) fn is_ident(s: &str) -> bool {
     let mut chars = s.chars();
     match chars.next() {
         Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '.' => {}
@@ -140,7 +203,7 @@ fn is_ident(s: &str) -> bool {
     chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
 }
 
-fn parse_int(s: &str) -> Option<i64> {
+pub(crate) fn parse_int(s: &str) -> Option<i64> {
     let s = s.trim();
     let (neg, body) = match s.strip_prefix('-') {
         Some(rest) => (true, rest),
@@ -158,17 +221,45 @@ fn parse_directive(
     b: &mut ProgramBuilder,
     segment: &mut Segment,
     directive: &str,
+    raw: &str,
     line: usize,
 ) -> Result<(), AsmError> {
-    let err = |message: String| AsmError { line, message };
+    let err = |tok: &str, message: String| AsmError::at(line, col_in(raw, tok), message);
     let (name, args) = match directive.find(char::is_whitespace) {
         Some(pos) => (&directive[..pos], directive[pos..].trim()),
         None => (directive, ""),
     };
     let ints = |args: &str| -> Result<Vec<i64>, AsmError> {
         args.split(',')
-            .map(|a| parse_int(a).ok_or_else(|| err(format!("bad integer `{}`", a.trim()))))
+            .map(|a| {
+                parse_int(a).ok_or_else(|| err(a.trim(), format!("bad integer `{}`", a.trim())))
+            })
             .collect()
+    };
+    // `.word`/`.dword` accept labels alongside integers; label slots
+    // are patched with the final address at build time, so forward
+    // references inside data are safe.
+    let words = |b: &mut ProgramBuilder, args: &str, wide: bool| -> Result<(), AsmError> {
+        for a in args.split(',') {
+            let a = a.trim();
+            if let Some(v) = parse_int(a) {
+                if wide {
+                    b.dword(v as u64);
+                } else {
+                    b.word(v as u32);
+                }
+            } else if is_ident(a) {
+                let l = b.label(a);
+                if wide {
+                    b.dword_label(l);
+                } else {
+                    b.word_label(l);
+                }
+            } else {
+                return Err(err(a, format!("bad integer or label `{a}`")));
+            }
+        }
+        Ok(())
     };
     match name {
         "text" => *segment = Segment::Text,
@@ -176,7 +267,7 @@ fn parse_directive(
         "globl" | "global" => {} // accepted and ignored
         "entry" => {
             if !is_ident(args) {
-                return Err(err(format!("bad entry label `{args}`")));
+                return Err(err(args, format!("bad entry label `{args}`")));
             }
             let l = b.label(args);
             b.entry(l);
@@ -191,29 +282,22 @@ fn parse_directive(
                 b.bytes(&(v as u16).to_le_bytes());
             }
         }
-        "word" => {
-            for v in ints(args)? {
-                b.word(v as u32);
-            }
-        }
-        "dword" => {
-            for v in ints(args)? {
-                b.dword(v as u64);
-            }
-        }
+        "word" => words(b, args, false)?,
+        "dword" => words(b, args, true)?,
         "space" => {
-            let n = parse_int(args).ok_or_else(|| err(format!("bad size `{args}`")))?;
+            let n = parse_int(args).ok_or_else(|| err(args, format!("bad size `{args}`")))?;
             if n < 0 {
-                return Err(err("negative .space".to_string()));
+                return Err(err(args, "negative .space".to_string()));
             }
             b.space(n as usize);
         }
         "align" => {
-            let n = parse_int(args).ok_or_else(|| err(format!("bad alignment `{args}`")))?;
+            let n = parse_int(args).ok_or_else(|| err(args, format!("bad alignment `{args}`")))?;
             if n <= 0 || !(n as u64).is_power_of_two() {
-                return Err(err(format!(
-                    "alignment must be a positive power of two, got {n}"
-                )));
+                return Err(err(
+                    args,
+                    format!("alignment must be a positive power of two, got {n}"),
+                ));
             }
             b.align(n as usize);
         }
@@ -221,15 +305,15 @@ fn parse_directive(
             let s = args
                 .strip_prefix('"')
                 .and_then(|s| s.strip_suffix('"'))
-                .ok_or_else(|| err("expected a quoted string".to_string()))?;
+                .ok_or_else(|| err(args, "expected a quoted string".to_string()))?;
             b.asciz(&unescape(s));
         }
-        other => return Err(err(format!("unknown directive `.{other}`"))),
+        other => return Err(err(name, format!("unknown directive `.{other}`"))),
     }
     Ok(())
 }
 
-fn unescape(s: &str) -> String {
+pub(crate) fn unescape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {
@@ -251,7 +335,7 @@ fn unescape(s: &str) -> String {
 }
 
 /// Splits `off(base)` into its parts.
-fn parse_mem_operand(s: &str) -> Option<(i64, Reg)> {
+pub(crate) fn parse_mem_operand(s: &str) -> Option<(i64, Reg)> {
     let open = s.find('(')?;
     let close = s.rfind(')')?;
     if close != s.len() - 1 {
@@ -267,8 +351,13 @@ fn parse_mem_operand(s: &str) -> Option<(i64, Reg)> {
     Some((off, base))
 }
 
-fn parse_instruction(b: &mut ProgramBuilder, code: &str, line: usize) -> Result<(), AsmError> {
-    let err = |message: String| AsmError { line, message };
+fn parse_instruction(
+    b: &mut ProgramBuilder,
+    code: &str,
+    raw: &str,
+    line: usize,
+) -> Result<(), AsmError> {
+    let err = |tok: &str, message: String| AsmError::at(line, col_in(raw, tok), message);
     let (mnemonic, rest) = match code.find(char::is_whitespace) {
         Some(pos) => (&code[..pos], code[pos..].trim()),
         None => (code, ""),
@@ -279,16 +368,16 @@ fn parse_instruction(b: &mut ProgramBuilder, code: &str, line: usize) -> Result<
         rest.split(',').map(str::trim).collect()
     };
 
-    let reg = |s: &str| Reg::parse(s).ok_or_else(|| err(format!("bad register `{s}`")));
-    let imm = |s: &str| parse_int(s).ok_or_else(|| err(format!("bad immediate `{s}`")));
+    let reg = |s: &str| Reg::parse(s).ok_or_else(|| err(s, format!("bad register `{s}`")));
+    let imm = |s: &str| parse_int(s).ok_or_else(|| err(s, format!("bad immediate `{s}`")));
     let nops = |want: usize| -> Result<(), AsmError> {
         if ops.len() == want {
             Ok(())
         } else {
-            Err(err(format!(
-                "`{mnemonic}` expects {want} operands, got {}",
-                ops.len()
-            )))
+            Err(err(
+                mnemonic,
+                format!("`{mnemonic}` expects {want} operands, got {}", ops.len()),
+            ))
         }
     };
 
@@ -312,7 +401,12 @@ fn parse_instruction(b: &mut ProgramBuilder, code: &str, line: usize) -> Result<
                         ..crate::Instr::nop()
                     })
                 }
-                n => return Err(err(format!("`halt` expects 0 or 1 operands, got {n}"))),
+                n => {
+                    return Err(err(
+                        mnemonic,
+                        format!("`halt` expects 0 or 1 operands, got {n}"),
+                    ))
+                }
             };
             return Ok(());
         }
@@ -332,7 +426,7 @@ fn parse_instruction(b: &mut ProgramBuilder, code: &str, line: usize) -> Result<
             nops(2)?;
             let rd = reg(ops[0])?;
             if !is_ident(ops[1]) {
-                return Err(err(format!("bad label `{}`", ops[1])));
+                return Err(err(ops[1], format!("bad label `{}`", ops[1])));
             }
             let l = b.label(ops[1]);
             b.la(rd, l);
@@ -370,7 +464,7 @@ fn parse_instruction(b: &mut ProgramBuilder, code: &str, line: usize) -> Result<
         }
         "j" => {
             nops(1)?;
-            let l = label_ref(b, ops[0], line)?;
+            let l = label_ref(b, ops[0], raw, line)?;
             b.j(l);
             return Ok(());
         }
@@ -382,7 +476,7 @@ fn parse_instruction(b: &mut ProgramBuilder, code: &str, line: usize) -> Result<
         }
         "call" => {
             nops(1)?;
-            let l = label_ref(b, ops[0], line)?;
+            let l = label_ref(b, ops[0], raw, line)?;
             b.call(l);
             return Ok(());
         }
@@ -394,7 +488,7 @@ fn parse_instruction(b: &mut ProgramBuilder, code: &str, line: usize) -> Result<
         "beqz" | "bnez" | "bltz" | "bgez" => {
             nops(2)?;
             let rs = reg(ops[0])?;
-            let l = label_ref(b, ops[1], line)?;
+            let l = label_ref(b, ops[1], raw, line)?;
             match mnemonic {
                 "beqz" => b.beqz(rs, l),
                 "bnez" => b.bnez(rs, l),
@@ -406,7 +500,7 @@ fn parse_instruction(b: &mut ProgramBuilder, code: &str, line: usize) -> Result<
         "ble" | "bgt" => {
             nops(3)?;
             let (r1, r2) = (reg(ops[0])?, reg(ops[1])?);
-            let l = label_ref(b, ops[2], line)?;
+            let l = label_ref(b, ops[2], raw, line)?;
             if mnemonic == "ble" {
                 b.ble(r1, r2, l);
             } else {
@@ -418,7 +512,7 @@ fn parse_instruction(b: &mut ProgramBuilder, code: &str, line: usize) -> Result<
     }
 
     let op = Opcode::from_mnemonic(mnemonic)
-        .ok_or_else(|| err(format!("unknown mnemonic `{mnemonic}`")))?;
+        .ok_or_else(|| err(mnemonic, format!("unknown mnemonic `{mnemonic}`")))?;
 
     use crate::{Instr, OpKind};
     match op.kind() {
@@ -426,14 +520,14 @@ fn parse_instruction(b: &mut ProgramBuilder, code: &str, line: usize) -> Result<
             nops(2)?;
             let rd = reg(ops[0])?;
             let (off, base) = parse_mem_operand(ops[1])
-                .ok_or_else(|| err(format!("bad memory operand `{}`", ops[1])))?;
+                .ok_or_else(|| err(ops[1], format!("bad memory operand `{}`", ops[1])))?;
             b.emit(Instr::load(op, rd, base, off));
         }
         OpKind::Store => {
             nops(2)?;
             let src = reg(ops[0])?;
             let (off, base) = parse_mem_operand(ops[1])
-                .ok_or_else(|| err(format!("bad memory operand `{}`", ops[1])))?;
+                .ok_or_else(|| err(ops[1], format!("bad memory operand `{}`", ops[1])))?;
             b.emit(Instr::store(op, src, base, off));
         }
         OpKind::Branch => {
@@ -442,7 +536,7 @@ fn parse_instruction(b: &mut ProgramBuilder, code: &str, line: usize) -> Result<
             if let Some(off) = parse_int(ops[2]) {
                 b.emit(Instr::branch(op, r1, r2, off));
             } else {
-                let l = label_ref(b, ops[2], line)?;
+                let l = label_ref(b, ops[2], raw, line)?;
                 match op {
                     Opcode::Beq => b.beq(r1, r2, l),
                     Opcode::Bne => b.bne(r1, r2, l),
@@ -461,7 +555,7 @@ fn parse_instruction(b: &mut ProgramBuilder, code: &str, line: usize) -> Result<
                 if let Some(off) = parse_int(ops[1]) {
                     b.emit(Instr::rri(Opcode::Jal, rd, Reg::ZERO, off));
                 } else {
-                    let l = label_ref(b, ops[1], line)?;
+                    let l = label_ref(b, ops[1], raw, line)?;
                     b.jal(rd, l);
                 }
             }
@@ -470,7 +564,7 @@ fn parse_instruction(b: &mut ProgramBuilder, code: &str, line: usize) -> Result<
                 nops(2)?;
                 let rd = reg(ops[0])?;
                 let (off, base) = parse_mem_operand(ops[1])
-                    .ok_or_else(|| err(format!("bad memory operand `{}`", ops[1])))?;
+                    .ok_or_else(|| err(ops[1], format!("bad memory operand `{}`", ops[1])))?;
                 b.jalr(rd, base, off);
             }
         },
@@ -489,13 +583,17 @@ fn parse_instruction(b: &mut ProgramBuilder, code: &str, line: usize) -> Result<
                 let rs = reg(ops[0])?;
                 b.print(rs);
             }
+            Opcode::Ecall | Opcode::Ebreak => {
+                nops(0)?;
+                b.emit(Instr { op, ..Instr::nop() }.canonical());
+            }
             _ => {
                 nops(0)?;
                 b.nop();
             }
         },
         OpKind::Alu => {
-            if op == Opcode::Li || op == Opcode::Lih {
+            if op == Opcode::Li || op == Opcode::Lih || op == Opcode::Auipc {
                 nops(2)?;
                 let (rd, v) = (reg(ops[0])?, imm(ops[1])?);
                 let rs1 = if op == Opcode::Lih { rd } else { Reg::ZERO };
@@ -524,14 +622,20 @@ fn parse_instruction(b: &mut ProgramBuilder, code: &str, line: usize) -> Result<
     Ok(())
 }
 
-fn label_ref(b: &mut ProgramBuilder, s: &str, line: usize) -> Result<crate::Label, AsmError> {
+fn label_ref(
+    b: &mut ProgramBuilder,
+    s: &str,
+    raw: &str,
+    line: usize,
+) -> Result<crate::Label, AsmError> {
     if is_ident(s) {
         Ok(b.label(s))
     } else {
-        Err(AsmError {
+        Err(AsmError::at(
             line,
-            message: format!("bad label `{s}`"),
-        })
+            col_in(raw, s),
+            format!("bad label `{s}`"),
+        ))
     }
 }
 
@@ -635,6 +739,63 @@ mod tests {
 
         let e = assemble("  j nowhere\n").unwrap_err();
         assert!(e.message.contains("never bound"));
+    }
+
+    #[test]
+    fn errors_carry_column_numbers() {
+        let e = assemble("  nop\n  bogus x1\n").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 3));
+        assert!(e.to_string().contains("line 2:3:"));
+
+        let e = assemble("  addi t0, zz, 1\n").unwrap_err();
+        assert_eq!(e.col, 12);
+        assert!(e.message.contains("bad register"));
+
+        let e = assemble("  li t0, zzz\n").unwrap_err();
+        assert_eq!(e.col, 10);
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_are_data() {
+        let p = assemble("  halt\n  .data\n  .asciz \"a#b;c//d\"\n").unwrap();
+        assert_eq!(p.data(), b"a#b;c//d\0");
+    }
+
+    #[test]
+    fn word_directives_accept_forward_label_references() {
+        // `tail` is bound *after* the table; the table slots must hold
+        // its final address, not a stale offset.
+        let p = assemble(
+            "  halt\n\
+             .data\n\
+             table: .dword tail, 7\n\
+             .word tail, 1\n\
+             tail:  .byte 9\n",
+        )
+        .unwrap();
+        let tail = p.symbol("tail").unwrap();
+        assert_eq!(tail, crate::DATA_BASE + 8 + 8 + 4 + 4);
+        let d = p.data();
+        assert_eq!(u64::from_le_bytes(d[0..8].try_into().unwrap()), tail);
+        assert_eq!(u64::from_le_bytes(d[8..16].try_into().unwrap()), 7);
+        assert_eq!(
+            u64::from(u32::from_le_bytes(d[16..20].try_into().unwrap())),
+            tail
+        );
+
+        let e = assemble("  halt\n  .data\n  .word 1+2\n").unwrap_err();
+        assert!(e.message.contains("bad integer or label"));
+    }
+
+    #[test]
+    fn ecall_and_ebreak_assemble() {
+        let p = assemble("  ecall\n  ebreak\n  halt\n").unwrap();
+        assert_eq!(p.text()[0].op, Opcode::Ecall);
+        assert_eq!(p.text()[0].rs1, crate::abi::A7);
+        assert_eq!(p.text()[0].rs2, crate::abi::A0);
+        assert_eq!(p.text()[1].op, Opcode::Ebreak);
+        let e = assemble("  ecall x1\n").unwrap_err();
+        assert!(e.message.contains("expects 0 operands"));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! a data segment, expands the usual pseudo-instructions, and resolves
 //! everything into a [`Program`] at the end.
 
-use crate::{Instr, Opcode, Program, Reg, DATA_BASE, TEXT_BASE};
+use crate::{Instr, IsaId, Opcode, Program, Reg, DATA_BASE, TEXT_BASE};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -59,6 +59,20 @@ enum Fixup {
     Absolute(Label),
 }
 
+/// A label reference inside the data segment (`.word`/`.dword` with a
+/// label operand), patched with the label's absolute address at build
+/// time — so forward references resolve to final addresses, never to
+/// stale offsets.
+#[derive(Debug, Clone, Copy)]
+struct DataFixup {
+    /// Byte offset in the data segment where the address is written.
+    offset: usize,
+    /// The referenced label.
+    label: Label,
+    /// Field width in bytes (4 or 8).
+    width: usize,
+}
+
 /// An incremental builder for [`Program`]s.
 ///
 /// # Example
@@ -81,17 +95,38 @@ enum Fixup {
 pub struct ProgramBuilder {
     text: Vec<Instr>,
     fixups: Vec<(usize, Fixup)>,
+    data_fixups: Vec<DataFixup>,
     labels: Vec<LabelTarget>,
     label_names: Vec<String>,
     named: BTreeMap<String, Label>,
     data: Vec<u8>,
     entry_label: Option<Label>,
+    isa: IsaId,
 }
 
 impl ProgramBuilder {
-    /// Creates an empty builder.
+    /// Creates an empty builder targeting the native ISA.
     pub fn new() -> ProgramBuilder {
         ProgramBuilder::default()
+    }
+
+    /// Creates an empty builder targeting a specific ISA. Label
+    /// addresses and pc-relative fix-ups use that ISA's instruction
+    /// size, and the built [`Program`] is stamped with it.
+    pub fn for_isa(isa: IsaId) -> ProgramBuilder {
+        ProgramBuilder {
+            isa,
+            ..ProgramBuilder::default()
+        }
+    }
+
+    /// The ISA this builder targets.
+    pub fn isa(&self) -> IsaId {
+        self.isa
+    }
+
+    fn inst_size(&self) -> u64 {
+        self.isa.inst_size()
     }
 
     // -- labels ----------------------------------------------------------
@@ -216,6 +251,28 @@ impl ProgramBuilder {
     /// Appends a little-endian 64-bit word.
     pub fn dword(&mut self, v: u64) -> &mut Self {
         self.bytes(&v.to_le_bytes())
+    }
+
+    /// Appends a 32-bit word holding a label's address, resolved at
+    /// build time (so forward references get the final address).
+    pub fn word_label(&mut self, label: Label) -> &mut Self {
+        self.data_fixups.push(DataFixup {
+            offset: self.data.len(),
+            label,
+            width: 4,
+        });
+        self.word(0)
+    }
+
+    /// Appends a 64-bit word holding a label's address, resolved at
+    /// build time (so forward references get the final address).
+    pub fn dword_label(&mut self, label: Label) -> &mut Self {
+        self.data_fixups.push(DataFixup {
+            offset: self.data.len(),
+            label,
+            width: 8,
+        });
+        self.dword(0)
     }
 
     /// Appends `n` zero bytes.
@@ -595,7 +652,7 @@ impl ProgramBuilder {
             LabelTarget::Unbound => {
                 Err(BuildError::UnboundLabel(self.label_names[label.0].clone()))
             }
-            LabelTarget::Code(idx) => Ok(TEXT_BASE + idx as u64 * Instr::SIZE),
+            LabelTarget::Code(idx) => Ok(TEXT_BASE + idx as u64 * self.inst_size()),
             LabelTarget::Data(off) => Ok(DATA_BASE + off as u64),
         }
     }
@@ -612,7 +669,7 @@ impl ProgramBuilder {
             let value = match fixup {
                 Fixup::PcRelative(l) => {
                     let target = self.label_address(l)?;
-                    let pc = TEXT_BASE + idx as u64 * Instr::SIZE;
+                    let pc = TEXT_BASE + idx as u64 * self.inst_size();
                     target as i64 - pc as i64
                 }
                 Fixup::Absolute(l) => self.label_address(l)? as i64,
@@ -625,6 +682,21 @@ impl ProgramBuilder {
             }
             self.text[idx].imm = value;
         }
+        for &DataFixup {
+            offset,
+            label,
+            width,
+        } in &self.data_fixups
+        {
+            let addr = self.label_address(label)?;
+            if width == 4 && u32::try_from(addr).is_err() {
+                return Err(BuildError::ImmOverflow {
+                    instr_index: 0,
+                    value: addr as i64,
+                });
+            }
+            self.data[offset..offset + width].copy_from_slice(&addr.to_le_bytes()[..width]);
+        }
         let entry = match self.entry_label {
             Some(l) => self.label_address(l)?,
             None => TEXT_BASE,
@@ -635,9 +707,10 @@ impl ProgramBuilder {
                 symbols.insert(name.clone(), addr);
             }
         }
-        Ok(Program::new(
-            self.text, TEXT_BASE, self.data, DATA_BASE, entry, symbols,
-        ))
+        Ok(
+            Program::new(self.text, TEXT_BASE, self.data, DATA_BASE, entry, symbols)
+                .with_isa(self.isa),
+        )
     }
 }
 
@@ -777,6 +850,53 @@ mod tests {
         let l1 = b.label("same");
         let l2 = b.label("same");
         assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn rv32i_builder_uses_four_byte_pc_math() {
+        let mut b = ProgramBuilder::for_isa(IsaId::Rv32i);
+        b.li(T0, 3);
+        let top = b.here("top");
+        b.addi(T0, T0, -1);
+        b.bnez(T0, top);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.isa(), IsaId::Rv32i);
+        // bnez is instruction 2 (addr 0x1008); target instruction 1 (0x1004).
+        assert_eq!(p.text()[2].imm, -4);
+        assert_eq!(p.symbol("top"), Some(TEXT_BASE + 4));
+    }
+
+    #[test]
+    fn data_label_fixups_resolve_forward_references() {
+        let mut b = ProgramBuilder::new();
+        let table = b.data_label("table");
+        let fwd = b.label("fwd"); // bound later, after the table
+        b.dword_label(fwd);
+        b.word_label(table);
+        b.halt();
+        b.space(4);
+        b.bind_data(fwd);
+        b.byte(9);
+        let p = b.build().unwrap();
+        let fwd_addr = DATA_BASE + 8 + 4 + 4; // dword + word + space
+        assert_eq!(
+            u64::from_le_bytes(p.data()[0..8].try_into().unwrap()),
+            fwd_addr
+        );
+        assert_eq!(
+            u64::from(u32::from_le_bytes(p.data()[8..12].try_into().unwrap())),
+            DATA_BASE
+        );
+    }
+
+    #[test]
+    fn unbound_data_fixup_is_error() {
+        let mut b = ProgramBuilder::new();
+        let nowhere = b.label("nowhere");
+        b.word_label(nowhere);
+        b.halt();
+        assert_eq!(b.build(), Err(BuildError::UnboundLabel("nowhere".into())));
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub(crate) fn fmt_instr(i: &Instr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             _ => f.write_str(m),
         },
         OpKind::Alu => {
-            if i.op == Opcode::Li || i.op == Opcode::Lih {
+            if i.op == Opcode::Li || i.op == Opcode::Lih || i.op == Opcode::Auipc {
                 write!(f, "{m} {}, {}", i.rd, i.imm)
             } else if i.op.uses_imm() {
                 write!(f, "{m} {}, {}, {}", i.rd, i.rs1, i.imm)

@@ -37,17 +37,22 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-/// Error produced when encoding an instruction whose immediate does not
-/// fit the 32-bit field.
+/// Error produced when encoding an instruction the target encoding
+/// cannot represent (immediate out of field range, or — for RV32I — an
+/// opcode with no RISC-V encoding).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EncodeError {
-    /// The out-of-range immediate.
+    /// The instruction's immediate, for the error message.
     pub imm: i64,
 }
 
 impl fmt::Display for EncodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "immediate {} does not fit in 32 bits", self.imm)
+        write!(
+            f,
+            "instruction not representable (immediate {} out of field range, or no encoding)",
+            self.imm
+        )
     }
 }
 

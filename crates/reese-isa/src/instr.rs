@@ -140,10 +140,14 @@ impl Instr {
         if self.op == Opcode::Lih {
             // `lih` always reads its own destination's low half.
             self.rs1 = self.rd;
+        } else if self.op == Opcode::Ecall {
+            // `ecall` always reads the syscall ABI registers.
+            self.rs1 = crate::abi::A7;
+            self.rs2 = crate::abi::A0;
         } else if !self.op.reads_rs1() {
             self.rs1 = Reg::ZERO;
         }
-        if !self.op.reads_rs2() {
+        if !self.op.reads_rs2() && self.op != Opcode::Ecall {
             self.rs2 = Reg::ZERO;
         }
         if !self.op.uses_imm() {

@@ -30,15 +30,18 @@ mod builder;
 mod disasm;
 mod encode;
 mod instr;
+mod isa;
 mod opcode;
 mod program;
 mod reg;
+pub mod rv32i;
 
 pub use asm::{assemble, AsmError};
 pub use builder::{BuildError, Label, ProgramBuilder};
 pub use disasm::{disassemble, disassemble_text};
 pub use encode::{decode, decode_text, encode, encode_text, DecodeError, EncodeError};
 pub use instr::Instr;
+pub use isa::{Isa, IsaId, NativeIsa, Rv32iIsa};
 pub use opcode::{FuClass, MemWidth, OpKind, Opcode};
 pub use program::{Program, DATA_BASE, STACK_TOP, TEXT_BASE};
 pub use reg::{abi, Reg, NUM_FP_REGS, NUM_INT_REGS, NUM_REGS};

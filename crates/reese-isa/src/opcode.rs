@@ -184,6 +184,8 @@ opcodes! {
     Li = 0x19 => "li32",
     /// `rd = (imm32 << 32) | (rd & 0xFFFF_FFFF)` — set high half
     Lih = 0x1A => "lih",
+    /// `rd = pc + imm` — pc-relative upper-immediate add (RV32I AUIPC)
+    Auipc = 0x1B => "auipc",
 
     // -- loads ----------------------------------------------------------
     /// `rd = sext(mem8[rs1 + imm])`
@@ -270,6 +272,13 @@ opcodes! {
     Print = 0x51 => "print",
     /// No operation.
     Nop = 0x52 => "nop",
+    /// Environment call (RV32I ECALL): `rs1` carries the syscall
+    /// number (a7), `rs2` its argument (a0). Syscall 1 prints `rs2`,
+    /// syscall 93 halts with exit code `rs2`; anything else halts with
+    /// exit code `rs1`.
+    Ecall = 0x53 => "ecall",
+    /// Environment break (RV32I EBREAK): halts the machine.
+    Ebreak = 0x54 => "ebreak",
 }
 
 impl Opcode {
@@ -281,7 +290,7 @@ impl Opcode {
             Sb | Sh | Sw | Sd | Fsd => OpKind::Store,
             Beq | Bne | Blt | Bge | Bltu | Bgeu => OpKind::Branch,
             Jal | Jalr => OpKind::Jump,
-            Halt | Print | Nop => OpKind::System,
+            Halt | Print | Nop | Ecall | Ebreak => OpKind::System,
             _ => OpKind::Alu,
         }
     }
@@ -342,14 +351,28 @@ impl Opcode {
         use Opcode::*;
         !matches!(
             self,
-            Sb | Sh | Sw | Sd | Fsd | Beq | Bne | Blt | Bge | Bltu | Bgeu | Halt | Print | Nop
+            Sb | Sh
+                | Sw
+                | Sd
+                | Fsd
+                | Beq
+                | Bne
+                | Blt
+                | Bge
+                | Bltu
+                | Bgeu
+                | Halt
+                | Print
+                | Nop
+                | Ecall
+                | Ebreak
         )
     }
 
     /// Whether the opcode reads `rs1`.
     pub const fn reads_rs1(self) -> bool {
         use Opcode::*;
-        !matches!(self, Li | Jal | Nop)
+        !matches!(self, Li | Jal | Nop | Auipc | Ebreak)
     }
 
     /// Whether the opcode reads `rs2`.
@@ -391,6 +414,7 @@ impl Opcode {
                 | Feq
                 | Flt
                 | Fle
+                | Ecall
         )
     }
 
@@ -407,6 +431,7 @@ impl Opcode {
             Addi | Andi
                 | Ori
                 | Xori
+                | Auipc
                 | Slli
                 | Srli
                 | Srai
@@ -521,6 +546,18 @@ mod tests {
         // and the opcode must report reading rs1.
         assert!(Opcode::Lih.reads_rs1());
         assert!(!Opcode::Li.reads_rs1());
+    }
+
+    #[test]
+    fn rv32i_system_opcodes_classify() {
+        assert_eq!(Opcode::Ecall.kind(), OpKind::System);
+        assert_eq!(Opcode::Ebreak.kind(), OpKind::System);
+        assert!(!Opcode::Ecall.writes_rd());
+        assert!(Opcode::Ecall.reads_rs1() && Opcode::Ecall.reads_rs2());
+        assert!(!Opcode::Ebreak.reads_rs1() && !Opcode::Ebreak.reads_rs2());
+        assert_eq!(Opcode::Auipc.kind(), OpKind::Alu);
+        assert!(Opcode::Auipc.writes_rd() && Opcode::Auipc.uses_imm());
+        assert!(!Opcode::Auipc.reads_rs1() && !Opcode::Auipc.reads_rs2());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Linked program images.
 
-use crate::{encode_text, EncodeError, Instr};
+use crate::{EncodeError, Instr, IsaId};
 use std::collections::BTreeMap;
 
 /// Default base address of the text segment.
@@ -37,6 +37,7 @@ pub struct Program {
     data_base: u64,
     entry: u64,
     symbols: BTreeMap<String, u64>,
+    isa: IsaId,
 }
 
 impl Program {
@@ -72,7 +73,26 @@ impl Program {
             data_base,
             entry,
             symbols,
+            isa: IsaId::Native,
         }
+    }
+
+    /// Stamps the program with the ISA it was built for. The stamp
+    /// drives pc arithmetic ([`Program::fetch`], [`Program::text_end`]),
+    /// the binary image format, and execution semantics downstream.
+    pub fn with_isa(mut self, isa: IsaId) -> Program {
+        self.isa = isa;
+        self
+    }
+
+    /// The ISA this program was built for.
+    pub fn isa(&self) -> IsaId {
+        self.isa
+    }
+
+    /// Size in bytes of one instruction in this program's encoding.
+    pub fn inst_size(&self) -> u64 {
+        self.isa.inst_size()
     }
 
     /// Wraps a bare instruction sequence at the default bases.
@@ -99,7 +119,7 @@ impl Program {
 
     /// One-past-the-end address of the text segment.
     pub fn text_end(&self) -> u64 {
-        self.text_base + self.text.len() as u64 * Instr::SIZE
+        self.text_base + self.text.len() as u64 * self.inst_size()
     }
 
     /// The initialised data image.
@@ -132,11 +152,11 @@ impl Program {
     /// Returns `None` if the address is outside the text segment or not
     /// instruction-aligned.
     pub fn fetch(&self, addr: u64) -> Option<&Instr> {
-        if addr < self.text_base || !(addr - self.text_base).is_multiple_of(Instr::SIZE) {
+        let size = self.inst_size();
+        if addr < self.text_base || !(addr - self.text_base).is_multiple_of(size) {
             return None;
         }
-        self.text
-            .get(((addr - self.text_base) / Instr::SIZE) as usize)
+        self.text.get(((addr - self.text_base) / size) as usize)
     }
 
     /// Number of static instructions.
@@ -156,7 +176,7 @@ impl Program {
     /// Returns the instruction index and [`EncodeError`] for the first
     /// immediate that does not fit the encoding.
     pub fn text_image(&self) -> Result<Vec<u8>, (usize, EncodeError)> {
-        encode_text(&self.text)
+        self.isa.frontend().encode_text(&self.text)
     }
 }
 
@@ -233,5 +253,18 @@ mod tests {
     fn text_image_encodes() {
         let p = two_instr_program();
         assert_eq!(p.text_image().unwrap().len(), 16);
+    }
+
+    #[test]
+    fn rv32i_stamp_changes_pc_arithmetic() {
+        let p = two_instr_program();
+        assert_eq!(p.isa(), IsaId::Native);
+        let p = p.with_isa(IsaId::Rv32i);
+        assert_eq!(p.isa(), IsaId::Rv32i);
+        assert_eq!(p.inst_size(), 4);
+        assert_eq!(p.text_end(), TEXT_BASE + 8);
+        assert_eq!(p.fetch(TEXT_BASE + 4).unwrap().op, Opcode::Halt);
+        assert_eq!(p.fetch(TEXT_BASE + 8), None);
+        assert_eq!(p.fetch(TEXT_BASE + 2), None, "unaligned");
     }
 }

@@ -65,6 +65,9 @@ pub struct FetchUnit {
     emu_done: bool,
     emu_error: Option<EmuError>,
     total_fetched: u64,
+    /// Instruction size of the running program's ISA; return-address
+    /// pushes use it to compute the link address (`pc + size`).
+    inst_size: u64,
 }
 
 impl FetchUnit {
@@ -82,6 +85,7 @@ impl FetchUnit {
             emu_done: false,
             emu_error: None,
             total_fetched: 0,
+            inst_size: program.inst_size(),
         }
     }
 
@@ -96,6 +100,7 @@ impl FetchUnit {
         FetchUnit {
             base_seq: emulator.instructions(),
             branch: BranchUnit::new(predictor),
+            inst_size: emulator.inst_size(),
             emulator,
             buffer: VecDeque::new(),
             cursor: 0,
@@ -256,7 +261,7 @@ impl FetchUnit {
             OpKind::Jump => {
                 if instr.op == Opcode::Jal {
                     if instr.rd == Reg::RA {
-                        self.branch.push_return(info.pc + Instr::SIZE);
+                        self.branch.push_return(info.pc + self.inst_size);
                     }
                     // Direct target: computed in decode, one-cycle redirect.
                     (pred, true)
@@ -269,7 +274,7 @@ impl FetchUnit {
                     };
                     pred.predicted_target = Some(predicted);
                     if instr.rd == Reg::RA {
-                        self.branch.push_return(info.pc + Instr::SIZE);
+                        self.branch.push_return(info.pc + self.inst_size);
                     }
                     if predicted != Some(info.next_pc) {
                         pred.mispredicted = true;

@@ -27,6 +27,7 @@
 mod kernel;
 pub(crate) mod kernels;
 mod mix;
+pub mod rv32;
 mod suite;
 mod synthetic;
 

@@ -1,0 +1,26 @@
+# Rolling checksum over the first 96 squares, in RV32I + M.
+#
+# Text-only on purpose: with no data segment the program survives the
+# flat-binary round trip, so CI can assemble it
+# (`reese asm examples/rv32i/checksum.s --isa rv32i -o checksum.bin`)
+# and replay a fault campaign on the binary
+# (`reese campaign --isa rv32i checksum.bin ...`).
+
+        li      t0, 97          # loop bound (exclusive)
+        li      t1, 1           # i
+        li      s0, 0           # checksum accumulator
+loop:
+        mul     t2, t1, t1      # i^2, exercising the M group
+        slli    t3, s0, 1       # rotate the accumulator left by one
+        srli    s0, s0, 31
+        or      s0, t3, s0
+        xor     s0, s0, t2      # fold in the square
+        addi    t1, t1, 1
+        bne     t1, t0, loop
+
+        srli    a0, s0, 1       # keep the printed value non-negative
+        li      a7, 1
+        ecall                   # print checksum
+        li      a7, 93
+        li      a0, 0
+        ecall                   # exit 0

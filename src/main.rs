@@ -6,6 +6,7 @@
 //! reese schemes [options]          rank every detection scheme on the kernel suite
 //! reese explain [options]          forensically replay one logged campaign trial
 //! reese shard [options]            shard one run across checkpoint intervals
+//! reese asm <file.s> -o <file.bin>  assemble a program to a flat binary
 //! reese mix <file.s|kernel>        print a program's dynamic instruction mix
 //! reese disasm <file.s>            assemble and disassemble a program
 //! reese trace <file.s|kernel> [--out f]   capture and profile a trace
@@ -14,12 +15,19 @@
 //!
 //! Every `--scheme` flag accepts any name from the detection-scheme
 //! registry (`baseline|reese|duplex|meek|swift`), or any unambiguous
-//! prefix of one.
+//! prefix of one. Likewise every `--isa` flag accepts any name from
+//! the ISA registry (`native|rv32i`) and selects which frontend loads
+//! the program: assembler source goes through that ISA's assembler,
+//! `.bin` files load as flat text-segment images, and `--kernel`
+//! names resolve against that ISA's kernel catalogue (the Table 2
+//! suite for `native`, the rv32i ports for `rv32i`). `mix`, `disasm`,
+//! and `trace` accept `--isa` too.
 //!
 //! Run options:
 //!
 //! ```text
 //! --scheme emulate|<scheme>   machine model (default baseline)
+//! --isa native|rv32i ISA frontend for the program (default native)
 //! --machine starting|ruu32|wide16|ports4   base configuration (default starting)
 //! --ruu-size N       override the RUU window size (≥ 1)
 //! --lsq-size N       override the LSQ size (≥ 1, ≤ RUU size)
@@ -46,6 +54,7 @@
 //! ```text
 //! --kernel NAME | <file.s>   workload (default kernel `lisp`)
 //! --scale N          kernel scale (default 1)
+//! --isa native|rv32i ISA frontend for the workload (default native)
 //! --scheme <scheme>  detection scheme under test (default reese)
 //! --trials N         number of injection trials (default 200)
 //! --injections N     alias for --trials
@@ -74,9 +83,12 @@
 //! Schemes options:
 //!
 //! ```text
-//! --kernel NAME      restrict to one kernel (repeatable; default all six)
+//! --kernel NAME      restrict to one kernel (repeatable; default: the
+//!                    selected ISA's whole catalogue)
 //! --scale N          kernel scale (default 1)
+//! --isa native|rv32i kernel catalogue to rank on (default native)
 //! --target N         calibrate each kernel to ≥ N dynamic instructions
+//!                    (native suite only; rv32i ports take --scale)
 //! --trials N         injection trials per (scheme, kernel) cell (default 100)
 //! --seed S           campaign PRNG seed (default 0xFA017)
 //! --mix broad|result fault-class mix (default result)
@@ -102,6 +114,7 @@
 //! --id N             address the trial by stable id (decimal or 0xHEX)
 //! --kernel NAME | <file.s>   the campaign's workload (default `lisp`)
 //! --scale N          kernel scale (default 1)
+//! --isa native|rv32i the campaign's ISA (default native)
 //! --scheme <scheme>  the campaign's detection scheme (default reese)
 //! --machine ...      base configuration, as for `run`
 //! --spare-alus N / --spare-muls N   REESE spare elements
@@ -119,6 +132,7 @@
 //! ```text
 //! --kernel NAME | <file.s>   workload (default kernel `lisp`)
 //! --scale N          kernel scale (default 1)
+//! --isa native|rv32i ISA frontend for the workload (default native)
 //! --intervals K      number of checkpoint intervals (default 4)
 //! -j N, --jobs N     worker threads (default: available parallelism)
 //! --scheme <scheme>  interval timing machine (default reese;
@@ -139,9 +153,10 @@ use reese::core::{DuplexSim, InjectedFault, ReeseConfig, ReeseSim};
 use reese::cpu::Emulator;
 use reese::faults::schemes::EvalOptions;
 use reese::faults::SchemesReport;
-use reese::isa::{assemble, disassemble_text, Program};
+use reese::isa::{IsaId, Program};
 use reese::pipeline::{PipelineConfig, PipelineSim};
 use reese::trace::{MetricsSeries, TraceRing, Tracer};
+use reese::workloads::rv32::Rv32Kernel;
 use reese::workloads::{measure_mix, Kernel};
 use std::process::ExitCode;
 
@@ -153,13 +168,14 @@ fn main() -> ExitCode {
         Some("schemes") => cmd_schemes(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("shard") => cmd_shard(&args[1..]),
+        Some("asm") => cmd_asm(&args[1..]),
         Some("mix") => cmd_mix(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("kernels") => cmd_kernels(),
         _ => {
             eprintln!(
-                "usage: reese <run|campaign|schemes|explain|shard|mix|disasm|trace|kernels> [options]  (see --help in source)"
+                "usage: reese <run|campaign|schemes|explain|shard|asm|mix|disasm|trace|kernels> [options]  (see --help in source)"
             );
             return ExitCode::FAILURE;
         }
@@ -199,6 +215,67 @@ fn kernel_by_name(name: &str) -> Result<Kernel, CliError> {
         .ok_or_else(|| format!("unknown kernel `{name}` (try `reese kernels`)").into())
 }
 
+fn rv32_kernel_by_name(name: &str) -> Result<Rv32Kernel, CliError> {
+    Rv32Kernel::ALL
+        .into_iter()
+        .find(|k| k.name() == name)
+        .ok_or_else(|| {
+            let names = Rv32Kernel::ALL.map(Rv32Kernel::name);
+            format!(
+                "no rv32i port of kernel `{name}` (rv32i kernels: {})",
+                names.join("|")
+            )
+            .into()
+        })
+}
+
+/// Builds a named kernel under the selected ISA: the Table 2 suite for
+/// the native ISA, the hand-ported RV32I kernels for rv32i.
+fn build_kernel(isa: IsaId, name: &str, scale: u32) -> Result<Program, CliError> {
+    match isa {
+        IsaId::Native => Ok(kernel_by_name(name)?.build(scale)),
+        IsaId::Rv32i => Ok(rv32_kernel_by_name(name)?.build(scale)),
+    }
+}
+
+/// Loads a program file through the selected ISA frontend: `.bin` files
+/// as flat text-segment images, anything else as assembler source.
+fn load_file(isa: IsaId, path: &str) -> Result<Program, CliError> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if path.ends_with(".bin") {
+        return isa
+            .frontend()
+            .load_flat(&bytes)
+            .map_err(|(off, e)| format!("{path}: byte offset {off}: {e}").into());
+    }
+    let source = String::from_utf8(bytes).map_err(|_| {
+        format!("{path} is not UTF-8 assembler source (flat binaries need a `.bin` extension)")
+    })?;
+    Ok(isa.frontend().assemble(&source)?)
+}
+
+/// Resolves the program-selection flags shared by every subcommand
+/// (positional file, `--kernel`, `--scale`, `--isa`) into a program.
+/// Kernel names resolve *after* the argument loop so `--kernel` and
+/// `--isa` compose in either order.
+fn load_program(
+    isa: IsaId,
+    file: Option<String>,
+    kernel: Option<String>,
+    scale: u32,
+    default_kernel: Option<&str>,
+) -> Result<Program, CliError> {
+    match (file, kernel) {
+        (Some(_), Some(_)) => Err("give a file or --kernel, not both".into()),
+        (Some(path), None) => load_file(isa, &path),
+        (None, Some(name)) => build_kernel(isa, &name, scale),
+        (None, None) => match default_kernel {
+            Some(name) => build_kernel(isa, name, scale),
+            None => Err("give an assembly file or --kernel NAME".into()),
+        },
+    }
+}
+
 /// Resolves a user-supplied name against a candidate list, accepting
 /// exact names and unique prefixes. All `--scheme` flags funnel through
 /// this, so every front end shares one error shape and the accepted set
@@ -228,6 +305,14 @@ fn parse_scheme(input: &str) -> Result<Scheme, CliError> {
     let names = Scheme::ALL.map(Scheme::name);
     let name = resolve("scheme", input, &names)?;
     Ok(Scheme::parse(name).expect("resolved name is registered"))
+}
+
+/// Parses an instruction-set name from the ISA registry, accepting
+/// exact names and unique prefixes like `--scheme` does.
+fn parse_isa(input: &str) -> Result<IsaId, CliError> {
+    let names = IsaId::ALL.map(IsaId::name);
+    let name = resolve("isa", input, &names)?;
+    Ok(IsaId::parse(name).expect("resolved name is registered"))
 }
 
 /// The `run` subcommand's scheme set: the registry plus the functional
@@ -383,8 +468,9 @@ fn parse_run(args: &[String]) -> Result<RunOpts, CliError> {
         metrics_interval: Tracer::DEFAULT_INTERVAL,
     };
     let mut file: Option<String> = None;
-    let mut kernel: Option<Kernel> = None;
+    let mut kernel: Option<String> = None;
     let mut scale: u32 = 1;
+    let mut isa = IsaId::Native;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = || -> Result<&String, CliError> {
@@ -393,6 +479,7 @@ fn parse_run(args: &[String]) -> Result<RunOpts, CliError> {
         };
         match a.as_str() {
             "--scheme" => opts.scheme = resolve("scheme", value()?, &run_scheme_names())?.into(),
+            "--isa" => isa = parse_isa(value()?)?,
             "--machine" => opts.base = machine(value()?)?,
             "--ruu-size" => opts.base.ruu_size = positive(a, value()?)?,
             "--lsq-size" => opts.base.lsq_size = positive(a, value()?)?,
@@ -406,7 +493,7 @@ fn parse_run(args: &[String]) -> Result<RunOpts, CliError> {
             "--max-insns" => opts.max_insns = value()?.parse()?,
             "--skip" => opts.skip = value()?.parse()?,
             "--stats" => opts.verbose = true,
-            "--kernel" => kernel = Some(kernel_by_name(value()?)?),
+            "--kernel" => kernel = Some(value()?.clone()),
             "--scale" => scale = value()?.parse()?,
             "--trace-out" => opts.trace_out = Some(value()?.clone()),
             "--metrics-out" => opts.metrics_out = Some(value()?.clone()),
@@ -415,12 +502,7 @@ fn parse_run(args: &[String]) -> Result<RunOpts, CliError> {
             other => return Err(format!("unknown option `{other}`").into()),
         }
     }
-    opts.program = match (file, kernel) {
-        (Some(path), None) => assemble(&std::fs::read_to_string(&path)?)?,
-        (None, Some(k)) => k.build(scale),
-        (Some(_), Some(_)) => return Err("give a file or --kernel, not both".into()),
-        (None, None) => return Err("give an assembly file or --kernel NAME".into()),
-    };
+    opts.program = load_program(isa, file, kernel, scale, None)?;
     check_geometry(&opts.base)?;
     Ok(opts)
 }
@@ -615,7 +697,8 @@ fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
         telemetry_out: None,
     };
     let mut file: Option<String> = None;
-    let mut kernel: Option<Kernel> = None;
+    let mut kernel: Option<String> = None;
+    let mut isa = IsaId::Native;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = || -> Result<&String, CliError> {
@@ -624,6 +707,7 @@ fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
         };
         match a.as_str() {
             "--trials" | "--injections" => opts.trials = value()?.parse()?,
+            "--isa" => isa = parse_isa(value()?)?,
             "--scale" => opts.scale = positive(a, value()?)?,
             "--scheme" => opts.scheme = parse_scheme(value()?)?,
             "--seed" => opts.seed = value()?.parse()?,
@@ -652,7 +736,7 @@ fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
             "--metrics-out" => opts.metrics_out = Some(value()?.clone()),
             "--metrics-interval" => opts.metrics_interval = positive(a, value()?)?,
             "--telemetry-out" => opts.telemetry_out = Some(value()?.clone()),
-            "--kernel" => kernel = Some(kernel_by_name(value()?)?),
+            "--kernel" => kernel = Some(value()?.clone()),
             other if !other.starts_with('-') => file = Some(other.to_string()),
             other => return Err(format!("unknown option `{other}`").into()),
         }
@@ -660,12 +744,7 @@ fn parse_campaign(args: &[String]) -> Result<CampaignOpts, CliError> {
     if opts.resume.is_some() && opts.outcomes_jsonl.is_some() {
         return Err("`--resume` already appends to its log; drop `--outcomes-jsonl`".into());
     }
-    opts.program = match (file, kernel) {
-        (Some(path), None) => assemble(&std::fs::read_to_string(&path)?)?,
-        (None, Some(k)) => k.build(opts.scale),
-        (Some(_), Some(_)) => return Err("give a file or --kernel, not both".into()),
-        (None, None) => Kernel::Lisp.build(opts.scale),
-    };
+    opts.program = load_program(isa, file, kernel, opts.scale, Some("lisp"))?;
     check_geometry(&opts.base)?;
     Ok(opts)
 }
@@ -765,9 +844,10 @@ fn parse_schemes(args: &[String]) -> Result<SchemesOpts, CliError> {
         metrics_out: None,
         metrics_interval: Tracer::DEFAULT_INTERVAL,
     };
-    let mut kernels: Vec<Kernel> = Vec::new();
+    let mut kernels: Vec<String> = Vec::new();
     let mut scale: u32 = 1;
     let mut target: Option<u64> = None;
+    let mut isa = IsaId::Native;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = || -> Result<&String, CliError> {
@@ -775,7 +855,8 @@ fn parse_schemes(args: &[String]) -> Result<SchemesOpts, CliError> {
                 .ok_or_else(|| format!("`{a}` needs a value").into())
         };
         match a.as_str() {
-            "--kernel" => kernels.push(kernel_by_name(value()?)?),
+            "--kernel" => kernels.push(value()?.clone()),
+            "--isa" => isa = parse_isa(value()?)?,
             "--scale" => scale = positive(a, value()?)?,
             "--target" => target = Some(positive(a, value()?)?),
             "--trials" => opts.eval.trials = positive(a, value()?)?,
@@ -807,20 +888,36 @@ fn parse_schemes(args: &[String]) -> Result<SchemesOpts, CliError> {
     if scale != 1 && target.is_some() {
         return Err("give --scale or --target, not both".into());
     }
+    if target.is_some() && isa != IsaId::Native {
+        return Err(
+            "--target calibrates the native Table 2 suite; rv32i ports take --scale".into(),
+        );
+    }
     if kernels.is_empty() {
-        // Default is the whole suite in Table 2 order.
-        kernels = Kernel::ALL.to_vec();
+        // Default is the whole catalogue for the selected ISA: the
+        // Table 2 suite in table order, or every rv32i port.
+        kernels = match isa {
+            IsaId::Native => Kernel::ALL.map(|k| k.name().to_string()).to_vec(),
+            IsaId::Rv32i => Rv32Kernel::ALL.map(|k| k.name().to_string()).to_vec(),
+        };
     }
     opts.programs = kernels
         .into_iter()
-        .map(|k| {
-            let program = match target {
-                Some(t) => k.build_for(t),
-                None => k.build(scale),
-            };
-            (k.name().to_string(), program)
+        .map(|name| match isa {
+            IsaId::Native => {
+                let k = kernel_by_name(&name)?;
+                let program = match target {
+                    Some(t) => k.build_for(t),
+                    None => k.build(scale),
+                };
+                Ok((k.name().to_string(), program))
+            }
+            IsaId::Rv32i => {
+                let k = rv32_kernel_by_name(&name)?;
+                Ok((k.name().to_string(), k.build(scale)))
+            }
         })
-        .collect();
+        .collect::<Result<_, CliError>>()?;
     Ok(opts)
 }
 
@@ -898,8 +995,9 @@ fn parse_explain(args: &[String]) -> Result<ExplainOpts, CliError> {
         trace_out: None,
     };
     let mut file: Option<String> = None;
-    let mut kernel: Option<Kernel> = None;
+    let mut kernel: Option<String> = None;
     let mut scale: u32 = 1;
+    let mut isa = IsaId::Native;
     let mut which: Option<reese::faults::TrialRef> = None;
     let mut outcomes: Option<String> = None;
     let mut it = args.iter();
@@ -910,6 +1008,7 @@ fn parse_explain(args: &[String]) -> Result<ExplainOpts, CliError> {
         };
         match a.as_str() {
             "--outcomes" => outcomes = Some(value()?.clone()),
+            "--isa" => isa = parse_isa(value()?)?,
             "--trial" => {
                 which = Some(reese::faults::TrialRef::Index(value()?.parse()?));
             }
@@ -929,7 +1028,7 @@ fn parse_explain(args: &[String]) -> Result<ExplainOpts, CliError> {
             "--spare-alus" => opts.spare_alus = value()?.parse()?,
             "--spare-muls" => opts.spare_muls = value()?.parse()?,
             "--scale" => scale = positive(a, value()?)?,
-            "--kernel" => kernel = Some(kernel_by_name(value()?)?),
+            "--kernel" => kernel = Some(value()?.clone()),
             "--out" => opts.out = Some(value()?.clone()),
             "--trace-out" => opts.trace_out = Some(value()?.clone()),
             other if !other.starts_with('-') => file = Some(other.to_string()),
@@ -938,12 +1037,7 @@ fn parse_explain(args: &[String]) -> Result<ExplainOpts, CliError> {
     }
     opts.outcomes = outcomes.ok_or("`explain` needs --outcomes <campaign log>")?;
     opts.which = which.ok_or("address the trial with --trial <index> or --id <stable id>")?;
-    opts.program = match (file, kernel) {
-        (Some(path), None) => assemble(&std::fs::read_to_string(&path)?)?,
-        (None, Some(k)) => k.build(scale),
-        (Some(_), Some(_)) => return Err("give a file or --kernel, not both".into()),
-        (None, None) => Kernel::Lisp.build(scale),
-    };
+    opts.program = load_program(isa, file, kernel, scale, Some("lisp"))?;
     check_geometry(&opts.base)?;
     Ok(opts)
 }
@@ -995,8 +1089,9 @@ fn parse_shard(args: &[String]) -> Result<ShardCliOpts, CliError> {
         metrics_out: None,
     };
     let mut file: Option<String> = None;
-    let mut kernel: Option<Kernel> = None;
+    let mut kernel: Option<String> = None;
     let mut scale: u32 = 1;
+    let mut isa = IsaId::Native;
     let mut metrics_interval = Tracer::DEFAULT_INTERVAL;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -1006,6 +1101,7 @@ fn parse_shard(args: &[String]) -> Result<ShardCliOpts, CliError> {
         };
         match a.as_str() {
             "--intervals" => opts.shard.intervals = positive(a, value()?)?,
+            "--isa" => isa = parse_isa(value()?)?,
             "-j" | "--jobs" => opts.shard.jobs = positive(a, value()?)?,
             "--warmup" => opts.shard.warmup = value()?.parse()?,
             "--no-verify" => opts.shard.compare_monolithic = false,
@@ -1034,7 +1130,7 @@ fn parse_shard(args: &[String]) -> Result<ShardCliOpts, CliError> {
             "--trace-out" => opts.trace_out = Some(value()?.clone()),
             "--metrics-out" => opts.metrics_out = Some(value()?.clone()),
             "--metrics-interval" => metrics_interval = positive(a, value()?)?,
-            "--kernel" => kernel = Some(kernel_by_name(value()?)?),
+            "--kernel" => kernel = Some(value()?.clone()),
             "--scale" => scale = value()?.parse()?,
             other if !other.starts_with('-') => file = Some(other.to_string()),
             other => return Err(format!("unknown option `{other}`").into()),
@@ -1043,12 +1139,7 @@ fn parse_shard(args: &[String]) -> Result<ShardCliOpts, CliError> {
     if opts.trace_out.is_some() || opts.metrics_out.is_some() {
         opts.shard.metrics_interval = metrics_interval;
     }
-    opts.program = match (file, kernel) {
-        (Some(path), None) => assemble(&std::fs::read_to_string(&path)?)?,
-        (None, Some(k)) => k.build(scale),
-        (Some(_), Some(_)) => return Err("give a file or --kernel, not both".into()),
-        (None, None) => Kernel::Lisp.build(1),
-    };
+    opts.program = load_program(isa, file, kernel, scale, Some("lisp"))?;
     check_geometry(&opts.base)?;
     Ok(opts)
 }
@@ -1217,16 +1308,66 @@ fn print_pipeline_stats(s: &reese::pipeline::PipelineStats) {
 }
 
 fn load_source(args: &[String]) -> Result<Program, CliError> {
-    match args.first() {
-        Some(path) if !path.starts_with("--") => {
-            if let Ok(k) = kernel_by_name(path) {
-                Ok(k.build(1))
-            } else {
-                Ok(assemble(&std::fs::read_to_string(path)?)?)
-            }
+    let mut isa = IsaId::Native;
+    let mut source: Option<&String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--isa" {
+            isa = parse_isa(it.next().ok_or("`--isa` needs a value")?)?;
+        } else if a == "--out" {
+            it.next(); // value handled by the caller
+        } else if !a.starts_with("--") && source.is_none() {
+            source = Some(a);
         }
-        _ => Err("give an assembly file or kernel name".into()),
     }
+    let Some(name) = source else {
+        return Err("give an assembly file or kernel name".into());
+    };
+    if let Ok(program) = build_kernel(isa, name, 1) {
+        return Ok(program);
+    }
+    load_file(isa, name)
+}
+
+/// `reese asm <file.s> --isa <isa> -o <file.bin>`: assembles source
+/// through the selected ISA frontend and writes the flat text-segment
+/// image, the format `load_flat` (and thus `reese run file.bin`)
+/// accepts back.
+fn cmd_asm(args: &[String]) -> Result<(), CliError> {
+    let mut isa = IsaId::Native;
+    let mut source: Option<&String> = None;
+    let mut out: Option<&String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--isa" => isa = parse_isa(it.next().ok_or("`--isa` needs a value")?)?,
+            "-o" | "--out" => out = Some(it.next().ok_or("`-o` needs a value")?),
+            other if !other.starts_with('-') && source.is_none() => source = Some(a),
+            other => return Err(format!("unknown option `{other}`").into()),
+        }
+    }
+    let path = source.ok_or("give an assembly file")?;
+    let out = out.ok_or("give an output path with -o <file.bin>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = isa.frontend().assemble(&text)?;
+    if !program.data().is_empty() {
+        return Err(format!(
+            "{path}: flat binaries carry only the text segment, but this program has {} data bytes",
+            program.data().len()
+        )
+        .into());
+    }
+    let image = program
+        .text_image()
+        .map_err(|(idx, _)| format!("{path}: instruction {idx} has no {isa} encoding"))?;
+    std::fs::write(out, &image)?;
+    println!(
+        "{out}: {} {} instructions, {} bytes",
+        program.len(),
+        isa.name(),
+        image.len()
+    );
+    Ok(())
 }
 
 fn cmd_mix(args: &[String]) -> Result<(), CliError> {
@@ -1237,7 +1378,13 @@ fn cmd_mix(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_disasm(args: &[String]) -> Result<(), CliError> {
     let program = load_source(args)?;
-    print!("{}", disassemble_text(program.text(), program.text_base()));
+    print!(
+        "{}",
+        program
+            .isa()
+            .frontend()
+            .disassemble_text(program.text(), program.text_base())
+    );
     Ok(())
 }
 
@@ -1277,6 +1424,10 @@ fn cmd_kernels() -> Result<(), CliError> {
             k.paper_benchmark(),
             k.paper_input()
         );
+    }
+    println!("rv32i kernel ports (select with --isa rv32i):");
+    for k in Rv32Kernel::ALL {
+        println!("  {:<9} — {}", k.name(), k.description());
     }
     Ok(())
 }
@@ -1715,6 +1866,144 @@ mod tests {
             err.contains("--trial") && err.contains("--id"),
             "got: {err}"
         );
+    }
+
+    #[test]
+    fn isa_names_come_from_the_registry() {
+        // Every registered ISA parses in every front end that loads a
+        // program, in either flag order relative to --kernel.
+        for isa in IsaId::ALL {
+            let kernel = "lisp"; // in both catalogues
+            let o = parse_run(&strings(&["--isa", isa.name(), "--kernel", kernel])).unwrap();
+            assert_eq!(o.program.isa(), isa);
+            let o = parse_run(&strings(&["--kernel", kernel, "--isa", isa.name()])).unwrap();
+            assert_eq!(o.program.isa(), isa, "--kernel before --isa must work");
+            assert_eq!(
+                parse_campaign(&strings(&["--isa", isa.name()]))
+                    .unwrap()
+                    .program
+                    .isa(),
+                isa,
+                "default kernel must load under the selected ISA"
+            );
+            assert_eq!(
+                parse_shard(&strings(&["--isa", isa.name()]))
+                    .unwrap()
+                    .program
+                    .isa(),
+                isa
+            );
+            let o = parse_explain(&strings(&[
+                "--outcomes",
+                "c.jsonl",
+                "--trial",
+                "0",
+                "--isa",
+                isa.name(),
+            ]))
+            .unwrap();
+            assert_eq!(o.program.isa(), isa);
+        }
+        // Unambiguous prefixes resolve; unknown names list the registry.
+        let o = parse_run(&strings(&["--kernel", "lisp", "--isa", "rv"])).unwrap();
+        assert_eq!(o.program.isa(), IsaId::Rv32i);
+        let err = parse_run(&strings(&["--kernel", "lisp", "--isa", "arm"]))
+            .err()
+            .expect("unknown isa must be rejected")
+            .to_string();
+        assert!(err.contains("unknown isa `arm`"), "got: {err}");
+        for isa in IsaId::ALL {
+            assert!(err.contains(isa.name()), "error must offer {isa}: {err}");
+        }
+    }
+
+    #[test]
+    fn rv32i_kernels_resolve_against_the_port_catalogue() {
+        // `gcc` exists in the Table 2 suite but has no rv32i port; the
+        // error names the ports that do exist.
+        let err = parse_campaign(&strings(&["--isa", "rv32i", "--kernel", "gcc"]))
+            .err()
+            .expect("unported kernel must be rejected")
+            .to_string();
+        assert!(err.contains("no rv32i port"), "got: {err}");
+        assert!(err.contains("imaging|lisp|strings"), "got: {err}");
+        // The ports themselves load and carry the rv32i stamp.
+        for k in Rv32Kernel::ALL {
+            let o = parse_campaign(&strings(&["--isa", "rv32i", "--kernel", k.name()])).unwrap();
+            assert_eq!(o.program.isa(), IsaId::Rv32i);
+            assert_eq!(o.program.inst_size(), 4);
+        }
+    }
+
+    #[test]
+    fn schemes_isa_selects_the_kernel_catalogue() {
+        let o = parse_schemes(&strings(&["--isa", "rv32i"])).unwrap();
+        assert_eq!(o.programs.len(), Rv32Kernel::ALL.len());
+        for (name, program) in &o.programs {
+            assert_eq!(program.isa(), IsaId::Rv32i, "kernel {name}");
+        }
+        // --target calibration only exists for the native suite.
+        let err = parse_schemes(&strings(&["--isa", "rv32i", "--target", "100000"]))
+            .err()
+            .expect("--target under rv32i must be rejected")
+            .to_string();
+        assert!(
+            err.contains("--target") && err.contains("--scale"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn flat_binaries_load_through_the_isa_frontend() {
+        let frontend = IsaId::Rv32i.frontend();
+        let program = frontend
+            .assemble("  li a0, 7\n  li a7, 93\n  ecall\n")
+            .unwrap();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("reese-cli-test-{}.bin", std::process::id()));
+        std::fs::write(&path, program.text_image().unwrap()).unwrap();
+        let o = parse_run(&strings(&["--isa", "rv32i", path.to_str().unwrap()])).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(o.program.isa(), IsaId::Rv32i);
+        assert_eq!(o.program.text(), program.text());
+        // A native loader would mis-chunk the 4-byte words; the flag
+        // must reject garbage rather than mis-decode it.
+        let path = dir.join(format!("reese-cli-test-native-{}.bin", std::process::id()));
+        std::fs::write(&path, [0xFFu8; 8]).unwrap();
+        let err = parse_run(&strings(&[path.to_str().unwrap()]))
+            .err()
+            .expect("garbage flat binary must be rejected")
+            .to_string();
+        std::fs::remove_file(&path).ok();
+        assert!(err.contains("byte offset"), "got: {err}");
+    }
+
+    #[test]
+    fn asm_writes_a_flat_binary_the_loader_accepts() {
+        let dir = std::env::temp_dir();
+        let src = dir.join(format!("reese-asm-test-{}.s", std::process::id()));
+        let bin = dir.join(format!("reese-asm-test-{}.bin", std::process::id()));
+        std::fs::write(&src, "  li a0, 5\n  li a7, 93\n  ecall\n").unwrap();
+        cmd_asm(&strings(&[
+            src.to_str().unwrap(),
+            "--isa",
+            "rv32i",
+            "-o",
+            bin.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let o = parse_run(&strings(&["--isa", "rv32i", bin.to_str().unwrap()]));
+        std::fs::remove_file(&src).ok();
+        let o = o.unwrap();
+        assert_eq!(o.program.isa(), IsaId::Rv32i);
+        assert_eq!(o.program.len(), 3);
+        // The output path is mandatory — a silent default would make
+        // CI scripts guess where the binary landed.
+        let err = cmd_asm(&strings(&[bin.to_str().unwrap()]))
+            .expect_err("missing -o must be rejected")
+            .to_string();
+        std::fs::remove_file(&bin).ok();
+        assert!(err.contains("-o"), "got: {err}");
     }
 
     #[test]
